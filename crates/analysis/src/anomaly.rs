@@ -1,0 +1,242 @@
+//! RTT-based anomaly detection.
+//!
+//! §3 of the paper notes that "understanding RTT characteristics can also
+//! help to detect unauthorized root replicas/caches" (Jones et al., PAM
+//! 2016). The core signal: an answer arriving *faster than light allows*
+//! from every authorized site proves an unauthorized on-path replica; and
+//! an abrupt, persistent RTT level-shift at one VP flags interception or
+//! rerouting worth investigating.
+//!
+//! [`SpeedOfLightCheck`] implements the physical-lower-bound test against
+//! the deployment catalog; [`LevelShiftDetector`] a simple
+//! change-point-style detector over a VP's RTT series.
+
+use netgeo::{fiber_rtt_ms, Coord};
+use rss::catalog::RootCatalog;
+use rss::RootLetter;
+
+/// The physical lower-bound test: given where a VP sits and where the
+/// letter's sites are, no legitimate answer can arrive faster than fibre
+/// light from the *closest* site.
+#[derive(Debug, Clone)]
+pub struct SpeedOfLightCheck {
+    /// Tolerance subtracted from the bound (measurement noise, km-level
+    /// geo inaccuracy). Fraction of the bound, e.g. 0.3 = allow 30% under.
+    pub tolerance: f64,
+}
+
+impl Default for SpeedOfLightCheck {
+    fn default() -> Self {
+        SpeedOfLightCheck { tolerance: 0.5 }
+    }
+}
+
+/// Verdict for one observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolVerdict {
+    /// RTT is consistent with some authorized site.
+    Plausible,
+    /// RTT is below the physical bound for every authorized site: an
+    /// unauthorized replica (or interceptor) must be answering.
+    ImpossiblyFast {
+        /// The bound that was violated (ms).
+        bound_ms: f64,
+        /// The observed RTT (ms).
+        observed_ms: f64,
+    },
+}
+
+impl SpeedOfLightCheck {
+    /// The fibre lower bound from `vp` to the closest site of `letter`.
+    pub fn bound_ms(&self, catalog: &RootCatalog, letter: RootLetter, vp: Coord) -> Option<f64> {
+        let closest_km = catalog
+            .sites_of(letter)
+            .map(|s| vp.distance_km(&s.city.coord))
+            .fold(f64::INFINITY, f64::min);
+        closest_km.is_finite().then(|| {
+            // Remove the path-stretch factor: the bound is straight-line
+            // light in fibre, the most favourable possible path.
+            fiber_rtt_ms(closest_km) / netgeo::PATH_STRETCH
+        })
+    }
+
+    /// Check one observation.
+    pub fn check(
+        &self,
+        catalog: &RootCatalog,
+        letter: RootLetter,
+        vp: Coord,
+        rtt_ms: f64,
+    ) -> SolVerdict {
+        let Some(bound) = self.bound_ms(catalog, letter, vp) else {
+            return SolVerdict::Plausible;
+        };
+        let threshold = bound * (1.0 - self.tolerance);
+        if rtt_ms < threshold && bound > 1.0 {
+            SolVerdict::ImpossiblyFast {
+                bound_ms: bound,
+                observed_ms: rtt_ms,
+            }
+        } else {
+            SolVerdict::Plausible
+        }
+    }
+}
+
+/// A persistent RTT level-shift detector: compares a trailing baseline
+/// window's median against the recent window's; flags when the recent
+/// level departs by more than `shift_factor` in either direction for the
+/// whole window.
+#[derive(Debug, Clone)]
+pub struct LevelShiftDetector {
+    /// Samples per window.
+    pub window: usize,
+    /// Multiplicative departure that triggers (e.g. 2.0 = halved/doubled).
+    pub shift_factor: f64,
+}
+
+impl Default for LevelShiftDetector {
+    fn default() -> Self {
+        LevelShiftDetector {
+            window: 16,
+            shift_factor: 2.0,
+        }
+    }
+}
+
+/// A detected shift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelShift {
+    /// Index in the series where the recent window begins.
+    pub at: usize,
+    pub baseline_median_ms: f64,
+    pub shifted_median_ms: f64,
+}
+
+impl LevelShiftDetector {
+    /// Scan a series; returns the first detected shift, if any.
+    pub fn detect(&self, series: &[f64]) -> Option<LevelShift> {
+        let w = self.window;
+        if series.len() < 2 * w {
+            return None;
+        }
+        for start in w..=(series.len() - w) {
+            let baseline = median(&series[start - w..start]);
+            let recent = median(&series[start..start + w]);
+            if baseline <= 0.0 {
+                continue;
+            }
+            let ratio = recent / baseline;
+            if ratio >= self.shift_factor || ratio <= 1.0 / self.shift_factor {
+                return Some(LevelShift {
+                    at: start,
+                    baseline_median_ms: baseline,
+                    shifted_median_ms: recent,
+                });
+            }
+        }
+        None
+    }
+}
+
+fn median(v: &[f64]) -> f64 {
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN RTTs"));
+    s[s.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgeo::CityDb;
+    use netsim::{Topology, TopologyConfig};
+    use rss::catalog::{RootCatalog, WorldConfig};
+
+    fn catalog() -> RootCatalog {
+        let mut t = Topology::generate(&TopologyConfig::default());
+        RootCatalog::build(&mut t, &WorldConfig::default())
+    }
+
+    #[test]
+    fn plausible_rtts_pass() {
+        let cat = catalog();
+        let check = SpeedOfLightCheck::default();
+        let vp = CityDb::by_name("frankfurt").unwrap().coord;
+        // 30 ms from Frankfurt to some European site: plausible.
+        assert_eq!(
+            check.check(&cat, RootLetter::K, vp, 30.0),
+            SolVerdict::Plausible
+        );
+    }
+
+    #[test]
+    fn impossibly_fast_answer_flagged() {
+        let cat = catalog();
+        let check = SpeedOfLightCheck::default();
+        // b.root has no Africa sites: from Gaborone the closest is far;
+        // an answer in 0.5 ms is physically impossible.
+        let vp = CityDb::by_name("gaborone").unwrap().coord;
+        let bound = check.bound_ms(&cat, RootLetter::B, vp).unwrap();
+        assert!(bound > 10.0, "bound {bound}");
+        match check.check(&cat, RootLetter::B, vp, 0.5) {
+            SolVerdict::ImpossiblyFast { bound_ms, observed_ms } => {
+                assert!(observed_ms < bound_ms);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_site_makes_fast_answers_legitimate() {
+        // f.root has sites nearly everywhere: a 2 ms answer in Frankfurt is
+        // fine because a site is in town.
+        let cat = catalog();
+        let check = SpeedOfLightCheck::default();
+        let vp = CityDb::by_name("frankfurt").unwrap().coord;
+        assert_eq!(
+            check.check(&cat, RootLetter::F, vp, 2.0),
+            SolVerdict::Plausible
+        );
+    }
+
+    #[test]
+    fn level_shift_detected_on_step() {
+        let detector = LevelShiftDetector::default();
+        let mut series = vec![20.0; 40];
+        for v in series.iter_mut().skip(20) {
+            *v = 90.0;
+        }
+        let shift = detector.detect(&series).expect("step detected");
+        // The detector fires as soon as the recent window's *median*
+        // crosses — up to half a window before the true change point.
+        assert!((12..=20).contains(&shift.at), "at {}", shift.at);
+        assert!(shift.shifted_median_ms > shift.baseline_median_ms * 2.0);
+    }
+
+    #[test]
+    fn level_shift_detects_drops_too() {
+        // An interceptor answering locally makes RTT *drop* persistently.
+        let detector = LevelShiftDetector::default();
+        let mut series = vec![80.0; 40];
+        for v in series.iter_mut().skip(20) {
+            *v = 5.0;
+        }
+        assert!(detector.detect(&series).is_some());
+    }
+
+    #[test]
+    fn jitter_alone_does_not_trigger() {
+        let detector = LevelShiftDetector::default();
+        // ±20% wobble around 50 ms.
+        let series: Vec<f64> = (0..64)
+            .map(|i| 50.0 * (1.0 + 0.2 * ((i as f64 * 0.7).sin())))
+            .collect();
+        assert_eq!(detector.detect(&series), None);
+    }
+
+    #[test]
+    fn short_series_is_none() {
+        let detector = LevelShiftDetector::default();
+        assert_eq!(detector.detect(&[10.0; 8]), None);
+    }
+}

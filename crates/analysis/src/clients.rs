@@ -1,0 +1,231 @@
+//! Client contact patterns (Figure 8): mean number of unique client
+//! subnets per day as a function of flows-per-client, per target and
+//! family.
+//!
+//! The priming signature: after the change, the old b.root IPv6 subnet is
+//! contacted by many clients exactly once a day — they prime against the
+//! old address and then move on.
+
+use netsim::Family;
+use rss::{BRootPhase, RootLetter};
+use std::collections::{BTreeMap, HashMap};
+use traces::client::ClientId;
+use traces::flows::{DayBucket, FlowObservation, FlowTarget};
+
+/// Figure 8 curve for one (target, family): at each flows-per-client
+/// threshold, the mean number of unique clients per day with at most that
+/// many flows, normalized by the overall daily client count.
+#[derive(Debug, Clone)]
+pub struct ClientCurve {
+    pub target: FlowTarget,
+    pub family: Family,
+    /// Mean unique clients per day (the normalizer).
+    pub mean_clients_per_day: f64,
+    /// Sorted (flows-per-client, cumulative fraction of client-days).
+    pub curve: Vec<(u32, f64)>,
+}
+
+impl ClientCurve {
+    /// Fraction of client-days with at most `flows` flows.
+    pub fn fraction_at_most(&self, flows: u32) -> f64 {
+        let mut out = 0.0;
+        for (f, frac) in &self.curve {
+            if *f <= flows {
+                out = *frac;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// The Figure 8 analysis.
+#[derive(Debug, Clone)]
+pub struct ClientAnalysis {
+    pub curves: Vec<ClientCurve>,
+}
+
+impl ClientAnalysis {
+    /// Compute per-(target, family) client-contact curves from flows in
+    /// `[from_day, until_day)`.
+    pub fn compute(
+        flows: &[FlowObservation],
+        from_day: DayBucket,
+        until_day: DayBucket,
+    ) -> ClientAnalysis {
+        // (target, family) -> (day, client) -> flow count
+        let mut counts: HashMap<(FlowTarget, Family), HashMap<(DayBucket, ClientId), u64>> =
+            HashMap::new();
+        let mut days: HashMap<(FlowTarget, Family), std::collections::HashSet<DayBucket>> =
+            HashMap::new();
+        for f in flows {
+            if f.day < from_day || f.day >= until_day {
+                continue;
+            }
+            *counts
+                .entry((f.target, f.family))
+                .or_default()
+                .entry((f.day, f.client))
+                .or_insert(0) += f.flows as u64;
+            days.entry((f.target, f.family)).or_default().insert(f.day);
+        }
+        let mut curves = Vec::new();
+        for ((target, family), per_client_day) in counts {
+            let n_days = days[&(target, family)].len().max(1);
+            let total_client_days = per_client_day.len();
+            // Histogram over flows-per-client-day.
+            let mut hist: BTreeMap<u32, u64> = BTreeMap::new();
+            for count in per_client_day.values() {
+                *hist.entry((*count).min(u32::MAX as u64) as u32).or_insert(0) += 1;
+            }
+            let mut curve = Vec::with_capacity(hist.len());
+            let mut cum = 0u64;
+            for (flows_ct, n) in hist {
+                cum += n;
+                curve.push((flows_ct, cum as f64 / total_client_days as f64));
+            }
+            curves.push(ClientCurve {
+                target,
+                family,
+                mean_clients_per_day: total_client_days as f64 / n_days as f64,
+                curve,
+            });
+        }
+        curves.sort_by_key(|c| (c.target, c.family));
+        ClientAnalysis { curves }
+    }
+
+    /// Fetch one curve.
+    pub fn curve(&self, target: FlowTarget, family: Family) -> Option<&ClientCurve> {
+        self.curves
+            .iter()
+            .find(|c| c.target == target && c.family == family)
+    }
+
+    /// Render the Figure 8 equivalent for the a–e letters the paper shows.
+    pub fn render_fig8(&self) -> String {
+        let mut out = String::from(
+            "Figure 8: mean unique client subnets/day; fraction of client-days\n\
+             with <=1 / <=10 / <=1000 flows\n",
+        );
+        for family in Family::BOTH {
+            out.push_str(&format!("-- {} --\n", family.label()));
+            for c in self.curves.iter().filter(|c| c.family == family) {
+                let letter_ok = matches!(
+                    c.target.letter,
+                    RootLetter::A
+                        | RootLetter::B
+                        | RootLetter::C
+                        | RootLetter::D
+                        | RootLetter::E
+                );
+                if !letter_ok {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {:14} clients/day {:9.1} | <=1: {:.2} <=10: {:.2} <=1000: {:.2}\n",
+                    c.target.label(),
+                    c.mean_clients_per_day,
+                    c.fraction_at_most(1),
+                    c.fraction_at_most(10),
+                    c.fraction_at_most(1000),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: the old/new b.root flow targets.
+pub fn b_target(phase: BRootPhase) -> FlowTarget {
+    FlowTarget {
+        letter: RootLetter::B,
+        b_phase: phase,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_crypto::validity::timestamp_from_ymd as ts;
+    use traces::gen::{generate_flows, ObservationWindow, TraceConfig};
+
+    fn day(s: &str) -> DayBucket {
+        DayBucket::of(ts(s).unwrap())
+    }
+
+    fn post_change_analysis() -> ClientAnalysis {
+        let mut cfg = TraceConfig::isp(13);
+        cfg.population.clients_per_family = 250;
+        let flows = generate_flows(&cfg, &[ObservationWindow::isp_windows()[1]]);
+        ClientAnalysis::compute(&flows, day("20240205000000"), day("20240304000000"))
+    }
+
+    #[test]
+    fn curves_are_monotone_cdfs() {
+        let a = post_change_analysis();
+        assert!(!a.curves.is_empty());
+        for c in &a.curves {
+            for w in c.curve.windows(2) {
+                assert!(w[0].0 < w[1].0);
+                assert!(w[0].1 <= w[1].1);
+            }
+            let last = c.curve.last().unwrap().1;
+            assert!((last - 1.0).abs() < 1e-9, "last {last}");
+        }
+    }
+
+    #[test]
+    fn old_b_v6_is_once_a_day_heavy() {
+        // The priming signature: the old v6 subnet's client-days are
+        // dominated by 1-flow contacts, far more than the new subnet's.
+        let a = post_change_analysis();
+        let old = a
+            .curve(b_target(BRootPhase::Old), Family::V6)
+            .expect("old b v6 curve");
+        let new = a
+            .curve(b_target(BRootPhase::New), Family::V6)
+            .expect("new b v6 curve");
+        assert!(
+            old.fraction_at_most(1) > new.fraction_at_most(1) + 0.3,
+            "old {:.2} vs new {:.2}",
+            old.fraction_at_most(1),
+            new.fraction_at_most(1)
+        );
+    }
+
+    #[test]
+    fn other_letters_have_heavy_users() {
+        let a = post_change_analysis();
+        let k = a
+            .curve(
+                FlowTarget {
+                    letter: RootLetter::K,
+                    b_phase: BRootPhase::Old,
+                },
+                Family::V4,
+            )
+            .expect("k curve");
+        // Plenty of client-days exceed 10 flows.
+        assert!(k.fraction_at_most(10) < 0.9);
+    }
+
+    #[test]
+    fn window_filtering_applies() {
+        let mut cfg = TraceConfig::isp(13);
+        cfg.population.clients_per_family = 50;
+        let flows = generate_flows(&cfg, &[ObservationWindow::isp_windows()[1]]);
+        let empty = ClientAnalysis::compute(&flows, day("20250101000000"), day("20250102000000"));
+        assert!(empty.curves.is_empty());
+    }
+
+    #[test]
+    fn render_contains_b_old_new() {
+        let a = post_change_analysis();
+        let txt = a.render_fig8();
+        assert!(txt.contains("b.root (old)"));
+        assert!(txt.contains("b.root (new)"));
+        assert!(txt.contains("IPv6"));
+    }
+}

@@ -1,0 +1,241 @@
+//! CSV export of figure data series.
+//!
+//! The text renderers summarize; plotting the paper's figures needs the
+//! underlying series. Each exporter emits one tidy CSV (header + rows,
+//! RFC 4180-style quoting not needed — all fields are numeric or simple
+//! tokens) matching the corresponding figure's axes.
+
+use crate::clients::ClientAnalysis;
+use crate::colocation::ColocationResult;
+use crate::distance::DistanceResult;
+use crate::rtt::RttByRegion;
+use crate::stability::StabilityResult;
+use crate::traffic::{BKey, BRootShift};
+use netgeo::Region;
+use netsim::Family;
+use vantage::population::Population;
+
+/// Figure 3: one row per (target, family, changes) eCDF point.
+pub fn stability_csv(result: &StabilityResult) -> String {
+    let mut out = String::from("target,family,changes,cdf\n");
+    for s in &result.series {
+        for (v, c) in s.ecdf.values.iter().zip(&s.ecdf.cdf) {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                s.target.label(),
+                s.family.label(),
+                v,
+                c
+            ));
+        }
+    }
+    out
+}
+
+/// Figure 4: one row per (region, family, reduced_redundancy) histogram bin.
+pub fn colocation_csv(result: &ColocationResult, population: &Population) -> String {
+    let hist = result.histogram_by_region(population);
+    let mut out = String::from("region,family,reduced,vps\n");
+    for region in Region::ALL {
+        for (fi, family) in Family::BOTH.iter().enumerate() {
+            for (reduced, count) in hist[region.index()][fi].iter().enumerate() {
+                if *count > 0 {
+                    out.push_str(&format!(
+                        "{},{},{},{}\n",
+                        region.name().replace(' ', "_"),
+                        family.label(),
+                        reduced,
+                        count
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Figure 5: one row per request (optionally subsampled to `max_rows`).
+pub fn distance_csv(result: &DistanceResult, max_rows: usize) -> String {
+    let mut out = String::from("target,family,closest_global_km,actual_km\n");
+    let step = (result.points.len() / max_rows.max(1)).max(1);
+    for p in result.points.iter().step_by(step) {
+        out.push_str(&format!(
+            "{},{},{:.1},{:.1}\n",
+            result.target.label(),
+            result.family.label(),
+            p.closest_global_km,
+            p.actual_km
+        ));
+    }
+    out
+}
+
+/// Figure 6/14/15: one row per (region, target, family) summary.
+pub fn rtt_csv(result: &RttByRegion) -> String {
+    let mut out =
+        String::from("region,target,family,n,mean_ms,median_ms,p25_ms,p75_ms,min_ms,max_ms\n");
+    for region in Region::ALL {
+        for target in &result.targets {
+            for family in Family::BOTH {
+                if let Some(s) = result.get(region, *target, family) {
+                    out.push_str(&format!(
+                        "{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}\n",
+                        region.name().replace(' ', "_"),
+                        target.label(),
+                        family.label(),
+                        s.n,
+                        s.mean,
+                        s.median,
+                        s.p25,
+                        s.p75,
+                        s.min,
+                        s.max
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Figures 7/9: one row per (day, hour, key) share.
+pub fn broot_shift_csv(shift: &BRootShift) -> String {
+    let mut out = String::from("day,hour,key,share\n");
+    for ((day, hour), shares) in &shift.series.buckets {
+        for key in [BKey::V4New, BKey::V4Old, BKey::V6New, BKey::V6Old] {
+            if let Some(share) = shares.get(&key) {
+                out.push_str(&format!(
+                    "{},{},{},{:.6}\n",
+                    day.0,
+                    hour.map(|h| h.to_string()).unwrap_or_default(),
+                    key.label(),
+                    share
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Figure 8: one row per (target, family, flows) curve point.
+pub fn clients_csv(analysis: &ClientAnalysis) -> String {
+    let mut out = String::from("target,family,flows_per_client,cum_fraction,clients_per_day\n");
+    for c in &analysis.curves {
+        for (flows, frac) in &c.curve {
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.1}\n",
+                c.target.label(),
+                c.family.label(),
+                flows,
+                frac,
+                c.mean_clients_per_day
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_crypto::validity::timestamp_from_ymd as ts;
+    use roots_core_free::build_small_records;
+
+    /// A tiny helper world without depending on roots-core (which would be
+    /// a dependency cycle): run the vantage engine directly.
+    mod roots_core_free {
+        use vantage::records::ProbeRecord;
+        use vantage::{
+            MeasurementConfig, MeasurementEngine, Schedule, VecSink, World, WorldBuildConfig,
+        };
+
+        pub struct SmallRecords {
+            pub world: World,
+            pub probes: Vec<ProbeRecord>,
+        }
+
+        pub fn build_small_records() -> SmallRecords {
+            let world = World::build(&WorldBuildConfig::tiny());
+            let engine = MeasurementEngine::new(
+                &world,
+                MeasurementConfig {
+                    schedule: Schedule::subsampled(400),
+                    ..Default::default()
+                },
+            );
+            let mut sink = VecSink::default();
+            engine.run(&mut sink);
+            SmallRecords {
+                world,
+                probes: sink.probes,
+            }
+        }
+    }
+
+    fn csv_well_formed(csv: &str, columns: usize) {
+        let mut lines = csv.lines();
+        let header = lines.next().expect("has header");
+        assert_eq!(header.split(',').count(), columns, "header: {header}");
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split(',').count(), columns, "row: {line}");
+            rows += 1;
+        }
+        assert!(rows > 0, "no data rows");
+    }
+
+    #[test]
+    fn stability_csv_well_formed() {
+        let r = build_small_records();
+        let result = crate::stability::StabilityResult::compute(&r.probes);
+        csv_well_formed(&stability_csv(&result), 4);
+    }
+
+    #[test]
+    fn colocation_csv_well_formed() {
+        let r = build_small_records();
+        let result = crate::colocation::ColocationResult::compute(&r.probes);
+        csv_well_formed(&colocation_csv(&result, &r.world.population), 4);
+    }
+
+    #[test]
+    fn distance_csv_respects_max_rows() {
+        let r = build_small_records();
+        let result = crate::distance::DistanceResult::compute(
+            &r.world.catalog,
+            &r.world.population,
+            &r.probes,
+            vantage::records::Target {
+                letter: rss::RootLetter::K,
+                b_phase: rss::BRootPhase::Old,
+            },
+            Family::V4,
+        );
+        let csv = distance_csv(&result, 50);
+        csv_well_formed(&csv, 4);
+        assert!(csv.lines().count() <= 102);
+    }
+
+    #[test]
+    fn rtt_csv_well_formed() {
+        let r = build_small_records();
+        let result = crate::rtt::RttByRegion::compute(&r.world.population, &r.probes);
+        csv_well_formed(&rtt_csv(&result), 10);
+    }
+
+    #[test]
+    fn traffic_and_clients_csv_well_formed() {
+        let mut cfg = traces::gen::TraceConfig::isp(3);
+        cfg.population.clients_per_family = 80;
+        let flows =
+            traces::gen::generate_flows(&cfg, &[traces::gen::ObservationWindow::isp_windows()[1]]);
+        let shift = crate::traffic::BRootShift::compute(&flows);
+        csv_well_formed(&broot_shift_csv(&shift), 4);
+        let clients = crate::clients::ClientAnalysis::compute(
+            &flows,
+            traces::flows::DayBucket::of(ts("20240205000000").unwrap()),
+            traces::flows::DayBucket::of(ts("20240304000000").unwrap()),
+        );
+        csv_well_formed(&clients_csv(&clients), 5);
+    }
+}

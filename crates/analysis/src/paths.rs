@@ -1,0 +1,217 @@
+//! Path analysis — the routing-information perspective §6 calls for.
+//!
+//! The paper explains its per-region RTT asymmetries by which *transit
+//! networks* carry the traffic: the AS6939-analog (open v6 peering) pulls
+//! IPv6 traffic onto itself, helping in North America and hurting in
+//! Africa/South America; the AS12956-analog carries South American IPv4
+//! out of continent. This module quantifies exactly that: for each
+//! (region, letter, family), the share of selected paths traversing a
+//! given transit AS and the RTT conditional on traversal — the paper's
+//! "include routing information" recommendation, implemented.
+
+use crate::stats::DistSummary;
+use netgeo::Region;
+use netsim::{AsId, Family};
+use rss::RootLetter;
+use vantage::World;
+
+/// Traversal share and conditional RTT for one (region, letter, family).
+#[derive(Debug, Clone)]
+pub struct TransitShare {
+    pub region: Region,
+    pub letter: RootLetter,
+    pub family: Family,
+    /// VPs whose best path traverses the transit AS.
+    pub via_count: usize,
+    /// VPs reaching the letter at all.
+    pub total: usize,
+    /// Base-RTT summary for VPs routed via the transit.
+    pub rtt_via: Option<DistSummary>,
+    /// Base-RTT summary for VPs routed another way.
+    pub rtt_other: Option<DistSummary>,
+}
+
+impl TransitShare {
+    /// Fraction of paths traversing the transit AS.
+    pub fn share(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.via_count as f64 / self.total as f64
+        }
+    }
+}
+
+/// Compute traversal shares of `transit` for every region/family of one
+/// letter, with conditional base RTTs.
+pub fn transit_share(
+    world: &World,
+    letter: RootLetter,
+    transit: AsId,
+) -> Vec<TransitShare> {
+    let rtt_model = netsim::RttModel::default();
+    let mut out = Vec::new();
+    for region in Region::ALL {
+        for family in Family::BOTH {
+            let table = world.routes(letter, family);
+            let mut via = Vec::new();
+            let mut other = Vec::new();
+            let mut total = 0;
+            for vp in world.population.in_region(region) {
+                if family == Family::V6 && !vp.has_v6 {
+                    continue;
+                }
+                let Some(best) = table.best(vp.asn) else { continue };
+                total += 1;
+                let site = world.catalog.deployment(letter).site(best.site);
+                let rtt = rtt_model.base_rtt_ms(
+                    &world.topology,
+                    &world.catalog.facilities,
+                    vp.coord,
+                    best,
+                    site.facility,
+                );
+                if best.path.contains(&transit) {
+                    via.push(rtt);
+                } else {
+                    other.push(rtt);
+                }
+            }
+            out.push(TransitShare {
+                region,
+                letter,
+                family,
+                via_count: via.len(),
+                total,
+                rtt_via: DistSummary::from_samples(via),
+                rtt_other: DistSummary::from_samples(other),
+            });
+        }
+    }
+    out
+}
+
+/// The §6 case study: per letter, contrast the open-v6-peering backbone's
+/// role in IPv4 vs IPv6 routing.
+pub fn render_transit_report(world: &World, letters: &[RootLetter]) -> String {
+    let transit = world.topology.open_peering_backbone;
+    let mut out = format!(
+        "§6 routing information: share of best paths via {} (the open-v6-peering backbone)\n",
+        world.topology.node(transit).name
+    );
+    for &letter in letters {
+        out.push_str(&format!("-- {} --\n", letter.label()));
+        for row in transit_share(world, letter, transit) {
+            if row.total == 0 {
+                continue;
+            }
+            let via_ms = row.rtt_via.as_ref().map(|s| s.mean).unwrap_or(f64::NAN);
+            let other_ms = row.rtt_other.as_ref().map(|s| s.mean).unwrap_or(f64::NAN);
+            out.push_str(&format!(
+                "  {:13} {}: {:5.1}% via ({} of {})  rtt via {:7.1} ms / other {:7.1} ms\n",
+                row.region.name(),
+                row.family.label(),
+                row.share() * 100.0,
+                row.via_count,
+                row.total,
+                via_ms,
+                other_ms,
+            ));
+        }
+    }
+    out
+}
+
+/// Path-overlap between families: fraction of VPs whose v4 and v6 best
+/// paths to a letter share no transit AS at all — the "different paths"
+/// the paper invokes for its RTT asymmetries.
+pub fn family_path_divergence(world: &World, letter: RootLetter) -> f64 {
+    let v4 = world.routes(letter, Family::V4);
+    let v6 = world.routes(letter, Family::V6);
+    let mut divergent = 0usize;
+    let mut total = 0usize;
+    for vp in world.population.vps() {
+        if !vp.has_v6 {
+            continue;
+        }
+        let (Some(r4), Some(r6)) = (v4.best(vp.asn), v6.best(vp.asn)) else {
+            continue;
+        };
+        total += 1;
+        let shares_any = r4.path.iter().any(|a| r6.path.contains(a));
+        if !shares_any {
+            divergent += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        divergent as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+    use vantage::WorldBuildConfig;
+
+    fn world() -> &'static World {
+        static W: OnceLock<World> = OnceLock::new();
+        W.get_or_init(|| World::build(&WorldBuildConfig::tiny()))
+    }
+
+    #[test]
+    fn v6_uses_open_backbone_more_than_v4() {
+        // The structural claim behind the paper's §6 findings.
+        let w = world();
+        let transit = w.topology.open_peering_backbone;
+        let mut v4_total = 0.0;
+        let mut v6_total = 0.0;
+        for letter in RootLetter::ALL {
+            for row in transit_share(w, letter, transit) {
+                match row.family {
+                    Family::V4 => v4_total += row.share(),
+                    Family::V6 => v6_total += row.share(),
+                }
+            }
+        }
+        assert!(
+            v6_total > v4_total,
+            "v6 share sum {v6_total} <= v4 {v4_total}"
+        );
+    }
+
+    #[test]
+    fn shares_are_fractions() {
+        let w = world();
+        for row in transit_share(w, RootLetter::L, w.topology.open_peering_backbone) {
+            let s = row.share();
+            assert!((0.0..=1.0).contains(&s));
+            assert!(row.via_count <= row.total);
+        }
+    }
+
+    #[test]
+    fn divergence_is_a_fraction_and_nonzero_somewhere() {
+        let w = world();
+        let mut any = false;
+        for letter in RootLetter::ALL {
+            let d = family_path_divergence(w, letter);
+            assert!((0.0..=1.0).contains(&d), "{letter}: {d}");
+            if d > 0.0 {
+                any = true;
+            }
+        }
+        assert!(any, "no letter shows any v4/v6 path divergence");
+    }
+
+    #[test]
+    fn render_mentions_backbone_and_regions() {
+        let w = world();
+        let txt = render_transit_report(w, &[RootLetter::I, RootLetter::L]);
+        assert!(txt.contains("i.root"));
+        assert!(txt.contains("l.root"));
+        assert!(txt.contains("via"));
+    }
+}

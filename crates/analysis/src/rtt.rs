@@ -1,0 +1,196 @@
+//! RTT by continent, letter and address family (§6, Figures 6/14/15).
+//!
+//! Produces the distribution summaries behind the paper's violin/box plots
+//! and the per-region v4-vs-v6 comparisons (a.root in South America,
+//! i.root in North America, l.root in Africa, …).
+
+use crate::stats::DistSummary;
+use netgeo::Region;
+use netsim::Family;
+use vantage::population::Population;
+use vantage::records::{ProbeRecord, Target};
+
+/// RTT summaries per `[region][target][family]`.
+#[derive(Debug, Clone)]
+pub struct RttByRegion {
+    pub targets: Vec<Target>,
+    /// `summaries[region][target_idx][family]`.
+    pub summaries: Vec<Vec<[Option<DistSummary>; 2]>>,
+}
+
+impl RttByRegion {
+    /// Aggregate RTT samples from the probe stream.
+    pub fn compute(population: &Population, probes: &[ProbeRecord]) -> RttByRegion {
+        let targets = Target::all();
+        let t_index = |t: &Target| targets.iter().position(|x| x == t).expect("known target");
+        // samples[region][target][family]
+        let mut samples: Vec<Vec<[Vec<f64>; 2]>> =
+            vec![vec![[Vec::new(), Vec::new()]; targets.len()]; 6];
+        for p in probes {
+            let Some(rtt) = p.rtt_ms else { continue };
+            let region = population.get(p.vp).region;
+            samples[region.index()][t_index(&p.target)][p.family.index()].push(rtt);
+        }
+        let summaries = samples
+            .into_iter()
+            .map(|per_target| {
+                per_target
+                    .into_iter()
+                    .map(|[v4, v6]| {
+                        [
+                            DistSummary::from_samples(v4),
+                            DistSummary::from_samples(v6),
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        RttByRegion {
+            targets,
+            summaries,
+        }
+    }
+
+    /// Summary for (region, target, family).
+    pub fn get(&self, region: Region, target: Target, family: Family) -> Option<&DistSummary> {
+        let ti = self.targets.iter().position(|t| *t == target)?;
+        self.summaries[region.index()][ti][family.index()].as_ref()
+    }
+
+    /// v4-mean minus v6-mean for one (region, target): positive means IPv6
+    /// is faster there.
+    pub fn v4_v6_gap_ms(&self, region: Region, target: Target) -> Option<f64> {
+        let v4 = self.get(region, target, Family::V4)?;
+        let v6 = self.get(region, target, Family::V6)?;
+        Some(v4.mean - v6.mean)
+    }
+
+    /// Render the Figure 6 equivalent for a set of regions.
+    pub fn render_fig6(&self, regions: &[Region]) -> String {
+        let mut out =
+            String::from("Figure 6: RTTs of requests by continent (mean/median/p25-p75 ms)\n");
+        for region in regions {
+            out.push_str(&format!("-- {region} --\n"));
+            for (ti, target) in self.targets.iter().enumerate() {
+                let mut line = format!("  {:14}", target.label());
+                for family in Family::BOTH {
+                    match &self.summaries[region.index()][ti][family.index()] {
+                        Some(s) => line.push_str(&format!(
+                            " | {}: {:7.1} {:7.1} [{:6.1}-{:6.1}] n={:6}",
+                            family.label(),
+                            s.mean,
+                            s.median,
+                            s.p25,
+                            s.p75,
+                            s.n
+                        )),
+                        None => line.push_str(&format!(" | {}: (no data)", family.label())),
+                    }
+                }
+                line.push('\n');
+                out.push_str(&line);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rss::{BRootPhase, RootLetter};
+    use vantage::{MeasurementConfig, MeasurementEngine, Schedule, VecSink, World, WorldBuildConfig};
+
+    fn run() -> (World, Vec<ProbeRecord>) {
+        let world = World::build(&WorldBuildConfig::tiny());
+        let engine = MeasurementEngine::new(
+            &world,
+            MeasurementConfig {
+                schedule: Schedule::subsampled(150),
+                ..Default::default()
+            },
+        );
+        let mut sink = VecSink::default();
+        engine.run(&mut sink);
+        (world, sink.probes)
+    }
+
+    fn target(letter: RootLetter) -> Target {
+        Target {
+            letter,
+            b_phase: BRootPhase::Old,
+        }
+    }
+
+    #[test]
+    fn summaries_exist_for_populated_regions() {
+        let (world, probes) = run();
+        let r = RttByRegion::compute(&world.population, &probes);
+        // Europe has many VPs in the tiny world.
+        for letter in [RootLetter::A, RootLetter::K, RootLetter::M] {
+            assert!(
+                r.get(Region::Europe, target(letter), Family::V4).is_some(),
+                "{letter}"
+            );
+        }
+    }
+
+    #[test]
+    fn rtt_magnitudes_sane() {
+        let (world, probes) = run();
+        let r = RttByRegion::compute(&world.population, &probes);
+        for region in Region::ALL {
+            for t in &r.targets {
+                for family in Family::BOTH {
+                    if let Some(s) = r.get(region, *t, family) {
+                        assert!(s.min > 0.0);
+                        assert!(s.max < 2_000.0, "{region} {} {family}: {}", t.label(), s.max);
+                        assert!(s.p25 <= s.median && s.median <= s.p75);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_deployments_have_lower_rtt() {
+        // Koch et al. / the paper: bigger deployments offer better RTTs.
+        let (world, probes) = run();
+        let r = RttByRegion::compute(&world.population, &probes);
+        let med = |letter: RootLetter| {
+            r.get(Region::Europe, target(letter), Family::V4)
+                .map(|s| s.median)
+                .unwrap_or(f64::NAN)
+        };
+        // f.root (345 sites) vs b.root (6 sites) in Europe.
+        assert!(
+            med(RootLetter::F) < med(RootLetter::B),
+            "f {} vs b {}",
+            med(RootLetter::F),
+            med(RootLetter::B)
+        );
+    }
+
+    #[test]
+    fn gap_is_antisymmetric_in_definition() {
+        let (world, probes) = run();
+        let r = RttByRegion::compute(&world.population, &probes);
+        if let (Some(gap), Some(v4), Some(v6)) = (
+            r.v4_v6_gap_ms(Region::Europe, target(RootLetter::K)),
+            r.get(Region::Europe, target(RootLetter::K), Family::V4),
+            r.get(Region::Europe, target(RootLetter::K), Family::V6),
+        ) {
+            assert!((gap - (v4.mean - v6.mean)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_contains_regions_and_letters() {
+        let (world, probes) = run();
+        let r = RttByRegion::compute(&world.population, &probes);
+        let txt = r.render_fig6(&[Region::Europe, Region::Africa]);
+        assert!(txt.contains("Europe"));
+        assert!(txt.contains("Africa"));
+        assert!(txt.contains("b.root (new)"));
+    }
+}

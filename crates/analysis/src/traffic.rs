@@ -1,0 +1,306 @@
+//! Traffic-shift analyses over the passive flow streams (Figures 7, 9, 12,
+//! 13): normalized per-bucket traffic shares, b.root old/new splits per
+//! family, and in-family shift ratios.
+
+use netsim::Family;
+use rss::{BRootPhase, RootLetter};
+use std::collections::BTreeMap;
+use traces::flows::{DayBucket, FlowObservation, FlowTarget};
+
+/// A normalized traffic series: per time bucket, the share of each key.
+#[derive(Debug, Clone)]
+pub struct TrafficSeries<K: Ord + Clone> {
+    /// bucket -> (key -> share). Shares per bucket sum to 1 (when any
+    /// traffic exists).
+    pub buckets: BTreeMap<(DayBucket, Option<u8>), BTreeMap<K, f64>>,
+}
+
+impl<K: Ord + Clone> TrafficSeries<K> {
+    /// Build by classifying each flow into a key.
+    pub fn build<F>(flows: &[FlowObservation], mut classify: F) -> TrafficSeries<K>
+    where
+        F: FnMut(&FlowObservation) -> Option<K>,
+    {
+        let mut raw: BTreeMap<(DayBucket, Option<u8>), BTreeMap<K, f64>> = BTreeMap::new();
+        for f in flows {
+            let Some(key) = classify(f) else { continue };
+            *raw.entry((f.day, f.hour))
+                .or_default()
+                .entry(key)
+                .or_insert(0.0) += f.flows as f64;
+        }
+        // Normalize per bucket.
+        for shares in raw.values_mut() {
+            let total: f64 = shares.values().sum();
+            if total > 0.0 {
+                for v in shares.values_mut() {
+                    *v /= total;
+                }
+            }
+        }
+        TrafficSeries { buckets: raw }
+    }
+
+    /// Mean share of `key` across buckets in `[from_day, until_day)`.
+    pub fn mean_share(&self, key: &K, from_day: DayBucket, until_day: DayBucket) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for ((day, _), shares) in &self.buckets {
+            if *day >= from_day && *day < until_day {
+                sum += shares.get(key).copied().unwrap_or(0.0);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// The four b.root sub-targets of Figures 7/9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BKey {
+    V4Old,
+    V4New,
+    V6Old,
+    V6New,
+}
+
+impl BKey {
+    /// Classification of a flow, `None` for non-b traffic.
+    pub fn of(f: &FlowObservation) -> Option<BKey> {
+        if f.target.letter != RootLetter::B {
+            return None;
+        }
+        Some(match (f.family, f.target.b_phase) {
+            (Family::V4, BRootPhase::Old) => BKey::V4Old,
+            (Family::V4, BRootPhase::New) => BKey::V4New,
+            (Family::V6, BRootPhase::Old) => BKey::V6Old,
+            (Family::V6, BRootPhase::New) => BKey::V6New,
+        })
+    }
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BKey::V4Old => "V4old",
+            BKey::V4New => "V4new",
+            BKey::V6Old => "V6old",
+            BKey::V6New => "V6new",
+        }
+    }
+}
+
+/// b.root traffic split analysis (Figure 7 at the ISP, Figure 9 per IXP
+/// region).
+#[derive(Debug, Clone)]
+pub struct BRootShift {
+    pub series: TrafficSeries<BKey>,
+}
+
+impl BRootShift {
+    /// Build from flows.
+    pub fn compute(flows: &[FlowObservation]) -> BRootShift {
+        BRootShift {
+            series: TrafficSeries::build(flows, BKey::of),
+        }
+    }
+
+    /// In-family shift ratio over a window: new / (new + old), per family.
+    /// Paper (ISP, Feb-2024): v4 87.1%, v6 96.3%.
+    pub fn in_family_shift(
+        &self,
+        family: Family,
+        from_day: DayBucket,
+        until_day: DayBucket,
+    ) -> f64 {
+        let (new_key, old_key) = match family {
+            Family::V4 => (BKey::V4New, BKey::V4Old),
+            Family::V6 => (BKey::V6New, BKey::V6Old),
+        };
+        let mut new_sum = 0.0;
+        let mut old_sum = 0.0;
+        for ((day, _), shares) in &self.series.buckets {
+            if *day >= from_day && *day < until_day {
+                new_sum += shares.get(&new_key).copied().unwrap_or(0.0);
+                old_sum += shares.get(&old_key).copied().unwrap_or(0.0);
+            }
+        }
+        if new_sum + old_sum == 0.0 {
+            0.0
+        } else {
+            new_sum / (new_sum + old_sum)
+        }
+    }
+
+    /// Render the Figure 7/9 equivalent over a window.
+    pub fn render(&self, title: &str, from_day: DayBucket, until_day: DayBucket) -> String {
+        let mut out = format!("{title}\n  key    mean-share\n");
+        for key in [BKey::V4New, BKey::V4Old, BKey::V6New, BKey::V6Old] {
+            out.push_str(&format!(
+                "  {:6} {:6.3}\n",
+                key.label(),
+                self.series.mean_share(&key, from_day, until_day)
+            ));
+        }
+        out.push_str(&format!(
+            "  in-family shift: v4 {:.1}%  v6 {:.1}%\n",
+            self.in_family_shift(Family::V4, from_day, until_day) * 100.0,
+            self.in_family_shift(Family::V6, from_day, until_day) * 100.0,
+        ));
+        out
+    }
+}
+
+/// All-roots traffic shares (Figures 12/13).
+pub fn all_roots_series(flows: &[FlowObservation]) -> TrafficSeries<RootLetter> {
+    TrafficSeries::build(flows, |f| Some(f.target.letter))
+}
+
+/// Render the Figure 12/13 equivalent: per-letter mean shares in a window.
+pub fn render_all_roots(
+    series: &TrafficSeries<RootLetter>,
+    title: &str,
+    from_day: DayBucket,
+    until_day: DayBucket,
+) -> String {
+    let mut out = format!("{title}\n");
+    for letter in RootLetter::ALL {
+        out.push_str(&format!(
+            "  {} {:6.3}\n",
+            letter.label(),
+            series.mean_share(&letter, from_day, until_day)
+        ));
+    }
+    out
+}
+
+/// Classify flows per (target, family) for custom figures.
+pub fn target_family_key(f: &FlowObservation) -> Option<(FlowTarget, Family)> {
+    Some((f.target, f.family))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_crypto::validity::timestamp_from_ymd as ts;
+    use netgeo::Region;
+    use traces::gen::{generate_flows, ObservationWindow, TraceConfig};
+
+    fn isp_flows() -> Vec<FlowObservation> {
+        let mut cfg = TraceConfig::isp(3);
+        cfg.population.clients_per_family = 250;
+        generate_flows(&cfg, &ObservationWindow::isp_windows())
+    }
+
+    fn day(s: &str) -> DayBucket {
+        DayBucket::of(ts(s).unwrap())
+    }
+
+    #[test]
+    fn shares_normalized_per_bucket() {
+        let flows = isp_flows();
+        let shift = BRootShift::compute(&flows);
+        for shares in shift.series.buckets.values() {
+            let sum: f64 = shares.values().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        }
+    }
+
+    #[test]
+    fn pre_change_old_dominates_post_change_new() {
+        let flows = isp_flows();
+        let shift = BRootShift::compute(&flows);
+        let pre_old = shift
+            .series
+            .mean_share(&BKey::V4Old, day("20231008000000"), day("20231009000000"));
+        let post_new = shift
+            .series
+            .mean_share(&BKey::V4New, day("20240205000000"), day("20240304000000"));
+        assert!(pre_old > 0.5, "pre old v4 share {pre_old}");
+        assert!(post_new > 0.5, "post new v4 share {post_new}");
+    }
+
+    #[test]
+    fn in_family_shift_v6_exceeds_v4() {
+        // Paper: 87.1% v4 vs 96.3% v6 at the ISP, Feb 2024.
+        let flows = isp_flows();
+        let shift = BRootShift::compute(&flows);
+        let from = day("20240205000000");
+        let until = day("20240304000000");
+        let v4 = shift.in_family_shift(Family::V4, from, until);
+        let v6 = shift.in_family_shift(Family::V6, from, until);
+        assert!(v6 > v4, "v6 {v6} <= v4 {v4}");
+        // Wide bounds: this test runs on a small client sample where the
+        // heavy-tailed rates add variance. The full-scale calibration
+        // (examples/broot_renumbering) lands at ≈88% / ≈93%.
+        assert!(v4 > 0.55 && v4 < 0.97, "v4 shift {v4}");
+        assert!(v6 > 0.85, "v6 shift {v6}");
+    }
+
+    #[test]
+    fn ixp_eu_shifts_more_than_na() {
+        // Paper Figure 9: EU ≈60.8% vs NA ≈16.5% of v6 traffic shifted.
+        let window = ObservationWindow::ixp_windows()[0];
+        let shift_of = |region: Region| {
+            let mut cfg = TraceConfig::ixp(region, 5);
+            cfg.population.clients_per_family = 250;
+            let flows = generate_flows(&cfg, &[window]);
+            let shift = BRootShift::compute(&flows);
+            shift.in_family_shift(
+                Family::V6,
+                day("20231128000000"),
+                day("20231228000000"),
+            )
+        };
+        let eu = shift_of(Region::Europe);
+        let na = shift_of(Region::NorthAmerica);
+        assert!(eu > 0.4, "eu {eu}");
+        assert!(na < 0.4, "na {na}");
+        assert!(eu > na + 0.2);
+    }
+
+    #[test]
+    fn all_roots_shares_sane() {
+        let flows = isp_flows();
+        let series = all_roots_series(&flows);
+        let from = day("20240205000000");
+        let until = day("20240304000000");
+        // b.root total share near the paper's ≈4.5-4.9%.
+        let b = series.mean_share(&RootLetter::B, from, until);
+        assert!((0.02..0.09).contains(&b), "b share {b}");
+        // Shares sum to ~1.
+        let sum: f64 = RootLetter::ALL
+            .iter()
+            .map(|l| series.mean_share(l, from, until))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    fn ixp_series_dominated_by_k_d() {
+        let mut cfg = TraceConfig::ixp(Region::Europe, 8);
+        cfg.population.clients_per_family = 250;
+        let flows = generate_flows(&cfg, &ObservationWindow::ixp_windows());
+        let series = all_roots_series(&flows);
+        let from = day("20231026000000");
+        let until = day("20231228000000");
+        let kd = series.mean_share(&RootLetter::K, from, until)
+            + series.mean_share(&RootLetter::D, from, until);
+        assert!(kd > 0.4, "k+d {kd}");
+    }
+
+    #[test]
+    fn render_outputs_labels() {
+        let flows = isp_flows();
+        let shift = BRootShift::compute(&flows);
+        let txt = shift.render("Figure 7", day("20240205000000"), day("20240304000000"));
+        assert!(txt.contains("V4new"));
+        assert!(txt.contains("in-family shift"));
+        let series = all_roots_series(&flows);
+        let txt = render_all_roots(&series, "Figure 12", day("20240205000000"), day("20240304000000"));
+        assert!(txt.contains("k.root"));
+    }
+}

@@ -1,0 +1,380 @@
+//! The zone-integrity pipeline (§7, Table 2, Figure 10).
+//!
+//! Validates every transferred zone copy the way the paper's `ldnsutils`
+//! pipeline did: recompute ZONEMD and verify all RRSIGs against the
+//! DNSKEYs, at the VP's *local* observation clock — which is how clock
+//! skew produces "Sig. not incepted" findings. Distinct failing zone files
+//! are grouped into the Table 2 rows (reason × serial set × affected
+//! servers × VPs), and bitflipped copies are diffed against the reference
+//! zone to produce the Figure 10 two-line rendering.
+
+use dns_zone::corrupt::flip_rrsig_bit;
+use dns_zone::validate::{bitflip_diff, validate_zone, BitflipReport, ValidationIssue};
+use dns_zone::Zone;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use vantage::records::{TransferFault, TransferRecord};
+use vantage::World;
+
+/// Why a transferred zone failed validation (Table 2 "Reason" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FailureReason {
+    /// VP clock before signature inception.
+    SigNotIncepted,
+    /// Cryptographic verification failed (bitflip).
+    BogusSignature,
+    /// Signatures expired (stale zone file).
+    SignatureExpired,
+}
+
+impl FailureReason {
+    /// The label used in Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureReason::SigNotIncepted => "Sig. not incepted",
+            FailureReason::BogusSignature => "Bogus Signature",
+            FailureReason::SignatureExpired => "Signature expired",
+        }
+    }
+}
+
+/// One Table 2 row: a failure class with its footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    pub reason: FailureReason,
+    /// Distinct zone serials involved (#SOA column).
+    pub serials: BTreeSet<u32>,
+    /// First and last observation times.
+    pub first_obs: u32,
+    pub last_obs: u32,
+    /// Number of observations.
+    pub observations: u32,
+    /// Affected (target label, family label) pairs ("Server" column).
+    pub servers: BTreeSet<String>,
+    /// Affected VPs.
+    pub vps: BTreeSet<u32>,
+}
+
+/// The Table 2 result.
+#[derive(Debug, Clone, Default)]
+pub struct Table2 {
+    pub rows: Vec<Table2Row>,
+    /// Total transfers validated.
+    pub total_transfers: u64,
+    /// Distinct failing zone copies (the paper: 15 distinct files).
+    pub distinct_failing: u64,
+}
+
+impl Table2 {
+    /// Render like the paper's Table 2.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Table 2: ZONEMD/RRSIG validation errors for zones from AXFRs\n\
+             Reason            | #SOA | First Obs -> Last Obs | #Obs | Servers | #VPs\n",
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:17} | {:4} | {} -> {} | {:4} | {} | {}\n",
+                row.reason.label(),
+                row.serials.len(),
+                dns_crypto::validity::timestamp_to_ymd(row.first_obs),
+                dns_crypto::validity::timestamp_to_ymd(row.last_obs),
+                row.observations,
+                row.servers.iter().cloned().collect::<Vec<_>>().join(","),
+                row.vps.len(),
+            ));
+        }
+        out.push_str(&format!(
+            "validated {} transfers, {} distinct failing copies\n",
+            self.total_transfers, self.distinct_failing
+        ));
+        out
+    }
+}
+
+/// Validate all transfer records against the world's zone store.
+///
+/// Validation is deduplicated: one cryptographic pass per distinct
+/// `(serial, fault, vp_clock-class)` combination; healthy transfers of the
+/// same day's zone share a single validation.
+pub fn validate_transfers(world: &World, transfers: &[TransferRecord]) -> Table2 {
+    // Group raw observations by what makes them cryptographically distinct.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct ObsKey {
+        serial: u32,
+        fault: Option<TransferFault>,
+        /// Clock bucket: validation outcome only depends on which side of
+        /// the validity window the clock falls; bucketing to the hour keeps
+        /// dedup effective while never mixing outcomes in practice.
+        clock_hour: u32,
+    }
+    // Make TransferFault orderable for the key.
+    impl ObsKey {
+        fn of(t: &TransferRecord) -> Option<ObsKey> {
+            Some(ObsKey {
+                serial: t.serial?,
+                fault: t.fault,
+                clock_hour: t.vp_clock / 3600,
+            })
+        }
+    }
+    let mut groups: BTreeMap<Vec<u8>, Vec<&TransferRecord>> = BTreeMap::new();
+    for t in transfers {
+        let Some(key) = ObsKey::of(t) else { continue };
+        // Serialize key to bytes for ordering (fault has no Ord).
+        let mut kb = Vec::with_capacity(17);
+        kb.extend_from_slice(&key.serial.to_be_bytes());
+        match key.fault {
+            None => kb.push(0),
+            Some(TransferFault::Bitflip { seed }) => {
+                kb.push(1);
+                kb.extend_from_slice(&seed.to_be_bytes());
+            }
+            Some(TransferFault::Stale { serial }) => {
+                kb.push(2);
+                kb.extend_from_slice(&serial.to_be_bytes());
+            }
+        }
+        kb.extend_from_slice(&key.clock_hour.to_be_bytes());
+        groups.entry(kb).or_default().push(t);
+    }
+
+    let mut failures: BTreeMap<FailureReason, Table2Row> = BTreeMap::new();
+    let mut distinct_failing = 0u64;
+    for obs in groups.values() {
+        let sample = obs[0];
+        let zone = materialize(world, sample);
+        let report = validate_zone(&zone, sample.vp_clock);
+        let reason = classify(&report.issues);
+        let Some(reason) = reason else { continue };
+        distinct_failing += 1;
+        let row = failures.entry(reason).or_insert_with(|| Table2Row {
+            reason,
+            serials: BTreeSet::new(),
+            first_obs: u32::MAX,
+            last_obs: 0,
+            observations: 0,
+            servers: BTreeSet::new(),
+            vps: BTreeSet::new(),
+        });
+        for t in obs {
+            row.serials.extend(t.serial);
+            row.first_obs = row.first_obs.min(t.time);
+            row.last_obs = row.last_obs.max(t.time);
+            row.observations += 1;
+            row.servers
+                .insert(format!("{}({})", t.target.label(), t.family.label()));
+            row.vps.insert(t.vp.0);
+        }
+    }
+    Table2 {
+        rows: failures.into_values().collect(),
+        total_transfers: transfers.len() as u64,
+        distinct_failing,
+    }
+}
+
+/// Rebuild the exact zone copy a transfer delivered.
+pub fn materialize(world: &World, t: &TransferRecord) -> Arc<Zone> {
+    let base = match t.fault {
+        Some(TransferFault::Stale { serial }) => {
+            // The stale zone is the one whose serial matches: reconstruct
+            // from the day encoded in the serial.
+            world.zone_at(day_of_serial(serial))
+        }
+        _ => world.zone_at(t.time - t.time % 86400),
+    };
+    match t.fault {
+        Some(TransferFault::Bitflip { seed }) => {
+            let mut corrupted = (*base).clone();
+            flip_rrsig_bit(&mut corrupted, seed);
+            Arc::new(corrupted)
+        }
+        _ => base,
+    }
+}
+
+/// Timestamp of the day a `YYYYMMDDnn` serial encodes.
+fn day_of_serial(serial: u32) -> u32 {
+    let ymd = format!("{:08}000000", serial / 100);
+    dns_crypto::validity::timestamp_from_ymd(&ymd).expect("serial encodes a date")
+}
+
+/// Map validation issues to the dominant Table 2 reason.
+fn classify(issues: &[ValidationIssue]) -> Option<FailureReason> {
+    let mut bogus = false;
+    let mut expired = false;
+    let mut not_incepted = false;
+    for i in issues {
+        match i {
+            ValidationIssue::BogusSignature { .. } | ValidationIssue::Zonemd(_) => bogus = true,
+            ValidationIssue::SignatureExpired { .. } => expired = true,
+            ValidationIssue::SignatureNotIncepted { .. } => not_incepted = true,
+            _ => {}
+        }
+    }
+    // Bitflips break crypto regardless of clock; staleness shows as
+    // expiry; inception errors only matter when nothing else is wrong.
+    if bogus {
+        Some(FailureReason::BogusSignature)
+    } else if expired {
+        Some(FailureReason::SignatureExpired)
+    } else if not_incepted {
+        Some(FailureReason::SigNotIncepted)
+    } else {
+        None
+    }
+}
+
+/// Produce the Figure 10 rendering for a bitflipped transfer: the diff
+/// between the reference zone and the received copy.
+pub fn bitflip_report(world: &World, t: &TransferRecord) -> Option<BitflipReport> {
+    matches!(t.fault, Some(TransferFault::Bitflip { .. })).then(|| {
+        let reference = world.zone_at(t.time - t.time % 86400);
+        let observed = materialize(world, t);
+        bitflip_diff(&reference, &observed)
+    })?
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Family;
+    use rss::{BRootPhase, RootLetter};
+    use vantage::population::VpId;
+    use vantage::records::Target;
+    use vantage::{World, WorldBuildConfig};
+
+    fn world() -> World {
+        World::build(&WorldBuildConfig::tiny())
+    }
+
+    fn transfer(
+        time: u32,
+        vp_clock: u32,
+        vp: u32,
+        fault: Option<TransferFault>,
+    ) -> TransferRecord {
+        TransferRecord {
+            time,
+            vp_clock,
+            vp: VpId(vp),
+            target: Target {
+                letter: RootLetter::D,
+                b_phase: BRootPhase::Old,
+            },
+            family: Family::V6,
+            serial: Some(vantage::engine::serial_of_day(time - time % 86400)),
+            fault,
+        }
+    }
+
+    const T0: u32 = vantage::schedule::MEASUREMENT_START + 40 * 86400;
+
+    #[test]
+    fn healthy_transfers_produce_no_rows() {
+        let w = world();
+        let transfers = vec![transfer(T0 + 3600, T0 + 3600, 0, None)];
+        let table = validate_transfers(&w, &transfers);
+        assert!(table.rows.is_empty());
+        assert_eq!(table.total_transfers, 1);
+    }
+
+    #[test]
+    fn bitflip_classified_as_bogus() {
+        let w = world();
+        let transfers = vec![transfer(
+            T0 + 3600,
+            T0 + 3600,
+            3,
+            Some(TransferFault::Bitflip { seed: 77 }),
+        )];
+        let table = validate_transfers(&w, &transfers);
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.rows[0].reason, FailureReason::BogusSignature);
+        assert_eq!(table.rows[0].vps.len(), 1);
+    }
+
+    #[test]
+    fn stale_zone_classified_as_expired() {
+        let w = world();
+        // A zone from 40 days earlier has expired signatures (14-day window).
+        let stale_day = vantage::schedule::MEASUREMENT_START;
+        let transfers = vec![transfer(
+            T0 + 3600,
+            T0 + 3600,
+            1,
+            Some(TransferFault::Stale {
+                serial: vantage::engine::serial_of_day(stale_day),
+            }),
+        )];
+        let table = validate_transfers(&w, &transfers);
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.rows[0].reason, FailureReason::SignatureExpired);
+    }
+
+    #[test]
+    fn skewed_clock_classified_as_not_incepted() {
+        let w = world();
+        // VP clock 2h before the zone's inception (day start).
+        let transfers = vec![transfer(T0 + 600, T0 - 7200, 2, None)];
+        let table = validate_transfers(&w, &transfers);
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.rows[0].reason, FailureReason::SigNotIncepted);
+    }
+
+    #[test]
+    fn dedup_counts_all_observations() {
+        let w = world();
+        let transfers = vec![
+            transfer(T0 + 3600, T0 + 3600, 5, Some(TransferFault::Bitflip { seed: 9 })),
+            transfer(T0 + 5400, T0 + 5400, 5, Some(TransferFault::Bitflip { seed: 9 })),
+        ];
+        let table = validate_transfers(&w, &transfers);
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.rows[0].observations, 2);
+        // One distinct failing copy despite two observations.
+        assert_eq!(table.distinct_failing, 1);
+    }
+
+    #[test]
+    fn bitflip_report_is_single_line_pair() {
+        let w = world();
+        let t = transfer(
+            T0 + 3600,
+            T0 + 3600,
+            0,
+            Some(TransferFault::Bitflip { seed: 123 }),
+        );
+        let report = bitflip_report(&w, &t).expect("diff exists");
+        assert_ne!(report.reference_line, report.observed_line);
+        assert!(report.reference_line.contains("RRSIG"));
+    }
+
+    #[test]
+    fn bitflip_report_none_for_healthy() {
+        let w = world();
+        let t = transfer(T0 + 3600, T0 + 3600, 0, None);
+        assert!(bitflip_report(&w, &t).is_none());
+    }
+
+    #[test]
+    fn render_contains_reasons() {
+        let w = world();
+        let transfers = vec![
+            transfer(T0 + 3600, T0 + 3600, 0, Some(TransferFault::Bitflip { seed: 5 })),
+            transfer(T0 + 600, T0 - 7200, 1, None),
+        ];
+        let table = validate_transfers(&w, &transfers);
+        let txt = table.render();
+        assert!(txt.contains("Bogus Signature"));
+        assert!(txt.contains("Sig. not incepted"));
+        assert!(txt.contains("d.root"));
+    }
+
+    #[test]
+    fn day_of_serial_round_trip() {
+        let day = vantage::schedule::MEASUREMENT_START + 10 * 86400;
+        assert_eq!(day_of_serial(vantage::engine::serial_of_day(day)), day);
+    }
+}

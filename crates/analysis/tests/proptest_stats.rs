@@ -1,0 +1,71 @@
+//! Property-based tests for the statistics helpers the figures rely on.
+
+use analysis::stats::{mean, percentile, sorted, std_dev, DistSummary, Ecdf};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn percentile_within_sample_bounds(mut v in proptest::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..=1.0) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = percentile(&v, p).unwrap();
+        prop_assert!(q >= v[0] && q <= *v.last().unwrap());
+    }
+
+    #[test]
+    fn percentile_monotone_in_p(v in proptest::collection::vec(-1e6f64..1e6, 1..200), p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0) {
+        let s = sorted(v);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&s, lo).unwrap() <= percentile(&s, hi).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn mean_between_min_and_max(v in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let m = mean(&v).unwrap();
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn std_dev_nonnegative(v in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        prop_assert!(std_dev(&v).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn ecdf_monotone_and_normalized(v in proptest::collection::vec(0u64..10_000, 1..300)) {
+        let e = Ecdf::from_samples(v.clone());
+        prop_assert_eq!(e.n, v.len());
+        for w in e.cdf.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!((e.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        // at() agrees with direct counting at an arbitrary probe point.
+        let x = v[0];
+        let direct = v.iter().filter(|&&s| s <= x).count() as f64 / v.len() as f64;
+        prop_assert!((e.at(x) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_ccdf_complementary(v in proptest::collection::vec(0u64..1000, 1..100), x in 0u64..1000) {
+        let e = Ecdf::from_samples(v);
+        prop_assert!((e.at(x) + e.ccdf(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_orders_quartiles(v in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+        let s = DistSummary::from_samples(v).unwrap();
+        prop_assert!(s.min <= s.p25 + 1e-9);
+        prop_assert!(s.p25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p75 + 1e-9);
+        prop_assert!(s.p75 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn ecdf_median_is_a_median(v in proptest::collection::vec(0u64..1000, 1..200)) {
+        let e = Ecdf::from_samples(v.clone());
+        let m = e.median().unwrap();
+        let at_most = v.iter().filter(|&&s| s <= m).count() as f64 / v.len() as f64;
+        prop_assert!(at_most >= 0.5);
+    }
+}

@@ -1,0 +1,165 @@
+//! Ablation benchmarks for the design choices DESIGN.md §4 calls out:
+//!
+//! * name compression on/off (size and speed);
+//! * ZONEMD over pre-sorted vs unsorted zones (the canonical-sort cost);
+//! * churn model Markov vs i.i.d. (drives the Figure 3 tails);
+//! * traceroute missing-hop rate sweep (co-location is a lower bound —
+//!   the sweep shows monotone under-counting).
+
+use analysis::colocation::ColocationResult;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dns_zone::rollout::RolloutPhase;
+use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+use dns_zone::signer::ZoneKeys;
+use dns_zone::zonemd::compute_zonemd;
+use netsim::churn::{ChurnModel, FlipModel};
+use netsim::routing::propagate;
+use netsim::{Family, SimRng, Topology, TopologyConfig};
+use rss::catalog::{RootCatalog, WorldConfig};
+use rss::RootLetter;
+use std::hint::black_box;
+use vantage::{MeasurementConfig, MeasurementEngine, Schedule, VecSink, World, WorldBuildConfig};
+
+fn bench_compression_ablation(c: &mut Criterion) {
+    let zone = build_root_zone(
+        &RootZoneConfig {
+            tld_count: 25,
+            rollout: RolloutPhase::Validating,
+            ..Default::default()
+        },
+        &ZoneKeys::from_seed(1),
+    );
+    let msgs = dns_zone::axfr::serve_axfr(&zone, 1, 100).unwrap();
+    let msg = &msgs[0];
+    // Report the size difference once (visible in bench logs).
+    let with = msg.to_wire().len();
+    let without = msg.to_wire_uncompressed().len();
+    eprintln!(
+        "ablation: AXFR message {with} bytes compressed vs {without} uncompressed \
+         ({:.1}% saved)",
+        (1.0 - with as f64 / without as f64) * 100.0
+    );
+    let mut group = c.benchmark_group("ablation_compression");
+    group.bench_function("encode_compressed", |b| b.iter(|| black_box(msg.to_wire())));
+    group.bench_function("encode_uncompressed", |b| {
+        b.iter(|| black_box(msg.to_wire_uncompressed()))
+    });
+    group.finish();
+}
+
+fn bench_zonemd_sort_ablation(c: &mut Criterion) {
+    // The digest must canonical-sort its input; a pre-sorted zone shows the
+    // incremental cost of sorting inside the digest pass.
+    let keys = ZoneKeys::from_seed(2);
+    let unsorted = build_root_zone(
+        &RootZoneConfig {
+            tld_count: 50,
+            rollout: RolloutPhase::Validating,
+            ..Default::default()
+        },
+        &keys,
+    );
+    let mut presorted = dns_zone::Zone::new(unsorted.origin().clone());
+    for rec in unsorted.canonical_records() {
+        presorted.push(rec.clone()).unwrap();
+    }
+    let mut group = c.benchmark_group("ablation_zonemd_sort");
+    group.sample_size(20);
+    group.bench_function("digest_unsorted_zone", |b| {
+        b.iter(|| black_box(compute_zonemd(&unsorted, dns_crypto::DigestAlg::Sha384).unwrap()))
+    });
+    group.bench_function("digest_presorted_zone", |b| {
+        b.iter(|| black_box(compute_zonemd(&presorted, dns_crypto::DigestAlg::Sha384).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_churn_model_ablation(c: &mut Criterion) {
+    let mut topology = Topology::generate(&TopologyConfig::default());
+    let catalog = RootCatalog::build(&mut topology, &WorldConfig::default());
+    let table = propagate(&topology, catalog.deployment(RootLetter::G), Family::V4);
+    let asns: Vec<netsim::AsId> = topology.nodes().iter().map(|n| n.id).take(200).collect();
+    let mut group = c.benchmark_group("ablation_churn_model");
+    for (name, model) in [
+        ("markov", FlipModel::Markov),
+        ("iid", FlipModel::Iid),
+    ] {
+        let churn = ChurnModel {
+            model,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("step_1000_rounds", name), &churn, |b, churn| {
+            b.iter(|| {
+                let mut rng = SimRng::new(7);
+                let mut total_changes = 0u64;
+                for &asn in &asns {
+                    let mut state = churn.initial();
+                    let mut prev = None;
+                    for _ in 0..1000 {
+                        let cur = churn.step(&table, asn, &mut state, &mut rng);
+                        if cur != prev {
+                            total_changes += 1;
+                        }
+                        prev = cur;
+                    }
+                }
+                black_box(total_changes)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_missing_hop_sweep(c: &mut Criterion) {
+    // Sweep the missing-hop probability and report the measured co-location
+    // fraction — demonstrating the lower-bound property §5 relies on.
+    let world = World::build(&WorldBuildConfig::tiny());
+    let mut group = c.benchmark_group("ablation_missing_hops");
+    group.sample_size(10);
+    for miss in [0.0, 0.1, 0.3] {
+        let engine = MeasurementEngine::new(
+            &world,
+            MeasurementConfig {
+                schedule: Schedule::subsampled(800),
+                missing_hop_prob: miss,
+                ..Default::default()
+            },
+        );
+        let mut sink = VecSink::default();
+        engine.run(&mut sink);
+        let frac =
+            ColocationResult::compute(&sink.probes).fraction_with_colocation(2);
+        eprintln!("ablation: missing_hop_prob={miss} -> colocation fraction {frac:.3}");
+        group.bench_with_input(
+            BenchmarkId::new("measure_and_analyze", format!("{miss}")),
+            &miss,
+            |b, &miss| {
+                b.iter(|| {
+                    let engine = MeasurementEngine::new(
+                        &world,
+                        MeasurementConfig {
+                            schedule: Schedule::subsampled(2000),
+                            missing_hop_prob: miss,
+                            ..Default::default()
+                        },
+                    );
+                    let mut sink = VecSink::default();
+                    engine.run(&mut sink);
+                    black_box(ColocationResult::compute(&sink.probes).fraction_with_colocation(2))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_compression_ablation,
+        bench_zonemd_sort_ablation,
+        bench_churn_model_ablation,
+        bench_missing_hop_sweep
+);
+criterion_main!(ablations);

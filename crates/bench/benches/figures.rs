@@ -1,0 +1,166 @@
+//! One benchmark per paper figure: each measures the analysis pass that
+//! regenerates the figure's data series from the shared record streams.
+
+use analysis::clients::ClientAnalysis;
+use analysis::colocation::ColocationResult;
+use analysis::distance::DistanceResult;
+use analysis::rtt::RttByRegion;
+use analysis::stability::StabilityResult;
+use analysis::traffic::{all_roots_series, BRootShift};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dns_crypto::validity::timestamp_from_ymd as ts;
+use netsim::Family;
+use roots_core::{Pipeline, Scale};
+use rss::{BRootPhase, RootLetter};
+use std::hint::black_box;
+use std::sync::OnceLock;
+use traces::flows::DayBucket;
+use vantage::records::Target;
+
+fn pipeline() -> &'static Pipeline {
+    static P: OnceLock<Pipeline> = OnceLock::new();
+    P.get_or_init(|| Pipeline::run(Scale::Tiny))
+}
+
+fn bench_fig1_fig11_coverage_maps(c: &mut Criterion) {
+    let p = pipeline();
+    c.bench_function("fig1_fig11_site_maps", |b| {
+        b.iter(|| {
+            let report =
+                analysis::coverage::CoverageReport::compute(&p.world.catalog, &p.probes);
+            for letter in RootLetter::ALL {
+                black_box(report.site_map(&p.world.catalog, letter));
+            }
+        })
+    });
+}
+
+fn bench_fig2_schedule(c: &mut Criterion) {
+    c.bench_function("fig2_timeline", |b| {
+        b.iter(|| black_box(vantage::Schedule::default().round_count()))
+    });
+}
+
+fn bench_fig3_stability(c: &mut Criterion) {
+    let p = pipeline();
+    c.bench_function("fig3_change_ecdf", |b| {
+        b.iter(|| black_box(StabilityResult::compute(black_box(&p.probes))))
+    });
+}
+
+fn bench_fig4_colocation(c: &mut Criterion) {
+    let p = pipeline();
+    c.bench_function("fig4_reduced_redundancy", |b| {
+        b.iter(|| {
+            let r = ColocationResult::compute(black_box(&p.probes));
+            black_box(r.histogram_by_region(&p.world.population))
+        })
+    });
+}
+
+fn bench_fig5_distance(c: &mut Criterion) {
+    let p = pipeline();
+    c.bench_function("fig5_distance_inflation", |b| {
+        b.iter(|| {
+            for letter in [RootLetter::B, RootLetter::M] {
+                for family in Family::BOTH {
+                    black_box(DistanceResult::compute(
+                        &p.world.catalog,
+                        &p.world.population,
+                        &p.probes,
+                        Target {
+                            letter,
+                            b_phase: BRootPhase::Old,
+                        },
+                        family,
+                    ));
+                }
+            }
+        })
+    });
+}
+
+fn bench_fig6_rtt(c: &mut Criterion) {
+    let p = pipeline();
+    c.bench_function("fig6_rtt_by_region", |b| {
+        b.iter(|| black_box(RttByRegion::compute(&p.world.population, black_box(&p.probes))))
+    });
+}
+
+fn bench_fig7_isp_shift(c: &mut Criterion) {
+    let p = pipeline();
+    c.bench_function("fig7_isp_broot_shift", |b| {
+        b.iter(|| {
+            let shift = BRootShift::compute(black_box(&p.isp_flows));
+            black_box(shift.in_family_shift(
+                Family::V6,
+                DayBucket::of(ts("20240205000000").unwrap()),
+                DayBucket::of(ts("20240304000000").unwrap()),
+            ))
+        })
+    });
+}
+
+fn bench_fig8_clients(c: &mut Criterion) {
+    let p = pipeline();
+    c.bench_function("fig8_client_curves", |b| {
+        b.iter(|| {
+            black_box(ClientAnalysis::compute(
+                black_box(&p.isp_flows),
+                DayBucket::of(ts("20240205000000").unwrap()),
+                DayBucket::of(ts("20240304000000").unwrap()),
+            ))
+        })
+    });
+}
+
+fn bench_fig9_ixp_shift(c: &mut Criterion) {
+    let p = pipeline();
+    c.bench_function("fig9_ixp_broot_shift", |b| {
+        b.iter(|| {
+            for flows in [&p.ixp_flows_na, &p.ixp_flows_eu] {
+                let shift = BRootShift::compute(black_box(flows));
+                black_box(shift.in_family_shift(
+                    Family::V6,
+                    DayBucket::of(ts("20231128000000").unwrap()),
+                    DayBucket::of(ts("20231228000000").unwrap()),
+                ));
+            }
+        })
+    });
+}
+
+fn bench_fig10_bitflip(c: &mut Criterion) {
+    let p = pipeline();
+    c.bench_function("fig10_bitflip_report", |b| {
+        b.iter(|| black_box(roots_core::experiments::run_one(p, "fig10").unwrap()))
+    });
+}
+
+fn bench_fig12_fig13_all_roots(c: &mut Criterion) {
+    let p = pipeline();
+    c.bench_function("fig12_fig13_all_roots_series", |b| {
+        b.iter(|| {
+            black_box(all_roots_series(black_box(&p.isp_flows)));
+            black_box(all_roots_series(black_box(&p.ixp_flows_eu)));
+        })
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig1_fig11_coverage_maps,
+        bench_fig2_schedule,
+        bench_fig3_stability,
+        bench_fig4_colocation,
+        bench_fig5_distance,
+        bench_fig6_rtt,
+        bench_fig7_isp_shift,
+        bench_fig8_clients,
+        bench_fig9_ixp_shift,
+        bench_fig10_bitflip,
+        bench_fig12_fig13_all_roots
+);
+criterion_main!(figures);

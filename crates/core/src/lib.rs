@@ -1,0 +1,32 @@
+//! `roots-core`: the public facade of the *roots-go-deep* reproduction.
+//!
+//! Ties the substrate crates together into an end-to-end pipeline:
+//!
+//! ```text
+//! World::build ──▶ MeasurementEngine ──▶ ProbeRecord / TransferRecord ─┐
+//! TraceConfig  ──▶ generate_flows    ──▶ FlowObservation ─────────────┤
+//!                                                                     ▼
+//!                                 analysis::* ──▶ tables & figures (text)
+//! ```
+//!
+//! The [`experiments`] registry maps every table and figure of the paper to
+//! a runnable experiment; [`Pipeline`] executes the shared measurement once
+//! and hands the record streams to each experiment. [`scale`] provides
+//! laptop-to-paper sizing presets.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use roots_core::{Scale, Pipeline};
+//!
+//! let pipeline = Pipeline::run(Scale::Tiny);
+//! let table1 = roots_core::experiments::run_one(&pipeline, "table1").unwrap();
+//! assert!(table1.contains("Table 1"));
+//! ```
+
+pub mod experiments;
+pub mod pipeline;
+pub mod scale;
+
+pub use pipeline::Pipeline;
+pub use scale::Scale;

@@ -1,0 +1,96 @@
+//! Sizing presets: how much of the paper's scale to simulate.
+//!
+//! The paper's raw dataset (7.7 B queries over 174 days from 675 VPs) is a
+//! product of *time × VPs × targets*. All analyses are shape-stable under
+//! temporal subsampling (they aggregate per VP or per day), so the presets
+//! trade the round interval — not the VP population or the deployment
+//! shapes — for runtime.
+
+use netsim::TopologyConfig;
+use rss::catalog::WorldConfig;
+use vantage::population::PopulationConfig;
+use vantage::{Schedule, WorldBuildConfig};
+
+/// Simulation scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Miniature world, heavily subsampled schedule. Seconds. For tests.
+    Tiny,
+    /// Full VP population and deployments, ~2-hourly rounds. Tens of
+    /// seconds. For examples and benches.
+    Small,
+    /// Full VP population, 30/15-minute rounds as in the paper. Minutes to
+    /// tens of minutes; produces the full-size record streams.
+    Paper,
+}
+
+impl Scale {
+    /// World construction parameters for this scale.
+    pub fn world(self) -> WorldBuildConfig {
+        match self {
+            Scale::Tiny => WorldBuildConfig::tiny(),
+            Scale::Small | Scale::Paper => WorldBuildConfig {
+                topology: TopologyConfig::default(),
+                catalog: WorldConfig::default(),
+                population: PopulationConfig::default(),
+                zone_tlds: 25,
+                seed: 0x2023_0703,
+            },
+        }
+    }
+
+    /// Measurement schedule for this scale.
+    pub fn schedule(self) -> Schedule {
+        match self {
+            Scale::Tiny => Schedule::subsampled(400),
+            Scale::Small => Schedule::subsampled(48),
+            Scale::Paper => Schedule::default(),
+        }
+    }
+
+    /// Passive-trace client population per family.
+    pub fn trace_clients(self) -> usize {
+        match self {
+            Scale::Tiny => 300,
+            Scale::Small => 1500,
+            Scale::Paper => 4000,
+        }
+    }
+
+    /// Worker threads for the parallel measurement run.
+    pub fn workers(self) -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_ordered_by_density() {
+        assert!(Scale::Tiny.schedule().round_count() < Scale::Small.schedule().round_count());
+        assert!(Scale::Small.schedule().round_count() < Scale::Paper.schedule().round_count());
+    }
+
+    #[test]
+    fn paper_scale_uses_full_resolution() {
+        assert_eq!(Scale::Paper.schedule().subsample, 1);
+        assert_eq!(Scale::Paper.world().population.per_region[2], 435);
+    }
+
+    #[test]
+    fn tiny_world_is_small() {
+        let tiny = Scale::Tiny.world();
+        let full = Scale::Paper.world();
+        assert!(tiny.catalog.site_scale < full.catalog.site_scale);
+    }
+
+    #[test]
+    fn workers_positive() {
+        assert!(Scale::Small.workers() >= 1);
+    }
+}

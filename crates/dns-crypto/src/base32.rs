@@ -1,0 +1,110 @@
+//! Base32hex without padding (RFC 4648 §7), as used by NSEC3 owner names.
+//!
+//! The root zone itself uses NSEC (not NSEC3), but downstream zones in the
+//! synthetic hierarchy and the zone tooling support NSEC3-style names, so the
+//! codec lives here alongside the other encodings.
+
+const ALPHABET: &[u8; 32] = b"0123456789ABCDEFGHIJKLMNOPQRSTUV";
+
+/// Encode `data` as unpadded base32hex (uppercase, the DNS convention).
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(5) * 8);
+    let mut acc: u64 = 0;
+    let mut bits = 0u8;
+    for &b in data {
+        acc = (acc << 8) | b as u64;
+        bits += 8;
+        while bits >= 5 {
+            bits -= 5;
+            out.push(ALPHABET[((acc >> bits) & 0x1f) as usize] as char);
+        }
+    }
+    if bits > 0 {
+        out.push(ALPHABET[((acc << (5 - bits)) & 0x1f) as usize] as char);
+    }
+    out
+}
+
+/// Decode unpadded base32hex (case-insensitive).
+pub fn decode(s: &str) -> Result<Vec<u8>, Base32Error> {
+    let mut out = Vec::with_capacity(s.len() * 5 / 8);
+    let mut acc: u64 = 0;
+    let mut bits = 0u8;
+    for (pos, c) in s.chars().enumerate() {
+        let v = quintet(c).ok_or(Base32Error::BadChar { pos, ch: c })?;
+        acc = (acc << 5) | v as u64;
+        bits += 5;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((acc >> bits) as u8);
+        }
+    }
+    if acc & ((1 << bits) - 1) != 0 {
+        return Err(Base32Error::TrailingBits);
+    }
+    Ok(out)
+}
+
+fn quintet(c: char) -> Option<u8> {
+    match c {
+        '0'..='9' => Some(c as u8 - b'0'),
+        'A'..='V' => Some(c as u8 - b'A' + 10),
+        'a'..='v' => Some(c as u8 - b'a' + 10),
+        _ => None,
+    }
+}
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base32Error {
+    /// Invalid character (position and character).
+    BadChar { pos: usize, ch: char },
+    /// Non-zero bits left over in the final quantum.
+    TrailingBits,
+}
+
+impl std::fmt::Display for Base32Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Base32Error::BadChar { pos, ch } => write!(f, "invalid base32hex char {ch:?} at {pos}"),
+            Base32Error::TrailingBits => write!(f, "non-zero trailing bits"),
+        }
+    }
+}
+
+impl std::error::Error for Base32Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4648 §10 base32hex vectors, with padding stripped.
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "CO");
+        assert_eq!(encode(b"fo"), "CPNG");
+        assert_eq!(encode(b"foo"), "CPNMU");
+        assert_eq!(encode(b"foob"), "CPNMUOG");
+        assert_eq!(encode(b"fooba"), "CPNMUOJ1");
+        assert_eq!(encode(b"foobar"), "CPNMUOJ1E8");
+    }
+
+    #[test]
+    fn decode_case_insensitive() {
+        assert_eq!(decode("cpnmuoj1e8").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn round_trip_all_lengths() {
+        for len in 0..40usize {
+            let data: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(37)).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len={len}");
+        }
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        assert!(matches!(decode("CW"), Err(Base32Error::BadChar { .. })));
+    }
+}

@@ -1,0 +1,161 @@
+//! Base64 (RFC 4648 §4) as used in DNS presentation format for `DNSKEY` and
+//! `RRSIG` RDATA.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode `data` as padded base64.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = *chunk.get(1).unwrap_or(&0) as u32;
+        let b2 = *chunk.get(2).unwrap_or(&0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decode base64; whitespace is skipped (zone files wrap long fields).
+pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
+    let mut out = Vec::with_capacity(s.len() / 4 * 3);
+    let mut acc: u32 = 0;
+    let mut bits = 0u8;
+    let mut padding = 0u8;
+    for (pos, c) in s.chars().enumerate() {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        if c == '=' {
+            padding += 1;
+            if padding > 2 {
+                return Err(Base64Error::BadPadding);
+            }
+            continue;
+        }
+        if padding > 0 {
+            // Data after padding is malformed.
+            return Err(Base64Error::BadPadding);
+        }
+        let v = sextet(c).ok_or(Base64Error::BadChar { pos, ch: c })?;
+        acc = (acc << 6) | v as u32;
+        bits += 6;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((acc >> bits) as u8);
+        }
+    }
+    // Any leftover bits must be zero padding bits from an unpadded tail.
+    if bits >= 6 {
+        return Err(Base64Error::Truncated);
+    }
+    if acc & ((1 << bits) - 1) != 0 {
+        return Err(Base64Error::TrailingBits);
+    }
+    Ok(out)
+}
+
+fn sextet(c: char) -> Option<u8> {
+    match c {
+        'A'..='Z' => Some(c as u8 - b'A'),
+        'a'..='z' => Some(c as u8 - b'a' + 26),
+        '0'..='9' => Some(c as u8 - b'0' + 52),
+        '+' => Some(62),
+        '/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base64Error {
+    /// Invalid character (position and character).
+    BadChar { pos: usize, ch: char },
+    /// Misplaced or excessive `=` padding.
+    BadPadding,
+    /// Input ends mid-byte.
+    Truncated,
+    /// Non-zero bits left over in the final quantum.
+    TrailingBits,
+}
+
+impl std::fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Base64Error::BadChar { pos, ch } => {
+                write!(f, "invalid base64 char {ch:?} at {pos}")
+            }
+            Base64Error::BadPadding => write!(f, "invalid base64 padding"),
+            Base64Error::Truncated => write!(f, "truncated base64 input"),
+            Base64Error::TrailingBits => write!(f, "non-zero trailing bits"),
+        }
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("Zm9vYg==").unwrap(), b"foob");
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+    }
+
+    #[test]
+    fn decode_ignores_whitespace() {
+        assert_eq!(decode("Zm9v\n YmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn decode_unpadded() {
+        assert_eq!(decode("Zm9vYmE").unwrap(), b"fooba");
+    }
+
+    #[test]
+    fn data_after_padding_rejected() {
+        assert!(matches!(decode("Zg==Zg"), Err(Base64Error::BadPadding)));
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        assert!(matches!(
+            decode("Zm9*"),
+            Err(Base64Error::BadChar { pos: 3, ch: '*' })
+        ));
+    }
+
+    #[test]
+    fn round_trip_all_lengths() {
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len={len}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Hexadecimal encoding/decoding used for digests in presentation format
+//! (e.g. the `ZONEMD` RDATA digest field and DS digests).
+
+/// Encode `data` as lowercase hex.
+pub fn to_hex(data: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Encode `data` as uppercase hex (DNS presentation convention for digests).
+pub fn to_hex_upper(data: &[u8]) -> String {
+    to_hex(data).to_ascii_uppercase()
+}
+
+/// Decode a hex string (case-insensitive, whitespace tolerated between byte
+/// pairs as produced by some zone-file pretty printers).
+pub fn from_hex(s: &str) -> Result<Vec<u8>, HexError> {
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let mut nibble: Option<u8> = None;
+    for (pos, c) in s.chars().enumerate() {
+        if c.is_ascii_whitespace() {
+            if nibble.is_some() {
+                return Err(HexError::OddLength);
+            }
+            continue;
+        }
+        let v = c.to_digit(16).ok_or(HexError::BadChar { pos, ch: c })? as u8;
+        nibble = match nibble {
+            None => Some(v),
+            Some(hi) => {
+                out.push((hi << 4) | v);
+                None
+            }
+        };
+    }
+    if nibble.is_some() {
+        return Err(HexError::OddLength);
+    }
+    Ok(out)
+}
+
+/// Errors from [`from_hex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// A character that is not a hex digit (position and character).
+    BadChar { pos: usize, ch: char },
+    /// The string contains an odd number of hex digits.
+    OddLength,
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::BadChar { pos, ch } => write!(f, "invalid hex char {ch:?} at {pos}"),
+            HexError::OddLength => write!(f, "odd number of hex digits"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = [0x00, 0x01, 0xab, 0xff, 0x7f];
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+        assert_eq!(from_hex(&to_hex_upper(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn whitespace_between_pairs_ok() {
+        assert_eq!(from_hex("ab cd\nef").unwrap(), [0xab, 0xcd, 0xef]);
+    }
+
+    #[test]
+    fn whitespace_inside_pair_rejected() {
+        assert_eq!(from_hex("a b"), Err(HexError::OddLength));
+    }
+
+    #[test]
+    fn bad_char_reports_position() {
+        assert_eq!(from_hex("aX"), Err(HexError::BadChar { pos: 1, ch: 'X' }));
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(from_hex("abc"), Err(HexError::OddLength));
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+        assert_eq!(to_hex(&[]), "");
+    }
+}

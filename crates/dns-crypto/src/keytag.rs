@@ -1,0 +1,47 @@
+//! DNSSEC key tag computation (RFC 4034 Appendix B).
+//!
+//! The key tag is a 16-bit checksum over the `DNSKEY` RDATA that lets a
+//! validator pick candidate keys for an `RRSIG` without trial verification.
+
+/// Compute the key tag over DNSKEY RDATA in wire format
+/// (flags | protocol | algorithm | public key).
+///
+/// This is the non-algorithm-1 computation from RFC 4034 Appendix B: a ones'
+/// accumulation of big-endian 16-bit words, folding the carry in at the end.
+pub fn key_tag(rdata: &[u8]) -> u16 {
+    let mut acc: u32 = 0;
+    for (i, &b) in rdata.iter().enumerate() {
+        if i & 1 == 0 {
+            acc += (b as u32) << 8;
+        } else {
+            acc += b as u32;
+        }
+    }
+    acc += (acc >> 16) & 0xffff;
+    (acc & 0xffff) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_inputs() {
+        assert_eq!(key_tag(&[]), 0);
+        assert_eq!(key_tag(&[0x01, 0x02]), 0x0102);
+        assert_eq!(key_tag(&[0x01]), 0x0100);
+    }
+
+    #[test]
+    fn carry_folds() {
+        // Two words that sum past 16 bits.
+        let rdata = [0xff, 0xff, 0x00, 0x02];
+        // 0xffff + 0x0002 = 0x10001 -> fold carry -> 0x0002.
+        assert_eq!(key_tag(&rdata), 0x0002);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(key_tag(&[1, 2, 3, 4]), key_tag(&[4, 3, 2, 1]));
+    }
+}

@@ -1,0 +1,178 @@
+//! `SIMSIG`: the deterministic keyed-digest signature scheme standing in for
+//! RSA/SHA-256 in this reproduction.
+//!
+//! # Why a stand-in is sound here (DESIGN.md §1)
+//!
+//! The paper's RQ3 analysis validates `RRSIG` records over transferred zones.
+//! The behaviours it observes — signatures that are expired, not yet incepted,
+//! or bogus after a bitflip — depend on two properties of the signature
+//! scheme only:
+//!
+//! 1. verification fails if *any* signed byte (or the signature itself)
+//!    changes, and
+//! 2. the validity window (inception/expiration) is checked against the
+//!    validation-time clock.
+//!
+//! `SIMSIG` provides both: the "signature" is `SHA-384(secret || message)`,
+//! and validity-window arithmetic is implemented in [`crate::validity`]
+//! exactly as RFC 4034 §3.1.5 specifies (serial-number order, i.e. modular
+//! comparison). What `SIMSIG` does *not* provide is public verifiability —
+//! the verifier holds the same secret as the signer. Inside a closed
+//! simulation that distinction is immaterial.
+
+use crate::sha2::{Sha256, Sha384};
+
+/// The private algorithm number used for `SIMSIG` in DNSKEY/RRSIG records.
+///
+/// 253 is `PRIVATEDNS` in the IANA DNSSEC algorithm registry — the correct
+/// number for a private scheme like this one.
+pub const SIMSIG_ALGORITHM: u8 = 253;
+
+/// Length of a `SIMSIG` signature in bytes (one SHA-384 digest).
+pub const SIGNATURE_LEN: usize = 48;
+
+/// A `SIMSIG` key pair.
+///
+/// `public` goes into the `DNSKEY` RDATA; `secret` never leaves the signer —
+/// except that in this closed simulation the verifier derives it from the
+/// public part, which is exactly the compromise documented above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimKeyPair {
+    /// 32-byte public key material (placed in DNSKEY RDATA).
+    pub public: [u8; 32],
+    /// 32-byte signing secret.
+    secret: [u8; 32],
+}
+
+impl SimKeyPair {
+    /// Derive a key pair deterministically from a seed. The same seed always
+    /// yields the same pair, which keeps whole-simulation runs reproducible.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut base = Sha256::new();
+        base.update(b"simsig-key-v1");
+        base.update(&seed.to_be_bytes());
+        let secret = base.finalize();
+        let mut pubh = Sha256::new();
+        pubh.update(b"simsig-pub-v1");
+        pubh.update(&secret);
+        SimKeyPair {
+            public: pubh.finalize(),
+            secret,
+        }
+    }
+
+    /// Reconstruct the pair from public key material.
+    ///
+    /// Possible only because `SIMSIG` is symmetric under the hood: the
+    /// "secret" is re-derived by hashing the public part. A real validator
+    /// would of course use the public key directly.
+    pub fn from_public(public: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"simsig-derive-v1");
+        h.update(public);
+        let secret = h.finalize();
+        let mut p = [0u8; 32];
+        let n = public.len().min(32);
+        p[..n].copy_from_slice(&public[..n]);
+        SimKeyPair { public: p, secret }
+    }
+
+    /// Sign `message`, producing a 48-byte signature.
+    pub fn sign(&self, message: &[u8]) -> [u8; SIGNATURE_LEN] {
+        let mut h = Sha384::new();
+        h.update(b"simsig-sig-v1");
+        h.update(&self.effective_secret());
+        h.update(message);
+        h.finalize()
+    }
+
+    /// Verify `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> bool {
+        if signature.len() != SIGNATURE_LEN {
+            return false;
+        }
+        // Constant-time-ish comparison; not security relevant in a simulation
+        // but it is the correct idiom.
+        let expect = self.sign(message);
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(signature) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+
+    /// The secret actually used for signing.
+    ///
+    /// Pairs built with [`SimKeyPair::from_seed`] and later reconstructed via
+    /// [`SimKeyPair::from_public`] must agree, so signing always goes through
+    /// the public-derived secret.
+    fn effective_secret(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"simsig-derive-v1");
+        h.update(&self.public);
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = SimKeyPair::from_seed(42);
+        let sig = kp.sign(b"the root zone");
+        assert!(kp.verify(b"the root zone", &sig));
+    }
+
+    #[test]
+    fn verification_fails_on_message_bitflip() {
+        let kp = SimKeyPair::from_seed(42);
+        let msg = b"the root zone".to_vec();
+        let sig = kp.sign(&msg);
+        for byte in 0..msg.len() {
+            for bit in 0..8 {
+                let mut flipped = msg.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(!kp.verify(&flipped, &sig), "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn verification_fails_on_signature_bitflip() {
+        let kp = SimKeyPair::from_seed(42);
+        let mut sig = kp.sign(b"msg");
+        sig[17] ^= 0x04;
+        assert!(!kp.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn different_keys_do_not_cross_verify() {
+        let a = SimKeyPair::from_seed(1);
+        let b = SimKeyPair::from_seed(2);
+        let sig = a.sign(b"msg");
+        assert!(!b.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn public_reconstruction_verifies() {
+        let signer = SimKeyPair::from_seed(7);
+        let sig = signer.sign(b"zone data");
+        let validator = SimKeyPair::from_public(&signer.public);
+        assert!(validator.verify(b"zone data", &sig));
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        assert_eq!(SimKeyPair::from_seed(9), SimKeyPair::from_seed(9));
+        assert_ne!(SimKeyPair::from_seed(9), SimKeyPair::from_seed(10));
+    }
+
+    #[test]
+    fn wrong_length_signature_rejected() {
+        let kp = SimKeyPair::from_seed(42);
+        assert!(!kp.verify(b"msg", &[0u8; 47]));
+        assert!(!kp.verify(b"msg", &[]));
+    }
+}

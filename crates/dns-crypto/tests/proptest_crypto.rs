@@ -1,0 +1,83 @@
+//! Property-based tests for the crypto primitives.
+
+use dns_crypto::{base32, base64, hex, sha2::Sha256, sha2::Sha384, validity, SimKeyPair};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..4096), split in 0usize..4096) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha384_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..4096), splits in proptest::collection::vec(0usize..4096, 0..5)) {
+        let mut h = Sha384::new();
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s.min(data.len())).collect();
+        cuts.push(0);
+        cuts.push(data.len());
+        cuts.sort_unstable();
+        for w in cuts.windows(2) {
+            h.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(h.finalize(), Sha384::digest(&data));
+    }
+
+    #[test]
+    fn sha256_distinct_inputs_distinct_digests(a in proptest::collection::vec(any::<u8>(), 0..256), b in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if a != b {
+            prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+        }
+    }
+
+    #[test]
+    fn base64_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_length_formula(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(base64::encode(&data).len(), data.len().div_ceil(3) * 4);
+    }
+
+    #[test]
+    fn base32_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(base32::decode(&base32::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(hex::from_hex(&hex::to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn simsig_verifies_own_and_rejects_tampered(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 1..512), flip_byte in 0usize..512, flip_bit in 0u8..8) {
+        let kp = SimKeyPair::from_seed(seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.verify(&msg, &sig));
+        let mut tampered = msg.clone();
+        let i = flip_byte % tampered.len();
+        tampered[i] ^= 1 << flip_bit;
+        if tampered != msg {
+            prop_assert!(!kp.verify(&tampered, &sig));
+        }
+    }
+
+    #[test]
+    fn validity_window_trichotomy(inception in any::<u32>(), len in 0u32..0x7fff_0000, now in any::<u32>()) {
+        let expiration = inception.wrapping_add(len);
+        let outcome = validity::check_window(inception, expiration, now);
+        // A non-inverted window always yields exactly one classification.
+        prop_assert!(outcome.is_ok());
+    }
+
+    #[test]
+    fn timestamp_round_trip(t in 0u32..4_102_444_800u32) {
+        // Up to year 2100.
+        let s = validity::timestamp_to_ymd(t);
+        prop_assert_eq!(validity::timestamp_from_ymd(&s), Some(t));
+    }
+}

@@ -1,0 +1,94 @@
+//! DNS classes. `IN` carries all normal traffic; `CH` (CHAOS) carries the
+//! server-identity queries (`hostname.bind`, `id.server`, `version.bind`,
+//! `version.server`) the measurement script issues every round.
+
+/// A DNS class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Class {
+    /// Internet.
+    In,
+    /// CHAOS — used for server identity queries.
+    Ch,
+    /// Hesiod (never used here, kept for completeness).
+    Hs,
+    /// QCLASS `*`.
+    Any,
+    /// Anything else.
+    Other(u16),
+}
+
+impl Class {
+    /// Wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            Class::In => 1,
+            Class::Ch => 3,
+            Class::Hs => 4,
+            Class::Any => 255,
+            Class::Other(v) => v,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => Class::In,
+            3 => Class::Ch,
+            4 => Class::Hs,
+            255 => Class::Any,
+            other => Class::Other(other),
+        }
+    }
+
+    /// Presentation-format mnemonic.
+    pub fn mnemonic(self) -> String {
+        match self {
+            Class::In => "IN".into(),
+            Class::Ch => "CH".into(),
+            Class::Hs => "HS".into(),
+            Class::Any => "ANY".into(),
+            Class::Other(v) => format!("CLASS{v}"),
+        }
+    }
+
+    /// Parse a presentation-format mnemonic.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "IN" => Some(Class::In),
+            "CH" => Some(Class::Ch),
+            "HS" => Some(Class::Hs),
+            "ANY" => Some(Class::Any),
+            other => other
+                .strip_prefix("CLASS")
+                .and_then(|n| n.parse().ok())
+                .map(Class::Other),
+        }
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        for v in [1u16, 3, 4, 255, 42] {
+            assert_eq!(Class::from_u16(v).to_u16(), v);
+        }
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for c in [Class::In, Class::Ch, Class::Hs, Class::Any, Class::Other(17)] {
+            assert_eq!(Class::parse(&c.mnemonic()), Some(c));
+        }
+        assert_eq!(Class::parse("in"), Some(Class::In));
+        assert_eq!(Class::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,220 @@
+//! EDNS(0) — the OPT pseudo-record (RFC 6891) and the NSID option
+//! (RFC 5001).
+//!
+//! The measurement script identifies instances via CHAOS-class queries;
+//! NSID is the third identity mechanism root operators expose (an EDNS
+//! option echoed in responses). Modelling it keeps the server surface
+//! faithful and gives the coverage analysis a second identifier source.
+
+use crate::rdata::Rdata;
+use crate::record::Record;
+use crate::rrtype::RrType;
+use crate::{Class, Message, Name};
+
+/// EDNS option codes (IANA registry subset).
+pub const OPTION_NSID: u16 = 3;
+
+/// A parsed OPT pseudo-record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edns {
+    /// Requestor's/responder's UDP payload size.
+    pub udp_payload_size: u16,
+    /// Extended RCODE high bits (zero in this study).
+    pub extended_rcode: u8,
+    /// EDNS version (0).
+    pub version: u8,
+    /// DO bit: DNSSEC OK.
+    pub dnssec_ok: bool,
+    /// Raw options as (code, value) pairs.
+    pub options: Vec<(u16, Vec<u8>)>,
+}
+
+impl Default for Edns {
+    fn default() -> Self {
+        Edns {
+            udp_payload_size: 4096,
+            extended_rcode: 0,
+            version: 0,
+            dnssec_ok: false,
+            options: Vec::new(),
+        }
+    }
+}
+
+impl Edns {
+    /// A DNSSEC-requesting OPT (`dig +dnssec` behaviour).
+    pub fn dnssec() -> Self {
+        Edns {
+            dnssec_ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Request NSID (empty option in the query, RFC 5001 §2.1).
+    pub fn with_nsid_request(mut self) -> Self {
+        self.options.push((OPTION_NSID, Vec::new()));
+        self
+    }
+
+    /// Attach an NSID payload (the server side).
+    pub fn with_nsid(mut self, nsid: &[u8]) -> Self {
+        self.options.retain(|(code, _)| *code != OPTION_NSID);
+        self.options.push((OPTION_NSID, nsid.to_vec()));
+        self
+    }
+
+    /// The NSID option value, if present and non-empty.
+    pub fn nsid(&self) -> Option<&[u8]> {
+        self.options
+            .iter()
+            .find(|(code, v)| *code == OPTION_NSID && !v.is_empty())
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Whether NSID was requested (option present, empty value).
+    pub fn nsid_requested(&self) -> bool {
+        self.options
+            .iter()
+            .any(|(code, v)| *code == OPTION_NSID && v.is_empty())
+    }
+
+    /// Encode as the OPT record that goes in the additional section.
+    ///
+    /// OPT abuses the RR fields: CLASS carries the UDP size, TTL packs
+    /// extended-rcode/version/flags.
+    pub fn to_record(&self) -> Record {
+        let mut rdata = Vec::new();
+        for (code, value) in &self.options {
+            rdata.extend_from_slice(&code.to_be_bytes());
+            rdata.extend_from_slice(&(value.len() as u16).to_be_bytes());
+            rdata.extend_from_slice(value);
+        }
+        let ttl = ((self.extended_rcode as u32) << 24)
+            | ((self.version as u32) << 16)
+            | if self.dnssec_ok { 0x8000 } else { 0 };
+        Record {
+            name: Name::root(),
+            class: Class::Other(self.udp_payload_size),
+            ttl,
+            rr_type: RrType::Opt,
+            rdata: Rdata::Opt(rdata),
+        }
+    }
+
+    /// Parse from an OPT record.
+    pub fn from_record(rec: &Record) -> Option<Edns> {
+        if rec.rr_type != RrType::Opt {
+            return None;
+        }
+        let raw = match &rec.rdata {
+            Rdata::Opt(raw) => raw,
+            _ => return None,
+        };
+        let mut options = Vec::new();
+        let mut rest = raw.as_slice();
+        while !rest.is_empty() {
+            if rest.len() < 4 {
+                return None;
+            }
+            let code = u16::from_be_bytes([rest[0], rest[1]]);
+            let len = u16::from_be_bytes([rest[2], rest[3]]) as usize;
+            if rest.len() < 4 + len {
+                return None;
+            }
+            options.push((code, rest[4..4 + len].to_vec()));
+            rest = &rest[4 + len..];
+        }
+        Some(Edns {
+            udp_payload_size: rec.class.to_u16(),
+            extended_rcode: (rec.ttl >> 24) as u8,
+            version: (rec.ttl >> 16) as u8,
+            dnssec_ok: rec.ttl & 0x8000 != 0,
+            options,
+        })
+    }
+}
+
+/// Find and parse the OPT record of a message.
+pub fn edns_of(msg: &Message) -> Option<Edns> {
+    msg.additionals
+        .iter()
+        .find(|r| r.rr_type == RrType::Opt)
+        .and_then(Edns::from_record)
+}
+
+/// Attach (or replace) the OPT record of a message.
+pub fn set_edns(msg: &mut Message, edns: &Edns) {
+    msg.additionals.retain(|r| r.rr_type != RrType::Opt);
+    msg.additionals.push(edns.to_record());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Question, RrType};
+
+    #[test]
+    fn round_trip_through_record() {
+        let edns = Edns::dnssec().with_nsid(b"fra1.k.root");
+        let rec = edns.to_record();
+        let back = Edns::from_record(&rec).unwrap();
+        assert_eq!(back, edns);
+        assert!(back.dnssec_ok);
+        assert_eq!(back.nsid(), Some(b"fra1.k.root".as_slice()));
+    }
+
+    #[test]
+    fn round_trip_through_wire_message() {
+        let mut msg = Message::query(7, Question::new(Name::root(), RrType::Soa));
+        set_edns(&mut msg, &Edns::dnssec().with_nsid_request());
+        let decoded = Message::from_wire(&msg.to_wire()).unwrap();
+        let edns = edns_of(&decoded).unwrap();
+        assert!(edns.nsid_requested());
+        assert_eq!(edns.nsid(), None);
+        assert_eq!(edns.udp_payload_size, 4096);
+    }
+
+    #[test]
+    fn nsid_request_vs_response_semantics() {
+        let req = Edns::default().with_nsid_request();
+        assert!(req.nsid_requested());
+        assert!(req.nsid().is_none());
+        let resp = Edns::default().with_nsid(b"site01");
+        assert!(!resp.nsid_requested());
+        assert_eq!(resp.nsid(), Some(b"site01".as_slice()));
+    }
+
+    #[test]
+    fn with_nsid_replaces_request() {
+        let e = Edns::default().with_nsid_request().with_nsid(b"x");
+        let count = e.options.iter().filter(|(c, _)| *c == OPTION_NSID).count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn set_edns_replaces_existing() {
+        let mut msg = Message::query(7, Question::new(Name::root(), RrType::Soa));
+        set_edns(&mut msg, &Edns::default());
+        set_edns(&mut msg, &Edns::dnssec());
+        assert_eq!(msg.additionals.len(), 1);
+        assert!(edns_of(&msg).unwrap().dnssec_ok);
+    }
+
+    #[test]
+    fn malformed_options_rejected() {
+        let rec = Record {
+            name: Name::root(),
+            class: Class::Other(512),
+            ttl: 0,
+            rr_type: RrType::Opt,
+            rdata: Rdata::Opt(vec![0, 3, 0, 10, 1]), // promises 10, has 1
+        };
+        assert_eq!(Edns::from_record(&rec), None);
+    }
+
+    #[test]
+    fn non_opt_record_is_none() {
+        let rec = Record::new(Name::root(), 0, Rdata::A("1.2.3.4".parse().unwrap()));
+        assert_eq!(Edns::from_record(&rec), None);
+    }
+}

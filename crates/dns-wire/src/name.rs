@@ -1,0 +1,481 @@
+//! Domain names (RFC 1035 §3.1, RFC 4034 §6 canonical form and ordering).
+
+use crate::wire::{WireError, WireReader, WireWriter};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Maximum length of a name on the wire, including the root label (RFC 1035).
+pub const MAX_NAME_LEN: usize = 255;
+/// Maximum length of a single label.
+pub const MAX_LABEL_LEN: usize = 63;
+
+/// A fully-qualified domain name.
+///
+/// Stored as raw label bytes (no trailing root label byte); the root name has
+/// zero labels. Comparison and hashing are case-insensitive over ASCII, as
+/// DNS requires.
+#[derive(Debug, Clone, Default)]
+pub struct Name {
+    labels: Vec<Vec<u8>>,
+}
+
+impl Name {
+    /// The root name `.`.
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parse from presentation format. Accepts `"."` for the root, with or
+    /// without a trailing dot otherwise. Supports `\DDD` escapes.
+    pub fn parse(s: &str) -> Result<Self, NameError> {
+        if s == "." {
+            return Ok(Name::root());
+        }
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Err(NameError::EmptyLabel);
+        }
+        let mut labels = Vec::new();
+        let mut current = Vec::new();
+        let mut bytes = s.bytes().peekable();
+        while let Some(b) = bytes.next() {
+            match b {
+                b'.' => {
+                    if current.is_empty() {
+                        return Err(NameError::EmptyLabel);
+                    }
+                    labels.push(std::mem::take(&mut current));
+                }
+                b'\\' => {
+                    // \DDD decimal escape or \X literal.
+                    let first = bytes.next().ok_or(NameError::BadEscape)?;
+                    if first.is_ascii_digit() {
+                        let d2 = bytes.next().ok_or(NameError::BadEscape)?;
+                        let d3 = bytes.next().ok_or(NameError::BadEscape)?;
+                        if !d2.is_ascii_digit() || !d3.is_ascii_digit() {
+                            return Err(NameError::BadEscape);
+                        }
+                        let v = (first - b'0') as u32 * 100
+                            + (d2 - b'0') as u32 * 10
+                            + (d3 - b'0') as u32;
+                        if v > 255 {
+                            return Err(NameError::BadEscape);
+                        }
+                        current.push(v as u8);
+                    } else {
+                        current.push(first);
+                    }
+                }
+                other => current.push(other),
+            }
+            if current.len() > MAX_LABEL_LEN {
+                return Err(NameError::LabelTooLong);
+            }
+        }
+        if current.is_empty() {
+            return Err(NameError::EmptyLabel);
+        }
+        labels.push(current);
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// Build from raw label byte slices.
+    pub fn from_labels<I, L>(labels: I) -> Result<Self, NameError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() {
+                return Err(NameError::EmptyLabel);
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(NameError::LabelTooLong);
+            }
+            out.push(l.to_vec());
+        }
+        let name = Name { labels: out };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// Number of labels (the root has 0).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Iterate labels, most-significant (leftmost) first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_slice())
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Length of the uncompressed wire encoding (including the root byte).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// The parent name (strips the leftmost label). The root's parent is the
+    /// root itself.
+    pub fn parent(&self) -> Name {
+        if self.labels.is_empty() {
+            return Name::root();
+        }
+        Name {
+            labels: self.labels[1..].to_vec(),
+        }
+    }
+
+    /// Prepend `label`, producing a child name.
+    pub fn child(&self, label: &[u8]) -> Result<Name, NameError> {
+        if label.is_empty() {
+            return Err(NameError::EmptyLabel);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(NameError::LabelTooLong);
+        }
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.to_vec());
+        labels.extend(self.labels.iter().cloned());
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// True if `self` is `other` or a descendant of `other`.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(&other.labels)
+            .all(|(a, b)| eq_label(a, b))
+    }
+
+    /// RFC 4034 §6.2 canonical form: all ASCII letters lowercased.
+    pub fn canonical(&self) -> Name {
+        Name {
+            labels: self
+                .labels
+                .iter()
+                .map(|l| l.iter().map(u8::to_ascii_lowercase).collect())
+                .collect(),
+        }
+    }
+
+    /// Write the uncompressed (canonical if `lowercase`) wire form.
+    pub fn write_wire(&self, w: &mut WireWriter, lowercase: bool) {
+        for label in &self.labels {
+            w.put_u8(label.len() as u8);
+            if lowercase {
+                for &b in label {
+                    w.put_u8(b.to_ascii_lowercase());
+                }
+            } else {
+                w.put_bytes(label);
+            }
+        }
+        w.put_u8(0);
+    }
+
+    /// Write with name compression via the writer's offset table.
+    pub fn write_wire_compressed(&self, w: &mut WireWriter) {
+        w.put_name_compressed(&self.labels);
+    }
+
+    /// Read a (possibly compressed) name from the reader.
+    pub fn read_wire(r: &mut WireReader) -> Result<Self, WireError> {
+        let labels = r.read_name_labels()?;
+        Ok(Name { labels })
+    }
+
+    /// Uncompressed canonical wire bytes (used for signing and ZONEMD).
+    pub fn canonical_wire(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.write_wire(&mut w, true);
+        w.into_bytes()
+    }
+
+    /// RFC 4034 §6.1 canonical ordering: compare label-by-label from the
+    /// *rightmost* label, each label as a case-insensitive byte string.
+    pub fn canonical_cmp(&self, other: &Name) -> Ordering {
+        let mut a = self.labels.iter().rev();
+        let mut b = other.labels.iter().rev();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(la), Some(lb)) => {
+                    let ord = cmp_label(la, lb);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn eq_label(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+}
+
+fn cmp_label(a: &[u8], b: &[u8]) -> Ordering {
+    let la = a.iter().map(u8::to_ascii_lowercase);
+    let lb = b.iter().map(u8::to_ascii_lowercase);
+    la.cmp(lb)
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(&other.labels)
+                .all(|(a, b)| eq_label(a, b))
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for label in &self.labels {
+            state.write_usize(label.len());
+            for &b in label {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.canonical_cmp(other)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        for label in &self.labels {
+            for &b in label {
+                match b {
+                    b'.' | b'\\' => write!(f, "\\{}", b as char)?,
+                    0x21..=0x7e => write!(f, "{}", b as char)?,
+                    other => write!(f, "\\{:03}", other)?,
+                }
+            }
+            f.write_str(".")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = NameError;
+    fn from_str(s: &str) -> Result<Self, NameError> {
+        Name::parse(s)
+    }
+}
+
+/// Errors constructing names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty (e.g. `a..b`).
+    EmptyLabel,
+    /// A label exceeded 63 bytes.
+    LabelTooLong,
+    /// The whole name exceeded 255 wire bytes.
+    NameTooLong,
+    /// Malformed `\` escape.
+    BadEscape,
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::EmptyLabel => write!(f, "empty label"),
+            NameError::LabelTooLong => write!(f, "label exceeds 63 bytes"),
+            NameError::NameTooLong => write!(f, "name exceeds 255 bytes"),
+            NameError::BadEscape => write!(f, "malformed escape sequence"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in [".", "com.", "example.com.", "b.root-servers.net.", "hostname.bind."] {
+            let n = Name::parse(s).unwrap();
+            assert_eq!(n.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn trailing_dot_optional() {
+        assert_eq!(Name::parse("example.com").unwrap(), Name::parse("example.com.").unwrap());
+    }
+
+    #[test]
+    fn case_insensitive_equality_and_hash() {
+        use std::collections::HashSet;
+        let a = Name::parse("Example.COM.").unwrap();
+        let b = Name::parse("example.com.").unwrap();
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn root_properties() {
+        let root = Name::root();
+        assert!(root.is_root());
+        assert_eq!(root.label_count(), 0);
+        assert_eq!(root.wire_len(), 1);
+        assert_eq!(root.to_string(), ".");
+        assert_eq!(root.parent(), root);
+    }
+
+    #[test]
+    fn subdomain_checks() {
+        let root = Name::root();
+        let net = Name::parse("net.").unwrap();
+        let rs = Name::parse("root-servers.net.").unwrap();
+        let b = Name::parse("b.root-servers.net.").unwrap();
+        assert!(b.is_subdomain_of(&rs));
+        assert!(b.is_subdomain_of(&net));
+        assert!(b.is_subdomain_of(&root));
+        assert!(b.is_subdomain_of(&b));
+        assert!(!rs.is_subdomain_of(&b));
+        assert!(!Name::parse("com.").unwrap().is_subdomain_of(&net));
+    }
+
+    #[test]
+    fn canonical_ordering_rfc4034_example() {
+        // RFC 4034 §6.1 example order.
+        let order = [
+            "example.",
+            "a.example.",
+            "yljkjljk.a.example.",
+            "Z.a.example.",
+            "zABC.a.EXAMPLE.",
+            "z.example.",
+            "\\001.z.example.",
+            "*.z.example.",
+            "\\200.z.example.",
+        ];
+        let names: Vec<Name> = order.iter().map(|s| Name::parse(s).unwrap()).collect();
+        for w in names.windows(2) {
+            assert_eq!(
+                w[0].canonical_cmp(&w[1]),
+                Ordering::Less,
+                "{} < {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn label_length_limits() {
+        let long = "a".repeat(63);
+        assert!(Name::parse(&format!("{long}.com.")).is_ok());
+        let too_long = "a".repeat(64);
+        assert_eq!(
+            Name::parse(&format!("{too_long}.com.")),
+            Err(NameError::LabelTooLong)
+        );
+    }
+
+    #[test]
+    fn name_length_limit() {
+        // Four 63-byte labels (4 * 64 + 1 = 257 > 255) must fail.
+        let l = "a".repeat(63);
+        let s = format!("{l}.{l}.{l}.{l}.");
+        assert_eq!(Name::parse(&s), Err(NameError::NameTooLong));
+        // Three labels plus a short one that fits exactly: 3*64 + 62+1 + 1 = 255.
+        let tail = "b".repeat(61);
+        let ok = format!("{l}.{l}.{l}.{tail}.");
+        assert!(Name::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn empty_labels_rejected() {
+        assert_eq!(Name::parse("a..b."), Err(NameError::EmptyLabel));
+        assert_eq!(Name::parse(""), Err(NameError::EmptyLabel));
+        assert_eq!(Name::parse(".."), Err(NameError::EmptyLabel));
+    }
+
+    #[test]
+    fn escapes_parse_and_render() {
+        let n = Name::parse("\\046odd.label.").unwrap();
+        assert_eq!(n.labels().next().unwrap(), b".odd");
+        assert_eq!(n.to_string(), "\\.odd.label.");
+        assert_eq!(Name::parse("bad\\"), Err(NameError::BadEscape));
+        assert_eq!(Name::parse("bad\\25"), Err(NameError::BadEscape));
+        assert_eq!(Name::parse("bad\\999"), Err(NameError::BadEscape));
+    }
+
+    #[test]
+    fn child_and_parent() {
+        let rs = Name::parse("root-servers.net.").unwrap();
+        let b = rs.child(b"b").unwrap();
+        assert_eq!(b.to_string(), "b.root-servers.net.");
+        assert_eq!(b.parent(), rs);
+    }
+
+    #[test]
+    fn wire_round_trip_uncompressed() {
+        let n = Name::parse("b.Root-Servers.NET.").unwrap();
+        let mut w = WireWriter::new();
+        n.write_wire(&mut w, false);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back = Name::read_wire(&mut r).unwrap();
+        assert_eq!(back, n);
+        // Original case preserved when not canonicalized.
+        assert_eq!(back.to_string(), "b.Root-Servers.NET.");
+    }
+
+    #[test]
+    fn canonical_lowercases() {
+        let n = Name::parse("B.ROOT-SERVERS.NET.").unwrap();
+        assert_eq!(n.canonical().to_string(), "b.root-servers.net.");
+    }
+}

@@ -1,0 +1,498 @@
+//! Presentation (zone-file) formatting and parsing for records.
+//!
+//! Renders records the way `dig` and the IANA root zone file do, e.g.:
+//!
+//! ```text
+//! .  86400  IN  SOA  a.root-servers.net. nstld.verisign-grs.com. 2023122400 1800 900 604800 86400
+//! .  86400  IN  ZONEMD  2023122400 1 1 5AB1...
+//! ```
+//!
+//! Full master-file parsing (with `$ORIGIN`, parentheses continuation, etc.)
+//! lives in `dns-zone`; this module handles single-line records, which is
+//! what the AXFR dumps and validation pipeline traffic in.
+
+use crate::class::Class;
+use crate::name::Name;
+use crate::rdata::{Dnskey, Ds, Nsec, Rdata, Rrsig, Soa, Zonemd};
+use crate::record::Record;
+use crate::rrtype::RrType;
+use dns_crypto::{base64, hex, validity};
+
+/// Render a record as a single presentation line.
+pub fn record_to_line(rec: &Record) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\t{}",
+        rec.name,
+        rec.ttl,
+        rec.class.mnemonic(),
+        rec.rr_type.mnemonic(),
+        rdata_to_text(&rec.rdata, rec.rr_type)
+    )
+}
+
+/// Render RDATA in presentation form.
+pub fn rdata_to_text(rdata: &Rdata, rr_type: RrType) -> String {
+    match rdata {
+        Rdata::A(a) => a.to_string(),
+        Rdata::Aaaa(a) => a.to_string(),
+        Rdata::Ns(n) | Rdata::Cname(n) => n.to_string(),
+        Rdata::Soa(s) => format!(
+            "{} {} {} {} {} {} {}",
+            s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
+        ),
+        Rdata::Mx { preference, exchange } => format!("{preference} {exchange}"),
+        Rdata::Txt(strings) => strings
+            .iter()
+            .map(|s| format!("\"{}\"", escape_txt(s)))
+            .collect::<Vec<_>>()
+            .join(" "),
+        Rdata::Ds(d) => format!(
+            "{} {} {} {}",
+            d.key_tag,
+            d.algorithm,
+            d.digest_type,
+            hex::to_hex_upper(&d.digest)
+        ),
+        Rdata::Dnskey(k) => format!(
+            "{} {} {} {}",
+            k.flags,
+            k.protocol,
+            k.algorithm,
+            base64::encode(&k.public_key)
+        ),
+        Rdata::Rrsig(s) => format!(
+            "{} {} {} {} {} {} {} {} {}",
+            s.type_covered.mnemonic(),
+            s.algorithm,
+            s.labels,
+            s.original_ttl,
+            validity::timestamp_to_ymd(s.expiration),
+            validity::timestamp_to_ymd(s.inception),
+            s.key_tag,
+            s.signer_name,
+            base64::encode(&s.signature)
+        ),
+        Rdata::Nsec(n) => {
+            let mut out = n.next_domain.to_string();
+            for t in &n.types {
+                out.push(' ');
+                out.push_str(&t.mnemonic());
+            }
+            out
+        }
+        Rdata::Zonemd(z) => format!(
+            "{} {} {} {}",
+            z.serial,
+            z.scheme,
+            z.hash_algorithm,
+            hex::to_hex_upper(&z.digest)
+        ),
+        Rdata::Opt(raw) | Rdata::Unknown(raw) => {
+            format!("\\# {} {}", raw.len(), hex::to_hex_upper(raw))
+        }
+        #[allow(unreachable_patterns)]
+        _ => format!("; unsupported presentation for {rr_type}"),
+    }
+}
+
+fn escape_txt(s: &[u8]) -> String {
+    let mut out = String::new();
+    for &b in s {
+        match b {
+            b'"' | b'\\' => {
+                out.push('\\');
+                out.push(b as char);
+            }
+            0x20..=0x7e => out.push(b as char),
+            other => out.push_str(&format!("\\{:03}", other)),
+        }
+    }
+    out
+}
+
+/// Errors while parsing a presentation line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line has too few fields.
+    TooShort,
+    /// A specific field is malformed.
+    BadField(&'static str),
+    /// The TYPE mnemonic is unknown.
+    UnknownType(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::TooShort => write!(f, "record line has too few fields"),
+            ParseError::BadField(field) => write!(f, "malformed field: {field}"),
+            ParseError::UnknownType(t) => write!(f, "unknown RR type: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one presentation line: `owner ttl class type rdata...`.
+///
+/// Class may be omitted (defaults to IN), matching common zone-file style.
+pub fn record_from_line(line: &str) -> Result<Record, ParseError> {
+    let tokens = tokenize(line);
+    if tokens.len() < 4 {
+        return Err(ParseError::TooShort);
+    }
+    let name = Name::parse(&tokens[0]).map_err(|_| ParseError::BadField("owner"))?;
+    let ttl: u32 = tokens[1].parse().map_err(|_| ParseError::BadField("ttl"))?;
+    let mut idx = 2;
+    let class = match Class::parse(&tokens[idx]) {
+        Some(c) => {
+            idx += 1;
+            c
+        }
+        None => Class::In,
+    };
+    let type_tok = tokens.get(idx).ok_or(ParseError::TooShort)?;
+    let rr_type =
+        RrType::parse(type_tok).ok_or_else(|| ParseError::UnknownType(type_tok.clone()))?;
+    idx += 1;
+    let rest = &tokens[idx..];
+    let rdata = parse_rdata(rr_type, rest)?;
+    Ok(Record {
+        name,
+        class,
+        ttl,
+        rr_type,
+        rdata,
+    })
+}
+
+/// Split a line into tokens, honouring quoted strings. Comments (`;`) outside
+/// quotes terminate the line.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                // Preserve quoting by marking token boundaries precisely:
+                // a quoted token may be empty.
+                if !in_quotes {
+                    tokens.push(std::mem::take(&mut current));
+                } else if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            '\\' if in_quotes => {
+                // Pass the escape through verbatim; `unescape_txt` resolves
+                // it exactly once when the RDATA is parsed.
+                current.push('\\');
+                if let Some(next) = chars.next() {
+                    current.push(next);
+                }
+            }
+            ';' if !in_quotes => break,
+            c if c.is_whitespace() && !in_quotes => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+fn parse_rdata(rr_type: RrType, tokens: &[String]) -> Result<Rdata, ParseError> {
+    let need = |n: usize| -> Result<(), ParseError> {
+        if tokens.len() < n {
+            Err(ParseError::TooShort)
+        } else {
+            Ok(())
+        }
+    };
+    match rr_type {
+        RrType::A => {
+            need(1)?;
+            Ok(Rdata::A(
+                tokens[0].parse().map_err(|_| ParseError::BadField("A address"))?,
+            ))
+        }
+        RrType::Aaaa => {
+            need(1)?;
+            Ok(Rdata::Aaaa(
+                tokens[0]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("AAAA address"))?,
+            ))
+        }
+        RrType::Ns => {
+            need(1)?;
+            Ok(Rdata::Ns(
+                Name::parse(&tokens[0]).map_err(|_| ParseError::BadField("NS target"))?,
+            ))
+        }
+        RrType::Cname => {
+            need(1)?;
+            Ok(Rdata::Cname(
+                Name::parse(&tokens[0]).map_err(|_| ParseError::BadField("CNAME target"))?,
+            ))
+        }
+        RrType::Mx => {
+            need(2)?;
+            Ok(Rdata::Mx {
+                preference: tokens[0]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("MX preference"))?,
+                exchange: Name::parse(&tokens[1]).map_err(|_| ParseError::BadField("MX exchange"))?,
+            })
+        }
+        RrType::Soa => {
+            need(7)?;
+            let num = |i: usize, f: &'static str| -> Result<u32, ParseError> {
+                tokens[i].parse().map_err(|_| ParseError::BadField(f))
+            };
+            Ok(Rdata::Soa(Soa {
+                mname: Name::parse(&tokens[0]).map_err(|_| ParseError::BadField("SOA mname"))?,
+                rname: Name::parse(&tokens[1]).map_err(|_| ParseError::BadField("SOA rname"))?,
+                serial: num(2, "SOA serial")?,
+                refresh: num(3, "SOA refresh")?,
+                retry: num(4, "SOA retry")?,
+                expire: num(5, "SOA expire")?,
+                minimum: num(6, "SOA minimum")?,
+            }))
+        }
+        RrType::Txt => {
+            need(1)?;
+            Ok(Rdata::Txt(
+                tokens.iter().map(|t| unescape_txt(t)).collect(),
+            ))
+        }
+        RrType::Ds => {
+            need(4)?;
+            Ok(Rdata::Ds(Ds {
+                key_tag: tokens[0].parse().map_err(|_| ParseError::BadField("DS key tag"))?,
+                algorithm: tokens[1].parse().map_err(|_| ParseError::BadField("DS algorithm"))?,
+                digest_type: tokens[2]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("DS digest type"))?,
+                digest: hex::from_hex(&tokens[3..].join(""))
+                    .map_err(|_| ParseError::BadField("DS digest"))?,
+            }))
+        }
+        RrType::Dnskey => {
+            need(4)?;
+            Ok(Rdata::Dnskey(Dnskey {
+                flags: tokens[0].parse().map_err(|_| ParseError::BadField("DNSKEY flags"))?,
+                protocol: tokens[1]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("DNSKEY protocol"))?,
+                algorithm: tokens[2]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("DNSKEY algorithm"))?,
+                public_key: base64::decode(&tokens[3..].join(""))
+                    .map_err(|_| ParseError::BadField("DNSKEY key"))?,
+            }))
+        }
+        RrType::Rrsig => {
+            need(9)?;
+            Ok(Rdata::Rrsig(Rrsig {
+                type_covered: RrType::parse(&tokens[0])
+                    .ok_or(ParseError::BadField("RRSIG type covered"))?,
+                algorithm: tokens[1]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("RRSIG algorithm"))?,
+                labels: tokens[2].parse().map_err(|_| ParseError::BadField("RRSIG labels"))?,
+                original_ttl: tokens[3]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("RRSIG original ttl"))?,
+                expiration: parse_time(&tokens[4]).ok_or(ParseError::BadField("RRSIG expiration"))?,
+                inception: parse_time(&tokens[5]).ok_or(ParseError::BadField("RRSIG inception"))?,
+                key_tag: tokens[6].parse().map_err(|_| ParseError::BadField("RRSIG key tag"))?,
+                signer_name: Name::parse(&tokens[7])
+                    .map_err(|_| ParseError::BadField("RRSIG signer"))?,
+                signature: base64::decode(&tokens[8..].join(""))
+                    .map_err(|_| ParseError::BadField("RRSIG signature"))?,
+            }))
+        }
+        RrType::Nsec => {
+            need(1)?;
+            let next_domain =
+                Name::parse(&tokens[0]).map_err(|_| ParseError::BadField("NSEC next"))?;
+            let mut types = Vec::new();
+            for t in &tokens[1..] {
+                types.push(RrType::parse(t).ok_or(ParseError::BadField("NSEC type"))?);
+            }
+            Ok(Rdata::Nsec(Nsec { next_domain, types }))
+        }
+        RrType::Zonemd => {
+            need(4)?;
+            Ok(Rdata::Zonemd(Zonemd {
+                serial: tokens[0].parse().map_err(|_| ParseError::BadField("ZONEMD serial"))?,
+                scheme: tokens[1].parse().map_err(|_| ParseError::BadField("ZONEMD scheme"))?,
+                hash_algorithm: tokens[2]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("ZONEMD hash alg"))?,
+                digest: hex::from_hex(&tokens[3..].join(""))
+                    .map_err(|_| ParseError::BadField("ZONEMD digest"))?,
+            }))
+        }
+        other => Err(ParseError::UnknownType(other.mnemonic())),
+    }
+}
+
+/// RRSIG times may be either `YYYYMMDDHHmmSS` or raw seconds.
+fn parse_time(s: &str) -> Option<u32> {
+    validity::timestamp_from_ymd(s).or_else(|| s.parse().ok())
+}
+
+fn unescape_txt(s: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut bytes = s.bytes().peekable();
+    while let Some(b) = bytes.next() {
+        if b == b'\\' {
+            match bytes.peek() {
+                Some(d) if d.is_ascii_digit() => {
+                    let d1 = bytes.next().unwrap() - b'0';
+                    let d2 = bytes.next().map(|c| c - b'0').unwrap_or(0);
+                    let d3 = bytes.next().map(|c| c - b'0').unwrap_or(0);
+                    out.push(d1.wrapping_mul(100).wrapping_add(d2 * 10).wrapping_add(d3));
+                }
+                Some(_) => out.push(bytes.next().unwrap()),
+                None => out.push(b'\\'),
+            }
+        } else {
+            out.push(b);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(line: &str) -> Record {
+        let rec = record_from_line(line).unwrap();
+        let rendered = record_to_line(&rec);
+        let again = record_from_line(&rendered).unwrap();
+        assert_eq!(rec, again, "line: {line}");
+        rec
+    }
+
+    #[test]
+    fn basic_types_round_trip() {
+        round_trip("b.root-servers.net.\t518400\tIN\tA\t199.9.14.201");
+        round_trip("b.root-servers.net. 518400 IN AAAA 2801:1b8:10::b");
+        round_trip(". 518400 IN NS a.root-servers.net.");
+        round_trip("example. 3600 IN MX 10 mail.example.");
+        round_trip("www.example. 300 IN CNAME example.");
+    }
+
+    #[test]
+    fn soa_round_trip() {
+        let rec = round_trip(
+            ". 86400 IN SOA a.root-servers.net. nstld.verisign-grs.com. 2023122400 1800 900 604800 86400",
+        );
+        match &rec.rdata {
+            Rdata::Soa(s) => assert_eq!(s.serial, 2023122400),
+            _ => panic!("not SOA"),
+        }
+    }
+
+    #[test]
+    fn class_defaults_to_in() {
+        let rec = record_from_line("example. 3600 A 1.2.3.4").unwrap();
+        assert_eq!(rec.class, Class::In);
+    }
+
+    #[test]
+    fn chaos_txt_round_trip() {
+        let rec = round_trip("hostname.bind. 0 CH TXT \"ber1.b.root\"");
+        assert_eq!(rec.class, Class::Ch);
+        match &rec.rdata {
+            Rdata::Txt(s) => assert_eq!(s[0], b"ber1.b.root"),
+            _ => panic!("not TXT"),
+        }
+    }
+
+    #[test]
+    fn txt_with_escapes() {
+        let rec = round_trip(r#"x. 0 IN TXT "say \"hi\" \\ there""#);
+        match &rec.rdata {
+            Rdata::Txt(s) => assert_eq!(s[0], br#"say "hi" \ there"#),
+            _ => panic!("not TXT"),
+        }
+    }
+
+    #[test]
+    fn zonemd_round_trip() {
+        let digest = "AB".repeat(48);
+        let rec = round_trip(&format!(". 86400 IN ZONEMD 2023120600 1 1 {digest}"));
+        match &rec.rdata {
+            Rdata::Zonemd(z) => {
+                assert_eq!(z.serial, 2023120600);
+                assert_eq!(z.scheme, 1);
+                assert_eq!(z.hash_algorithm, 1);
+                assert_eq!(z.digest.len(), 48);
+            }
+            _ => panic!("not ZONEMD"),
+        }
+    }
+
+    #[test]
+    fn rrsig_round_trip_with_timestamps() {
+        // Mirrors the Figure 10 RRSIG shape.
+        let sig = dns_crypto::base64::encode(&[0x5a; 48]);
+        let line = format!(
+            "world. 86400 IN RRSIG NSEC 8 1 86400 20231201050000 20231118040000 46780 . {sig}"
+        );
+        let rec = round_trip(&line);
+        match &rec.rdata {
+            Rdata::Rrsig(s) => {
+                assert_eq!(s.type_covered, RrType::Nsec);
+                assert_eq!(s.key_tag, 46780);
+                assert_eq!(
+                    dns_crypto::validity::timestamp_to_ymd(s.expiration),
+                    "20231201050000"
+                );
+            }
+            _ => panic!("not RRSIG"),
+        }
+    }
+
+    #[test]
+    fn nsec_round_trip() {
+        let rec = round_trip(". 86400 IN NSEC aaa. NS SOA RRSIG NSEC DNSKEY ZONEMD");
+        match &rec.rdata {
+            Rdata::Nsec(n) => assert_eq!(n.types.len(), 6),
+            _ => panic!("not NSEC"),
+        }
+    }
+
+    #[test]
+    fn dnskey_and_ds_round_trip() {
+        round_trip(". 86400 IN DNSKEY 257 3 253 AAECAwQFBgc=");
+        round_trip(". 86400 IN DS 20326 8 2 E06D44B80B8F1D39A95C0B0D7C65D08458E880409BBC683457104237C7F8EC8D");
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let rec = record_from_line("x. 60 IN A 1.2.3.4 ; a comment").unwrap();
+        assert_eq!(rec.rdata, Rdata::A("1.2.3.4".parse().unwrap()));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(record_from_line("").is_err());
+        assert!(record_from_line("x. 60 IN").is_err());
+        assert!(record_from_line("x. sixty IN A 1.2.3.4").is_err());
+        assert!(record_from_line("x. 60 IN A not-an-ip").is_err());
+        assert!(record_from_line("x. 60 IN FROB data").is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Resource record types relevant to the root zone and this study.
+
+/// An RR TYPE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RrType {
+    A,
+    Ns,
+    Cname,
+    Soa,
+    Mx,
+    Txt,
+    Aaaa,
+    Opt,
+    Ds,
+    Rrsig,
+    Nsec,
+    Dnskey,
+    Zonemd,
+    Axfr,
+    Any,
+    /// Any other type, by number.
+    Other(u16),
+}
+
+impl RrType {
+    /// Wire value (IANA registry).
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RrType::A => 1,
+            RrType::Ns => 2,
+            RrType::Cname => 5,
+            RrType::Soa => 6,
+            RrType::Mx => 15,
+            RrType::Txt => 16,
+            RrType::Aaaa => 28,
+            RrType::Opt => 41,
+            RrType::Ds => 43,
+            RrType::Rrsig => 46,
+            RrType::Nsec => 47,
+            RrType::Dnskey => 48,
+            RrType::Zonemd => 63,
+            RrType::Axfr => 252,
+            RrType::Any => 255,
+            RrType::Other(v) => v,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RrType::A,
+            2 => RrType::Ns,
+            5 => RrType::Cname,
+            6 => RrType::Soa,
+            15 => RrType::Mx,
+            16 => RrType::Txt,
+            28 => RrType::Aaaa,
+            41 => RrType::Opt,
+            43 => RrType::Ds,
+            46 => RrType::Rrsig,
+            47 => RrType::Nsec,
+            48 => RrType::Dnskey,
+            63 => RrType::Zonemd,
+            252 => RrType::Axfr,
+            255 => RrType::Any,
+            other => RrType::Other(other),
+        }
+    }
+
+    /// Presentation-format mnemonic.
+    pub fn mnemonic(self) -> String {
+        match self {
+            RrType::A => "A".into(),
+            RrType::Ns => "NS".into(),
+            RrType::Cname => "CNAME".into(),
+            RrType::Soa => "SOA".into(),
+            RrType::Mx => "MX".into(),
+            RrType::Txt => "TXT".into(),
+            RrType::Aaaa => "AAAA".into(),
+            RrType::Opt => "OPT".into(),
+            RrType::Ds => "DS".into(),
+            RrType::Rrsig => "RRSIG".into(),
+            RrType::Nsec => "NSEC".into(),
+            RrType::Dnskey => "DNSKEY".into(),
+            RrType::Zonemd => "ZONEMD".into(),
+            RrType::Axfr => "AXFR".into(),
+            RrType::Any => "ANY".into(),
+            RrType::Other(v) => format!("TYPE{v}"),
+        }
+    }
+
+    /// Parse a presentation-format mnemonic (including `TYPEnnn`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "A" => Some(RrType::A),
+            "NS" => Some(RrType::Ns),
+            "CNAME" => Some(RrType::Cname),
+            "SOA" => Some(RrType::Soa),
+            "MX" => Some(RrType::Mx),
+            "TXT" => Some(RrType::Txt),
+            "AAAA" => Some(RrType::Aaaa),
+            "OPT" => Some(RrType::Opt),
+            "DS" => Some(RrType::Ds),
+            "RRSIG" => Some(RrType::Rrsig),
+            "NSEC" => Some(RrType::Nsec),
+            "DNSKEY" => Some(RrType::Dnskey),
+            "ZONEMD" => Some(RrType::Zonemd),
+            "AXFR" => Some(RrType::Axfr),
+            "ANY" => Some(RrType::Any),
+            other => other
+                .strip_prefix("TYPE")
+                .and_then(|n| n.parse().ok())
+                .map(|n| RrType::from_u16(n)),
+        }
+    }
+
+    /// Whether RDATA of this type embeds domain names that must be
+    /// lowercased for RFC 4034 §6.2 canonical form.
+    pub fn rdata_has_canonical_names(self) -> bool {
+        matches!(
+            self,
+            RrType::Ns | RrType::Cname | RrType::Soa | RrType::Mx | RrType::Rrsig | RrType::Nsec
+        )
+    }
+}
+
+impl std::fmt::Display for RrType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [RrType; 15] = [
+        RrType::A,
+        RrType::Ns,
+        RrType::Cname,
+        RrType::Soa,
+        RrType::Mx,
+        RrType::Txt,
+        RrType::Aaaa,
+        RrType::Opt,
+        RrType::Ds,
+        RrType::Rrsig,
+        RrType::Nsec,
+        RrType::Dnskey,
+        RrType::Zonemd,
+        RrType::Axfr,
+        RrType::Any,
+    ];
+
+    #[test]
+    fn wire_round_trip() {
+        for t in ALL {
+            assert_eq!(RrType::from_u16(t.to_u16()), t);
+        }
+        assert_eq!(RrType::from_u16(999), RrType::Other(999));
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for t in ALL {
+            assert_eq!(RrType::parse(&t.mnemonic()), Some(t));
+        }
+        assert_eq!(RrType::parse("TYPE999"), Some(RrType::Other(999)));
+        assert_eq!(RrType::parse("zonemd"), Some(RrType::Zonemd));
+        assert_eq!(RrType::parse("FOO"), None);
+    }
+
+    #[test]
+    fn zonemd_is_type_63() {
+        // RFC 8976 assignment.
+        assert_eq!(RrType::Zonemd.to_u16(), 63);
+    }
+}

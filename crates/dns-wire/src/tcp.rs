@@ -1,0 +1,195 @@
+//! DNS-over-TCP stream framing (RFC 1035 §4.2.2 / RFC 7766).
+//!
+//! Zone transfers run over TCP: each message is prefixed with a two-byte
+//! big-endian length. This module frames and de-frames message sequences
+//! over byte streams — what the AXFR path actually looks like on the wire
+//! between a VP and a root server.
+
+use crate::message::Message;
+use crate::wire::WireError;
+
+/// Maximum DNS message size over TCP (the length prefix's range).
+pub const MAX_TCP_MESSAGE: usize = 0xffff;
+
+/// Errors framing or de-framing a TCP stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpFramingError {
+    /// A message exceeds the 16-bit length prefix.
+    MessageTooLarge(usize),
+    /// The stream ended mid-length or mid-message.
+    Truncated,
+    /// A framed message failed to decode.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for TcpFramingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpFramingError::MessageTooLarge(n) => write!(f, "message of {n} bytes exceeds TCP limit"),
+            TcpFramingError::Truncated => write!(f, "truncated TCP stream"),
+            TcpFramingError::Wire(e) => write!(f, "framed message malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TcpFramingError {}
+
+/// Frame a sequence of messages into one TCP byte stream.
+pub fn frame_stream(messages: &[Message]) -> Result<Vec<u8>, TcpFramingError> {
+    let mut out = Vec::new();
+    for msg in messages {
+        let wire = msg.to_wire();
+        if wire.len() > MAX_TCP_MESSAGE {
+            return Err(TcpFramingError::MessageTooLarge(wire.len()));
+        }
+        out.extend_from_slice(&(wire.len() as u16).to_be_bytes());
+        out.extend_from_slice(&wire);
+    }
+    Ok(out)
+}
+
+/// De-frame a TCP byte stream back into messages.
+pub fn deframe_stream(mut stream: &[u8]) -> Result<Vec<Message>, TcpFramingError> {
+    let mut out = Vec::new();
+    while !stream.is_empty() {
+        if stream.len() < 2 {
+            return Err(TcpFramingError::Truncated);
+        }
+        let len = u16::from_be_bytes([stream[0], stream[1]]) as usize;
+        stream = &stream[2..];
+        if stream.len() < len {
+            return Err(TcpFramingError::Truncated);
+        }
+        let msg = Message::from_wire(&stream[..len]).map_err(TcpFramingError::Wire)?;
+        out.push(msg);
+        stream = &stream[len..];
+    }
+    Ok(out)
+}
+
+/// An incremental de-framer for streams that arrive in chunks (as TCP
+/// segments do): feed bytes, take complete messages out.
+#[derive(Debug, Default)]
+pub struct StreamReader {
+    buf: Vec<u8>,
+}
+
+impl StreamReader {
+    /// Empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete message, if the buffer holds one.
+    pub fn next_message(&mut self) -> Result<Option<Message>, TcpFramingError> {
+        if self.buf.len() < 2 {
+            return Ok(None);
+        }
+        let len = u16::from_be_bytes([self.buf[0], self.buf[1]]) as usize;
+        if self.buf.len() < 2 + len {
+            return Ok(None);
+        }
+        let msg =
+            Message::from_wire(&self.buf[2..2 + len]).map_err(TcpFramingError::Wire)?;
+        self.buf.drain(..2 + len);
+        Ok(Some(msg))
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Name, Question, RrType};
+
+    fn sample_messages(n: usize) -> Vec<Message> {
+        (0..n)
+            .map(|i| {
+                Message::query(
+                    i as u16,
+                    Question::new(Name::parse("b.root-servers.net.").unwrap(), RrType::Soa),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frame_deframe_round_trip() {
+        let msgs = sample_messages(5);
+        let stream = frame_stream(&msgs).unwrap();
+        assert_eq!(deframe_stream(&stream).unwrap(), msgs);
+    }
+
+    #[test]
+    fn empty_stream_is_empty() {
+        assert_eq!(deframe_stream(&[]).unwrap(), Vec::<Message>::new());
+        assert_eq!(frame_stream(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncated_length_detected() {
+        let msgs = sample_messages(1);
+        let mut stream = frame_stream(&msgs).unwrap();
+        stream.push(0x00); // half a length prefix
+        assert_eq!(deframe_stream(&stream), Err(TcpFramingError::Truncated));
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let msgs = sample_messages(1);
+        let mut stream = frame_stream(&msgs).unwrap();
+        stream.pop();
+        assert_eq!(deframe_stream(&stream), Err(TcpFramingError::Truncated));
+    }
+
+    #[test]
+    fn incremental_reader_handles_arbitrary_chunking() {
+        let msgs = sample_messages(4);
+        let stream = frame_stream(&msgs).unwrap();
+        // Feed one byte at a time — worst-case segmentation.
+        let mut reader = StreamReader::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            reader.feed(&[b]);
+            while let Some(m) = reader.next_message().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(reader.pending(), 0);
+    }
+
+    #[test]
+    fn incremental_reader_partial_message_waits() {
+        let msgs = sample_messages(1);
+        let stream = frame_stream(&msgs).unwrap();
+        let mut reader = StreamReader::new();
+        reader.feed(&stream[..stream.len() - 1]);
+        assert_eq!(reader.next_message().unwrap(), None);
+        reader.feed(&stream[stream.len() - 1..]);
+        assert_eq!(reader.next_message().unwrap(), Some(msgs[0].clone()));
+    }
+
+    #[test]
+    fn corrupt_framed_message_reported() {
+        let msgs = sample_messages(1);
+        let mut stream = frame_stream(&msgs).unwrap();
+        // Zero out the question section to corrupt the message body length.
+        let n = stream.len();
+        stream.truncate(n - 2);
+        stream[0..2].copy_from_slice(&((n - 4) as u16).to_be_bytes());
+        assert!(matches!(
+            deframe_stream(&stream),
+            Err(TcpFramingError::Wire(_)) | Err(TcpFramingError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,409 @@
+//! Low-level wire reader/writer.
+//!
+//! The writer maintains a name-compression table (suffix → offset) so
+//! messages use RFC 1035 §4.1.4 compression pointers; the reader follows
+//! pointers with loop and bounds protection.
+
+use bytes::{BufMut, BytesMut};
+use std::collections::HashMap;
+
+/// Maximum offset addressable by a 14-bit compression pointer.
+const MAX_POINTER_TARGET: usize = 0x3fff;
+
+/// Errors while decoding wire data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Read past the end of the buffer.
+    Truncated,
+    /// A compression pointer points forward or at itself, or too many jumps.
+    BadPointer,
+    /// A label length byte uses the reserved 0b10/0b01 prefixes.
+    BadLabelType,
+    /// Decoded name exceeds 255 bytes.
+    NameTooLong,
+    /// RDATA length did not match its contents.
+    BadRdataLength,
+    /// A count field promised more entries than the message holds.
+    BadCount,
+    /// Malformed record content (type-specific).
+    BadRdata,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadPointer => write!(f, "invalid compression pointer"),
+            WireError::BadLabelType => write!(f, "reserved label type"),
+            WireError::NameTooLong => write!(f, "decoded name too long"),
+            WireError::BadRdataLength => write!(f, "rdata length mismatch"),
+            WireError::BadCount => write!(f, "section count exceeds message"),
+            WireError::BadRdata => write!(f, "malformed rdata"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Bounds-checked reader over a message buffer.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wrap `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the buffer is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read a big-endian u16.
+    pub fn read_u16(&mut self) -> Result<u16, WireError> {
+        let hi = self.read_u8()? as u16;
+        let lo = self.read_u8()? as u16;
+        Ok((hi << 8) | lo)
+    }
+
+    /// Read a big-endian u32.
+    pub fn read_u32(&mut self) -> Result<u32, WireError> {
+        let hi = self.read_u16()? as u32;
+        let lo = self.read_u16()? as u32;
+        Ok((hi << 16) | lo)
+    }
+
+    /// Read `len` raw bytes.
+    pub fn read_bytes(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Read a possibly-compressed name as raw labels.
+    ///
+    /// Pointers must point strictly backwards; at most 128 jumps are
+    /// followed (any legitimate name needs far fewer), so crafted loops
+    /// cannot hang the decoder.
+    pub fn read_name_labels(&mut self) -> Result<Vec<Vec<u8>>, WireError> {
+        let mut labels = Vec::new();
+        let mut wire_len = 1usize; // trailing root byte
+        let mut pos = self.pos;
+        let mut followed: u32 = 0;
+        let mut end_after_first_pointer: Option<usize> = None;
+        loop {
+            let len = *self.buf.get(pos).ok_or(WireError::Truncated)? as usize;
+            match len & 0xc0 {
+                0x00 => {
+                    pos += 1;
+                    if len == 0 {
+                        break;
+                    }
+                    if pos + len > self.buf.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    wire_len += len + 1;
+                    if wire_len > super::name::MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong);
+                    }
+                    labels.push(self.buf[pos..pos + len].to_vec());
+                    pos += len;
+                }
+                0xc0 => {
+                    let lo = *self.buf.get(pos + 1).ok_or(WireError::Truncated)? as usize;
+                    let target = ((len & 0x3f) << 8) | lo;
+                    if end_after_first_pointer.is_none() {
+                        end_after_first_pointer = Some(pos + 2);
+                    }
+                    if target >= pos {
+                        return Err(WireError::BadPointer);
+                    }
+                    followed += 1;
+                    if followed > 128 {
+                        return Err(WireError::BadPointer);
+                    }
+                    pos = target;
+                }
+                _ => return Err(WireError::BadLabelType),
+            }
+        }
+        self.pos = end_after_first_pointer.unwrap_or(pos);
+        Ok(labels)
+    }
+}
+
+/// Growable writer with a name-compression table.
+pub struct WireWriter {
+    buf: BytesMut,
+    /// Map from a name suffix (canonical lowercase wire bytes) to the offset
+    /// where that suffix was first written.
+    compress: HashMap<Vec<u8>, usize>,
+    /// Whether `put_name_compressed` emits pointers (ablation toggle).
+    compression_enabled: bool,
+}
+
+impl Default for WireWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WireWriter {
+    /// New empty writer with compression enabled.
+    pub fn new() -> Self {
+        WireWriter {
+            buf: BytesMut::with_capacity(512),
+            compress: HashMap::new(),
+            compression_enabled: true,
+        }
+    }
+
+    /// New writer with compression disabled (for the codec ablation bench).
+    pub fn without_compression() -> Self {
+        WireWriter {
+            compression_enabled: false,
+            ..Self::new()
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Append a big-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+
+    /// Append a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Overwrite a previously written big-endian u16 (for patching RDLENGTH
+    /// and section counts).
+    pub fn patch_u16(&mut self, offset: usize, v: u16) {
+        self.buf[offset] = (v >> 8) as u8;
+        self.buf[offset + 1] = v as u8;
+    }
+
+    /// Write a name using compression pointers where a suffix was already
+    /// emitted. `labels` are raw label bytes, leftmost first.
+    pub fn put_name_compressed(&mut self, labels: &[Vec<u8>]) {
+        for i in 0..labels.len() {
+            let suffix_key = suffix_key(&labels[i..]);
+            if self.compression_enabled {
+                if let Some(&off) = self.compress.get(&suffix_key) {
+                    debug_assert!(off <= MAX_POINTER_TARGET);
+                    self.put_u16(0xc000 | off as u16);
+                    return;
+                }
+            }
+            let here = self.buf.len();
+            if self.compression_enabled && here <= MAX_POINTER_TARGET {
+                self.compress.insert(suffix_key, here);
+            }
+            self.put_u8(labels[i].len() as u8);
+            self.put_bytes(&labels[i]);
+        }
+        self.put_u8(0);
+    }
+
+    /// Finish, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Case-insensitive key for a label suffix.
+fn suffix_key(labels: &[Vec<u8>]) -> Vec<u8> {
+    let mut key = Vec::new();
+    for l in labels {
+        key.push(l.len() as u8);
+        key.extend(l.iter().map(|b| b.to_ascii_lowercase()));
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(0xab);
+        w.put_u16(0x1234);
+        w.put_u32(0xdeadbeef);
+        w.put_bytes(b"xyz");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_u8().unwrap(), 0xab);
+        assert_eq!(r.read_u16().unwrap(), 0x1234);
+        assert_eq!(r.read_u32().unwrap(), 0xdeadbeef);
+        assert_eq!(r.read_bytes(3).unwrap(), b"xyz");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_fail() {
+        let mut r = WireReader::new(&[0x01]);
+        assert_eq!(r.read_u16(), Err(WireError::Truncated));
+        let mut r = WireReader::new(&[]);
+        assert_eq!(r.read_u8(), Err(WireError::Truncated));
+        let mut r = WireReader::new(&[1, 2]);
+        assert_eq!(r.read_bytes(3), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn compression_reuses_suffix() {
+        let labels_b = vec![b"b".to_vec(), b"root-servers".to_vec(), b"net".to_vec()];
+        let labels_c = vec![b"c".to_vec(), b"root-servers".to_vec(), b"net".to_vec()];
+        let mut w = WireWriter::new();
+        w.put_name_compressed(&labels_b);
+        let first_len = w.len();
+        w.put_name_compressed(&labels_c);
+        let bytes = w.into_bytes();
+        // Second name: 1+1 ("c") + 2 (pointer) = 4 bytes.
+        assert_eq!(bytes.len(), first_len + 4);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name_labels().unwrap(), labels_b);
+        assert_eq!(r.read_name_labels().unwrap(), labels_c);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn compression_case_insensitive() {
+        let upper = vec![b"NET".to_vec()];
+        let lower = vec![b"net".to_vec()];
+        let mut w = WireWriter::new();
+        w.put_name_compressed(&upper);
+        w.put_name_compressed(&lower);
+        let bytes = w.into_bytes();
+        // Second occurrence must be a 2-byte pointer.
+        assert_eq!(bytes.len(), 5 + 2);
+    }
+
+    #[test]
+    fn without_compression_writes_full_names() {
+        let labels = vec![b"a".to_vec(), b"net".to_vec()];
+        let mut w = WireWriter::without_compression();
+        w.put_name_compressed(&labels);
+        w.put_name_compressed(&labels);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2 * (2 + 4 + 1));
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // Pointer at offset 0 pointing to itself.
+        let bytes = [0xc0, 0x00];
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name_labels(), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // Two pointers pointing at each other.
+        let bytes = [0xc0, 0x02, 0xc0, 0x00];
+        let mut r = WireReader::new(&bytes);
+        r.pos = 2;
+        assert_eq!(r.read_name_labels(), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn reserved_label_type_rejected() {
+        let bytes = [0x80, 0x00];
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name_labels(), Err(WireError::BadLabelType));
+    }
+
+    #[test]
+    fn truncated_name_rejected() {
+        let bytes = [0x03, b'a', b'b']; // promises 3 bytes, has 2
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name_labels(), Err(WireError::Truncated));
+        let bytes = [0x01, b'a']; // missing terminator
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name_labels(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn reader_position_after_pointer() {
+        // name "x." at 0, then at 3: "y" + pointer to 0.
+        let bytes = [1, b'x', 0, 1, b'y', 0xc0, 0x00, 0xff];
+        let mut r = WireReader::new(&bytes);
+        r.pos = 3;
+        let labels = r.read_name_labels().unwrap();
+        assert_eq!(labels, vec![b"y".to_vec(), b"x".to_vec()]);
+        // Reader continues right after the pointer.
+        assert_eq!(r.position(), 7);
+        assert_eq!(r.read_u8().unwrap(), 0xff);
+    }
+
+    #[test]
+    fn patch_u16_overwrites() {
+        let mut w = WireWriter::new();
+        w.put_u16(0);
+        w.put_u8(9);
+        w.patch_u16(0, 0xbeef);
+        assert_eq!(w.into_bytes(), vec![0xbe, 0xef, 9]);
+    }
+
+    #[test]
+    fn overlong_decoded_name_rejected() {
+        // Build 5 labels of 63 bytes: 5*64+1 = 321 > 255.
+        let mut bytes = Vec::new();
+        for _ in 0..5 {
+            bytes.push(63);
+            bytes.extend(std::iter::repeat(b'a').take(63));
+        }
+        bytes.push(0);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name_labels(), Err(WireError::NameTooLong));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the wire codec.
+
+use dns_wire::rdata::{Rdata, Soa};
+use dns_wire::{Message, Name, Question, Record, RrType, WireReader, WireWriter};
+use proptest::prelude::*;
+
+/// Strategy: a DNS label (1-20 bytes of letters/digits/hyphen).
+fn label() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (b'a'..=b'z').prop_map(|b| b),
+            (b'0'..=b'9').prop_map(|b| b),
+            Just(b'-'),
+        ],
+        1..20,
+    )
+}
+
+/// Strategy: a name of 0-5 labels.
+fn name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(label(), 0..5)
+        .prop_filter_map("valid name", |labels| Name::from_labels(labels).ok())
+}
+
+/// Strategy: simple RDATA variants.
+fn rdata() -> impl Strategy<Value = Rdata> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| Rdata::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| Rdata::Aaaa(o.into())),
+        name().prop_map(Rdata::Ns),
+        name().prop_map(Rdata::Cname),
+        (name(), name(), any::<u32>()).prop_map(|(m, r, serial)| {
+            Rdata::Soa(Soa {
+                mname: m,
+                rname: r,
+                serial,
+                refresh: 1800,
+                retry: 900,
+                expire: 604800,
+                minimum: 86400,
+            })
+        }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..100), 1..4)
+            .prop_map(Rdata::Txt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn name_wire_round_trip(n in name()) {
+        let mut w = WireWriter::new();
+        n.write_wire(&mut w, false);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(Name::read_wire(&mut r).unwrap(), n);
+    }
+
+    #[test]
+    fn name_display_parse_round_trip(n in name()) {
+        prop_assert_eq!(Name::parse(&n.to_string()).unwrap(), n);
+    }
+
+    #[test]
+    fn name_compression_decodes_identically(names in proptest::collection::vec(name(), 1..8)) {
+        let mut compressed = WireWriter::new();
+        let mut plain = WireWriter::without_compression();
+        for n in &names {
+            n.write_wire_compressed(&mut compressed);
+            n.write_wire_compressed(&mut plain);
+        }
+        let cb = compressed.into_bytes();
+        let pb = plain.into_bytes();
+        prop_assert!(cb.len() <= pb.len());
+        let mut cr = WireReader::new(&cb);
+        let mut pr = WireReader::new(&pb);
+        for n in &names {
+            prop_assert_eq!(&Name::read_wire(&mut cr).unwrap(), n);
+            prop_assert_eq!(&Name::read_wire(&mut pr).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn canonical_cmp_is_total_order(a in name(), b in name(), c in name()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.canonical_cmp(&b), b.canonical_cmp(&a).reverse());
+        // Transitivity (for the <= relation).
+        if a.canonical_cmp(&b) != Ordering::Greater && b.canonical_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.canonical_cmp(&c), Ordering::Greater);
+        }
+        // Reflexivity via equality.
+        prop_assert_eq!(a.canonical_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn record_wire_round_trip(n in name(), ttl in any::<u32>(), rd in rdata()) {
+        let rec = Record::new(n, ttl, rd);
+        let mut w = WireWriter::new();
+        rec.write_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(Record::read_wire(&mut r).unwrap(), rec);
+    }
+
+    #[test]
+    fn message_wire_round_trip(
+        id in any::<u16>(),
+        qname in name(),
+        answers in proptest::collection::vec((name(), any::<u32>(), rdata()), 0..6),
+    ) {
+        let mut msg = Message::query(id, Question::new(qname, RrType::A));
+        for (n, ttl, rd) in answers {
+            msg.answers.push(Record::new(n, ttl, rd));
+        }
+        msg.header.flags.response = true;
+        let decoded = Message::from_wire(&msg.to_wire()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Must return Ok or Err, never panic or loop.
+        let _ = Message::from_wire(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_message(
+        qname in name(),
+        idx in 0usize..64,
+        flip in 1u8..=255,
+    ) {
+        let msg = Message::query(7, Question::new(qname, RrType::Aaaa));
+        let mut bytes = msg.to_wire();
+        let i = idx % bytes.len();
+        bytes[i] ^= flip;
+        let _ = Message::from_wire(&bytes);
+    }
+
+    #[test]
+    fn presentation_round_trip(n in name(), ttl in any::<u32>(), rd in rdata()) {
+        let rec = Record::new(n, ttl, rd);
+        let line = dns_wire::presentation::record_to_line(&rec);
+        let back = dns_wire::presentation::record_from_line(&line).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+}

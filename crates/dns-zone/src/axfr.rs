@@ -1,0 +1,216 @@
+//! AXFR zone-transfer framing (RFC 5936).
+//!
+//! A zone transfer is a sequence of DNS messages: the first answer record is
+//! the SOA, the last is the SOA again, and everything in between is the rest
+//! of the zone. Servers batch records to keep each message under a size
+//! budget; resolvers reassemble and check the SOA envelope.
+
+use crate::zone::{Zone, ZoneError};
+use dns_wire::{Message, Name, Question, Rcode, Record, RrType};
+
+/// Maximum answer records per AXFR message (typical server behaviour packs
+/// many; the exact number only affects framing granularity).
+pub const DEFAULT_BATCH: usize = 100;
+
+/// Errors reassembling an AXFR stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxfrError {
+    /// The stream was empty.
+    Empty,
+    /// The first record was not the zone's SOA.
+    MissingLeadingSoa,
+    /// The stream did not end with the SOA.
+    MissingTrailingSoa,
+    /// A message in the stream signalled an error rcode.
+    ErrorRcode(u16),
+    /// The transfer produced an inconsistent zone.
+    Zone(ZoneError),
+}
+
+impl std::fmt::Display for AxfrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AxfrError::Empty => write!(f, "empty AXFR stream"),
+            AxfrError::MissingLeadingSoa => write!(f, "AXFR does not start with SOA"),
+            AxfrError::MissingTrailingSoa => write!(f, "AXFR does not end with SOA"),
+            AxfrError::ErrorRcode(rc) => write!(f, "AXFR message rcode {rc}"),
+            AxfrError::Zone(e) => write!(f, "AXFR produced bad zone: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AxfrError {}
+
+/// Serve `zone` as an AXFR message stream answering `query_id`.
+pub fn serve_axfr(zone: &Zone, query_id: u16, batch: usize) -> Result<Vec<Message>, AxfrError> {
+    let soa_recs = zone.rrset(zone.origin(), RrType::Soa);
+    let soa = soa_recs.first().copied().ok_or(AxfrError::MissingLeadingSoa)?.clone();
+    let mut sequence: Vec<Record> = Vec::with_capacity(zone.len() + 1);
+    sequence.push(soa.clone());
+    for rec in zone.records() {
+        if rec.rr_type == RrType::Soa && rec.name == *zone.origin() {
+            continue;
+        }
+        sequence.push(rec.clone());
+    }
+    sequence.push(soa);
+
+    let query = Message::query(
+        query_id,
+        Question::new(zone.origin().clone(), RrType::Axfr),
+    );
+    let batch = batch.max(1);
+    let mut messages = Vec::new();
+    for chunk in sequence.chunks(batch) {
+        messages.push(Message::response_to(&query, Rcode::NoError, chunk.to_vec()));
+    }
+    Ok(messages)
+}
+
+/// Reassemble an AXFR stream into a zone rooted at `origin`.
+pub fn assemble_axfr(messages: &[Message], origin: &Name) -> Result<Zone, AxfrError> {
+    if messages.is_empty() {
+        return Err(AxfrError::Empty);
+    }
+    let mut records: Vec<Record> = Vec::new();
+    for msg in messages {
+        if msg.header.rcode != Rcode::NoError {
+            return Err(AxfrError::ErrorRcode(match msg.header.rcode {
+                Rcode::NoError => 0,
+                Rcode::FormErr => 1,
+                Rcode::ServFail => 2,
+                Rcode::NxDomain => 3,
+                Rcode::NotImp => 4,
+                Rcode::Refused => 5,
+                Rcode::Other(v) => v as u16,
+            }));
+        }
+        records.extend(msg.answers.iter().cloned());
+    }
+    if records.is_empty() {
+        return Err(AxfrError::Empty);
+    }
+    let leading_is_soa = records[0].rr_type == RrType::Soa && records[0].name == *origin;
+    if !leading_is_soa {
+        return Err(AxfrError::MissingLeadingSoa);
+    }
+    let trailing = records.last().unwrap();
+    if trailing.rr_type != RrType::Soa || trailing.name != *origin {
+        return Err(AxfrError::MissingTrailingSoa);
+    }
+    let mut zone = Zone::new(origin.clone());
+    // Leading SOA kept, trailing SOA dropped.
+    let end = records.len() - 1;
+    for rec in records.into_iter().take(end) {
+        zone.push(rec).map_err(AxfrError::Zone)?;
+    }
+    Ok(zone)
+}
+
+/// Round-trip helper: serve and immediately reassemble (what a measurement
+/// VP effectively does per probe).
+pub fn transfer(zone: &Zone, query_id: u16) -> Result<Zone, AxfrError> {
+    let messages = serve_axfr(zone, query_id, DEFAULT_BATCH)?;
+    assemble_axfr(&messages, zone.origin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollout::RolloutPhase;
+    use crate::rootzone::{build_root_zone, RootZoneConfig};
+    use crate::signer::ZoneKeys;
+    use crate::zonemd::verify_zonemd;
+
+    fn zone() -> Zone {
+        build_root_zone(
+            &RootZoneConfig {
+                tld_count: 10,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(11),
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_zone() {
+        let z = zone();
+        let back = transfer(&z, 42).unwrap();
+        let a: Vec<_> = z.canonical_records().iter().map(|r| r.canonical_wire(None)).collect();
+        let b: Vec<_> = back.canonical_records().iter().map(|r| r.canonical_wire(None)).collect();
+        assert_eq!(a, b);
+        // Transferred zone still passes ZONEMD.
+        assert_eq!(verify_zonemd(&back), Ok(()));
+    }
+
+    #[test]
+    fn soa_envelope_present() {
+        let z = zone();
+        let msgs = serve_axfr(&z, 1, DEFAULT_BATCH).unwrap();
+        let first = &msgs[0].answers[0];
+        assert_eq!(first.rr_type, RrType::Soa);
+        let last = msgs.last().unwrap().answers.last().unwrap();
+        assert_eq!(last.rr_type, RrType::Soa);
+    }
+
+    #[test]
+    fn batching_splits_messages() {
+        let z = zone();
+        let msgs = serve_axfr(&z, 1, 10).unwrap();
+        assert!(msgs.len() > 1);
+        assert!(msgs.iter().all(|m| m.answers.len() <= 10));
+        let back = assemble_axfr(&msgs, z.origin()).unwrap();
+        assert_eq!(back.len(), z.len());
+    }
+
+    #[test]
+    fn empty_stream_rejected() {
+        assert_eq!(assemble_axfr(&[], &Name::root()), Err(AxfrError::Empty));
+    }
+
+    #[test]
+    fn missing_trailing_soa_rejected() {
+        let z = zone();
+        let mut msgs = serve_axfr(&z, 1, DEFAULT_BATCH).unwrap();
+        // Drop the trailing SOA.
+        let last = msgs.last_mut().unwrap();
+        last.answers.pop();
+        assert_eq!(
+            assemble_axfr(&msgs, z.origin()),
+            Err(AxfrError::MissingTrailingSoa)
+        );
+    }
+
+    #[test]
+    fn missing_leading_soa_rejected() {
+        let z = zone();
+        let mut msgs = serve_axfr(&z, 1, DEFAULT_BATCH).unwrap();
+        msgs[0].answers.remove(0);
+        assert_eq!(
+            assemble_axfr(&msgs, z.origin()),
+            Err(AxfrError::MissingLeadingSoa)
+        );
+    }
+
+    #[test]
+    fn error_rcode_rejected() {
+        let z = zone();
+        let mut msgs = serve_axfr(&z, 1, DEFAULT_BATCH).unwrap();
+        msgs[0].header.rcode = Rcode::Refused;
+        assert_eq!(assemble_axfr(&msgs, z.origin()), Err(AxfrError::ErrorRcode(5)));
+    }
+
+    #[test]
+    fn wire_round_trip_of_stream() {
+        // Full encode/decode of every message in the stream.
+        let z = zone();
+        let msgs = serve_axfr(&z, 7, 50).unwrap();
+        let decoded: Vec<Message> = msgs
+            .iter()
+            .map(|m| Message::from_wire(&m.to_wire()).unwrap())
+            .collect();
+        let back = assemble_axfr(&decoded, z.origin()).unwrap();
+        assert_eq!(verify_zonemd(&back), Ok(()));
+    }
+}

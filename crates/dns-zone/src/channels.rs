@@ -1,0 +1,241 @@
+//! Root zone distribution channels (§7): besides AXFR from the root
+//! servers, the paper validated zone copies from **ICANN CZDS** (daily
+//! files) and the **IANA website** (downloaded every 15 minutes).
+//!
+//! The channels differ in cadence and in what the paper observed:
+//!
+//! * CZDS files carried a ZONEMD record from 2023-09-21 but *did not
+//!   validate until 2023-12-07* (one day after the AXFR-visible switch —
+//!   the daily file lags);
+//! * IANA downloads showed the first ZONEMD at 2023-09-21T13:30 UTC and
+//!   validated from 2023-12-06T20:30 UTC;
+//! * neither channel ever delivered a corrupted file — the transport
+//!   (HTTPS) protects integrity end-to-end, unlike AXFR from a stale or
+//!   bit-flipped path.
+
+use crate::rollout::{RolloutPhase, ZONEMD_VALIDATES_DATE};
+use crate::rootzone::{build_root_zone, RootZoneConfig};
+use crate::signer::ZoneKeys;
+use crate::zone::Zone;
+use dns_crypto::validity::timestamp_from_ymd;
+
+/// A zone distribution channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// ICANN Centralized Zone Data Service: one file per day.
+    Czds,
+    /// IANA website: a fresh snapshot every 15 minutes.
+    IanaWebsite,
+    /// AXFR from a root server (the live path; modelled elsewhere).
+    Axfr,
+}
+
+impl Channel {
+    /// Snapshot cadence in seconds.
+    pub fn cadence(self) -> u32 {
+        match self {
+            Channel::Czds => 86_400,
+            Channel::IanaWebsite => 900,
+            Channel::Axfr => 0, // on demand
+        }
+    }
+
+    /// When the channel first exposed a ZONEMD record.
+    ///
+    /// Both file channels lagged the in-zone introduction (2023-09-13) by
+    /// about a week — the paper observed 2023-09-21 on both.
+    pub fn zonemd_first_visible(self) -> u32 {
+        match self {
+            Channel::Czds | Channel::IanaWebsite => {
+                timestamp_from_ymd("20230921000000").unwrap()
+            }
+            Channel::Axfr => crate::rollout::ZONEMD_PRIVATE_DATE,
+        }
+    }
+
+    /// When copies from this channel start validating.
+    pub fn validates_from(self) -> u32 {
+        match self {
+            // CZDS is a daily file: the first validating one is dated a day
+            // after the in-zone switch.
+            Channel::Czds => timestamp_from_ymd("20231207000000").unwrap(),
+            Channel::IanaWebsite => timestamp_from_ymd("20231206203000").unwrap(),
+            Channel::Axfr => ZONEMD_VALIDATES_DATE,
+        }
+    }
+
+    /// The roll-out phase a snapshot taken at `time` exposes on this
+    /// channel (file channels lag the zone itself).
+    pub fn phase_at(self, time: u32) -> RolloutPhase {
+        if time < self.zonemd_first_visible() {
+            RolloutPhase::NoRecord
+        } else if time < self.validates_from() {
+            RolloutPhase::PrivateAlgorithm
+        } else {
+            RolloutPhase::Validating
+        }
+    }
+}
+
+/// A dated snapshot from a channel.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub channel: Channel,
+    /// Snapshot timestamp (channel cadence grid).
+    pub time: u32,
+    pub zone: Zone,
+}
+
+/// Produce all snapshots of `channel` in `[from, until)`, built with the
+/// channel-appropriate roll-out phase and daily serials.
+pub fn snapshots(
+    channel: Channel,
+    from: u32,
+    until: u32,
+    keys: &ZoneKeys,
+    tld_count: usize,
+) -> Vec<Snapshot> {
+    let cadence = channel.cadence().max(900);
+    let mut out = Vec::new();
+    let mut t = from - from % cadence;
+    if t < from {
+        t += cadence;
+    }
+    while t < until {
+        let day = t - t % 86400;
+        let ymd: String = dns_crypto::validity::timestamp_to_ymd(day)
+            .chars()
+            .take(8)
+            .collect();
+        let serial: u32 = ymd.parse::<u32>().expect("8 digits") * 100;
+        let zone = build_root_zone(
+            &RootZoneConfig {
+                serial,
+                tld_count,
+                inception: day,
+                expiration: day + 14 * 86400,
+                rollout: channel.phase_at(t),
+            },
+            keys,
+        );
+        out.push(Snapshot {
+            channel,
+            time: t,
+            zone,
+        });
+        t += cadence;
+    }
+    out
+}
+
+/// Validation summary over a snapshot series — the §7 CZDS/IANA result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelReport {
+    pub total: u32,
+    /// Snapshots with no ZONEMD record.
+    pub no_record: u32,
+    /// Snapshots with an unverifiable (private-algorithm) record.
+    pub unverifiable: u32,
+    /// Snapshots that validate.
+    pub validating: u32,
+    /// Snapshots with an *invalid* digest (the paper saw zero on both file
+    /// channels; anything non-zero here is a transport-integrity incident).
+    pub invalid: u32,
+}
+
+/// Validate every snapshot.
+pub fn validate_channel(snaps: &[Snapshot]) -> ChannelReport {
+    use crate::zonemd::{verify_zonemd, ZonemdError};
+    let mut report = ChannelReport::default();
+    for s in snaps {
+        report.total += 1;
+        match verify_zonemd(&s.zone) {
+            Ok(()) => report.validating += 1,
+            Err(ZonemdError::NoZonemd) => report.no_record += 1,
+            Err(ZonemdError::UnsupportedAlgorithm) => report.unverifiable += 1,
+            Err(_) => report.invalid += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_crypto::validity::timestamp_from_ymd as ts;
+
+    fn keys() -> ZoneKeys {
+        ZoneKeys::from_seed(7)
+    }
+
+    #[test]
+    fn cadences_match_paper() {
+        assert_eq!(Channel::Czds.cadence(), 86_400);
+        assert_eq!(Channel::IanaWebsite.cadence(), 900);
+    }
+
+    #[test]
+    fn phase_transitions_lag_axfr() {
+        // On 2023-10-01, AXFR already shows the (private) record; so do the
+        // file channels — but on 2023-09-15 only AXFR does.
+        let t_sep15 = ts("20230915000000").unwrap();
+        assert_eq!(Channel::Axfr.phase_at(t_sep15), RolloutPhase::PrivateAlgorithm);
+        assert_eq!(Channel::Czds.phase_at(t_sep15), RolloutPhase::NoRecord);
+        assert_eq!(Channel::IanaWebsite.phase_at(t_sep15), RolloutPhase::NoRecord);
+        // 2023-12-06 21:00: IANA validates, CZDS not yet (daily lag).
+        let t_dec6 = ts("20231206210000").unwrap();
+        assert_eq!(Channel::IanaWebsite.phase_at(t_dec6), RolloutPhase::Validating);
+        assert_eq!(Channel::Czds.phase_at(t_dec6), RolloutPhase::PrivateAlgorithm);
+    }
+
+    #[test]
+    fn iana_snapshot_count_matches_cadence() {
+        // One day of IANA downloads = 96 snapshots (every 15 minutes).
+        let from = ts("20231001000000").unwrap();
+        let snaps = snapshots(Channel::IanaWebsite, from, from + 86_400, &keys(), 4);
+        assert_eq!(snaps.len(), 96);
+    }
+
+    #[test]
+    fn czds_daily_files() {
+        let from = ts("20231001000000").unwrap();
+        let snaps = snapshots(Channel::Czds, from, from + 7 * 86_400, &keys(), 4);
+        assert_eq!(snaps.len(), 7);
+    }
+
+    #[test]
+    fn channel_validation_timeline() {
+        // A window straddling the validation switch: before it everything
+        // is unverifiable, after it everything validates, nothing invalid.
+        let from = ts("20231205000000").unwrap();
+        let until = ts("20231208000000").unwrap();
+        let snaps = snapshots(Channel::IanaWebsite, from, until, &keys(), 4);
+        let report = validate_channel(&snaps);
+        assert_eq!(report.invalid, 0);
+        assert!(report.unverifiable > 0);
+        assert!(report.validating > 0);
+        assert_eq!(
+            report.total,
+            report.no_record + report.unverifiable + report.validating
+        );
+    }
+
+    #[test]
+    fn pre_rollout_snapshots_have_no_record() {
+        let from = ts("20230801000000").unwrap();
+        let snaps = snapshots(Channel::Czds, from, from + 3 * 86_400, &keys(), 4);
+        let report = validate_channel(&snaps);
+        assert_eq!(report.no_record, report.total);
+    }
+
+    #[test]
+    fn file_channels_never_invalid() {
+        // The §7 finding: HTTPS-delivered files showed no integrity issues.
+        let from = ts("20231120000000").unwrap();
+        let until = ts("20231215000000").unwrap();
+        for channel in [Channel::Czds, Channel::IanaWebsite] {
+            let snaps = snapshots(channel, from, until, &keys(), 3);
+            assert_eq!(validate_channel(&snaps).invalid, 0, "{channel:?}");
+        }
+    }
+}

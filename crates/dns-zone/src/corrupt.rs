@@ -1,0 +1,230 @@
+//! Fault injection for zone copies — the failure modes the paper found in
+//! the wild (Table 2, Figure 10):
+//!
+//! * **bitflips** from faulty VP memory (or, unexcludably, in transit / on
+//!   the server) — a single flipped bit in an RRSIG or even a TLD label
+//!   (`.ruhr` → garbage is the paper's example);
+//! * **stale zones** — a site serving a zone whose signatures expired
+//!   (Tokyo and Leeds d.root sites in the paper);
+//! * **clock skew** on the VP — not a zone fault, but modelled here as part
+//!   of the observation context because it produces "not incepted" errors.
+
+use crate::zone::Zone;
+use dns_wire::rdata::Rdata;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where a bitflip landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitflipLocation {
+    /// Index into `zone.records()`.
+    pub record_index: usize,
+    /// Byte offset within the flipped field.
+    pub byte: usize,
+    /// Bit (0 = LSB) within the byte.
+    pub bit: u8,
+    /// Human-readable description of the field hit.
+    pub field: &'static str,
+}
+
+/// Flip one random bit in a random RRSIG signature — the most common
+/// observable flavour (Figure 10 shows exactly this shape).
+///
+/// Returns where the flip landed, or `None` if the zone has no RRSIGs.
+pub fn flip_rrsig_bit(zone: &mut Zone, seed: u64) -> Option<BitflipLocation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sig_indices: Vec<usize> = zone
+        .records()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| matches!(r.rdata, Rdata::Rrsig(_)).then_some(i))
+        .collect();
+    if sig_indices.is_empty() {
+        return None;
+    }
+    let record_index = sig_indices[rng.gen_range(0..sig_indices.len())];
+    let rec = &mut zone.records_mut()[record_index];
+    let Rdata::Rrsig(sig) = &mut rec.rdata else {
+        unreachable!("filtered to RRSIGs");
+    };
+    if sig.signature.is_empty() {
+        return None;
+    }
+    let byte = rng.gen_range(0..sig.signature.len());
+    let bit = rng.gen_range(0..8u8);
+    sig.signature[byte] ^= 1 << bit;
+    Some(BitflipLocation {
+        record_index,
+        byte,
+        bit,
+        field: "RRSIG signature",
+    })
+}
+
+/// Flip one bit in a delegation owner label — the paper's `.ruhr` example,
+/// where a flipped bit turned a TLD into a different (potentially
+/// homograph-attackable) name. Targets the first non-apex NS owner.
+pub fn flip_owner_label_bit(zone: &mut Zone, seed: u64) -> Option<BitflipLocation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let origin = zone.origin().clone();
+    let idx = zone
+        .records()
+        .iter()
+        .position(|r| r.rr_type == dns_wire::RrType::Ns && r.name != origin)?;
+    let rec = &mut zone.records_mut()[idx];
+    let labels: Vec<Vec<u8>> = rec.name.labels().map(|l| l.to_vec()).collect();
+    let mut first = labels[0].clone();
+    let byte = rng.gen_range(0..first.len());
+    // Flip a low bit so the result stays a plausible (if wrong) letter.
+    let bit = rng.gen_range(0..3u8);
+    first[byte] ^= 1 << bit;
+    // Keep the label DNS-legal: never produce a dot or NUL.
+    if first[byte] == b'.' || first[byte] == 0 {
+        first[byte] ^= 1 << bit; // undo
+        first[byte] ^= 1 << ((bit + 1) % 3);
+    }
+    let mut new_labels = vec![first];
+    new_labels.extend(labels[1..].iter().cloned());
+    rec.name = dns_wire::Name::from_labels(new_labels).ok()?;
+    Some(BitflipLocation {
+        record_index: idx,
+        byte,
+        bit,
+        field: "owner label",
+    })
+}
+
+/// A "stale" server: keeps serving `old` while the world moved on. The
+/// returned zone is byte-identical to the old one — staleness manifests when
+/// the validator's clock passes the old RRSIG expirations.
+pub fn stale_copy(old: &Zone) -> Zone {
+    old.clone()
+}
+
+/// VP clock-skew model: the observation timestamp a skewed vantage point
+/// writes into its logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockSkew {
+    /// Seconds the VP clock is off (positive = fast).
+    pub offset_secs: i64,
+}
+
+impl ClockSkew {
+    /// Apply the skew to a true timestamp.
+    pub fn apply(&self, true_time: u32) -> u32 {
+        (true_time as i64 + self.offset_secs).clamp(0, u32::MAX as i64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollout::RolloutPhase;
+    use crate::rootzone::{build_root_zone, RootZoneConfig};
+    use crate::signer::ZoneKeys;
+    use crate::validate::{bitflip_diff, validate_zone, ValidationIssue};
+
+    fn zone() -> (Zone, RootZoneConfig) {
+        let cfg = RootZoneConfig {
+            tld_count: 10,
+            rollout: RolloutPhase::Validating,
+            ..Default::default()
+        };
+        (build_root_zone(&cfg, &ZoneKeys::from_seed(99)), cfg)
+    }
+
+    #[test]
+    fn rrsig_bitflip_causes_bogus_signature() {
+        let (mut z, cfg) = zone();
+        let loc = flip_rrsig_bit(&mut z, 1).expect("zone has RRSIGs");
+        assert_eq!(loc.field, "RRSIG signature");
+        let report = validate_zone(&z, cfg.inception + 3600);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::BogusSignature { .. })));
+    }
+
+    #[test]
+    fn rrsig_bitflip_also_breaks_zonemd() {
+        let (mut z, _) = zone();
+        flip_rrsig_bit(&mut z, 2).unwrap();
+        assert!(crate::zonemd::verify_zonemd(&z).is_err());
+    }
+
+    #[test]
+    fn bitflip_is_single_record_diff() {
+        let (reference, _) = zone();
+        let mut observed = reference.clone();
+        flip_rrsig_bit(&mut observed, 3).unwrap();
+        let diff = bitflip_diff(&reference, &observed).expect("exactly one pair");
+        assert!(diff.reference_line.contains("RRSIG"));
+        assert_ne!(diff.reference_line, diff.observed_line);
+    }
+
+    #[test]
+    fn owner_label_flip_changes_tld() {
+        let (reference, _) = zone();
+        let mut observed = reference.clone();
+        let loc = flip_owner_label_bit(&mut observed, 4).expect("has delegations");
+        assert_eq!(loc.field, "owner label");
+        // The zones now differ.
+        assert_ne!(
+            reference.records()[loc.record_index].name,
+            observed.records()[loc.record_index].name
+        );
+    }
+
+    #[test]
+    fn owner_flip_breaks_zonemd() {
+        let (_, _) = zone();
+        let (mut observed, _) = zone();
+        flip_owner_label_bit(&mut observed, 5).unwrap();
+        assert!(crate::zonemd::verify_zonemd(&observed).is_err());
+    }
+
+    #[test]
+    fn stale_zone_expires() {
+        let (z, cfg) = zone();
+        let stale = stale_copy(&z);
+        // Valid while fresh.
+        assert!(validate_zone(&stale, cfg.inception + 3600).is_valid());
+        // Expired once the clock passes the window.
+        let report = validate_zone(&stale, cfg.expiration + 3600);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::SignatureExpired { .. })));
+    }
+
+    #[test]
+    fn clock_skew_applies_both_directions() {
+        let fast = ClockSkew { offset_secs: 600 };
+        let slow = ClockSkew { offset_secs: -600 };
+        assert_eq!(fast.apply(1000), 1600);
+        assert_eq!(slow.apply(1000), 400);
+        // Clamped at zero.
+        assert_eq!(slow.apply(100), 0);
+    }
+
+    #[test]
+    fn skewed_clock_produces_not_incepted() {
+        let (z, cfg) = zone();
+        // VP whose clock is 1h behind validates a freshly signed zone.
+        let skew = ClockSkew { offset_secs: -3600 };
+        let vp_now = skew.apply(cfg.inception + 60);
+        let report = validate_zone(&z, vp_now);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::SignatureNotIncepted { .. })));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (mut a, _) = zone();
+        let (mut b, _) = zone();
+        assert_eq!(flip_rrsig_bit(&mut a, 7), flip_rrsig_bit(&mut b, 7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,348 @@
+//! RFC 1035 master-file parsing and serialization.
+//!
+//! Supports the constructs the IANA root zone file and AXFR dumps use:
+//! `$ORIGIN`, `$TTL`, comments, relative owners, blank-owner continuation
+//! (repeat previous owner), and parenthesized multi-line records.
+
+use crate::zone::{Zone, ZoneError};
+use dns_wire::presentation::{record_from_line, record_to_line, ParseError};
+use dns_wire::Name;
+
+/// Errors while reading a master file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MasterFileError {
+    /// A record line failed to parse.
+    Record { line_no: usize, err: ParseError },
+    /// A directive was malformed.
+    BadDirective { line_no: usize, directive: String },
+    /// A relative owner appeared before any `$ORIGIN`.
+    NoOrigin { line_no: usize },
+    /// The assembled zone was inconsistent.
+    Zone(ZoneError),
+    /// Unbalanced parentheses at end of input.
+    UnbalancedParens,
+}
+
+impl std::fmt::Display for MasterFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MasterFileError::Record { line_no, err } => {
+                write!(f, "line {line_no}: {err}")
+            }
+            MasterFileError::BadDirective { line_no, directive } => {
+                write!(f, "line {line_no}: bad directive {directive}")
+            }
+            MasterFileError::NoOrigin { line_no } => {
+                write!(f, "line {line_no}: relative owner without $ORIGIN")
+            }
+            MasterFileError::Zone(e) => write!(f, "zone error: {e}"),
+            MasterFileError::UnbalancedParens => write!(f, "unbalanced parentheses"),
+        }
+    }
+}
+
+impl std::error::Error for MasterFileError {}
+
+/// Parse a master file into a zone rooted at `default_origin` (overridable
+/// by a leading `$ORIGIN`).
+pub fn parse_master_file(text: &str, default_origin: &Name) -> Result<Zone, MasterFileError> {
+    let mut origin = default_origin.clone();
+    let mut default_ttl: Option<u32> = None;
+    let mut last_owner: Option<String> = None;
+    let mut zone = Zone::new(default_origin.clone());
+    let mut pending = String::new();
+    let mut pending_leading_ws = false;
+    let mut paren_depth = 0usize;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if pending.is_empty() {
+            // Leading whitespace on the *first* physical line of a logical
+            // record means "repeat previous owner".
+            pending_leading_ws = raw_line.starts_with(char::is_whitespace);
+        }
+        // Strip comments (outside quotes).
+        let stripped = strip_comment(raw_line);
+        // Handle parentheses for continuations.
+        for c in stripped.chars() {
+            match c {
+                '(' => paren_depth += 1,
+                ')' => paren_depth = paren_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        let cleaned: String = stripped.chars().filter(|&c| c != '(' && c != ')').collect();
+        if !pending.is_empty() {
+            pending.push(' ');
+        }
+        pending.push_str(cleaned.trim_end());
+        if paren_depth > 0 {
+            continue;
+        }
+        let line = std::mem::take(&mut pending);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("$ORIGIN") {
+            origin = Name::parse(rest.trim()).map_err(|_| MasterFileError::BadDirective {
+                line_no,
+                directive: line.to_string(),
+            })?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("$TTL") {
+            default_ttl = Some(rest.trim().parse().map_err(|_| {
+                MasterFileError::BadDirective {
+                    line_no,
+                    directive: line.to_string(),
+                }
+            })?);
+            continue;
+        }
+        if line.starts_with('$') {
+            return Err(MasterFileError::BadDirective {
+                line_no,
+                directive: line.to_string(),
+            });
+        }
+        // Normalize the line into "owner ttl [class] type rdata" so the
+        // single-line parser can handle it.
+        let normalized =
+            normalize_line(line, pending_leading_ws, &origin, default_ttl, &mut last_owner)
+                .ok_or(MasterFileError::NoOrigin { line_no })?;
+        let rec = record_from_line(&normalized)
+            .map_err(|err| MasterFileError::Record { line_no, err })?;
+        zone.push(rec).map_err(MasterFileError::Zone)?;
+    }
+    if paren_depth > 0 {
+        return Err(MasterFileError::UnbalancedParens);
+    }
+    Ok(zone)
+}
+
+/// Serialize a zone to master-file text (canonical record order, absolute
+/// names, explicit TTLs — the style IANA's root zone file uses).
+pub fn to_master_file(zone: &Zone) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("$ORIGIN {}\n", zone.origin()));
+    for rec in zone.canonical_records() {
+        out.push_str(&record_to_line(rec));
+        out.push('\n');
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                out.push(c);
+            }
+            '\\' if in_quotes => {
+                out.push(c);
+                if let Some(n) = chars.next() {
+                    out.push(n);
+                }
+            }
+            ';' if !in_quotes => break,
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolve owner (relative, `@`, or blank-continuation) and default TTL.
+fn normalize_line(
+    line: &str,
+    leading_ws: bool,
+    origin: &Name,
+    default_ttl: Option<u32>,
+    last_owner: &mut Option<String>,
+) -> Option<String> {
+    let mut tokens: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
+    // Owner resolution.
+    let owner = if leading_ws {
+        last_owner.clone()?
+    } else {
+        let raw = tokens.remove(0);
+        let abs = if raw == "@" {
+            origin.to_string()
+        } else if raw.ends_with('.') {
+            raw
+        } else {
+            // Relative to origin.
+            if origin.is_root() {
+                format!("{raw}.")
+            } else {
+                format!("{raw}.{origin}")
+            }
+        };
+        *last_owner = Some(abs.clone());
+        abs
+    };
+    // TTL may be omitted when $TTL is set.
+    let has_ttl = tokens
+        .first()
+        .map(|t| t.chars().all(|c| c.is_ascii_digit()))
+        .unwrap_or(false);
+    let ttl = if has_ttl {
+        tokens.remove(0)
+    } else {
+        default_ttl?.to_string()
+    };
+    Some(format!("{owner} {ttl} {}", tokens.join(" ")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::rdata::Rdata;
+    use dns_wire::RrType;
+
+    #[test]
+    fn minimal_zone_parses() {
+        let text = "\
+$ORIGIN .
+$TTL 86400
+@ IN SOA a.root-servers.net. nstld.verisign-grs.com. 2023122400 1800 900 604800 86400
+. 518400 IN NS a.root-servers.net.
+com. 172800 IN NS a.gtld-servers.net.
+";
+        let z = parse_master_file(text, &Name::root()).unwrap();
+        assert_eq!(z.len(), 3);
+        assert_eq!(z.serial().unwrap(), 2023122400);
+    }
+
+    #[test]
+    fn relative_owners_resolve() {
+        let text = "\
+$ORIGIN example.com.
+$TTL 300
+www IN A 1.2.3.4
+";
+        let z = parse_master_file(text, &Name::parse("example.com.").unwrap()).unwrap();
+        assert_eq!(z.records()[0].name, Name::parse("www.example.com.").unwrap());
+        assert_eq!(z.records()[0].ttl, 300);
+    }
+
+    #[test]
+    fn blank_owner_continues_previous() {
+        let text = "\
+$ORIGIN example.com.
+$TTL 300
+www IN A 1.2.3.4
+    IN A 5.6.7.8
+";
+        let z = parse_master_file(text, &Name::parse("example.com.").unwrap()).unwrap();
+        assert_eq!(z.len(), 2);
+        assert_eq!(z.records()[1].name, Name::parse("www.example.com.").unwrap());
+    }
+
+    #[test]
+    fn parenthesized_soa_parses() {
+        let text = "\
+$ORIGIN .
+@ 86400 IN SOA a.root-servers.net. nstld.verisign-grs.com. (
+    2023122400 ; serial
+    1800       ; refresh
+    900        ; retry
+    604800     ; expire
+    86400 )    ; minimum
+";
+        let z = parse_master_file(text, &Name::root()).unwrap();
+        assert_eq!(z.serial().unwrap(), 2023122400);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\
+; leading comment
+$ORIGIN .
+
+. 86400 IN SOA a. b. 1 2 3 4 5 ; trailing comment
+";
+        let z = parse_master_file(text, &Name::root()).unwrap();
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn round_trip_through_serialization() {
+        let cfg = crate::rootzone::RootZoneConfig {
+            tld_count: 6,
+            rollout: crate::rollout::RolloutPhase::Validating,
+            ..Default::default()
+        };
+        let zone = crate::rootzone::build_root_zone(&cfg, &crate::signer::ZoneKeys::from_seed(1));
+        let text = to_master_file(&zone);
+        let parsed = parse_master_file(&text, &Name::root()).unwrap();
+        // Same canonical record multiset.
+        let a: Vec<String> = zone
+            .canonical_records()
+            .iter()
+            .map(|r| dns_wire::presentation::record_to_line(r))
+            .collect();
+        let b: Vec<String> = parsed
+            .canonical_records()
+            .iter()
+            .map(|r| dns_wire::presentation::record_to_line(r))
+            .collect();
+        assert_eq!(a, b);
+        // And the round-tripped zone still validates.
+        assert_eq!(crate::zonemd::verify_zonemd(&parsed), Ok(()));
+    }
+
+    #[test]
+    fn bad_directive_rejected() {
+        assert!(matches!(
+            parse_master_file("$BOGUS x\n", &Name::root()),
+            Err(MasterFileError::BadDirective { .. })
+        ));
+        assert!(matches!(
+            parse_master_file("$TTL abc\n", &Name::root()),
+            Err(MasterFileError::BadDirective { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_ttl_without_default_rejected() {
+        let text = "www.example.com. IN A 1.2.3.4\n";
+        assert!(matches!(
+            parse_master_file(text, &Name::parse("example.com.").unwrap()),
+            Err(MasterFileError::NoOrigin { .. })
+        ));
+    }
+
+    #[test]
+    fn unbalanced_parens_rejected() {
+        let text = ". 86400 IN SOA a. b. ( 1 2 3 4 5\n";
+        assert_eq!(
+            parse_master_file(text, &Name::root()),
+            Err(MasterFileError::UnbalancedParens)
+        );
+    }
+
+    #[test]
+    fn bad_record_line_reports_line_number() {
+        let text = "$ORIGIN .\n. 60 IN A not-an-ip\n";
+        match parse_master_file(text, &Name::root()) {
+            Err(MasterFileError::Record { line_no, .. }) => assert_eq!(line_no, 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn txt_with_semicolon_in_quotes_survives() {
+        let text = "$ORIGIN .\nx. 60 IN TXT \"semi;colon\"\n";
+        let z = parse_master_file(text, &Name::root()).unwrap();
+        match &z.records()[0].rdata {
+            Rdata::Txt(s) => assert_eq!(s[0], b"semi;colon"),
+            _ => panic!("not TXT"),
+        }
+        assert_eq!(z.records()[0].rr_type, RrType::Txt);
+    }
+}

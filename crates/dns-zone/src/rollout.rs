@@ -1,0 +1,90 @@
+//! The ZONEMD roll-out timeline the paper observed (§7, Figure 2).
+//!
+//! * Before 2023-09-13: the root zone carries no `ZONEMD` record.
+//! * 2023-09-13 to 2023-12-06: a non-validating record using a private hash
+//!   algorithm is published (detectable, not verifiable).
+//! * From 2023-12-06 (20:30 UTC per the paper's IANA observations): the
+//!   record uses SHA-384 and validates.
+
+use dns_crypto::DigestAlg;
+#[cfg(test)]
+use dns_crypto::validity;
+
+/// Unix timestamp of the private-algorithm ZONEMD introduction
+/// (2023-09-13T00:00:00Z).
+pub const ZONEMD_PRIVATE_DATE: u32 = 1_694_563_200;
+
+/// Unix timestamp from which ZONEMD validates (2023-12-06T20:30:00Z, the
+/// first validating IANA download the paper reports).
+pub const ZONEMD_VALIDATES_DATE: u32 = 1_701_894_600;
+
+/// Which phase of the roll-out a point in time falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutPhase {
+    /// No ZONEMD record in the zone.
+    NoRecord,
+    /// Record present, private hash algorithm — cannot validate.
+    PrivateAlgorithm,
+    /// Record present with SHA-384 — validates.
+    Validating,
+}
+
+impl RolloutPhase {
+    /// Phase at `now` (seconds since Unix epoch).
+    pub fn at(now: u32) -> Self {
+        if now < ZONEMD_PRIVATE_DATE {
+            RolloutPhase::NoRecord
+        } else if now < ZONEMD_VALIDATES_DATE {
+            RolloutPhase::PrivateAlgorithm
+        } else {
+            RolloutPhase::Validating
+        }
+    }
+
+    /// The digest algorithm the zone publisher uses in this phase, if any.
+    pub fn digest_alg(self) -> Option<DigestAlg> {
+        match self {
+            RolloutPhase::NoRecord => None,
+            RolloutPhase::PrivateAlgorithm => Some(DigestAlg::Private(240)),
+            RolloutPhase::Validating => Some(DigestAlg::Sha384),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_boundaries() {
+        assert_eq!(RolloutPhase::at(ZONEMD_PRIVATE_DATE - 1), RolloutPhase::NoRecord);
+        assert_eq!(RolloutPhase::at(ZONEMD_PRIVATE_DATE), RolloutPhase::PrivateAlgorithm);
+        assert_eq!(
+            RolloutPhase::at(ZONEMD_VALIDATES_DATE - 1),
+            RolloutPhase::PrivateAlgorithm
+        );
+        assert_eq!(RolloutPhase::at(ZONEMD_VALIDATES_DATE), RolloutPhase::Validating);
+    }
+
+    #[test]
+    fn constants_match_paper_dates() {
+        assert_eq!(
+            validity::timestamp_from_ymd("20230913000000"),
+            Some(ZONEMD_PRIVATE_DATE)
+        );
+        assert_eq!(
+            validity::timestamp_from_ymd("20231206203000"),
+            Some(ZONEMD_VALIDATES_DATE)
+        );
+    }
+
+    #[test]
+    fn algorithms_per_phase() {
+        assert_eq!(RolloutPhase::NoRecord.digest_alg(), None);
+        assert_eq!(
+            RolloutPhase::PrivateAlgorithm.digest_alg(),
+            Some(DigestAlg::Private(240))
+        );
+        assert_eq!(RolloutPhase::Validating.digest_alg(), Some(DigestAlg::Sha384));
+    }
+}

@@ -1,0 +1,316 @@
+//! Full zone validation — the `ldnsutils` equivalent the paper ran over
+//! every transferred zone (§7): verify the ZONEMD digest and *all* `RRSIG`
+//! records against the zone's DNSKEYs at a given validation time.
+//!
+//! The error taxonomy mirrors the paper's Table 2:
+//!
+//! * `SignatureNotIncepted` — "Sig. not incepted" (VP clock ahead/behind);
+//! * `BogusSignature` — "Bogus Signature" (bitflips in transit/at rest);
+//! * `SignatureExpired` — "Signature expired" (stale zone files);
+//! * ZONEMD-specific failures from [`crate::zonemd`].
+
+use crate::signer::verify_signature;
+use crate::zone::Zone;
+use crate::zonemd::{verify_zonemd, ZonemdError};
+use dns_crypto::simsig::SimKeyPair;
+use dns_crypto::validity::{check_window, SignatureValidity};
+use dns_wire::rdata::Rdata;
+use dns_wire::{Name, Record, RrType};
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationIssue {
+    /// The zone fails structural checks entirely.
+    BadZone(String),
+    /// No DNSKEY RRset at the apex.
+    NoDnskeys,
+    /// An RRSIG's inception is in the future at validation time.
+    SignatureNotIncepted { owner: String, covered: RrType },
+    /// An RRSIG expired before validation time.
+    SignatureExpired { owner: String, covered: RrType },
+    /// An RRSIG fails cryptographic verification.
+    BogusSignature { owner: String, covered: RrType },
+    /// An RRSIG references a key tag not present in the DNSKEY RRset.
+    UnknownKeyTag { owner: String, key_tag: u16 },
+    /// ZONEMD verification failed.
+    Zonemd(ZonemdError),
+}
+
+impl ValidationIssue {
+    /// The paper's Table 2 "Reason" label for this issue, if it maps to one.
+    pub fn table2_reason(&self) -> Option<&'static str> {
+        match self {
+            ValidationIssue::SignatureNotIncepted { .. } => Some("Sig. not incepted"),
+            ValidationIssue::BogusSignature { .. } => Some("Bogus Signature"),
+            ValidationIssue::SignatureExpired { .. } => Some("Signature expired"),
+            _ => None,
+        }
+    }
+}
+
+/// Result of validating one zone copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Validation time used (seconds since epoch).
+    pub validated_at: u32,
+    /// The zone serial, if readable.
+    pub serial: Option<u32>,
+    /// All findings; empty means fully valid.
+    pub issues: Vec<ValidationIssue>,
+}
+
+impl ValidationReport {
+    /// True when no issues were found.
+    pub fn is_valid(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Validate `zone` at time `now`: ZONEMD (when a verifiable record should be
+/// checked) and every RRSIG.
+///
+/// ZONEMD absence is only an issue if the zone *should* have one — the
+/// caller decides by consulting [`crate::rollout::RolloutPhase`]; here a
+/// missing or private-algorithm ZONEMD is reported as informational absence
+/// via `Zonemd(...)` only for digest mismatches, mirroring how the paper's
+/// pipeline treated the roll-out phases.
+pub fn validate_zone(zone: &Zone, now: u32) -> ValidationReport {
+    let mut issues = Vec::new();
+    let serial = zone.serial().ok();
+    if let Err(e) = zone.check() {
+        issues.push(ValidationIssue::BadZone(e.to_string()));
+        return ValidationReport {
+            validated_at: now,
+            serial,
+            issues,
+        };
+    }
+
+    // Collect apex DNSKEYs.
+    let dnskeys: Vec<(u16, SimKeyPair)> = zone
+        .rrset(zone.origin(), RrType::Dnskey)
+        .into_iter()
+        .filter_map(|r| match &r.rdata {
+            Rdata::Dnskey(k) => Some((k.key_tag(), SimKeyPair::from_public(&k.public_key))),
+            _ => None,
+        })
+        .collect();
+    if dnskeys.is_empty() {
+        issues.push(ValidationIssue::NoDnskeys);
+    }
+
+    // Verify every RRSIG.
+    for rec in zone.records() {
+        let Rdata::Rrsig(sig) = &rec.rdata else { continue };
+        let owner = rec.name.to_string();
+        match check_window(sig.inception, sig.expiration, now) {
+            Ok(SignatureValidity::Valid) => {}
+            Ok(SignatureValidity::NotYetIncepted) => {
+                issues.push(ValidationIssue::SignatureNotIncepted {
+                    owner: owner.clone(),
+                    covered: sig.type_covered,
+                });
+                continue;
+            }
+            Ok(SignatureValidity::Expired) => {
+                issues.push(ValidationIssue::SignatureExpired {
+                    owner: owner.clone(),
+                    covered: sig.type_covered,
+                });
+                continue;
+            }
+            Err(_) => {
+                issues.push(ValidationIssue::BogusSignature {
+                    owner: owner.clone(),
+                    covered: sig.type_covered,
+                });
+                continue;
+            }
+        }
+        let Some((_, key)) = dnskeys.iter().find(|(tag, _)| *tag == sig.key_tag) else {
+            if !dnskeys.is_empty() {
+                issues.push(ValidationIssue::UnknownKeyTag {
+                    owner: owner.clone(),
+                    key_tag: sig.key_tag,
+                });
+            }
+            continue;
+        };
+        let covered: Vec<Record> = zone
+            .rrset(&rec.name, sig.type_covered)
+            .into_iter()
+            .cloned()
+            .collect();
+        if covered.is_empty() || !verify_signature(sig, &covered, key) {
+            issues.push(ValidationIssue::BogusSignature {
+                owner,
+                covered: sig.type_covered,
+            });
+        }
+    }
+
+    // ZONEMD: only a *mismatch* of a verifiable record is an integrity
+    // issue; absence / private algorithm are roll-out states.
+    match verify_zonemd(zone) {
+        Ok(())
+        | Err(ZonemdError::NoZonemd)
+        | Err(ZonemdError::UnsupportedAlgorithm) => {}
+        Err(e) => issues.push(ValidationIssue::Zonemd(e)),
+    }
+
+    ValidationReport {
+        validated_at: now,
+        serial,
+        issues,
+    }
+}
+
+/// Validate at both a first and last observation timestamp, as the paper did
+/// to distinguish clock-skew artefacts: a zone can be "not incepted" at the
+/// first observation but valid at the last (§7).
+pub fn validate_at_both(
+    zone: &Zone,
+    first_obs: u32,
+    last_obs: u32,
+) -> (ValidationReport, ValidationReport) {
+    (validate_zone(zone, first_obs), validate_zone(zone, last_obs))
+}
+
+/// Find the single-bit difference between two zones' presentation dumps, if
+/// the zones differ in exactly one record pair — the Figure 10 rendering.
+pub fn bitflip_diff(reference: &Zone, observed: &Zone) -> Option<BitflipReport> {
+    let ref_lines: Vec<String> = reference
+        .canonical_records()
+        .iter()
+        .map(|r| dns_wire::presentation::record_to_line(r))
+        .collect();
+    let obs_lines: Vec<String> = observed
+        .canonical_records()
+        .iter()
+        .map(|r| dns_wire::presentation::record_to_line(r))
+        .collect();
+    let ref_set: std::collections::HashSet<&String> = ref_lines.iter().collect();
+    let obs_set: std::collections::HashSet<&String> = obs_lines.iter().collect();
+    let missing: Vec<&String> = ref_lines.iter().filter(|l| !obs_set.contains(l)).collect();
+    let added: Vec<&String> = obs_lines.iter().filter(|l| !ref_set.contains(l)).collect();
+    if missing.len() == 1 && added.len() == 1 {
+        Some(BitflipReport {
+            reference_line: missing[0].clone(),
+            observed_line: added[0].clone(),
+        })
+    } else {
+        None
+    }
+}
+
+/// The two differing presentation lines (Figure 10 shows exactly this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitflipReport {
+    /// The record as served by the reference copy (e.g. ICANN download).
+    pub reference_line: String,
+    /// The record as received via AXFR.
+    pub observed_line: String,
+}
+
+/// Name re-export used by the analysis crate when rendering reports.
+pub type ZoneName = Name;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollout::RolloutPhase;
+    use crate::rootzone::{build_root_zone, RootZoneConfig};
+    use crate::signer::ZoneKeys;
+
+    fn signed_zone() -> (Zone, RootZoneConfig) {
+        let cfg = RootZoneConfig {
+            rollout: RolloutPhase::Validating,
+            tld_count: 8,
+            ..Default::default()
+        };
+        (build_root_zone(&cfg, &ZoneKeys::from_seed(5)), cfg)
+    }
+
+    #[test]
+    fn valid_zone_validates() {
+        let (z, cfg) = signed_zone();
+        assert!(validate_zone(&z, cfg.inception + 1000).is_valid());
+    }
+
+    #[test]
+    fn not_incepted_before_window() {
+        let (z, cfg) = signed_zone();
+        let report = validate_zone(&z, cfg.inception - 100);
+        assert!(report
+            .issues
+            .iter()
+            .all(|i| matches!(i, ValidationIssue::SignatureNotIncepted { .. })));
+        assert!(!report.is_valid());
+        assert_eq!(report.issues[0].table2_reason(), Some("Sig. not incepted"));
+    }
+
+    #[test]
+    fn expired_after_window() {
+        let (z, cfg) = signed_zone();
+        let report = validate_zone(&z, cfg.expiration + 100);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::SignatureExpired { .. })));
+    }
+
+    #[test]
+    fn validate_at_both_distinguishes_clock_skew() {
+        // First observation before inception (skewed clock), last inside.
+        let (z, cfg) = signed_zone();
+        let (first, last) = validate_at_both(&z, cfg.inception - 10, cfg.inception + 10);
+        assert!(!first.is_valid());
+        assert!(last.is_valid());
+    }
+
+    #[test]
+    fn bitflip_detected_as_bogus() {
+        let (mut z, cfg) = signed_zone();
+        // Flip a bit inside some RRSIG signature.
+        for rec in z.records_mut() {
+            if let Rdata::Rrsig(sig) = &mut rec.rdata {
+                sig.signature[10] ^= 0x10;
+                break;
+            }
+        }
+        let report = validate_zone(&z, cfg.inception + 1000);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::BogusSignature { .. })));
+    }
+
+    #[test]
+    fn no_dnskeys_reported() {
+        let (mut z, cfg) = signed_zone();
+        z.remove_rrset(&Name::root(), RrType::Dnskey);
+        let report = validate_zone(&z, cfg.inception + 1000);
+        assert!(report.issues.contains(&ValidationIssue::NoDnskeys));
+    }
+
+    #[test]
+    fn bitflip_diff_finds_single_pair() {
+        let (reference, _) = signed_zone();
+        let mut observed = reference.clone();
+        for rec in observed.records_mut() {
+            if let Rdata::Rrsig(sig) = &mut rec.rdata {
+                sig.signature[0] ^= 0x01;
+                break;
+            }
+        }
+        let report = bitflip_diff(&reference, &observed).expect("one pair");
+        assert_ne!(report.reference_line, report.observed_line);
+        assert!(report.reference_line.contains("RRSIG"));
+    }
+
+    #[test]
+    fn bitflip_diff_none_when_identical() {
+        let (z, _) = signed_zone();
+        assert!(bitflip_diff(&z, &z.clone()).is_none());
+    }
+}

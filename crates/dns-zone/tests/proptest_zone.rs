@@ -1,0 +1,148 @@
+//! Property-based tests for zone digesting, signing and transfer.
+
+use dns_crypto::DigestAlg;
+use dns_wire::rdata::{Rdata, Soa};
+use dns_wire::{Name, Record};
+use dns_zone::axfr::transfer;
+use dns_zone::corrupt::flip_rrsig_bit;
+use dns_zone::rollout::RolloutPhase;
+use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+use dns_zone::signer::ZoneKeys;
+use dns_zone::validate::validate_zone;
+use dns_zone::zonemd::{compute_zonemd, make_zonemd_record, verify_zonemd};
+use dns_zone::Zone;
+use proptest::prelude::*;
+
+/// Strategy: a random small zone with unique TLD delegations.
+fn small_zone() -> impl Strategy<Value = Zone> {
+    (
+        any::<u32>(),
+        proptest::collection::btree_set("[a-z]{2,8}", 1..12),
+    )
+        .prop_map(|(serial, tlds)| {
+            let mut z = Zone::new(Name::root());
+            z.push(Record::new(
+                Name::root(),
+                86400,
+                Rdata::Soa(Soa {
+                    mname: Name::parse("a.root-servers.net.").unwrap(),
+                    rname: Name::parse("nstld.example.").unwrap(),
+                    serial,
+                    refresh: 1800,
+                    retry: 900,
+                    expire: 604800,
+                    minimum: 86400,
+                }),
+            ))
+            .unwrap();
+            for tld in tlds {
+                z.push(Record::new(
+                    Name::parse(&format!("{tld}.")).unwrap(),
+                    172800,
+                    Rdata::Ns(Name::parse(&format!("ns.{tld}.")).unwrap()),
+                ))
+                .unwrap();
+            }
+            z
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zonemd_invariant_under_insertion_order(zone in small_zone(), seed in any::<u64>()) {
+        // Shuffle the records; the digest must not change (canonical order).
+        let digest = compute_zonemd(&zone, DigestAlg::Sha384).unwrap();
+        let mut shuffled = Zone::new(zone.origin().clone());
+        let mut records: Vec<Record> = zone.records().to_vec();
+        let mut rng = netsim_free_shuffle(seed);
+        for i in (1..records.len()).rev() {
+            let j = (rng() as usize) % (i + 1);
+            records.swap(i, j);
+        }
+        for r in records {
+            shuffled.push(r).unwrap();
+        }
+        prop_assert_eq!(compute_zonemd(&shuffled, DigestAlg::Sha384).unwrap(), digest);
+    }
+
+    #[test]
+    fn zonemd_changes_on_any_record_addition(zone in small_zone(), extra in "[a-z]{9,12}") {
+        let before = compute_zonemd(&zone, DigestAlg::Sha384).unwrap();
+        let mut bigger = zone.clone();
+        bigger
+            .push(Record::new(
+                Name::parse(&format!("{extra}.")).unwrap(),
+                60,
+                Rdata::A("192.0.2.1".parse().unwrap()),
+            ))
+            .unwrap();
+        prop_assert_ne!(compute_zonemd(&bigger, DigestAlg::Sha384).unwrap(), before);
+    }
+
+    #[test]
+    fn published_zonemd_always_verifies(zone in small_zone()) {
+        let mut z = zone;
+        let rec = make_zonemd_record(&z, DigestAlg::Sha384, 86400).unwrap();
+        z.push(rec).unwrap();
+        prop_assert_eq!(verify_zonemd(&z), Ok(()));
+    }
+
+    #[test]
+    fn transfer_preserves_digest(tlds in 1usize..20, seed in any::<u64>()) {
+        let keys = ZoneKeys::from_seed(seed);
+        let zone = build_root_zone(
+            &RootZoneConfig {
+                tld_count: tlds,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &keys,
+        );
+        let received = transfer(&zone, 1).unwrap();
+        prop_assert_eq!(
+            compute_zonemd(&received, DigestAlg::Sha384).unwrap(),
+            compute_zonemd(&zone, DigestAlg::Sha384).unwrap()
+        );
+    }
+
+    #[test]
+    fn any_rrsig_bitflip_caught(seed in any::<u64>(), flip_seed in any::<u64>()) {
+        let keys = ZoneKeys::from_seed(seed);
+        let cfg = RootZoneConfig {
+            tld_count: 5,
+            rollout: RolloutPhase::Validating,
+            ..Default::default()
+        };
+        let mut zone = build_root_zone(&cfg, &keys);
+        flip_rrsig_bit(&mut zone, flip_seed).unwrap();
+        // Either the RRSIG check or the ZONEMD check (or both) must fire.
+        let report = validate_zone(&zone, cfg.inception + 60);
+        prop_assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn validation_time_monotonicity(seed in any::<u64>(), offset in 0u32..(13 * 86400)) {
+        // Inside the signature window the zone is always valid.
+        let keys = ZoneKeys::from_seed(seed);
+        let cfg = RootZoneConfig {
+            tld_count: 4,
+            rollout: RolloutPhase::Validating,
+            ..Default::default()
+        };
+        let zone = build_root_zone(&cfg, &keys);
+        prop_assert!(validate_zone(&zone, cfg.inception + offset).is_valid());
+    }
+}
+
+/// A tiny standalone xorshift so the shuffle doesn't depend on other crates.
+fn netsim_free_shuffle(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}

@@ -1,0 +1,75 @@
+//! Operational counters for a local root instance.
+
+/// What happened since start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// SOA polls issued.
+    pub soa_polls: u64,
+    /// AXFR attempts.
+    pub transfers_attempted: u64,
+    /// Transfers that completed and validated.
+    pub transfers_accepted: u64,
+    /// Transfers rejected by validation (ZONEMD/RRSIG).
+    pub transfers_rejected: u64,
+    /// Transfers that failed at the protocol level.
+    pub transfers_failed: u64,
+    /// Fallbacks to a different upstream after a rejection/failure.
+    pub fallbacks: u64,
+    /// Queries answered from the local copy.
+    pub queries_served: u64,
+    /// Queries refused because no valid copy was available.
+    pub queries_refused: u64,
+}
+
+impl Metrics {
+    /// Acceptance ratio over attempted transfers (1.0 when none attempted).
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.transfers_attempted == 0 {
+            1.0
+        } else {
+            self.transfers_accepted as f64 / self.transfers_attempted as f64
+        }
+    }
+
+    /// Render a one-screen summary.
+    pub fn render(&self) -> String {
+        format!(
+            "soa_polls={} transfers: attempted={} accepted={} rejected={} failed={} \
+             fallbacks={} | queries: served={} refused={}",
+            self.soa_polls,
+            self.transfers_attempted,
+            self.transfers_accepted,
+            self.transfers_rejected,
+            self.transfers_failed,
+            self.fallbacks,
+            self.queries_served,
+            self.queries_refused,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_ratio_edge_cases() {
+        let m = Metrics::default();
+        assert_eq!(m.acceptance_ratio(), 1.0);
+        let m = Metrics {
+            transfers_attempted: 4,
+            transfers_accepted: 3,
+            ..Default::default()
+        };
+        assert_eq!(m.acceptance_ratio(), 0.75);
+    }
+
+    #[test]
+    fn render_contains_counters() {
+        let m = Metrics {
+            fallbacks: 2,
+            ..Default::default()
+        };
+        assert!(m.render().contains("fallbacks=2"));
+    }
+}

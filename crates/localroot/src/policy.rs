@@ -1,0 +1,68 @@
+//! Validation policy for ingested zone copies.
+
+/// How strictly ZONEMD is enforced.
+///
+/// The root operators announced a monitor-first roll-out (§7: "the
+/// situation will be monitored ... for at least one year, before further
+/// action is taken, e.g., rejecting non-verifying zones") — so both modes
+/// exist in the wild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZonemdRequirement {
+    /// Reject any copy without a *validating* ZONEMD record. The post
+    /// roll-out target state.
+    Required,
+    /// Validate when a verifiable record is present; accept copies from
+    /// the earlier roll-out phases (no record / private algorithm). A
+    /// digest *mismatch* is always fatal.
+    Opportunistic,
+}
+
+/// Full validation policy.
+#[derive(Debug, Clone)]
+pub struct ValidationPolicy {
+    pub zonemd: ZonemdRequirement,
+    /// Whether every RRSIG must verify (DNSSEC validation of the copy).
+    pub require_rrsigs: bool,
+    /// Maximum age (seconds) of a copy before it is considered stale even
+    /// if upstream polls fail — RFC 8806 says a failing local root must
+    /// fall back to normal resolution rather than serve stale data.
+    pub max_age: u32,
+}
+
+impl Default for ValidationPolicy {
+    fn default() -> Self {
+        ValidationPolicy {
+            zonemd: ZonemdRequirement::Opportunistic,
+            require_rrsigs: true,
+            max_age: 7 * 86_400,
+        }
+    }
+}
+
+impl ValidationPolicy {
+    /// The strict post-roll-out policy.
+    pub fn strict() -> Self {
+        ValidationPolicy {
+            zonemd: ZonemdRequirement::Required,
+            require_rrsigs: true,
+            max_age: 2 * 86_400,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_opportunistic() {
+        let p = ValidationPolicy::default();
+        assert_eq!(p.zonemd, ZonemdRequirement::Opportunistic);
+        assert!(p.require_rrsigs);
+    }
+
+    #[test]
+    fn strict_requires_zonemd() {
+        assert_eq!(ValidationPolicy::strict().zonemd, ZonemdRequirement::Required);
+    }
+}

@@ -1,0 +1,480 @@
+//! The local root service itself: refresh loop, validation, fallback,
+//! query serving.
+
+use crate::metrics::Metrics;
+use crate::policy::{ValidationPolicy, ZonemdRequirement};
+use dns_wire::{Message, Name, Question, Rcode, RrType};
+use dns_zone::validate::validate_zone;
+use dns_zone::zonemd::{verify_zonemd, ZonemdError};
+use dns_zone::Zone;
+use rss::{BRootPhase, RootLetter, RootServer};
+use std::sync::Arc;
+
+/// The set of upstream root servers a local root can transfer from.
+///
+/// In production this is the 13 letters; in tests it is whatever mix of
+/// healthy, stale and corrupting servers the scenario needs.
+pub struct UpstreamSet {
+    pub servers: Vec<(RootLetter, RootServer)>,
+}
+
+impl UpstreamSet {
+    /// Number of upstreams.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+}
+
+/// Why a refresh failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefreshError {
+    /// Every upstream was tried; none produced an acceptable copy.
+    AllUpstreamsFailed {
+        attempts: u32,
+        last_reason: String,
+    },
+    /// No upstreams configured.
+    NoUpstreams,
+}
+
+impl std::fmt::Display for RefreshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefreshError::AllUpstreamsFailed {
+                attempts,
+                last_reason,
+            } => write!(f, "all {attempts} upstreams failed; last: {last_reason}"),
+            RefreshError::NoUpstreams => write!(f, "no upstreams configured"),
+        }
+    }
+}
+
+impl std::error::Error for RefreshError {}
+
+/// Result of one refresh cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefreshOutcome {
+    /// The local copy was already current.
+    AlreadyCurrent { serial: u32 },
+    /// A new copy was transferred, validated and activated.
+    Updated {
+        serial: u32,
+        /// Which upstream finally served it (index into the set).
+        from_upstream: usize,
+        /// How many upstreams were tried before success.
+        attempts: u32,
+    },
+}
+
+/// A local root instance.
+pub struct LocalRoot {
+    /// The active, validated zone copy (None until first refresh).
+    current: Option<Arc<Zone>>,
+    /// When the active copy was activated.
+    activated_at: u32,
+    pub policy: ValidationPolicy,
+    pub metrics: Metrics,
+    /// Rotation cursor so fallback spreads load across letters.
+    next_upstream: usize,
+}
+
+impl LocalRoot {
+    /// A fresh instance with `policy`.
+    pub fn new(policy: ValidationPolicy) -> LocalRoot {
+        LocalRoot {
+            current: None,
+            activated_at: 0,
+            policy,
+            metrics: Metrics::default(),
+            next_upstream: 0,
+        }
+    }
+
+    /// Serial of the active copy, if any.
+    pub fn current_serial(&self) -> Option<u32> {
+        self.current.as_ref().and_then(|z| z.serial().ok())
+    }
+
+    /// Pin the upstream tried first on the next refresh (RFC 8806 configs
+    /// order their server list; operators often prefer the nearest
+    /// instance). Without this, refreshes rotate across upstreams.
+    pub fn set_primary(&mut self, index: usize) {
+        self.next_upstream = index;
+    }
+
+    /// Whether a usable copy exists at time `now` (validated and not
+    /// older than the policy's max age).
+    pub fn is_serving(&self, now: u32) -> bool {
+        self.current.is_some() && now.saturating_sub(self.activated_at) <= self.policy.max_age
+    }
+
+    /// One refresh cycle at wall-clock `now`:
+    /// poll SOA; transfer if stale; validate; fall back across upstreams.
+    pub fn refresh(&mut self, upstreams: &UpstreamSet, now: u32) -> Result<RefreshOutcome, RefreshError> {
+        if upstreams.is_empty() {
+            return Err(RefreshError::NoUpstreams);
+        }
+        // SOA poll against the first upstream in rotation.
+        self.metrics.soa_polls += 1;
+        let poll_idx = self.next_upstream % upstreams.len();
+        let upstream_serial =
+            poll_serial(&upstreams.servers[poll_idx].1).unwrap_or(u32::MAX);
+        if let Some(cur) = self.current_serial() {
+            if cur >= upstream_serial && self.is_serving(now) {
+                return Ok(RefreshOutcome::AlreadyCurrent { serial: cur });
+            }
+        }
+        // Transfer with fallback: try each upstream once, starting at the
+        // rotation cursor.
+        let mut last_reason = String::from("no attempt made");
+        let n = upstreams.len();
+        for attempt in 0..n {
+            let idx = (self.next_upstream + attempt) % n;
+            let server = &upstreams.servers[idx].1;
+            self.metrics.transfers_attempted += 1;
+            match attempt_transfer(server, now, &self.policy) {
+                Ok(zone) => {
+                    let serial = zone.serial().unwrap_or(0);
+                    self.metrics.transfers_accepted += 1;
+                    self.current = Some(Arc::new(zone));
+                    self.activated_at = now;
+                    // Advance rotation past the successful upstream.
+                    self.next_upstream = (idx + 1) % n;
+                    return Ok(RefreshOutcome::Updated {
+                        serial,
+                        from_upstream: idx,
+                        attempts: attempt as u32 + 1,
+                    });
+                }
+                Err(reason) => {
+                    if reason.protocol_level {
+                        self.metrics.transfers_failed += 1;
+                    } else {
+                        self.metrics.transfers_rejected += 1;
+                    }
+                    if attempt + 1 < n {
+                        self.metrics.fallbacks += 1;
+                    }
+                    last_reason = reason.message;
+                }
+            }
+        }
+        self.next_upstream = (self.next_upstream + 1) % n;
+        Err(RefreshError::AllUpstreamsFailed {
+            attempts: n as u32,
+            last_reason,
+        })
+    }
+
+    /// Answer a query from the active copy. Refuses (and counts) when no
+    /// valid copy is in service — RFC 8806's fail-closed behaviour.
+    pub fn answer(&mut self, query: &Message, now: u32) -> Message {
+        let Some(zone) = self.current.clone().filter(|_| self.is_serving(now)) else {
+            self.metrics.queries_refused += 1;
+            return Message::response_to(query, Rcode::ServFail, Vec::new());
+        };
+        self.metrics.queries_served += 1;
+        let Some(q) = query.questions.first() else {
+            return Message::response_to(query, Rcode::FormErr, Vec::new());
+        };
+        let records: Vec<dns_wire::Record> = zone
+            .rrset(&q.name, q.rr_type)
+            .into_iter()
+            .cloned()
+            .collect();
+        if records.is_empty() {
+            let exists = zone.records().iter().any(|r| r.name == q.name);
+            let rcode = if exists { Rcode::NoError } else { Rcode::NxDomain };
+            return Message::response_to(query, rcode, Vec::new());
+        }
+        Message::response_to(query, Rcode::NoError, records)
+    }
+
+    /// Convenience: look up the NS set of a TLD from the active copy.
+    pub fn delegation(&mut self, tld: &str, now: u32) -> Option<Vec<Name>> {
+        let name = Name::parse(&format!("{tld}.")).ok()?;
+        let query = Message::query(0, Question::new(name, RrType::Ns));
+        let resp = self.answer(&query, now);
+        if resp.header.rcode != Rcode::NoError || resp.answers.is_empty() {
+            return None;
+        }
+        Some(
+            resp.answers
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    dns_wire::Rdata::Ns(n) => Some(n.clone()),
+                    _ => None,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Poll the upstream's SOA serial (one query, like `dig SOA .`).
+fn poll_serial(server: &RootServer) -> Option<u32> {
+    let q = Message::query(0, Question::new(Name::root(), RrType::Soa));
+    let resp = server.answer(&q, BRootPhase::New);
+    resp.answers.iter().find_map(|r| match &r.rdata {
+        dns_wire::Rdata::Soa(soa) => Some(soa.serial),
+        _ => None,
+    })
+}
+
+/// Rejection detail.
+struct TransferRejected {
+    message: String,
+    /// True when the failure was protocol-level (transfer itself), false
+    /// when validation rejected the content.
+    protocol_level: bool,
+}
+
+/// Transfer from one upstream and validate per policy.
+fn attempt_transfer(
+    server: &RootServer,
+    now: u32,
+    policy: &ValidationPolicy,
+) -> Result<Zone, TransferRejected> {
+    let messages = server.serve_transfer(0x4242).map_err(|e| TransferRejected {
+        message: format!("transfer failed: {e}"),
+        protocol_level: true,
+    })?;
+    let zone = dns_zone::axfr::assemble_axfr(&messages, &Name::root()).map_err(|e| {
+        TransferRejected {
+            message: format!("reassembly failed: {e}"),
+            protocol_level: true,
+        }
+    })?;
+    // ZONEMD per policy.
+    match verify_zonemd(&zone) {
+        Ok(()) => {}
+        Err(ZonemdError::NoZonemd) | Err(ZonemdError::UnsupportedAlgorithm)
+            if policy.zonemd == ZonemdRequirement::Opportunistic => {}
+        Err(e) => {
+            return Err(TransferRejected {
+                message: format!("ZONEMD: {e}"),
+                protocol_level: false,
+            })
+        }
+    }
+    // RRSIGs per policy (catches stale zones and bitflips in signed data).
+    if policy.require_rrsigs {
+        let report = validate_zone(&zone, now);
+        if !report.is_valid() {
+            return Err(TransferRejected {
+                message: format!("DNSSEC: {:?}", report.issues.first()),
+                protocol_level: false,
+            });
+        }
+    }
+    Ok(zone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_zone::corrupt::flip_rrsig_bit;
+    use dns_zone::rollout::RolloutPhase;
+    use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+    use dns_zone::signer::ZoneKeys;
+
+    const T0: u32 = 1_701_820_800; // 2023-12-06
+
+    fn fresh_zone(serial: u32) -> Zone {
+        build_root_zone(
+            &RootZoneConfig {
+                serial,
+                tld_count: 8,
+                inception: T0,
+                expiration: T0 + 14 * 86400,
+                rollout: RolloutPhase::Validating,
+            },
+            &ZoneKeys::from_seed(1),
+        )
+    }
+
+    fn server(letter: RootLetter, zone: Zone) -> (RootLetter, RootServer) {
+        (
+            letter,
+            RootServer {
+                letter,
+                identity: Some(format!("{}1-test", letter.ch())),
+                zone: Arc::new(zone),
+                behavior: Default::default(),
+            },
+        )
+    }
+
+    fn healthy_set() -> UpstreamSet {
+        UpstreamSet {
+            servers: vec![
+                server(RootLetter::A, fresh_zone(2023120600)),
+                server(RootLetter::B, fresh_zone(2023120600)),
+                server(RootLetter::C, fresh_zone(2023120600)),
+            ],
+        }
+    }
+
+    #[test]
+    fn first_refresh_populates_copy() {
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        let out = lr.refresh(&healthy_set(), T0 + 60).unwrap();
+        assert!(matches!(out, RefreshOutcome::Updated { serial: 2023120600, .. }));
+        assert!(lr.is_serving(T0 + 60));
+        assert_eq!(lr.metrics.transfers_accepted, 1);
+    }
+
+    #[test]
+    fn second_refresh_is_noop_when_current() {
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        let ups = healthy_set();
+        lr.refresh(&ups, T0 + 60).unwrap();
+        let out = lr.refresh(&ups, T0 + 120).unwrap();
+        assert!(matches!(out, RefreshOutcome::AlreadyCurrent { .. }));
+        assert_eq!(lr.metrics.transfers_attempted, 1);
+    }
+
+    #[test]
+    fn corrupted_upstream_triggers_fallback() {
+        // First upstream serves a bit-flipped zone; the service must
+        // reject it and succeed against the second (the §7 fallback).
+        let mut bad = fresh_zone(2023120600);
+        flip_rrsig_bit(&mut bad, 9).unwrap();
+        let ups = UpstreamSet {
+            servers: vec![
+                server(RootLetter::A, bad),
+                server(RootLetter::B, fresh_zone(2023120600)),
+            ],
+        };
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        let out = lr.refresh(&ups, T0 + 60).unwrap();
+        match out {
+            RefreshOutcome::Updated {
+                from_upstream,
+                attempts,
+                ..
+            } => {
+                assert_eq!(from_upstream, 1);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(lr.metrics.transfers_rejected, 1);
+        assert_eq!(lr.metrics.fallbacks, 1);
+    }
+
+    #[test]
+    fn stale_upstream_rejected() {
+        // A server whose zone's signatures expired (the Tokyo/Leeds case).
+        let old = build_root_zone(
+            &RootZoneConfig {
+                serial: 2023110100,
+                tld_count: 8,
+                inception: T0 - 40 * 86400,
+                expiration: T0 - 26 * 86400,
+                rollout: RolloutPhase::Validating,
+            },
+            &ZoneKeys::from_seed(1),
+        );
+        let ups = UpstreamSet {
+            servers: vec![
+                server(RootLetter::D, old),
+                server(RootLetter::E, fresh_zone(2023120600)),
+            ],
+        };
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        let out = lr.refresh(&ups, T0 + 60).unwrap();
+        assert!(matches!(out, RefreshOutcome::Updated { from_upstream: 1, .. }));
+    }
+
+    #[test]
+    fn all_bad_upstreams_error_and_fail_closed() {
+        let mut bad1 = fresh_zone(2023120600);
+        flip_rrsig_bit(&mut bad1, 1).unwrap();
+        let mut bad2 = fresh_zone(2023120600);
+        flip_rrsig_bit(&mut bad2, 2).unwrap();
+        let ups = UpstreamSet {
+            servers: vec![server(RootLetter::A, bad1), server(RootLetter::B, bad2)],
+        };
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        let err = lr.refresh(&ups, T0 + 60).unwrap_err();
+        assert!(matches!(err, RefreshError::AllUpstreamsFailed { attempts: 2, .. }));
+        // Queries are refused: fail closed.
+        let q = Message::query(1, Question::new(Name::root(), RrType::Soa));
+        let resp = lr.answer(&q, T0 + 60);
+        assert_eq!(resp.header.rcode, Rcode::ServFail);
+        assert_eq!(lr.metrics.queries_refused, 1);
+    }
+
+    #[test]
+    fn strict_policy_rejects_unverifiable_zonemd() {
+        // Pre-roll-out zone (no ZONEMD): opportunistic accepts, strict
+        // rejects.
+        let no_zonemd = build_root_zone(
+            &RootZoneConfig {
+                serial: 2023080100,
+                tld_count: 8,
+                inception: T0,
+                expiration: T0 + 14 * 86400,
+                rollout: RolloutPhase::NoRecord,
+            },
+            &ZoneKeys::from_seed(1),
+        );
+        let ups = UpstreamSet {
+            servers: vec![server(RootLetter::A, no_zonemd)],
+        };
+        let mut opportunistic = LocalRoot::new(ValidationPolicy::default());
+        assert!(opportunistic.refresh(&ups, T0 + 60).is_ok());
+        let mut strict = LocalRoot::new(ValidationPolicy::strict());
+        assert!(strict.refresh(&ups, T0 + 60).is_err());
+    }
+
+    #[test]
+    fn serves_delegations_from_copy() {
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        lr.refresh(&healthy_set(), T0 + 60).unwrap();
+        let ns = lr.delegation("com", T0 + 120).expect("com is delegated");
+        assert!(!ns.is_empty());
+        assert!(lr.delegation("nonexistent-tld", T0 + 120).is_none());
+        assert!(lr.metrics.queries_served >= 2);
+    }
+
+    #[test]
+    fn copy_expires_after_max_age() {
+        let mut lr = LocalRoot::new(ValidationPolicy {
+            max_age: 3600,
+            ..Default::default()
+        });
+        lr.refresh(&healthy_set(), T0).unwrap();
+        assert!(lr.is_serving(T0 + 3599));
+        assert!(!lr.is_serving(T0 + 3601));
+        // And queries refuse once expired.
+        let q = Message::query(1, Question::new(Name::root(), RrType::Soa));
+        assert_eq!(lr.answer(&q, T0 + 4000).header.rcode, Rcode::ServFail);
+    }
+
+    #[test]
+    fn newer_upstream_serial_triggers_update() {
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        let old_set = healthy_set();
+        lr.refresh(&old_set, T0).unwrap();
+        let new_set = UpstreamSet {
+            servers: vec![server(RootLetter::A, fresh_zone(2023120700))],
+        };
+        let out = lr.refresh(&new_set, T0 + 600).unwrap();
+        assert!(matches!(out, RefreshOutcome::Updated { serial: 2023120700, .. }));
+    }
+
+    #[test]
+    fn no_upstreams_is_an_error() {
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        assert_eq!(
+            lr.refresh(&UpstreamSet { servers: vec![] }, T0),
+            Err(RefreshError::NoUpstreams)
+        );
+    }
+}

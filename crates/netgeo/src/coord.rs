@@ -1,0 +1,122 @@
+//! Geographic coordinates and great-circle distance.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// A point on the globe, degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coord {
+    /// Latitude in degrees, positive north, in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, positive east, in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl Coord {
+    /// Construct a coordinate, normalizing longitude into `[-180, 180]` and
+    /// clamping latitude into `[-90, 90]`.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-90.0, 90.0);
+        let mut lon = (lon + 180.0).rem_euclid(360.0) - 180.0;
+        if lon == -180.0 {
+            lon = 180.0;
+        }
+        Coord { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres.
+    pub fn distance_km(&self, other: &Coord) -> f64 {
+        haversine_km(*self, *other)
+    }
+}
+
+/// Haversine great-circle distance between two coordinates, in kilometres.
+pub fn haversine_km(a: Coord, b: Coord) -> f64 {
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().min(1.0).asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let c = Coord::new(52.5, 13.4);
+        assert_eq!(haversine_km(c, c), 0.0);
+    }
+
+    #[test]
+    fn known_city_pairs() {
+        // Frankfurt (50.11, 8.68) to New York (40.71, -74.01): ~6,200 km.
+        let fra = Coord::new(50.11, 8.68);
+        let nyc = Coord::new(40.71, -74.01);
+        let d = haversine_km(fra, nyc);
+        assert!(approx(d, 6200.0, 100.0), "got {d}");
+
+        // London to Sydney: ~17,000 km.
+        let lon = Coord::new(51.51, -0.13);
+        let syd = Coord::new(-33.87, 151.21);
+        let d = haversine_km(lon, syd);
+        assert!(approx(d, 17000.0, 200.0), "got {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Coord::new(10.0, 20.0);
+        let b = Coord::new(-30.0, 140.0);
+        assert!(approx(haversine_km(a, b), haversine_km(b, a), 1e-9));
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(0.0, 180.0);
+        let d = haversine_km(a, b);
+        assert!(approx(d, std::f64::consts::PI * EARTH_RADIUS_KM, 1.0), "got {d}");
+    }
+
+    #[test]
+    fn crossing_dateline_is_short() {
+        let a = Coord::new(0.0, 179.5);
+        let b = Coord::new(0.0, -179.5);
+        let d = haversine_km(a, b);
+        assert!(d < 150.0, "got {d}");
+    }
+
+    #[test]
+    fn longitude_normalization() {
+        assert_eq!(Coord::new(0.0, 190.0).lon, -170.0);
+        assert_eq!(Coord::new(0.0, -190.0).lon, 170.0);
+        assert_eq!(Coord::new(0.0, 360.0).lon, 0.0);
+    }
+
+    #[test]
+    fn latitude_clamped() {
+        assert_eq!(Coord::new(95.0, 0.0).lat, 90.0);
+        assert_eq!(Coord::new(-95.0, 0.0).lat, -90.0);
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        let pts = [
+            Coord::new(0.0, 0.0),
+            Coord::new(45.0, 45.0),
+            Coord::new(-30.0, 120.0),
+        ];
+        let ab = haversine_km(pts[0], pts[1]);
+        let bc = haversine_km(pts[1], pts[2]);
+        let ac = haversine_km(pts[0], pts[2]);
+        assert!(ac <= ab + bc + 1e-6);
+    }
+}

@@ -1,0 +1,54 @@
+//! Fibre propagation delay model.
+//!
+//! The paper's rule of thumb (§6): "Due to the speed of light in fiber every
+//! 1,000 km induces ~10 ms of delay" — i.e. ~5 ms one-way per 1,000 km at
+//! refractive index ≈1.47, doubled for the round trip. Real paths are not
+//! great circles, so a path-stretch factor accounts for fibre routing.
+
+/// Multiplier applied to great-circle distance to approximate actual fibre
+/// route length. Literature values range 1.2–2.0; 1.25 keeps the simulated
+/// RTT magnitudes in the range the paper reports (Figure 6).
+pub const PATH_STRETCH: f64 = 1.25;
+
+/// One-way propagation delay per kilometre of fibre, in milliseconds.
+///
+/// c/1.47 ≈ 204,000 km/s → ~4.9 µs/km one-way.
+pub fn ms_per_km() -> f64 {
+    1000.0 / 204_000.0
+}
+
+/// Round-trip time over `km` of great-circle distance, in milliseconds,
+/// including path stretch. Excludes queueing/processing (the simulator adds
+/// per-hop costs separately).
+pub fn fiber_rtt_ms(km: f64) -> f64 {
+    2.0 * km * PATH_STRETCH * ms_per_km()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousand_km_is_about_ten_ms() {
+        // The paper's rule of thumb: 1,000 km ≈ 10 ms RTT.
+        let rtt = fiber_rtt_ms(1000.0);
+        assert!((rtt - 10.0).abs() < 3.0, "got {rtt}");
+    }
+
+    #[test]
+    fn zero_distance_zero_delay() {
+        assert_eq!(fiber_rtt_ms(0.0), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_distance() {
+        assert!(fiber_rtt_ms(2000.0) > fiber_rtt_ms(1000.0));
+    }
+
+    #[test]
+    fn transatlantic_magnitude() {
+        // ~6,200 km Frankfurt–NYC should be roughly 60–90 ms RTT.
+        let rtt = fiber_rtt_ms(6200.0);
+        assert!((55.0..100.0).contains(&rtt), "got {rtt}");
+    }
+}

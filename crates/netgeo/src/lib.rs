@@ -1,0 +1,16 @@
+//! Geodesy for the `roots-go-deep` network simulation.
+//!
+//! Provides coordinates, great-circle distance, a fibre-propagation delay
+//! model, the six-continent region scheme the paper reports on, and a city
+//! database (with IATA codes) used to place root server sites, vantage
+//! points, ASes and IXPs on the globe.
+
+pub mod city;
+pub mod coord;
+pub mod delay;
+pub mod region;
+
+pub use city::{City, CityDb};
+pub use coord::{haversine_km, Coord, EARTH_RADIUS_KM};
+pub use delay::{fiber_rtt_ms, ms_per_km, PATH_STRETCH};
+pub use region::Region;

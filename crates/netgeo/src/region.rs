@@ -1,0 +1,102 @@
+//! The six-continent region scheme used throughout the paper
+//! (Tables 3 and 4, Figures 4, 6, 14, 15).
+
+use serde::{Deserialize, Serialize};
+
+/// A continent-level region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    Africa,
+    Asia,
+    Europe,
+    NorthAmerica,
+    SouthAmerica,
+    Oceania,
+}
+
+impl Region {
+    /// All regions in the order the paper's tables list them.
+    pub const ALL: [Region; 6] = [
+        Region::Africa,
+        Region::Asia,
+        Region::Europe,
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::Oceania,
+    ];
+
+    /// Human-readable name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Africa => "Africa",
+            Region::Asia => "Asia",
+            Region::Europe => "Europe",
+            Region::NorthAmerica => "North America",
+            Region::SouthAmerica => "South America",
+            Region::Oceania => "Oceania",
+        }
+    }
+
+    /// Stable index (the order of [`Region::ALL`]); handy for array-backed
+    /// per-region accumulators.
+    pub fn index(self) -> usize {
+        match self {
+            Region::Africa => 0,
+            Region::Asia => 1,
+            Region::Europe => 2,
+            Region::NorthAmerica => 3,
+            Region::SouthAmerica => 4,
+            Region::Oceania => 5,
+        }
+    }
+
+    /// Parse from the table names (case-insensitive, spaces optional).
+    pub fn parse(s: &str) -> Option<Region> {
+        let canon: String = s.chars().filter(|c| !c.is_whitespace()).collect::<String>().to_ascii_lowercase();
+        match canon.as_str() {
+            "africa" => Some(Region::Africa),
+            "asia" => Some(Region::Asia),
+            "europe" => Some(Region::Europe),
+            "northamerica" | "n.america" => Some(Region::NorthAmerica),
+            "southamerica" | "s.america" => Some(Region::SouthAmerica),
+            "oceania" => Some(Region::Oceania),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_six_unique_regions() {
+        let mut set = std::collections::HashSet::new();
+        for r in Region::ALL {
+            assert!(set.insert(r));
+        }
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for r in Region::ALL {
+            assert_eq!(Region::parse(r.name()), Some(r));
+        }
+        assert_eq!(Region::parse("N. America"), Some(Region::NorthAmerica));
+        assert_eq!(Region::parse("atlantis"), None);
+    }
+}

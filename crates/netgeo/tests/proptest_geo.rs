@@ -1,0 +1,52 @@
+//! Property-based tests for the geodesy layer.
+
+use netgeo::{fiber_rtt_ms, haversine_km, Coord, EARTH_RADIUS_KM};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = Coord> {
+    (-90.0f64..=90.0, -180.0f64..=180.0).prop_map(|(lat, lon)| Coord::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn distance_symmetric(a in coord(), b in coord()) {
+        prop_assert!((haversine_km(a, b) - haversine_km(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_nonnegative_and_bounded(a in coord(), b in coord()) {
+        let d = haversine_km(a, b);
+        prop_assert!(d >= 0.0);
+        // Max distance is half the circumference.
+        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+    }
+
+    #[test]
+    fn distance_zero_iff_same_point(a in coord()) {
+        prop_assert_eq!(haversine_km(a, a), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality(a in coord(), b in coord(), c in coord()) {
+        let ab = haversine_km(a, b);
+        let bc = haversine_km(b, c);
+        let ac = haversine_km(a, c);
+        prop_assert!(ac <= ab + bc + 1e-6, "{ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn normalization_idempotent(lat in -200.0f64..200.0, lon in -500.0f64..500.0) {
+        let c = Coord::new(lat, lon);
+        let again = Coord::new(c.lat, c.lon);
+        prop_assert_eq!(c, again);
+        prop_assert!((-90.0..=90.0).contains(&c.lat));
+        prop_assert!((-180.0..=180.0).contains(&c.lon));
+    }
+
+    #[test]
+    fn rtt_monotone_in_distance(a in 0.0f64..20000.0, b in 0.0f64..20000.0) {
+        if a < b {
+            prop_assert!(fiber_rtt_ms(a) <= fiber_rtt_ms(b));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Route churn: the process by which a client's selected anycast site
+//! changes between measurement rounds.
+//!
+//! Real-world churn comes from BGP updates, tie-break flaps, and traffic
+//! engineering. The model is a two-state Markov chain over the AS's
+//! candidate list: in the *stable* state the previous selection is kept; a
+//! flip re-selects among the candidates that are *near-equal* to the best
+//! (same Gao-Rexford class, path length within one hop). The flip pressure
+//! grows with the number of near-equal candidates — deployments whose sites
+//! look alike from a client (like g.root's six similar sites in the paper)
+//! flap more than deployments with one clearly-best path (b.root), which is
+//! how Figure 3's per-letter differences emerge without hard-coding them.
+//!
+//! An ablation alternative (`FlipModel::Iid`) re-rolls independently each
+//! round; `cargo bench -p bench --bench ablations` contrasts the tails.
+
+use crate::anycast::SiteId;
+use crate::rng::SimRng;
+use crate::routing::RouteTable;
+use crate::types::AsId;
+
+/// Which stochastic process drives flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlipModel {
+    /// Two-state Markov chain (sticky selection) — the default.
+    Markov,
+    /// Independent re-selection each round (ablation).
+    Iid,
+}
+
+/// Churn model parameters.
+#[derive(Debug, Clone)]
+pub struct ChurnModel {
+    /// Base per-round flip probability when ≥2 near-equal candidates exist.
+    pub base_flip_prob: f64,
+    /// Additional flip probability per extra near-equal candidate.
+    pub per_candidate_prob: f64,
+    /// Per-round probability that a path change *upstream* redirects the
+    /// client to a different site it has no local alternative for —
+    /// single-homed stubs still experience site changes this way, which is
+    /// why even b.root's median VP saw 8 changes in the paper.
+    pub upstream_flip_prob: f64,
+    /// Candidates within this many extra AS hops of the best count as
+    /// near-equal.
+    pub near_equal_slack: usize,
+    /// Stochastic process.
+    pub model: FlipModel,
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        // Calibrated against Figure 3's full-resolution medians: a VP with
+        // two near-equal candidates flips ≈0.0008/round, i.e. ≈8 changes
+        // over the paper's ~10k rounds (b.root's median); per-letter
+        // multipliers (see `vantage::engine::churn_multiplier`) produce
+        // g.root's 36 (v4) / 64 (v6).
+        ChurnModel {
+            base_flip_prob: 0.0004,
+            per_candidate_prob: 0.0002,
+            upstream_flip_prob: 0.0007,
+            near_equal_slack: 1,
+            model: FlipModel::Markov,
+        }
+    }
+}
+
+/// Per-(client, deployment, family) selection state across rounds.
+#[derive(Debug, Clone)]
+pub struct SelectionState {
+    /// Index into the near-equal candidate set.
+    current: usize,
+    /// A persistent upstream redirection, if one is in effect.
+    upstream_override: Option<SiteId>,
+}
+
+impl ChurnModel {
+    /// The near-equal candidate indices for `asn` (indices into
+    /// `table.candidates(asn)`).
+    pub fn near_equal(&self, table: &RouteTable, asn: AsId) -> Vec<usize> {
+        let cands = table.candidates(asn);
+        let Some(best) = cands.first() else {
+            return Vec::new();
+        };
+        cands
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.learned_from == best.learned_from
+                    && c.path_len() <= best.path_len() + self.near_equal_slack
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Initial selection (the best route).
+    pub fn initial(&self) -> SelectionState {
+        SelectionState {
+            current: 0,
+            upstream_override: None,
+        }
+    }
+
+    /// Advance one measurement round; returns the selected site, or `None`
+    /// when the destination is unreachable for this AS/family.
+    pub fn step(
+        &self,
+        table: &RouteTable,
+        asn: AsId,
+        state: &mut SelectionState,
+        rng: &mut SimRng,
+    ) -> Option<SiteId> {
+        self.step_full(table, asn, state, rng, 1.0, &[])
+    }
+
+    /// [`ChurnModel::step`] with the flip pressure scaled by `multiplier`
+    /// and an `upstream_pool` of sites an upstream path change can land
+    /// the client on. Deployments differ in routing stability for reasons
+    /// invisible to an AS-level model (the paper's g-vs-b finding, §4.2),
+    /// so callers calibrate the multiplier per deployment.
+    pub fn step_full(
+        &self,
+        table: &RouteTable,
+        asn: AsId,
+        state: &mut SelectionState,
+        rng: &mut SimRng,
+        multiplier: f64,
+        upstream_pool: &[SiteId],
+    ) -> Option<SiteId> {
+        let near = self.near_equal(table, asn);
+        if near.is_empty() {
+            return None;
+        }
+        if state.current >= near.len() {
+            state.current = 0;
+        }
+        match self.model {
+            FlipModel::Markov => {
+                // Upstream path change: redirect (or clear a redirect).
+                if !upstream_pool.is_empty()
+                    && rng.chance((self.upstream_flip_prob * multiplier).min(1.0))
+                {
+                    state.upstream_override = if state.upstream_override.is_some()
+                        && rng.chance(0.5)
+                    {
+                        // Half the upstream events restore the local best.
+                        None
+                    } else {
+                        Some(*rng.pick(upstream_pool))
+                    };
+                }
+                if near.len() > 1 {
+                    let p = (self.base_flip_prob
+                        + self.per_candidate_prob * (near.len() - 1) as f64)
+                        * multiplier;
+                    if rng.chance(p.min(1.0)) {
+                        // Local flip: move to a different near-equal
+                        // candidate and drop any upstream redirect.
+                        let mut next = rng.next_range(near.len() - 1);
+                        if next >= state.current {
+                            next += 1;
+                        }
+                        state.current = next;
+                        state.upstream_override = None;
+                    }
+                }
+            }
+            FlipModel::Iid => {
+                state.current = rng.next_range(near.len());
+            }
+        }
+        if let Some(site) = state.upstream_override {
+            return Some(site);
+        }
+        let cand_idx = near[state.current];
+        Some(table.candidates(asn)[cand_idx].site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anycast::{Deployment, FacilityId, Site, SiteScope};
+    use crate::routing::propagate;
+    use crate::topology::{Topology, TopologyConfig};
+    use crate::types::Family;
+    use netgeo::Region;
+
+    fn world(n_sites: usize) -> (Topology, Deployment) {
+        let t = Topology::generate(&TopologyConfig::default());
+        let mut sites = Vec::new();
+        let regions = [
+            Region::Europe,
+            Region::NorthAmerica,
+            Region::Asia,
+            Region::SouthAmerica,
+            Region::Oceania,
+            Region::Africa,
+        ];
+        for i in 0..n_sites {
+            let region = regions[i % regions.len()];
+            let host = t.stubs_in(region)[i / regions.len() + 1];
+            sites.push(Site {
+                id: SiteId(i as u32),
+                facility: FacilityId(i as u32),
+                scope: SiteScope::Global,
+                origin_as: host,
+                instance_stem: format!("s{i}"),
+            });
+        }
+        (t, Deployment { name: "d".into(), sites })
+    }
+
+    #[test]
+    fn stable_without_flips() {
+        let (t, d) = world(4);
+        let table = propagate(&t, &d, Family::V4);
+        let model = ChurnModel {
+            base_flip_prob: 0.0,
+            per_candidate_prob: 0.0,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(1);
+        let asn = t.stubs_in(Region::Europe)[5];
+        let mut state = model.initial();
+        let first = model.step(&table, asn, &mut state, &mut rng);
+        for _ in 0..100 {
+            assert_eq!(model.step(&table, asn, &mut state, &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn flips_happen_with_pressure() {
+        let (t, d) = world(6);
+        let table = propagate(&t, &d, Family::V4);
+        let model = ChurnModel {
+            base_flip_prob: 0.2,
+            per_candidate_prob: 0.1,
+            near_equal_slack: 3,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(2);
+        // Find an AS with multiple near-equal candidates.
+        let asn = t
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .find(|&a| model.near_equal(&table, a).len() >= 2)
+            .expect("some AS has alternatives");
+        let mut state = model.initial();
+        let mut changes = 0;
+        let mut prev = model.step(&table, asn, &mut state, &mut rng);
+        for _ in 0..500 {
+            let cur = model.step(&table, asn, &mut state, &mut rng);
+            if cur != prev {
+                changes += 1;
+            }
+            prev = cur;
+        }
+        assert!(changes > 10, "only {changes} changes");
+    }
+
+    #[test]
+    fn iid_flips_more_than_markov() {
+        let (t, d) = world(6);
+        let table = propagate(&t, &d, Family::V4);
+        let mk = |model| ChurnModel {
+            base_flip_prob: 0.05,
+            per_candidate_prob: 0.01,
+            near_equal_slack: 3,
+            model,
+            ..Default::default()
+        };
+        let count_changes = |model: &ChurnModel, seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let asn = t
+                .nodes()
+                .iter()
+                .map(|n| n.id)
+                .find(|&a| model.near_equal(&table, a).len() >= 3)
+                .expect("alternatives exist");
+            let mut state = model.initial();
+            let mut changes = 0;
+            let mut prev = model.step(&table, asn, &mut state, &mut rng);
+            for _ in 0..1000 {
+                let cur = model.step(&table, asn, &mut state, &mut rng);
+                if cur != prev {
+                    changes += 1;
+                }
+                prev = cur;
+            }
+            changes
+        };
+        let markov = count_changes(&mk(FlipModel::Markov), 3);
+        let iid = count_changes(&mk(FlipModel::Iid), 3);
+        assert!(iid > markov * 3, "iid {iid} vs markov {markov}");
+    }
+
+    #[test]
+    fn unreachable_yields_none() {
+        let (t, d) = world(2);
+        let table = propagate(&t, &d, Family::V6);
+        let model = ChurnModel::default();
+        let mut rng = SimRng::new(4);
+        let v4_only = t.nodes().iter().find(|n| !n.has_v6).unwrap().id;
+        let mut state = model.initial();
+        assert_eq!(model.step(&table, v4_only, &mut state, &mut rng), None);
+    }
+
+    #[test]
+    fn near_equal_excludes_worse_class() {
+        let (t, d) = world(3);
+        let table = propagate(&t, &d, Family::V4);
+        let model = ChurnModel {
+            near_equal_slack: 100, // only class should constrain
+            ..Default::default()
+        };
+        for node in t.nodes() {
+            let near = model.near_equal(&table, node.id);
+            let cands = table.candidates(node.id);
+            if let Some(best) = cands.first() {
+                for idx in near {
+                    assert_eq!(cands[idx].learned_from, best.learned_from);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Core identifiers and enums for the network simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// An autonomous system number (index into the topology's node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl std::fmt::Display for AsId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Address family. The paper's central axis of comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Family {
+    V4,
+    V6,
+}
+
+impl Family {
+    /// Both families in paper order.
+    pub const BOTH: [Family; 2] = [Family::V4, Family::V6];
+
+    /// Short label used in reports ("IPv4"/"IPv6").
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::V4 => "IPv4",
+            Family::V6 => "IPv6",
+        }
+    }
+
+    /// Index (0 for v4, 1 for v6) for array-backed accumulators.
+    pub fn index(self) -> usize {
+        match self {
+            Family::V4 => 0,
+            Family::V6 => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Business relationship of a directed link, from the perspective of the
+/// link's owner: `self --(relation)--> neighbor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relation {
+    /// The neighbor is our provider (we are their customer).
+    Provider,
+    /// The neighbor is our customer.
+    Customer,
+    /// Settlement-free peer.
+    Peer,
+}
+
+impl Relation {
+    /// The relation as seen from the other end of the link.
+    pub fn reverse(self) -> Relation {
+        match self {
+            Relation::Provider => Relation::Customer,
+            Relation::Customer => Relation::Provider,
+            Relation::Peer => Relation::Peer,
+        }
+    }
+}
+
+/// Rough AS tier, used by the topology generator and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Global transit-free backbone.
+    Tier1,
+    /// Regional/national transit provider.
+    Tier2,
+    /// Edge/stub network (eyeball ISPs, hosters, enterprises).
+    Stub,
+}
+
+/// How a route was learned — the Gao-Rexford preference classes, ordered
+/// best-first (customer routes are most preferred: they earn money).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LearnedFrom {
+    /// We originate this route ourselves.
+    Origin,
+    /// Learned from a customer.
+    Customer,
+    /// Learned from a peer.
+    Peer,
+    /// Learned from a provider.
+    Provider,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_reverse_involution() {
+        for r in [Relation::Provider, Relation::Customer, Relation::Peer] {
+            assert_eq!(r.reverse().reverse(), r);
+        }
+        assert_eq!(Relation::Provider.reverse(), Relation::Customer);
+    }
+
+    #[test]
+    fn learned_from_preference_order() {
+        // Ord derives the Gao-Rexford preference: smaller = preferred.
+        assert!(LearnedFrom::Origin < LearnedFrom::Customer);
+        assert!(LearnedFrom::Customer < LearnedFrom::Peer);
+        assert!(LearnedFrom::Peer < LearnedFrom::Provider);
+    }
+
+    #[test]
+    fn family_labels() {
+        assert_eq!(Family::V4.label(), "IPv4");
+        assert_eq!(Family::V6.label(), "IPv6");
+        assert_eq!(Family::V4.index(), 0);
+        assert_eq!(Family::V6.index(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests over randomly parameterized topologies: routing
+//! invariants must hold for any generated world, not just the default.
+
+use netsim::anycast::{Deployment, FacilityId, Site, SiteId, SiteScope};
+use netsim::routing::propagate;
+use netsim::types::LearnedFrom;
+use netsim::{Family, SimRng, Topology, TopologyConfig};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = TopologyConfig> {
+    (
+        3usize..10,          // tier1
+        2usize..6,           // tier2 per region
+        2usize..12,          // stub scale
+        0.0f64..0.5,         // v4-only fraction
+        0.0f64..0.6,         // open v6 peering
+        any::<u64>(),        // seed
+    )
+        .prop_map(|(t1, t2, stubs, v4only, openv6, seed)| TopologyConfig {
+            tier1_count: t1,
+            tier2_per_region: t2,
+            stubs_per_region: [stubs, stubs + 1, stubs * 3, stubs * 2, stubs, stubs + 2],
+            v4_only_stub_fraction: v4only,
+            open_v6_peering_fraction: openv6,
+            seed,
+        })
+}
+
+fn global_deployment(topology: &Topology, rng_seed: u64, n_sites: usize) -> Deployment {
+    let mut rng = SimRng::new(rng_seed);
+    let nodes: Vec<netsim::AsId> = topology.nodes().iter().map(|n| n.id).collect();
+    let sites = (0..n_sites)
+        .map(|i| Site {
+            id: SiteId(i as u32),
+            facility: FacilityId(i as u32),
+            scope: SiteScope::Global,
+            origin_as: *rng.pick(&nodes),
+            instance_stem: format!("s{i}"),
+        })
+        .collect();
+    Deployment {
+        name: "prop".into(),
+        sites,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn global_anycast_reaches_every_as_on_v4(cfg in config_strategy(), dseed in any::<u64>()) {
+        let topo = Topology::generate(&cfg);
+        let d = global_deployment(&topo, dseed, 3);
+        let table = propagate(&topo, &d, Family::V4);
+        for node in topo.nodes() {
+            prop_assert!(table.reachable(node.id), "{} unreachable", node.name);
+        }
+    }
+
+    #[test]
+    fn paths_are_simple_and_valley_free(cfg in config_strategy(), dseed in any::<u64>()) {
+        let topo = Topology::generate(&cfg);
+        let d = global_deployment(&topo, dseed, 2);
+        for family in Family::BOTH {
+            let table = propagate(&topo, &d, family);
+            for node in topo.nodes() {
+                for cand in table.candidates(node.id) {
+                    // Simple path (no repeated AS).
+                    let mut seen = std::collections::HashSet::new();
+                    for hop in &cand.path {
+                        prop_assert!(seen.insert(hop.0));
+                    }
+                    // The origin is path[0].
+                    if let Some(first) = cand.path.first() {
+                        prop_assert_eq!(
+                            *first,
+                            d.site(cand.site).origin_as,
+                            "path does not start at origin"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_sorted_by_preference(cfg in config_strategy(), dseed in any::<u64>()) {
+        let topo = Topology::generate(&cfg);
+        let d = global_deployment(&topo, dseed, 3);
+        let table = propagate(&topo, &d, Family::V4);
+        for node in topo.nodes() {
+            let cands = table.candidates(node.id);
+            for pair in cands.windows(2) {
+                prop_assert!(pair[0].learned_from <= pair[1].learned_from
+                    || (pair[0].learned_from == pair[1].learned_from
+                        && pair[0].path_len() <= pair[1].path_len() + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn v6_reachability_subset_of_v4(cfg in config_strategy(), dseed in any::<u64>()) {
+        // Anything unreachable on v4 (nothing) stays consistent; v4-only
+        // ASes are never v6-reachable.
+        let topo = Topology::generate(&cfg);
+        let d = global_deployment(&topo, dseed, 2);
+        let v6 = propagate(&topo, &d, Family::V6);
+        for node in topo.nodes() {
+            if !node.has_v6 {
+                prop_assert!(!v6.reachable(node.id));
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_deterministic(cfg in config_strategy(), dseed in any::<u64>()) {
+        let topo = Topology::generate(&cfg);
+        let d = global_deployment(&topo, dseed, 2);
+        let a = propagate(&topo, &d, Family::V4);
+        let b = propagate(&topo, &d, Family::V4);
+        for node in topo.nodes() {
+            prop_assert_eq!(a.best(node.id), b.best(node.id));
+        }
+    }
+
+    #[test]
+    fn origin_always_selects_itself(cfg in config_strategy(), dseed in any::<u64>()) {
+        let topo = Topology::generate(&cfg);
+        let d = global_deployment(&topo, dseed, 1);
+        let table = propagate(&topo, &d, Family::V4);
+        let origin = d.site(SiteId(0)).origin_as;
+        let best = table.best(origin).unwrap();
+        prop_assert_eq!(best.learned_from, LearnedFrom::Origin);
+        prop_assert_eq!(best.path_len(), 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! The 13 root server letters: identities, operators, service addresses,
+//! and the b.root renumbering event.
+
+use serde::{Deserialize, Serialize};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// A root server letter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RootLetter {
+    A,
+    B,
+    C,
+    D,
+    E,
+    F,
+    G,
+    H,
+    I,
+    J,
+    K,
+    L,
+    M,
+}
+
+/// Unix timestamp of the b.root IP change (2023-11-27, per the paper's
+/// Figure 2 timeline).
+pub const B_ROOT_CHANGE_DATE: u32 = 1_701_043_200;
+
+/// Which address generation of b.root a flow/measurement targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BRootPhase {
+    /// The pre-change addresses (199.9.14.201 / 2001:500:200::b).
+    Old,
+    /// The post-change addresses (170.247.170.2 / 2801:1b8:10::b).
+    New,
+}
+
+impl RootLetter {
+    /// All letters, a–m.
+    pub const ALL: [RootLetter; 13] = [
+        RootLetter::A,
+        RootLetter::B,
+        RootLetter::C,
+        RootLetter::D,
+        RootLetter::E,
+        RootLetter::F,
+        RootLetter::G,
+        RootLetter::H,
+        RootLetter::I,
+        RootLetter::J,
+        RootLetter::K,
+        RootLetter::L,
+        RootLetter::M,
+    ];
+
+    /// Lowercase letter character.
+    pub fn ch(self) -> char {
+        (b'a' + self.index() as u8) as char
+    }
+
+    /// Stable index 0..13.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// From an index.
+    pub fn from_index(i: usize) -> Option<RootLetter> {
+        RootLetter::ALL.get(i).copied()
+    }
+
+    /// `X.root-servers.net.` host name.
+    pub fn host_name(self) -> String {
+        format!("{}.root-servers.net.", self.ch())
+    }
+
+    /// Operator short name (public fact, as listed on root-servers.org).
+    pub fn operator(self) -> &'static str {
+        match self {
+            RootLetter::A => "Verisign",
+            RootLetter::B => "USC-ISI",
+            RootLetter::C => "Cogent",
+            RootLetter::D => "UMD",
+            RootLetter::E => "NASA",
+            RootLetter::F => "ISC",
+            RootLetter::G => "DISA",
+            RootLetter::H => "ARL",
+            RootLetter::I => "Netnod",
+            RootLetter::J => "Verisign",
+            RootLetter::K => "RIPE NCC",
+            RootLetter::L => "ICANN",
+            RootLetter::M => "WIDE",
+        }
+    }
+
+    /// IPv4 service address. For b.root this is phase-dependent.
+    pub fn ipv4(self, b_phase: BRootPhase) -> Ipv4Addr {
+        match self {
+            RootLetter::A => Ipv4Addr::new(198, 41, 0, 4),
+            RootLetter::B => match b_phase {
+                BRootPhase::Old => Ipv4Addr::new(199, 9, 14, 201),
+                BRootPhase::New => Ipv4Addr::new(170, 247, 170, 2),
+            },
+            RootLetter::C => Ipv4Addr::new(192, 33, 4, 12),
+            RootLetter::D => Ipv4Addr::new(199, 7, 91, 13),
+            RootLetter::E => Ipv4Addr::new(192, 203, 230, 10),
+            RootLetter::F => Ipv4Addr::new(192, 5, 5, 241),
+            RootLetter::G => Ipv4Addr::new(192, 112, 36, 4),
+            RootLetter::H => Ipv4Addr::new(198, 97, 190, 53),
+            RootLetter::I => Ipv4Addr::new(192, 36, 148, 17),
+            RootLetter::J => Ipv4Addr::new(192, 58, 128, 30),
+            RootLetter::K => Ipv4Addr::new(193, 0, 14, 129),
+            RootLetter::L => Ipv4Addr::new(199, 7, 83, 42),
+            RootLetter::M => Ipv4Addr::new(202, 12, 27, 33),
+        }
+    }
+
+    /// IPv6 service address. For b.root this is phase-dependent.
+    pub fn ipv6(self, b_phase: BRootPhase) -> Ipv6Addr {
+        match self {
+            RootLetter::A => "2001:503:ba3e::2:30".parse().unwrap(),
+            RootLetter::B => match b_phase {
+                BRootPhase::Old => "2001:500:200::b".parse().unwrap(),
+                BRootPhase::New => "2801:1b8:10::b".parse().unwrap(),
+            },
+            RootLetter::C => "2001:500:2::c".parse().unwrap(),
+            RootLetter::D => "2001:500:2d::d".parse().unwrap(),
+            RootLetter::E => "2001:500:a8::e".parse().unwrap(),
+            RootLetter::F => "2001:500:2f::f".parse().unwrap(),
+            RootLetter::G => "2001:500:12::d0d".parse().unwrap(),
+            RootLetter::H => "2001:500:1::53".parse().unwrap(),
+            RootLetter::I => "2001:7fe::53".parse().unwrap(),
+            RootLetter::J => "2001:503:c27::2:30".parse().unwrap(),
+            RootLetter::K => "2001:7fd::1".parse().unwrap(),
+            RootLetter::L => "2001:500:9f::42".parse().unwrap(),
+            RootLetter::M => "2001:dc3::35".parse().unwrap(),
+        }
+    }
+
+    /// Whether this letter publishes instance identifiers that map to sites.
+    /// `{a,c,j,e}` either report none or unmappable ones; the paper falls
+    /// back to the IATA codes in hostnames for these, making same-metro
+    /// nodes indistinguishable (§4.2 footnote 2).
+    pub fn identifiers_mappable(self) -> bool {
+        !matches!(
+            self,
+            RootLetter::A | RootLetter::C | RootLetter::J | RootLetter::E
+        )
+    }
+
+    /// Display label as used in the paper's figures (`b.root (new)` handled
+    /// by callers that track phases).
+    pub fn label(self) -> String {
+        format!("{}.root", self.ch())
+    }
+}
+
+impl std::fmt::Display for RootLetter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.root", self.ch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_letters() {
+        assert_eq!(RootLetter::ALL.len(), 13);
+        for (i, l) in RootLetter::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+            assert_eq!(RootLetter::from_index(i), Some(*l));
+        }
+        assert_eq!(RootLetter::from_index(13), None);
+    }
+
+    #[test]
+    fn host_names() {
+        assert_eq!(RootLetter::B.host_name(), "b.root-servers.net.");
+        assert_eq!(RootLetter::M.host_name(), "m.root-servers.net.");
+    }
+
+    #[test]
+    fn b_root_addresses_change_with_phase() {
+        assert_ne!(
+            RootLetter::B.ipv4(BRootPhase::Old),
+            RootLetter::B.ipv4(BRootPhase::New)
+        );
+        assert_ne!(
+            RootLetter::B.ipv6(BRootPhase::Old),
+            RootLetter::B.ipv6(BRootPhase::New)
+        );
+        // Other letters are phase-invariant.
+        for l in RootLetter::ALL {
+            if l != RootLetter::B {
+                assert_eq!(l.ipv4(BRootPhase::Old), l.ipv4(BRootPhase::New));
+                assert_eq!(l.ipv6(BRootPhase::Old), l.ipv6(BRootPhase::New));
+            }
+        }
+    }
+
+    #[test]
+    fn all_addresses_unique() {
+        let mut v4 = std::collections::HashSet::new();
+        let mut v6 = std::collections::HashSet::new();
+        for l in RootLetter::ALL {
+            assert!(v4.insert(l.ipv4(BRootPhase::Old)));
+            assert!(v6.insert(l.ipv6(BRootPhase::Old)));
+        }
+        assert!(v4.insert(RootLetter::B.ipv4(BRootPhase::New)));
+        assert!(v6.insert(RootLetter::B.ipv6(BRootPhase::New)));
+    }
+
+    #[test]
+    fn unmappable_letters_match_paper() {
+        for l in [RootLetter::A, RootLetter::C, RootLetter::J, RootLetter::E] {
+            assert!(!l.identifiers_mappable());
+        }
+        for l in [RootLetter::B, RootLetter::F, RootLetter::K] {
+            assert!(l.identifiers_mappable());
+        }
+    }
+
+    #[test]
+    fn change_date_is_2023_11_27() {
+        assert_eq!(
+            dns_crypto::validity::timestamp_from_ymd("20231127000000"),
+            Some(B_ROOT_CHANGE_DATE)
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! Root server behaviour: answering the measurement script's query set.
+//!
+//! Each *site instance* of a letter answers, per the Appendix F script:
+//!
+//! * `A`/`AAAA`/`TXT` for every `X.root-servers.net.` name;
+//! * `NS .` and `NS root-servers.net.`;
+//! * `SOA .` and `ZONEMD .` (with DNSSEC);
+//! * `CH TXT` identity queries (`hostname.bind`, `id.server`,
+//!   `version.bind`, `version.server`);
+//! * full `AXFR .`.
+//!
+//! A site serves whatever zone copy it currently holds — a *stale* site
+//! (the paper's Tokyo/Leeds d.root finding) keeps serving an old copy whose
+//! signatures eventually expire.
+
+use crate::letters::{BRootPhase, RootLetter};
+use dns_wire::rdata::Rdata;
+use dns_wire::{Class, Message, Name, Question, Rcode, Record, RrType};
+use dns_zone::axfr::{serve_axfr, AxfrError, DEFAULT_BATCH};
+use dns_zone::Zone;
+use std::sync::Arc;
+
+/// Behaviour knobs for one site instance.
+#[derive(Debug, Clone, Default)]
+pub struct ServerBehavior {
+    /// If set, the instance serves this (old) zone instead of the current
+    /// one — the stale-zone fault.
+    pub stale_zone: Option<Arc<Zone>>,
+    /// Software banner reported for `version.bind` / `version.server`.
+    pub version_banner: Option<String>,
+}
+
+/// One answering instance: a letter at a site, holding a zone copy.
+#[derive(Debug, Clone)]
+pub struct RootServer {
+    pub letter: RootLetter,
+    /// `hostname.bind` answer for this instance (`None` → REFUSED, like
+    /// operators that disable identity queries).
+    pub identity: Option<String>,
+    /// The zone the instance would serve if fresh.
+    pub zone: Arc<Zone>,
+    pub behavior: ServerBehavior,
+}
+
+impl RootServer {
+    /// The zone this instance actually serves (stale copy wins).
+    pub fn served_zone(&self) -> &Arc<Zone> {
+        self.behavior.stale_zone.as_ref().unwrap_or(&self.zone)
+    }
+
+    /// Answer one query message.
+    ///
+    /// If the query carries an EDNS NSID request (RFC 5001), the response's
+    /// OPT record echoes this instance's identity — the third identity
+    /// channel root operators expose besides `hostname.bind`/`id.server`.
+    pub fn answer(&self, query: &Message, b_phase: BRootPhase) -> Message {
+        let Some(q) = query.questions.first() else {
+            return Message::response_to(query, Rcode::FormErr, Vec::new());
+        };
+        let mut response = match q.class {
+            Class::Ch => self.answer_chaos(query, q),
+            Class::In => self.answer_in(query, q, b_phase),
+            _ => Message::response_to(query, Rcode::Refused, Vec::new()),
+        };
+        if let Some(edns) = dns_wire::edns::edns_of(query) {
+            let mut reply_edns = dns_wire::edns::Edns {
+                udp_payload_size: 4096,
+                dnssec_ok: edns.dnssec_ok,
+                ..Default::default()
+            };
+            if edns.nsid_requested() {
+                if let Some(identity) = &self.identity {
+                    reply_edns = reply_edns.with_nsid(identity.as_bytes());
+                }
+            }
+            dns_wire::edns::set_edns(&mut response, &reply_edns);
+        }
+        response
+    }
+
+    fn answer_chaos(&self, query: &Message, q: &Question) -> Message {
+        let name = q.name.to_string().to_ascii_lowercase();
+        let text: Option<String> = match name.as_str() {
+            "hostname.bind." | "id.server." => self.identity.clone(),
+            "version.bind." | "version.server." => self
+                .behavior
+                .version_banner
+                .clone()
+                .or_else(|| Some("simdns 1.0".to_string())),
+            _ => None,
+        };
+        match text {
+            Some(t) => Message::response_to(
+                query,
+                Rcode::NoError,
+                vec![Record::chaos(q.name.clone(), 0, Rdata::Txt(vec![t.into_bytes()]))],
+            ),
+            None => Message::response_to(query, Rcode::Refused, Vec::new()),
+        }
+    }
+
+    fn answer_in(&self, query: &Message, q: &Question, b_phase: BRootPhase) -> Message {
+        let zone = self.served_zone();
+        match q.rr_type {
+            RrType::A | RrType::Aaaa => {
+                // Root server host addresses are served from knowledge of
+                // the root-servers.net zone (modelled directly).
+                if let Some(letter) = letter_for_host(&q.name) {
+                    let rdata = match q.rr_type {
+                        RrType::A => Rdata::A(letter.ipv4(b_phase)),
+                        _ => Rdata::Aaaa(letter.ipv6(b_phase)),
+                    };
+                    return Message::response_to(
+                        query,
+                        Rcode::NoError,
+                        vec![Record::new(q.name.clone(), 3_600_000, rdata)],
+                    );
+                }
+                self.answer_from_zone(query, q)
+            }
+            RrType::Txt => {
+                // TXT for X.root-servers.net: empty NOERROR (as in reality).
+                if letter_for_host(&q.name).is_some() {
+                    return Message::response_to(query, Rcode::NoError, Vec::new());
+                }
+                self.answer_from_zone(query, q)
+            }
+            RrType::Ns if q.name == Name::parse("root-servers.net.").unwrap() => {
+                let answers = RootLetter::ALL
+                    .iter()
+                    .map(|l| {
+                        Record::new(
+                            q.name.clone(),
+                            3_600_000,
+                            Rdata::Ns(Name::parse(&l.host_name()).unwrap()),
+                        )
+                    })
+                    .collect();
+                Message::response_to(query, Rcode::NoError, answers)
+            }
+            RrType::Axfr => {
+                // AXFR is answered as a stream; single-message callers use
+                // `serve_transfer` instead. Signal NOTIMPL here.
+                Message::response_to(query, Rcode::NotImp, Vec::new())
+            }
+            _ => {
+                let _ = zone;
+                self.answer_from_zone(query, q)
+            }
+        }
+    }
+
+    fn answer_from_zone(&self, query: &Message, q: &Question) -> Message {
+        let zone = self.served_zone();
+        let records: Vec<Record> = zone
+            .rrset(&q.name, q.rr_type)
+            .into_iter()
+            .cloned()
+            .collect();
+        if records.is_empty() {
+            // In-zone name? NOERROR/NODATA vs NXDOMAIN.
+            let exists = zone.records().iter().any(|r| r.name == q.name);
+            let rcode = if exists || q.name.is_subdomain_of(zone.origin()) && q.name == *zone.origin() {
+                Rcode::NoError
+            } else if zone
+                .records()
+                .iter()
+                .any(|r| r.name.is_subdomain_of(&q.name))
+            {
+                Rcode::NoError
+            } else {
+                Rcode::NxDomain
+            };
+            return Message::response_to(query, rcode, Vec::new());
+        }
+        let mut response = Message::response_to(query, Rcode::NoError, records);
+        // Attach covering RRSIGs (DNSSEC responses always carry them).
+        let sigs: Vec<Record> = zone
+            .records()
+            .iter()
+            .filter(|r| {
+                r.name == q.name
+                    && matches!(&r.rdata, Rdata::Rrsig(s) if s.type_covered == q.rr_type)
+            })
+            .cloned()
+            .collect();
+        response.answers.extend(sigs);
+        response
+    }
+
+    /// Serve a full zone transfer.
+    pub fn serve_transfer(&self, query_id: u16) -> Result<Vec<Message>, AxfrError> {
+        serve_axfr(self.served_zone(), query_id, DEFAULT_BATCH)
+    }
+}
+
+/// Which letter a host name like `b.root-servers.net.` refers to.
+fn letter_for_host(name: &Name) -> Option<RootLetter> {
+    let s = name.to_string().to_ascii_lowercase();
+    let rest = s.strip_suffix(".root-servers.net.")?;
+    if rest.len() != 1 {
+        return None;
+    }
+    let c = rest.chars().next().unwrap();
+    if !c.is_ascii_lowercase() {
+        return None;
+    }
+    RootLetter::from_index((c as u8 - b'a') as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_zone::rollout::RolloutPhase;
+    use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+    use dns_zone::signer::ZoneKeys;
+    use dns_zone::zonemd::verify_zonemd;
+
+    fn server(letter: RootLetter) -> RootServer {
+        let zone = build_root_zone(
+            &RootZoneConfig {
+                tld_count: 6,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(1),
+        );
+        RootServer {
+            letter,
+            identity: Some("fra1b".into()),
+            zone: Arc::new(zone),
+            behavior: ServerBehavior::default(),
+        }
+    }
+
+    fn ask(server: &RootServer, name: &str, rr_type: RrType) -> Message {
+        let q = Message::query(9, Question::new(Name::parse(name).unwrap(), rr_type));
+        server.answer(&q, BRootPhase::Old)
+    }
+
+    #[test]
+    fn answers_a_for_every_letter() {
+        let s = server(RootLetter::B);
+        for l in RootLetter::ALL {
+            let resp = ask(&s, &l.host_name(), RrType::A);
+            assert_eq!(resp.header.rcode, Rcode::NoError);
+            match &resp.answers[0].rdata {
+                Rdata::A(a) => assert_eq!(*a, l.ipv4(BRootPhase::Old)),
+                other => panic!("unexpected rdata {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn b_root_answers_respect_phase() {
+        let s = server(RootLetter::B);
+        let q = Message::query(
+            1,
+            Question::new(Name::parse("b.root-servers.net.").unwrap(), RrType::Aaaa),
+        );
+        let old = s.answer(&q, BRootPhase::Old);
+        let new = s.answer(&q, BRootPhase::New);
+        assert_ne!(old.answers[0].rdata, new.answers[0].rdata);
+    }
+
+    #[test]
+    fn ns_queries_answered() {
+        let s = server(RootLetter::K);
+        let root_ns = ask(&s, ".", RrType::Ns);
+        assert_eq!(root_ns.answers.iter().filter(|r| r.rr_type == RrType::Ns).count(), 13);
+        let rsnet = ask(&s, "root-servers.net.", RrType::Ns);
+        assert_eq!(rsnet.answers.len(), 13);
+    }
+
+    #[test]
+    fn soa_and_zonemd_answered_with_rrsigs() {
+        let s = server(RootLetter::A);
+        let soa = ask(&s, ".", RrType::Soa);
+        assert!(soa.answers.iter().any(|r| r.rr_type == RrType::Soa));
+        assert!(soa.answers.iter().any(|r| r.rr_type == RrType::Rrsig));
+        let zmd = ask(&s, ".", RrType::Zonemd);
+        assert!(zmd.answers.iter().any(|r| r.rr_type == RrType::Zonemd));
+        assert!(zmd.answers.iter().any(|r| r.rr_type == RrType::Rrsig));
+    }
+
+    #[test]
+    fn chaos_identity_queries() {
+        let s = server(RootLetter::F);
+        let q = Message::query(3, Question::chaos_txt(Name::parse("hostname.bind.").unwrap()));
+        let resp = s.answer(&q, BRootPhase::Old);
+        match &resp.answers[0].rdata {
+            Rdata::Txt(t) => assert_eq!(t[0], b"fra1b"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let q = Message::query(4, Question::chaos_txt(Name::parse("version.bind.").unwrap()));
+        let resp = s.answer(&q, BRootPhase::Old);
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn identityless_instance_refuses_chaos() {
+        let mut s = server(RootLetter::A);
+        s.identity = None;
+        let q = Message::query(5, Question::chaos_txt(Name::parse("id.server.").unwrap()));
+        assert_eq!(s.answer(&q, BRootPhase::Old).header.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn nxdomain_for_unknown_tld() {
+        let s = server(RootLetter::C);
+        let resp = ask(&s, "doesnotexist12345.", RrType::A);
+        assert_eq!(resp.header.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn axfr_transfer_round_trips_and_validates() {
+        let s = server(RootLetter::D);
+        let msgs = s.serve_transfer(7).unwrap();
+        let zone = dns_zone::axfr::assemble_axfr(&msgs, &Name::root()).unwrap();
+        assert_eq!(verify_zonemd(&zone), Ok(()));
+    }
+
+    #[test]
+    fn stale_site_serves_old_zone() {
+        let old_zone = build_root_zone(
+            &RootZoneConfig {
+                serial: 2023070100,
+                tld_count: 6,
+                rollout: RolloutPhase::NoRecord,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(1),
+        );
+        let mut s = server(RootLetter::D);
+        s.behavior.stale_zone = Some(Arc::new(old_zone));
+        let msgs = s.serve_transfer(8).unwrap();
+        let got = dns_zone::axfr::assemble_axfr(&msgs, &Name::root()).unwrap();
+        assert_eq!(got.serial().unwrap(), 2023070100);
+    }
+
+    #[test]
+    fn nsid_echoed_when_requested() {
+        use dns_wire::edns::{edns_of, set_edns, Edns};
+        let s = server(RootLetter::K);
+        let mut q = Message::query(
+            1,
+            Question::new(Name::parse(".").unwrap(), RrType::Soa),
+        );
+        set_edns(&mut q, &Edns::dnssec().with_nsid_request());
+        let resp = s.answer(&q, BRootPhase::Old);
+        let edns = edns_of(&resp).expect("response carries OPT");
+        assert_eq!(edns.nsid(), Some(b"fra1b".as_slice()));
+        // Round-trip through the wire for good measure.
+        let decoded = Message::from_wire(&resp.to_wire()).unwrap();
+        assert_eq!(edns_of(&decoded).unwrap().nsid(), Some(b"fra1b".as_slice()));
+    }
+
+    #[test]
+    fn no_nsid_without_request() {
+        use dns_wire::edns::{edns_of, set_edns, Edns};
+        let s = server(RootLetter::K);
+        let mut q = Message::query(1, Question::new(Name::parse(".").unwrap(), RrType::Soa));
+        set_edns(&mut q, &Edns::dnssec());
+        let resp = s.answer(&q, BRootPhase::Old);
+        assert_eq!(edns_of(&resp).unwrap().nsid(), None);
+        // And no OPT at all when the query had none.
+        let plain = Message::query(2, Question::new(Name::parse(".").unwrap(), RrType::Soa));
+        let resp = s.answer(&plain, BRootPhase::Old);
+        assert!(edns_of(&resp).is_none());
+    }
+
+    #[test]
+    fn letter_for_host_parses() {
+        assert_eq!(
+            letter_for_host(&Name::parse("b.root-servers.net.").unwrap()),
+            Some(RootLetter::B)
+        );
+        assert_eq!(
+            letter_for_host(&Name::parse("m.root-servers.net.").unwrap()),
+            Some(RootLetter::M)
+        );
+        assert_eq!(letter_for_host(&Name::parse("x.example.").unwrap()), None);
+        assert_eq!(
+            letter_for_host(&Name::parse("zz.root-servers.net.").unwrap()),
+            None
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! The resolver/client population behind the passive traces.
+
+use netgeo::Region;
+use netsim::{Family, SimRng};
+use rss::{RootLetter, B_ROOT_CHANGE_DATE};
+use serde::{Deserialize, Serialize};
+
+/// A client prefix (/24 for v4, /48 for v6 — the privacy aggregation the
+/// real pipeline applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+/// Per-client behaviour parameters.
+#[derive(Debug, Clone)]
+pub struct ClientBehavior {
+    pub id: ClientId,
+    pub region: Region,
+    pub family: Family,
+    /// Mean queries per day toward the whole root system (heavy-tailed
+    /// across clients).
+    pub daily_rate: f64,
+    /// Seconds after the b.root change at which this client switches to the
+    /// new address; `None` = legacy resolver that never switches within any
+    /// observed window.
+    pub switch_after: Option<u32>,
+    /// Whether the client primes (RFC 8109): after switching it still
+    /// contacts the old address about once a day.
+    pub primes: bool,
+}
+
+impl ClientBehavior {
+    /// Has this client switched to the new b.root address by `time`?
+    pub fn switched_at(&self, time: u32) -> bool {
+        match self.switch_after {
+            Some(delay) => time >= B_ROOT_CHANGE_DATE.saturating_add(delay),
+            None => false,
+        }
+    }
+}
+
+/// Population synthesis parameters for one vantage (ISP or one IXP region).
+#[derive(Debug, Clone)]
+pub struct PopulationModel {
+    /// Number of client prefixes per family.
+    pub clients_per_family: usize,
+    /// Fraction of v4 clients that eventually switch.
+    pub v4_switch_fraction: f64,
+    /// Fraction of v6 clients that eventually switch.
+    pub v6_switch_fraction: f64,
+    /// Mean switch delay in days (exponential) for v4 clients.
+    pub v4_switch_mean_days: f64,
+    /// Mean switch delay in days for v6 clients.
+    pub v6_switch_mean_days: f64,
+    /// Fraction of switching v6 clients that prime (touch old once/day).
+    pub v6_priming_fraction: f64,
+    /// Fraction of switching v4 clients that prime.
+    pub v4_priming_fraction: f64,
+    /// Traffic volume multiplier per family `[v4, v6]`. At the paper's ISP,
+    /// IPv6 carries ~10-21% of b.root traffic; at the IXPs it is the IPv4
+    /// fraction that is small (§6).
+    pub family_rate_multiplier: [f64; 2],
+    /// Region the clients sit in.
+    pub region: Region,
+    pub seed: u64,
+}
+
+impl PopulationModel {
+    /// The European-ISP model: eager, priming-heavy population — calibrated
+    /// so the in-family traffic shift lands near the paper's 87.1% (v4) and
+    /// 96.3% (v6) in the Feb-2024 window.
+    pub fn isp_europe(seed: u64) -> Self {
+        PopulationModel {
+            clients_per_family: 4000,
+            v4_switch_fraction: 0.88,
+            v6_switch_fraction: 0.97,
+            v4_switch_mean_days: 20.0,
+            v6_switch_mean_days: 6.0,
+            v6_priming_fraction: 0.85,
+            v4_priming_fraction: 0.45,
+            family_rate_multiplier: [1.0, 0.18],
+            region: Region::Europe,
+            seed,
+        }
+    }
+
+    /// IXP population for `region` — the v6 switch eagerness differs
+    /// sharply: EU ≈61% of v6 traffic shifts within a month of the change,
+    /// NA only ≈17% (Figure 9).
+    pub fn ixp(region: Region, seed: u64) -> Self {
+        let (v6_frac, v6_days) = match region {
+            Region::Europe => (0.80, 7.0),
+            Region::NorthAmerica => (0.35, 22.0),
+            _ => (0.55, 15.0),
+        };
+        PopulationModel {
+            clients_per_family: 2500,
+            v4_switch_fraction: 0.80,
+            v6_switch_fraction: v6_frac,
+            v4_switch_mean_days: 20.0,
+            v6_switch_mean_days: v6_days,
+            v6_priming_fraction: 0.6,
+            v4_priming_fraction: 0.3,
+            family_rate_multiplier: [0.15, 1.0],
+            region,
+            seed,
+        }
+    }
+}
+
+/// The synthesized population.
+#[derive(Debug, Clone)]
+pub struct ClientPopulation {
+    pub clients: Vec<ClientBehavior>,
+}
+
+impl ClientPopulation {
+    /// Synthesize a population from the model. Deterministic per seed.
+    pub fn synthesize(model: &PopulationModel) -> Self {
+        let mut rng = SimRng::new(model.seed).derive("clients");
+        let mut clients = Vec::with_capacity(model.clients_per_family * 2);
+        for family in Family::BOTH {
+            let (switch_frac, mean_days, priming_frac) = match family {
+                Family::V4 => (
+                    model.v4_switch_fraction,
+                    model.v4_switch_mean_days,
+                    model.v4_priming_fraction,
+                ),
+                Family::V6 => (
+                    model.v6_switch_fraction,
+                    model.v6_switch_mean_days,
+                    model.v6_priming_fraction,
+                ),
+            };
+            for _ in 0..model.clients_per_family {
+                let id = ClientId(clients.len() as u32);
+                // Heavy-tailed daily rate: log-normal-ish. The scale keeps
+                // one priming query/day small relative to bulk traffic —
+                // real resolvers send hundreds-to-thousands of root queries
+                // a day, priming only at (re)start.
+                let daily_rate = (1.5 * rng.next_gaussian()).exp()
+                    * 2000.0
+                    * model.family_rate_multiplier[family.index()];
+                let switches = rng.chance(switch_frac);
+                let switch_after = if switches {
+                    // Exponential delay.
+                    let u = rng.next_f64().max(1e-12);
+                    Some((-u.ln() * mean_days * 86400.0) as u32)
+                } else {
+                    None
+                };
+                let primes = switches && rng.chance(priming_frac);
+                clients.push(ClientBehavior {
+                    id,
+                    region: model.region,
+                    family,
+                    daily_rate: daily_rate.clamp(1.0, 100_000.0),
+                    switch_after,
+                    primes,
+                });
+            }
+        }
+        ClientPopulation { clients }
+    }
+
+    /// Clients of one family.
+    pub fn of_family(&self, family: Family) -> impl Iterator<Item = &ClientBehavior> {
+        self.clients.iter().filter(move |c| c.family == family)
+    }
+}
+
+/// Per-letter share of root traffic at a vantage. ISP traffic is spread
+/// broadly (b ≈4.9%); IXP traffic is dominated by k and d (Figure 13).
+pub fn letter_share(letter: RootLetter, at_ixp: bool) -> f64 {
+    use RootLetter::*;
+    if at_ixp {
+        match letter {
+            K => 0.30,
+            D => 0.24,
+            F => 0.08,
+            J => 0.07,
+            E => 0.06,
+            I => 0.06,
+            L => 0.05,
+            A => 0.035,
+            C => 0.03,
+            M => 0.025,
+            B => 0.02,
+            G => 0.015,
+            H => 0.015,
+        }
+    } else {
+        match letter {
+            A => 0.10,
+            B => 0.049,
+            C => 0.07,
+            D => 0.09,
+            E => 0.08,
+            F => 0.10,
+            G => 0.05,
+            H => 0.055,
+            I => 0.08,
+            J => 0.095,
+            K => 0.10,
+            L => 0.09,
+            M => 0.041,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        for at_ixp in [true, false] {
+            let sum: f64 = RootLetter::ALL
+                .iter()
+                .map(|l| letter_share(*l, at_ixp))
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum} (ixp={at_ixp})");
+        }
+    }
+
+    #[test]
+    fn ixp_dominated_by_k_and_d() {
+        let kd: f64 = letter_share(RootLetter::K, true) + letter_share(RootLetter::D, true);
+        assert!(kd > 0.5);
+    }
+
+    #[test]
+    fn isp_b_share_near_paper() {
+        // Paper: 4.90% before the change.
+        assert!((letter_share(RootLetter::B, false) - 0.049).abs() < 1e-9);
+    }
+
+    #[test]
+    fn population_shape() {
+        let pop = ClientPopulation::synthesize(&PopulationModel::isp_europe(1));
+        assert_eq!(pop.clients.len(), 8000);
+        assert_eq!(pop.of_family(Family::V4).count(), 4000);
+        assert_eq!(pop.of_family(Family::V6).count(), 4000);
+    }
+
+    #[test]
+    fn v6_switches_more_than_v4() {
+        let pop = ClientPopulation::synthesize(&PopulationModel::isp_europe(2));
+        let frac = |family: Family| {
+            let total = pop.of_family(family).count() as f64;
+            pop.of_family(family)
+                .filter(|c| c.switch_after.is_some())
+                .count() as f64
+                / total
+        };
+        assert!(frac(Family::V6) > frac(Family::V4));
+    }
+
+    #[test]
+    fn na_ixp_v6_slower_than_eu() {
+        let eu = ClientPopulation::synthesize(&PopulationModel::ixp(Region::Europe, 3));
+        let na = ClientPopulation::synthesize(&PopulationModel::ixp(Region::NorthAmerica, 3));
+        let switched_within = |pop: &ClientPopulation, days: u32| {
+            pop.of_family(Family::V6)
+                .filter(|c| matches!(c.switch_after, Some(d) if d < days * 86400))
+                .count()
+        };
+        assert!(switched_within(&eu, 30) > switched_within(&na, 30) * 2);
+    }
+
+    #[test]
+    fn switched_at_respects_change_date() {
+        let c = ClientBehavior {
+            id: ClientId(0),
+            region: Region::Europe,
+            family: Family::V6,
+            daily_rate: 10.0,
+            switch_after: Some(86400),
+            primes: true,
+        };
+        assert!(!c.switched_at(B_ROOT_CHANGE_DATE));
+        assert!(c.switched_at(B_ROOT_CHANGE_DATE + 86400));
+        let legacy = ClientBehavior {
+            switch_after: None,
+            ..c
+        };
+        assert!(!legacy.switched_at(u32::MAX));
+    }
+
+    #[test]
+    fn deterministic_population() {
+        let a = ClientPopulation::synthesize(&PopulationModel::isp_europe(9));
+        let b = ClientPopulation::synthesize(&PopulationModel::isp_europe(9));
+        for (x, y) in a.clients.iter().zip(&b.clients) {
+            assert_eq!(x.switch_after, y.switch_after);
+            assert_eq!(x.primes, y.primes);
+        }
+    }
+}

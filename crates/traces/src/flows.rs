@@ -1,0 +1,119 @@
+//! Flow records and aggregation buckets.
+
+use crate::client::ClientId;
+use netsim::Family;
+use rss::{BRootPhase, RootLetter};
+use serde::{Deserialize, Serialize};
+
+/// What a flow is headed to: a letter's service prefix; for b.root the old
+/// and new prefixes are distinct capture filters (as at the real ISP/IXPs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowTarget {
+    pub letter: RootLetter,
+    pub b_phase: BRootPhase,
+}
+
+impl FlowTarget {
+    /// Targets the capture covers: 13 letters, b twice.
+    pub fn all() -> Vec<FlowTarget> {
+        let mut v = Vec::with_capacity(14);
+        for letter in RootLetter::ALL {
+            v.push(FlowTarget {
+                letter,
+                b_phase: BRootPhase::Old,
+            });
+            if letter == RootLetter::B {
+                v.push(FlowTarget {
+                    letter,
+                    b_phase: BRootPhase::New,
+                });
+            }
+        }
+        v
+    }
+
+    /// Figure label (`V4old` style labels are produced by the analyses).
+    pub fn label(&self) -> String {
+        if self.letter == RootLetter::B {
+            match self.b_phase {
+                BRootPhase::Old => "b.root (old)".into(),
+                BRootPhase::New => "b.root (new)".into(),
+            }
+        } else {
+            self.letter.label()
+        }
+    }
+}
+
+/// A day bucket: days since the Unix epoch (flows are aggregated daily; the
+/// single hourly window in Figure 7 uses [`FlowObservation::hour`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DayBucket(pub u32);
+
+impl DayBucket {
+    /// Bucket containing `time` (seconds since epoch).
+    pub fn of(time: u32) -> Self {
+        DayBucket(time / 86400)
+    }
+
+    /// Start-of-day timestamp.
+    pub fn start(self) -> u32 {
+        self.0 * 86400
+    }
+}
+
+/// One aggregated, sampled flow observation.
+///
+/// Mirrors the real pipeline's privacy posture: client prefixes only, no
+/// payload, counts instead of bytes (sampling makes absolute volumes
+/// meaningless anyway — all figures are normalized).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowObservation {
+    pub day: DayBucket,
+    /// Hour 0-23 for the high-resolution pre-change day; None for daily
+    /// aggregates.
+    pub hour: Option<u8>,
+    pub client: ClientId,
+    pub family: Family,
+    pub target: FlowTarget,
+    /// Sampled flow count in this bucket.
+    pub flows: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_targets() {
+        assert_eq!(FlowTarget::all().len(), 14);
+    }
+
+    #[test]
+    fn day_bucket_boundaries() {
+        assert_eq!(DayBucket::of(0), DayBucket(0));
+        assert_eq!(DayBucket::of(86399), DayBucket(0));
+        assert_eq!(DayBucket::of(86400), DayBucket(1));
+        assert_eq!(DayBucket(3).start(), 3 * 86400);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            FlowTarget {
+                letter: RootLetter::B,
+                b_phase: BRootPhase::New
+            }
+            .label(),
+            "b.root (new)"
+        );
+        assert_eq!(
+            FlowTarget {
+                letter: RootLetter::K,
+                b_phase: BRootPhase::Old
+            }
+            .label(),
+            "k.root"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Passive trace synthesis: the ISP-DNS-1 and IXP-DNS-1 stand-ins.
+//!
+//! The paper's passive datasets are proprietary sampled flow captures at a
+//! large European eyeball ISP and 14 IXPs, covering the old/new b.root
+//! prefixes around the 2023-11-27 renumbering. This crate generates
+//! behaviourally equivalent flow streams from an explicit resolver
+//! population model:
+//!
+//! * clients (already aggregated to /24 / /48 prefixes, like the real
+//!   privacy pipeline) issue queries to all 13 letters with
+//!   vantage-specific traffic shares (k/d dominate at IXPs; b ≈4.9% of root
+//!   traffic at the ISP);
+//! * after the address change, each client *switches* to the new b.root
+//!   address after an exponential delay — or never (legacy resolvers), the
+//!   paper's "reluctant" population;
+//! * switched clients still touch the old address ~once a day (priming at
+//!   startup, RFC 8109), which is exactly the Figure 8 signature;
+//! * switch eagerness differs by family and region (v6 > v4; EU > NA),
+//!   reproducing Figures 7 and 9's contrast.
+//!
+//! Modules: [`client`] (population & behaviour), [`flows`] (records and
+//! aggregation), [`gen`] (the generators for the ISP and IXP windows).
+
+pub mod client;
+pub mod flows;
+pub mod gen;
+
+pub use client::{ClientBehavior, ClientId, ClientPopulation, PopulationModel};
+pub use flows::{DayBucket, FlowObservation, FlowTarget};
+pub use gen::{generate_flows, ObservationWindow, TraceConfig, VantageKind};

@@ -1,0 +1,92 @@
+//! Property-based tests for the passive-trace generators.
+
+use netgeo::Region;
+use netsim::{Family, SimRng};
+use proptest::prelude::*;
+use rss::{BRootPhase, RootLetter, B_ROOT_CHANGE_DATE};
+use traces::client::{ClientPopulation, PopulationModel};
+use traces::gen::{generate_flows, poisson, ObservationWindow, TraceConfig};
+
+fn region_strategy() -> impl Strategy<Value = Region> {
+    prop_oneof![
+        Just(Region::Europe),
+        Just(Region::NorthAmerica),
+        Just(Region::Asia),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn poisson_nonnegative_and_zero_for_zero_mean(mean in 0.0f64..100.0, seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let v = poisson(&mut rng, mean);
+        if mean == 0.0 {
+            prop_assert_eq!(v, 0);
+        }
+        // Sanity bound: far tail beyond 20 sigma is effectively impossible.
+        prop_assert!((v as f64) < mean + 20.0 * mean.sqrt() + 20.0);
+    }
+
+    #[test]
+    fn population_switch_delays_respect_fractions(seed in any::<u64>(), region in region_strategy()) {
+        let model = PopulationModel::ixp(region, seed);
+        let pop = ClientPopulation::synthesize(&model);
+        let frac = |family: Family, expected: f64| {
+            let total = pop.of_family(family).count() as f64;
+            let switching = pop
+                .of_family(family)
+                .filter(|c| c.switch_after.is_some())
+                .count() as f64;
+            let got = switching / total;
+            // Within 5 points of the configured fraction.
+            (got - expected).abs() < 0.05
+        };
+        prop_assert!(frac(Family::V4, model.v4_switch_fraction));
+        prop_assert!(frac(Family::V6, model.v6_switch_fraction));
+    }
+
+    #[test]
+    fn flows_only_within_windows(seed in any::<u64>()) {
+        let mut cfg = TraceConfig::isp(seed);
+        cfg.population.clients_per_family = 50;
+        let windows = ObservationWindow::isp_windows();
+        let flows = generate_flows(&cfg, &windows);
+        for f in &flows {
+            let day_start = f.day.start();
+            let inside = windows
+                .iter()
+                .any(|w| day_start >= w.from - w.from % 86400 && day_start < w.until);
+            prop_assert!(inside, "flow on day {day_start} outside all windows");
+            prop_assert!(f.flows > 0, "zero-count bucket emitted");
+        }
+    }
+
+    #[test]
+    fn pre_change_days_have_negligible_new_traffic(seed in any::<u64>()) {
+        let mut cfg = TraceConfig::isp(seed);
+        cfg.population.clients_per_family = 100;
+        let flows = generate_flows(&cfg, &[ObservationWindow::isp_windows()[0]]);
+        let (mut old, mut new) = (0u64, 0u64);
+        for f in &flows {
+            if f.target.letter == RootLetter::B && f.day.start() < B_ROOT_CHANGE_DATE {
+                match f.target.b_phase {
+                    BRootPhase::Old => old += f.flows as u64,
+                    BRootPhase::New => new += f.flows as u64,
+                }
+            }
+        }
+        if old + new > 1000 {
+            prop_assert!((new as f64) < (old + new) as f64 * 0.05, "new {new} old {old}");
+        }
+    }
+
+    #[test]
+    fn generation_deterministic_per_seed(seed in any::<u64>()) {
+        let mut cfg = TraceConfig::ixp(Region::Europe, seed);
+        cfg.population.clients_per_family = 30;
+        let w = [ObservationWindow::ixp_windows()[1]];
+        prop_assert_eq!(generate_flows(&cfg, &w), generate_flows(&cfg, &w));
+    }
+}

@@ -1,0 +1,28 @@
+//! Vantage points and the active measurement engine.
+//!
+//! Models the paper's NLNOG-RING-based measurement (§4.1): 675 vantage
+//! points distributed per Table 3, probing every root server letter over
+//! IPv4 and IPv6 on the Figure 2 schedule (30-minute rounds, reduced to
+//! 15 minutes around the ZONEMD and b.root change windows), issuing per
+//! round the Appendix F query set: traceroute, A/AAAA/TXT, NS, SOA/ZONEMD,
+//! CHAOS identity, and a full AXFR.
+//!
+//! * [`population`] — VP synthesis matching Table 3's regional distribution,
+//!   plus the fault assignments behind Table 2 (faulty-RAM VPs, skewed-clock
+//!   VPs);
+//! * [`schedule`] — the measurement timeline and round iterator;
+//! * [`records`] — the compact observation records the analyses consume;
+//! * [`engine`] — the driver that walks rounds × VPs × targets and streams
+//!   records into a sink.
+
+pub mod budget;
+pub mod dataset;
+pub mod engine;
+pub mod population;
+pub mod records;
+pub mod schedule;
+
+pub use engine::{MeasurementConfig, MeasurementEngine, MeasurementSink, VecSink, World, WorldBuildConfig};
+pub use population::{Population, PopulationConfig, VantagePoint, VpFault, VpId};
+pub use records::{ProbeRecord, Target, TransferFault, TransferRecord};
+pub use schedule::{Schedule, MEASUREMENT_END, MEASUREMENT_START};

@@ -1,0 +1,274 @@
+//! Vantage point population.
+//!
+//! Synthesizes a VP set with the regional distribution of the paper's
+//! Table 3 (675 VPs; Europe 435, North America 133, Asia 52, Oceania 32,
+//! South America 13, Africa 10; 523 distinct networks), placing each VP in
+//! a stub AS of the simulated topology. A few VPs carry the hardware/clock
+//! faults that generate Table 2's validation errors.
+
+use netgeo::{Coord, Region};
+use netsim::{AsId, SimRng, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Vantage point identifier (index into the population).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VpId(pub u32);
+
+/// Fault assignment for a VP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VpFault {
+    /// Healthy.
+    None,
+    /// Faulty RAM: each received zone transfer has `flip_prob` chance of a
+    /// single-bit corruption.
+    FaultyRam { flip_prob: f64 },
+    /// Unreliable clock: during fault episodes the VP's clock is off by
+    /// `offset_secs`.
+    SkewedClock { offset_secs: i64 },
+}
+
+/// One vantage point.
+#[derive(Debug, Clone)]
+pub struct VantagePoint {
+    pub id: VpId,
+    /// Synthetic node name, NLNOG style (`vp042.ring.example`).
+    pub name: String,
+    /// The stub AS hosting this VP.
+    pub asn: AsId,
+    pub region: Region,
+    /// VP coordinates (its AS's home city).
+    pub coord: Coord,
+    pub fault: VpFault,
+    /// Whether the VP has working IPv6 (inherited from its AS).
+    pub has_v6: bool,
+}
+
+/// Population synthesis parameters.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// VPs per region in Table 3 order
+    /// (Africa, Asia, Europe, North America, South America, Oceania).
+    pub per_region: [usize; 6],
+    /// Number of VPs with faulty RAM (paper: bitflips on 3 VPs).
+    pub faulty_ram_vps: usize,
+    /// Per-transfer bitflip probability on a faulty VP.
+    pub ram_flip_prob: f64,
+    /// Number of VPs with skewed clocks (paper: 2 VPs).
+    pub skewed_clock_vps: usize,
+    /// Clock offset magnitude for skewed VPs (seconds behind).
+    pub clock_offset_secs: i64,
+    pub seed: u64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            // Table 3: Africa 10, Asia 52, Europe 435, NA 133, SA 13, Oceania 32.
+            per_region: [10, 52, 435, 133, 13, 32],
+            faulty_ram_vps: 3,
+            ram_flip_prob: 2e-4,
+            skewed_clock_vps: 2,
+            clock_offset_secs: -5400, // 90 minutes behind
+            seed: 0x2023_0703,
+        }
+    }
+}
+
+impl PopulationConfig {
+    /// A small population for unit tests (same regional shape, ~1/10th).
+    pub fn tiny() -> Self {
+        PopulationConfig {
+            per_region: [2, 5, 40, 13, 2, 3],
+            ..Default::default()
+        }
+    }
+}
+
+/// The VP population.
+#[derive(Debug, Clone)]
+pub struct Population {
+    vps: Vec<VantagePoint>,
+}
+
+impl Population {
+    /// Synthesize VPs over the topology's stub ASes.
+    ///
+    /// Most VPs get their own AS (the paper: 675 VPs in 523 networks —
+    /// ~77% unique); the rest share an AS with an earlier VP.
+    pub fn synthesize(topology: &Topology, cfg: &PopulationConfig) -> Self {
+        let mut rng = SimRng::new(cfg.seed).derive("population");
+        let mut vps = Vec::new();
+        for region in Region::ALL {
+            let stubs = topology.stubs_in(region);
+            assert!(
+                !stubs.is_empty(),
+                "topology lacks stubs in {region}; cannot place VPs"
+            );
+            let want = cfg.per_region[region.index()];
+            // Per-region unique-network ratios from Table 3 (networks/VPs):
+            // Africa 9/10, Asia 31/52, Europe 386/435, NA 94/133, SA 12/13,
+            // Oceania 22/32.
+            let unique_ratio = [0.90, 0.60, 0.89, 0.71, 0.92, 0.69][region.index()];
+            let mut shuffled = stubs.clone();
+            rng.shuffle(&mut shuffled);
+            for i in 0..want {
+                let asn = if i < shuffled.len() && (i as f64) < want as f64 * unique_ratio {
+                    shuffled[i]
+                } else {
+                    *rng.pick(&shuffled)
+                };
+                let node = topology.node(asn);
+                let id = VpId(vps.len() as u32);
+                vps.push(VantagePoint {
+                    id,
+                    name: format!("vp{:03}.ring.example", id.0),
+                    asn,
+                    region,
+                    coord: node.coord(),
+                    fault: VpFault::None,
+                    has_v6: node.has_v6,
+                });
+            }
+        }
+        // Assign faults deterministically: spread across regions with many
+        // VPs (faults were observed on European/NA VPs in practice).
+        let mut fault_rng = SimRng::new(cfg.seed).derive("faults");
+        let mut candidates: Vec<usize> = (0..vps.len()).collect();
+        fault_rng.shuffle(&mut candidates);
+        let mut it = candidates.into_iter();
+        for _ in 0..cfg.faulty_ram_vps {
+            if let Some(i) = it.next() {
+                vps[i].fault = VpFault::FaultyRam {
+                    flip_prob: cfg.ram_flip_prob,
+                };
+            }
+        }
+        for _ in 0..cfg.skewed_clock_vps {
+            if let Some(i) = it.next() {
+                vps[i].fault = VpFault::SkewedClock {
+                    offset_secs: cfg.clock_offset_secs,
+                };
+            }
+        }
+        Population { vps }
+    }
+
+    /// All VPs.
+    pub fn vps(&self) -> &[VantagePoint] {
+        &self.vps
+    }
+
+    /// Number of VPs.
+    pub fn len(&self) -> usize {
+        self.vps.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vps.is_empty()
+    }
+
+    /// VP by id.
+    pub fn get(&self, id: VpId) -> &VantagePoint {
+        &self.vps[id.0 as usize]
+    }
+
+    /// VPs in `region`.
+    pub fn in_region(&self, region: Region) -> impl Iterator<Item = &VantagePoint> {
+        self.vps.iter().filter(move |v| v.region == region)
+    }
+
+    /// Count of distinct ASes (the paper's "unique networks").
+    pub fn unique_networks(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for vp in &self.vps {
+            set.insert(vp.asn);
+        }
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::TopologyConfig;
+
+    fn pop() -> Population {
+        let t = Topology::generate(&TopologyConfig::default());
+        Population::synthesize(&t, &PopulationConfig::default())
+    }
+
+    #[test]
+    fn total_is_675() {
+        assert_eq!(pop().len(), 675);
+    }
+
+    #[test]
+    fn regional_distribution_matches_table3() {
+        let p = pop();
+        assert_eq!(p.in_region(Region::Africa).count(), 10);
+        assert_eq!(p.in_region(Region::Asia).count(), 52);
+        assert_eq!(p.in_region(Region::Europe).count(), 435);
+        assert_eq!(p.in_region(Region::NorthAmerica).count(), 133);
+        assert_eq!(p.in_region(Region::SouthAmerica).count(), 13);
+        assert_eq!(p.in_region(Region::Oceania).count(), 32);
+    }
+
+    #[test]
+    fn many_unique_networks() {
+        // Paper: 523 networks for 675 VPs. The exact count depends on the
+        // topology's stub pool; require the same flavour (most VPs have
+        // their own AS, some share).
+        let p = pop();
+        let unique = p.unique_networks();
+        assert!(unique > 350, "unique networks: {unique}");
+        assert!(unique < p.len(), "expected some sharing, got all-unique");
+    }
+
+    #[test]
+    fn fault_assignments_match_config() {
+        let p = pop();
+        let ram = p
+            .vps()
+            .iter()
+            .filter(|v| matches!(v.fault, VpFault::FaultyRam { .. }))
+            .count();
+        let clock = p
+            .vps()
+            .iter()
+            .filter(|v| matches!(v.fault, VpFault::SkewedClock { .. }))
+            .count();
+        assert_eq!(ram, 3);
+        assert_eq!(clock, 2);
+    }
+
+    #[test]
+    fn deterministic_synthesis() {
+        let t = Topology::generate(&TopologyConfig::default());
+        let a = Population::synthesize(&t, &PopulationConfig::default());
+        let b = Population::synthesize(&t, &PopulationConfig::default());
+        for (x, y) in a.vps().iter().zip(b.vps()) {
+            assert_eq!(x.asn, y.asn);
+            assert_eq!(x.name, y.name);
+        }
+    }
+
+    #[test]
+    fn vps_inherit_v6_from_as() {
+        let t = Topology::generate(&TopologyConfig::default());
+        let p = Population::synthesize(&t, &PopulationConfig::default());
+        for vp in p.vps() {
+            assert_eq!(vp.has_v6, t.node(vp.asn).has_v6);
+        }
+        // Some of each kind exist.
+        assert!(p.vps().iter().any(|v| v.has_v6));
+        assert!(p.vps().iter().any(|v| !v.has_v6));
+    }
+
+    #[test]
+    fn tiny_population_keeps_shape() {
+        let t = Topology::generate(&TopologyConfig::default());
+        let p = Population::synthesize(&t, &PopulationConfig::tiny());
+        assert!(p.in_region(Region::Europe).count() > p.in_region(Region::Africa).count());
+    }
+}

@@ -1,0 +1,219 @@
+//! The measurement timeline (the paper's Figure 2).
+//!
+//! * Measurement window: 2023-07-03 to 2023-12-24 (174 days).
+//! * Base interval: 30 minutes per VP.
+//! * High-resolution windows (15 minutes): 2023-09-08..2023-10-02 (ZONEMD
+//!   introduction) and 2023-11-20..2023-12-06 (b.root change + ZONEMD
+//!   validation start).
+//! * ZONEMD/AXFR queries were added to the script on 2023-07-31.
+
+use dns_crypto::validity::timestamp_from_ymd;
+
+/// 2023-07-03T00:00:00Z, measurement start.
+pub const MEASUREMENT_START: u32 = 1_688_342_400;
+/// 2023-12-24T00:00:00Z, measurement end.
+pub const MEASUREMENT_END: u32 = 1_703_376_000;
+
+/// One scheduled measurement round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Round {
+    /// Round start (seconds since epoch).
+    pub time: u32,
+    /// Interval in force at this time (seconds).
+    pub interval: u32,
+}
+
+/// The measurement schedule.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    pub start: u32,
+    pub end: u32,
+    /// Base interval (seconds). The paper: 1800.
+    pub base_interval: u32,
+    /// High-resolution interval (seconds). The paper: 900.
+    pub burst_interval: u32,
+    /// High-resolution windows as (start, end) pairs.
+    pub burst_windows: Vec<(u32, u32)>,
+    /// When ZONEMD + AXFR queries joined the script.
+    pub axfr_from: u32,
+    /// Subsampling factor: only every n-th round is executed. 1 = the
+    /// paper's full resolution; larger values trade temporal resolution for
+    /// speed (shapes survive, see DESIGN.md §3).
+    pub subsample: u32,
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule {
+            start: MEASUREMENT_START,
+            end: MEASUREMENT_END,
+            base_interval: 1800,
+            burst_interval: 900,
+            burst_windows: vec![
+                (
+                    timestamp_from_ymd("20230908000000").unwrap(),
+                    timestamp_from_ymd("20231002000000").unwrap(),
+                ),
+                (
+                    timestamp_from_ymd("20231120000000").unwrap(),
+                    timestamp_from_ymd("20231206000000").unwrap(),
+                ),
+            ],
+            axfr_from: timestamp_from_ymd("20230731000000").unwrap(),
+            subsample: 1,
+        }
+    }
+}
+
+impl Schedule {
+    /// A heavily subsampled schedule for tests/examples (every `n`-th round).
+    pub fn subsampled(n: u32) -> Self {
+        Schedule {
+            subsample: n.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// The interval in force at `time`.
+    pub fn interval_at(&self, time: u32) -> u32 {
+        if self
+            .burst_windows
+            .iter()
+            .any(|&(s, e)| time >= s && time < e)
+        {
+            self.burst_interval
+        } else {
+            self.base_interval
+        }
+    }
+
+    /// Whether AXFR/ZONEMD queries run at `time`.
+    pub fn axfr_active(&self, time: u32) -> bool {
+        time >= self.axfr_from
+    }
+
+    /// Iterate all executed rounds.
+    pub fn rounds(&self) -> ScheduleIter<'_> {
+        ScheduleIter {
+            schedule: self,
+            next_time: self.start,
+            emitted: 0,
+        }
+    }
+
+    /// Total number of executed rounds.
+    pub fn round_count(&self) -> usize {
+        self.rounds().count()
+    }
+}
+
+/// Iterator over scheduled rounds.
+pub struct ScheduleIter<'a> {
+    schedule: &'a Schedule,
+    next_time: u32,
+    emitted: u64,
+}
+
+impl Iterator for ScheduleIter<'_> {
+    type Item = Round;
+
+    fn next(&mut self) -> Option<Round> {
+        while self.next_time < self.schedule.end {
+            let time = self.next_time;
+            let interval = self.schedule.interval_at(time);
+            self.next_time = time + interval;
+            let n = self.schedule.subsample as u64;
+            // Stratified subsampling: keep one round per block of `n`, at a
+            // deterministic per-block offset (SplitMix64 of the block id).
+            // A fixed offset would pin every kept round to the same time of
+            // day and systematically miss short events like the Table 2
+            // stale-site windows.
+            let block = self.emitted / n;
+            let offset = if n == 1 { 0 } else { splitmix(block) % n };
+            let take = self.emitted % n == offset;
+            self.emitted += 1;
+            if take {
+                return Some(Round { time, interval });
+            }
+        }
+        None
+    }
+}
+
+/// SplitMix64 finalizer (for the per-block sampling offset).
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_is_174_days() {
+        assert_eq!((MEASUREMENT_END - MEASUREMENT_START) / 86400, 174);
+    }
+
+    #[test]
+    fn intervals_match_figure2() {
+        let s = Schedule::default();
+        // Base period.
+        assert_eq!(s.interval_at(timestamp_from_ymd("20230801000000").unwrap()), 1800);
+        // First burst window.
+        assert_eq!(s.interval_at(timestamp_from_ymd("20230915000000").unwrap()), 900);
+        // Between bursts.
+        assert_eq!(s.interval_at(timestamp_from_ymd("20231015000000").unwrap()), 1800);
+        // Second burst window.
+        assert_eq!(s.interval_at(timestamp_from_ymd("20231125000000").unwrap()), 900);
+        // After second burst.
+        assert_eq!(s.interval_at(timestamp_from_ymd("20231210000000").unwrap()), 1800);
+    }
+
+    #[test]
+    fn axfr_starts_july_31() {
+        let s = Schedule::default();
+        assert!(!s.axfr_active(timestamp_from_ymd("20230730000000").unwrap()));
+        assert!(s.axfr_active(timestamp_from_ymd("20230731000000").unwrap()));
+    }
+
+    #[test]
+    fn rounds_are_monotone_and_in_window() {
+        let s = Schedule::subsampled(48);
+        let rounds: Vec<Round> = s.rounds().collect();
+        assert!(!rounds.is_empty());
+        for w in rounds.windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+        assert!(rounds.first().unwrap().time >= s.start);
+        assert!(rounds.last().unwrap().time < s.end);
+    }
+
+    #[test]
+    fn full_round_count_magnitude() {
+        // 174 days at 30 min ≈ 8,352 rounds; bursts add ~40 days' worth of
+        // extra rounds (≈ 1,920). Expect roughly 10k.
+        let n = Schedule::default().round_count();
+        assert!((9_000..12_000).contains(&n), "rounds: {n}");
+    }
+
+    #[test]
+    fn subsample_divides_count() {
+        let full = Schedule::default().round_count();
+        let sub = Schedule::subsampled(10).round_count();
+        let ratio = full as f64 / sub as f64;
+        assert!((ratio - 10.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn burst_rounds_are_denser() {
+        let s = Schedule::default();
+        let in_burst = s
+            .rounds()
+            .filter(|r| r.interval == 900)
+            .count();
+        assert!(in_burst > 1000, "burst rounds: {in_burst}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Anycast explorer: inspect how one vantage point sees the 13 root
+//! deployments — selected site, AS path, RTT, and v4-vs-v6 differences —
+//! then sweep all VPs to show catchment sizes per letter.
+//!
+//! ```sh
+//! cargo run --release --example anycast_explorer            # first EU VP
+//! cargo run --release --example anycast_explorer -- 42      # VP by index
+//! ```
+
+use netsim::{Family, RttModel};
+use rss::RootLetter;
+use vantage::population::VpId;
+use vantage::{World, WorldBuildConfig};
+
+fn main() {
+    let vp_index: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
+
+    println!("building world (full deployment scale)...");
+    let world = World::build(&WorldBuildConfig::default());
+    let vp = world.population.get(VpId(vp_index.min(world.population.len() as u32 - 1)));
+    println!(
+        "VP {} in {} ({}, {})\n",
+        vp.name,
+        world.topology.node(vp.asn).name,
+        vp.region,
+        world.topology.node(vp.asn).city.name
+    );
+
+    let rtt_model = RttModel::default();
+    println!("letter      | family | site (city)            | path len | base RTT");
+    for letter in RootLetter::ALL {
+        for family in Family::BOTH {
+            if family == Family::V6 && !vp.has_v6 {
+                continue;
+            }
+            let table = world.routes(letter, family);
+            match table.best(vp.asn) {
+                Some(route) => {
+                    let site = world.catalog.site(letter, route.site);
+                    let rtt = rtt_model.base_rtt_ms(
+                        &world.topology,
+                        &world.catalog.facilities,
+                        vp.coord,
+                        route,
+                        site.facility,
+                    );
+                    println!(
+                        "{:11} | {:6} | {:22} | {:8} | {:7.1} ms",
+                        letter.label(),
+                        family.label(),
+                        format!("{} ({})", site.city.name, site.region),
+                        route.path_len(),
+                        rtt
+                    );
+                }
+                None => println!(
+                    "{:11} | {:6} | unreachable",
+                    letter.label(),
+                    family.label()
+                ),
+            }
+        }
+    }
+
+    // Catchment summary: how many distinct sites actually attract VPs.
+    println!("\ncatchment summary over all {} VPs (IPv4):", world.population.len());
+    for letter in RootLetter::ALL {
+        let table = world.routes(letter, Family::V4);
+        let mut sites = std::collections::HashSet::new();
+        let mut unreachable = 0;
+        for vp in world.population.vps() {
+            match table.best(vp.asn) {
+                Some(r) => {
+                    sites.insert(r.site);
+                }
+                None => unreachable += 1,
+            }
+        }
+        println!(
+            "  {}: {:3} of {:3} sites attract VPs ({} VPs unreachable)",
+            letter.label(),
+            sites.len(),
+            world.catalog.deployment(letter).sites.len(),
+            unreachable
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The b.root renumbering, end to end: simulate the ISP and IXP passive
+//! views around the 2023-11-27 address change and show who moved, how fast,
+//! per family and region — the paper's Figures 7-9 narrative.
+//!
+//! ```sh
+//! cargo run --release --example broot_renumbering
+//! ```
+
+use analysis::clients::{b_target, ClientAnalysis};
+use analysis::traffic::{BKey, BRootShift};
+use dns_crypto::validity::timestamp_from_ymd as ts;
+use netgeo::Region;
+use netsim::Family;
+use rss::BRootPhase;
+use traces::flows::DayBucket;
+use traces::gen::{generate_flows, ObservationWindow, TraceConfig};
+
+fn day(s: &str) -> DayBucket {
+    DayBucket::of(ts(s).unwrap())
+}
+
+fn main() {
+    println!("b.root renumbering (2023-11-27): passive view simulation\n");
+
+    // --- ISP view (Figure 7). ---
+    let mut isp = TraceConfig::isp(42);
+    isp.population.clients_per_family = 1500;
+    let isp_flows = generate_flows(&isp, &ObservationWindow::isp_windows());
+    let shift = BRootShift::compute(&isp_flows);
+
+    println!("European ISP, pre-change day (2023-10-08):");
+    let pre = (day("20231008000000"), day("20231009000000"));
+    for key in [BKey::V4Old, BKey::V6Old, BKey::V4New, BKey::V6New] {
+        println!(
+            "  {:6} {:5.1}% of b.root traffic",
+            key.label(),
+            shift.series.mean_share(&key, pre.0, pre.1) * 100.0
+        );
+    }
+
+    println!("\nEuropean ISP, four weeks post-change (2024-02-05..03-04):");
+    let post = (day("20240205000000"), day("20240304000000"));
+    for key in [BKey::V4New, BKey::V4Old, BKey::V6New, BKey::V6Old] {
+        println!(
+            "  {:6} {:5.1}%",
+            key.label(),
+            shift.series.mean_share(&key, post.0, post.1) * 100.0
+        );
+    }
+    println!(
+        "  in-family shift: v4 {:.1}%  v6 {:.1}%  (paper: 87.1% / 96.3%)",
+        shift.in_family_shift(Family::V4, post.0, post.1) * 100.0,
+        shift.in_family_shift(Family::V6, post.0, post.1) * 100.0
+    );
+
+    // --- Priming signature (Figure 8). ---
+    let clients = ClientAnalysis::compute(&isp_flows, post.0, post.1);
+    if let (Some(old), Some(new)) = (
+        clients.curve(b_target(BRootPhase::Old), Family::V6),
+        clients.curve(b_target(BRootPhase::New), Family::V6),
+    ) {
+        println!(
+            "\nPriming signature (v6): {:.0}% of old-subnet client-days are single-contact \
+             vs {:.0}% on the new subnet",
+            old.fraction_at_most(1) * 100.0,
+            new.fraction_at_most(1) * 100.0
+        );
+    }
+
+    // --- IXP view (Figure 9). ---
+    println!("\nIXP view, v6 traffic shifted to the new address by late December:");
+    let w = (day("20231128000000"), day("20231228000000"));
+    for region in [Region::NorthAmerica, Region::Europe] {
+        let mut cfg = TraceConfig::ixp(region, 42);
+        cfg.population.clients_per_family = 1500;
+        let flows = generate_flows(&cfg, &ObservationWindow::ixp_windows());
+        let s = BRootShift::compute(&flows);
+        println!(
+            "  {:13} {:5.1}%   (paper: NA 16.5%, EU 60.8%)",
+            region.name(),
+            s.in_family_shift(Family::V6, w.0, w.1) * 100.0
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Export the data series behind every figure as CSV files — for plotting
+//! the paper's figures with your tool of choice.
+//!
+//! ```sh
+//! cargo run --release --example export_figures -- /tmp/roots-csv
+//! ```
+
+use analysis::clients::ClientAnalysis;
+use analysis::colocation::ColocationResult;
+use analysis::distance::DistanceResult;
+use analysis::export;
+use analysis::rtt::RttByRegion;
+use analysis::stability::StabilityResult;
+use analysis::traffic::BRootShift;
+use dns_crypto::validity::timestamp_from_ymd as ts;
+use netsim::Family;
+use roots_core::{Pipeline, Scale};
+use rss::{BRootPhase, RootLetter};
+use std::fs;
+use std::path::Path;
+use traces::flows::DayBucket;
+use vantage::records::Target;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "figures-csv".to_string());
+    let out = Path::new(&out_dir);
+    fs::create_dir_all(out).expect("create output dir");
+
+    eprintln!("running pipeline (tiny scale)...");
+    let p = Pipeline::run(Scale::Tiny);
+    let mut written = Vec::new();
+    let mut write = |name: &str, content: String| {
+        let path = out.join(name);
+        fs::write(&path, content).expect("write CSV");
+        written.push(name.to_string());
+    };
+
+    // Figure 3.
+    write(
+        "fig3_stability_ecdf.csv",
+        export::stability_csv(&StabilityResult::compute(&p.probes)),
+    );
+    // Figure 4.
+    write(
+        "fig4_reduced_redundancy.csv",
+        export::colocation_csv(&ColocationResult::compute(&p.probes), &p.world.population),
+    );
+    // Figure 5 (b.root new + m.root, both families).
+    for (letter, phase) in [
+        (RootLetter::B, BRootPhase::New),
+        (RootLetter::M, BRootPhase::Old),
+    ] {
+        for family in Family::BOTH {
+            let r = DistanceResult::compute(
+                &p.world.catalog,
+                &p.world.population,
+                &p.probes,
+                Target {
+                    letter,
+                    b_phase: phase,
+                },
+                family,
+            );
+            write(
+                &format!(
+                    "fig5_distance_{}_{}.csv",
+                    letter.ch(),
+                    family.label().to_lowercase()
+                ),
+                export::distance_csv(&r, 5000),
+            );
+        }
+    }
+    // Figures 6/14/15.
+    write(
+        "fig6_rtt_by_region.csv",
+        export::rtt_csv(&RttByRegion::compute(&p.world.population, &p.probes)),
+    );
+    // Figure 7 (ISP) and 9 (IXPs).
+    write(
+        "fig7_isp_broot_shift.csv",
+        export::broot_shift_csv(&BRootShift::compute(&p.isp_flows)),
+    );
+    write(
+        "fig9_ixp_eu_broot_shift.csv",
+        export::broot_shift_csv(&BRootShift::compute(&p.ixp_flows_eu)),
+    );
+    write(
+        "fig9_ixp_na_broot_shift.csv",
+        export::broot_shift_csv(&BRootShift::compute(&p.ixp_flows_na)),
+    );
+    // Figure 8.
+    write(
+        "fig8_clients_per_day.csv",
+        export::clients_csv(&ClientAnalysis::compute(
+            &p.isp_flows,
+            DayBucket::of(ts("20240205000000").unwrap()),
+            DayBucket::of(ts("20240304000000").unwrap()),
+        )),
+    );
+
+    println!("wrote {} CSV files to {}:", written.len(), out.display());
+    for name in written {
+        println!("  {name}");
+    }
+}

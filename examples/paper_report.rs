@@ -1,0 +1,44 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release --example paper_report            # small scale
+//! cargo run --release --example paper_report -- tiny    # fastest
+//! cargo run --release --example paper_report -- paper   # full resolution
+//! cargo run --release --example paper_report -- small fig7 fig9   # subset
+//! ```
+
+use roots_core::{experiments, Pipeline, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = match args.first().map(String::as_str) {
+        Some("tiny") => Scale::Tiny,
+        Some("paper") => Scale::Paper,
+        _ => Scale::Small,
+    };
+    let ids: Vec<&String> = args
+        .iter()
+        .filter(|a| a.starts_with("table") || a.starts_with("fig") || a.starts_with("sec"))
+        .collect();
+
+    eprintln!("running pipeline at {scale:?} scale (this does the full measurement once)...");
+    let start = std::time::Instant::now();
+    let pipeline = Pipeline::run(scale);
+    eprintln!(
+        "pipeline done in {:.1}s: {} probes, {} transfers",
+        start.elapsed().as_secs_f64(),
+        pipeline.probes.len(),
+        pipeline.transfers.len()
+    );
+
+    if ids.is_empty() {
+        print!("{}", experiments::run_all(&pipeline));
+    } else {
+        for id in ids {
+            match experiments::run_one(&pipeline, id) {
+                Some(out) => println!("==== {id} ====\n{out}"),
+                None => eprintln!("unknown experiment id: {id}"),
+            }
+        }
+    }
+}

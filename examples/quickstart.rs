@@ -1,0 +1,78 @@
+//! Quickstart: build a simulated root server system, run a short
+//! measurement, and print the headline numbers of each research question.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use analysis::colocation::ColocationResult;
+use analysis::stability::StabilityResult;
+use analysis::zonemd_pipeline::validate_transfers;
+use roots_core::{Pipeline, Scale};
+use rss::{BRootPhase, RootLetter};
+use vantage::records::Target;
+
+fn main() {
+    println!("roots-go-deep quickstart: building world + running measurement (tiny scale)...");
+    println!(
+        "paper-scale footprint would be: {}",
+        vantage::budget::Budget::estimate(&vantage::Schedule::default(), 675).render()
+    );
+    let pipeline = Pipeline::run(Scale::Tiny);
+    println!(
+        "world: {} ASes, {} VPs, {} root sites",
+        pipeline.world.topology.len(),
+        pipeline.world.population.len(),
+        pipeline.world.catalog.sites.len()
+    );
+    println!(
+        "records: {} probes, {} zone transfers, {} ISP flow buckets",
+        pipeline.probes.len(),
+        pipeline.transfers.len(),
+        pipeline.isp_flows.len()
+    );
+
+    // RQ1: co-location.
+    let coloc = ColocationResult::compute(&pipeline.probes);
+    println!(
+        "\nRQ1  co-location: {:.1}% of VPs see >=2 letters behind one last hop (max {})",
+        coloc.fraction_with_colocation(2) * 100.0,
+        coloc.max_reduced() + 1
+    );
+
+    // RQ2: stability differences between letters/families.
+    let stability = StabilityResult::compute(&pipeline.probes);
+    for letter in [RootLetter::B, RootLetter::G] {
+        let t = Target {
+            letter,
+            b_phase: BRootPhase::Old,
+        };
+        for family in netsim::Family::BOTH {
+            if let Some(s) = stability.series_for(t, family) {
+                println!(
+                    "RQ2  {} {}: median {} site changes per VP",
+                    t.label(),
+                    family.label(),
+                    s.median_changes().unwrap_or(0)
+                );
+            }
+        }
+    }
+
+    // RQ3: zone integrity.
+    let table2 = validate_transfers(&pipeline.world, &pipeline.transfers);
+    println!(
+        "RQ3  validated {} transfers; {} failing classes",
+        table2.total_transfers,
+        table2.rows.len()
+    );
+    for row in &table2.rows {
+        println!(
+            "     {}: {} observations on {} VPs",
+            row.reason.label(),
+            row.observations,
+            row.vps.len()
+        );
+    }
+    println!("\nRun `cargo run --release --example paper_report` for every table/figure.");
+}

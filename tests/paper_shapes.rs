@@ -1,0 +1,180 @@
+//! Paper-shape assertions: the qualitative results the reproduction must
+//! match (who wins, roughly by what factor, where the crossovers fall).
+//! Runs on a mid-size configuration: full world, subsampled schedule.
+
+use analysis::colocation::ColocationResult;
+use analysis::distance::DistanceResult;
+use analysis::stability::StabilityResult;
+use analysis::traffic::BRootShift;
+use dns_crypto::validity::timestamp_from_ymd as ts;
+use netgeo::Region;
+use netsim::Family;
+use rss::{BRootPhase, RootLetter};
+use std::sync::OnceLock;
+use traces::flows::DayBucket;
+use traces::gen::{generate_flows, ObservationWindow, TraceConfig};
+use vantage::records::Target;
+use vantage::{MeasurementConfig, MeasurementEngine, Schedule, VecSink, World, WorldBuildConfig};
+
+struct Run {
+    world: World,
+    sink: VecSink,
+}
+
+fn run() -> &'static Run {
+    static R: OnceLock<Run> = OnceLock::new();
+    R.get_or_init(|| {
+        let world = World::build(&WorldBuildConfig::default());
+        let engine = MeasurementEngine::new(
+            &world,
+            MeasurementConfig {
+                schedule: Schedule::subsampled(120),
+                ..Default::default()
+            },
+        );
+        let sink = engine.run_parallel(2);
+        Run { world, sink }
+    })
+}
+
+fn target(letter: RootLetter) -> Target {
+    Target {
+        letter,
+        b_phase: BRootPhase::Old,
+    }
+}
+
+#[test]
+fn shape_sec5_colocation_prevalent() {
+    // Paper: ~70% of VPs observe co-location of >=2 letters; max 12.
+    let r = run();
+    let coloc = ColocationResult::compute(&r.sink.probes);
+    let frac = coloc.fraction_with_colocation(2);
+    assert!(
+        (0.5..=1.0).contains(&frac),
+        "co-location fraction {frac} out of the paper's band"
+    );
+    assert!(coloc.max_reduced() >= 5, "max reduced {}", coloc.max_reduced());
+}
+
+#[test]
+fn shape_fig5_sparse_deployments_mostly_optimal() {
+    // Paper: 78-82% of b.root/m.root requests reach closest-global-or-
+    // closer.
+    let r = run();
+    for letter in [RootLetter::B, RootLetter::M] {
+        let d = DistanceResult::compute(
+            &r.world.catalog,
+            &r.world.population,
+            &r.sink.probes,
+            target(letter),
+            Family::V4,
+        );
+        let frac = d.optimal_fraction(300.0);
+        assert!(frac > 0.6, "{letter}: {frac}");
+        // Tail inflation reaches thousands of km (paper: up to ~15,000).
+        assert!(d.max_inflation_km() > 3_000.0);
+    }
+}
+
+#[test]
+fn shape_fig6_deployment_size_wins_on_rtt() {
+    // Larger deployments offer lower median RTT (paper §2, Koch et al.).
+    let r = run();
+    let rtt = analysis::rtt::RttByRegion::compute(&r.world.population, &r.sink.probes);
+    let med = |letter: RootLetter| {
+        rtt.get(Region::Europe, target(letter), Family::V4)
+            .map(|s| s.median)
+            .expect("data")
+    };
+    // f.root (345 sites) beats b.root (6 sites) in Europe.
+    assert!(med(RootLetter::F) < med(RootLetter::B));
+    // k.root (116) also beats b.root.
+    assert!(med(RootLetter::K) < med(RootLetter::B));
+}
+
+#[test]
+fn shape_fig3_small_letters_differ_in_stability() {
+    // Paper: b.root and g.root both have 6 sites, yet their change counts
+    // differ; the eCDFs must not be degenerate (some VPs see changes).
+    let r = run();
+    let stability = StabilityResult::compute(&r.sink.probes);
+    let total_changes = |letter: RootLetter, family: Family| -> u64 {
+        stability
+            .series_for(target(letter), family)
+            .map(|s| s.changes_per_vp.values().sum())
+            .unwrap_or(0)
+    };
+    let any_changes: u64 = RootLetter::ALL
+        .iter()
+        .map(|l| total_changes(*l, Family::V4) + total_changes(*l, Family::V6))
+        .sum();
+    assert!(any_changes > 0, "no site changes at all — churn model dead");
+}
+
+#[test]
+fn shape_fig7_isp_shift_v6_more_complete_than_v4() {
+    // Paper: in-family shift at the ISP is 87.1% (v4) vs 96.3% (v6).
+    let mut cfg = TraceConfig::isp(1);
+    cfg.population.clients_per_family = 2000;
+    let flows = generate_flows(&cfg, &[ObservationWindow::isp_windows()[1]]);
+    let shift = BRootShift::compute(&flows);
+    let from = DayBucket::of(ts("20240205000000").unwrap());
+    let until = DayBucket::of(ts("20240304000000").unwrap());
+    let v4 = shift.in_family_shift(Family::V4, from, until);
+    let v6 = shift.in_family_shift(Family::V6, from, until);
+    assert!(v6 > v4, "v6 {v6} <= v4 {v4}");
+    assert!((0.75..0.95).contains(&v4), "v4 {v4}");
+    assert!(v6 > 0.88, "v6 {v6}");
+}
+
+#[test]
+fn shape_fig9_eu_eager_na_reluctant() {
+    // Paper: 60.8% (EU) vs 16.5% (NA) of IXP v6 traffic shifts.
+    let from = DayBucket::of(ts("20231128000000").unwrap());
+    let until = DayBucket::of(ts("20231228000000").unwrap());
+    let shift_of = |region: Region| {
+        let mut cfg = TraceConfig::ixp(region, 2);
+        cfg.population.clients_per_family = 2000;
+        let flows = generate_flows(&cfg, &[ObservationWindow::ixp_windows()[0]]);
+        BRootShift::compute(&flows).in_family_shift(Family::V6, from, until)
+    };
+    let eu = shift_of(Region::Europe);
+    let na = shift_of(Region::NorthAmerica);
+    assert!((0.45..0.8).contains(&eu), "eu {eu}");
+    assert!((0.05..0.35).contains(&na), "na {na}");
+}
+
+#[test]
+fn shape_fig4_redundancy_varies_by_region() {
+    // Paper Figure 4: all regions show co-location; magnitudes differ.
+    let r = run();
+    let coloc = ColocationResult::compute(&r.sink.probes);
+    let means = coloc.mean_by_region(&r.world.population);
+    for region in Region::ALL {
+        let v4 = means[region.index()][0];
+        assert!(v4 < 6.0, "{region}: v4 mean {v4} absurdly high");
+    }
+    // Somewhere the mean is non-trivial.
+    assert!(Region::ALL
+        .iter()
+        .any(|r| means[r.index()][0] > 0.3 || means[r.index()][1] > 0.3));
+}
+
+#[test]
+fn shape_table1_small_letters_fully_covered() {
+    // Paper Table 1: b, c, g, h global coverage is 100%; giant local
+    // deployments (d, e, f) stay partially covered.
+    let r = run();
+    let report = analysis::coverage::CoverageReport::compute(&r.world.catalog, &r.sink.probes);
+    for letter in [RootLetter::B, RootLetter::C, RootLetter::G, RootLetter::H] {
+        let row = &report.worldwide[letter.index()];
+        let pct = row.global_pct().unwrap();
+        assert!(pct > 80.0, "{letter}: global coverage {pct}");
+    }
+    for letter in [RootLetter::D, RootLetter::E, RootLetter::F] {
+        let row = &report.worldwide[letter.index()];
+        let pct = row.local_pct().unwrap();
+        assert!(pct < 90.0, "{letter}: local coverage {pct} too complete");
+    }
+}

@@ -1,0 +1,140 @@
+//! Routing invariants over the *full* built world: every deployment, both
+//! families, all VPs.
+
+use netsim::types::LearnedFrom;
+use netsim::Family;
+use rss::RootLetter;
+use std::sync::OnceLock;
+use vantage::{World, WorldBuildConfig};
+
+fn world() -> &'static World {
+    static W: OnceLock<World> = OnceLock::new();
+    W.get_or_init(|| World::build(&WorldBuildConfig::default()))
+}
+
+#[test]
+fn every_vp_reaches_every_letter_v4() {
+    let w = world();
+    for letter in RootLetter::ALL {
+        let table = w.routes(letter, Family::V4);
+        for vp in w.population.vps() {
+            assert!(
+                table.reachable(vp.asn),
+                "{} cannot reach {letter} over IPv4",
+                vp.name
+            );
+        }
+    }
+}
+
+#[test]
+fn v6_vps_reach_every_letter_v6() {
+    let w = world();
+    for letter in RootLetter::ALL {
+        let table = w.routes(letter, Family::V6);
+        for vp in w.population.vps() {
+            if vp.has_v6 {
+                assert!(
+                    table.reachable(vp.asn),
+                    "{} cannot reach {letter} over IPv6",
+                    vp.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn selected_paths_are_loop_free() {
+    let w = world();
+    for letter in RootLetter::ALL {
+        for family in Family::BOTH {
+            let table = w.routes(letter, family);
+            for vp in w.population.vps() {
+                if let Some(best) = table.best(vp.asn) {
+                    let mut seen = std::collections::HashSet::new();
+                    for hop in &best.path {
+                        assert!(seen.insert(*hop), "loop in {letter} path for {}", vp.name);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn candidate_lists_sorted_best_first() {
+    let w = world();
+    let table = w.routes(RootLetter::K, Family::V4);
+    for vp in w.population.vps() {
+        let cands = table.candidates(vp.asn);
+        for pair in cands.windows(2) {
+            assert!(
+                pair[0].learned_from <= pair[1].learned_from
+                    || pair[0].path_len() <= pair[1].path_len()
+            );
+        }
+    }
+}
+
+#[test]
+fn local_sites_have_limited_catchment() {
+    // Over the whole world: the fraction of (vp, letter) selections landing
+    // on local sites must be well below the local share of sites — local
+    // scope limits the audience.
+    let w = world();
+    let mut local_selected = 0usize;
+    let mut total = 0usize;
+    for letter in RootLetter::ALL {
+        let table = w.routes(letter, Family::V4);
+        let d = w.catalog.deployment(letter);
+        for vp in w.population.vps() {
+            if let Some(best) = table.best(vp.asn) {
+                total += 1;
+                if d.site(best.site).scope == netsim::anycast::SiteScope::Local {
+                    local_selected += 1;
+                }
+            }
+        }
+    }
+    let local_sites: usize = RootLetter::ALL
+        .iter()
+        .map(|l| w.catalog.deployment(*l).local_count())
+        .sum();
+    let all_sites: usize = RootLetter::ALL
+        .iter()
+        .map(|l| w.catalog.deployment(*l).sites.len())
+        .sum();
+    let selection_share = local_selected as f64 / total as f64;
+    let site_share = local_sites as f64 / all_sites as f64;
+    assert!(
+        selection_share < site_share,
+        "local selections {selection_share:.2} vs site share {site_share:.2}"
+    );
+}
+
+#[test]
+fn origin_routes_rank_first_at_origins() {
+    let w = world();
+    let table = w.routes(RootLetter::B, Family::V4);
+    for site in &w.catalog.deployment(RootLetter::B).sites {
+        if let Some(best) = table.best(site.origin_as) {
+            assert_eq!(best.learned_from, LearnedFrom::Origin);
+        }
+    }
+}
+
+#[test]
+fn world_build_is_deterministic() {
+    let a = World::build(&WorldBuildConfig::default());
+    let b = World::build(&WorldBuildConfig::default());
+    assert_eq!(a.topology.len(), b.topology.len());
+    assert_eq!(a.catalog.sites.len(), b.catalog.sites.len());
+    for letter in RootLetter::ALL {
+        let ta = a.routes(letter, Family::V6);
+        let tb = b.routes(letter, Family::V6);
+        for vp in a.population.vps() {
+            assert_eq!(ta.best(vp.asn), tb.best(vp.asn));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Wire-format interop: the measurement script's full query set, rendered
+//! as real DNS messages, answered by the simulated servers, decoded back —
+//! the Appendix F loop at the protocol level.
+
+use dns_wire::{Class, Message, Name, Question, Rcode, RrType};
+use dns_zone::rollout::RolloutPhase;
+use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+use dns_zone::signer::ZoneKeys;
+use rss::{BRootPhase, RootLetter, RootServer, ServerBehavior};
+use std::sync::Arc;
+
+fn server() -> RootServer {
+    let zone = build_root_zone(
+        &RootZoneConfig {
+            tld_count: 12,
+            rollout: RolloutPhase::Validating,
+            ..Default::default()
+        },
+        &ZoneKeys::from_seed(77),
+    );
+    RootServer {
+        letter: RootLetter::K,
+        identity: Some("ns1.fra.k.ripe.net".into()),
+        zone: Arc::new(zone),
+        behavior: ServerBehavior::default(),
+    }
+}
+
+/// The per-IP query set from the measurement script (Appendix F).
+fn script_queries() -> Vec<Question> {
+    let mut qs = Vec::new();
+    // ZONEMD, NS ., NS root-servers.net, SOA.
+    qs.push(Question::new(Name::root(), RrType::Zonemd));
+    qs.push(Question::new(Name::root(), RrType::Ns));
+    qs.push(Question::new(
+        Name::parse("root-servers.net.").unwrap(),
+        RrType::Ns,
+    ));
+    qs.push(Question::new(Name::root(), RrType::Soa));
+    // CHAOS identity.
+    for name in ["hostname.bind.", "id.server.", "version.bind.", "version.server."] {
+        qs.push(Question::chaos_txt(Name::parse(name).unwrap()));
+    }
+    // A/AAAA/TXT for all 13 letters.
+    for letter in RootLetter::ALL {
+        let host = Name::parse(&letter.host_name()).unwrap();
+        qs.push(Question::new(host.clone(), RrType::A));
+        qs.push(Question::new(host.clone(), RrType::Aaaa));
+        qs.push(Question::new(host, RrType::Txt));
+    }
+    qs
+}
+
+#[test]
+fn script_query_set_has_47_queries() {
+    // 4 zone queries + 4 CHAOS + 13×3 address/TXT = 47, matching the
+    // paper's "47 queries to each root-server IP" (Appendix B).
+    assert_eq!(script_queries().len(), 47);
+}
+
+#[test]
+fn all_script_queries_answered_over_wire() {
+    let s = server();
+    for (i, q) in script_queries().into_iter().enumerate() {
+        let query = Message::query(i as u16, q.clone());
+        // Encode the query, decode it (what the server's socket sees).
+        let decoded_query = Message::from_wire(&query.to_wire()).unwrap();
+        let response = s.answer(&decoded_query, BRootPhase::Old);
+        // Encode the response, decode it (what the VP sees).
+        let wire = response.to_wire();
+        let decoded = Message::from_wire(&wire).unwrap();
+        assert_eq!(decoded.header.id, i as u16);
+        assert!(decoded.header.flags.response);
+        assert_ne!(
+            decoded.header.rcode,
+            Rcode::ServFail,
+            "query {i} ({:?}) failed",
+            q
+        );
+    }
+}
+
+#[test]
+fn identity_answers_are_chaos_class() {
+    let s = server();
+    let q = Message::query(1, Question::chaos_txt(Name::parse("id.server.").unwrap()));
+    let resp = Message::from_wire(&s.answer(&q, BRootPhase::Old).to_wire()).unwrap();
+    assert_eq!(resp.answers[0].class, Class::Ch);
+}
+
+#[test]
+fn response_sizes_fit_udp_with_compression() {
+    // Responses to the script's non-AXFR queries fit in 4096-byte EDNS0
+    // budgets thanks to name compression.
+    let s = server();
+    for q in script_queries() {
+        let query = Message::query(0, q);
+        let wire = s.answer(&query, BRootPhase::Old).to_wire();
+        assert!(wire.len() < 4096, "{} bytes", wire.len());
+    }
+}
+
+#[test]
+fn compression_saves_space_on_ns_answers() {
+    let s = server();
+    let q = Message::query(
+        0,
+        Question::new(Name::parse("root-servers.net.").unwrap(), RrType::Ns),
+    );
+    let resp = s.answer(&q, BRootPhase::Old);
+    assert!(resp.to_wire().len() < resp.to_wire_uncompressed().len());
+}
+
+#[test]
+fn b_root_phase_affects_only_b() {
+    let s = server();
+    for letter in RootLetter::ALL {
+        let q = Message::query(
+            0,
+            Question::new(Name::parse(&letter.host_name()).unwrap(), RrType::A),
+        );
+        let old = s.answer(&q, BRootPhase::Old);
+        let new = s.answer(&q, BRootPhase::New);
+        if letter == RootLetter::B {
+            assert_ne!(old.answers, new.answers);
+        } else {
+            assert_eq!(old.answers, new.answers);
+        }
+    }
+}
