@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate for the roots workspace (offline: all deps vendored
+# under vendor/, see Cargo.toml).
+#
+#   1. release build of every crate;
+#   2. full test suite;
+#   3. formatting check;
+#   4. clippy with warnings promoted to errors.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "ci: all gates green"

@@ -179,7 +179,10 @@ mod tests {
         let bound = check.bound_ms(&cat, RootLetter::B, vp).unwrap();
         assert!(bound > 10.0, "bound {bound}");
         match check.check(&cat, RootLetter::B, vp, 0.5) {
-            SolVerdict::ImpossiblyFast { bound_ms, observed_ms } => {
+            SolVerdict::ImpossiblyFast {
+                bound_ms,
+                observed_ms,
+            } => {
                 assert!(observed_ms < bound_ms);
             }
             other => panic!("unexpected {other:?}"),

@@ -77,7 +77,9 @@ impl ClientAnalysis {
             // Histogram over flows-per-client-day.
             let mut hist: BTreeMap<u32, u64> = BTreeMap::new();
             for count in per_client_day.values() {
-                *hist.entry((*count).min(u32::MAX as u64) as u32).or_insert(0) += 1;
+                *hist
+                    .entry((*count).min(u32::MAX as u64) as u32)
+                    .or_insert(0) += 1;
             }
             let mut curve = Vec::with_capacity(hist.len());
             let mut cum = 0u64;
@@ -114,11 +116,7 @@ impl ClientAnalysis {
             for c in self.curves.iter().filter(|c| c.family == family) {
                 let letter_ok = matches!(
                     c.target.letter,
-                    RootLetter::A
-                        | RootLetter::B
-                        | RootLetter::C
-                        | RootLetter::D
-                        | RootLetter::E
+                    RootLetter::A | RootLetter::B | RootLetter::C | RootLetter::D | RootLetter::E
                 );
                 if !letter_ok {
                     continue;

@@ -226,7 +226,9 @@ fn fmt_pct(p: Option<f64>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vantage::{MeasurementConfig, MeasurementEngine, Schedule, VecSink, World, WorldBuildConfig};
+    use vantage::{
+        MeasurementConfig, MeasurementEngine, Schedule, VecSink, World, WorldBuildConfig,
+    };
 
     fn run_small() -> (World, Vec<ProbeRecord>) {
         let world = World::build(&WorldBuildConfig::tiny());
@@ -268,7 +270,10 @@ mod tests {
         let covered: u32 = report.worldwide.iter().map(|r| r.total_covered()).sum();
         let total: u32 = report.worldwide.iter().map(|r| r.total_sites()).sum();
         assert!(covered > 0, "nothing covered");
-        assert!(covered < total, "everything covered — local sites should hide");
+        assert!(
+            covered < total,
+            "everything covered — local sites should hide"
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! requests at a closer local site fall below; requests routed to a more
 //! distant instance fall above.
 
+use netsim::anycast::SiteScope;
 use netsim::Family;
 use rss::catalog::RootCatalog;
-use netsim::anycast::SiteScope;
 use vantage::population::Population;
 use vantage::records::{ProbeRecord, Target};
 
@@ -87,10 +87,7 @@ impl DistanceResult {
             e.0 += pt.inflation_km();
             e.1 += 1;
         }
-        let per_vp_inflation_km = per_vp
-            .values()
-            .map(|(sum, n)| sum / *n as f64)
-            .collect();
+        let per_vp_inflation_km = per_vp.values().map(|(sum, n)| sum / *n as f64).collect();
         DistanceResult {
             target,
             family,
@@ -105,7 +102,11 @@ impl DistanceResult {
         if self.points.is_empty() {
             return 0.0;
         }
-        let hits = self.points.iter().filter(|p| p.is_optimal(slack_km)).count();
+        let hits = self
+            .points
+            .iter()
+            .filter(|p| p.is_optimal(slack_km))
+            .count();
         hits as f64 / self.points.len() as f64
     }
 
@@ -115,11 +116,7 @@ impl DistanceResult {
         if self.per_vp_inflation_km.is_empty() {
             return 0.0;
         }
-        let hits = self
-            .per_vp_inflation_km
-            .iter()
-            .filter(|&&v| v < km)
-            .count();
+        let hits = self.per_vp_inflation_km.iter().filter(|&&v| v < km).count();
         hits as f64 / self.per_vp_inflation_km.len() as f64
     }
 
@@ -150,7 +147,9 @@ impl DistanceResult {
 mod tests {
     use super::*;
     use rss::{BRootPhase, RootLetter};
-    use vantage::{MeasurementConfig, MeasurementEngine, Schedule, VecSink, World, WorldBuildConfig};
+    use vantage::{
+        MeasurementConfig, MeasurementEngine, Schedule, VecSink, World, WorldBuildConfig,
+    };
 
     fn run() -> (World, Vec<ProbeRecord>) {
         let world = World::build(&WorldBuildConfig::tiny());

@@ -44,11 +44,7 @@ impl TransitShare {
 
 /// Compute traversal shares of `transit` for every region/family of one
 /// letter, with conditional base RTTs.
-pub fn transit_share(
-    world: &World,
-    letter: RootLetter,
-    transit: AsId,
-) -> Vec<TransitShare> {
+pub fn transit_share(world: &World, letter: RootLetter, transit: AsId) -> Vec<TransitShare> {
     let rtt_model = netsim::RttModel::default();
     let mut out = Vec::new();
     for region in Region::ALL {
@@ -61,7 +57,9 @@ pub fn transit_share(
                 if family == Family::V6 && !vp.has_v6 {
                     continue;
                 }
-                let Some(best) = table.best(vp.asn) else { continue };
+                let Some(best) = table.best(vp.asn) else {
+                    continue;
+                };
                 total += 1;
                 let site = world.catalog.deployment(letter).site(best.site);
                 let rtt = rtt_model.base_rtt_ms(

@@ -36,19 +36,11 @@ impl RttByRegion {
             .map(|per_target| {
                 per_target
                     .into_iter()
-                    .map(|[v4, v6]| {
-                        [
-                            DistSummary::from_samples(v4),
-                            DistSummary::from_samples(v6),
-                        ]
-                    })
+                    .map(|[v4, v6]| [DistSummary::from_samples(v4), DistSummary::from_samples(v6)])
                     .collect()
             })
             .collect();
-        RttByRegion {
-            targets,
-            summaries,
-        }
+        RttByRegion { targets, summaries }
     }
 
     /// Summary for (region, target, family).
@@ -99,7 +91,9 @@ impl RttByRegion {
 mod tests {
     use super::*;
     use rss::{BRootPhase, RootLetter};
-    use vantage::{MeasurementConfig, MeasurementEngine, Schedule, VecSink, World, WorldBuildConfig};
+    use vantage::{
+        MeasurementConfig, MeasurementEngine, Schedule, VecSink, World, WorldBuildConfig,
+    };
 
     fn run() -> (World, Vec<ProbeRecord>) {
         let world = World::build(&WorldBuildConfig::tiny());
@@ -144,7 +138,12 @@ mod tests {
                 for family in Family::BOTH {
                     if let Some(s) = r.get(region, *t, family) {
                         assert!(s.min > 0.0);
-                        assert!(s.max < 2_000.0, "{region} {} {family}: {}", t.label(), s.max);
+                        assert!(
+                            s.max < 2_000.0,
+                            "{region} {} {family}: {}",
+                            t.label(),
+                            s.max
+                        );
                         assert!(s.p25 <= s.median && s.median <= s.p75);
                     }
                 }

@@ -60,10 +60,8 @@ impl StabilityResult {
         for p in ordered {
             let Some(site) = p.site else { continue };
             let st = per_key.entry((p.vp, p.target, p.family)).or_default();
-            if st.initialized && st.prev_time < p.time {
-                if st.prev != Some(site) {
-                    st.changes += 1;
-                }
+            if st.initialized && st.prev_time < p.time && st.prev != Some(site) {
+                st.changes += 1;
             }
             st.prev = Some(site);
             st.prev_time = p.time;
@@ -102,9 +100,7 @@ impl StabilityResult {
 
     /// Render the Figure 3 equivalent for a set of targets.
     pub fn render_fig3(&self, targets: &[Target]) -> String {
-        let mut out = String::from(
-            "Figure 3: complementary eCDF of site-change events per VP\n",
-        );
+        let mut out = String::from("Figure 3: complementary eCDF of site-change events per VP\n");
         for t in targets {
             for family in Family::BOTH {
                 if let Some(s) = self.series_for(*t, family) {
@@ -130,7 +126,13 @@ mod tests {
     use rss::{BRootPhase, RootLetter};
     use vantage::records::Target;
 
-    fn probe(vp: u32, time: u32, site: Option<u32>, letter: RootLetter, family: Family) -> ProbeRecord {
+    fn probe(
+        vp: u32,
+        time: u32,
+        site: Option<u32>,
+        letter: RootLetter,
+        family: Family,
+    ) -> ProbeRecord {
         ProbeRecord {
             time,
             vp: VpId(vp),
@@ -202,8 +204,14 @@ mod tests {
             letter: RootLetter::C,
             b_phase: BRootPhase::Old,
         };
-        assert_eq!(r.series_for(t, Family::V4).unwrap().changes_per_vp[&VpId(0)], 0);
-        assert_eq!(r.series_for(t, Family::V6).unwrap().changes_per_vp[&VpId(0)], 1);
+        assert_eq!(
+            r.series_for(t, Family::V4).unwrap().changes_per_vp[&VpId(0)],
+            0
+        );
+        assert_eq!(
+            r.series_for(t, Family::V6).unwrap().changes_per_vp[&VpId(0)],
+            1
+        );
     }
 
     #[test]
@@ -223,10 +231,22 @@ mod tests {
         let mut probes = Vec::new();
         // VP 0: stable (0 changes); VP 1: flappy (3 changes).
         for (i, site) in [1u32, 1, 1, 1].iter().enumerate() {
-            probes.push(probe(0, 100 * (i as u32 + 1), Some(*site), RootLetter::A, Family::V4));
+            probes.push(probe(
+                0,
+                100 * (i as u32 + 1),
+                Some(*site),
+                RootLetter::A,
+                Family::V4,
+            ));
         }
         for (i, site) in [1u32, 2, 1, 2].iter().enumerate() {
-            probes.push(probe(1, 100 * (i as u32 + 1), Some(*site), RootLetter::A, Family::V4));
+            probes.push(probe(
+                1,
+                100 * (i as u32 + 1),
+                Some(*site),
+                RootLetter::A,
+                Family::V4,
+            ));
         }
         let r = StabilityResult::compute(&probes);
         let s = &r.series[0];

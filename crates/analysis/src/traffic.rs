@@ -213,12 +213,14 @@ mod tests {
     fn pre_change_old_dominates_post_change_new() {
         let flows = isp_flows();
         let shift = BRootShift::compute(&flows);
-        let pre_old = shift
-            .series
-            .mean_share(&BKey::V4Old, day("20231008000000"), day("20231009000000"));
-        let post_new = shift
-            .series
-            .mean_share(&BKey::V4New, day("20240205000000"), day("20240304000000"));
+        let pre_old =
+            shift
+                .series
+                .mean_share(&BKey::V4Old, day("20231008000000"), day("20231009000000"));
+        let post_new =
+            shift
+                .series
+                .mean_share(&BKey::V4New, day("20240205000000"), day("20240304000000"));
         assert!(pre_old > 0.5, "pre old v4 share {pre_old}");
         assert!(post_new > 0.5, "post new v4 share {post_new}");
     }
@@ -249,11 +251,7 @@ mod tests {
             cfg.population.clients_per_family = 250;
             let flows = generate_flows(&cfg, &[window]);
             let shift = BRootShift::compute(&flows);
-            shift.in_family_shift(
-                Family::V6,
-                day("20231128000000"),
-                day("20231228000000"),
-            )
+            shift.in_family_shift(Family::V6, day("20231128000000"), day("20231228000000"))
         };
         let eu = shift_of(Region::Europe);
         let na = shift_of(Region::NorthAmerica);
@@ -300,7 +298,12 @@ mod tests {
         assert!(txt.contains("V4new"));
         assert!(txt.contains("in-family shift"));
         let series = all_roots_series(&flows);
-        let txt = render_all_roots(&series, "Figure 12", day("20240205000000"), day("20240304000000"));
+        let txt = render_all_roots(
+            &series,
+            "Figure 12",
+            day("20240205000000"),
+            day("20240304000000"),
+        );
         assert!(txt.contains("k.root"));
     }
 }

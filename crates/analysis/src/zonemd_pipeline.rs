@@ -249,12 +249,7 @@ mod tests {
         World::build(&WorldBuildConfig::tiny())
     }
 
-    fn transfer(
-        time: u32,
-        vp_clock: u32,
-        vp: u32,
-        fault: Option<TransferFault>,
-    ) -> TransferRecord {
+    fn transfer(time: u32, vp_clock: u32, vp: u32, fault: Option<TransferFault>) -> TransferRecord {
         TransferRecord {
             time,
             vp_clock,
@@ -327,8 +322,18 @@ mod tests {
     fn dedup_counts_all_observations() {
         let w = world();
         let transfers = vec![
-            transfer(T0 + 3600, T0 + 3600, 5, Some(TransferFault::Bitflip { seed: 9 })),
-            transfer(T0 + 5400, T0 + 5400, 5, Some(TransferFault::Bitflip { seed: 9 })),
+            transfer(
+                T0 + 3600,
+                T0 + 3600,
+                5,
+                Some(TransferFault::Bitflip { seed: 9 }),
+            ),
+            transfer(
+                T0 + 5400,
+                T0 + 5400,
+                5,
+                Some(TransferFault::Bitflip { seed: 9 }),
+            ),
         ];
         let table = validate_transfers(&w, &transfers);
         assert_eq!(table.rows.len(), 1);
@@ -362,7 +367,12 @@ mod tests {
     fn render_contains_reasons() {
         let w = world();
         let transfers = vec![
-            transfer(T0 + 3600, T0 + 3600, 0, Some(TransferFault::Bitflip { seed: 5 })),
+            transfer(
+                T0 + 3600,
+                T0 + 3600,
+                0,
+                Some(TransferFault::Bitflip { seed: 5 }),
+            ),
             transfer(T0 + 600, T0 - 7200, 1, None),
         ];
         let table = validate_transfers(&w, &transfers);

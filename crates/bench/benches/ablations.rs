@@ -80,32 +80,33 @@ fn bench_churn_model_ablation(c: &mut Criterion) {
     let table = propagate(&topology, catalog.deployment(RootLetter::G), Family::V4);
     let asns: Vec<netsim::AsId> = topology.nodes().iter().map(|n| n.id).take(200).collect();
     let mut group = c.benchmark_group("ablation_churn_model");
-    for (name, model) in [
-        ("markov", FlipModel::Markov),
-        ("iid", FlipModel::Iid),
-    ] {
+    for (name, model) in [("markov", FlipModel::Markov), ("iid", FlipModel::Iid)] {
         let churn = ChurnModel {
             model,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::new("step_1000_rounds", name), &churn, |b, churn| {
-            b.iter(|| {
-                let mut rng = SimRng::new(7);
-                let mut total_changes = 0u64;
-                for &asn in &asns {
-                    let mut state = churn.initial();
-                    let mut prev = None;
-                    for _ in 0..1000 {
-                        let cur = churn.step(&table, asn, &mut state, &mut rng);
-                        if cur != prev {
-                            total_changes += 1;
+        group.bench_with_input(
+            BenchmarkId::new("step_1000_rounds", name),
+            &churn,
+            |b, churn| {
+                b.iter(|| {
+                    let mut rng = SimRng::new(7);
+                    let mut total_changes = 0u64;
+                    for &asn in &asns {
+                        let mut state = churn.initial();
+                        let mut prev = None;
+                        for _ in 0..1000 {
+                            let cur = churn.step(&table, asn, &mut state, &mut rng);
+                            if cur != prev {
+                                total_changes += 1;
+                            }
+                            prev = cur;
                         }
-                        prev = cur;
                     }
-                }
-                black_box(total_changes)
-            })
-        });
+                    black_box(total_changes)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -127,8 +128,7 @@ fn bench_missing_hop_sweep(c: &mut Criterion) {
         );
         let mut sink = VecSink::default();
         engine.run(&mut sink);
-        let frac =
-            ColocationResult::compute(&sink.probes).fraction_with_colocation(2);
+        let frac = ColocationResult::compute(&sink.probes).fraction_with_colocation(2);
         eprintln!("ablation: missing_hop_prob={miss} -> colocation fraction {frac:.3}");
         group.bench_with_input(
             BenchmarkId::new("measure_and_analyze", format!("{miss}")),

@@ -13,21 +13,18 @@ use netsim::Family;
 use roots_core::{Pipeline, Scale};
 use rss::{BRootPhase, RootLetter};
 use std::hint::black_box;
-use std::sync::OnceLock;
 use traces::flows::DayBucket;
 use vantage::records::Target;
 
 fn pipeline() -> &'static Pipeline {
-    static P: OnceLock<Pipeline> = OnceLock::new();
-    P.get_or_init(|| Pipeline::run(Scale::Tiny))
+    Pipeline::shared(Scale::Tiny)
 }
 
 fn bench_fig1_fig11_coverage_maps(c: &mut Criterion) {
     let p = pipeline();
     c.bench_function("fig1_fig11_site_maps", |b| {
         b.iter(|| {
-            let report =
-                analysis::coverage::CoverageReport::compute(&p.world.catalog, &p.probes);
+            let report = analysis::coverage::CoverageReport::compute(&p.world.catalog, &p.probes);
             for letter in RootLetter::ALL {
                 black_box(report.site_map(&p.world.catalog, letter));
             }
@@ -83,7 +80,12 @@ fn bench_fig5_distance(c: &mut Criterion) {
 fn bench_fig6_rtt(c: &mut Criterion) {
     let p = pipeline();
     c.bench_function("fig6_rtt_by_region", |b| {
-        b.iter(|| black_box(RttByRegion::compute(&p.world.population, black_box(&p.probes))))
+        b.iter(|| {
+            black_box(RttByRegion::compute(
+                &p.world.population,
+                black_box(&p.probes),
+            ))
+        })
     });
 }
 

@@ -160,6 +160,34 @@ fn bench_localroot_refresh(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_rng_derivation(c: &mut Criterion) {
+    // The per-probe stream derivation is the innermost loop of the whole
+    // measurement (VPs × targets × families × rounds ≈ 10^8 at paper
+    // scale). Contrast the old string-context path — which allocated and
+    // formatted a key per probe — with the integer-tuple derivation the
+    // engine now uses.
+    use netsim::SimRng;
+    let root = SimRng::new(42).derive("measurement");
+    let mut group = c.benchmark_group("rng_derivation");
+    group.bench_function("derive_format_string", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let mut rng = root.derive(&format!("probe/{}/{}/{}/{}", i % 675, i % 14, i % 2, i));
+            black_box(rng.next_u64())
+        })
+    });
+    group.bench_function("derive_ids", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let mut rng = root.derive_ids(&[i % 675, i % 14, i % 2, i]);
+            black_box(rng.next_u64())
+        })
+    });
+    group.finish();
+}
+
 fn bench_routing(c: &mut Criterion) {
     let mut topology = Topology::generate(&TopologyConfig::default());
     let catalog = RootCatalog::build(&mut topology, &WorldConfig::default());
@@ -181,6 +209,7 @@ criterion_group!(
     bench_zone_ops,
     bench_tcp_framing,
     bench_localroot_refresh,
+    bench_rng_derivation,
     bench_routing
 );
 criterion_main!(micro);

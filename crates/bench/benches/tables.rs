@@ -7,11 +7,9 @@ use analysis::zonemd_pipeline::validate_transfers;
 use criterion::{criterion_group, criterion_main, Criterion};
 use roots_core::{Pipeline, Scale};
 use std::hint::black_box;
-use std::sync::OnceLock;
 
 fn pipeline() -> &'static Pipeline {
-    static P: OnceLock<Pipeline> = OnceLock::new();
-    P.get_or_init(|| Pipeline::run(Scale::Tiny))
+    Pipeline::shared(Scale::Tiny)
 }
 
 fn bench_table1(c: &mut Criterion) {

@@ -203,15 +203,43 @@ pub fn run_one(pipeline: &Pipeline, id: &str) -> Option<String> {
         .map(|e| (e.run)(pipeline))
 }
 
-/// Run every experiment, concatenating artefacts.
+/// Run every experiment, concatenating artefacts in registry order.
+///
+/// Experiments only read the pipeline, so they run concurrently on a
+/// worker pool; each worker claims the next unstarted experiment from a
+/// shared counter and writes into its own slot, and the slots are joined
+/// in registry order afterwards — the output is byte-identical to a
+/// serial loop.
 pub fn run_all(pipeline: &Pipeline) -> String {
-    let mut out = String::new();
-    for e in registry() {
-        out.push_str(&format!("==== {} [{}] ====\n", e.id, e.paper_ref));
-        out.push_str(&(e.run)(pipeline));
-        out.push('\n');
+    let experiments = registry();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(experiments.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut sections: Vec<Option<String>> = (0..experiments.len()).map(|_| None).collect();
+    let collected: std::sync::Mutex<Vec<(usize, String)>> =
+        std::sync::Mutex::new(Vec::with_capacity(experiments.len()));
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(e) = experiments.get(i) else { break };
+                let mut section = format!("==== {} [{}] ====\n", e.id, e.paper_ref);
+                section.push_str(&(e.run)(pipeline));
+                section.push('\n');
+                collected.lock().unwrap().push((i, section));
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    for (i, section) in collected.into_inner().unwrap() {
+        sections[i] = Some(section);
     }
-    out
+    sections
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
 }
 
 fn coverage(p: &Pipeline) -> CoverageReport {
@@ -249,10 +277,14 @@ fn fig1(p: &Pipeline) -> String {
         map.len()
     );
     for region in Region::ALL {
-        let (obs, tot) = map.iter().filter(|e| e.region == region).fold((0, 0), |(o, t), e| {
-            (o + e.observed as usize, t + 1)
-        });
-        out.push_str(&format!("  {:13} {obs}/{tot} f.root sites observed\n", region.name()));
+        let (obs, tot) = map
+            .iter()
+            .filter(|e| e.region == region)
+            .fold((0, 0), |(o, t), e| (o + e.observed as usize, t + 1));
+        out.push_str(&format!(
+            "  {:13} {obs}/{tot} f.root sites observed\n",
+            region.name()
+        ));
     }
     out
 }
@@ -398,11 +430,9 @@ fn fig10(p: &Pipeline) -> String {
             ),
             None => "Figure 10: bitflip produced a multi-record diff (unexpected)\n".into(),
         },
-        None => {
-            "Figure 10: no bitflipped transfer occurred in this (subsampled) run; \
+        None => "Figure 10: no bitflipped transfer occurred in this (subsampled) run; \
              rerun at a larger scale or higher flip rate\n"
-                .into()
-        }
+            .into(),
     }
 }
 
@@ -436,11 +466,9 @@ fn sec5(p: &Pipeline) -> String {
 mod tests {
     use super::*;
     use crate::Scale;
-    use std::sync::OnceLock;
 
     fn pipeline() -> &'static Pipeline {
-        static PIPE: OnceLock<Pipeline> = OnceLock::new();
-        PIPE.get_or_init(|| Pipeline::run(Scale::Tiny))
+        Pipeline::shared(Scale::Tiny)
     }
 
     #[test]
@@ -449,8 +477,8 @@ mod tests {
         let ids: std::collections::HashSet<&str> = reg.iter().map(|e| e.id).collect();
         assert_eq!(ids.len(), reg.len());
         for required in [
-            "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5",
-            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
         ] {
             assert!(ids.contains(required), "missing {required}");
         }
@@ -468,12 +496,25 @@ mod tests {
     #[test]
     fn run_one_and_run_all() {
         let p = pipeline();
-        assert!(run_one(p, "table3").unwrap().contains("675")
-            || run_one(p, "table3").unwrap().contains("total VPs"));
+        assert!(
+            run_one(p, "table3").unwrap().contains("675")
+                || run_one(p, "table3").unwrap().contains("total VPs")
+        );
         assert!(run_one(p, "nope").is_none());
         let all = run_all(p);
         assert!(all.contains("==== table1"));
         assert!(all.contains("==== fig13"));
+    }
+
+    #[test]
+    fn run_all_matches_serial_concatenation() {
+        // The worker pool must not reorder or interleave sections.
+        let p = pipeline();
+        let serial: String = registry()
+            .iter()
+            .map(|e| format!("==== {} [{}] ====\n{}\n", e.id, e.paper_ref, (e.run)(p)))
+            .collect();
+        assert_eq!(run_all(p), serial);
     }
 
     #[test]

@@ -4,10 +4,12 @@
 
 use crate::scale::Scale;
 use netgeo::Region;
+use std::collections::HashSet;
+use std::sync::OnceLock;
 use traces::flows::FlowObservation;
 use traces::gen::{generate_flows, ObservationWindow, TraceConfig};
 use vantage::records::{ProbeRecord, TransferRecord};
-use vantage::{MeasurementConfig, MeasurementEngine, World};
+use vantage::{MeasurementConfig, MeasurementEngine, Round, Schedule, World};
 
 /// All data an experiment might need.
 pub struct Pipeline {
@@ -23,7 +25,11 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// Run everything at `scale`. Deterministic for a given scale.
+    /// Run everything at `scale`. Deterministic for a given scale: the
+    /// active measurement and the three passive trace syntheses run
+    /// concurrently (they share nothing but the seed), and within the
+    /// measurement each worker owns a disjoint VP range, so concurrency
+    /// only changes wall-clock time, never the records.
     pub fn run(scale: Scale) -> Pipeline {
         let world = World::build(&scale.world());
         let config = MeasurementConfig {
@@ -31,40 +37,64 @@ impl Pipeline {
             ..Default::default()
         };
         let engine = MeasurementEngine::new(&world, config.clone());
-        let mut sink = engine.run_parallel(scale.workers());
+
+        let seed = world.seed();
+        let clients = scale.trace_clients();
+        let trace = |cfg: &mut TraceConfig, windows: &[ObservationWindow]| {
+            cfg.population.clients_per_family = clients;
+            generate_flows(cfg, windows)
+        };
+        let (mut sink, isp_flows, ixp_flows_eu, ixp_flows_na) = crossbeam::scope(|s| {
+            let isp = s.spawn(move |_| {
+                trace(
+                    &mut TraceConfig::isp(seed),
+                    &ObservationWindow::isp_windows(),
+                )
+            });
+            let eu = s.spawn(move |_| {
+                trace(
+                    &mut TraceConfig::ixp(Region::Europe, seed ^ 1),
+                    &ObservationWindow::ixp_windows(),
+                )
+            });
+            let na = s.spawn(move |_| {
+                trace(
+                    &mut TraceConfig::ixp(Region::NorthAmerica, seed ^ 2),
+                    &ObservationWindow::ixp_windows(),
+                )
+            });
+            // The measurement keeps the current thread busy while the
+            // three trace generators run on their own threads.
+            let sink = engine.run_parallel(scale.workers());
+            (
+                sink,
+                isp.join().expect("isp trace generation panicked"),
+                eu.join().expect("ixp-eu trace generation panicked"),
+                na.join().expect("ixp-na trace generation panicked"),
+            )
+        })
+        .expect("pipeline scope panicked");
 
         // Subsampled schedules can skip the short stale-site windows
         // entirely; cover them at full resolution (like the paper's 15-min
         // bursts did around the events it targeted), unless the main
-        // schedule already runs unsubsampled.
+        // schedule already runs unsubsampled. Rounds the main schedule
+        // already executed are skipped: re-measuring them would duplicate
+        // (vp, time, target, family) observations downstream.
         if config.schedule.subsample > 1 {
+            let mut covered: HashSet<u32> = config.schedule.rounds().map(|r| r.time).collect();
             for window in &config.stale_windows {
-                let focused = MeasurementConfig {
-                    schedule: vantage::Schedule {
-                        start: window.from,
-                        end: window.until,
-                        subsample: 1,
-                        ..config.schedule.clone()
-                    },
-                    ..config.clone()
-                };
-                let extra = MeasurementEngine::new(&world, focused).run_parallel(1);
+                let rounds = focused_rounds(&config.schedule, window.from, window.until, &covered);
+                if rounds.is_empty() {
+                    continue;
+                }
+                // Windows could overlap; never re-measure a round twice.
+                covered.extend(rounds.iter().map(|r| r.time));
+                let extra = engine.run_rounds_parallel(&rounds, scale.workers());
                 sink.probes.extend(extra.probes);
                 sink.transfers.extend(extra.transfers);
             }
         }
-
-        let mut isp_cfg = TraceConfig::isp(world.seed());
-        isp_cfg.population.clients_per_family = scale.trace_clients();
-        let isp_flows = generate_flows(&isp_cfg, &ObservationWindow::isp_windows());
-
-        let mut eu_cfg = TraceConfig::ixp(Region::Europe, world.seed() ^ 1);
-        eu_cfg.population.clients_per_family = scale.trace_clients();
-        let ixp_flows_eu = generate_flows(&eu_cfg, &ObservationWindow::ixp_windows());
-
-        let mut na_cfg = TraceConfig::ixp(Region::NorthAmerica, world.seed() ^ 2);
-        na_cfg.population.clients_per_family = scale.trace_clients();
-        let ixp_flows_na = generate_flows(&na_cfg, &ObservationWindow::ixp_windows());
 
         Pipeline {
             scale,
@@ -76,6 +106,37 @@ impl Pipeline {
             ixp_flows_na,
         }
     }
+
+    /// The memoized pipeline for `scale`: built once per process, shared
+    /// by every caller. Tests, examples and benches all read the same
+    /// record streams, so rebuilding the world per call site only burned
+    /// CPU — [`Pipeline::run`] stays available for callers that need a
+    /// private instance (e.g. to compare two fresh runs).
+    pub fn shared(scale: Scale) -> &'static Pipeline {
+        static TINY: OnceLock<Pipeline> = OnceLock::new();
+        static SMALL: OnceLock<Pipeline> = OnceLock::new();
+        static PAPER: OnceLock<Pipeline> = OnceLock::new();
+        let cell = match scale {
+            Scale::Tiny => &TINY,
+            Scale::Small => &SMALL,
+            Scale::Paper => &PAPER,
+        };
+        cell.get_or_init(|| Pipeline::run(scale))
+    }
+}
+
+/// The full-resolution rounds inside `[from, until)` that the (subsampled)
+/// main schedule did not already execute.
+fn focused_rounds(main: &Schedule, from: u32, until: u32, covered: &HashSet<u32>) -> Vec<Round> {
+    let full = Schedule {
+        start: from,
+        end: until,
+        subsample: 1,
+        ..main.clone()
+    };
+    full.rounds()
+        .filter(|r| !covered.contains(&r.time))
+        .collect()
 }
 
 #[cfg(test)]
@@ -84,11 +145,73 @@ mod tests {
 
     #[test]
     fn tiny_pipeline_produces_all_streams() {
-        let p = Pipeline::run(Scale::Tiny);
+        let p = Pipeline::shared(Scale::Tiny);
         assert!(!p.probes.is_empty());
         assert!(!p.transfers.is_empty());
         assert!(!p.isp_flows.is_empty());
         assert!(!p.ixp_flows_eu.is_empty());
         assert!(!p.ixp_flows_na.is_empty());
+    }
+
+    #[test]
+    fn shared_is_memoized() {
+        let a: *const Pipeline = Pipeline::shared(Scale::Tiny);
+        let b: *const Pipeline = Pipeline::shared(Scale::Tiny);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_duplicate_probe_observations() {
+        // The stale-window re-runs must skip rounds the subsampled main
+        // schedule already executed; a duplicate (vp, time, target,
+        // family) key would double-count the observation downstream.
+        let p = Pipeline::shared(Scale::Tiny);
+        let mut keys: Vec<_> = p
+            .probes
+            .iter()
+            .map(|r| (r.vp, r.time, r.target, r.family))
+            .collect();
+        let total = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(
+            keys.len(),
+            total,
+            "{} duplicate probe keys",
+            total - keys.len()
+        );
+    }
+
+    #[test]
+    fn focused_rounds_skip_covered_times() {
+        // A barely-subsampled main schedule executes rounds inside any
+        // stale window; the focused re-run must exclude exactly those.
+        let main = Schedule::subsampled(2);
+        let windows = MeasurementConfig::default().stale_windows;
+        let (from, until) = (windows[0].from, windows[0].until);
+        let covered: HashSet<u32> = main.rounds().map(|r| r.time).collect();
+        let covered_in_window = covered.iter().filter(|&&t| t >= from && t < until).count();
+        assert!(
+            covered_in_window > 0,
+            "main schedule misses the window entirely"
+        );
+        let focused = focused_rounds(&main, from, until, &covered);
+        assert!(!focused.is_empty());
+        for r in &focused {
+            assert!(r.time >= from && r.time < until);
+            assert!(!covered.contains(&r.time), "round {} re-measured", r.time);
+        }
+        // Union covers the window's full-resolution grid.
+        let full = Schedule {
+            start: from,
+            end: until,
+            subsample: 1,
+            ..main.clone()
+        };
+        assert_eq!(
+            focused.len() + covered_in_window,
+            full.round_count(),
+            "focused ∪ covered must equal the full-resolution window"
+        );
     }
 }

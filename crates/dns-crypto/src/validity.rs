@@ -68,7 +68,12 @@ pub fn timestamp_from_ymd(s: &str) -> Option<u32> {
     let num = |r: std::ops::Range<usize>| s[r].parse::<u64>().ok();
     let (y, mo, d) = (num(0..4)?, num(4..6)?, num(6..8)?);
     let (h, mi, sec) = (num(8..10)?, num(10..12)?, num(12..14)?);
-    if !(1970..=2105).contains(&y) || !(1..=12).contains(&mo) || d < 1 || h > 23 || mi > 59 || sec > 59
+    if !(1970..=2105).contains(&y)
+        || !(1..=12).contains(&mo)
+        || d < 1
+        || h > 23
+        || mi > 59
+        || sec > 59
     {
         return None;
     }
@@ -100,7 +105,7 @@ fn days_in_month(y: u64, m: u64) -> u64 {
         1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
         4 | 6 | 9 | 11 => 30,
         2 => {
-            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+            if (y.is_multiple_of(4) && !y.is_multiple_of(100)) || y.is_multiple_of(400) {
                 29
             } else {
                 28
@@ -153,7 +158,10 @@ mod tests {
 
     #[test]
     fn inverted_window_rejected() {
-        assert_eq!(check_window(200, 100, 150), Err(ValidityError::InvertedWindow));
+        assert_eq!(
+            check_window(200, 100, 150),
+            Err(ValidityError::InvertedWindow)
+        );
     }
 
     #[test]
@@ -177,7 +185,12 @@ mod tests {
 
     #[test]
     fn ymd_round_trips() {
-        for ts in ["20231201050000", "20231118040000", "19700101000000", "20240229120000"] {
+        for ts in [
+            "20231201050000",
+            "20231118040000",
+            "19700101000000",
+            "20240229120000",
+        ] {
             let t = timestamp_from_ymd(ts).unwrap();
             assert_eq!(timestamp_to_ymd(t), ts);
         }

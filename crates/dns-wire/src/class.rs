@@ -85,7 +85,13 @@ mod tests {
 
     #[test]
     fn mnemonic_round_trip() {
-        for c in [Class::In, Class::Ch, Class::Hs, Class::Any, Class::Other(17)] {
+        for c in [
+            Class::In,
+            Class::Ch,
+            Class::Hs,
+            Class::Any,
+            Class::Other(17),
+        ] {
             assert_eq!(Class::parse(&c.mnemonic()), Some(c));
         }
         assert_eq!(Class::parse("in"), Some(Class::In));

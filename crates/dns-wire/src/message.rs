@@ -416,7 +416,10 @@ mod tests {
 
     #[test]
     fn chaos_question_round_trip() {
-        let q = Message::query(7, Question::chaos_txt(Name::parse("hostname.bind.").unwrap()));
+        let q = Message::query(
+            7,
+            Question::chaos_txt(Name::parse("hostname.bind.").unwrap()),
+        );
         let back = Message::from_wire(&q.to_wire()).unwrap();
         assert_eq!(back.questions[0].class, Class::Ch);
         assert_eq!(back.questions[0].rr_type, RrType::Txt);

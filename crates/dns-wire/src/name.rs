@@ -234,10 +234,7 @@ impl Name {
 }
 
 fn eq_label(a: &[u8], b: &[u8]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
 fn cmp_label(a: &[u8], b: &[u8]) -> Ordering {
@@ -340,7 +337,13 @@ mod tests {
 
     #[test]
     fn parse_and_display_round_trip() {
-        for s in [".", "com.", "example.com.", "b.root-servers.net.", "hostname.bind."] {
+        for s in [
+            ".",
+            "com.",
+            "example.com.",
+            "b.root-servers.net.",
+            "hostname.bind.",
+        ] {
             let n = Name::parse(s).unwrap();
             assert_eq!(n.to_string(), s);
         }
@@ -348,7 +351,10 @@ mod tests {
 
     #[test]
     fn trailing_dot_optional() {
-        assert_eq!(Name::parse("example.com").unwrap(), Name::parse("example.com.").unwrap());
+        assert_eq!(
+            Name::parse("example.com").unwrap(),
+            Name::parse("example.com.").unwrap()
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub fn rdata_to_text(rdata: &Rdata, rr_type: RrType) -> String {
             "{} {} {} {} {} {} {}",
             s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
         ),
-        Rdata::Mx { preference, exchange } => format!("{preference} {exchange}"),
+        Rdata::Mx {
+            preference,
+            exchange,
+        } => format!("{preference} {exchange}"),
         Rdata::Txt(strings) => strings
             .iter()
             .map(|s| format!("\"{}\"", escape_txt(s)))
@@ -177,11 +180,10 @@ fn tokenize(line: &str) -> Vec<String> {
         match c {
             '"' => {
                 in_quotes = !in_quotes;
-                // Preserve quoting by marking token boundaries precisely:
-                // a quoted token may be empty.
-                if !in_quotes {
-                    tokens.push(std::mem::take(&mut current));
-                } else if !current.is_empty() {
+                // A closing quote always ends a token (quoted tokens may
+                // be empty); an opening quote only flushes a pending
+                // unquoted token.
+                if !in_quotes || !current.is_empty() {
                     tokens.push(std::mem::take(&mut current));
                 }
             }
@@ -220,7 +222,9 @@ fn parse_rdata(rr_type: RrType, tokens: &[String]) -> Result<Rdata, ParseError> 
         RrType::A => {
             need(1)?;
             Ok(Rdata::A(
-                tokens[0].parse().map_err(|_| ParseError::BadField("A address"))?,
+                tokens[0]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("A address"))?,
             ))
         }
         RrType::Aaaa => {
@@ -249,7 +253,8 @@ fn parse_rdata(rr_type: RrType, tokens: &[String]) -> Result<Rdata, ParseError> 
                 preference: tokens[0]
                     .parse()
                     .map_err(|_| ParseError::BadField("MX preference"))?,
-                exchange: Name::parse(&tokens[1]).map_err(|_| ParseError::BadField("MX exchange"))?,
+                exchange: Name::parse(&tokens[1])
+                    .map_err(|_| ParseError::BadField("MX exchange"))?,
             })
         }
         RrType::Soa => {
@@ -269,15 +274,17 @@ fn parse_rdata(rr_type: RrType, tokens: &[String]) -> Result<Rdata, ParseError> 
         }
         RrType::Txt => {
             need(1)?;
-            Ok(Rdata::Txt(
-                tokens.iter().map(|t| unescape_txt(t)).collect(),
-            ))
+            Ok(Rdata::Txt(tokens.iter().map(|t| unescape_txt(t)).collect()))
         }
         RrType::Ds => {
             need(4)?;
             Ok(Rdata::Ds(Ds {
-                key_tag: tokens[0].parse().map_err(|_| ParseError::BadField("DS key tag"))?,
-                algorithm: tokens[1].parse().map_err(|_| ParseError::BadField("DS algorithm"))?,
+                key_tag: tokens[0]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("DS key tag"))?,
+                algorithm: tokens[1]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("DS algorithm"))?,
                 digest_type: tokens[2]
                     .parse()
                     .map_err(|_| ParseError::BadField("DS digest type"))?,
@@ -288,7 +295,9 @@ fn parse_rdata(rr_type: RrType, tokens: &[String]) -> Result<Rdata, ParseError> 
         RrType::Dnskey => {
             need(4)?;
             Ok(Rdata::Dnskey(Dnskey {
-                flags: tokens[0].parse().map_err(|_| ParseError::BadField("DNSKEY flags"))?,
+                flags: tokens[0]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("DNSKEY flags"))?,
                 protocol: tokens[1]
                     .parse()
                     .map_err(|_| ParseError::BadField("DNSKEY protocol"))?,
@@ -307,13 +316,18 @@ fn parse_rdata(rr_type: RrType, tokens: &[String]) -> Result<Rdata, ParseError> 
                 algorithm: tokens[1]
                     .parse()
                     .map_err(|_| ParseError::BadField("RRSIG algorithm"))?,
-                labels: tokens[2].parse().map_err(|_| ParseError::BadField("RRSIG labels"))?,
+                labels: tokens[2]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("RRSIG labels"))?,
                 original_ttl: tokens[3]
                     .parse()
                     .map_err(|_| ParseError::BadField("RRSIG original ttl"))?,
-                expiration: parse_time(&tokens[4]).ok_or(ParseError::BadField("RRSIG expiration"))?,
+                expiration: parse_time(&tokens[4])
+                    .ok_or(ParseError::BadField("RRSIG expiration"))?,
                 inception: parse_time(&tokens[5]).ok_or(ParseError::BadField("RRSIG inception"))?,
-                key_tag: tokens[6].parse().map_err(|_| ParseError::BadField("RRSIG key tag"))?,
+                key_tag: tokens[6]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("RRSIG key tag"))?,
                 signer_name: Name::parse(&tokens[7])
                     .map_err(|_| ParseError::BadField("RRSIG signer"))?,
                 signature: base64::decode(&tokens[8..].join(""))
@@ -333,8 +347,12 @@ fn parse_rdata(rr_type: RrType, tokens: &[String]) -> Result<Rdata, ParseError> 
         RrType::Zonemd => {
             need(4)?;
             Ok(Rdata::Zonemd(Zonemd {
-                serial: tokens[0].parse().map_err(|_| ParseError::BadField("ZONEMD serial"))?,
-                scheme: tokens[1].parse().map_err(|_| ParseError::BadField("ZONEMD scheme"))?,
+                serial: tokens[0]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("ZONEMD serial"))?,
+                scheme: tokens[1]
+                    .parse()
+                    .map_err(|_| ParseError::BadField("ZONEMD scheme"))?,
                 hash_algorithm: tokens[2]
                     .parse()
                     .map_err(|_| ParseError::BadField("ZONEMD hash alg"))?,

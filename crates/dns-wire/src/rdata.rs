@@ -138,7 +138,8 @@ pub struct Nsec {
 impl Nsec {
     /// Encode the type bitmap (RFC 4034 §4.1.2).
     pub fn type_bitmap_wire(&self) -> Vec<u8> {
-        let mut by_window: std::collections::BTreeMap<u8, [u8; 32]> = std::collections::BTreeMap::new();
+        let mut by_window: std::collections::BTreeMap<u8, [u8; 32]> =
+            std::collections::BTreeMap::new();
         for t in &self.types {
             let v = t.to_u16();
             let window = (v >> 8) as u8;
@@ -148,7 +149,11 @@ impl Nsec {
         }
         let mut out = Vec::new();
         for (window, map) in by_window {
-            let len = map.iter().rposition(|&b| b != 0).map(|p| p + 1).unwrap_or(0);
+            let len = map
+                .iter()
+                .rposition(|&b| b != 0)
+                .map(|p| p + 1)
+                .unwrap_or(0);
             if len == 0 {
                 continue;
             }
@@ -235,7 +240,10 @@ impl Rdata {
                 w.put_u32(soa.expire);
                 w.put_u32(soa.minimum);
             }
-            Rdata::Mx { preference, exchange } => {
+            Rdata::Mx {
+                preference,
+                exchange,
+            } => {
                 w.put_u16(*preference);
                 exchange.write_wire(w, canonical);
             }
@@ -521,7 +529,14 @@ mod tests {
     fn nsec_bitmap_round_trip() {
         round_trip(Rdata::Nsec(Nsec {
             next_domain: Name::parse("aaa.").unwrap(),
-            types: vec![RrType::Ns, RrType::Soa, RrType::Rrsig, RrType::Nsec, RrType::Dnskey, RrType::Zonemd],
+            types: vec![
+                RrType::Ns,
+                RrType::Soa,
+                RrType::Rrsig,
+                RrType::Nsec,
+                RrType::Dnskey,
+                RrType::Zonemd,
+            ],
         }));
     }
 
@@ -539,7 +554,10 @@ mod tests {
         assert_eq!(Nsec::parse_type_bitmap(&[0]), Err(WireError::BadRdata));
         assert_eq!(Nsec::parse_type_bitmap(&[0, 0]), Err(WireError::BadRdata));
         assert_eq!(Nsec::parse_type_bitmap(&[0, 33]), Err(WireError::BadRdata));
-        assert_eq!(Nsec::parse_type_bitmap(&[0, 2, 0xff]), Err(WireError::BadRdata));
+        assert_eq!(
+            Nsec::parse_type_bitmap(&[0, 2, 0xff]),
+            Err(WireError::BadRdata)
+        );
     }
 
     #[test]

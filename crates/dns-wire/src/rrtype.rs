@@ -110,7 +110,7 @@ impl RrType {
             other => other
                 .strip_prefix("TYPE")
                 .and_then(|n| n.parse().ok())
-                .map(|n| RrType::from_u16(n)),
+                .map(RrType::from_u16),
         }
     }
 

@@ -25,7 +25,9 @@ pub enum TcpFramingError {
 impl std::fmt::Display for TcpFramingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TcpFramingError::MessageTooLarge(n) => write!(f, "message of {n} bytes exceeds TCP limit"),
+            TcpFramingError::MessageTooLarge(n) => {
+                write!(f, "message of {n} bytes exceeds TCP limit")
+            }
             TcpFramingError::Truncated => write!(f, "truncated TCP stream"),
             TcpFramingError::Wire(e) => write!(f, "framed message malformed: {e}"),
         }
@@ -94,8 +96,7 @@ impl StreamReader {
         if self.buf.len() < 2 + len {
             return Ok(None);
         }
-        let msg =
-            Message::from_wire(&self.buf[2..2 + len]).map_err(TcpFramingError::Wire)?;
+        let msg = Message::from_wire(&self.buf[2..2 + len]).map_err(TcpFramingError::Wire)?;
         self.buf.drain(..2 + len);
         Ok(Some(msg))
     }

@@ -44,7 +44,11 @@ impl std::error::Error for AxfrError {}
 /// Serve `zone` as an AXFR message stream answering `query_id`.
 pub fn serve_axfr(zone: &Zone, query_id: u16, batch: usize) -> Result<Vec<Message>, AxfrError> {
     let soa_recs = zone.rrset(zone.origin(), RrType::Soa);
-    let soa = soa_recs.first().copied().ok_or(AxfrError::MissingLeadingSoa)?.clone();
+    let soa = soa_recs
+        .first()
+        .copied()
+        .ok_or(AxfrError::MissingLeadingSoa)?
+        .clone();
     let mut sequence: Vec<Record> = Vec::with_capacity(zone.len() + 1);
     sequence.push(soa.clone());
     for rec in zone.records() {
@@ -55,10 +59,7 @@ pub fn serve_axfr(zone: &Zone, query_id: u16, batch: usize) -> Result<Vec<Messag
     }
     sequence.push(soa);
 
-    let query = Message::query(
-        query_id,
-        Question::new(zone.origin().clone(), RrType::Axfr),
-    );
+    let query = Message::query(query_id, Question::new(zone.origin().clone(), RrType::Axfr));
     let batch = batch.max(1);
     let mut messages = Vec::new();
     for chunk in sequence.chunks(batch) {
@@ -137,8 +138,16 @@ mod tests {
     fn round_trip_preserves_zone() {
         let z = zone();
         let back = transfer(&z, 42).unwrap();
-        let a: Vec<_> = z.canonical_records().iter().map(|r| r.canonical_wire(None)).collect();
-        let b: Vec<_> = back.canonical_records().iter().map(|r| r.canonical_wire(None)).collect();
+        let a: Vec<_> = z
+            .canonical_records()
+            .iter()
+            .map(|r| r.canonical_wire(None))
+            .collect();
+        let b: Vec<_> = back
+            .canonical_records()
+            .iter()
+            .map(|r| r.canonical_wire(None))
+            .collect();
         assert_eq!(a, b);
         // Transferred zone still passes ZONEMD.
         assert_eq!(verify_zonemd(&back), Ok(()));
@@ -198,7 +207,10 @@ mod tests {
         let z = zone();
         let mut msgs = serve_axfr(&z, 1, DEFAULT_BATCH).unwrap();
         msgs[0].header.rcode = Rcode::Refused;
-        assert_eq!(assemble_axfr(&msgs, z.origin()), Err(AxfrError::ErrorRcode(5)));
+        assert_eq!(
+            assemble_axfr(&msgs, z.origin()),
+            Err(AxfrError::ErrorRcode(5))
+        );
     }
 
     #[test]

@@ -46,9 +46,7 @@ impl Channel {
     /// about a week — the paper observed 2023-09-21 on both.
     pub fn zonemd_first_visible(self) -> u32 {
         match self {
-            Channel::Czds | Channel::IanaWebsite => {
-                timestamp_from_ymd("20230921000000").unwrap()
-            }
+            Channel::Czds | Channel::IanaWebsite => timestamp_from_ymd("20230921000000").unwrap(),
             Channel::Axfr => crate::rollout::ZONEMD_PRIVATE_DATE,
         }
     }
@@ -179,13 +177,25 @@ mod tests {
         // On 2023-10-01, AXFR already shows the (private) record; so do the
         // file channels — but on 2023-09-15 only AXFR does.
         let t_sep15 = ts("20230915000000").unwrap();
-        assert_eq!(Channel::Axfr.phase_at(t_sep15), RolloutPhase::PrivateAlgorithm);
+        assert_eq!(
+            Channel::Axfr.phase_at(t_sep15),
+            RolloutPhase::PrivateAlgorithm
+        );
         assert_eq!(Channel::Czds.phase_at(t_sep15), RolloutPhase::NoRecord);
-        assert_eq!(Channel::IanaWebsite.phase_at(t_sep15), RolloutPhase::NoRecord);
+        assert_eq!(
+            Channel::IanaWebsite.phase_at(t_sep15),
+            RolloutPhase::NoRecord
+        );
         // 2023-12-06 21:00: IANA validates, CZDS not yet (daily lag).
         let t_dec6 = ts("20231206210000").unwrap();
-        assert_eq!(Channel::IanaWebsite.phase_at(t_dec6), RolloutPhase::Validating);
-        assert_eq!(Channel::Czds.phase_at(t_dec6), RolloutPhase::PrivateAlgorithm);
+        assert_eq!(
+            Channel::IanaWebsite.phase_at(t_dec6),
+            RolloutPhase::Validating
+        );
+        assert_eq!(
+            Channel::Czds.phase_at(t_dec6),
+            RolloutPhase::PrivateAlgorithm
+        );
     }
 
     #[test]

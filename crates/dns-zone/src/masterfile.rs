@@ -92,12 +92,14 @@ pub fn parse_master_file(text: &str, default_origin: &Name) -> Result<Zone, Mast
             continue;
         }
         if let Some(rest) = line.strip_prefix("$TTL") {
-            default_ttl = Some(rest.trim().parse().map_err(|_| {
-                MasterFileError::BadDirective {
-                    line_no,
-                    directive: line.to_string(),
-                }
-            })?);
+            default_ttl = Some(
+                rest.trim()
+                    .parse()
+                    .map_err(|_| MasterFileError::BadDirective {
+                        line_no,
+                        directive: line.to_string(),
+                    })?,
+            );
             continue;
         }
         if line.starts_with('$') {
@@ -108,9 +110,14 @@ pub fn parse_master_file(text: &str, default_origin: &Name) -> Result<Zone, Mast
         }
         // Normalize the line into "owner ttl [class] type rdata" so the
         // single-line parser can handle it.
-        let normalized =
-            normalize_line(line, pending_leading_ws, &origin, default_ttl, &mut last_owner)
-                .ok_or(MasterFileError::NoOrigin { line_no })?;
+        let normalized = normalize_line(
+            line,
+            pending_leading_ws,
+            &origin,
+            default_ttl,
+            &mut last_owner,
+        )
+        .ok_or(MasterFileError::NoOrigin { line_no })?;
         let rec = record_from_line(&normalized)
             .map_err(|err| MasterFileError::Record { line_no, err })?;
         zone.push(rec).map_err(MasterFileError::Zone)?;
@@ -226,7 +233,10 @@ $TTL 300
 www IN A 1.2.3.4
 ";
         let z = parse_master_file(text, &Name::parse("example.com.").unwrap()).unwrap();
-        assert_eq!(z.records()[0].name, Name::parse("www.example.com.").unwrap());
+        assert_eq!(
+            z.records()[0].name,
+            Name::parse("www.example.com.").unwrap()
+        );
         assert_eq!(z.records()[0].ttl, 300);
     }
 
@@ -240,7 +250,10 @@ www IN A 1.2.3.4
 ";
         let z = parse_master_file(text, &Name::parse("example.com.").unwrap()).unwrap();
         assert_eq!(z.len(), 2);
-        assert_eq!(z.records()[1].name, Name::parse("www.example.com.").unwrap());
+        assert_eq!(
+            z.records()[1].name,
+            Name::parse("www.example.com.").unwrap()
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! * From 2023-12-06 (20:30 UTC per the paper's IANA observations): the
 //!   record uses SHA-384 and validates.
 
-use dns_crypto::DigestAlg;
 #[cfg(test)]
 use dns_crypto::validity;
+use dns_crypto::DigestAlg;
 
 /// Unix timestamp of the private-algorithm ZONEMD introduction
 /// (2023-09-13T00:00:00Z).
@@ -57,13 +57,22 @@ mod tests {
 
     #[test]
     fn phase_boundaries() {
-        assert_eq!(RolloutPhase::at(ZONEMD_PRIVATE_DATE - 1), RolloutPhase::NoRecord);
-        assert_eq!(RolloutPhase::at(ZONEMD_PRIVATE_DATE), RolloutPhase::PrivateAlgorithm);
+        assert_eq!(
+            RolloutPhase::at(ZONEMD_PRIVATE_DATE - 1),
+            RolloutPhase::NoRecord
+        );
+        assert_eq!(
+            RolloutPhase::at(ZONEMD_PRIVATE_DATE),
+            RolloutPhase::PrivateAlgorithm
+        );
         assert_eq!(
             RolloutPhase::at(ZONEMD_VALIDATES_DATE - 1),
             RolloutPhase::PrivateAlgorithm
         );
-        assert_eq!(RolloutPhase::at(ZONEMD_VALIDATES_DATE), RolloutPhase::Validating);
+        assert_eq!(
+            RolloutPhase::at(ZONEMD_VALIDATES_DATE),
+            RolloutPhase::Validating
+        );
     }
 
     #[test]
@@ -85,6 +94,9 @@ mod tests {
             RolloutPhase::PrivateAlgorithm.digest_alg(),
             Some(DigestAlg::Private(240))
         );
-        assert_eq!(RolloutPhase::Validating.digest_alg(), Some(DigestAlg::Sha384));
+        assert_eq!(
+            RolloutPhase::Validating.digest_alg(),
+            Some(DigestAlg::Sha384)
+        );
     }
 }

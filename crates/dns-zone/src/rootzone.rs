@@ -27,8 +27,8 @@ pub const ROOT_LETTERS: [char; 13] = [
 /// looks right in examples; beyond these the generator synthesizes labels.
 const COMMON_TLDS: &[&str] = &[
     "com", "net", "org", "de", "uk", "nl", "jp", "br", "au", "za", "io", "info", "edu", "gov",
-    "fr", "it", "es", "se", "ch", "at", "pl", "cz", "ru", "cn", "in", "kr", "mx", "ar", "cl",
-    "nz", "sg", "hk", "id", "th", "世界", "ruhr", "world", "arpa", "biz", "name",
+    "fr", "it", "es", "se", "ch", "at", "pl", "cz", "ru", "cn", "in", "kr", "mx", "ar", "cl", "nz",
+    "sg", "hk", "id", "th", "世界", "ruhr", "world", "arpa", "biz", "name",
 ];
 
 /// Parameters for zone generation.
@@ -51,7 +51,7 @@ impl Default for RootZoneConfig {
         RootZoneConfig {
             serial: 2023070300,
             tld_count: 40,
-            inception: 1_688_342_400,            // 2023-07-03
+            inception: 1_688_342_400,               // 2023-07-03
             expiration: 1_688_342_400 + 14 * 86400, // two weeks, like real RRSIGs
             rollout: RolloutPhase::NoRecord,
         }
@@ -138,13 +138,8 @@ pub fn build_root_zone(cfg: &RootZoneConfig, keys: &ZoneKeys) -> Zone {
     if let Some(alg) = cfg.rollout.digest_alg() {
         let zmd = make_zonemd_record(&zone, alg, 86400).expect("zone is well formed");
         zone.push(zmd.clone()).unwrap();
-        let rrsig = crate::signer::sign_single_rrset(
-            &zone,
-            &[zmd],
-            keys,
-            cfg.inception,
-            cfg.expiration,
-        );
+        let rrsig =
+            crate::signer::sign_single_rrset(&zone, &[zmd], keys, cfg.inception, cfg.expiration);
         zone.push(rrsig).unwrap();
     }
     zone

@@ -77,9 +77,8 @@ pub struct SigningConfig {
 ///    by the ZSK (RFC 4034 §3.1.8.1 signed-data construction).
 pub fn sign_zone(zone: &mut Zone, keys: &ZoneKeys, cfg: &SigningConfig) {
     let origin = zone.origin().clone();
-    zone.records_mut().retain(|r| {
-        !matches!(r.rr_type, RrType::Dnskey | RrType::Nsec | RrType::Rrsig)
-    });
+    zone.records_mut()
+        .retain(|r| !matches!(r.rr_type, RrType::Dnskey | RrType::Nsec | RrType::Rrsig));
 
     let ksk_rec = keys.ksk_record(&origin, cfg.dnskey_ttl);
     let zsk_rec = keys.zsk_record(&origin, cfg.dnskey_ttl);
@@ -104,8 +103,7 @@ pub fn sign_zone(zone: &mut Zone, keys: &ZoneKeys, cfg: &SigningConfig) {
         // Glue (non-apex A/AAAA below delegations) is not signed in the real
         // root zone; we approximate by signing only apex RRsets and
         // delegation-point NSEC/DS sets, which matches what validators check.
-        let signable = owner == &origin
-            || matches!(rr_type, RrType::Nsec | RrType::Ds);
+        let signable = owner == &origin || matches!(rr_type, RrType::Nsec | RrType::Ds);
         if !signable {
             continue;
         }
@@ -307,10 +305,7 @@ mod tests {
             .filter(|r| r.rr_type == RrType::Nsec)
             .count();
         assert_eq!(nsec_count, 4);
-        assert!(z
-            .records()
-            .iter()
-            .any(|r| r.rr_type == RrType::Rrsig));
+        assert!(z.records().iter().any(|r| r.rr_type == RrType::Rrsig));
     }
 
     #[test]
@@ -341,7 +336,9 @@ mod tests {
             .records()
             .iter()
             .find_map(|r| match &r.rdata {
-                Rdata::Rrsig(s) if s.type_covered == RrType::Ns && r.name.is_root() => Some(s.clone()),
+                Rdata::Rrsig(s) if s.type_covered == RrType::Ns && r.name.is_root() => {
+                    Some(s.clone())
+                }
                 _ => None,
             })
             .expect("NS RRSIG present");
@@ -385,7 +382,9 @@ mod tests {
             .records()
             .iter()
             .find_map(|r| match &r.rdata {
-                Rdata::Rrsig(s) if s.type_covered == RrType::Ns && r.name.is_root() => Some(s.clone()),
+                Rdata::Rrsig(s) if s.type_covered == RrType::Ns && r.name.is_root() => {
+                    Some(s.clone())
+                }
                 _ => None,
             })
             .unwrap();

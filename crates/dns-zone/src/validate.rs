@@ -101,7 +101,9 @@ pub fn validate_zone(zone: &Zone, now: u32) -> ValidationReport {
 
     // Verify every RRSIG.
     for rec in zone.records() {
-        let Rdata::Rrsig(sig) = &rec.rdata else { continue };
+        let Rdata::Rrsig(sig) = &rec.rdata else {
+            continue;
+        };
         let owner = rec.name.to_string();
         match check_window(sig.inception, sig.expiration, now) {
             Ok(SignatureValidity::Valid) => {}
@@ -152,9 +154,7 @@ pub fn validate_zone(zone: &Zone, now: u32) -> ValidationReport {
     // ZONEMD: only a *mismatch* of a verifiable record is an integrity
     // issue; absence / private algorithm are roll-out states.
     match verify_zonemd(zone) {
-        Ok(())
-        | Err(ZonemdError::NoZonemd)
-        | Err(ZonemdError::UnsupportedAlgorithm) => {}
+        Ok(()) | Err(ZonemdError::NoZonemd) | Err(ZonemdError::UnsupportedAlgorithm) => {}
         Err(e) => issues.push(ValidationIssue::Zonemd(e)),
     }
 
@@ -173,7 +173,10 @@ pub fn validate_at_both(
     first_obs: u32,
     last_obs: u32,
 ) -> (ValidationReport, ValidationReport) {
-    (validate_zone(zone, first_obs), validate_zone(zone, last_obs))
+    (
+        validate_zone(zone, first_obs),
+        validate_zone(zone, last_obs),
+    )
 }
 
 /// Find the single-bit difference between two zones' presentation dumps, if

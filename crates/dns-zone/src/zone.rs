@@ -263,7 +263,7 @@ mod tests {
         .unwrap();
         let recs = z.canonical_records();
         assert_eq!(recs.len(), 3); // SOA + NS + com NS (dup removed)
-        // Root apex sorts before com.
+                                   // Root apex sorts before com.
         assert!(recs[0].name.is_root());
     }
 

@@ -64,7 +64,8 @@ fn excluded_from_digest(rec: &Record, zone: &Zone) -> bool {
 
 /// Compute the zone digest with `alg` over the SIMPLE scheme.
 pub fn compute_zonemd(zone: &Zone, alg: DigestAlg) -> Result<Vec<u8>, ZonemdError> {
-    zone.check().map_err(|e| ZonemdError::BadZone(e.to_string()))?;
+    zone.check()
+        .map_err(|e| ZonemdError::BadZone(e.to_string()))?;
     let mut input = Vec::new();
     for rec in zone.canonical_records() {
         if excluded_from_digest(rec, zone) {
@@ -111,7 +112,9 @@ pub fn verify_zonemd(zone: &Zone) -> Result<(), ZonemdError> {
     let mut any_supported = false;
     let mut mismatch = false;
     for rec in zonemds {
-        let Rdata::Zonemd(z) = &rec.rdata else { continue };
+        let Rdata::Zonemd(z) = &rec.rdata else {
+            continue;
+        };
         if z.serial != soa_serial {
             serial_mismatch = Some(z.serial);
             continue;

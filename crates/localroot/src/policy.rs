@@ -63,6 +63,9 @@ mod tests {
 
     #[test]
     fn strict_requires_zonemd() {
-        assert_eq!(ValidationPolicy::strict().zonemd, ZonemdRequirement::Required);
+        assert_eq!(
+            ValidationPolicy::strict().zonemd,
+            ZonemdRequirement::Required
+        );
     }
 }

@@ -34,10 +34,7 @@ impl UpstreamSet {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RefreshError {
     /// Every upstream was tried; none produced an acceptable copy.
-    AllUpstreamsFailed {
-        attempts: u32,
-        last_reason: String,
-    },
+    AllUpstreamsFailed { attempts: u32, last_reason: String },
     /// No upstreams configured.
     NoUpstreams,
 }
@@ -115,15 +112,18 @@ impl LocalRoot {
 
     /// One refresh cycle at wall-clock `now`:
     /// poll SOA; transfer if stale; validate; fall back across upstreams.
-    pub fn refresh(&mut self, upstreams: &UpstreamSet, now: u32) -> Result<RefreshOutcome, RefreshError> {
+    pub fn refresh(
+        &mut self,
+        upstreams: &UpstreamSet,
+        now: u32,
+    ) -> Result<RefreshOutcome, RefreshError> {
         if upstreams.is_empty() {
             return Err(RefreshError::NoUpstreams);
         }
         // SOA poll against the first upstream in rotation.
         self.metrics.soa_polls += 1;
         let poll_idx = self.next_upstream % upstreams.len();
-        let upstream_serial =
-            poll_serial(&upstreams.servers[poll_idx].1).unwrap_or(u32::MAX);
+        let upstream_serial = poll_serial(&upstreams.servers[poll_idx].1).unwrap_or(u32::MAX);
         if let Some(cur) = self.current_serial() {
             if cur >= upstream_serial && self.is_serving(now) {
                 return Ok(RefreshOutcome::AlreadyCurrent { serial: cur });
@@ -189,7 +189,11 @@ impl LocalRoot {
             .collect();
         if records.is_empty() {
             let exists = zone.records().iter().any(|r| r.name == q.name);
-            let rcode = if exists { Rcode::NoError } else { Rcode::NxDomain };
+            let rcode = if exists {
+                Rcode::NoError
+            } else {
+                Rcode::NxDomain
+            };
             return Message::response_to(query, rcode, Vec::new());
         }
         Message::response_to(query, Rcode::NoError, records)
@@ -239,16 +243,17 @@ fn attempt_transfer(
     now: u32,
     policy: &ValidationPolicy,
 ) -> Result<Zone, TransferRejected> {
-    let messages = server.serve_transfer(0x4242).map_err(|e| TransferRejected {
-        message: format!("transfer failed: {e}"),
-        protocol_level: true,
-    })?;
-    let zone = dns_zone::axfr::assemble_axfr(&messages, &Name::root()).map_err(|e| {
-        TransferRejected {
+    let messages = server
+        .serve_transfer(0x4242)
+        .map_err(|e| TransferRejected {
+            message: format!("transfer failed: {e}"),
+            protocol_level: true,
+        })?;
+    let zone =
+        dns_zone::axfr::assemble_axfr(&messages, &Name::root()).map_err(|e| TransferRejected {
             message: format!("reassembly failed: {e}"),
             protocol_level: true,
-        }
-    })?;
+        })?;
     // ZONEMD per policy.
     match verify_zonemd(&zone) {
         Ok(()) => {}
@@ -323,7 +328,13 @@ mod tests {
     fn first_refresh_populates_copy() {
         let mut lr = LocalRoot::new(ValidationPolicy::default());
         let out = lr.refresh(&healthy_set(), T0 + 60).unwrap();
-        assert!(matches!(out, RefreshOutcome::Updated { serial: 2023120600, .. }));
+        assert!(matches!(
+            out,
+            RefreshOutcome::Updated {
+                serial: 2023120600,
+                ..
+            }
+        ));
         assert!(lr.is_serving(T0 + 60));
         assert_eq!(lr.metrics.transfers_accepted, 1);
     }
@@ -388,7 +399,13 @@ mod tests {
         };
         let mut lr = LocalRoot::new(ValidationPolicy::default());
         let out = lr.refresh(&ups, T0 + 60).unwrap();
-        assert!(matches!(out, RefreshOutcome::Updated { from_upstream: 1, .. }));
+        assert!(matches!(
+            out,
+            RefreshOutcome::Updated {
+                from_upstream: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -402,7 +419,10 @@ mod tests {
         };
         let mut lr = LocalRoot::new(ValidationPolicy::default());
         let err = lr.refresh(&ups, T0 + 60).unwrap_err();
-        assert!(matches!(err, RefreshError::AllUpstreamsFailed { attempts: 2, .. }));
+        assert!(matches!(
+            err,
+            RefreshError::AllUpstreamsFailed { attempts: 2, .. }
+        ));
         // Queries are refused: fail closed.
         let q = Message::query(1, Question::new(Name::root(), RrType::Soa));
         let resp = lr.answer(&q, T0 + 60);
@@ -466,7 +486,13 @@ mod tests {
             servers: vec![server(RootLetter::A, fresh_zone(2023120700))],
         };
         let out = lr.refresh(&new_set, T0 + 600).unwrap();
-        assert!(matches!(out, RefreshOutcome::Updated { serial: 2023120700, .. }));
+        assert!(matches!(
+            out,
+            RefreshOutcome::Updated {
+                serial: 2023120700,
+                ..
+            }
+        ));
     }
 
     #[test]

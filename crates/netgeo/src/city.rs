@@ -34,7 +34,10 @@ macro_rules! city {
             iata: $iata,
             country: $cc,
             region: Region::$region,
-            coord: Coord { lat: $lat, lon: $lon },
+            coord: Coord {
+                lat: $lat,
+                lon: $lon,
+            },
         }
     };
 }
@@ -81,7 +84,7 @@ pub const CITIES: &[City] = &[
     city!("kaohsiung", "khh", "tw", Asia, 22.63, 120.30),
     city!("karachi", "khi", "pk", Asia, 24.86, 67.01),
     city!("kathmandu", "ktm", "np", Asia, 27.72, 85.32),
-    city!("kualalumpur", "kul", "my", Asia, 3.14, 101.69),
+    city!("kualalumpur", "kul", "my", Asia, 3.139, 101.69),
     city!("manila", "mnl", "ph", Asia, 14.60, 120.98),
     city!("mumbai", "bom", "in", Asia, 19.08, 72.88),
     city!("osaka", "kix", "jp", Asia, 34.69, 135.50),

@@ -83,7 +83,10 @@ mod tests {
         let a = Coord::new(0.0, 0.0);
         let b = Coord::new(0.0, 180.0);
         let d = haversine_km(a, b);
-        assert!(approx(d, std::f64::consts::PI * EARTH_RADIUS_KM, 1.0), "got {d}");
+        assert!(
+            approx(d, std::f64::consts::PI * EARTH_RADIUS_KM, 1.0),
+            "got {d}"
+        );
     }
 
     #[test]

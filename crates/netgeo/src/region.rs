@@ -52,7 +52,11 @@ impl Region {
 
     /// Parse from the table names (case-insensitive, spaces optional).
     pub fn parse(s: &str) -> Option<Region> {
-        let canon: String = s.chars().filter(|c| !c.is_whitespace()).collect::<String>().to_ascii_lowercase();
+        let canon: String = s
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect::<String>()
+            .to_ascii_lowercase();
         match canon.as_str() {
             "africa" => Some(Region::Africa),
             "asia" => Some(Region::Asia),

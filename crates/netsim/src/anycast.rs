@@ -142,7 +142,9 @@ impl FacilityTable {
 
     /// Facilities in `region`.
     pub fn in_region(&self, region: Region) -> impl Iterator<Item = &Facility> {
-        self.facilities.iter().filter(move |f| f.city.region == region)
+        self.facilities
+            .iter()
+            .filter(move |f| f.city.region == region)
     }
 }
 

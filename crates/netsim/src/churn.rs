@@ -139,14 +139,13 @@ impl ChurnModel {
                 if !upstream_pool.is_empty()
                     && rng.chance((self.upstream_flip_prob * multiplier).min(1.0))
                 {
-                    state.upstream_override = if state.upstream_override.is_some()
-                        && rng.chance(0.5)
-                    {
-                        // Half the upstream events restore the local best.
-                        None
-                    } else {
-                        Some(*rng.pick(upstream_pool))
-                    };
+                    state.upstream_override =
+                        if state.upstream_override.is_some() && rng.chance(0.5) {
+                            // Half the upstream events restore the local best.
+                            None
+                        } else {
+                            Some(*rng.pick(upstream_pool))
+                        };
                 }
                 if near.len() > 1 {
                     let p = (self.base_flip_prob
@@ -207,7 +206,13 @@ mod tests {
                 instance_stem: format!("s{i}"),
             });
         }
-        (t, Deployment { name: "d".into(), sites })
+        (
+            t,
+            Deployment {
+                name: "d".into(),
+                sites,
+            },
+        )
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl CandidateRoute {
 
     /// Selection key: smaller is better (class, length, IGP-ish distance
     /// in 200 km buckets, deterministic tie-break over via/site).
-    fn rank(&self) -> (LearnedFrom, usize, u32, u32, u32) {
+    fn rank(&self) -> RouteRank {
         (
             self.learned_from,
             self.path.len(),
@@ -61,6 +61,10 @@ impl CandidateRoute {
         )
     }
 }
+
+/// [`CandidateRoute::rank`]'s ordering key: (class, path length, distance
+/// bucket, via tie-break, site tie-break).
+type RouteRank = (LearnedFrom, usize, u32, u32, u32);
 
 /// Routing outcome for one destination in one family.
 #[derive(Debug, Clone)]
@@ -124,7 +128,7 @@ pub fn propagate(topology: &Topology, deployment: &Deployment, family: Family) -
     let mut heard: Vec<Vec<CandidateRoute>> = vec![Vec::new(); n];
     // Best rank already exported by each AS; export happens at most once per
     // improvement, which bounds work like Dijkstra.
-    let mut best_rank: Vec<Option<(LearnedFrom, usize, u32, u32, u32)>> = vec![None; n];
+    let mut best_rank: Vec<Option<RouteRank>> = vec![None; n];
     let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
 
     // Seed with origins.

@@ -7,9 +7,9 @@
 //! asymmetries (§6).
 
 use crate::anycast::FacilityTable;
+use crate::rng::SimRng;
 use crate::routing::CandidateRoute;
 use crate::topology::Topology;
-use crate::rng::SimRng;
 use netgeo::{fiber_rtt_ms, Coord};
 
 /// RTT model parameters.
@@ -83,7 +83,11 @@ mod tests {
     fn world() -> (Topology, FacilityTable) {
         let t = Topology::generate(&TopologyConfig::default());
         let mut f = FacilityTable::new();
-        f.add(CityDb::by_name("frankfurt").unwrap(), 0, t.stubs_in(Region::Europe)[0]);
+        f.add(
+            CityDb::by_name("frankfurt").unwrap(),
+            0,
+            t.stubs_in(Region::Europe)[0],
+        );
         (t, f)
     }
 
@@ -125,10 +129,8 @@ mod tests {
             path: vec![origin],
             km: 0,
         };
-        let rtt_from_fra =
-            model.base_rtt_ms(&t, &f, fra, &direct, crate::anycast::FacilityId(0));
-        let rtt_from_syd =
-            model.base_rtt_ms(&t, &f, syd, &direct, crate::anycast::FacilityId(0));
+        let rtt_from_fra = model.base_rtt_ms(&t, &f, fra, &direct, crate::anycast::FacilityId(0));
+        let rtt_from_syd = model.base_rtt_ms(&t, &f, syd, &direct, crate::anycast::FacilityId(0));
         assert!(rtt_from_syd > rtt_from_fra + 100.0);
     }
 

@@ -119,11 +119,11 @@ impl Topology {
         let mut adj: Vec<Vec<Link>> = Vec::new();
 
         let add_node = |nodes: &mut Vec<AsNode>,
-                            adj: &mut Vec<Vec<Link>>,
-                            name: String,
-                            tier: Tier,
-                            city: &'static City,
-                            has_v6: bool|
+                        adj: &mut Vec<Vec<Link>>,
+                        name: String,
+                        tier: Tier,
+                        city: &'static City,
+                        has_v6: bool|
          -> AsId {
             let id = AsId(nodes.len() as u32);
             nodes.push(AsNode {
@@ -202,7 +202,14 @@ impl Topology {
                     link(&mut adj, id, p, Relation::Provider, true, true);
                 }
                 if region == Region::SouthAmerica {
-                    ensure_link(&mut adj, id, transit_backbone, Relation::Provider, true, false);
+                    ensure_link(
+                        &mut adj,
+                        id,
+                        transit_backbone,
+                        Relation::Provider,
+                        true,
+                        false,
+                    );
                 }
             }
             // Regional tier-2 peering (the "IXP" effect): dense in-region
@@ -258,14 +265,19 @@ impl Topology {
         // out-of-continent v6 routing effect. ---
         let candidates: Vec<AsId> = nodes
             .iter()
-            .filter(|n| {
-                n.has_v6 && n.id != open_peering_backbone && n.tier != Tier::Tier1
-            })
+            .filter(|n| n.has_v6 && n.id != open_peering_backbone && n.tier != Tier::Tier1)
             .map(|n| n.id)
             .collect();
         for id in candidates {
             if rng.chance(cfg.open_v6_peering_fraction) {
-                ensure_link(&mut adj, id, open_peering_backbone, Relation::Peer, false, true);
+                ensure_link(
+                    &mut adj,
+                    id,
+                    open_peering_backbone,
+                    Relation::Peer,
+                    false,
+                    true,
+                );
             }
         }
 
@@ -323,13 +335,7 @@ impl Topology {
 
     /// Add an AS after generation (used by `rss` to host root sites at
     /// facilities whose operator AS is not part of the base graph).
-    pub fn add_as(
-        &mut self,
-        name: String,
-        tier: Tier,
-        city: &'static City,
-        has_v6: bool,
-    ) -> AsId {
+    pub fn add_as(&mut self, name: String, tier: Tier, city: &'static City, has_v6: bool) -> AsId {
         let id = AsId(self.nodes.len() as u32);
         self.nodes.push(AsNode {
             id,
@@ -425,9 +431,8 @@ mod tests {
     fn expected_node_counts() {
         let cfg = TopologyConfig::default();
         let t = Topology::generate(&cfg);
-        let expected = cfg.tier1_count
-            + 6 * cfg.tier2_per_region
-            + cfg.stubs_per_region.iter().sum::<usize>();
+        let expected =
+            cfg.tier1_count + 6 * cfg.tier2_per_region + cfg.stubs_per_region.iter().sum::<usize>();
         assert_eq!(t.len(), expected);
     }
 

@@ -145,7 +145,14 @@ mod tests {
     fn ends_with_destination() {
         let (t, f, route) = setup();
         let mut rng = SimRng::new(1);
-        let tr = trace(&t, &f, &route, FacilityId(0), &TracerouteConfig::default(), &mut rng);
+        let tr = trace(
+            &t,
+            &f,
+            &route,
+            FacilityId(0),
+            &TracerouteConfig::default(),
+            &mut rng,
+        );
         assert_eq!(tr.hops.last(), Some(&Hop::Destination));
     }
 
@@ -158,7 +165,10 @@ mod tests {
         };
         let mut rng = SimRng::new(2);
         let tr = trace(&t, &f, &route, FacilityId(0), &cfg, &mut rng);
-        assert_eq!(tr.second_to_last_hop(), Some(f.get(FacilityId(0)).edge_router()));
+        assert_eq!(
+            tr.second_to_last_hop(),
+            Some(f.get(FacilityId(0)).edge_router())
+        );
     }
 
     #[test]

@@ -9,12 +9,12 @@ use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = TopologyConfig> {
     (
-        3usize..10,          // tier1
-        2usize..6,           // tier2 per region
-        2usize..12,          // stub scale
-        0.0f64..0.5,         // v4-only fraction
-        0.0f64..0.6,         // open v6 peering
-        any::<u64>(),        // seed
+        3usize..10,   // tier1
+        2usize..6,    // tier2 per region
+        2usize..12,   // stub scale
+        0.0f64..0.5,  // v4-only fraction
+        0.0f64..0.6,  // open v6 peering
+        any::<u64>(), // seed
     )
         .prop_map(|(t1, t2, stubs, v4only, openv6, seed)| TopologyConfig {
             tier1_count: t1,

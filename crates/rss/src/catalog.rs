@@ -231,11 +231,11 @@ impl RootCatalog {
 
         // Pre-create facility host ASes lazily, keyed by (city, index).
         let get_facility = |topology: &mut Topology,
-                                facilities: &mut FacilityTable,
-                                facility_host: &mut Vec<AsId>,
-                                rng: &mut SimRng,
-                                city: &'static City,
-                                index: u8|
+                            facilities: &mut FacilityTable,
+                            facility_host: &mut Vec<AsId>,
+                            rng: &mut SimRng,
+                            city: &'static City,
+                            index: u8|
          -> FacilityId {
             if let Some(id) = facilities.find(city, index) {
                 return id;
@@ -251,9 +251,7 @@ impl RootCatalog {
             let regional: Vec<AsId> = topology
                 .nodes()
                 .iter()
-                .filter(|n| {
-                    n.tier == Tier::Tier2 && n.region == city.region && n.id != host
-                })
+                .filter(|n| n.tier == Tier::Tier2 && n.region == city.region && n.id != host)
                 .map(|n| n.id)
                 .collect();
             if !regional.is_empty() {
@@ -356,9 +354,7 @@ impl RootCatalog {
                             .nodes()
                             .iter()
                             .filter(|n| {
-                                n.tier == Tier::Tier2
-                                    && n.region == city.region
-                                    && n.id != host_as
+                                n.tier == Tier::Tier2 && n.region == city.region && n.id != host_as
                             })
                             .map(|n| n.id)
                             .collect();
@@ -478,7 +474,12 @@ fn instance_identifier(letter: RootLetter, iata: &str, fac_index: u8, k: u32) ->
     match letter {
         RootLetter::B => format!("b{}-{}", fac_index + 1, iata),
         RootLetter::D => format!("{}{}.droot.maxgigapop.net", iata, k + 1),
-        RootLetter::F => format!("{}{}{}.f.root-servers.org", iata, fac_index + 1, (b'a' + (k % 3) as u8) as char),
+        RootLetter::F => format!(
+            "{}{}{}.f.root-servers.org",
+            iata,
+            fac_index + 1,
+            (b'a' + (k % 3) as u8) as char
+        ),
         RootLetter::G => format!("grootns-{}{}", iata, fac_index + 1),
         RootLetter::H => format!("{:03}.{}.h.root-servers.org", k + 1, iata),
         RootLetter::I => format!("s1.{}{}", iata, k + 1),
@@ -557,8 +558,10 @@ mod tests {
     fn facilities_are_shared_across_letters() {
         let (_, cat) = built();
         // Count letters per facility; some facility must host many.
-        let mut per_fac: std::collections::HashMap<FacilityId, std::collections::HashSet<RootLetter>> =
-            std::collections::HashMap::new();
+        let mut per_fac: std::collections::HashMap<
+            FacilityId,
+            std::collections::HashSet<RootLetter>,
+        > = std::collections::HashMap::new();
         for s in &cat.sites {
             per_fac.entry(s.facility).or_default().insert(s.letter);
         }
@@ -600,7 +603,9 @@ mod tests {
         let (_, cat) = built();
         let a_site = cat.sites_of(RootLetter::A).next().unwrap();
         let observed = format!("rootns-{}2", a_site.iata);
-        let hit = cat.map_identifier(RootLetter::A, &observed).expect("IATA fallback");
+        let hit = cat
+            .map_identifier(RootLetter::A, &observed)
+            .expect("IATA fallback");
         assert_eq!(hit.iata, a_site.iata);
     }
 

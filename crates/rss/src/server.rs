@@ -93,7 +93,11 @@ impl RootServer {
             Some(t) => Message::response_to(
                 query,
                 Rcode::NoError,
-                vec![Record::chaos(q.name.clone(), 0, Rdata::Txt(vec![t.into_bytes()]))],
+                vec![Record::chaos(
+                    q.name.clone(),
+                    0,
+                    Rdata::Txt(vec![t.into_bytes()]),
+                )],
             ),
             None => Message::response_to(query, Rcode::Refused, Vec::new()),
         }
@@ -160,13 +164,16 @@ impl RootServer {
         if records.is_empty() {
             // In-zone name? NOERROR/NODATA vs NXDOMAIN.
             let exists = zone.records().iter().any(|r| r.name == q.name);
-            let rcode = if exists || q.name.is_subdomain_of(zone.origin()) && q.name == *zone.origin() {
-                Rcode::NoError
-            } else if zone
-                .records()
-                .iter()
-                .any(|r| r.name.is_subdomain_of(&q.name))
-            {
+            // NOERROR when the name exists (NODATA), is the apex itself,
+            // or is an empty non-terminal above existing names; NXDOMAIN
+            // otherwise.
+            let noerror = exists
+                || (q.name.is_subdomain_of(zone.origin()) && q.name == *zone.origin())
+                || zone
+                    .records()
+                    .iter()
+                    .any(|r| r.name.is_subdomain_of(&q.name));
+            let rcode = if noerror {
                 Rcode::NoError
             } else {
                 Rcode::NxDomain
@@ -267,7 +274,14 @@ mod tests {
     fn ns_queries_answered() {
         let s = server(RootLetter::K);
         let root_ns = ask(&s, ".", RrType::Ns);
-        assert_eq!(root_ns.answers.iter().filter(|r| r.rr_type == RrType::Ns).count(), 13);
+        assert_eq!(
+            root_ns
+                .answers
+                .iter()
+                .filter(|r| r.rr_type == RrType::Ns)
+                .count(),
+            13
+        );
         let rsnet = ask(&s, "root-servers.net.", RrType::Ns);
         assert_eq!(rsnet.answers.len(), 13);
     }
@@ -286,13 +300,19 @@ mod tests {
     #[test]
     fn chaos_identity_queries() {
         let s = server(RootLetter::F);
-        let q = Message::query(3, Question::chaos_txt(Name::parse("hostname.bind.").unwrap()));
+        let q = Message::query(
+            3,
+            Question::chaos_txt(Name::parse("hostname.bind.").unwrap()),
+        );
         let resp = s.answer(&q, BRootPhase::Old);
         match &resp.answers[0].rdata {
             Rdata::Txt(t) => assert_eq!(t[0], b"fra1b"),
             other => panic!("unexpected {other:?}"),
         }
-        let q = Message::query(4, Question::chaos_txt(Name::parse("version.bind.").unwrap()));
+        let q = Message::query(
+            4,
+            Question::chaos_txt(Name::parse("version.bind.").unwrap()),
+        );
         let resp = s.answer(&q, BRootPhase::Old);
         assert_eq!(resp.header.rcode, Rcode::NoError);
     }
@@ -342,10 +362,7 @@ mod tests {
     fn nsid_echoed_when_requested() {
         use dns_wire::edns::{edns_of, set_edns, Edns};
         let s = server(RootLetter::K);
-        let mut q = Message::query(
-            1,
-            Question::new(Name::parse(".").unwrap(), RrType::Soa),
-        );
+        let mut q = Message::query(1, Question::new(Name::parse(".").unwrap(), RrType::Soa));
         set_edns(&mut q, &Edns::dnssec().with_nsid_request());
         let resp = s.answer(&q, BRootPhase::Old);
         let edns = edns_of(&resp).expect("response carries OPT");

@@ -224,7 +224,11 @@ fn emit_b_root(
         (mean_day * (1.0 - trickle), mean_day * trickle)
     } else if client.switched_at(day) {
         // Switched: bulk to new; primers touch old ~once a day (sampled).
-        let prime_mean = if client.primes { 1.0 / cfg.sampling } else { 0.0 };
+        let prime_mean = if client.primes {
+            1.0 / cfg.sampling
+        } else {
+            0.0
+        };
         (prime_mean, mean_day)
     } else {
         (mean_day, 0.0)
@@ -330,7 +334,10 @@ mod tests {
             let n = 20_000;
             let sum: u64 = (0..n).map(|_| poisson(&mut rng, mean) as u64).sum();
             let got = sum as f64 / n as f64;
-            assert!((got - mean).abs() < mean * 0.05 + 0.05, "mean {mean} got {got}");
+            assert!(
+                (got - mean).abs() < mean * 0.05 + 0.05,
+                "mean {mean} got {got}"
+            );
         }
         assert_eq!(poisson(&mut rng, 0.0), 0);
     }
@@ -420,8 +427,7 @@ mod tests {
         let cfg = small_isp();
         let flows = generate_flows(&cfg, &[ObservationWindow::isp_windows()[0]]);
         assert!(flows.iter().all(|f| f.hour.is_some()));
-        let hours: std::collections::HashSet<u8> =
-            flows.iter().filter_map(|f| f.hour).collect();
+        let hours: std::collections::HashSet<u8> = flows.iter().filter_map(|f| f.hour).collect();
         assert!(hours.len() >= 20);
     }
 

@@ -33,11 +33,20 @@ pub enum DatasetError {
     /// Schema newer than this reader understands.
     UnsupportedSchema(u32),
     /// The header kind does not match what the caller asked to read.
-    WrongKind { expected: String, found: String },
+    WrongKind {
+        expected: String,
+        found: String,
+    },
     /// A record line failed to parse.
-    BadRecord { line_no: u64, message: String },
+    BadRecord {
+        line_no: u64,
+        message: String,
+    },
     /// Fewer/more records than the header promised.
-    CountMismatch { expected: u64, found: u64 },
+    CountMismatch {
+        expected: u64,
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for DatasetError {

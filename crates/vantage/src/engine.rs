@@ -15,15 +15,15 @@
 
 use crate::population::{Population, PopulationConfig, VantagePoint, VpFault};
 use crate::records::{ProbeRecord, Target, TransferFault, TransferRecord};
-use crate::schedule::Schedule;
+use crate::schedule::{Round, Schedule};
 use dns_crypto::validity::timestamp_to_ymd;
 use dns_zone::rollout::RolloutPhase;
 use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
 use dns_zone::signer::ZoneKeys;
 use dns_zone::Zone;
-use netsim::anycast::SiteScope;
+use netsim::anycast::{SiteId, SiteScope};
 use netsim::churn::SelectionState;
-use netsim::routing::propagate;
+use netsim::routing::{propagate, CandidateRoute};
 use netsim::{ChurnModel, Family, RouteTable, RttModel, SimRng, Topology, TopologyConfig};
 use parking_lot::Mutex;
 use rss::catalog::{RootCatalog, WorldConfig};
@@ -143,7 +143,11 @@ impl World {
 
     /// Sites of `letter` that attract at least one AS in `family` — the
     /// pool an upstream path change can redirect a client to.
-    pub fn attracting_sites(&self, letter: RootLetter, family: Family) -> &[netsim::anycast::SiteId] {
+    pub fn attracting_sites(
+        &self,
+        letter: RootLetter,
+        family: Family,
+    ) -> &[netsim::anycast::SiteId] {
         &self.attracting[letter.index()][family.index()]
     }
 
@@ -306,13 +310,27 @@ impl<'w> MeasurementEngine<'w> {
     /// Run the full measurement, streaming into `sink`.
     pub fn run<S: MeasurementSink>(&self, sink: &mut S) {
         let vp_ids: Vec<u32> = (0..self.world.population.len() as u32).collect();
-        self.run_vps(&vp_ids, sink);
+        let rounds: Vec<Round> = self.config.schedule.rounds().collect();
+        self.run_vps(&vp_ids, &rounds, sink);
     }
 
     /// Run the measurement in parallel over VP ranges; returns the merged
     /// record set. Each worker owns a disjoint VP range, so results are
     /// identical to a serial run up to record order (grouped by range).
     pub fn run_parallel(&self, workers: usize) -> VecSink {
+        let rounds: Vec<Round> = self.config.schedule.rounds().collect();
+        self.run_rounds_parallel(&rounds, workers)
+    }
+
+    /// [`run_parallel`](Self::run_parallel) over an explicit round list.
+    /// Callers use this for focused re-measurement of specific rounds —
+    /// e.g. the core pipeline covering stale-site windows a subsampled
+    /// main schedule skipped. Per-probe randomness derives from
+    /// `(seed, vp, target, family, round time)` and is independent of
+    /// which other rounds run; only the churn selection state carries
+    /// across rounds, exactly as a real re-measurement campaign would
+    /// start from the routes in force when it began.
+    pub fn run_rounds_parallel(&self, rounds: &[Round], workers: usize) -> VecSink {
         let n = self.world.population.len() as u32;
         let workers = workers.clamp(1, (n as usize).max(1));
         let chunk = n.div_ceil(workers as u32);
@@ -328,7 +346,7 @@ impl<'w> MeasurementEngine<'w> {
                 scope.spawn(move |_| {
                     let ids: Vec<u32> = (lo..hi).collect();
                     let mut sink = VecSink::default();
-                    self.run_vps(&ids, &mut sink);
+                    self.run_vps(&ids, rounds, &mut sink);
                     results.lock().push((lo, sink));
                 });
             }
@@ -344,13 +362,12 @@ impl<'w> MeasurementEngine<'w> {
         merged
     }
 
-    /// Run the measurement for a subset of VPs.
-    fn run_vps<S: MeasurementSink>(&self, vp_ids: &[u32], sink: &mut S) {
+    /// Run the measurement for a subset of VPs over the given rounds.
+    fn run_vps<S: MeasurementSink>(&self, vp_ids: &[u32], rounds: &[Round], sink: &mut S) {
         let targets = Target::all();
         let root_rng = SimRng::new(self.world.seed()).derive("measurement");
         // Per-(vp, target, family) states for this subset.
         let mut states: HashMap<(u32, usize, usize), ProbeState> = HashMap::new();
-        let rounds: Vec<crate::schedule::Round> = self.config.schedule.rounds().collect();
         for round in rounds {
             for &vp_idx in vp_ids {
                 let vp = self.world.population.get(crate::population::VpId(vp_idx));
@@ -364,13 +381,17 @@ impl<'w> MeasurementEngine<'w> {
                             selection: self.config.churn.initial(),
                             rtt_cache: HashMap::new(),
                         });
-                        let mut rng = root_rng.derive(&format!(
-                            "probe/{}/{}/{}/{}",
-                            vp_idx,
-                            target.label(),
-                            family.index(),
-                            round.time
-                        ));
+                        // Integer-tuple stream derivation: the string
+                        // version of this key (`format!("probe/…")`)
+                        // allocated on every probe and dominated the
+                        // profile; `t_idx` is stable because
+                        // `Target::all()` is a fixed ordered list.
+                        let mut rng = root_rng.derive_ids(&[
+                            vp_idx as u64,
+                            t_idx as u64,
+                            family.index() as u64,
+                            round.time as u64,
+                        ]);
                         self.probe_once(vp, *target, family, round.time, state, &mut rng, sink);
                     }
                 }
@@ -409,13 +430,10 @@ impl<'w> MeasurementEngine<'w> {
             None => (None, None, None, None),
             Some(site_id) => {
                 // Selected candidate (for path geometry).
+                let cands = table.candidates(vp.asn);
                 let near = self.config.churn.near_equal(table, vp.asn);
-                let cand_idx = near
-                    .iter()
-                    .copied()
-                    .find(|&i| table.candidates(vp.asn)[i].site == site_id)
-                    .unwrap_or(0);
-                let cand = &table.candidates(vp.asn)[cand_idx];
+                let cand_idx = resolve_candidate(cands, &near, site_id);
+                let cand = &cands[cand_idx];
                 let deployment = world.catalog.deployment(target.letter);
                 let facility = deployment.site(site_id).facility;
                 let base = *state
@@ -513,11 +531,28 @@ impl<'w> MeasurementEngine<'w> {
         self.config
             .stale_windows
             .iter()
-            .find(|w| {
-                w.letter == letter && w.city == city && time >= w.from && time < w.until
-            })
+            .find(|w| w.letter == letter && w.city == city && time >= w.from && time < w.until)
             .map(|w| w.stuck_day)
     }
+}
+
+/// Resolve which candidate route carries this probe's traffic to `site`.
+///
+/// The churn model normally selects among the near-equal set, so the
+/// common case is a near-equal candidate serving `site`. But an upstream
+/// redirect can land the client on any attracting site of the deployment:
+/// first fall back to *any* candidate that serves it (path geometry must
+/// follow the route that actually reaches the site, not the local best —
+/// using index 0 here systematically under-reported RTT for redirected
+/// probes), and only when no candidate serves the site at all use the
+/// local best route, since the packets still leave via it even though
+/// they terminate elsewhere.
+fn resolve_candidate(cands: &[CandidateRoute], near: &[usize], site: SiteId) -> usize {
+    near.iter()
+        .copied()
+        .find(|&i| cands[i].site == site)
+        .or_else(|| cands.iter().position(|c| c.site == site))
+        .unwrap_or(0)
 }
 
 /// Per-deployment routing-stability multiplier, calibrated to the paper's
@@ -555,23 +590,29 @@ fn observed_identity(row: &rss::catalog::RootSite, _rng: &mut SimRng) -> Option<
         // j.root contributed 75 of the paper's 135 unmapped identifiers:
         // roughly a third of its instances report something that maps to
         // nothing. Site-id keyed, so the set of opaque instances is stable.
-        if row.letter == RootLetter::J && row.site_id.0 % 3 == 0 {
+        if row.letter == RootLetter::J && row.site_id.0.is_multiple_of(3) {
             return Some(format!("opaque-j{:04}", row.site_id.0));
         }
         // IATA code embedded in the node hostname, metro-granular.
-        return Some(format!("{}-{}{}", row.letter.ch(), row.iata, row.facility.0 % 4 + 1));
+        return Some(format!(
+            "{}-{}{}",
+            row.letter.ch(),
+            row.iata,
+            row.facility.0 % 4 + 1
+        ));
     }
     // Mappable operator, unmappable node: stable per site.
-    Some(format!(
-        "opaque-{}{:04}",
-        row.letter.ch(),
-        row.site_id.0
-    ))
+    Some(format!("opaque-{}{:04}", row.letter.ch(), row.site_id.0))
 }
 
 /// How many sites of each scope a letter exposes to a VP — used by coverage
 /// analyses and tests.
-pub fn reachable_scopes(world: &World, letter: RootLetter, family: Family, vp_asn: netsim::AsId) -> (usize, usize) {
+pub fn reachable_scopes(
+    world: &World,
+    letter: RootLetter,
+    family: Family,
+    vp_asn: netsim::AsId,
+) -> (usize, usize) {
     let table = world.routes(letter, family);
     let d = world.catalog.deployment(letter);
     let mut global = 0;
@@ -609,8 +650,7 @@ mod tests {
         assert!(!sink.probes.is_empty());
         assert!(!sink.transfers.is_empty());
         // Probes cover all 14 targets.
-        let targets: std::collections::HashSet<_> =
-            sink.probes.iter().map(|p| p.target).collect();
+        let targets: std::collections::HashSet<_> = sink.probes.iter().map(|p| p.target).collect();
         assert_eq!(targets.len(), 14);
     }
 
@@ -656,6 +696,92 @@ mod tests {
         a.sort_by_key(keyf);
         b.sort_by_key(keyf);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_identical_across_worker_counts() {
+        // Determinism golden test: the record set must be bit-identical
+        // for any worker count once sorted by the documented key
+        // (vp, time, target, family). Workers own disjoint VP ranges and
+        // all per-probe randomness derives from
+        // (seed, vp, target, family, round time), so worker count can
+        // only permute record order, never content.
+        let world = tiny_world();
+        let engine = MeasurementEngine::new(&world, short_config());
+        let probe_key = |p: &ProbeRecord| (p.vp, p.time, p.target, p.family);
+        let transfer_key = |t: &TransferRecord| (t.vp, t.time, t.target, t.family);
+        let normalized = |workers: usize| {
+            let mut sink = engine.run_parallel(workers);
+            sink.probes.sort_by_key(probe_key);
+            sink.transfers.sort_by_key(transfer_key);
+            (sink.probes, sink.transfers)
+        };
+        let base = normalized(1);
+        for workers in [2, 8] {
+            let run = normalized(workers);
+            assert_eq!(base.0, run.0, "probes differ at {workers} workers");
+            assert_eq!(base.1, run.1, "transfers differ at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn run_rounds_parallel_covers_exactly_given_rounds() {
+        let world = tiny_world();
+        let engine = MeasurementEngine::new(&world, short_config());
+        let rounds: Vec<Round> = engine.config.schedule.rounds().take(3).collect();
+        let sink = engine.run_rounds_parallel(&rounds, 2);
+        let times: std::collections::BTreeSet<u32> = sink.probes.iter().map(|p| p.time).collect();
+        let expected: std::collections::BTreeSet<u32> = rounds.iter().map(|r| r.time).collect();
+        assert_eq!(times, expected);
+    }
+
+    #[test]
+    fn resolve_candidate_prefers_serving_route() {
+        use netsim::types::LearnedFrom;
+        let mk = |site: u32, len: usize| CandidateRoute {
+            site: SiteId(site),
+            via: Some(netsim::AsId(100 + site)),
+            learned_from: LearnedFrom::Provider,
+            path: vec![netsim::AsId(1); len],
+            km: 1000,
+        };
+        let cands = vec![mk(10, 2), mk(11, 2), mk(12, 5)];
+        let near = vec![0, 1];
+        // Near-equal candidate serving the site wins.
+        assert_eq!(resolve_candidate(&cands, &near, SiteId(11)), 1);
+        // Upstream redirect to a site outside the near set must resolve
+        // to the candidate that actually serves it — the old fallback to
+        // index 0 mis-attributed the path geometry.
+        assert_eq!(resolve_candidate(&cands, &near, SiteId(12)), 2);
+        // Site no candidate serves: packets leave via the local best.
+        assert_eq!(resolve_candidate(&cands, &near, SiteId(99)), 0);
+    }
+
+    #[test]
+    fn redirected_probes_use_serving_candidate_geometry() {
+        // End-to-end shape of the bugfix: force an upstream override to a
+        // site the near-equal set does not serve and check the engine's
+        // resolution against the full candidate list for every VP.
+        let world = tiny_world();
+        let churn = ChurnModel::default();
+        for letter in [RootLetter::D, RootLetter::G] {
+            let table = world.routes(letter, Family::V4);
+            for vp in world.population.vps().iter().take(50) {
+                let cands = table.candidates(vp.asn);
+                let near = churn.near_equal(table, vp.asn);
+                for pool_site in world.attracting_sites(letter, Family::V4) {
+                    let idx = resolve_candidate(cands, &near, *pool_site);
+                    if let Some(serving) = cands.iter().position(|c| c.site == *pool_site) {
+                        assert_eq!(
+                            cands[idx].site, *pool_site,
+                            "candidate {serving} serves the redirect site but {idx} was picked"
+                        );
+                    } else {
+                        assert_eq!(idx, 0, "no serving candidate: fall back to best route");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod population;
 pub mod records;
 pub mod schedule;
 
-pub use engine::{MeasurementConfig, MeasurementEngine, MeasurementSink, VecSink, World, WorldBuildConfig};
+pub use engine::{
+    MeasurementConfig, MeasurementEngine, MeasurementSink, VecSink, World, WorldBuildConfig,
+};
 pub use population::{Population, PopulationConfig, VantagePoint, VpFault, VpId};
 pub use records::{ProbeRecord, Target, TransferFault, TransferRecord};
-pub use schedule::{Schedule, MEASUREMENT_END, MEASUREMENT_START};
+pub use schedule::{Round, Schedule, MEASUREMENT_END, MEASUREMENT_START};

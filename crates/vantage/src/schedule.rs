@@ -161,15 +161,30 @@ mod tests {
     fn intervals_match_figure2() {
         let s = Schedule::default();
         // Base period.
-        assert_eq!(s.interval_at(timestamp_from_ymd("20230801000000").unwrap()), 1800);
+        assert_eq!(
+            s.interval_at(timestamp_from_ymd("20230801000000").unwrap()),
+            1800
+        );
         // First burst window.
-        assert_eq!(s.interval_at(timestamp_from_ymd("20230915000000").unwrap()), 900);
+        assert_eq!(
+            s.interval_at(timestamp_from_ymd("20230915000000").unwrap()),
+            900
+        );
         // Between bursts.
-        assert_eq!(s.interval_at(timestamp_from_ymd("20231015000000").unwrap()), 1800);
+        assert_eq!(
+            s.interval_at(timestamp_from_ymd("20231015000000").unwrap()),
+            1800
+        );
         // Second burst window.
-        assert_eq!(s.interval_at(timestamp_from_ymd("20231125000000").unwrap()), 900);
+        assert_eq!(
+            s.interval_at(timestamp_from_ymd("20231125000000").unwrap()),
+            900
+        );
         // After second burst.
-        assert_eq!(s.interval_at(timestamp_from_ymd("20231210000000").unwrap()), 1800);
+        assert_eq!(
+            s.interval_at(timestamp_from_ymd("20231210000000").unwrap()),
+            1800
+        );
     }
 
     #[test]
@@ -210,10 +225,7 @@ mod tests {
     #[test]
     fn burst_rounds_are_denser() {
         let s = Schedule::default();
-        let in_burst = s
-            .rounds()
-            .filter(|r| r.interval == 900)
-            .count();
+        let in_burst = s.rounds().filter(|r| r.interval == 900).count();
         assert!(in_burst > 1000, "burst rounds: {in_burst}");
     }
 }

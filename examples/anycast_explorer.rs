@@ -20,7 +20,9 @@ fn main() {
 
     println!("building world (full deployment scale)...");
     let world = World::build(&WorldBuildConfig::default());
-    let vp = world.population.get(VpId(vp_index.min(world.population.len() as u32 - 1)));
+    let vp = world
+        .population
+        .get(VpId(vp_index.min(world.population.len() as u32 - 1)));
     println!(
         "VP {} in {} ({}, {})\n",
         vp.name,
@@ -56,17 +58,16 @@ fn main() {
                         rtt
                     );
                 }
-                None => println!(
-                    "{:11} | {:6} | unreachable",
-                    letter.label(),
-                    family.label()
-                ),
+                None => println!("{:11} | {:6} | unreachable", letter.label(), family.label()),
             }
         }
     }
 
     // Catchment summary: how many distinct sites actually attract VPs.
-    println!("\ncatchment summary over all {} VPs (IPv4):", world.population.len());
+    println!(
+        "\ncatchment summary over all {} VPs (IPv4):",
+        world.population.len()
+    );
     for letter in RootLetter::ALL {
         let table = world.routes(letter, Family::V4);
         let mut sites = std::collections::HashSet::new();

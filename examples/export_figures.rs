@@ -29,7 +29,7 @@ fn main() {
     fs::create_dir_all(out).expect("create output dir");
 
     eprintln!("running pipeline (tiny scale)...");
-    let p = Pipeline::run(Scale::Tiny);
+    let p = Pipeline::shared(Scale::Tiny);
     let mut written = Vec::new();
     let mut write = |name: &str, content: String| {
         let path = out.join(name);

@@ -95,7 +95,10 @@ fn main() {
         }
     }
 
-    println!("\nfinal state: serving={}", local.is_serving(T0 + 4 * DAY + 7200));
+    println!(
+        "\nfinal state: serving={}",
+        local.is_serving(T0 + 4 * DAY + 7200)
+    );
     println!("metrics: {}", local.metrics.render());
     println!(
         "\nday 2: the preferred letter's bit-flipped copy failed validation and the\n\

@@ -23,7 +23,7 @@ fn main() {
 
     eprintln!("running pipeline at {scale:?} scale (this does the full measurement once)...");
     let start = std::time::Instant::now();
-    let pipeline = Pipeline::run(scale);
+    let pipeline = Pipeline::shared(scale);
     eprintln!(
         "pipeline done in {:.1}s: {} probes, {} transfers",
         start.elapsed().as_secs_f64(),
@@ -32,10 +32,10 @@ fn main() {
     );
 
     if ids.is_empty() {
-        print!("{}", experiments::run_all(&pipeline));
+        print!("{}", experiments::run_all(pipeline));
     } else {
         for id in ids {
-            match experiments::run_one(&pipeline, id) {
+            match experiments::run_one(pipeline, id) {
                 Some(out) => println!("==== {id} ====\n{out}"),
                 None => eprintln!("unknown experiment id: {id}"),
             }

@@ -18,7 +18,7 @@ fn main() {
         "paper-scale footprint would be: {}",
         vantage::budget::Budget::estimate(&vantage::Schedule::default(), 675).render()
     );
-    let pipeline = Pipeline::run(Scale::Tiny);
+    let pipeline = Pipeline::shared(Scale::Tiny);
     println!(
         "world: {} ASes, {} VPs, {} root sites",
         pipeline.world.topology.len(),

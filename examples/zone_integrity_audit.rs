@@ -35,7 +35,10 @@ fn main() {
         zone.len()
     );
     let digest = compute_zonemd(&zone, DigestAlg::Sha384).unwrap();
-    println!("SHA-384 ZONEMD digest: {}", dns_crypto::hex::to_hex(&digest));
+    println!(
+        "SHA-384 ZONEMD digest: {}",
+        dns_crypto::hex::to_hex(&digest)
+    );
 
     println!("\n== 2. roll-out phases ==");
     for phase in [
@@ -70,14 +73,22 @@ fn main() {
         loc.bit, loc.byte, loc.record_index, loc.field
     );
     let report = validate_zone(&corrupted, inception + 3600);
-    println!("validation issues: {} (expect Bogus Signature + ZONEMD mismatch)", report.issues.len());
+    println!(
+        "validation issues: {} (expect Bogus Signature + ZONEMD mismatch)",
+        report.issues.len()
+    );
 
     // Stale zone (the Tokyo/Leeds d.root case).
     let stale_report = validate_zone(&zone, cfg.expiration + 86400);
     let expired = stale_report
         .issues
         .iter()
-        .filter(|i| matches!(i, dns_zone::validate::ValidationIssue::SignatureExpired { .. }))
+        .filter(|i| {
+            matches!(
+                i,
+                dns_zone::validate::ValidationIssue::SignatureExpired { .. }
+            )
+        })
         .count();
     println!("validating 15 days later: {expired} expired-signature findings");
 
@@ -90,7 +101,10 @@ fn main() {
         skew_report
             .issues
             .iter()
-            .filter(|i| matches!(i, dns_zone::validate::ValidationIssue::SignatureNotIncepted { .. }))
+            .filter(|i| matches!(
+                i,
+                dns_zone::validate::ValidationIssue::SignatureNotIncepted { .. }
+            ))
             .count()
     );
 

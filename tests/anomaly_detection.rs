@@ -4,11 +4,9 @@
 
 use analysis::anomaly::{LevelShiftDetector, SolVerdict, SpeedOfLightCheck};
 use roots_core::{Pipeline, Scale};
-use std::sync::OnceLock;
 
 fn pipeline() -> &'static Pipeline {
-    static P: OnceLock<Pipeline> = OnceLock::new();
-    P.get_or_init(|| Pipeline::run(Scale::Tiny))
+    Pipeline::shared(Scale::Tiny)
 }
 
 #[test]
@@ -95,9 +93,7 @@ fn injected_level_shift_detected_in_series() {
         .collect();
     assert!(probe_rtts.len() >= 32);
     let mut series = probe_rtts;
-    for _ in 0..16 {
-        series.push(1.0); // interceptor answers in 1 ms
-    }
+    series.extend(std::iter::repeat_n(1.0, 16)); // interceptor answers in 1 ms
     let detector = LevelShiftDetector {
         window: 8,
         shift_factor: 3.0,

@@ -9,11 +9,9 @@ use analysis::stability::StabilityResult;
 use analysis::zonemd_pipeline::validate_transfers;
 use netsim::Family;
 use roots_core::{experiments, Pipeline, Scale};
-use std::sync::OnceLock;
 
 fn pipeline() -> &'static Pipeline {
-    static P: OnceLock<Pipeline> = OnceLock::new();
-    P.get_or_init(|| Pipeline::run(Scale::Tiny))
+    Pipeline::shared(Scale::Tiny)
 }
 
 #[test]
@@ -125,10 +123,12 @@ fn table2_transfers_match_stream() {
     let table = validate_transfers(&p.world, &p.transfers);
     assert_eq!(table.total_transfers as usize, p.transfers.len());
     // Every failing class the engine injected appears.
-    let has_bitflip = p
-        .transfers
-        .iter()
-        .any(|t| matches!(t.fault, Some(vantage::records::TransferFault::Bitflip { .. })));
+    let has_bitflip = p.transfers.iter().any(|t| {
+        matches!(
+            t.fault,
+            Some(vantage::records::TransferFault::Bitflip { .. })
+        )
+    });
     if has_bitflip {
         assert!(table
             .rows

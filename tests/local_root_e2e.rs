@@ -81,7 +81,8 @@ fn opportunistic_policy_serves_through_all_phases() {
     for date in ["20230710000000", "20230920000000", "20231210000000"] {
         let now = dns_crypto::validity::timestamp_from_ymd(date).unwrap() + 7200;
         let ups = upstreams_for_day(&world, now);
-        lr.refresh(&ups, now).expect("opportunistic accepts all phases");
+        lr.refresh(&ups, now)
+            .expect("opportunistic accepts all phases");
         assert!(lr.is_serving(now), "{date}");
     }
 }
@@ -118,7 +119,14 @@ fn corrupted_primary_fallback_with_world_zones() {
     let mut lr = LocalRoot::new(ValidationPolicy::strict());
     lr.set_primary(0);
     let out = lr.refresh(&ups, now).expect("fallback succeeds");
-    assert!(matches!(out, RefreshOutcome::Updated { from_upstream: 1, attempts: 2, .. }));
+    assert!(matches!(
+        out,
+        RefreshOutcome::Updated {
+            from_upstream: 1,
+            attempts: 2,
+            ..
+        }
+    ));
     assert_eq!(lr.metrics.fallbacks, 1);
     // Delegations answered from the validated copy.
     assert!(lr.delegation("com", now).is_some());

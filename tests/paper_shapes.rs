@@ -54,7 +54,11 @@ fn shape_sec5_colocation_prevalent() {
         (0.5..=1.0).contains(&frac),
         "co-location fraction {frac} out of the paper's band"
     );
-    assert!(coloc.max_reduced() >= 5, "max reduced {}", coloc.max_reduced());
+    assert!(
+        coloc.max_reduced() >= 5,
+        "max reduced {}",
+        coloc.max_reduced()
+    );
 }
 
 #[test]

@@ -28,17 +28,20 @@ fn server() -> RootServer {
 
 /// The per-IP query set from the measurement script (Appendix F).
 fn script_queries() -> Vec<Question> {
-    let mut qs = Vec::new();
     // ZONEMD, NS ., NS root-servers.net, SOA.
-    qs.push(Question::new(Name::root(), RrType::Zonemd));
-    qs.push(Question::new(Name::root(), RrType::Ns));
-    qs.push(Question::new(
-        Name::parse("root-servers.net.").unwrap(),
-        RrType::Ns,
-    ));
-    qs.push(Question::new(Name::root(), RrType::Soa));
+    let mut qs = vec![
+        Question::new(Name::root(), RrType::Zonemd),
+        Question::new(Name::root(), RrType::Ns),
+        Question::new(Name::parse("root-servers.net.").unwrap(), RrType::Ns),
+        Question::new(Name::root(), RrType::Soa),
+    ];
     // CHAOS identity.
-    for name in ["hostname.bind.", "id.server.", "version.bind.", "version.server."] {
+    for name in [
+        "hostname.bind.",
+        "id.server.",
+        "version.bind.",
+        "version.server.",
+    ] {
         qs.push(Question::chaos_txt(Name::parse(name).unwrap()));
     }
     // A/AAAA/TXT for all 13 letters.

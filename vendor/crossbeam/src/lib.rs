@@ -1,0 +1,101 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::scope` with the 0.8 API (closures receive the
+//! scope handle, the result is a `thread::Result` carrying any worker
+//! panic payload) implemented over `std::thread::scope`, which has
+//! provided equivalent soundness guarantees since Rust 1.63.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// Result of a scoped run: `Err` carries the first worker panic payload.
+pub type ScopeResult<T> = thread::Result<T>;
+
+/// Scope handle passed to [`scope`] closures and to spawned workers.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker. As in crossbeam 0.8, the worker closure receives
+    /// the scope handle so it can spawn further workers.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Handle to a spawned scoped worker.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the worker, returning its result or panic payload.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned;
+/// all workers are joined before this returns. A worker panic is reported
+/// as `Err` (crossbeam semantics) instead of resuming the unwind.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// `crossbeam::thread` module alias, matching the upstream layout.
+pub mod thread_mod {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                let sums = &sums;
+                s.spawn(move |_| sums.lock().unwrap().push(chunk.iter().sum::<u64>()));
+            }
+        })
+        .expect("no worker panicked");
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+
+    #[test]
+    fn worker_panic_is_err_not_unwind() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let r = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the subset the workspace uses — `StdRng::seed_from_u64`,
+//! `Rng::gen_range`, `gen`, `gen_bool` — over a SplitMix64 core. Streams
+//! are deterministic per seed but do **not** match upstream `StdRng`
+//! (ChaCha12); nothing in the workspace pins upstream streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG trait (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types uniformly samplable from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`. Callers guarantee `lo < hi`.
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+    /// The successor of `v` (for inclusive upper bounds); None at type max.
+    fn successor(v: Self) -> Option<Self>;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                // Multiply-shift; bias is negligible for the simulation-sized
+                // spans used here (same approach as netsim::SimRng).
+                let r = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                lo + r
+            }
+            fn successor(v: Self) -> Option<Self> {
+                v.checked_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+    fn successor(v: Self) -> Option<Self> {
+        // Inclusive float ranges sample the half-open range; the endpoint
+        // has measure zero, matching upstream closely enough for tests.
+        Some(v)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        match T::successor(hi) {
+            Some(hi_open) => T::sample_half_open(rng, lo, hi_open),
+            None => T::sample_half_open(rng, lo, hi),
+        }
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" distribution
+/// (stand-in for `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn standard<G: RngCore + ?Sized>(rng: &mut G) -> Self;
+}
+
+impl Standard for u64 {
+    fn standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for f64 {
+    fn standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for bool {
+    fn standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Named RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic RNG (SplitMix64 core; see crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u8 = rng.gen_range(0..8u8);
+            assert!(w < 8);
+            let f: f64 = rng.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,299 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a small self-consistent serialization framework under serde's names:
+//! types serialize into a JSON-shaped [`Value`] tree and deserialize back
+//! out of one. `#[derive(Serialize, Deserialize)]` comes from the sibling
+//! `serde_derive` stand-in and follows upstream serde's data model for the
+//! shapes this workspace uses:
+//!
+//! * named-field structs → objects;
+//! * newtype structs → the inner value;
+//! * unit enum variants → `"Variant"` strings;
+//! * struct/newtype enum variants → `{"Variant": payload}` objects.
+//!
+//! Numbers are kept as their literal text ([`Value::Num`]) so `u64` values
+//! above 2^53 round-trip losslessly.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// A number, kept as its literal text (lossless for all of u64/i64/f64).
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Construct an error with `msg`.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+///
+/// The `'de` lifetime mirrors upstream serde's trait shape so bounds like
+/// `for<'de> Deserialize<'de>` written against real serde keep compiling.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild `Self` from `v`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(self.to_string())
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|e| {
+                        Error::custom(format!("invalid {}: {s:?} ({e})", stringify!($t)))
+                    }),
+                    other => Err(Error::custom(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // `{:?}` is Rust's shortest round-trip float formatting.
+                Value::Num(format!("{self:?}"))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|e| {
+                        Error::custom(format!("invalid {}: {s:?} ({e})", stringify!($t)))
+                    }),
+                    other => Err(Error::custom(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+/// Static strings deserialize by leaking the owned copy. This exists so
+/// `#[derive(Deserialize)]` on structs holding `&'static str` database
+/// references compiles; such structs are rebuilt rarely (if ever), so the
+/// leak is bounded and intentional.
+impl<'de> Deserialize<'de> for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+/// Helpers the derive macros expand to. Not part of the public API.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Fetch and deserialize object field `key`. Missing keys are an error
+    /// (matching upstream serde's derive for fields without `#[serde(default)]`),
+    /// except that `Option` fields tolerate absence because a missing key
+    /// deserializes from the injected `Null`.
+    pub fn obj_field<'de, T: Deserialize<'de>>(v: &Value, key: &str) -> Result<T, Error> {
+        let Value::Obj(entries) = v else {
+            return Err(Error::custom(format!("expected object, got {v:?}")));
+        };
+        match entries.iter().find(|(k, _)| k == key) {
+            Some((_, field)) => {
+                T::from_value(field).map_err(|e| Error::custom(format!("field {key:?}: {e}")))
+            }
+            None => T::from_value(&Value::Null)
+                .map_err(|_| Error::custom(format!("missing field {key:?}"))),
+        }
+    }
+
+    /// Split an enum value into `(variant_name, payload)`.
+    pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+        match v {
+            Value::Str(tag) => Ok((tag, None)),
+            Value::Obj(entries) if entries.len() == 1 => Ok((&entries[0].0, Some(&entries[0].1))),
+            other => Err(Error::custom(format!(
+                "expected enum (string or single-key object), got {other:?}"
+            ))),
+        }
+    }
+
+    /// Error for an unrecognized variant tag.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Error {
+        Error::custom(format!("unknown {ty} variant {tag:?}"))
+    }
+
+    /// Error for a variant that required a payload but got none.
+    pub fn missing_payload(ty: &str, tag: &str) -> Error {
+        Error::custom(format!("{ty}::{tag} requires a payload"))
+    }
+
+    /// Index into an array payload (tuple structs/variants).
+    pub fn arr_item<'de, T: Deserialize<'de>>(v: &Value, idx: usize) -> Result<T, Error> {
+        let Value::Arr(items) = v else {
+            return Err(Error::custom(format!("expected array, got {v:?}")));
+        };
+        let item = items
+            .get(idx)
+            .ok_or_else(|| Error::custom(format!("missing tuple element {idx}")))?;
+        T::from_value(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        let back: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(back, None);
+    }
+
+    #[test]
+    fn u64_precision_preserved() {
+        let big: u64 = u64::MAX - 1;
+        let back: u64 = Deserialize::from_value(&big.to_value()).unwrap();
+        assert_eq!(back, big);
+    }
+
+    #[test]
+    fn float_shortest_repr_round_trips() {
+        for f in [0.1f64, 1e300, -2.5, 123456.789] {
+            let back: f64 = Deserialize::from_value(&f.to_value()).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn missing_field_is_error_but_missing_option_is_none() {
+        let obj = Value::Obj(vec![("a".into(), Value::Num("1".into()))]);
+        assert!(__private::obj_field::<u32>(&obj, "b").is_err());
+        let opt: Option<u32> = __private::obj_field(&obj, "b").unwrap();
+        assert_eq!(opt, None);
+    }
+}
