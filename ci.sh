@@ -4,13 +4,30 @@
 #
 #   1. release build of every crate;
 #   2. full test suite;
-#   3. formatting check;
-#   4. clippy with warnings promoted to errors.
+#   3. examples build + smoke runs (tiny scale, temp output dirs);
+#   4. rustdoc with warnings promoted to errors;
+#   5. formatting check;
+#   6. clippy with warnings promoted to errors.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release --offline
 cargo test -q --offline
+
+cargo build --release --offline --examples
+figdir="$(mktemp -d)"
+trap 'rm -rf "$figdir"' EXIT
+cargo run -q --release --offline --example quickstart > /dev/null
+cargo run -q --release --offline --example paper_report -- tiny > /dev/null
+cargo run -q --release --offline --example zone_integrity_audit > /dev/null
+cargo run -q --release --offline --example local_root_daemon > /dev/null
+cargo run -q --release --offline --example anycast_explorer > /dev/null
+cargo run -q --release --offline --example broot_renumbering > /dev/null
+cargo run -q --release --offline --example export_figures -- "$figdir" > /dev/null
+cargo run -q --release --offline --example scenario_report > /dev/null
+
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet
+
 cargo fmt --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

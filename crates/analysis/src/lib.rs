@@ -16,12 +16,14 @@
 //! | [`clients`] | Figure 8 (unique client subnets vs flows/client) |
 //! | [`zonemd_pipeline`] | Table 2 + Figure 10 (validation errors, bitflips) |
 //! | [`stats`] | shared numeric helpers (eCDF, percentiles, violin stats) |
+//! | [`epochs`] | scenario before/during/after diffing (change events) |
 
 pub mod anomaly;
 pub mod clients;
 pub mod colocation;
 pub mod coverage;
 pub mod distance;
+pub mod epochs;
 pub mod export;
 pub mod paths;
 pub mod rtt;
@@ -33,6 +35,7 @@ pub mod zonemd_pipeline;
 pub use colocation::{ColocationResult, ReducedRedundancy};
 pub use coverage::{CoverageReport, CoverageRow};
 pub use distance::DistanceResult;
+pub use epochs::{EpochDiffReport, EpochStats};
 pub use rtt::RttByRegion;
 pub use stability::StabilityResult;
 pub use traffic::{BRootShift, TrafficSeries};

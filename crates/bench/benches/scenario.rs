@@ -1,0 +1,80 @@
+//! Scenario-engine microbenchmarks: the cost of applying and reverting
+//! change events against a built world (each outage/restore pays one
+//! letter routing recomputation; a link failure pays all thirteen), plus
+//! a full zero-round engine pass (pure apply/revert lifecycle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rss::RootLetter;
+use scenario::{catalog, EventKind, Scenario, ScenarioConfig, ScenarioEngine, ScenarioEvent};
+use std::hint::black_box;
+use vantage::{MeasurementConfig, Schedule, World, WorldBuildConfig, MEASUREMENT_START};
+
+fn bench_apply_revert(c: &mut Criterion) {
+    let mut world = World::build(&WorldBuildConfig::tiny());
+    let site = world.attracting_sites(RootLetter::D, netsim::Family::V4)[0];
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(20);
+    group.bench_function("outage_apply_revert", |b| {
+        b.iter(|| {
+            assert!(world.withdraw_site(RootLetter::D, site));
+            assert!(world.restore_site(RootLetter::D, site));
+            black_box(world.routing_hash(RootLetter::D))
+        })
+    });
+    let a = world.topology.nodes()[0].id;
+    let peer = world.topology.links(a)[0].to;
+    group.bench_function("link_failure_apply_revert", |b| {
+        b.iter(|| {
+            let prior = world.topology.disable_link(a, peer).unwrap();
+            world.recompute_all();
+            world.topology.set_link_carriage(a, peer, prior.0, prior.1);
+            world.recompute_all();
+            black_box(world.routing_hash(RootLetter::A))
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine_lifecycle(c: &mut Criterion) {
+    // A zero-round schedule isolates the engine's epoch bookkeeping:
+    // init holds, apply, revert, teardown — no probing.
+    let mut world = World::build(&WorldBuildConfig::tiny());
+    let site = world.attracting_sites(RootLetter::D, netsim::Family::V4)[0];
+    let scenario = Scenario::new(
+        "bench",
+        1,
+        vec![ScenarioEvent {
+            at: MEASUREMENT_START,
+            until: None,
+            kind: EventKind::SiteOutage {
+                letter: RootLetter::D,
+                site,
+            },
+        }],
+    )
+    .unwrap();
+    let engine = ScenarioEngine::new(ScenarioConfig {
+        base: MeasurementConfig {
+            schedule: Schedule {
+                start: MEASUREMENT_START,
+                end: MEASUREMENT_START,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        burst_half_width: 0,
+        workers: 1,
+    });
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(20);
+    group.bench_function("engine_zero_round_lifecycle", |b| {
+        b.iter(|| black_box(engine.run(&mut world, &scenario).epochs.len()))
+    });
+    group.bench_function("builtin_demo_timeline_build", |b| {
+        b.iter(|| black_box(catalog::outage_renumber_flap().events().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply_revert, bench_engine_lifecycle);
+criterion_main!(benches);

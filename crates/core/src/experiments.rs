@@ -166,7 +166,31 @@ pub fn registry() -> Vec<Experiment> {
             paper_ref: "§7: CZDS and IANA website validation timelines",
             run: sec7_channels,
         },
+        Experiment {
+            id: "scenario_demo",
+            paper_ref: "extension: epoch diffs under injected change events (scenario engine)",
+            run: |_| scenario_demo(),
+        },
     ]
+}
+
+/// The scenario-engine demo: the built-in outage → renumbering → flap
+/// timeline, rendered as per-epoch diff reports for the affected letters.
+/// Runs at `Tiny` scale regardless of the pipeline's scale — the section
+/// demonstrates the engine, not paper-scale numbers — and is memoized, so
+/// repeated registry runs pay for one scenario run.
+fn scenario_demo() -> String {
+    let p = crate::scenarios::ScenarioPipeline::shared_demo();
+    let mut out = format!(
+        "Scenario '{}': {} epochs\n",
+        p.run.scenario_name,
+        p.run.epochs.len()
+    );
+    for letter in [RootLetter::D, RootLetter::B, RootLetter::G] {
+        out.push_str(&p.report(letter).render());
+        out.push('\n');
+    }
+    out
 }
 
 fn sec7_channels(p: &Pipeline) -> String {

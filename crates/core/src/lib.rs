@@ -27,6 +27,8 @@
 pub mod experiments;
 pub mod pipeline;
 pub mod scale;
+pub mod scenarios;
 
 pub use pipeline::Pipeline;
 pub use scale::Scale;
+pub use scenarios::ScenarioPipeline;

@@ -1,0 +1,69 @@
+//! Scenario runs at pipeline scale: the change-event engine wired into the
+//! core facade.
+//!
+//! [`ScenarioPipeline`] is the scenario-driven sibling of
+//! [`Pipeline`](crate::Pipeline): it
+//! builds the same world for a [`Scale`], drives it through a
+//! [`scenario::Scenario`] with the [`scenario::ScenarioEngine`], and keeps
+//! the per-epoch record streams for diff reports.
+
+use crate::scale::Scale;
+use analysis::epochs::EpochDiffReport;
+use rss::RootLetter;
+use scenario::{epoch_diff, Scenario, ScenarioConfig, ScenarioEngine, ScenarioRun};
+use std::sync::OnceLock;
+use vantage::{MeasurementConfig, World};
+
+pub use scenario::catalog;
+
+/// A world driven through one scenario at a given scale.
+pub struct ScenarioPipeline {
+    pub scale: Scale,
+    pub world: World,
+    pub run: ScenarioRun,
+}
+
+impl ScenarioPipeline {
+    /// Build the scale's world and drive it through `scenario`.
+    pub fn run(scale: Scale, scenario: &Scenario) -> ScenarioPipeline {
+        let mut world = World::build(&scale.world());
+        let engine = ScenarioEngine::new(ScenarioConfig {
+            base: MeasurementConfig {
+                schedule: scale.schedule(),
+                ..Default::default()
+            },
+            workers: scale.workers(),
+            ..Default::default()
+        });
+        let run = engine.run(&mut world, scenario);
+        ScenarioPipeline { scale, world, run }
+    }
+
+    /// The built-in demo (outage → renumbering → flap burst) at `Tiny`
+    /// scale, built once per process.
+    pub fn shared_demo() -> &'static ScenarioPipeline {
+        static DEMO: OnceLock<ScenarioPipeline> = OnceLock::new();
+        DEMO.get_or_init(|| ScenarioPipeline::run(Scale::Tiny, &catalog::outage_renumber_flap()))
+    }
+
+    /// Per-epoch diff report for one letter.
+    pub fn report(&self, letter: RootLetter) -> EpochDiffReport {
+        epoch_diff(&self.run, letter, &self.world.population)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_pipeline_produces_epoch_reports() {
+        let p = ScenarioPipeline::shared_demo();
+        // outage window adds 2 cuts, renumbering 1, flap window 2 ⇒ 6 epochs.
+        assert_eq!(p.run.epochs.len(), 6);
+        let d = p.report(RootLetter::D);
+        assert_eq!(d.epochs.len(), 6);
+        let rendered = d.render();
+        assert!(rendered.contains("outage(d/0)"));
+    }
+}

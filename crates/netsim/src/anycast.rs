@@ -92,9 +92,20 @@ impl Deployment {
         self.sites_with_scope(SiteScope::Local).count()
     }
 
-    /// Site by id.
+    /// Site by id. Positional lookup when ids are dense (the common,
+    /// catalog-built case), falling back to a scan — deployments filtered
+    /// for route propagation (withdrawn sites) keep original ids with
+    /// holes in the positions.
     pub fn site(&self, id: SiteId) -> &Site {
-        &self.sites[id.0 as usize]
+        if let Some(s) = self.sites.get(id.0 as usize) {
+            if s.id == id {
+                return s;
+            }
+        }
+        self.sites
+            .iter()
+            .find(|s| s.id == id)
+            .expect("site id present in deployment")
     }
 }
 

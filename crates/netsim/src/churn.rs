@@ -73,6 +73,78 @@ pub struct SelectionState {
     upstream_override: Option<SiteId>,
 }
 
+/// What a churn step did to a client's selection — the observable event
+/// behind a site change, exposed so callers (the scenario engine, the
+/// stability analyses) can see *why* a selection moved instead of
+/// re-deriving it from opaque state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEventKind {
+    /// A local tie-break flip to a different near-equal candidate.
+    LocalFlip { from: SiteId, to: SiteId },
+    /// An upstream path change redirected the client to `to`.
+    UpstreamRedirect { to: SiteId },
+    /// An upstream path change restored the locally-best selection.
+    UpstreamRestore,
+}
+
+/// One entry of a per-round churn event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Round index the event happened in.
+    pub round: u32,
+    /// The AS whose selection changed.
+    pub asn: AsId,
+    pub kind: ChurnEventKind,
+}
+
+/// A deterministic per-round event log: which ASes flipped in which round
+/// and how. Entries are sorted by `(round, asn)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnLog {
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnLog {
+    /// Distinct ASes affected by any logged event, ascending.
+    pub fn affected_ases(&self) -> Vec<AsId> {
+        let mut ases: Vec<AsId> = self.events.iter().map(|e| e.asn).collect();
+        ases.sort_unstable_by_key(|a| a.0);
+        ases.dedup();
+        ases
+    }
+
+    /// Events of one round.
+    pub fn in_round(&self, round: u32) -> impl Iterator<Item = &ChurnEvent> {
+        self.events.iter().filter(move |e| e.round == round)
+    }
+
+    /// An order-sensitive fingerprint of the whole log (for golden tests).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for e in &self.events {
+            mix(e.round as u64);
+            mix(e.asn.0 as u64);
+            match e.kind {
+                ChurnEventKind::LocalFlip { from, to } => {
+                    mix(1);
+                    mix(from.0 as u64);
+                    mix(to.0 as u64);
+                }
+                ChurnEventKind::UpstreamRedirect { to } => {
+                    mix(2);
+                    mix(to.0 as u64);
+                }
+                ChurnEventKind::UpstreamRestore => mix(3),
+            }
+        }
+        h
+    }
+}
+
 impl ChurnModel {
     /// The near-equal candidate indices for `asn` (indices into
     /// `table.candidates(asn)`).
@@ -98,6 +170,16 @@ impl ChurnModel {
             current: 0,
             upstream_override: None,
         }
+    }
+
+    /// Drop any upstream redirect from `state`, keeping the local Markov
+    /// position. Callers use this after the routing ground truth changed
+    /// (a site withdrawal, a link failure): the redirect may point at a
+    /// site that no longer attracts traffic, while the local selection
+    /// index is re-validated against the new near-equal set on the next
+    /// step anyway.
+    pub fn reset_override(&self, state: &mut SelectionState) {
+        state.upstream_override = None;
     }
 
     /// Advance one measurement round; returns the selected site, or `None`
@@ -126,13 +208,32 @@ impl ChurnModel {
         multiplier: f64,
         upstream_pool: &[SiteId],
     ) -> Option<SiteId> {
+        self.step_observed(table, asn, state, rng, multiplier, upstream_pool)
+            .0
+    }
+
+    /// [`ChurnModel::step_full`] that also reports what happened: the event
+    /// kind when this round changed the selection mechanism, `None` on a
+    /// quiet round. Draws exactly the same random variates as `step_full`,
+    /// so observed and unobserved runs stay bit-identical.
+    pub fn step_observed(
+        &self,
+        table: &RouteTable,
+        asn: AsId,
+        state: &mut SelectionState,
+        rng: &mut SimRng,
+        multiplier: f64,
+        upstream_pool: &[SiteId],
+    ) -> (Option<SiteId>, Option<ChurnEventKind>) {
         let near = self.near_equal(table, asn);
         if near.is_empty() {
-            return None;
+            return (None, None);
         }
         if state.current >= near.len() {
             state.current = 0;
         }
+        let site_of = |idx: usize| table.candidates(asn)[near[idx]].site;
+        let mut event = None;
         match self.model {
             FlipModel::Markov => {
                 // Upstream path change: redirect (or clear a redirect).
@@ -142,9 +243,12 @@ impl ChurnModel {
                     state.upstream_override =
                         if state.upstream_override.is_some() && rng.chance(0.5) {
                             // Half the upstream events restore the local best.
+                            event = Some(ChurnEventKind::UpstreamRestore);
                             None
                         } else {
-                            Some(*rng.pick(upstream_pool))
+                            let to = *rng.pick(upstream_pool);
+                            event = Some(ChurnEventKind::UpstreamRedirect { to });
+                            Some(to)
                         };
                 }
                 if near.len() > 1 {
@@ -154,12 +258,19 @@ impl ChurnModel {
                     if rng.chance(p.min(1.0)) {
                         // Local flip: move to a different near-equal
                         // candidate and drop any upstream redirect.
+                        let from = state
+                            .upstream_override
+                            .unwrap_or_else(|| site_of(state.current));
                         let mut next = rng.next_range(near.len() - 1);
                         if next >= state.current {
                             next += 1;
                         }
                         state.current = next;
                         state.upstream_override = None;
+                        event = Some(ChurnEventKind::LocalFlip {
+                            from,
+                            to: site_of(next),
+                        });
                     }
                 }
             }
@@ -168,10 +279,40 @@ impl ChurnModel {
             }
         }
         if let Some(site) = state.upstream_override {
-            return Some(site);
+            return (Some(site), event);
         }
-        let cand_idx = near[state.current];
-        Some(table.candidates(asn)[cand_idx].site)
+        (Some(site_of(state.current)), event)
+    }
+
+    /// Replay `rounds` churn rounds for every AS in `ases` against a fixed
+    /// route table and return the deterministic per-round event log. Each
+    /// AS gets its own rng stream derived from `root`, so the log depends
+    /// only on (model parameters, table, ases, rounds, root seed) — the
+    /// scenario engine composes with churn through this log rather than by
+    /// mutating routes itself.
+    pub fn round_log(
+        &self,
+        table: &RouteTable,
+        ases: &[AsId],
+        rounds: u32,
+        root: &SimRng,
+        multiplier: f64,
+        upstream_pool: &[SiteId],
+    ) -> ChurnLog {
+        let mut log = ChurnLog::default();
+        for &asn in ases {
+            let mut rng = root.derive_ids(&[asn.0 as u64]);
+            let mut state = self.initial();
+            for round in 0..rounds {
+                let (_, event) =
+                    self.step_observed(table, asn, &mut state, &mut rng, multiplier, upstream_pool);
+                if let Some(kind) = event {
+                    log.events.push(ChurnEvent { round, asn, kind });
+                }
+            }
+        }
+        log.events.sort_by_key(|e| (e.round, e.asn.0));
+        log
     }
 }
 
@@ -310,6 +451,114 @@ mod tests {
         let mut state = model.initial();
         assert_eq!(model.step(&table, v4_only, &mut state, &mut rng), None);
     }
+
+    #[test]
+    fn step_observed_matches_step_full() {
+        let (t, d) = world(6);
+        let table = propagate(&t, &d, Family::V4);
+        let model = ChurnModel {
+            base_flip_prob: 0.05,
+            per_candidate_prob: 0.02,
+            upstream_flip_prob: 0.05,
+            near_equal_slack: 3,
+            ..Default::default()
+        };
+        let pool = [SiteId(0), SiteId(3)];
+        for &asn in &t.stubs_in(Region::Asia)[..6] {
+            let mut rng_a = SimRng::new(77).derive_ids(&[asn.0 as u64]);
+            let mut rng_b = rng_a.clone();
+            let mut st_a = model.initial();
+            let mut st_b = model.initial();
+            for _ in 0..300 {
+                let plain = model.step_full(&table, asn, &mut st_a, &mut rng_a, 1.0, &pool);
+                let (observed, _) =
+                    model.step_observed(&table, asn, &mut st_b, &mut rng_b, 1.0, &pool);
+                assert_eq!(plain, observed);
+            }
+        }
+    }
+
+    #[test]
+    fn round_log_events_explain_site_changes() {
+        let (t, d) = world(6);
+        let table = propagate(&t, &d, Family::V4);
+        let model = ChurnModel {
+            base_flip_prob: 0.05,
+            per_candidate_prob: 0.02,
+            upstream_flip_prob: 0.05,
+            near_equal_slack: 3,
+            ..Default::default()
+        };
+        let pool = [SiteId(0), SiteId(3)];
+        let root = SimRng::new(0xC0FFEE).derive("churn-log");
+        for &asn in &t.stubs_in(Region::Europe)[..4] {
+            let mut rng = root.derive_ids(&[asn.0 as u64]);
+            let mut state = model.initial();
+            let mut prev = None;
+            for round in 0..200u32 {
+                let (site, event) =
+                    model.step_observed(&table, asn, &mut state, &mut rng, 1.0, &pool);
+                // A quiet round never changes the selected site.
+                if event.is_none() && round > 0 {
+                    assert_eq!(site, prev, "silent change for AS{} round {round}", asn.0);
+                }
+                prev = site;
+            }
+        }
+    }
+
+    #[test]
+    fn round_log_golden() {
+        // Pins the exact event stream for a fixed (world, model, seed):
+        // the scenario engine composes with churn through this log, so its
+        // contents are part of the public deterministic contract.
+        let (t, d) = world(6);
+        let table = propagate(&t, &d, Family::V4);
+        let model = ChurnModel {
+            base_flip_prob: 0.05,
+            per_candidate_prob: 0.02,
+            upstream_flip_prob: 0.05,
+            near_equal_slack: 3,
+            ..Default::default()
+        };
+        let ases: Vec<AsId> = t.stubs_in(Region::Europe)[..8].to_vec();
+        let pool = [SiteId(0), SiteId(3)];
+        let root = SimRng::new(0xC0FFEE).derive("churn-log");
+        let log = model.round_log(&table, &ases, 200, &root, 1.0, &pool);
+
+        // Deterministic replay.
+        assert_eq!(log, model.round_log(&table, &ases, 200, &root, 1.0, &pool));
+        // Sorted by (round, asn).
+        for w in log.events.windows(2) {
+            assert!((w[0].round, w[0].asn.0) <= (w[1].round, w[1].asn.0));
+        }
+        assert!(!log.events.is_empty());
+        assert!(!log.affected_ases().is_empty());
+        // Golden pin (update only on a deliberate model change).
+        println!(
+            "churn golden: len={} fp={:#x} first={:?}",
+            log.events.len(),
+            log.fingerprint(),
+            log.events.first()
+        );
+        assert_eq!(log.events.len(), GOLDEN_LEN);
+        assert_eq!(log.fingerprint(), GOLDEN_FP);
+        assert_eq!(
+            log.events[0],
+            ChurnEvent {
+                round: 2,
+                asn: AsId(132),
+                kind: ChurnEventKind::LocalFlip {
+                    from: SiteId(2),
+                    to: SiteId(0),
+                },
+            }
+        );
+    }
+
+    // Pinned by `round_log_golden`.
+    const GOLDEN_LEN: usize = 132;
+    const GOLDEN_FP: u64 = 0x6eac_cf2f_8feb_5307;
 
     #[test]
     fn near_equal_excludes_worse_class() {

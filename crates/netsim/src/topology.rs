@@ -353,6 +353,35 @@ impl Topology {
     pub fn add_link(&mut self, from: AsId, to: AsId, relation: Relation, v4: bool, v6: bool) {
         ensure_link(&mut self.adj, from, to, relation, v4, v6);
     }
+
+    /// Take the direct link between `a` and `b` out of service (both
+    /// directions, both families), returning its previous `(v4, v6)`
+    /// carriage so the failure can be reverted with
+    /// [`Topology::set_link_carriage`]. The entry stays in place — only its
+    /// carriage flags change — so adjacency order (and thus downstream
+    /// determinism) is untouched. `None` when the ASes are not adjacent.
+    pub fn disable_link(&mut self, a: AsId, b: AsId) -> Option<(bool, bool)> {
+        let prev = self.adj[a.0 as usize]
+            .iter()
+            .find(|l| l.to == b)
+            .map(|l| (l.v4, l.v6))?;
+        self.set_link_carriage(a, b, false, false);
+        Some(prev)
+    }
+
+    /// Set the `(v4, v6)` carriage of an existing link in both directions;
+    /// returns `false` when no such link exists.
+    pub fn set_link_carriage(&mut self, a: AsId, b: AsId, v4: bool, v6: bool) -> bool {
+        let mut touched = false;
+        for (x, y) in [(a, b), (b, a)] {
+            for l in self.adj[x.0 as usize].iter_mut().filter(|l| l.to == y) {
+                l.v4 = v4;
+                l.v6 = v6;
+                touched = true;
+            }
+        }
+        touched
+    }
 }
 
 fn region_tag(r: Region) -> &'static str {
@@ -434,6 +463,31 @@ mod tests {
         let expected =
             cfg.tier1_count + 6 * cfg.tier2_per_region + cfg.stubs_per_region.iter().sum::<usize>();
         assert_eq!(t.len(), expected);
+    }
+
+    #[test]
+    fn disable_link_round_trips() {
+        let mut t = topo();
+        let a = AsId(0);
+        let b = t.links(a)[0].to;
+        let order_before: Vec<AsId> = t.links(a).iter().map(|l| l.to).collect();
+        assert!(t.connected(a, b, Family::V4));
+        let prev = t.disable_link(a, b).expect("adjacent");
+        assert!(!t.connected(a, b, Family::V4));
+        assert!(!t.connected(b, a, Family::V6));
+        assert!(t.set_link_carriage(a, b, prev.0, prev.1));
+        assert!(t.connected(a, b, Family::V4));
+        // Adjacency order survives the failure/restore cycle.
+        let order_after: Vec<AsId> = t.links(a).iter().map(|l| l.to).collect();
+        assert_eq!(order_before, order_after);
+        // Unrelated pairs are rejected.
+        let far = t
+            .nodes()
+            .iter()
+            .find(|n| !t.connected(a, n.id, Family::V4) && n.id != a);
+        if let Some(n) = far {
+            assert_eq!(t.disable_link(a, n.id), None);
+        }
     }
 
     #[test]

@@ -451,11 +451,7 @@ impl RootCatalog {
     /// The b.root service address phase is a property of time, not of the
     /// deployment — physical sites stayed put across the renumbering.
     pub fn b_root_phase_at(&self, now: u32) -> BRootPhase {
-        if now < crate::letters::B_ROOT_CHANGE_DATE {
-            BRootPhase::Old
-        } else {
-            BRootPhase::New
-        }
+        crate::letters::Renumbering::B_ROOT.phase_at(now)
     }
 }
 

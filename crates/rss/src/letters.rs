@@ -35,6 +35,34 @@ pub enum BRootPhase {
     New,
 }
 
+/// A service-prefix renumbering of one letter: old addresses are retired
+/// in favour of new ones at `change_date`. Generalizes the 2023 b.root
+/// event ([`Renumbering::B_ROOT`]) so the scenario engine can renumber any
+/// letter on any date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Renumbering {
+    pub letter: RootLetter,
+    /// Day-start timestamp the new addresses take over.
+    pub change_date: u32,
+}
+
+impl Renumbering {
+    /// The historical b.root renumbering of 2023-11-27.
+    pub const B_ROOT: Renumbering = Renumbering {
+        letter: RootLetter::B,
+        change_date: B_ROOT_CHANGE_DATE,
+    };
+
+    /// Which address generation is authoritative at `now`.
+    pub fn phase_at(&self, now: u32) -> BRootPhase {
+        if now >= self.change_date {
+            BRootPhase::New
+        } else {
+            BRootPhase::Old
+        }
+    }
+}
+
 impl RootLetter {
     /// All letters, a–m.
     pub const ALL: [RootLetter; 13] = [

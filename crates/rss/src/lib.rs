@@ -20,5 +20,5 @@ pub mod letters;
 pub mod server;
 
 pub use catalog::{RootCatalog, RootSite, SiteCounts, WorldConfig};
-pub use letters::{BRootPhase, RootLetter, B_ROOT_CHANGE_DATE};
+pub use letters::{BRootPhase, Renumbering, RootLetter, B_ROOT_CHANGE_DATE};
 pub use server::{RootServer, ServerBehavior};

@@ -1,0 +1,117 @@
+//! Built-in scenarios.
+//!
+//! [`broot_renumbering`] re-expresses the paper's one historical change
+//! event — the 2023-11-27 b.root prefix renumbering — as a scenario, and
+//! doubles as the equivalence anchor: driving it through the engine must
+//! reproduce the legacy continuous pipeline's outputs exactly (the engine
+//! adds intensified-probing windows around the change, but the default
+//! schedule's 2023-11-20..12-06 high-resolution window already covers it,
+//! and [`vantage::Schedule::interval_at`] takes any matching window).
+
+use crate::event::EventKind;
+use crate::timeline::{Scenario, ScenarioEvent};
+use dns_crypto::validity::timestamp_from_ymd;
+use netsim::anycast::SiteId;
+use rss::{Renumbering, RootLetter};
+
+/// The 2023 b.root renumbering as a one-event scenario.
+pub fn broot_renumbering() -> Scenario {
+    Scenario::new(
+        "broot_renumbering",
+        0xB007,
+        vec![ScenarioEvent {
+            at: Renumbering::B_ROOT.change_date,
+            until: None,
+            kind: EventKind::PrefixRenumbering {
+                change: Renumbering::B_ROOT,
+            },
+        }],
+    )
+    .expect("built-in scenario is valid")
+}
+
+/// A three-event demo timeline: a d.root site outage in August, the
+/// historical b.root renumbering in November, and a g.root route-flap
+/// burst in December. Scopes are disjoint, so the windows may be placed
+/// freely.
+pub fn outage_renumber_flap() -> Scenario {
+    let ts = |s: &str| timestamp_from_ymd(s).expect("valid date");
+    Scenario::new(
+        "outage_renumber_flap",
+        0x5CE_2A01,
+        vec![
+            ScenarioEvent {
+                at: ts("20230810000000"),
+                until: Some(ts("20230820000000")),
+                kind: EventKind::SiteOutage {
+                    letter: RootLetter::D,
+                    site: SiteId(0),
+                },
+            },
+            ScenarioEvent {
+                at: Renumbering::B_ROOT.change_date,
+                until: None,
+                kind: EventKind::PrefixRenumbering {
+                    change: Renumbering::B_ROOT,
+                },
+            },
+            ScenarioEvent {
+                at: ts("20231210000000"),
+                until: Some(ts("20231217000000")),
+                kind: EventKind::RouteFlapBurst {
+                    letter: RootLetter::G,
+                    boost: 5.0,
+                },
+            },
+        ],
+    )
+    .expect("built-in scenario is valid")
+}
+
+/// Names of all built-in scenarios, lookup-able via [`builtin`].
+pub fn names() -> &'static [&'static str] {
+    &["broot_renumbering", "outage_renumber_flap"]
+}
+
+/// Look up a built-in scenario by name.
+pub fn builtin(name: &str) -> Option<Scenario> {
+    match name {
+        "broot_renumbering" => Some(broot_renumbering()),
+        "outage_renumber_flap" => Some(outage_renumber_flap()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Scope;
+
+    #[test]
+    fn builtins_resolve_by_name() {
+        for &name in names() {
+            let s = builtin(name).expect("listed builtin exists");
+            assert_eq!(s.name(), name);
+        }
+        assert!(builtin("nope").is_none());
+    }
+
+    #[test]
+    fn broot_scenario_carries_the_historical_change() {
+        let s = broot_renumbering();
+        let r = s.renumbering().expect("has a renumbering");
+        assert_eq!(r, Renumbering::B_ROOT);
+        assert_eq!(s.events()[0].at, rss::B_ROOT_CHANGE_DATE);
+    }
+
+    #[test]
+    fn demo_scenario_scopes_are_disjoint() {
+        let s = outage_renumber_flap();
+        let scopes: Vec<Scope> = s.events().iter().map(|e| e.kind.scope()).collect();
+        let mut dedup = scopes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), scopes.len());
+        assert_eq!(s.events().len(), 3);
+    }
+}

@@ -1,0 +1,318 @@
+//! The scenario engine: drives a measurement through a timeline in epochs.
+//!
+//! The run is cut at every event boundary inside the schedule span. Before
+//! each epoch the engine reverts events whose window has ended and applies
+//! events that have become active — snapshotting whatever world state the
+//! mutation touches — then runs the epoch's rounds through the ordinary
+//! [`MeasurementEngine`] with churn/RTT state carried across the boundary
+//! in an [`EngineSession`]. After the last epoch every remaining mutation
+//! is reverted, so the world comes back in its pre-run state (pinned by
+//! this crate's apply→revert proptest against [`World::routing_hash`]).
+
+use crate::event::{DegradedMode, EventKind};
+use crate::timeline::Scenario;
+use analysis::zonemd_pipeline::validate_transfers;
+use dns_zone::rollout::RolloutPhase;
+use netsim::anycast::SiteId;
+use rss::RootLetter;
+use vantage::{
+    EngineOverrides, EngineSession, MeasurementConfig, MeasurementEngine, ProbeRecord, Round,
+    TransferRecord, World,
+};
+
+/// How the engine runs a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// The measurement to drive (schedule, churn, RTT, fault windows).
+    /// Per-letter overrides are managed by the engine per epoch; any
+    /// overrides set here are replaced.
+    pub base: MeasurementConfig,
+    /// Half-width (seconds) of the intensified-probing window opened
+    /// around every event boundary — the paper's 15-minute rounds around
+    /// the b.root change, generalized. `0` disables intensification.
+    pub burst_half_width: u32,
+    /// Worker threads per epoch run.
+    pub workers: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            base: MeasurementConfig::default(),
+            // 12 h on each side of a boundary, matching the order of the
+            // paper's high-resolution windows around known change events.
+            burst_half_width: 43_200,
+            workers: 4,
+        }
+    }
+}
+
+/// Everything observed during one epoch, tagged with the events in force.
+#[derive(Debug, Clone)]
+pub struct EpochRun {
+    /// Epoch position on the timeline (0 = before any event).
+    pub index: usize,
+    /// Epoch window `[start, end)` (seconds since epoch).
+    pub start: u32,
+    pub end: u32,
+    /// Labels of the events active during this epoch (empty = baseline).
+    pub active: Vec<String>,
+    pub probes: Vec<ProbeRecord>,
+    pub transfers: Vec<TransferRecord>,
+    /// Zone-validation failure observations among this epoch's transfers,
+    /// validated *while the epoch's world state was in force* (a forced
+    /// ZONEMD phase changes what validates).
+    pub validation_failures: u64,
+}
+
+/// A completed scenario run: one [`EpochRun`] per epoch, in timeline order.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    pub scenario_name: String,
+    pub epochs: Vec<EpochRun>,
+}
+
+impl ScenarioRun {
+    /// All probe records across epochs, in epoch order.
+    pub fn all_probes(&self) -> Vec<ProbeRecord> {
+        self.epochs.iter().flat_map(|e| e.probes.clone()).collect()
+    }
+
+    /// All transfer records across epochs, in epoch order.
+    pub fn all_transfers(&self) -> Vec<TransferRecord> {
+        self.epochs
+            .iter()
+            .flat_map(|e| e.transfers.clone())
+            .collect()
+    }
+}
+
+/// What `apply` saved so `revert` can undo the mutation exactly.
+enum Snapshot {
+    /// Nothing to save (override-only or analysis-only events).
+    None,
+    /// A withdrawn site; revert restores it.
+    Outage { letter: RootLetter, site: SiteId },
+    /// A site brought into service; revert withdraws it again.
+    Addition { letter: RootLetter, site: SiteId },
+    /// A disabled link with its prior carriage flags (`None` when the
+    /// link did not exist and nothing was changed).
+    Link {
+        a: netsim::AsId,
+        b: netsim::AsId,
+        prior: Option<(bool, bool)>,
+    },
+    /// The ZONEMD override in force before this event set its own.
+    Zonemd { prev: Option<RolloutPhase> },
+}
+
+/// The engine. Owns no world — `run` borrows one mutably for the duration
+/// and hands it back in its original state.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioEngine {
+    pub config: ScenarioConfig,
+}
+
+impl ScenarioEngine {
+    pub fn new(config: ScenarioConfig) -> ScenarioEngine {
+        ScenarioEngine { config }
+    }
+
+    /// Drive `world` through `scenario`, returning one [`EpochRun`] per
+    /// epoch. Deterministic: same world build, scenario, and config ⇒
+    /// bit-identical output.
+    pub fn run(&self, world: &mut World, scenario: &Scenario) -> ScenarioRun {
+        // Hold every to-be-added site out of service from the start: a
+        // SiteAddition event *introduces* the site at activation time.
+        let mut held: Vec<(RootLetter, SiteId)> = Vec::new();
+        for ev in scenario.events() {
+            if let EventKind::SiteAddition { letter, site } = ev.kind {
+                if world.withdraw_site(letter, site) {
+                    held.push((letter, site));
+                }
+            }
+        }
+
+        let mut schedule = self.config.base.schedule.clone();
+        let cuts = scenario.boundaries(schedule.start, schedule.end);
+        if self.config.burst_half_width > 0 {
+            schedule = schedule.with_bursts_around(&cuts, self.config.burst_half_width);
+        }
+        let rounds: Vec<Round> = schedule.rounds().collect();
+        let mut bounds = Vec::with_capacity(cuts.len() + 2);
+        bounds.push(schedule.start);
+        bounds.extend_from_slice(&cuts);
+        bounds.push(schedule.end);
+
+        let mut session = EngineSession::new();
+        let mut applied: Vec<(usize, Snapshot)> = Vec::new();
+        let mut applied_ever = vec![false; scenario.events().len()];
+        let mut epochs = Vec::new();
+
+        for (index, w) in bounds.windows(2).enumerate() {
+            let (w_start, w_end) = (w[0], w[1]);
+            let mut routing_changed = false;
+
+            // Revert events whose window ended at or before this epoch.
+            let mut still = Vec::with_capacity(applied.len());
+            for (idx, snap) in applied.drain(..) {
+                if scenario.events()[idx].effective_until() <= w_start {
+                    routing_changed |= revert(world, snap);
+                } else {
+                    still.push((idx, snap));
+                }
+            }
+            applied = still;
+
+            // Apply events newly active at this epoch's start.
+            for (idx, ev) in scenario.events().iter().enumerate() {
+                if ev.at <= w_start && ev.effective_until() > w_start && !applied_ever[idx] {
+                    applied_ever[idx] = true;
+                    let (snap, changed) = apply(world, ev.kind);
+                    routing_changed |= changed;
+                    applied.push((idx, snap));
+                }
+            }
+
+            if routing_changed {
+                session.invalidate_routing(&self.config.base.churn);
+            }
+
+            let active: Vec<String> = applied
+                .iter()
+                .map(|&(idx, _)| scenario.events()[idx].kind.label())
+                .collect();
+            let mut overrides = EngineOverrides::default();
+            for &(idx, _) in &applied {
+                add_override(&mut overrides, scenario.events()[idx].kind);
+            }
+            let epoch_cfg = MeasurementConfig {
+                schedule: schedule.clone(),
+                overrides,
+                ..self.config.base.clone()
+            };
+            let epoch_rounds: Vec<Round> = rounds
+                .iter()
+                .copied()
+                .filter(|r| r.time >= w_start && r.time < w_end)
+                .collect();
+            let engine = MeasurementEngine::new(world, epoch_cfg);
+            let sink = engine.run_rounds_session(&mut session, &epoch_rounds, self.config.workers);
+            // Validate now, while this epoch's zone state is in force.
+            let table2 = validate_transfers(world, &sink.transfers);
+            let validation_failures: u64 = table2.rows.iter().map(|r| r.observations as u64).sum();
+            epochs.push(EpochRun {
+                index,
+                start: w_start,
+                end: w_end,
+                active,
+                probes: sink.probes,
+                transfers: sink.transfers,
+                validation_failures,
+            });
+        }
+
+        // Teardown: undo everything still applied, then release held
+        // sites, returning the world to its pre-run state.
+        for (_, snap) in applied.drain(..) {
+            revert(world, snap);
+        }
+        for (letter, site) in held {
+            world.restore_site(letter, site);
+        }
+
+        ScenarioRun {
+            scenario_name: scenario.name().to_string(),
+            epochs,
+        }
+    }
+}
+
+/// Apply one event's world mutation. Returns the snapshot for [`revert`]
+/// and whether routing ground truth changed.
+fn apply(world: &mut World, kind: EventKind) -> (Snapshot, bool) {
+    match kind {
+        EventKind::SiteOutage { letter, site } => {
+            if world.withdraw_site(letter, site) {
+                (Snapshot::Outage { letter, site }, true)
+            } else {
+                (Snapshot::None, false)
+            }
+        }
+        EventKind::SiteAddition { letter, site } => {
+            if world.restore_site(letter, site) {
+                (Snapshot::Addition { letter, site }, true)
+            } else {
+                (Snapshot::None, false)
+            }
+        }
+        EventKind::PeeringLinkFailure { a, b } => {
+            let prior = world.topology.disable_link(a, b);
+            if prior.is_some() {
+                world.recompute_all();
+            }
+            (Snapshot::Link { a, b, prior }, prior.is_some())
+        }
+        EventKind::Degraded {
+            mode: DegradedMode::ZonemdPhase { phase },
+            ..
+        } => {
+            let prev = world.zonemd_override();
+            world.set_zonemd_override(Some(phase));
+            (Snapshot::Zonemd { prev }, false)
+        }
+        // Renumbering is an identity change, not a topology change: the
+        // measurement already targets both prefixes and the analysis/trace
+        // layers read the change date from the scenario.
+        EventKind::PrefixRenumbering { .. }
+        | EventKind::RouteFlapBurst { .. }
+        | EventKind::RttInflation { .. }
+        | EventKind::Degraded { .. } => (Snapshot::None, false),
+    }
+}
+
+/// Undo one applied event. Returns whether routing ground truth changed.
+fn revert(world: &mut World, snap: Snapshot) -> bool {
+    match snap {
+        Snapshot::None => false,
+        Snapshot::Outage { letter, site } => world.restore_site(letter, site),
+        Snapshot::Addition { letter, site } => world.withdraw_site(letter, site),
+        Snapshot::Link { a, b, prior } => match prior {
+            Some((v4, v6)) => {
+                world.topology.set_link_carriage(a, b, v4, v6);
+                world.recompute_all();
+                true
+            }
+            None => false,
+        },
+        Snapshot::Zonemd { prev } => {
+            world.set_zonemd_override(prev);
+            false
+        }
+    }
+}
+
+/// Fold one active event into the epoch's per-letter override set.
+fn add_override(ov: &mut EngineOverrides, kind: EventKind) {
+    match kind {
+        EventKind::RouteFlapBurst { letter, boost } => {
+            ov.letter_mut(letter).churn_boost *= boost;
+        }
+        EventKind::RttInflation { letter, factor } => {
+            ov.letter_mut(letter).rtt_factor *= factor;
+        }
+        EventKind::Degraded {
+            letter,
+            mode: DegradedMode::StaleZone { stuck_day },
+        } => {
+            ov.letter_mut(letter).stale_stuck_day = Some(stuck_day);
+        }
+        EventKind::Degraded {
+            letter,
+            mode: DegradedMode::BitflipZone { prob },
+        } => {
+            ov.letter_mut(letter).extra_bitflip_prob = prob;
+        }
+        _ => {}
+    }
+}

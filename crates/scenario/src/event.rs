@@ -1,0 +1,189 @@
+//! The typed change events a scenario can schedule.
+
+use dns_zone::rollout::RolloutPhase;
+use netsim::anycast::SiteId;
+use netsim::AsId;
+use rss::{Renumbering, RootLetter};
+
+/// Degraded per-letter serving behaviour (the paper's Table 2 fault
+/// classes, promoted to schedulable events).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradedMode {
+    /// Every site of the letter serves the zone of `stuck_day` (letter-wide
+    /// version of the d.root Tokyo/Leeds stale episodes).
+    StaleZone { stuck_day: u32 },
+    /// Transfers from the letter arrive bit-flipped with probability
+    /// `prob` (server-side corruption, unlike the per-VP faulty-RAM model).
+    BitflipZone { prob: f64 },
+    /// Zones are generated in a forced ZONEMD roll-out phase, detached
+    /// from the dated timeline (e.g. a premature switch to `Validating`).
+    ZonemdPhase { phase: RolloutPhase },
+}
+
+/// A typed change event. Every kind is deterministic: applying the same
+/// scenario to the same world always mutates the same state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// `site` of `letter` stops announcing the service prefix (hardware
+    /// failure, maintenance, de-peering).
+    SiteOutage { letter: RootLetter, site: SiteId },
+    /// `site` of `letter` *enters* service at activation time. The site
+    /// must exist in the catalog; the engine holds it out of service from
+    /// the start of the run until the event activates (the racked-but-not-
+    /// announced provisioning state).
+    SiteAddition { letter: RootLetter, site: SiteId },
+    /// The letter's service prefix is renumbered — the generalization of
+    /// b.root's 2023-11-27 change to any letter and date.
+    PrefixRenumbering { change: Renumbering },
+    /// Routing instability burst: the letter's churn pressure is scaled by
+    /// `boost` for the duration.
+    RouteFlapBurst { letter: RootLetter, boost: f64 },
+    /// The direct link between ASes `a` and `b` fails (both families,
+    /// both directions); routing for every letter is recomputed.
+    PeeringLinkFailure { a: AsId, b: AsId },
+    /// A letter serves degraded data for the duration.
+    Degraded {
+        letter: RootLetter,
+        mode: DegradedMode,
+    },
+    /// DDoS-style latency inflation: the letter's measured RTTs are scaled
+    /// by `factor` for the duration.
+    RttInflation { letter: RootLetter, factor: f64 },
+}
+
+/// What part of the world an event touches. Two events whose windows
+/// overlap in time must have distinct scopes — the engine's snapshot/revert
+/// bookkeeping is per-scope, and stacked mutations of the same scope would
+/// make revert order-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// Everything keyed to one deployment.
+    Letter(RootLetter),
+    /// One inter-AS link (normalized so `(a, b)` and `(b, a)` collide).
+    Link(AsId, AsId),
+}
+
+impl EventKind {
+    /// The event's scope (see [`Scope`]).
+    pub fn scope(&self) -> Scope {
+        match *self {
+            EventKind::SiteOutage { letter, .. }
+            | EventKind::SiteAddition { letter, .. }
+            | EventKind::RouteFlapBurst { letter, .. }
+            | EventKind::Degraded { letter, .. }
+            | EventKind::RttInflation { letter, .. } => Scope::Letter(letter),
+            EventKind::PrefixRenumbering { change } => Scope::Letter(change.letter),
+            EventKind::PeeringLinkFailure { a, b } => {
+                if a.0 <= b.0 {
+                    Scope::Link(a, b)
+                } else {
+                    Scope::Link(b, a)
+                }
+            }
+        }
+    }
+
+    /// Whether applying or reverting this event changes routing ground
+    /// truth (and thus requires invalidating cross-epoch engine state).
+    pub fn mutates_routing(&self) -> bool {
+        matches!(
+            self,
+            EventKind::SiteOutage { .. }
+                | EventKind::SiteAddition { .. }
+                | EventKind::PeeringLinkFailure { .. }
+        )
+    }
+
+    /// Short human label, e.g. `outage(d/3)`.
+    pub fn label(&self) -> String {
+        match *self {
+            EventKind::SiteOutage { letter, site } => format!("outage({}/{})", letter.ch(), site.0),
+            EventKind::SiteAddition { letter, site } => {
+                format!("addition({}/{})", letter.ch(), site.0)
+            }
+            EventKind::PrefixRenumbering { change } => format!("renumber({})", change.letter.ch()),
+            EventKind::RouteFlapBurst { letter, boost } => {
+                format!("flap({}×{boost})", letter.ch())
+            }
+            EventKind::PeeringLinkFailure { a, b } => format!("linkdown(AS{}-AS{})", a.0, b.0),
+            EventKind::Degraded { letter, mode } => {
+                let tag = match mode {
+                    DegradedMode::StaleZone { .. } => "stale",
+                    DegradedMode::BitflipZone { .. } => "bitflip",
+                    DegradedMode::ZonemdPhase { .. } => "zonemd",
+                };
+                format!("degraded({}/{tag})", letter.ch())
+            }
+            EventKind::RttInflation { letter, factor } => {
+                format!("rtt({}×{factor})", letter.ch())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_scope_is_order_insensitive() {
+        let ab = EventKind::PeeringLinkFailure {
+            a: AsId(3),
+            b: AsId(9),
+        };
+        let ba = EventKind::PeeringLinkFailure {
+            a: AsId(9),
+            b: AsId(3),
+        };
+        assert_eq!(ab.scope(), ba.scope());
+    }
+
+    #[test]
+    fn renumbering_scope_is_its_letter() {
+        let e = EventKind::PrefixRenumbering {
+            change: Renumbering::B_ROOT,
+        };
+        assert_eq!(e.scope(), Scope::Letter(RootLetter::B));
+        assert!(!e.mutates_routing());
+    }
+
+    #[test]
+    fn labels_are_distinct_per_kind() {
+        let labels: Vec<String> = [
+            EventKind::SiteOutage {
+                letter: RootLetter::D,
+                site: SiteId(3),
+            },
+            EventKind::SiteAddition {
+                letter: RootLetter::D,
+                site: SiteId(3),
+            },
+            EventKind::PrefixRenumbering {
+                change: Renumbering::B_ROOT,
+            },
+            EventKind::RouteFlapBurst {
+                letter: RootLetter::G,
+                boost: 5.0,
+            },
+            EventKind::PeeringLinkFailure {
+                a: AsId(1),
+                b: AsId(2),
+            },
+            EventKind::Degraded {
+                letter: RootLetter::K,
+                mode: DegradedMode::BitflipZone { prob: 0.5 },
+            },
+            EventKind::RttInflation {
+                letter: RootLetter::A,
+                factor: 4.0,
+            },
+        ]
+        .iter()
+        .map(|e| e.label())
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

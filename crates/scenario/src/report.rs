@@ -1,0 +1,101 @@
+//! From a [`ScenarioRun`] to the before/during/after diff report.
+
+use crate::engine::ScenarioRun;
+use crate::timeline::Scenario;
+use analysis::epochs::{EpochDiffReport, EpochStats};
+use rss::RootLetter;
+use traces::TraceConfig;
+use vantage::population::Population;
+
+/// Build the per-epoch diff report of `run` for one focus letter.
+///
+/// Epoch labels: `baseline` while no event is active, the `+`-joined
+/// labels of the active events during an event epoch, and `after` once
+/// all events have expired again.
+pub fn epoch_diff(
+    run: &ScenarioRun,
+    letter: RootLetter,
+    population: &Population,
+) -> EpochDiffReport {
+    let epochs = run
+        .epochs
+        .iter()
+        .map(|e| {
+            let label = if e.active.is_empty() {
+                if e.index == 0 { "baseline" } else { "after" }.to_string()
+            } else {
+                e.active.join("+")
+            };
+            let mut stats =
+                EpochStats::compute(label, letter, population, &e.probes, e.start, e.end);
+            stats.validation_failures = e.validation_failures as usize;
+            stats
+        })
+        .collect();
+    EpochDiffReport { letter, epochs }
+}
+
+/// Align a passive-trace configuration with `scenario`: if the timeline
+/// renumbers a letter, traffic generation switches prefixes on the
+/// scenario's date instead of the hardcoded historical one.
+pub fn align_trace_config(mut cfg: TraceConfig, scenario: &Scenario) -> TraceConfig {
+    if let Some(r) = scenario.renumbering() {
+        cfg.b_change_date = r.change_date;
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::engine::EpochRun;
+    use rss::Renumbering;
+
+    #[test]
+    fn labels_follow_active_events() {
+        let run = ScenarioRun {
+            scenario_name: "t".into(),
+            epochs: vec![
+                EpochRun {
+                    index: 0,
+                    start: 0,
+                    end: 100,
+                    active: vec![],
+                    probes: vec![],
+                    transfers: vec![],
+                    validation_failures: 0,
+                },
+                EpochRun {
+                    index: 1,
+                    start: 100,
+                    end: 200,
+                    active: vec!["outage(d/0)".into(), "flap(g×5)".into()],
+                    probes: vec![],
+                    transfers: vec![],
+                    validation_failures: 7,
+                },
+                EpochRun {
+                    index: 2,
+                    start: 200,
+                    end: 300,
+                    active: vec![],
+                    probes: vec![],
+                    transfers: vec![],
+                    validation_failures: 0,
+                },
+            ],
+        };
+        let world = vantage::World::build(&vantage::WorldBuildConfig::tiny());
+        let report = epoch_diff(&run, RootLetter::D, &world.population);
+        let labels: Vec<&str> = report.epochs.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["baseline", "outage(d/0)+flap(g×5)", "after"]);
+        assert_eq!(report.epochs[1].validation_failures, 7);
+    }
+
+    #[test]
+    fn trace_alignment_takes_scenario_change_date() {
+        let cfg = align_trace_config(TraceConfig::isp(1), &catalog::broot_renumbering());
+        assert_eq!(cfg.b_change_date, Renumbering::B_ROOT.change_date);
+    }
+}

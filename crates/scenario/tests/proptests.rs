@@ -1,0 +1,135 @@
+//! Property tests for the scenario timeline invariants: ordering by
+//! activation time, same-scope overlap rejection, and apply→revert
+//! restoring the routing ground truth exactly.
+
+use netsim::anycast::SiteId;
+use proptest::prelude::*;
+use rss::RootLetter;
+use scenario::{EventKind, Scenario, ScenarioConfig, ScenarioEngine, ScenarioEvent};
+use std::sync::{Mutex, OnceLock};
+use vantage::{MeasurementConfig, Schedule, World, WorldBuildConfig, MEASUREMENT_START};
+
+/// One shared world: building it per proptest case would dominate runtime,
+/// and each case returns it in its pre-run state (that is the property).
+fn world() -> &'static Mutex<World> {
+    static WORLD: OnceLock<Mutex<World>> = OnceLock::new();
+    WORLD.get_or_init(|| Mutex::new(World::build(&WorldBuildConfig::tiny())))
+}
+
+/// Events pinned to distinct letters so scopes never collide and
+/// construction always succeeds.
+fn distinct_scope_events() -> impl Strategy<Value = Vec<ScenarioEvent>> {
+    prop::collection::vec((0u32..1_000, 1u32..500, 0u32..6, any::<bool>()), 1..8).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (at, width, site, permanent))| {
+                let letter = RootLetter::ALL[i % 13];
+                ScenarioEvent {
+                    at,
+                    until: (!permanent).then_some(at + width),
+                    kind: if i % 2 == 0 {
+                        EventKind::SiteOutage {
+                            letter,
+                            site: SiteId(site),
+                        }
+                    } else {
+                        EventKind::RttInflation {
+                            letter,
+                            factor: 2.0,
+                        }
+                    },
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn events_are_sorted_by_activation_time(events in distinct_scope_events()) {
+        let s = Scenario::new("p", 0, events).unwrap();
+        for w in s.events().windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn overlapping_same_scope_windows_rejected(
+        a1 in 0u32..1_000,
+        w1 in 1u32..500,
+        offset in 0u32..499,
+        w2 in 1u32..500,
+    ) {
+        // Second window starts strictly inside the first.
+        let a2 = a1 + (offset % w1);
+        let mk = |at: u32, width: u32, site: u32| ScenarioEvent {
+            at,
+            until: Some(at + width),
+            kind: EventKind::SiteOutage {
+                letter: RootLetter::D,
+                site: SiteId(site),
+            },
+        };
+        let res = Scenario::new("p", 0, vec![mk(a1, w1, 0), mk(a2, w2, 1)]);
+        prop_assert!(matches!(res, Err(scenario::ScenarioError::OverlappingScope { .. })));
+    }
+
+    #[test]
+    fn apply_revert_restores_routing_hash(seed in any::<u64>(), n_events in 1usize..6) {
+        // Random mutating events, all active from the very start; a
+        // zero-round schedule makes the run pure apply→revert. After the
+        // run the routing fingerprint of every letter must be back.
+        let mut world = world().lock().unwrap();
+        let mut events = Vec::new();
+        let n_nodes = world.topology.len() as u64;
+        for i in 0..n_events {
+            let letter = RootLetter::ALL[(seed as usize + i) % 13];
+            let kind = match (seed >> (i * 8)) % 3 {
+                0 => EventKind::SiteOutage {
+                    letter,
+                    site: SiteId(((seed >> (i * 4)) % 5) as u32),
+                },
+                1 => {
+                    let a = netsim::AsId(((seed >> (i * 3)) % n_nodes) as u32);
+                    let b = world.topology.links(a).first().map(|l| l.to).unwrap_or(a);
+                    EventKind::PeeringLinkFailure { a, b }
+                }
+                _ => EventKind::RouteFlapBurst { letter, boost: 3.0 },
+            };
+            events.push(ScenarioEvent { at: MEASUREMENT_START, until: None, kind });
+        }
+        // Distinct-scope filtering: keep the first event per scope.
+        let mut seen = Vec::new();
+        events.retain(|e| {
+            let s = e.kind.scope();
+            if seen.contains(&s) {
+                false
+            } else {
+                seen.push(s);
+                true
+            }
+        });
+        let scenario = Scenario::new("p", seed, events).unwrap();
+        let before: Vec<u64> = RootLetter::ALL.iter().map(|&l| world.routing_hash(l)).collect();
+        let engine = ScenarioEngine::new(ScenarioConfig {
+            base: MeasurementConfig {
+                schedule: Schedule {
+                    start: MEASUREMENT_START,
+                    end: MEASUREMENT_START,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            burst_half_width: 0,
+            workers: 1,
+        });
+        engine.run(&mut world, &scenario);
+        let after: Vec<u64> = RootLetter::ALL.iter().map(|&l| world.routing_hash(l)).collect();
+        prop_assert_eq!(before, after);
+        for &l in RootLetter::ALL.iter() {
+            prop_assert!(world.withdrawn_sites(l).is_empty());
+        }
+    }
+}

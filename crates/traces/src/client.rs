@@ -31,8 +31,15 @@ pub struct ClientBehavior {
 impl ClientBehavior {
     /// Has this client switched to the new b.root address by `time`?
     pub fn switched_at(&self, time: u32) -> bool {
+        self.switched_by(time, B_ROOT_CHANGE_DATE)
+    }
+
+    /// [`switched_at`](Self::switched_at) against an arbitrary renumbering
+    /// date — the scenario engine replays the same switching population on
+    /// shifted timelines.
+    pub fn switched_by(&self, time: u32, change_date: u32) -> bool {
         match self.switch_after {
-            Some(delay) => time >= B_ROOT_CHANGE_DATE.saturating_add(delay),
+            Some(delay) => time >= change_date.saturating_add(delay),
             None => false,
         }
     }

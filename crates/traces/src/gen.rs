@@ -90,6 +90,10 @@ pub struct TraceConfig {
     /// ISP-only: the unexplained a.root traffic dip the paper flags on
     /// 2024-02-26 (Figure 12), as (day timestamp, remaining-traffic factor).
     pub a_root_dip: Option<(u32, f64)>,
+    /// When the b.root renumbering takes effect for the modelled clients.
+    /// Defaults to the historical date; scenario runs align it to their
+    /// own renumbering event.
+    pub b_change_date: u32,
     pub seed: u64,
 }
 
@@ -101,6 +105,7 @@ impl TraceConfig {
             population: PopulationModel::isp_europe(seed),
             sampling: 10.0,
             a_root_dip: Some((ts("20240226000000").unwrap(), 0.35)),
+            b_change_date: B_ROOT_CHANGE_DATE,
             seed,
         }
     }
@@ -112,6 +117,7 @@ impl TraceConfig {
             population: PopulationModel::ixp(region, seed),
             sampling: 10.0,
             a_root_dip: None,
+            b_change_date: B_ROOT_CHANGE_DATE,
             seed,
         }
     }
@@ -213,7 +219,7 @@ fn emit_b_root(
     out: &mut Vec<FlowObservation>,
 ) {
     let end_of_day = day + 86399;
-    let (old_mean, new_mean) = if end_of_day < B_ROOT_CHANGE_DATE {
+    let (old_mean, new_mean) = if end_of_day < cfg.b_change_date {
         // Pre-change: new prefixes are operational but unpublished; a small
         // trickle (measurement/testing traffic) already reaches them —
         // v4-heavier, matching the paper's 0.7%/0.1% observation.
@@ -222,7 +228,7 @@ fn emit_b_root(
             Family::V6 => 0.002,
         };
         (mean_day * (1.0 - trickle), mean_day * trickle)
-    } else if client.switched_at(day) {
+    } else if client.switched_by(day, cfg.b_change_date) {
         // Switched: bulk to new; primers touch old ~once a day (sampled).
         let prime_mean = if client.primes {
             1.0 / cfg.sampling

@@ -49,6 +49,14 @@ pub struct World {
     /// TLD count for generated zones.
     zone_tlds: usize,
     seed: u64,
+    /// Sites currently withdrawn from service, per letter (sorted). The
+    /// catalog keeps the full roster — withdrawal only removes the site
+    /// from route propagation, so `SiteId`s stay stable across
+    /// apply/revert cycles (the scenario engine depends on this).
+    withdrawn: Vec<Vec<SiteId>>,
+    /// When set, every generated zone uses this ZONEMD roll-out phase
+    /// instead of the dated timeline (scenario override).
+    zonemd_override: Option<RolloutPhase>,
 }
 
 /// World construction parameters.
@@ -104,21 +112,7 @@ impl World {
         let mut route_tables = Vec::with_capacity(13);
         let mut attracting = Vec::with_capacity(13);
         for letter in RootLetter::ALL {
-            let d = catalog.deployment(letter);
-            let tables = [
-                propagate(&topology, d, Family::V4),
-                propagate(&topology, d, Family::V6),
-            ];
-            let pool = std::array::from_fn(|fam| {
-                let mut sites: Vec<netsim::anycast::SiteId> = topology
-                    .nodes()
-                    .iter()
-                    .filter_map(|n| tables[fam].best(n.id).map(|r| r.site))
-                    .collect();
-                sites.sort_unstable();
-                sites.dedup();
-                sites
-            });
+            let (tables, pool) = compute_letter_routing(&topology, &catalog, letter, &[]);
             route_tables.push(tables);
             attracting.push(pool);
         }
@@ -133,6 +127,8 @@ impl World {
             zone_cache: Mutex::new(HashMap::new()),
             zone_tlds: cfg.zone_tlds,
             seed: cfg.seed,
+            withdrawn: vec![Vec::new(); 13],
+            zonemd_override: None,
         }
     }
 
@@ -169,7 +165,9 @@ impl World {
                 tld_count: self.zone_tlds,
                 inception: day,
                 expiration: day + 14 * 86400,
-                rollout: RolloutPhase::at(day),
+                rollout: self
+                    .zonemd_override
+                    .unwrap_or_else(|| RolloutPhase::at(day)),
             },
             &self.keys,
         ));
@@ -181,6 +179,145 @@ impl World {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// Take `site` of `letter` out of service: it stops originating the
+    /// service prefix and routing for that letter is recomputed. Returns
+    /// `false` (and changes nothing) when the site is unknown or already
+    /// withdrawn. `SiteId`s stay stable — the catalog roster is untouched.
+    pub fn withdraw_site(&mut self, letter: RootLetter, site: SiteId) -> bool {
+        let known = self
+            .catalog
+            .deployment(letter)
+            .sites
+            .iter()
+            .any(|s| s.id == site);
+        let w = &mut self.withdrawn[letter.index()];
+        if !known || w.contains(&site) {
+            return false;
+        }
+        w.push(site);
+        w.sort_unstable();
+        self.recompute_letter(letter);
+        true
+    }
+
+    /// Put a withdrawn site back in service and recompute routing. Returns
+    /// `false` when the site was not withdrawn.
+    pub fn restore_site(&mut self, letter: RootLetter, site: SiteId) -> bool {
+        let w = &mut self.withdrawn[letter.index()];
+        let Some(pos) = w.iter().position(|&s| s == site) else {
+            return false;
+        };
+        w.remove(pos);
+        self.recompute_letter(letter);
+        true
+    }
+
+    /// Sites of `letter` currently withdrawn from service (sorted).
+    pub fn withdrawn_sites(&self, letter: RootLetter) -> &[SiteId] {
+        &self.withdrawn[letter.index()]
+    }
+
+    /// Recompute route tables and attracting pools for one letter from the
+    /// current topology and withdrawal set.
+    pub fn recompute_letter(&mut self, letter: RootLetter) {
+        let (tables, pool) = compute_letter_routing(
+            &self.topology,
+            &self.catalog,
+            letter,
+            &self.withdrawn[letter.index()],
+        );
+        self.route_tables[letter.index()] = tables;
+        self.attracting[letter.index()] = pool;
+    }
+
+    /// Recompute routing for every letter — required after a topology-level
+    /// change (e.g. a peering link failure) that affects all deployments.
+    pub fn recompute_all(&mut self) {
+        for letter in RootLetter::ALL {
+            self.recompute_letter(letter);
+        }
+    }
+
+    /// Order-independent fingerprint of `letter`'s routing state (both
+    /// families, every AS, full candidate lists). Scenario apply→revert
+    /// round-trips are checked against this hash.
+    pub fn routing_hash(&self, letter: RootLetter) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for family in Family::BOTH {
+            let table = self.routes(letter, family);
+            for node in self.topology.nodes() {
+                for c in table.candidates(node.id) {
+                    mix(node.id.0 as u64);
+                    mix(c.site.0 as u64);
+                    mix(c.via.map(|a| a.0 as u64 + 1).unwrap_or(0));
+                    mix(c.learned_from as u64);
+                    mix(c.path.len() as u64);
+                    mix(c.km as u64);
+                }
+            }
+        }
+        h
+    }
+
+    /// Force every generated zone into `phase` (or back to the dated
+    /// timeline with `None`). Drops the zone cache, so zones are rebuilt
+    /// lazily under the new phase.
+    pub fn set_zonemd_override(&mut self, phase: Option<RolloutPhase>) {
+        self.zonemd_override = phase;
+        self.zone_cache.lock().clear();
+    }
+
+    /// The active ZONEMD phase override, if any.
+    pub fn zonemd_override(&self) -> Option<RolloutPhase> {
+        self.zonemd_override
+    }
+}
+
+/// Route tables and attracting pools for one letter, excluding `withdrawn`
+/// sites from propagation. Shared by [`World::build`] and the scenario
+/// mutation paths so both compute routing identically.
+fn compute_letter_routing(
+    topology: &Topology,
+    catalog: &RootCatalog,
+    letter: RootLetter,
+    withdrawn: &[SiteId],
+) -> ([RouteTable; 2], [Vec<SiteId>; 2]) {
+    let full = catalog.deployment(letter);
+    let filtered;
+    let d = if withdrawn.is_empty() {
+        full
+    } else {
+        filtered = netsim::anycast::Deployment {
+            name: full.name.clone(),
+            sites: full
+                .sites
+                .iter()
+                .filter(|s| !withdrawn.contains(&s.id))
+                .cloned()
+                .collect(),
+        };
+        &filtered
+    };
+    let tables = [
+        propagate(topology, d, Family::V4),
+        propagate(topology, d, Family::V6),
+    ];
+    let pool = std::array::from_fn(|fam| {
+        let mut sites: Vec<SiteId> = topology
+            .nodes()
+            .iter()
+            .filter_map(|n| tables[fam].best(n.id).map(|r| r.site))
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites
+    });
+    (tables, pool)
 }
 
 /// Where observations go. Implementations aggregate on the fly, so even
@@ -228,6 +365,64 @@ pub struct SkewEpisode {
     pub until: u32,
 }
 
+/// Per-letter behavioural overrides a scenario epoch can impose on the
+/// engine. The neutral defaults draw no extra randomness and scale nothing,
+/// so a config with neutral overrides is bit-identical to one without.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LetterOverrides {
+    /// Extra multiplier on the letter's churn pressure (route flap burst).
+    pub churn_boost: f64,
+    /// Multiplier on every measured RTT (DDoS-style path inflation).
+    pub rtt_factor: f64,
+    /// When set, every site of the letter serves the zone of this day
+    /// (letter-wide stale-zone degradation).
+    pub stale_stuck_day: Option<u32>,
+    /// Extra per-transfer bitflip probability (letter-wide corrupted
+    /// transfers, on top of per-VP faulty-RAM flips).
+    pub extra_bitflip_prob: f64,
+}
+
+impl Default for LetterOverrides {
+    fn default() -> Self {
+        LetterOverrides {
+            churn_boost: 1.0,
+            rtt_factor: 1.0,
+            stale_stuck_day: None,
+            extra_bitflip_prob: 0.0,
+        }
+    }
+}
+
+impl LetterOverrides {
+    /// True when this override changes nothing.
+    pub fn is_neutral(&self) -> bool {
+        *self == LetterOverrides::default()
+    }
+}
+
+/// Overrides for all 13 letters (indexed by [`RootLetter::index`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineOverrides {
+    per_letter: [LetterOverrides; 13],
+}
+
+impl EngineOverrides {
+    /// The override in force for `letter`.
+    pub fn letter(&self, letter: RootLetter) -> &LetterOverrides {
+        &self.per_letter[letter.index()]
+    }
+
+    /// Mutable override for `letter`.
+    pub fn letter_mut(&mut self, letter: RootLetter) -> &mut LetterOverrides {
+        &mut self.per_letter[letter.index()]
+    }
+
+    /// True when no letter has a non-neutral override.
+    pub fn is_neutral(&self) -> bool {
+        self.per_letter.iter().all(|o| o.is_neutral())
+    }
+}
+
 /// Measurement parameters.
 #[derive(Debug, Clone)]
 pub struct MeasurementConfig {
@@ -242,6 +437,8 @@ pub struct MeasurementConfig {
     pub stale_windows: Vec<StaleWindow>,
     /// Skew episodes (applied to every skewed-clock VP).
     pub skew_episodes: Vec<SkewEpisode>,
+    /// Scenario-epoch behavioural overrides (neutral by default).
+    pub overrides: EngineOverrides,
 }
 
 impl Default for MeasurementConfig {
@@ -282,6 +479,7 @@ impl Default for MeasurementConfig {
                     until: ts("20231222030000").unwrap(),
                 },
             ],
+            overrides: EngineOverrides::default(),
         }
     }
 }
@@ -293,6 +491,39 @@ struct ProbeState {
     /// because an upstream redirect can serve a site off the candidate's
     /// own facility.
     rtt_cache: HashMap<(usize, u32), f64>,
+}
+
+/// Cross-call engine state: the per-(vp, target, family) churn selection
+/// and RTT caches that normally live only for one `run` call.
+///
+/// The scenario engine runs a measurement in epoch slices (one
+/// `run_rounds_session` call per epoch, with world mutations in between)
+/// and needs the churn process to *continue* across the boundary rather
+/// than restart — otherwise an event-free scenario would not reproduce the
+/// continuous pipeline's record stream bit for bit.
+#[derive(Default)]
+pub struct EngineSession {
+    states: HashMap<(u32, usize, usize), ProbeState>,
+}
+
+impl EngineSession {
+    /// A fresh session (no VP has probed yet).
+    pub fn new() -> EngineSession {
+        EngineSession::default()
+    }
+
+    /// Invalidate state that depends on the routing ground truth: cached
+    /// base RTTs (candidate indices may have shifted) and upstream
+    /// redirects (the redirect target may no longer attract traffic).
+    /// Call after any world mutation that recomputed route tables. The
+    /// Markov position survives — it is re-validated against the new
+    /// near-equal set on the next step.
+    pub fn invalidate_routing(&mut self, churn: &ChurnModel) {
+        for state in self.states.values_mut() {
+            state.rtt_cache.clear();
+            churn.reset_override(&mut state.selection);
+        }
+    }
 }
 
 /// The engine.
@@ -331,12 +562,35 @@ impl<'w> MeasurementEngine<'w> {
     /// across rounds, exactly as a real re-measurement campaign would
     /// start from the routes in force when it began.
     pub fn run_rounds_parallel(&self, rounds: &[Round], workers: usize) -> VecSink {
+        let mut session = EngineSession::new();
+        self.run_rounds_session(&mut session, rounds, workers)
+    }
+
+    /// [`run_rounds_parallel`](Self::run_rounds_parallel) with explicit
+    /// cross-call state: churn selection and RTT caches are taken from
+    /// `session` and merged back afterwards, so consecutive calls behave
+    /// exactly like one continuous run over the concatenated round list.
+    pub fn run_rounds_session(
+        &self,
+        session: &mut EngineSession,
+        rounds: &[Round],
+        workers: usize,
+    ) -> VecSink {
         let n = self.world.population.len() as u32;
         let workers = workers.clamp(1, (n as usize).max(1));
         let chunk = n.div_ceil(workers as u32);
-        let results: Mutex<Vec<(u32, VecSink)>> = Mutex::new(Vec::new());
+        // Partition the session state by worker VP range; each worker owns
+        // its slice exclusively (same disjointness argument as the VPs).
+        let mut parts_in: Vec<HashMap<(u32, usize, usize), ProbeState>> =
+            (0..workers).map(|_| HashMap::new()).collect();
+        for (key, state) in session.states.drain() {
+            let w = ((key.0 / chunk) as usize).min(workers - 1);
+            parts_in[w].insert(key, state);
+        }
+        type WorkerOut = (u32, VecSink, HashMap<(u32, usize, usize), ProbeState>);
+        let results: Mutex<Vec<WorkerOut>> = Mutex::new(Vec::new());
         crossbeam::scope(|scope| {
-            for w in 0..workers {
+            for (w, mut states) in parts_in.into_iter().enumerate() {
                 let lo = w as u32 * chunk;
                 let hi = ((w as u32 + 1) * chunk).min(n);
                 if lo >= hi {
@@ -346,28 +600,40 @@ impl<'w> MeasurementEngine<'w> {
                 scope.spawn(move |_| {
                     let ids: Vec<u32> = (lo..hi).collect();
                     let mut sink = VecSink::default();
-                    self.run_vps(&ids, rounds, &mut sink);
-                    results.lock().push((lo, sink));
+                    self.run_vps_with(&mut states, &ids, rounds, &mut sink);
+                    results.lock().push((lo, sink, states));
                 });
             }
         })
         .expect("worker panicked");
         let mut parts = results.into_inner();
-        parts.sort_by_key(|(lo, _)| *lo);
+        parts.sort_by_key(|(lo, _, _)| *lo);
         let mut merged = VecSink::default();
-        for (_, part) in parts {
+        for (_, part, states) in parts {
             merged.probes.extend(part.probes);
             merged.transfers.extend(part.transfers);
+            session.states.extend(states);
         }
         merged
     }
 
     /// Run the measurement for a subset of VPs over the given rounds.
     fn run_vps<S: MeasurementSink>(&self, vp_ids: &[u32], rounds: &[Round], sink: &mut S) {
+        let mut states: HashMap<(u32, usize, usize), ProbeState> = HashMap::new();
+        self.run_vps_with(&mut states, vp_ids, rounds, sink);
+    }
+
+    /// [`run_vps`](Self::run_vps) over caller-owned per-(vp, target,
+    /// family) states.
+    fn run_vps_with<S: MeasurementSink>(
+        &self,
+        states: &mut HashMap<(u32, usize, usize), ProbeState>,
+        vp_ids: &[u32],
+        rounds: &[Round],
+        sink: &mut S,
+    ) {
         let targets = Target::all();
         let root_rng = SimRng::new(self.world.seed()).derive("measurement");
-        // Per-(vp, target, family) states for this subset.
-        let mut states: HashMap<(u32, usize, usize), ProbeState> = HashMap::new();
         for round in rounds {
             for &vp_idx in vp_ids {
                 let vp = self.world.population.get(crate::population::VpId(vp_idx));
@@ -412,6 +678,7 @@ impl<'w> MeasurementEngine<'w> {
         sink: &mut S,
     ) {
         let world = self.world;
+        let ov = self.config.overrides.letter(target.letter);
         let table = world.routes(target.letter, family);
         let timeout = rng.chance(self.config.timeout_prob);
         let site = if timeout {
@@ -422,7 +689,7 @@ impl<'w> MeasurementEngine<'w> {
                 vp.asn,
                 &mut state.selection,
                 rng,
-                churn_multiplier(target.letter, family),
+                churn_multiplier(target.letter, family) * ov.churn_boost,
                 world.attracting_sites(target.letter, family),
             )
         };
@@ -448,7 +715,7 @@ impl<'w> MeasurementEngine<'w> {
                             facility,
                         )
                     });
-                let rtt = self.config.rtt.jittered(base, rng);
+                let rtt = self.config.rtt.jittered(base, rng) * ov.rtt_factor;
                 let hop = if rng.chance(self.config.missing_hop_prob) {
                     None
                 } else {
@@ -473,8 +740,12 @@ impl<'w> MeasurementEngine<'w> {
         // AXFR (once active, every round, as the script does).
         if self.config.schedule.axfr_active(time) && site.is_some() {
             let vp_clock = self.vp_clock(vp, time);
-            let stale = self.stale_at(target.letter, site_city, time);
-            let fault = if let Some(stuck_day) = stale {
+            // A letter-wide degraded-behavior override beats the dated
+            // per-site stale windows.
+            let stale = ov
+                .stale_stuck_day
+                .or_else(|| self.stale_at(target.letter, site_city, time));
+            let mut fault = if let Some(stuck_day) = stale {
                 Some(TransferFault::Stale {
                     serial: serial_of_day(stuck_day),
                 })
@@ -488,6 +759,13 @@ impl<'w> MeasurementEngine<'w> {
                     _ => None,
                 }
             };
+            // Scenario-injected corruption: only draws randomness when the
+            // override is active, so neutral configs stay bit-identical.
+            if fault.is_none() && ov.extra_bitflip_prob > 0.0 && rng.chance(ov.extra_bitflip_prob) {
+                fault = Some(TransferFault::Bitflip {
+                    seed: rng.next_u64(),
+                });
+            }
             let serial = match fault {
                 Some(TransferFault::Stale { serial }) => serial,
                 _ => serial_of_day(time - time % 86400),
@@ -722,6 +1000,137 @@ mod tests {
             assert_eq!(base.0, run.0, "probes differ at {workers} workers");
             assert_eq!(base.1, run.1, "transfers differ at {workers} workers");
         }
+    }
+
+    #[test]
+    fn session_split_matches_continuous_run() {
+        // Epoch-slicing contract: running the schedule in two
+        // `run_rounds_session` calls over the same session (even with
+        // different worker counts) yields the exact record stream of one
+        // continuous run — churn state carries across the boundary.
+        let world = tiny_world();
+        let engine = MeasurementEngine::new(&world, short_config());
+        let rounds: Vec<Round> = engine.config.schedule.rounds().collect();
+        let continuous = engine.run_rounds_parallel(&rounds, 3);
+        let (head, tail) = rounds.split_at(rounds.len() / 2);
+        let mut session = EngineSession::new();
+        let mut sliced = engine.run_rounds_session(&mut session, head, 3);
+        let second = engine.run_rounds_session(&mut session, tail, 2);
+        sliced.probes.extend(second.probes);
+        sliced.transfers.extend(second.transfers);
+        let probe_key = |p: &ProbeRecord| (p.vp, p.time, p.target, p.family);
+        let transfer_key = |t: &TransferRecord| (t.vp, t.time, t.target, t.family);
+        let normalize = |mut s: VecSink| {
+            s.probes.sort_by_key(probe_key);
+            s.transfers.sort_by_key(transfer_key);
+            (s.probes, s.transfers)
+        };
+        assert_eq!(normalize(continuous), normalize(sliced));
+    }
+
+    #[test]
+    fn neutral_overrides_change_nothing() {
+        let world = tiny_world();
+        let base = MeasurementEngine::new(&world, short_config());
+        let mut cfg = short_config();
+        // Explicitly-neutral override values must not perturb the stream.
+        *cfg.overrides.letter_mut(RootLetter::G) = LetterOverrides::default();
+        assert!(cfg.overrides.is_neutral());
+        let overridden = MeasurementEngine::new(&world, cfg);
+        let mut a = VecSink::default();
+        base.run(&mut a);
+        let mut b = VecSink::default();
+        overridden.run(&mut b);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.transfers, b.transfers);
+    }
+
+    #[test]
+    fn override_knobs_bite() {
+        let world = tiny_world();
+        let mut cfg = short_config();
+        {
+            let ov = cfg.overrides.letter_mut(RootLetter::K);
+            ov.rtt_factor = 10.0;
+            ov.extra_bitflip_prob = 1.0;
+        }
+        let engine = MeasurementEngine::new(&world, cfg);
+        let mut sink = VecSink::default();
+        engine.run(&mut sink);
+        let base_engine = MeasurementEngine::new(&world, short_config());
+        let mut base = VecSink::default();
+        base_engine.run(&mut base);
+        // RTT inflation: every K probe with an RTT is exactly 10× its
+        // baseline counterpart (same rng stream, scaled after jitter).
+        let rtts = |s: &VecSink| -> Vec<f64> {
+            s.probes
+                .iter()
+                .filter(|p| p.target.letter == RootLetter::K)
+                .filter_map(|p| p.rtt_ms)
+                .collect()
+        };
+        let (inflated, baseline) = (rtts(&sink), rtts(&base));
+        assert_eq!(inflated.len(), baseline.len());
+        assert!(!inflated.is_empty());
+        for (i, b) in inflated.iter().zip(&baseline) {
+            assert!((i - b * 10.0).abs() < 1e-9);
+        }
+        // Certain corruption: every K transfer carries a bitflip fault.
+        let k_transfers: Vec<_> = sink
+            .transfers
+            .iter()
+            .filter(|t| t.target.letter == RootLetter::K)
+            .collect();
+        assert!(!k_transfers.is_empty());
+        for t in k_transfers {
+            assert!(
+                matches!(t.fault, Some(TransferFault::Bitflip { .. })),
+                "unflipped K transfer"
+            );
+        }
+        // Other letters are untouched.
+        let a_probes = |s: &VecSink| -> Vec<_> {
+            s.probes
+                .iter()
+                .filter(|p| p.target.letter == RootLetter::A)
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(a_probes(&sink), a_probes(&base));
+    }
+
+    #[test]
+    fn withdraw_and_restore_round_trips_routing() {
+        let mut world = tiny_world();
+        let letter = RootLetter::F;
+        let before = world.routing_hash(letter);
+        let site = world.catalog.deployment(letter).sites[0].id;
+        assert!(world.withdraw_site(letter, site));
+        // Withdrawn: no AS may select the site any more.
+        for family in Family::BOTH {
+            assert!(!world.attracting_sites(letter, family).contains(&site));
+        }
+        assert_ne!(world.routing_hash(letter), before, "withdrawal is a no-op");
+        // Double-withdraw and unknown sites are rejected.
+        assert!(!world.withdraw_site(letter, site));
+        assert!(!world.withdraw_site(letter, SiteId(9999)));
+        assert!(world.restore_site(letter, site));
+        assert_eq!(world.routing_hash(letter), before);
+        assert!(!world.restore_site(letter, site));
+    }
+
+    #[test]
+    fn zonemd_override_changes_generated_zones() {
+        let mut world = tiny_world();
+        let t = crate::schedule::MEASUREMENT_START + 100;
+        let before = world.zone_at(t);
+        world.set_zonemd_override(Some(RolloutPhase::Validating));
+        let forced = world.zone_at(t);
+        assert!(!Arc::ptr_eq(&before, &forced));
+        world.set_zonemd_override(None);
+        let after = world.zone_at(t);
+        // Same config as the original build (fresh cache, equal content).
+        assert_eq!(before.serial(), after.serial());
     }
 
     #[test]

@@ -23,7 +23,8 @@ pub mod records;
 pub mod schedule;
 
 pub use engine::{
-    MeasurementConfig, MeasurementEngine, MeasurementSink, VecSink, World, WorldBuildConfig,
+    EngineOverrides, EngineSession, LetterOverrides, MeasurementConfig, MeasurementEngine,
+    MeasurementSink, VecSink, World, WorldBuildConfig,
 };
 pub use population::{Population, PopulationConfig, VantagePoint, VpFault, VpId};
 pub use records::{ProbeRecord, Target, TransferFault, TransferRecord};

@@ -74,6 +74,23 @@ impl Schedule {
         }
     }
 
+    /// Add a high-resolution window of `half_width` seconds on each side
+    /// of every time in `times` (clamped to the schedule span) — the
+    /// paper's intensified probing around change events, applied by the
+    /// scenario engine at event boundaries. Windows are appended; overlap
+    /// with existing windows is harmless since [`Schedule::interval_at`]
+    /// takes any matching window.
+    pub fn with_bursts_around(mut self, times: &[u32], half_width: u32) -> Self {
+        for &t in times {
+            let from = t.saturating_sub(half_width).max(self.start);
+            let until = t.saturating_add(half_width).min(self.end);
+            if from < until {
+                self.burst_windows.push((from, until));
+            }
+        }
+        self
+    }
+
     /// The interval in force at `time`.
     pub fn interval_at(&self, time: u32) -> u32 {
         if self

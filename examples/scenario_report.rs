@@ -1,0 +1,45 @@
+//! Drive the simulated root server system through a three-event change
+//! timeline — a d.root site outage, the b.root renumbering, and a g.root
+//! route-flap burst — and print the per-epoch diff table for each affected
+//! letter: catchment shift, RTT deltas, loss, validation failures.
+//!
+//! ```sh
+//! cargo run --release --example scenario_report            # tiny scale
+//! cargo run --release --example scenario_report -- small   # full world
+//! ```
+
+use roots_core::scenarios::{catalog, ScenarioPipeline};
+use roots_core::Scale;
+use rss::RootLetter;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::Small,
+        Some("paper") => Scale::Paper,
+        _ => Scale::Tiny,
+    };
+    let scenario = catalog::outage_renumber_flap();
+    println!(
+        "scenario '{}' at {:?} scale — {} events:",
+        scenario.name(),
+        scale,
+        scenario.events().len()
+    );
+    for ev in scenario.events() {
+        let until = ev
+            .until
+            .map(|u| format!("{u}"))
+            .unwrap_or_else(|| "∞".to_string());
+        println!("  {:24} [{}, {})", ev.kind.label(), ev.at, until);
+    }
+
+    let p = ScenarioPipeline::run(scale, &scenario);
+    println!(
+        "\n{} epochs measured ({} probes total)\n",
+        p.run.epochs.len(),
+        p.run.epochs.iter().map(|e| e.probes.len()).sum::<usize>()
+    );
+    for letter in [RootLetter::D, RootLetter::B, RootLetter::G] {
+        println!("{}", p.report(letter).render());
+    }
+}

@@ -7,8 +7,16 @@
 //! runs a short calibrated loop and prints a mean wall-clock time per
 //! iteration — enough to track perf trajectories without the statistics
 //! machinery of the real crate.
+//!
+//! Besides the human-readable lines, every measured mean is accumulated
+//! in-process and flushed by [`write_results`] (called from
+//! `criterion_main!`) into a machine-readable `BENCH_results.json` — a
+//! flat `{"bench label": mean_ns_per_iter}` map, merged across the bench
+//! binaries of a `cargo bench` invocation. Set `BENCH_RESULTS_PATH` to
+//! redirect the file.
 
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-exported opaque-value helper; defeats constant folding well enough
@@ -114,6 +122,57 @@ impl Bencher {
     }
 }
 
+/// Results accumulated by every [`run_bench`] call in this process.
+fn results() -> &'static Mutex<Vec<(String, f64)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Flush the accumulated means to `BENCH_results.json` (or the path in
+/// `BENCH_RESULTS_PATH`), merging with any existing file so the bench
+/// binaries of one `cargo bench` run build up a single map. Labels are
+/// unique per run; a re-measured label overwrites its old entry.
+pub fn write_results() {
+    let recorded = results().lock().unwrap();
+    if recorded.is_empty() {
+        return;
+    }
+    let path =
+        std::env::var("BENCH_RESULTS_PATH").unwrap_or_else(|_| "BENCH_results.json".to_string());
+    let mut merged: Vec<(String, f64)> = std::fs::read_to_string(&path)
+        .map(|s| parse_results(&s))
+        .unwrap_or_default();
+    for (label, ns) in recorded.iter() {
+        match merged.iter_mut().find(|(l, _)| l == label) {
+            Some(slot) => slot.1 = *ns,
+            None => merged.push((label.clone(), *ns)),
+        }
+    }
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (label, ns)) in merged.iter().enumerate() {
+        let comma = if i + 1 < merged.len() { "," } else { "" };
+        out.push_str(&format!("  \"{label}\": {ns:.1}{comma}\n"));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+/// Parse the flat `{"label": ns}` map this crate writes. Labels never
+/// contain quotes, so a line-oriented scan is exact for our own output
+/// (anything unparseable is skipped).
+fn parse_results(s: &str) -> Vec<(String, f64)> {
+    s.lines()
+        .filter_map(|line| {
+            let (key, value) = line.trim().strip_prefix('"')?.split_once("\":")?;
+            let value = value.trim().trim_end_matches(',');
+            Some((key.to_string(), value.parse().ok()?))
+        })
+        .collect()
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: u64, mut f: F) {
     // Calibration pass: find an iteration count that runs long enough to
     // time meaningfully but keeps the whole bench fast (~tens of ms).
@@ -135,6 +194,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: u64, mut f: F) {
         fmt_nanos(mean),
         bencher.iters
     );
+    results().lock().unwrap().push((label.to_string(), mean));
 }
 
 fn fmt_nanos(ns: f64) -> String {
@@ -267,6 +327,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_results();
         }
     };
 }
@@ -292,6 +353,21 @@ mod tests {
             b.iter(|| black_box(n) * 2)
         });
         group.finish();
+    }
+
+    #[test]
+    fn parse_results_roundtrips_own_format() {
+        let written = "{\n  \"a/b\": 12.5,\n  \"zone/build\": 1234567.0\n}\n";
+        let parsed = parse_results(written);
+        assert_eq!(
+            parsed,
+            vec![
+                ("a/b".to_string(), 12.5),
+                ("zone/build".to_string(), 1_234_567.0)
+            ]
+        );
+        // Junk lines are skipped, not fatal.
+        assert!(parse_results("not json at all").is_empty());
     }
 
     #[test]

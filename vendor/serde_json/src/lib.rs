@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_json`.
 //!
 //! JSON text encoding/decoding over the vendored `serde` stand-in's
-//! [`Value`](serde::Value) tree: `to_string`/`to_writer`/`to_vec` on the
+//! [`Value`] tree: `to_string`/`to_writer`/`to_vec` on the
 //! write side, `from_str`/`from_slice` on the read side. The emitted JSON
 //! is standard (RFC 8259); numbers pass through as literal text so every
 //! `u64` round-trips exactly.
