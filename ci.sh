@@ -5,9 +5,10 @@
 #   1. release build of every crate;
 #   2. full test suite;
 #   3. examples build + smoke runs (tiny scale, temp output dirs);
-#   4. rustdoc with warnings promoted to errors;
-#   5. formatting check;
-#   6. clippy with warnings promoted to errors.
+#   4. bench smoke run refreshing the committed BENCH_results.json;
+#   5. rustdoc with warnings promoted to errors;
+#   6. formatting check;
+#   7. clippy with warnings promoted to errors.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,6 +26,12 @@ cargo run -q --release --offline --example anycast_explorer > /dev/null
 cargo run -q --release --offline --example broot_renumbering > /dev/null
 cargo run -q --release --offline --example export_figures -- "$figdir" > /dev/null
 cargo run -q --release --offline --example scenario_report > /dev/null
+cargo run -q --release --offline --example rootd_bench -- tiny 20000 > /dev/null
+
+# Bench smoke: every bench target runs end to end and merges its numbers
+# into the committed BENCH_results.json, including the rootd loadgen's
+# million-query throughput/latency figures (a few seconds of wall clock).
+BENCH_RESULTS_PATH="$PWD/BENCH_results.json" cargo bench --offline -q > /dev/null
 
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet
 

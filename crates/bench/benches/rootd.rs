@@ -1,0 +1,103 @@
+//! Serving-layer benchmarks: per-query engine cost for every answer shape
+//! (apex data, referral, NXDOMAIN, the oversized priming response, CHAOS
+//! identity), the AXFR stream, and a full load-generator run that pushes
+//! one million B-Root-shaped queries through the parse → serve → encode
+//! path and publishes throughput plus latency quantiles into
+//! `BENCH_results.json` via [`criterion::record_metric`].
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+use dns_wire::edns::{set_edns, Edns};
+use dns_wire::{Message, Name, Question, RrType};
+use dns_zone::rollout::RolloutPhase;
+use dns_zone::rootzone::{build_root_zone, tld_label, RootZoneConfig};
+use dns_zone::signer::ZoneKeys;
+use rootd::{LoadgenConfig, QueryMix, Rootd, SiteIdentity, ZoneIndex};
+use roots_core::{Scale, ServingPipeline};
+use rss::RootLetter;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn engine() -> Rootd {
+    let zone = build_root_zone(
+        &RootZoneConfig {
+            tld_count: 50,
+            rollout: RolloutPhase::Validating,
+            ..Default::default()
+        },
+        &ZoneKeys::from_seed(7),
+    );
+    Rootd::new(
+        Arc::new(ZoneIndex::build(Arc::new(zone))),
+        SiteIdentity::named("lax1b"),
+    )
+}
+
+fn query(name: &str, rr_type: RrType, dnssec: bool) -> Vec<u8> {
+    let mut q = Message::query(1, Question::new(Name::parse(name).unwrap(), rr_type));
+    if dnssec {
+        set_edns(&mut q, &Edns::dnssec());
+    }
+    q.to_wire()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let engine = engine();
+    let mut group = c.benchmark_group("rootd");
+    for (label, wire) in [
+        ("serve_soa", query(".", RrType::Soa, false)),
+        ("serve_soa_do", query(".", RrType::Soa, true)),
+        (
+            "serve_referral_do",
+            query(&format!("{}.", tld_label(7)), RrType::A, true),
+        ),
+        ("serve_nxdomain_do", query("nosuchtld.", RrType::A, true)),
+        ("serve_priming_tc", query(".", RrType::Ns, true)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.serve_udp(black_box(&wire))))
+        });
+    }
+    let chaos = Message::query(1, Question::chaos_txt(Name::parse("id.server.").unwrap()));
+    let chaos_wire = chaos.to_wire();
+    group.bench_function("serve_chaos", |b| {
+        b.iter(|| black_box(engine.serve_udp(black_box(&chaos_wire))))
+    });
+    let axfr = Message::query(1, Question::new(Name::root(), RrType::Axfr)).to_wire();
+    group.sample_size(20);
+    group.bench_function("serve_axfr_stream", |b| {
+        b.iter(|| black_box(engine.serve_tcp(black_box(&axfr)).len()))
+    });
+    group.finish();
+}
+
+/// Not a timed closure: one long load-generator run whose own counters are
+/// the measurement. A million seeded queries replayed from simulated
+/// clients against B-Root's per-site engines; the report's throughput and
+/// latency quantiles are recorded as metrics.
+fn bench_loadgen(_c: &mut Criterion) {
+    let queries: usize = std::env::var("ROOTD_BENCH_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let cfg = LoadgenConfig {
+        clients: 256,
+        queries,
+        threads,
+        seed: 0x2023_0703,
+        mix: QueryMix::broot(),
+    };
+    let p = ServingPipeline::run(Scale::Tiny, RootLetter::B, &cfg);
+    assert_eq!(p.report.queries, queries);
+    assert!(p.report.responses as usize > queries * 9 / 10);
+    for (label, value) in p.report.metrics("rootd/loadgen") {
+        record_metric(&label, value);
+    }
+    record_metric("rootd/loadgen/queries", p.report.queries as f64);
+}
+
+criterion_group!(benches, bench_engine, bench_loadgen);
+criterion_main!(benches);

@@ -171,7 +171,20 @@ pub fn registry() -> Vec<Experiment> {
             paper_ref: "extension: epoch diffs under injected change events (scenario engine)",
             run: |_| scenario_demo(),
         },
+        Experiment {
+            id: "rootd_demo",
+            paper_ref: "extension: wire-level root serving under B-Root-shaped load (rootd)",
+            run: |_| rootd_demo(),
+        },
     ]
+}
+
+/// The serving-layer demo: B-Root's anycast fleet as wire-level engines
+/// under a short seeded load. `Tiny` scale and memoized, like
+/// [`scenario_demo`] — the entry demonstrates the serving path, not
+/// paper-scale throughput (that is `examples/rootd_bench.rs`).
+fn rootd_demo() -> String {
+    crate::serving::ServingPipeline::shared_demo().render_deterministic()
 }
 
 /// The scenario-engine demo: the built-in outage → renumbering → flap

@@ -28,7 +28,9 @@ pub mod experiments;
 pub mod pipeline;
 pub mod scale;
 pub mod scenarios;
+pub mod serving;
 
 pub use pipeline::Pipeline;
 pub use scale::Scale;
 pub use scenarios::ScenarioPipeline;
+pub use serving::ServingPipeline;

@@ -36,4 +36,4 @@ pub use name::Name;
 pub use rdata::Rdata;
 pub use record::Record;
 pub use rrtype::RrType;
-pub use wire::{WireError, WireReader, WireWriter};
+pub use wire::{WireError, WireReader, WireWriter, MAX_POINTER_JUMPS};

@@ -10,13 +10,25 @@ use std::collections::HashMap;
 /// Maximum offset addressable by a 14-bit compression pointer.
 const MAX_POINTER_TARGET: usize = 0x3fff;
 
+/// Hard cap on compression-pointer jumps followed while decoding one name.
+///
+/// A 255-byte name has at most 127 labels, so any legitimate chain — even
+/// one pointer per label — stays far below this. The monotonic-target rule
+/// in [`WireReader::read_name_labels`] already makes loops structurally
+/// impossible; the cap is defence in depth against degenerate (but acyclic)
+/// chains in hostile messages.
+pub const MAX_POINTER_JUMPS: u32 = 64;
+
 /// Errors while decoding wire data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
     /// Read past the end of the buffer.
     Truncated,
-    /// A compression pointer points forward or at itself, or too many jumps.
-    BadPointer,
+    /// A compression pointer points at or past its own position.
+    ForwardPointer,
+    /// A pointer chain loops: a jump landed at or after an earlier jump
+    /// target, or more than [`MAX_POINTER_JUMPS`] jumps were followed.
+    PointerLoop,
     /// A label length byte uses the reserved 0b10/0b01 prefixes.
     BadLabelType,
     /// Decoded name exceeds 255 bytes.
@@ -33,7 +45,8 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Truncated => write!(f, "truncated message"),
-            WireError::BadPointer => write!(f, "invalid compression pointer"),
+            WireError::ForwardPointer => write!(f, "compression pointer points forward"),
+            WireError::PointerLoop => write!(f, "compression pointer chain loops"),
             WireError::BadLabelType => write!(f, "reserved label type"),
             WireError::NameTooLong => write!(f, "decoded name too long"),
             WireError::BadRdataLength => write!(f, "rdata length mismatch"),
@@ -105,14 +118,21 @@ impl<'a> WireReader<'a> {
 
     /// Read a possibly-compressed name as raw labels.
     ///
-    /// Pointers must point strictly backwards; at most 128 jumps are
-    /// followed (any legitimate name needs far fewer), so crafted loops
-    /// cannot hang the decoder.
+    /// Pointer chasing is bounded two ways. Every jump must land strictly
+    /// before its own position ([`WireError::ForwardPointer`] otherwise)
+    /// *and* strictly before every earlier jump target, so targets decrease
+    /// monotonically and loops are structurally impossible
+    /// ([`WireError::PointerLoop`]). Compliant encoders always point at the
+    /// first occurrence of a suffix, which was written before the name now
+    /// referencing it, so real messages satisfy the monotonic rule; only
+    /// crafted chains trip it. A hard cap of [`MAX_POINTER_JUMPS`] jumps
+    /// backstops degenerate acyclic chains.
     pub fn read_name_labels(&mut self) -> Result<Vec<Vec<u8>>, WireError> {
         let mut labels = Vec::new();
         let mut wire_len = 1usize; // trailing root byte
         let mut pos = self.pos;
         let mut followed: u32 = 0;
+        let mut lowest_target: Option<usize> = None;
         let mut end_after_first_pointer: Option<usize> = None;
         loop {
             let len = *self.buf.get(pos).ok_or(WireError::Truncated)? as usize;
@@ -139,11 +159,15 @@ impl<'a> WireReader<'a> {
                         end_after_first_pointer = Some(pos + 2);
                     }
                     if target >= pos {
-                        return Err(WireError::BadPointer);
+                        return Err(WireError::ForwardPointer);
                     }
+                    if lowest_target.is_some_and(|lowest| target >= lowest) {
+                        return Err(WireError::PointerLoop);
+                    }
+                    lowest_target = Some(target);
                     followed += 1;
-                    if followed > 128 {
-                        return Err(WireError::BadPointer);
+                    if followed > MAX_POINTER_JUMPS {
+                        return Err(WireError::PointerLoop);
                     }
                     pos = target;
                 }
@@ -343,16 +367,54 @@ mod tests {
         // Pointer at offset 0 pointing to itself.
         let bytes = [0xc0, 0x00];
         let mut r = WireReader::new(&bytes);
-        assert_eq!(r.read_name_labels(), Err(WireError::BadPointer));
+        assert_eq!(r.read_name_labels(), Err(WireError::ForwardPointer));
+        // Pointer at offset 0 pointing past itself.
+        let bytes = [0xc0, 0x05, 1, b'a', 0];
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name_labels(), Err(WireError::ForwardPointer));
     }
 
     #[test]
     fn pointer_loop_rejected() {
-        // Two pointers pointing at each other.
+        // Two pointers pointing at each other: after jumping to offset 0,
+        // that pointer targets offset 2 — at/past its own position.
         let bytes = [0xc0, 0x02, 0xc0, 0x00];
         let mut r = WireReader::new(&bytes);
         r.pos = 2;
-        assert_eq!(r.read_name_labels(), Err(WireError::BadPointer));
+        assert_eq!(r.read_name_labels(), Err(WireError::ForwardPointer));
+    }
+
+    #[test]
+    fn label_pointer_cycle_rejected() {
+        // A cycle through a label: pointer at 3 → 0, labels at 0..3, then
+        // the pointer at 3 again. The second visit jumps to 0 which is not
+        // strictly below the previous target 0.
+        let bytes = [1, b'a', 0xc0, 0x00];
+        let mut r = WireReader::new(&bytes);
+        r.pos = 2;
+        assert_eq!(r.read_name_labels(), Err(WireError::PointerLoop));
+    }
+
+    #[test]
+    fn monotonic_chain_within_jump_budget_accepted() {
+        // A strictly-backwards chain of pointers ending in a real label:
+        // "x." at 0, then MAX_POINTER_JUMPS pointers each targeting the
+        // previous one. Reading from the last pointer follows every jump.
+        let mut bytes = vec![1, b'x', 0];
+        for _ in 0..MAX_POINTER_JUMPS {
+            let target = if bytes.len() == 3 { 0 } else { bytes.len() - 2 };
+            bytes.extend_from_slice(&[0xc0 | (target >> 8) as u8, target as u8]);
+        }
+        let start = bytes.len() - 2;
+        let mut r = WireReader::new(&bytes);
+        r.pos = start;
+        assert_eq!(r.read_name_labels().unwrap(), vec![b"x".to_vec()]);
+        // One more pointer exceeds the jump budget.
+        let target = bytes.len() - 2;
+        bytes.extend_from_slice(&[0xc0 | (target >> 8) as u8, target as u8]);
+        let mut r = WireReader::new(&bytes);
+        r.pos = bytes.len() - 2;
+        assert_eq!(r.read_name_labels(), Err(WireError::PointerLoop));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests for the wire codec.
 
 use dns_wire::rdata::{Rdata, Soa};
+use dns_wire::wire::WireError;
 use dns_wire::{Message, Name, Question, Record, RrType, WireReader, WireWriter};
 use proptest::prelude::*;
 
@@ -142,5 +143,62 @@ proptest! {
         let line = dns_wire::presentation::record_to_line(&rec);
         let back = dns_wire::presentation::record_from_line(&line).unwrap();
         prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn malformed_pointer_chains_never_hang_or_panic(
+        // A buffer of random compression pointers with arbitrary 14-bit
+        // targets, optionally salted with label bytes, read from a random
+        // start offset. Chains may loop, point forward, or run off the end;
+        // the reader must always terminate with a typed error or a bounded
+        // name, never panic or spin.
+        pointers in proptest::collection::vec(0u16..0x4000, 1..64),
+        fill in proptest::collection::vec(any::<u8>(), 0..32),
+        start_frac in 0usize..1000,
+    ) {
+        let mut bytes = fill;
+        for target in &pointers {
+            bytes.push(0xc0 | (target >> 8) as u8);
+            bytes.push(*target as u8);
+        }
+        let start = start_frac * bytes.len() / 1000;
+        let mut r = WireReader::new(&bytes);
+        let mut skipped = WireReader::new(&bytes);
+        let _ = skipped.read_bytes(start);
+        match skipped.read_name_labels() {
+            Ok(labels) => {
+                // A successful decode obeys the RFC 1035 name bound.
+                let wire_len: usize =
+                    1 + labels.iter().map(|l| l.len() + 1).sum::<usize>();
+                prop_assert!(wire_len <= 255);
+            }
+            Err(e) => prop_assert!(matches!(
+                e,
+                WireError::Truncated
+                    | WireError::ForwardPointer
+                    | WireError::PointerLoop
+                    | WireError::BadLabelType
+                    | WireError::NameTooLong
+            )),
+        }
+        let _ = r.read_name_labels();
+    }
+
+    #[test]
+    fn pure_pointer_chain_from_end_errors_with_typed_error(
+        targets in proptest::collection::vec(0u16..0x1000, 2..40),
+    ) {
+        // Consecutive pointers with arbitrary targets, read from the last
+        // one: the chain can only end in a typed pointer/truncation error
+        // or a label-type error — never a panic or hang.
+        let mut bytes = Vec::new();
+        for t in &targets {
+            bytes.push(0xc0 | (t >> 8) as u8);
+            bytes.push(*t as u8);
+        }
+        let start = bytes.len() - 2;
+        let mut r = WireReader::new(&bytes);
+        let _ = r.read_bytes(start);
+        let _ = r.read_name_labels();
     }
 }

@@ -23,6 +23,25 @@ pub const ROOT_LETTERS: [char; 13] = [
     'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm',
 ];
 
+/// Published root server addresses (post-renumbering B, the paper's
+/// subject). These become the glue A/AAAA records under
+/// `X.root-servers.net` exactly as the real zone file carries them.
+pub const ROOT_SERVER_ADDRS: [(char, &str, &str); 13] = [
+    ('a', "198.41.0.4", "2001:503:ba3e::2:30"),
+    ('b', "170.247.170.2", "2801:1b8:10::b"),
+    ('c', "192.33.4.12", "2001:500:2::c"),
+    ('d', "199.7.91.13", "2001:500:2d::d"),
+    ('e', "192.203.230.10", "2001:500:a8::e"),
+    ('f', "192.5.5.241", "2001:500:2f::f"),
+    ('g', "192.112.36.4", "2001:500:12::d0d"),
+    ('h', "198.97.190.53", "2001:500:1::53"),
+    ('i', "192.36.148.17", "2001:7fe::53"),
+    ('j', "192.58.128.30", "2001:503:c27::2:30"),
+    ('k', "193.0.14.129", "2001:7fd::1"),
+    ('l', "199.7.83.42", "2001:500:9f::42"),
+    ('m', "202.12.27.33", "2001:dc3::35"),
+];
+
 /// Well-known real TLD labels used for the first delegations, so the zone
 /// looks right in examples; beyond these the generator synthesizes labels.
 const COMMON_TLDS: &[&str] = &[
@@ -76,12 +95,27 @@ pub fn build_root_zone(cfg: &RootZoneConfig, keys: &ZoneKeys) -> Zone {
         }),
     ))
     .unwrap();
-    // Apex NS set: the 13 letters.
-    for letter in ROOT_LETTERS {
+    // Apex NS set: the 13 letters, with their published glue addresses —
+    // the real root zone ships these so priming responses (RFC 8109) can
+    // carry the full server set with addresses.
+    for (letter, v4, v6) in ROOT_SERVER_ADDRS {
+        let ns_name = Name::parse(&format!("{letter}.root-servers.net.")).unwrap();
         zone.push(Record::new(
             Name::root(),
             518400,
-            Rdata::Ns(Name::parse(&format!("{letter}.root-servers.net.")).unwrap()),
+            Rdata::Ns(ns_name.clone()),
+        ))
+        .unwrap();
+        zone.push(Record::new(
+            ns_name.clone(),
+            518400,
+            Rdata::A(v4.parse().expect("valid literal")),
+        ))
+        .unwrap();
+        zone.push(Record::new(
+            ns_name,
+            518400,
+            Rdata::Aaaa(v6.parse().expect("valid literal")),
         ))
         .unwrap();
     }

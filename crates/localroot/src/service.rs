@@ -7,7 +7,8 @@ use dns_wire::{Message, Name, Question, Rcode, RrType};
 use dns_zone::validate::validate_zone;
 use dns_zone::zonemd::{verify_zonemd, ZonemdError};
 use dns_zone::Zone;
-use rss::{BRootPhase, RootLetter, RootServer};
+use rootd::{InprocTransport, Rootd, SiteIdentity, Transport, ZoneIndex};
+use rss::{RootLetter, RootServer};
 use std::sync::Arc;
 
 /// The set of upstream root servers a local root can transfer from.
@@ -219,10 +220,27 @@ impl LocalRoot {
     }
 }
 
-/// Poll the upstream's SOA serial (one query, like `dig SOA .`).
+/// A wire-level serving endpoint for one upstream: the server's currently
+/// served zone (stale copy and all) behind a `rootd` engine, reached over
+/// the deterministic in-proc transport. The refresh loop talks bytes, not
+/// structs — the same parse→serve→encode path a network client exercises.
+fn upstream_transport(server: &RootServer) -> InprocTransport {
+    let index = Arc::new(ZoneIndex::build(Arc::clone(server.served_zone())));
+    let identity = SiteIdentity {
+        hostname: server.identity.clone(),
+        version: format!("rootd 0.1 ({}.root)", server.letter.ch()),
+    };
+    InprocTransport::new(Arc::new(Rootd::new(index, identity)))
+}
+
+/// Poll the upstream's SOA serial (one query, like `dig SOA .`), over the
+/// wire codec.
 fn poll_serial(server: &RootServer) -> Option<u32> {
     let q = Message::query(0, Question::new(Name::root(), RrType::Soa));
-    let resp = server.answer(&q, BRootPhase::New);
+    let raw = upstream_transport(server)
+        .exchange_udp(&q.to_wire())
+        .ok()??;
+    let resp = Message::from_wire(&raw).ok()?;
     resp.answers.iter().find_map(|r| match &r.rdata {
         dns_wire::Rdata::Soa(soa) => Some(soa.serial),
         _ => None,
@@ -243,10 +261,21 @@ fn attempt_transfer(
     now: u32,
     policy: &ValidationPolicy,
 ) -> Result<Zone, TransferRejected> {
-    let messages = server
-        .serve_transfer(0x4242)
+    // AXFR over the wire path: a TCP-semantics exchange of framed message
+    // bytes, each frame re-parsed with the real codec before reassembly.
+    let q = Message::query(0x4242, Question::new(Name::root(), RrType::Axfr));
+    let frames = upstream_transport(server)
+        .exchange_tcp(&q.to_wire())
         .map_err(|e| TransferRejected {
             message: format!("transfer failed: {e}"),
+            protocol_level: true,
+        })?;
+    let messages: Vec<Message> = frames
+        .iter()
+        .map(|f| Message::from_wire(f))
+        .collect::<Result<_, _>>()
+        .map_err(|e| TransferRejected {
+            message: format!("transfer frame unparseable: {e:?}"),
             protocol_level: true,
         })?;
     let zone =

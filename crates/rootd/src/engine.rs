@@ -1,0 +1,575 @@
+//! The answer path: request bytes in, response bytes out.
+//!
+//! [`Rootd`] is one serving instance — one anycast site's worth of
+//! authoritative root service. It parses untrusted request bytes with
+//! [`Message::from_wire`], resolves the question against the precompiled
+//! [`ZoneIndex`], and encodes the response honoring the client's EDNS
+//! payload budget with TC-bit truncation at record boundaries. AXFR is
+//! served as the multi-message stream `dns_zone::axfr` produces; CHAOS
+//! identity queries answer from the site's [`SiteIdentity`].
+
+use crate::index::{Lookup, ZoneIndex};
+use dns_wire::edns::{edns_of, set_edns, Edns};
+use dns_wire::message::Opcode;
+use dns_wire::rdata::Rdata;
+use dns_wire::{Class, Message, Question, Rcode, Record, RrType};
+use dns_zone::axfr::serve_axfr;
+use rss::catalog::RootSite;
+use rss::RootLetter;
+use std::sync::Arc;
+
+/// Minimum response budget every DNS/UDP client must accept (RFC 1035).
+pub const MIN_UDP_PAYLOAD: usize = 512;
+
+/// The payload size this server advertises in its own OPT records, and the
+/// ceiling it honors from clients (RFC 6891 recommends not trusting larger
+/// advertisements across unknown paths).
+pub const MAX_UDP_PAYLOAD: usize = 4096;
+
+/// What an instance reports on the CHAOS identity channel.
+#[derive(Debug, Clone)]
+pub struct SiteIdentity {
+    /// `hostname.bind` / `id.server` answer. `None` models operators that
+    /// disable identity queries (REFUSED).
+    pub hostname: Option<String>,
+    /// `version.bind` / `version.server` banner.
+    pub version: String,
+}
+
+impl Default for SiteIdentity {
+    fn default() -> Self {
+        SiteIdentity {
+            hostname: None,
+            version: "rootd 0.1".to_string(),
+        }
+    }
+}
+
+impl SiteIdentity {
+    /// The identity a catalog site exposes: its published instance
+    /// identifier when the letter maps one, nothing otherwise.
+    pub fn for_site(site: &RootSite) -> SiteIdentity {
+        SiteIdentity {
+            hostname: site.instance_id.clone(),
+            version: format!("rootd 0.1 ({}.root)", site.letter.ch()),
+        }
+    }
+
+    /// A named instance (tests, single-server setups).
+    pub fn named(hostname: &str) -> SiteIdentity {
+        SiteIdentity {
+            hostname: Some(hostname.to_string()),
+            ..Default::default()
+        }
+    }
+}
+
+/// One authoritative serving instance.
+#[derive(Debug)]
+pub struct Rootd {
+    index: Arc<ZoneIndex>,
+    identity: SiteIdentity,
+    /// Answer records per AXFR message.
+    axfr_batch: usize,
+    /// Which letter the instance serves as (CHAOS banner flavour only; the
+    /// zone is the same for all letters).
+    pub letter: Option<RootLetter>,
+}
+
+impl Rootd {
+    /// An instance serving `index` with `identity`.
+    pub fn new(index: Arc<ZoneIndex>, identity: SiteIdentity) -> Rootd {
+        Rootd {
+            index,
+            identity,
+            axfr_batch: dns_zone::axfr::DEFAULT_BATCH,
+            letter: None,
+        }
+    }
+
+    /// The zone index being served.
+    pub fn index(&self) -> &Arc<ZoneIndex> {
+        &self.index
+    }
+
+    /// Override the AXFR message batch size (framing granularity only).
+    pub fn with_axfr_batch(mut self, batch: usize) -> Rootd {
+        self.axfr_batch = batch.max(1);
+        self
+    }
+
+    /// Serve one UDP datagram: `None` means drop (unparseable beyond the
+    /// header, or a stray response). The returned datagram never exceeds
+    /// the client's advertised EDNS payload size (512 without EDNS); when
+    /// the full response would, records are dropped at record boundaries
+    /// and TC is set so the client retries over TCP.
+    pub fn serve_udp(&self, request: &[u8]) -> Option<Vec<u8>> {
+        let query = match Message::from_wire(request) {
+            Ok(q) => q,
+            // Untrusted bytes: answer FORMERR when at least a header is
+            // there to echo, drop otherwise (real servers do both).
+            Err(_) => return formerr_stub(request),
+        };
+        if query.header.flags.response {
+            return None;
+        }
+        let limit = udp_limit(&query);
+        if is_axfr(&query) {
+            // Zone transfers need a stream; over UDP the only honest answer
+            // is an empty truncated response forcing the TCP retry.
+            let mut resp = Message::response_to(&query, Rcode::NoError, Vec::new());
+            resp.header.flags.truncated = true;
+            self.attach_edns(&query, &mut resp);
+            return Some(resp.to_wire());
+        }
+        let resp = self.respond(&query);
+        Some(encode_limited(resp, limit))
+    }
+
+    /// Serve one request over a TCP stream: the full, untruncated response
+    /// as a sequence of messages (one for everything but AXFR, which
+    /// streams the zone in [`Self::with_axfr_batch`]-sized batches).
+    pub fn serve_tcp(&self, request: &[u8]) -> Vec<Vec<u8>> {
+        let query = match Message::from_wire(request) {
+            Ok(q) => q,
+            Err(_) => return formerr_stub(request).into_iter().collect(),
+        };
+        if query.header.flags.response {
+            return Vec::new();
+        }
+        if is_axfr(&query) {
+            return match serve_axfr(self.index.zone(), query.header.id, self.axfr_batch) {
+                Ok(msgs) => msgs.iter().map(|m| m.to_wire()).collect(),
+                Err(_) => {
+                    vec![Message::response_to(&query, Rcode::ServFail, Vec::new()).to_wire()]
+                }
+            };
+        }
+        vec![self.respond(&query).to_wire()]
+    }
+
+    /// Build the (single-message) response to a parsed, non-AXFR query.
+    pub fn respond(&self, query: &Message) -> Message {
+        let mut resp = self.respond_inner(query);
+        self.attach_edns(query, &mut resp);
+        resp
+    }
+
+    fn respond_inner(&self, query: &Message) -> Message {
+        if query.header.opcode != Opcode::Query {
+            return Message::response_to(query, Rcode::NotImp, Vec::new());
+        }
+        let [q] = query.questions.as_slice() else {
+            // Zero or multiple questions: nothing sane to answer.
+            return Message::response_to(query, Rcode::FormErr, Vec::new());
+        };
+        let q = q.clone();
+        match q.class {
+            Class::Ch => self.answer_chaos(query, &q),
+            Class::In => self.answer_in(query, &q),
+            _ => Message::response_to(query, Rcode::Refused, Vec::new()),
+        }
+    }
+
+    fn answer_chaos(&self, query: &Message, q: &Question) -> Message {
+        let name = q.name.to_string().to_ascii_lowercase();
+        let text = match (q.rr_type, name.as_str()) {
+            (RrType::Txt, "hostname.bind." | "id.server.") => self.identity.hostname.clone(),
+            (RrType::Txt, "version.bind." | "version.server.") => {
+                Some(self.identity.version.clone())
+            }
+            _ => None,
+        };
+        match text {
+            Some(t) => Message::response_to(
+                query,
+                Rcode::NoError,
+                vec![Record::chaos(
+                    q.name.clone(),
+                    0,
+                    Rdata::Txt(vec![t.into_bytes()]),
+                )],
+            ),
+            None => Message::response_to(query, Rcode::Refused, Vec::new()),
+        }
+    }
+
+    fn answer_in(&self, query: &Message, q: &Question) -> Message {
+        let dnssec = edns_of(query).map(|e| e.dnssec_ok).unwrap_or(false);
+        match self.index.lookup(&q.name, q.rr_type) {
+            Lookup::Answer(entry) => {
+                let mut answers = entry.records.clone();
+                if dnssec {
+                    answers.extend(entry.rrsigs.iter().cloned());
+                }
+                let mut resp = Message::response_to(query, Rcode::NoError, answers);
+                if q.rr_type == RrType::Ns && q.name == *self.index.origin() {
+                    // Priming response (RFC 8109): ship the root server
+                    // addresses so resolvers can bootstrap.
+                    for rec in &entry.records {
+                        let Rdata::Ns(target) = &rec.rdata else {
+                            continue;
+                        };
+                        for glue_type in [RrType::A, RrType::Aaaa] {
+                            if let Some(glue) = self.index.rrset(target, glue_type) {
+                                resp.additionals.extend(glue.records.iter().cloned());
+                            }
+                        }
+                    }
+                }
+                resp
+            }
+            Lookup::Referral(referral) => {
+                let mut resp = Message::response_to(query, Rcode::NoError, Vec::new());
+                // Referrals are non-authoritative: the data lives below the
+                // zone cut.
+                resp.header.flags.authoritative = false;
+                resp.authorities.extend(referral.ns.iter().cloned());
+                if dnssec {
+                    resp.authorities.extend(referral.ds.iter().cloned());
+                    resp.authorities.extend(referral.ds_rrsigs.iter().cloned());
+                }
+                resp.additionals.extend(referral.glue.iter().cloned());
+                resp
+            }
+            Lookup::NoData => self.negative(query, q, Rcode::NoError, dnssec),
+            Lookup::NxDomain => self.negative(query, q, Rcode::NxDomain, dnssec),
+        }
+    }
+
+    /// NODATA / NXDOMAIN: SOA in the authority section, plus the covering
+    /// NSEC proof when the client asked for DNSSEC.
+    fn negative(&self, query: &Message, q: &Question, rcode: Rcode, dnssec: bool) -> Message {
+        let mut resp = Message::response_to(query, rcode, Vec::new());
+        resp.authorities = self.index.negative_authority(dnssec);
+        if dnssec {
+            if let Some(nsec) = self.index.covering_nsec(&q.name) {
+                resp.authorities.extend(nsec.records.iter().cloned());
+                resp.authorities.extend(nsec.rrsigs.iter().cloned());
+            }
+        }
+        resp
+    }
+
+    /// Mirror the client's EDNS: advertise our payload size, echo DO, and
+    /// answer an NSID request with the instance identity (RFC 5001).
+    fn attach_edns(&self, query: &Message, resp: &mut Message) {
+        let Some(edns) = edns_of(query) else { return };
+        let mut reply = Edns {
+            udp_payload_size: MAX_UDP_PAYLOAD as u16,
+            dnssec_ok: edns.dnssec_ok,
+            ..Default::default()
+        };
+        if edns.nsid_requested() {
+            if let Some(hostname) = &self.identity.hostname {
+                reply = reply.with_nsid(hostname.as_bytes());
+            }
+        }
+        set_edns(resp, &reply);
+    }
+}
+
+/// Whether the (first) question asks for a zone transfer.
+fn is_axfr(query: &Message) -> bool {
+    query
+        .questions
+        .first()
+        .is_some_and(|q| q.rr_type == RrType::Axfr && q.class == Class::In)
+}
+
+/// The response budget a query's EDNS advertises (512 without EDNS,
+/// clamped to `[512, 4096]` with it).
+fn udp_limit(query: &Message) -> usize {
+    edns_of(query)
+        .map(|e| (e.udp_payload_size as usize).clamp(MIN_UDP_PAYLOAD, MAX_UDP_PAYLOAD))
+        .unwrap_or(MIN_UDP_PAYLOAD)
+}
+
+/// A header-only FORMERR echoing the request id, when a header exists to
+/// echo at all.
+fn formerr_stub(request: &[u8]) -> Option<Vec<u8>> {
+    if request.len() < 12 {
+        return None;
+    }
+    let mut resp = Message {
+        header: dns_wire::message::Header {
+            id: u16::from_be_bytes([request[0], request[1]]),
+            rcode: Rcode::FormErr,
+            ..Default::default()
+        },
+        questions: Vec::new(),
+        answers: Vec::new(),
+        authorities: Vec::new(),
+        additionals: Vec::new(),
+    };
+    resp.header.flags.response = true;
+    Some(resp.to_wire())
+}
+
+/// Encode `msg` within `limit` bytes: while it does not fit, drop whole
+/// records — opportunistic additionals first, then authority, then answer —
+/// and set TC. The OPT pseudo-record survives truncation (it carries the
+/// EDNS negotiation itself). Dropping never splits a record, so the result
+/// always reparses with consistent section counts.
+fn encode_limited(mut msg: Message, limit: usize) -> Vec<u8> {
+    loop {
+        let wire = msg.to_wire();
+        if wire.len() <= limit {
+            return wire;
+        }
+        let dropped = pop_non_opt(&mut msg.additionals)
+            || msg.authorities.pop().is_some()
+            || msg.answers.pop().is_some();
+        if !dropped {
+            // Header + question + OPT alone always fit 512 bytes for names
+            // the root serves; return as-is rather than loop forever.
+            return wire;
+        }
+        msg.header.flags.truncated = true;
+    }
+}
+
+/// Drop the last non-OPT additional, if any.
+fn pop_non_opt(additionals: &mut Vec<Record>) -> bool {
+    match additionals.iter().rposition(|r| r.rr_type != RrType::Opt) {
+        Some(i) => {
+            additionals.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::Name;
+    use dns_zone::rollout::RolloutPhase;
+    use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+    use dns_zone::signer::ZoneKeys;
+
+    fn engine() -> Rootd {
+        let zone = build_root_zone(
+            &RootZoneConfig {
+                tld_count: 10,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(5),
+        );
+        Rootd::new(
+            Arc::new(ZoneIndex::build(Arc::new(zone))),
+            SiteIdentity::named("lax2f"),
+        )
+    }
+
+    fn ask(e: &Rootd, q: Message) -> Message {
+        let wire = e.serve_udp(&q.to_wire()).expect("answered");
+        Message::from_wire(&wire).unwrap()
+    }
+
+    #[test]
+    fn soa_query_answered_authoritatively() {
+        let e = engine();
+        let resp = ask(
+            &e,
+            Message::query(7, Question::new(Name::root(), RrType::Soa)),
+        );
+        assert_eq!(resp.header.id, 7);
+        assert!(resp.header.flags.authoritative);
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(resp.answers[0].rr_type, RrType::Soa);
+    }
+
+    #[test]
+    fn dnssec_answers_carry_rrsigs() {
+        let e = engine();
+        let mut q = Message::query(1, Question::new(Name::root(), RrType::Dnskey));
+        set_edns(&mut q, &Edns::dnssec());
+        let resp = ask(&e, q);
+        assert!(resp.answers.iter().any(|r| r.rr_type == RrType::Dnskey));
+        assert!(resp.answers.iter().any(|r| r.rr_type == RrType::Rrsig));
+        // Without DO: no signatures.
+        let plain = ask(
+            &e,
+            Message::query(2, Question::new(Name::root(), RrType::Dnskey)),
+        );
+        assert!(plain.answers.iter().all(|r| r.rr_type != RrType::Rrsig));
+    }
+
+    #[test]
+    fn tld_query_returns_referral() {
+        let e = engine();
+        let mut q = Message::query(
+            3,
+            Question::new(Name::parse("www.com.").unwrap(), RrType::A),
+        );
+        set_edns(&mut q, &Edns::dnssec());
+        let resp = ask(&e, q);
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert!(!resp.header.flags.authoritative);
+        assert!(resp.answers.is_empty());
+        assert!(resp.authorities.iter().any(|r| r.rr_type == RrType::Ns));
+        assert!(resp.authorities.iter().any(|r| r.rr_type == RrType::Ds));
+        assert!(resp.additionals.iter().any(|r| r.rr_type == RrType::A));
+    }
+
+    #[test]
+    fn nxdomain_has_soa_and_nsec_proof() {
+        let e = engine();
+        let mut q = Message::query(
+            4,
+            Question::new(Name::parse("nosuchtld12345.").unwrap(), RrType::A),
+        );
+        set_edns(&mut q, &Edns::dnssec());
+        let resp = ask(&e, q);
+        assert_eq!(resp.header.rcode, Rcode::NxDomain);
+        assert!(resp.authorities.iter().any(|r| r.rr_type == RrType::Soa));
+        assert!(resp.authorities.iter().any(|r| r.rr_type == RrType::Nsec));
+        assert!(resp.authorities.iter().any(|r| r.rr_type == RrType::Rrsig));
+    }
+
+    #[test]
+    fn chaos_identity_answers() {
+        let e = engine();
+        let resp = ask(
+            &e,
+            Message::query(5, Question::chaos_txt(Name::parse("id.server.").unwrap())),
+        );
+        match &resp.answers[0].rdata {
+            Rdata::Txt(t) => assert_eq!(t[0], b"lax2f"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let resp = ask(
+            &e,
+            Message::query(
+                6,
+                Question::chaos_txt(Name::parse("version.bind.").unwrap()),
+            ),
+        );
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        // Unknown CHAOS name refused.
+        let resp = ask(
+            &e,
+            Message::query(7, Question::chaos_txt(Name::parse("whoami.").unwrap())),
+        );
+        assert_eq!(resp.header.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn udp_axfr_forces_tcp_retry() {
+        let e = engine();
+        let resp = ask(
+            &e,
+            Message::query(8, Question::new(Name::root(), RrType::Axfr)),
+        );
+        assert!(resp.header.flags.truncated);
+        assert!(resp.answers.is_empty());
+    }
+
+    #[test]
+    fn tcp_axfr_streams_whole_zone() {
+        let e = engine();
+        let q = Message::query(9, Question::new(Name::root(), RrType::Axfr));
+        let frames = e.serve_tcp(&q.to_wire());
+        assert!(frames.len() > 1 || !frames.is_empty());
+        let msgs: Vec<Message> = frames
+            .iter()
+            .map(|f| Message::from_wire(f).unwrap())
+            .collect();
+        let zone = dns_zone::axfr::assemble_axfr(&msgs, &Name::root()).unwrap();
+        assert_eq!(zone.len(), e.index().zone().len());
+    }
+
+    #[test]
+    fn priming_response_carries_glue() {
+        let e = engine();
+        let resp = ask(
+            &e,
+            Message::query(20, Question::new(Name::root(), RrType::Ns)),
+        );
+        assert_eq!(resp.answers.len(), 13);
+        // RFC 8109: address records for the root servers ride along.
+        assert!(resp.additionals.iter().any(|r| r.rr_type == RrType::A));
+        assert!(resp.additionals.iter().any(|r| r.rr_type == RrType::Aaaa));
+    }
+
+    #[test]
+    fn truncation_respects_limit_and_reparses() {
+        let e = engine();
+        // A signed priming response (~1 kB) overflows a 512-byte budget.
+        let mut q = Message::query(10, Question::new(Name::root(), RrType::Ns));
+        set_edns(
+            &mut q,
+            &Edns {
+                udp_payload_size: 512,
+                dnssec_ok: true,
+                ..Default::default()
+            },
+        );
+        let wire = e.serve_udp(&q.to_wire()).unwrap();
+        assert!(wire.len() <= 512, "{} bytes", wire.len());
+        let resp = Message::from_wire(&wire).unwrap();
+        assert!(resp.header.flags.truncated);
+        // The full TCP response is bigger and complete.
+        let full = Message::from_wire(&e.serve_tcp(&q.to_wire())[0]).unwrap();
+        assert!(!full.header.flags.truncated);
+        assert!(full.to_wire().len() > 512);
+        assert!(
+            full.answers.len() + full.authorities.len() + full.additionals.len()
+                > resp.answers.len() + resp.authorities.len() + resp.additionals.len()
+        );
+    }
+
+    #[test]
+    fn malformed_bytes_get_formerr_or_drop() {
+        let e = engine();
+        // Shorter than a header: dropped.
+        assert_eq!(e.serve_udp(&[0xab; 5]), None);
+        // A header followed by garbage: FORMERR echoing the id.
+        let mut junk = vec![0u8; 12];
+        junk[0] = 0xde;
+        junk[1] = 0xad;
+        junk[4] = 0x00;
+        junk[5] = 0x01; // claims one question
+        junk.extend_from_slice(&[0xff, 0xff, 0xff]);
+        let resp = Message::from_wire(&e.serve_udp(&junk).unwrap()).unwrap();
+        assert_eq!(resp.header.id, 0xdead);
+        assert_eq!(resp.header.rcode, Rcode::FormErr);
+        // A stray response is dropped, not reflected (no amplification
+        // loops between servers).
+        let mut stray = Message::query(1, Question::new(Name::root(), RrType::Soa));
+        stray.header.flags.response = true;
+        assert_eq!(e.serve_udp(&stray.to_wire()), None);
+    }
+
+    #[test]
+    fn multi_question_rejected() {
+        let e = engine();
+        let mut q = Message::query(11, Question::new(Name::root(), RrType::Soa));
+        q.questions.push(Question::new(Name::root(), RrType::Ns));
+        let resp = ask(&e, q);
+        assert_eq!(resp.header.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn notify_opcode_not_implemented() {
+        let e = engine();
+        let mut q = Message::query(12, Question::new(Name::root(), RrType::Soa));
+        q.header.opcode = Opcode::Notify;
+        let resp = ask(&e, q);
+        assert_eq!(resp.header.rcode, Rcode::NotImp);
+    }
+
+    #[test]
+    fn nsid_echoes_site_identity() {
+        let e = engine();
+        let mut q = Message::query(13, Question::new(Name::root(), RrType::Soa));
+        set_edns(&mut q, &Edns::dnssec().with_nsid_request());
+        let resp = ask(&e, q);
+        let edns = edns_of(&resp).unwrap();
+        assert_eq!(edns.nsid(), Some(b"lax2f".as_slice()));
+        assert_eq!(edns.udp_payload_size as usize, MAX_UDP_PAYLOAD);
+    }
+}

@@ -1,0 +1,33 @@
+//! `rootd`: a wire-level authoritative root server engine.
+//!
+//! The measurement crates model root servers as in-process structs
+//! (`rss::RootServer` answers `Message` values directly). This crate is the
+//! *serving* layer the north star asks for: request bytes in, response
+//! bytes out, through the real codec path.
+//!
+//! * [`index`] — [`ZoneIndex`]: the signed root zone precompiled into hash
+//!   lookups (positive RRsets with covering RRSIGs, TLD referral bundles
+//!   with glue, the NSEC chain for negative proofs);
+//! * [`engine`] — [`Rootd`]: parse with `dns_wire::Message::from_wire`,
+//!   answer (authoritative data, referrals, NXDOMAIN, CHAOS identity,
+//!   AXFR), encode honoring the advertised EDNS payload size with TC-bit
+//!   truncation at record boundaries;
+//! * [`transport`] — the [`Transport`] abstraction with two impls: the
+//!   deterministic [`InprocTransport`] (tests, `localroot` refresh) and
+//!   [`LoopbackTransport`] over real UDP and TCP sockets on 127.0.0.1;
+//! * [`loadgen`] — a multithreaded load generator replaying seeded,
+//!   B-Root-shaped query mixes (Ginesin & Mirkovic's composition study)
+//!   from simulated clients against per-site engines, with log-bucketed
+//!   latency histograms (p50/p95/p99) and throughput reporting.
+
+pub mod engine;
+pub mod index;
+pub mod loadgen;
+pub mod transport;
+
+pub use engine::{Rootd, SiteIdentity};
+pub use index::{Lookup, Referral, ZoneIndex};
+pub use loadgen::{LoadReport, LoadgenConfig, QueryMix};
+pub use transport::{
+    InprocTransport, LoopbackServer, LoopbackTransport, Transport, TransportError,
+};

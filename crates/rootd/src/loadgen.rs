@@ -1,0 +1,542 @@
+//! A multithreaded query load generator.
+//!
+//! Replays seeded, B-Root-shaped query mixes (after Ginesin & Mirkovic's
+//! composition study: junk-heavy names, ~half DNSSEC-requesting, a thin
+//! stream of CHAOS identity probes) from many simulated clients against
+//! per-site [`Rootd`] engines. Each client is a stub AS from the `netsim`
+//! topology; which site answers it is decided by the same Gao-Rexford
+//! catchment computation the measurement layer uses, so load distributes
+//! across sites the way anycast would distribute it.
+//!
+//! Every query travels the full parse → serve → encode path
+//! ([`Rootd::serve_udp`] on raw bytes); latency is recorded per query into
+//! a log-bucketed histogram (16 sub-buckets per octave, so quantile error
+//! is bounded at ~6%), and the report carries throughput plus p50/p95/p99.
+
+use crate::engine::{Rootd, SiteIdentity};
+use crate::index::ZoneIndex;
+use dns_wire::edns::{set_edns, Edns};
+use dns_wire::{Message, Name, Question, RrType};
+use dns_zone::Zone;
+use netsim::rng::SimRng;
+use netsim::routing::propagate;
+use netsim::topology::Topology;
+use netsim::types::{AsId, Family, Tier};
+use rss::catalog::RootCatalog;
+use rss::RootLetter;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The shape of generated traffic.
+#[derive(Debug, Clone)]
+pub struct QueryMix {
+    /// Weighted QTYPE distribution.
+    pub qtypes: Vec<(RrType, u32)>,
+    /// Fraction of queries for names that do not exist (junk single
+    /// labels — the dominant traffic class at the root).
+    pub nxdomain_fraction: f64,
+    /// Fraction of queries carrying an EDNS OPT with DO set.
+    pub dnssec_fraction: f64,
+    /// Fraction of CHAOS-class identity probes.
+    pub chaos_fraction: f64,
+}
+
+impl QueryMix {
+    /// The B-Root-shaped default: A-dominated QTYPEs, ~45% junk names,
+    /// ~55% DNSSEC OK, a trickle of identity probes.
+    pub fn broot() -> QueryMix {
+        QueryMix {
+            qtypes: vec![
+                (RrType::A, 50),
+                (RrType::Aaaa, 22),
+                (RrType::Ns, 8),
+                (RrType::Ds, 7),
+                (RrType::Soa, 4),
+                (RrType::Txt, 4),
+                (RrType::Dnskey, 2),
+                (RrType::Mx, 2),
+                (RrType::Cname, 1),
+            ],
+            nxdomain_fraction: 0.45,
+            dnssec_fraction: 0.55,
+            chaos_fraction: 0.01,
+        }
+    }
+
+    fn draw_qtype(&self, rng: &mut SimRng) -> RrType {
+        let total: u32 = self.qtypes.iter().map(|(_, w)| w).sum();
+        let mut roll = rng.next_range(total as usize) as u32;
+        for (t, w) in &self.qtypes {
+            if roll < *w {
+                return *t;
+            }
+            roll -= w;
+        }
+        RrType::A
+    }
+}
+
+impl Default for QueryMix {
+    fn default() -> Self {
+        QueryMix::broot()
+    }
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Simulated clients (stub ASes are reused round-robin when fewer
+    /// exist in the topology).
+    pub clients: usize,
+    /// Total queries across all threads.
+    pub queries: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Master seed; every client derives its own stream from it.
+    pub seed: u64,
+    pub mix: QueryMix,
+}
+
+impl LoadgenConfig {
+    /// A smoke-test-sized run.
+    pub fn tiny(seed: u64) -> LoadgenConfig {
+        LoadgenConfig {
+            clients: 64,
+            queries: 5_000,
+            threads: 2,
+            seed,
+            mix: QueryMix::broot(),
+        }
+    }
+}
+
+/// One letter's serving fleet: an engine per anycast site, plus the
+/// catchment map deciding which site each client AS reaches.
+pub struct SiteFleet {
+    engines: HashMap<u32, Arc<Rootd>>,
+    /// `client AS -> site` from the Gao-Rexford route computation.
+    catchment: HashMap<u32, u32>,
+    /// Fallback when an AS has no route (partial reachability).
+    default_site: u32,
+    /// Client pool: stub ASes of the topology.
+    clients: Vec<AsId>,
+    tlds: Vec<String>,
+}
+
+impl SiteFleet {
+    /// Build engines for every site of `letter`, sharing one precompiled
+    /// [`ZoneIndex`], and compute the IPv4 catchment for all stub ASes.
+    pub fn build(
+        topology: &Topology,
+        catalog: &RootCatalog,
+        letter: RootLetter,
+        zone: Arc<Zone>,
+    ) -> SiteFleet {
+        let index = Arc::new(ZoneIndex::build(zone));
+        let mut engines = HashMap::new();
+        let mut default_site = 0;
+        for (i, site) in catalog.sites_of(letter).enumerate() {
+            if i == 0 {
+                default_site = site.site_id.0;
+            }
+            let mut engine = Rootd::new(Arc::clone(&index), SiteIdentity::for_site(site));
+            engine.letter = Some(letter);
+            engines.insert(site.site_id.0, Arc::new(engine));
+        }
+        let routes = propagate(topology, catalog.deployment(letter), Family::V4);
+        let clients: Vec<AsId> = topology
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Stub)
+            .map(|n| n.id)
+            .collect();
+        let catchment = clients
+            .iter()
+            .filter_map(|asn| routes.best(*asn).map(|c| (asn.0, c.site.0)))
+            .collect();
+        let tlds = index.tld_labels();
+        SiteFleet {
+            engines,
+            catchment,
+            default_site,
+            clients,
+            tlds,
+        }
+    }
+
+    /// Number of sites serving.
+    pub fn site_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    fn engine_for(&self, asn: AsId) -> &Arc<Rootd> {
+        let site = self.catchment.get(&asn.0).unwrap_or(&self.default_site);
+        self.engines
+            .get(site)
+            .or_else(|| self.engines.get(&self.default_site))
+            .expect("fleet has at least one site")
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub queries: usize,
+    pub responses: usize,
+    pub nxdomain: usize,
+    pub referrals: usize,
+    pub truncated: usize,
+    pub elapsed: Duration,
+    pub qps: f64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    /// Queries answered per site id.
+    pub per_site: Vec<(u32, usize)>,
+}
+
+impl LoadReport {
+    /// Metric pairs in the flat label→value shape `BENCH_results.json`
+    /// uses.
+    pub fn metrics(&self, prefix: &str) -> Vec<(String, f64)> {
+        vec![
+            (format!("{prefix}/qps"), self.qps),
+            (format!("{prefix}/p50_ns"), self.p50_ns as f64),
+            (format!("{prefix}/p95_ns"), self.p95_ns as f64),
+            (format!("{prefix}/p99_ns"), self.p99_ns as f64),
+        ]
+    }
+
+    /// The deterministic half of the summary: response counters only.
+    /// Same input stream ⇒ same text, regardless of machine or timing —
+    /// what seeded surfaces (the experiment registry) should print.
+    pub fn render_counts(&self) -> String {
+        format!(
+            "queries        {:>12}\nresponses      {:>12}\nnxdomain       {:>12}\nreferrals      {:>12}\ntruncated      {:>12}\nsites answering {:>11}\n",
+            self.queries,
+            self.responses,
+            self.nxdomain,
+            self.referrals,
+            self.truncated,
+            self.per_site.len()
+        )
+    }
+
+    /// Human-readable summary including wall-clock throughput/latency.
+    pub fn render(&self) -> String {
+        let mut out = self.render_counts();
+        out.push_str(&format!(
+            "elapsed        {:>12.3} s\nthroughput     {:>12.0} q/s\nlatency p50    {:>12} ns\nlatency p95    {:>12} ns\nlatency p99    {:>12} ns\n",
+            self.elapsed.as_secs_f64(),
+            self.qps,
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns
+        ));
+        out
+    }
+}
+
+/// Log-bucketed latency histogram: 16 sub-buckets per octave bounds the
+/// relative quantile error at 1/16.
+struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+const HISTOGRAM_BUCKETS: usize = 16 + 60 * 16;
+
+impl LatencyHistogram {
+    fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < 16 {
+            return v as usize;
+        }
+        let top = 63 - v.leading_zeros() as u64;
+        let sub = (v >> (top - 4)) & 0xF;
+        ((top - 4) * 16 + sub + 16) as usize
+    }
+
+    /// Lower bound of bucket `idx` — what quantiles report.
+    fn bucket_floor(idx: usize) -> u64 {
+        if idx < 16 {
+            return idx as u64;
+        }
+        let group = (idx - 16) / 16;
+        let sub = ((idx - 16) % 16) as u64;
+        (16 + sub) << group
+    }
+
+    fn record(&mut self, v: u64) {
+        let idx = Self::bucket_of(v).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_floor(idx);
+            }
+        }
+        Self::bucket_floor(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Per-worker tallies, merged after the threads join.
+struct WorkerStats {
+    hist: LatencyHistogram,
+    responses: usize,
+    nxdomain: usize,
+    referrals: usize,
+    truncated: usize,
+    per_site: HashMap<u32, usize>,
+}
+
+impl WorkerStats {
+    fn new() -> WorkerStats {
+        WorkerStats {
+            hist: LatencyHistogram::new(),
+            responses: 0,
+            nxdomain: 0,
+            referrals: 0,
+            truncated: 0,
+            per_site: HashMap::new(),
+        }
+    }
+}
+
+/// Build one query's wire bytes for `client`'s stream.
+fn build_query(mix: &QueryMix, tlds: &[String], rng: &mut SimRng) -> Vec<u8> {
+    let id = (rng.next_u64() & 0xffff) as u16;
+    if rng.chance(mix.chaos_fraction) {
+        let name = *rng.pick(&["hostname.bind.", "id.server.", "version.bind."]);
+        return Message::query(id, Question::chaos_txt(Name::parse(name).unwrap())).to_wire();
+    }
+    let qtype = mix.draw_qtype(rng);
+    // Priming-style queries go to the apex; everything else to a TLD or a
+    // junk label (the root's NXDOMAIN-heavy reality).
+    let name = if matches!(qtype, RrType::Soa | RrType::Dnskey) {
+        Name::root()
+    } else if rng.chance(mix.nxdomain_fraction) || tlds.is_empty() {
+        Name::parse(&format!("nx{:012x}.", rng.next_u64() & 0xffff_ffff_ffff)).unwrap()
+    } else {
+        Name::parse(&format!("{}.", rng.pick(tlds))).unwrap()
+    };
+    let mut q = Message::query(id, Question::new(name, qtype));
+    if rng.chance(mix.dnssec_fraction) {
+        set_edns(&mut q, &Edns::dnssec());
+    }
+    q.to_wire()
+}
+
+/// Classify a raw response datagram by header bytes alone — the client
+/// side of the loop stays cheap so the measured cost is the server path.
+fn classify(stats: &mut WorkerStats, site: u32, resp: &[u8]) {
+    stats.responses += 1;
+    *stats.per_site.entry(site).or_insert(0) += 1;
+    if resp.len() < 12 {
+        return;
+    }
+    if resp[2] & 0x02 != 0 {
+        stats.truncated += 1;
+    }
+    match resp[3] & 0x0f {
+        3 => stats.nxdomain += 1,
+        0 => {
+            // NOERROR with an empty answer section and a non-empty
+            // authority section is (at the root) a referral or NODATA.
+            let ancount = u16::from_be_bytes([resp[6], resp[7]]);
+            let nscount = u16::from_be_bytes([resp[8], resp[9]]);
+            if ancount == 0 && nscount > 0 {
+                stats.referrals += 1;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Run the generator: `cfg.queries` queries from `cfg.clients` simulated
+/// clients spread over `cfg.threads` workers against `fleet`.
+pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
+    let threads = cfg.threads.max(1);
+    let clients = cfg.clients.max(1);
+    let per_thread = cfg.queries.div_ceil(threads);
+    let started = Instant::now();
+    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let first = t * per_thread;
+            let count = per_thread.min(cfg.queries.saturating_sub(first));
+            handles.push(scope.spawn(move || {
+                let mut stats = WorkerStats::new();
+                // Each simulated client owns a derived, reproducible
+                // stream; threads interleave clients round-robin.
+                let mut rngs: HashMap<usize, SimRng> = HashMap::new();
+                for i in 0..count {
+                    let global = first + i;
+                    let client_idx = global % clients;
+                    let rng = rngs.entry(client_idx).or_insert_with(|| {
+                        SimRng::new(cfg.seed).derive_ids(&[0x10ad, client_idx as u64])
+                    });
+                    let asn = fleet.clients[client_idx % fleet.clients.len().max(1)];
+                    let engine = fleet.engine_for(asn);
+                    let site = *fleet.catchment.get(&asn.0).unwrap_or(&fleet.default_site);
+                    let wire = build_query(&cfg.mix, &fleet.tlds, rng);
+                    let t0 = Instant::now();
+                    let resp = engine.serve_udp(&wire);
+                    let lat = t0.elapsed().as_nanos() as u64;
+                    stats.hist.record(lat);
+                    if let Some(resp) = resp {
+                        classify(&mut stats, site, &resp);
+                    }
+                }
+                stats
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+    let mut hist = LatencyHistogram::new();
+    let mut merged = WorkerStats::new();
+    for s in &stats {
+        hist.merge(&s.hist);
+        merged.responses += s.responses;
+        merged.nxdomain += s.nxdomain;
+        merged.referrals += s.referrals;
+        merged.truncated += s.truncated;
+        for (site, n) in &s.per_site {
+            *merged.per_site.entry(*site).or_insert(0) += n;
+        }
+    }
+    let mut per_site: Vec<(u32, usize)> = merged.per_site.into_iter().collect();
+    per_site.sort_unstable();
+    LoadReport {
+        queries: cfg.queries,
+        responses: merged.responses,
+        nxdomain: merged.nxdomain,
+        referrals: merged.referrals,
+        truncated: merged.truncated,
+        elapsed,
+        qps: cfg.queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ns: hist.quantile(0.50),
+        p95_ns: hist.quantile(0.95),
+        p99_ns: hist.quantile(0.99),
+        per_site,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_zone::rollout::RolloutPhase;
+    use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+    use dns_zone::signer::ZoneKeys;
+    use netsim::topology::TopologyConfig;
+    use rss::catalog::WorldConfig;
+
+    fn fleet() -> SiteFleet {
+        let mut topology = Topology::generate(&TopologyConfig {
+            tier2_per_region: 4,
+            stubs_per_region: [4, 8, 16, 12, 4, 6],
+            ..Default::default()
+        });
+        let catalog = RootCatalog::build(
+            &mut topology,
+            &WorldConfig {
+                site_scale: 0.05,
+                ..Default::default()
+            },
+        );
+        let zone = build_root_zone(
+            &RootZoneConfig {
+                tld_count: 12,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(3),
+        );
+        SiteFleet::build(&topology, &catalog, RootLetter::B, Arc::new(zone))
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_cover() {
+        let mut prev = 0;
+        for idx in 0..HISTOGRAM_BUCKETS {
+            let floor = LatencyHistogram::bucket_floor(idx);
+            assert!(idx == 0 || floor > prev || floor == prev + 1 || floor >= prev);
+            prev = floor;
+        }
+        for v in [0u64, 1, 15, 16, 17, 255, 1024, 123_456_789] {
+            let idx = LatencyHistogram::bucket_of(v);
+            assert!(LatencyHistogram::bucket_floor(idx) <= v);
+            if idx + 1 < HISTOGRAM_BUCKETS {
+                assert!(LatencyHistogram::bucket_floor(idx + 1) > v);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Log buckets undershoot by at most one sub-bucket (~6%).
+        assert!((450..=500).contains(&p50), "p50 = {p50}");
+        assert!((900..=990).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn run_is_deterministic_in_counts() {
+        let fleet = fleet();
+        let cfg = LoadgenConfig {
+            queries: 2_000,
+            ..LoadgenConfig::tiny(7)
+        };
+        let a = run(&fleet, &cfg);
+        let b = run(&fleet, &cfg);
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.nxdomain, b.nxdomain);
+        assert_eq!(a.referrals, b.referrals);
+        assert_eq!(a.per_site, b.per_site);
+        // A junk-heavy mix must produce plenty of NXDOMAIN and referrals.
+        assert!(a.responses > 0);
+        assert!(a.nxdomain > cfg.queries / 4);
+        assert!(a.referrals > 0);
+        assert!(a.qps > 0.0);
+    }
+
+    #[test]
+    fn load_spreads_across_sites_when_fleet_has_many() {
+        let fleet = fleet();
+        if fleet.site_count() < 2 {
+            return; // tiny worlds may collapse to one site
+        }
+        let report = run(&fleet, &LoadgenConfig::tiny(11));
+        assert!(!report.per_site.is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! The serving-layer contract, end to end:
+//!
+//! 1. the in-proc and UDP/TCP loopback transports return **byte-identical**
+//!    responses for the same query stream (the engine is deterministic and
+//!    transports move raw bytes);
+//! 2. the EDNS/TC matrix — a response larger than the advertised UDP
+//!    payload size is truncated at a record boundary with TC set, and the
+//!    same query over TCP yields the full, untruncated answer.
+
+use dns_wire::edns::{edns_of, set_edns, Edns};
+use dns_wire::{Message, Name, Question, Rcode, RrType};
+use dns_zone::rollout::RolloutPhase;
+use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+use dns_zone::signer::ZoneKeys;
+use rootd::{InprocTransport, LoopbackServer, Rootd, SiteIdentity, Transport, ZoneIndex};
+use std::sync::Arc;
+
+fn engine() -> Arc<Rootd> {
+    let zone = build_root_zone(
+        &RootZoneConfig {
+            tld_count: 20,
+            rollout: RolloutPhase::Validating,
+            ..Default::default()
+        },
+        &ZoneKeys::from_seed(42),
+    );
+    Arc::new(Rootd::new(
+        Arc::new(ZoneIndex::build(Arc::new(zone))),
+        SiteIdentity::named("iad7b"),
+    ))
+}
+
+/// A deterministic stream exercising every answer shape: apex data,
+/// referrals, NXDOMAIN, NODATA, CHAOS identity, DNSSEC on and off,
+/// several payload sizes, and the oversized priming response.
+fn query_stream() -> Vec<Vec<u8>> {
+    let mut queries = Vec::new();
+    let mut id: u16 = 1;
+    let mut push = |q: Message| queries.push(q.to_wire());
+    for (name, rr_type) in [
+        (".", RrType::Soa),
+        (".", RrType::Ns),
+        (".", RrType::Dnskey),
+        (".", RrType::Txt),
+        ("com.", RrType::A),
+        ("com.", RrType::Ds),
+        ("www.net.", RrType::Aaaa),
+        ("org.", RrType::Ns),
+        ("nosuchtld0000.", RrType::A),
+        ("nosuchtld0001.", RrType::Mx),
+        ("ns0.com.", RrType::A),
+    ] {
+        for dnssec in [false, true] {
+            let mut q = Message::query(id, Question::new(Name::parse(name).unwrap(), rr_type));
+            id += 1;
+            if dnssec {
+                set_edns(&mut q, &Edns::dnssec());
+            }
+            push(q);
+        }
+    }
+    for chaos in ["hostname.bind.", "id.server.", "version.bind.", "whoami."] {
+        push(Message::query(
+            id,
+            Question::chaos_txt(Name::parse(chaos).unwrap()),
+        ));
+        id += 1;
+    }
+    // Payload-size spread over the big priming response.
+    for payload in [512u16, 700, 1232, 4096] {
+        let mut q = Message::query(id, Question::new(Name::root(), RrType::Ns));
+        id += 1;
+        set_edns(
+            &mut q,
+            &Edns {
+                udp_payload_size: payload,
+                dnssec_ok: true,
+                ..Default::default()
+            },
+        );
+        push(q);
+    }
+    // NSID request.
+    let mut q = Message::query(id, Question::new(Name::root(), RrType::Soa));
+    set_edns(&mut q, &Edns::dnssec().with_nsid_request());
+    push(q);
+    queries
+}
+
+#[test]
+fn inproc_and_loopback_transports_are_byte_identical() {
+    let engine = engine();
+    let server = LoopbackServer::spawn(Arc::clone(&engine)).expect("loopback binds");
+    let mut inproc = InprocTransport::new(Arc::clone(&engine));
+    let mut loopback = server.transport();
+    for (i, wire) in query_stream().iter().enumerate() {
+        let a = inproc.exchange_udp(wire).expect("in-proc never fails");
+        let b = loopback.exchange_udp(wire).expect("loopback exchange");
+        assert_eq!(a, b, "UDP response {i} differs between transports");
+        let a = inproc.exchange_tcp(wire).expect("in-proc never fails");
+        let b = loopback.exchange_tcp(wire).expect("loopback exchange");
+        assert_eq!(a, b, "TCP response {i} differs between transports");
+    }
+}
+
+#[test]
+fn axfr_is_byte_identical_across_transports() {
+    let engine = engine();
+    let server = LoopbackServer::spawn(Arc::clone(&engine)).expect("loopback binds");
+    let q = Message::query(77, Question::new(Name::root(), RrType::Axfr)).to_wire();
+    let a = InprocTransport::new(Arc::clone(&engine))
+        .exchange_tcp(&q)
+        .unwrap();
+    let b = server.transport().exchange_tcp(&q).unwrap();
+    assert!(a.len() > 1, "AXFR streams multiple messages");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn edns_tc_matrix() {
+    let engine = engine();
+    // The signed priming response overflows small budgets.
+    let full_len = {
+        let mut q = Message::query(0, Question::new(Name::root(), RrType::Ns));
+        set_edns(&mut q, &Edns::dnssec());
+        engine.serve_tcp(&q.to_wire())[0].len()
+    };
+    assert!(full_len > 512, "priming response is {full_len} bytes");
+
+    for payload in [512u16, 700, 1232, 4096] {
+        let mut q = Message::query(9, Question::new(Name::root(), RrType::Ns));
+        set_edns(
+            &mut q,
+            &Edns {
+                udp_payload_size: payload,
+                dnssec_ok: true,
+                ..Default::default()
+            },
+        );
+        let wire = q.to_wire();
+        let udp = engine.serve_udp(&wire).expect("answered");
+        let limit = payload as usize;
+        assert!(
+            udp.len() <= limit,
+            "udp response {} exceeds advertised {}",
+            udp.len(),
+            limit
+        );
+        // Record-boundary truncation: the datagram must still parse, with
+        // section counts consistent with its contents.
+        let parsed = Message::from_wire(&udp).expect("truncated response reparses");
+        assert_eq!(parsed.header.rcode, Rcode::NoError);
+        if (full_len) > limit {
+            assert!(parsed.header.flags.truncated, "TC unset at {payload}");
+        } else {
+            assert!(!parsed.header.flags.truncated, "TC set at {payload}");
+            assert_eq!(udp.len(), full_len);
+        }
+        // EDNS survives truncation: the OPT record is never dropped.
+        assert!(edns_of(&parsed).is_some(), "OPT dropped at {payload}");
+
+        // The TCP retry returns the complete answer.
+        let tcp = engine.serve_tcp(&wire);
+        assert_eq!(tcp.len(), 1);
+        let full = Message::from_wire(&tcp[0]).expect("tcp response parses");
+        assert!(!full.header.flags.truncated);
+        assert_eq!(tcp[0].len(), full_len);
+        assert_eq!(
+            full.answers
+                .iter()
+                .filter(|r| r.rr_type == RrType::Ns)
+                .count(),
+            13
+        );
+        assert!(full.answers.iter().any(|r| r.rr_type == RrType::Rrsig));
+        assert!(full.additionals.iter().any(|r| r.rr_type == RrType::Aaaa));
+    }
+}
+
+#[test]
+fn no_edns_means_512_and_tc() {
+    let engine = engine();
+    let q = Message::query(5, Question::new(Name::root(), RrType::Ns)).to_wire();
+    let udp = engine.serve_udp(&q).expect("answered");
+    assert!(udp.len() <= 512);
+    let parsed = Message::from_wire(&udp).unwrap();
+    // The plain (unsigned) priming response with glue still overflows 512:
+    // 13 NS + 13 A + 13 AAAA.
+    assert!(parsed.header.flags.truncated);
+    // And no OPT appears in the response when the query had none.
+    assert!(edns_of(&parsed).is_none());
+}

@@ -128,6 +128,15 @@ fn results() -> &'static Mutex<Vec<(String, f64)>> {
     RESULTS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// Record an externally measured metric (a throughput, a quantile — not a
+/// timed closure) under `label`, merged into `BENCH_results.json` alongside
+/// the bench means by [`write_results`]. Lets a bench publish numbers it
+/// computed itself, e.g. a load generator's qps and latency quantiles.
+pub fn record_metric(label: &str, value: f64) {
+    println!("{label:<50} {value:>14.1}  (recorded)");
+    results().lock().unwrap().push((label.to_string(), value));
+}
+
 /// Flush the accumulated means to `BENCH_results.json` (or the path in
 /// `BENCH_RESULTS_PATH`), merging with any existing file so the bench
 /// binaries of one `cargo bench` run build up a single map. Labels are
