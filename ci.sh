@@ -5,7 +5,10 @@
 #   1. release build of every crate;
 #   2. full test suite;
 #   3. examples build + smoke runs (tiny scale, temp output dirs);
-#   4. bench smoke run refreshing the committed BENCH_results.json;
+#   4. bench smoke run refreshing the committed BENCH_results.json,
+#      followed by the bench_guard regression gate (fails on >25%
+#      regression of rootd/loadgen/qps, rootd/serve_*, or codec/* vs the
+#      committed baseline);
 #   5. rustdoc with warnings promoted to errors;
 #   6. formatting check;
 #   7. clippy with warnings promoted to errors.
@@ -31,7 +34,12 @@ cargo run -q --release --offline --example rootd_bench -- tiny 20000 > /dev/null
 # Bench smoke: every bench target runs end to end and merges its numbers
 # into the committed BENCH_results.json, including the rootd loadgen's
 # million-query throughput/latency figures (a few seconds of wall clock).
+# The committed file is snapshotted first so bench_guard can diff the
+# fresh numbers against what the branch shipped with.
+cp BENCH_results.json "$figdir/bench_baseline.json"
 BENCH_RESULTS_PATH="$PWD/BENCH_results.json" cargo bench --offline -q > /dev/null
+cargo run -q --release --offline -p bench --bin bench_guard -- \
+    "$figdir/bench_baseline.json" BENCH_results.json
 
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet
 

@@ -5,7 +5,7 @@
 //! path and publishes throughput plus latency quantiles into
 //! `BENCH_results.json` via [`criterion::record_metric`].
 
-use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+use criterion::{criterion_group, criterion_main, record_counter, record_metric, Criterion};
 use dns_wire::edns::{set_edns, Edns};
 use dns_wire::{Message, Name, Question, RrType};
 use dns_zone::rollout::RolloutPhase;
@@ -30,6 +30,7 @@ fn engine() -> Rootd {
         Arc::new(ZoneIndex::build(Arc::new(zone))),
         SiteIdentity::named("lax1b"),
     )
+    .with_answer_cache()
 }
 
 fn query(name: &str, rr_type: RrType, dnssec: bool) -> Vec<u8> {
@@ -43,6 +44,10 @@ fn query(name: &str, rr_type: RrType, dnssec: bool) -> Vec<u8> {
 fn bench_engine(c: &mut Criterion) {
     let engine = engine();
     let mut group = c.benchmark_group("rootd");
+    // Cached serves run in ~100 ns; the default 100-iteration cap would
+    // measure single-digit microseconds of wall clock, which is timer
+    // noise. Let the calibration loop run long enough to be stable.
+    group.sample_size(200_000);
     for (label, wire) in [
         ("serve_soa", query(".", RrType::Soa, false)),
         ("serve_soa_do", query(".", RrType::Soa, true)),
@@ -54,13 +59,15 @@ fn bench_engine(c: &mut Criterion) {
         ("serve_priming_tc", query(".", RrType::Ns, true)),
     ] {
         group.bench_function(label, |b| {
-            b.iter(|| black_box(engine.serve_udp(black_box(&wire))))
+            let mut out = Vec::with_capacity(4096);
+            b.iter(|| black_box(engine.serve_udp_into(black_box(&wire), &mut out)))
         });
     }
     let chaos = Message::query(1, Question::chaos_txt(Name::parse("id.server.").unwrap()));
     let chaos_wire = chaos.to_wire();
     group.bench_function("serve_chaos", |b| {
-        b.iter(|| black_box(engine.serve_udp(black_box(&chaos_wire))))
+        let mut out = Vec::with_capacity(4096);
+        b.iter(|| black_box(engine.serve_udp_into(black_box(&chaos_wire), &mut out)))
     });
     let axfr = Message::query(1, Question::new(Name::root(), RrType::Axfr)).to_wire();
     group.sample_size(20);
@@ -96,7 +103,11 @@ fn bench_loadgen(_c: &mut Criterion) {
     for (label, value) in p.report.metrics("rootd/loadgen") {
         record_metric(&label, value);
     }
-    record_metric("rootd/loadgen/queries", p.report.queries as f64);
+    // Exact counts, not timings: recorded as integers so two runs of the
+    // same seeded mix produce byte-equal lines (determinism check).
+    record_counter("rootd/loadgen/queries", p.report.queries as u64);
+    record_counter("rootd/loadgen/cache_hits", p.report.cache_hits as u64);
+    record_counter("rootd/loadgen/cache_misses", p.report.cache_misses as u64);
 }
 
 criterion_group!(benches, bench_engine, bench_loadgen);

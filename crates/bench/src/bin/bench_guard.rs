@@ -1,0 +1,190 @@
+//! Bench regression guard: compare a fresh `BENCH_results.json` against a
+//! committed baseline and fail CI when a guarded metric regressed by more
+//! than 25%.
+//!
+//! Only allowlisted keys are guarded — the hot serve path
+//! (`rootd/serve_*`), the codec microbenches (`codec/*`), and the
+//! load-generator throughput (`rootd/loadgen/qps`) — because those are
+//! the numbers this repo optimizes deliberately; everything else in the
+//! results file is trajectory data and may drift with the model. Keys
+//! containing `qps` are higher-is-better (fail when `new < old × 0.75`);
+//! everything else is nanoseconds, lower-is-better (fail when
+//! `new > max(old × 1.25, old + 250 ns)` — the absolute floor keeps
+//! scheduler/timer jitter on sub-100 ns cached serves from tripping the
+//! gate while still catching a slide back toward the microsecond-scale
+//! uncached path). A guarded baseline key missing from the fresh run
+//! also fails: a bench silently disappearing is a regression too.
+//!
+//! Usage: `bench_guard <baseline.json> <fresh.json>`
+
+use std::process::ExitCode;
+
+/// Guarded-key allowlist: exact labels and label prefixes.
+const EXACT: &[&str] = &["rootd/loadgen/qps"];
+const PREFIXES: &[&str] = &["rootd/serve_", "codec/"];
+
+/// Allowed relative regression before the guard fails.
+const TOLERANCE: f64 = 0.25;
+
+/// Absolute slack for lower-is-better (nanosecond) keys: deltas smaller
+/// than this are measurement noise on ~100 ns benches, not regressions.
+const NOISE_FLOOR_NS: f64 = 250.0;
+
+fn guarded(label: &str) -> bool {
+    EXACT.contains(&label) || PREFIXES.iter().any(|p| label.starts_with(p))
+}
+
+/// One comparison verdict for a guarded key.
+enum Verdict {
+    Ok,
+    Missing,
+    Regressed { allowed: f64 },
+}
+
+fn compare(label: &str, old: f64, new: Option<f64>) -> Verdict {
+    let Some(new) = new else {
+        return Verdict::Missing;
+    };
+    let higher_better = label.contains("qps");
+    if higher_better {
+        let floor = old * (1.0 - TOLERANCE);
+        if new < floor {
+            return Verdict::Regressed { allowed: floor };
+        }
+    } else {
+        let ceiling = (old * (1.0 + TOLERANCE)).max(old + NOISE_FLOOR_NS);
+        if new > ceiling {
+            return Verdict::Regressed { allowed: ceiling };
+        }
+    }
+    Verdict::Ok
+}
+
+fn run(baseline: &str, fresh: &str) -> Result<(), Vec<String>> {
+    let old = criterion::parse_results(baseline);
+    let new = criterion::parse_results(fresh);
+    let lookup = |label: &str| new.iter().find(|(l, _)| l == label).map(|&(_, v)| v);
+
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for (label, old_value) in old.iter().filter(|(l, _)| guarded(l)) {
+        checked += 1;
+        match compare(label, *old_value, lookup(label)) {
+            Verdict::Ok => {}
+            Verdict::Missing => {
+                failures.push(format!(
+                    "{label}: present in baseline, missing from fresh run"
+                ));
+            }
+            Verdict::Regressed { allowed } => {
+                let dir = if label.contains("qps") { "min" } else { "max" };
+                failures.push(format!(
+                    "{label}: {old_value:.1} -> {:.1} ({dir} allowed {allowed:.1})",
+                    lookup(label).unwrap()
+                ));
+            }
+        }
+    }
+    println!(
+        "bench_guard: {checked} guarded keys checked, {} regressed",
+        failures.len()
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, fresh_path] = &args[..] else {
+        eprintln!("usage: bench_guard <baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_guard: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    match run(&read(baseline_path), &read(fresh_path)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("bench_guard: REGRESSION {f}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json(pairs: &[(&str, f64)]) -> String {
+        let mut s = String::from("{\n");
+        for (label, v) in pairs {
+            s.push_str(&format!("  \"{label}\": {v:.1},\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    #[test]
+    fn qps_is_higher_better_and_ns_is_lower_better() {
+        let base = json(&[("rootd/loadgen/qps", 10000.0), ("rootd/serve_soa", 2000.0)]);
+        // Faster serve + higher qps: fine.
+        assert!(run(
+            &base,
+            &json(&[("rootd/loadgen/qps", 50000.0), ("rootd/serve_soa", 100.0)])
+        )
+        .is_ok());
+        // qps dropped below 75% of baseline: regression.
+        let r = run(
+            &base,
+            &json(&[("rootd/loadgen/qps", 7000.0), ("rootd/serve_soa", 2000.0)]),
+        );
+        assert_eq!(r.unwrap_err().len(), 1);
+        // serve time grew past 125% of baseline: regression.
+        let r = run(
+            &base,
+            &json(&[("rootd/loadgen/qps", 10000.0), ("rootd/serve_soa", 2600.0)]),
+        );
+        assert_eq!(r.unwrap_err().len(), 1);
+        // Within tolerance both ways: fine.
+        assert!(run(
+            &base,
+            &json(&[("rootd/loadgen/qps", 8000.0), ("rootd/serve_soa", 2400.0)])
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn nanosecond_jitter_stays_under_the_noise_floor() {
+        // A 65 ns bench wobbling to 160 ns is timer noise, not a
+        // regression — the absolute floor absorbs it.
+        let base = json(&[("rootd/serve_soa", 65.0)]);
+        assert!(run(&base, &json(&[("rootd/serve_soa", 160.0)])).is_ok());
+        // Sliding back toward the microsecond-scale uncached path is not.
+        let r = run(&base, &json(&[("rootd/serve_soa", 900.0)]));
+        assert_eq!(r.unwrap_err().len(), 1);
+    }
+
+    #[test]
+    fn unguarded_keys_never_fail_and_missing_guarded_keys_do() {
+        let base = json(&[("zone/build", 1000.0), ("rootd/serve_chaos", 50.0)]);
+        // zone/build tanking is ignored (not allowlisted)...
+        assert!(run(
+            &base,
+            &json(&[("zone/build", 9999.0), ("rootd/serve_chaos", 50.0)])
+        )
+        .is_ok());
+        // ...but a guarded key vanishing fails.
+        let r = run(&base, &json(&[("zone/build", 1000.0)]));
+        let errs = r.unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("missing"));
+    }
+}

@@ -90,6 +90,12 @@ mod tests {
         assert!(p.report.nxdomain > 0);
         assert!(p.report.referrals > 0);
         assert!(p.report.p50_ns <= p.report.p99_ns);
+        // The fleet serves from the precompiled answer cache; every query
+        // is classified as a hit or a miss, and the seeded counters are
+        // part of the registry's deterministic rendering.
+        assert_eq!(p.report.cache_hits + p.report.cache_misses, 20_000);
+        assert!(p.report.cache_hits > p.report.cache_misses);
+        assert!(p.render_deterministic().contains("cache hits"));
         let rendered = p.render();
         assert!(rendered.contains("latency p99"));
     }

@@ -189,15 +189,75 @@ impl Message {
 
     /// Encode to wire bytes (with name compression).
     pub fn to_wire(&self) -> Vec<u8> {
-        self.encode(WireWriter::new())
+        let mut w = WireWriter::new();
+        self.encode_into_writer(&mut w);
+        w.into_bytes()
     }
 
     /// Encode without name compression (ablation).
     pub fn to_wire_uncompressed(&self) -> Vec<u8> {
-        self.encode(WireWriter::without_compression())
+        let mut w = WireWriter::without_compression();
+        self.encode_into_writer(&mut w);
+        w.into_bytes()
     }
 
-    fn encode(&self, mut w: WireWriter) -> Vec<u8> {
+    /// Encode into `out`, reusing its allocation (the buffer is cleared
+    /// first). The zero-copy sibling of [`Self::to_wire`] for hot serve
+    /// paths that own a scratch buffer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = WireWriter::with_buffer(std::mem::take(out));
+        self.encode_into_writer(&mut w);
+        *out = w.into_bytes();
+    }
+
+    /// Encode into a caller-provided writer (callers that need the
+    /// writer's compression-pointer log, e.g. answer-template builders).
+    pub fn encode_into_writer(&self, w: &mut WireWriter) {
+        self.encode_view(w, None);
+    }
+
+    /// Encode a truncated view into `out`: only the first `answers` /
+    /// `authorities` records of those sections, the first `additionals`
+    /// records of the additional section plus any OPT record beyond that
+    /// prefix (EDNS must survive truncation, RFC 6891), with the TC flag
+    /// forced on. Record boundaries are never split. This is how a server
+    /// fits a response into a UDP budget without cloning the message.
+    pub fn encode_truncated_into(
+        &self,
+        answers: usize,
+        authorities: usize,
+        additionals: usize,
+        out: &mut Vec<u8>,
+    ) {
+        let mut w = WireWriter::with_buffer(std::mem::take(out));
+        self.encode_view(&mut w, Some((answers, authorities, additionals)));
+        *out = w.into_bytes();
+    }
+
+    fn encode_view(&self, w: &mut WireWriter, view: Option<(usize, usize, usize)>) {
+        let (an, ns, ar, force_tc) = match view {
+            Some((a, n, r)) => (
+                a.min(self.answers.len()),
+                n.min(self.authorities.len()),
+                r.min(self.additionals.len()),
+                true,
+            ),
+            None => (
+                self.answers.len(),
+                self.authorities.len(),
+                self.additionals.len(),
+                false,
+            ),
+        };
+        // OPT records past the kept prefix still ride along.
+        let kept_opts = if force_tc {
+            self.additionals[ar..]
+                .iter()
+                .filter(|r| r.rr_type == RrType::Opt)
+                .count()
+        } else {
+            0
+        };
         w.put_u16(self.header.id);
         let f = &self.header.flags;
         let mut hi: u8 = 0;
@@ -208,7 +268,7 @@ impl Message {
         if f.authoritative {
             hi |= 0x04;
         }
-        if f.truncated {
+        if f.truncated || force_tc {
             hi |= 0x02;
         }
         if f.recursion_desired {
@@ -227,23 +287,29 @@ impl Message {
         w.put_u8(hi);
         w.put_u8(lo);
         w.put_u16(self.questions.len() as u16);
-        w.put_u16(self.answers.len() as u16);
-        w.put_u16(self.authorities.len() as u16);
-        w.put_u16(self.additionals.len() as u16);
+        w.put_u16(an as u16);
+        w.put_u16(ns as u16);
+        w.put_u16((ar + kept_opts) as u16);
         for q in &self.questions {
-            q.name.write_wire_compressed(&mut w);
+            q.name.write_wire_compressed(w);
             w.put_u16(q.rr_type.to_u16());
             w.put_u16(q.class.to_u16());
         }
-        for rec in self
-            .answers
+        for rec in self.answers[..an]
             .iter()
-            .chain(&self.authorities)
-            .chain(&self.additionals)
+            .chain(&self.authorities[..ns])
+            .chain(&self.additionals[..ar])
         {
-            rec.write_wire(&mut w);
+            rec.write_wire(w);
         }
-        w.into_bytes()
+        if kept_opts > 0 {
+            for rec in self.additionals[ar..]
+                .iter()
+                .filter(|r| r.rr_type == RrType::Opt)
+            {
+                rec.write_wire(w);
+            }
+        }
     }
 
     /// Decode from wire bytes.

@@ -4,7 +4,6 @@
 //! messages use RFC 1035 §4.1.4 compression pointers; the reader follows
 //! pointers with loop and bounds protection.
 
-use bytes::{BufMut, BytesMut};
 use std::collections::HashMap;
 
 /// Maximum offset addressable by a 14-bit compression pointer.
@@ -181,12 +180,17 @@ impl<'a> WireReader<'a> {
 
 /// Growable writer with a name-compression table.
 pub struct WireWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
     /// Map from a name suffix (canonical lowercase wire bytes) to the offset
     /// where that suffix was first written.
     compress: HashMap<Vec<u8>, usize>,
     /// Whether `put_name_compressed` emits pointers (ablation toggle).
     compression_enabled: bool,
+    /// Every compression pointer emitted, as `(position, target)` — the
+    /// offset of the 2-byte pointer itself and the offset it refers to.
+    /// Response-template builders use this to relocate pointers when the
+    /// question region they were encoded against changes length.
+    pointers: Vec<(usize, usize)>,
 }
 
 impl Default for WireWriter {
@@ -198,11 +202,7 @@ impl Default for WireWriter {
 impl WireWriter {
     /// New empty writer with compression enabled.
     pub fn new() -> Self {
-        WireWriter {
-            buf: BytesMut::with_capacity(512),
-            compress: HashMap::new(),
-            compression_enabled: true,
-        }
+        Self::with_buffer(Vec::with_capacity(512))
     }
 
     /// New writer with compression disabled (for the codec ablation bench).
@@ -210,6 +210,18 @@ impl WireWriter {
         WireWriter {
             compression_enabled: false,
             ..Self::new()
+        }
+    }
+
+    /// A writer that reuses `buf`'s allocation (cleared first). Pair with
+    /// [`Self::into_bytes`] to encode repeatedly without reallocating.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        WireWriter {
+            buf,
+            compress: HashMap::new(),
+            compression_enabled: true,
+            pointers: Vec::new(),
         }
     }
 
@@ -225,22 +237,22 @@ impl WireWriter {
 
     /// Append one byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Append a big-endian u16.
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.put_u16(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Append a big-endian u32.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Append raw bytes.
     pub fn put_bytes(&mut self, v: &[u8]) {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Overwrite a previously written big-endian u16 (for patching RDLENGTH
@@ -258,6 +270,7 @@ impl WireWriter {
             if self.compression_enabled {
                 if let Some(&off) = self.compress.get(&suffix_key) {
                     debug_assert!(off <= MAX_POINTER_TARGET);
+                    self.pointers.push((self.buf.len(), off));
                     self.put_u16(0xc000 | off as u16);
                     return;
                 }
@@ -272,14 +285,29 @@ impl WireWriter {
         self.put_u8(0);
     }
 
-    /// Finish, returning the buffer.
+    /// Finish, returning the buffer (no copy: the writer's own allocation).
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 
     /// Borrow the bytes written so far.
     pub fn as_bytes(&self) -> &[u8] {
         &self.buf
+    }
+
+    /// The compression pointers emitted so far, as `(position, target)`
+    /// pairs in write order.
+    pub fn pointers(&self) -> &[(usize, usize)] {
+        &self.pointers
+    }
+
+    /// The name suffixes registered for compression so far, as canonical
+    /// lowercase wire bytes (label length + lowercased label, repeated; no
+    /// trailing root byte). Response-template builders use this to detect
+    /// question names whose labels would compress against record names —
+    /// those encodings depend on the question and cannot be templated.
+    pub fn compressed_suffixes(&self) -> impl Iterator<Item = &[u8]> {
+        self.compress.keys().map(Vec::as_slice)
     }
 }
 

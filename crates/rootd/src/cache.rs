@@ -1,0 +1,687 @@
+//! Precompiled answer cache: the zero-allocation UDP fast path.
+//!
+//! At build time every reachable answer shape — (qname, qtype) × EDNS
+//! state {none, EDNS, EDNS+DO} — is run through the exact same answerer
+//! code the fallback path uses and the resulting wire bytes
+//! are stored, together with pre-truncated variants at the EDNS budget
+//! buckets {512, 1232, 4096}. Serving a hit is then a hash lookup plus a
+//! splice: copy the stored bytes into the caller's scratch buffer and
+//! patch the message id, the RD bit, and the question region (which
+//! preserves the client's qname casing; compression pointers into the
+//! question stay valid because suffix matching is case-insensitive).
+//!
+//! NXDOMAIN cannot be enumerated — junk qnames are unbounded — so it is
+//! served from *templates*: one pre-encoded negative response per NSEC
+//! chain link, built against a root (".") question, with every
+//! compression pointer logged so the tail can be relocated when the real
+//! qname is longer than one byte. A template refuses (falls back) when
+//! the qname shares a label suffix with any record name in the response,
+//! because the fallback encoder would compress against the question there
+//! and produce different — equally valid — bytes.
+//!
+//! Everything else falls through to the full parse/respond path: AXFR,
+//! FORMERR, NSID requests, non-canonical OPT records, payload budgets
+//! that are neither a bucket nor large enough for the full response, and
+//! names below a delegation (referral qnames are unbounded too, and cold).
+
+use crate::engine::{encode_limited_into, Answerer};
+use crate::index::RrsetEntry;
+use dns_wire::edns::{set_edns, Edns};
+use dns_wire::wire::WireWriter;
+use dns_wire::{Class, Message, Name, Question, Rcode, RrType};
+use std::collections::{HashMap, HashSet};
+
+/// Offset where the question section of a message ends when the qname is
+/// the 1-byte root: 12-byte header + 1 + qtype (2) + qclass (2).
+const ROOT_QEND: usize = 17;
+
+/// Maximum qname wire length (RFC 1035).
+const MAX_QNAME: usize = 255;
+
+/// Maximum labels in a qname (every label costs at least 2 wire bytes).
+const MAX_LABELS: usize = 127;
+
+/// EDNS budget buckets with pre-truncated variants. Clients overwhelmingly
+/// advertise one of these (RFC 1035 floor, the flag-day 1232, our own
+/// 4096 ceiling); anything else falls back when the full response is over
+/// budget.
+const BUCKETS: [usize; 3] = [512, 1232, 4096];
+
+/// The CHAOS identity names answered per-site (RFC 4892 conventions).
+const CHAOS_NAMES: [&str; 4] = [
+    "hostname.bind.",
+    "id.server.",
+    "version.bind.",
+    "version.server.",
+];
+
+/// Qtypes precompiled per zone name. Covers every type the zone can hold
+/// plus the common NODATA probes; other types fall back (and answer
+/// NODATA/REFUSED identically, just slower).
+const CACHED_QTYPES: [RrType; 13] = [
+    RrType::A,
+    RrType::Ns,
+    RrType::Cname,
+    RrType::Soa,
+    RrType::Mx,
+    RrType::Txt,
+    RrType::Aaaa,
+    RrType::Ds,
+    RrType::Rrsig,
+    RrType::Nsec,
+    RrType::Dnskey,
+    RrType::Zonemd,
+    RrType::Any,
+];
+
+/// One fully pre-encoded response, with truncated variants for every
+/// budget bucket it overflows.
+#[derive(Debug)]
+struct ResponseSet {
+    full: Box<[u8]>,
+    t512: Option<Box<[u8]>>,
+    t1232: Option<Box<[u8]>>,
+    t4096: Option<Box<[u8]>>,
+}
+
+impl ResponseSet {
+    /// The stored bytes to serve under `limit`, if any: the full response
+    /// when it fits, the exact bucket variant when the budget is a bucket,
+    /// fallback otherwise.
+    fn select(&self, limit: usize) -> Option<&[u8]> {
+        if self.full.len() <= limit {
+            return Some(&self.full);
+        }
+        match limit {
+            512 => self.t512.as_deref(),
+            1232 => self.t1232.as_deref(),
+            4096 => self.t4096.as_deref(),
+            _ => None,
+        }
+    }
+}
+
+/// All precompiled responses for one (qtype, class) at one name.
+#[derive(Debug)]
+struct ExactShape {
+    qtype: u16,
+    class: u16,
+    /// Indexed by EDNS state: 0 = no EDNS, 1 = EDNS, 2 = EDNS+DO.
+    states: [ResponseSet; 3],
+}
+
+/// A parametric negative response: pre-encoded against a root question,
+/// relocated to the real qname at serve time.
+#[derive(Debug)]
+struct NegTemplate {
+    /// The 12-byte header (id and RD patched per query).
+    head: [u8; 12],
+    /// Everything after the question section.
+    tail: Box<[u8]>,
+    /// Compression pointers inside the tail, as (offset from tail start of
+    /// the 2-byte pointer, original target). Targets shift by the qname
+    /// length delta at serve time.
+    fixups: Box<[(u16, u16)]>,
+    /// Label-suffix keys (see [`WireWriter::compressed_suffixes`]) the
+    /// response's record names registered. A qname with any of these as a
+    /// suffix would compress differently — fall back.
+    excluded: HashSet<Vec<u8>>,
+}
+
+impl NegTemplate {
+    fn emit(&self, req: &[u8], q: &FastQuery, out: &mut Vec<u8>) -> bool {
+        let qend = 12 + q.qlen + 4;
+        if qend + self.tail.len() > q.limit {
+            return false;
+        }
+        for j in 0..q.nlabels {
+            let start = q.labels[j].0 as usize - 1;
+            if self.excluded.contains(&q.lc[start..q.qlen - 1]) {
+                return false;
+            }
+        }
+        out.clear();
+        out.extend_from_slice(&self.head);
+        out[0] = req[0];
+        out[1] = req[1];
+        out[2] = (out[2] & !0x01) | (req[2] & 0x01);
+        out.extend_from_slice(&req[12..qend]);
+        out.extend_from_slice(&self.tail);
+        let delta = q.qlen - 1;
+        if delta > 0 {
+            for &(pos, target) in self.fixups.iter() {
+                let p = qend + pos as usize;
+                let v = 0xc000u16 | (target as usize + delta) as u16;
+                out[p] = (v >> 8) as u8;
+                out[p + 1] = v as u8;
+            }
+        }
+        true
+    }
+}
+
+/// A zero-copy parse of the one-question requests the cache can serve.
+/// Anything it rejects goes to the fallback path, which accepts a
+/// strictly larger set — so rejecting here is always safe.
+struct FastQuery {
+    /// Lowercased qname wire bytes (the exact-map key is `lc[..qlen]`).
+    lc: [u8; MAX_QNAME],
+    /// Qname wire length including the root byte.
+    qlen: usize,
+    /// (offset into `lc`, length) per label, leftmost first.
+    labels: [(u8, u8); MAX_LABELS],
+    nlabels: usize,
+    qtype: u16,
+    class: u16,
+    /// 0 = no EDNS, 1 = EDNS, 2 = EDNS+DO.
+    state: usize,
+    /// Response budget (512 without EDNS, clamped advertised size with).
+    limit: usize,
+}
+
+impl FastQuery {
+    /// Parse a request the fast path can answer: opcode QUERY, not a
+    /// response, exactly one question with an uncompressed qname, and at
+    /// most one additional record which must be a bare canonical OPT (no
+    /// options, version 0, no extended rcode). AA/TC request bits are
+    /// ignored and RD is echoed, exactly like the fallback path.
+    fn parse(req: &[u8]) -> Option<FastQuery> {
+        if req.len() < ROOT_QEND || req[2] & 0xf8 != 0 {
+            return None;
+        }
+        if req[4] != 0
+            || req[5] != 1
+            || req[6] != 0
+            || req[7] != 0
+            || req[8] != 0
+            || req[9] != 0
+            || req[10] != 0
+            || req[11] > 1
+        {
+            return None;
+        }
+        let mut q = FastQuery {
+            lc: [0; MAX_QNAME],
+            qlen: 0,
+            labels: [(0, 0); MAX_LABELS],
+            nlabels: 0,
+            qtype: 0,
+            class: 0,
+            state: 0,
+            limit: 512,
+        };
+        let mut pos = 12;
+        let mut w = 0usize;
+        loop {
+            let len = *req.get(pos)? as usize;
+            if len == 0 {
+                q.lc[w] = 0;
+                w += 1;
+                pos += 1;
+                break;
+            }
+            // No compression pointers in qnames; enforce the 255-byte
+            // name and 127-label ceilings the full parser applies.
+            if len & 0xc0 != 0 || q.nlabels == MAX_LABELS || w + len + 2 > MAX_QNAME {
+                return None;
+            }
+            let label = req.get(pos + 1..pos + 1 + len)?;
+            q.lc[w] = len as u8;
+            q.labels[q.nlabels] = ((w + 1) as u8, len as u8);
+            for (dst, src) in q.lc[w + 1..w + 1 + len].iter_mut().zip(label) {
+                *dst = src.to_ascii_lowercase();
+            }
+            q.nlabels += 1;
+            w += 1 + len;
+            pos += 1 + len;
+        }
+        q.qlen = w;
+        let meta = req.get(pos..pos + 4)?;
+        q.qtype = u16::from_be_bytes([meta[0], meta[1]]);
+        q.class = u16::from_be_bytes([meta[2], meta[3]]);
+        let qend = pos + 4;
+        if req[11] == 0 {
+            if req.len() != qend {
+                return None;
+            }
+        } else {
+            if req.len() != qend + 11 {
+                return None;
+            }
+            let opt = &req[qend..];
+            // name ".", TYPE 41, zero RDLENGTH.
+            if opt[0] != 0 || opt[1] != 0 || opt[2] != 41 || opt[9] != 0 || opt[10] != 0 {
+                return None;
+            }
+            // TTL = [ext-rcode, version, DO | Z-hi, Z-lo]: only version 0
+            // with no extended rcode and no Z bits is cacheable.
+            let dnssec_ok = match [opt[5], opt[6], opt[7], opt[8]] {
+                [0, 0, 0, 0] => false,
+                [0, 0, 0x80, 0] => true,
+                _ => return None,
+            };
+            let payload = u16::from_be_bytes([opt[3], opt[4]]) as usize;
+            q.state = if dnssec_ok { 2 } else { 1 };
+            q.limit = payload.clamp(512, 4096);
+        }
+        Some(q)
+    }
+
+    /// The lowercased last label (TLD position), empty for the root.
+    fn last_label(&self) -> &[u8] {
+        if self.nlabels == 0 {
+            return &[];
+        }
+        let (off, len) = self.labels[self.nlabels - 1];
+        &self.lc[off as usize..off as usize + len as usize]
+    }
+}
+
+/// Precompiled wire responses for one zone epoch. Built from (and
+/// invalidated with) a [`crate::index::ZoneIndex`]; see the module docs
+/// for the serve-time contract.
+#[derive(Debug)]
+pub struct AnswerCache {
+    /// Lowercase canonical qname wire → the shapes cached at that name.
+    exact: HashMap<Vec<u8>, Vec<ExactShape>>,
+    /// Lowercase delegated TLD labels: names under these are referrals and
+    /// fall back.
+    tlds: HashSet<Vec<u8>>,
+    /// NSEC chain owner labels (lowercased, canonical chain order),
+    /// mirroring `ZoneIndex::covering_nsec`'s search space.
+    nsec_owners: Vec<Vec<Vec<u8>>>,
+    /// NXDOMAIN templates: no EDNS, EDNS, and EDNS+DO per chain link.
+    nx_plain: Option<NegTemplate>,
+    nx_edns: Option<NegTemplate>,
+    nx_do: Vec<Option<NegTemplate>>,
+    /// EDNS+DO template for an unsigned zone (empty NSEC chain).
+    nx_do_unsigned: Option<NegTemplate>,
+}
+
+impl AnswerCache {
+    /// Precompile every reachable shape by running it through `answerer` —
+    /// the same code the fallback path executes — so cached and uncached
+    /// responses are byte-identical by construction.
+    pub(crate) fn build(answerer: &Answerer<'_>) -> AnswerCache {
+        let index = answerer.index;
+        let mut exact: HashMap<Vec<u8>, Vec<ExactShape>> = HashMap::new();
+        for name in index.names() {
+            let shapes = exact.entry(name.canonical_wire()).or_default();
+            for qtype in CACHED_QTYPES {
+                shapes.push(build_shape(answerer, name, qtype, Class::In));
+            }
+        }
+        for chaos in CHAOS_NAMES {
+            let name = Name::parse(chaos).expect("static chaos name");
+            exact
+                .entry(name.canonical_wire())
+                .or_default()
+                .push(build_shape(answerer, &name, RrType::Txt, Class::Ch));
+        }
+        let tlds = index
+            .tld_labels()
+            .into_iter()
+            .map(String::into_bytes)
+            .collect();
+        let nsec_owners: Vec<Vec<Vec<u8>>> = index
+            .nsec_chain()
+            .iter()
+            .map(|(owner, _)| {
+                owner
+                    .labels()
+                    .map(|l| l.to_ascii_lowercase())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let nx_do: Vec<Option<NegTemplate>> = index
+            .nsec_chain()
+            .iter()
+            .map(|(_, entry)| build_negative(answerer, 2, Some(entry)))
+            .collect();
+        let nx_do_unsigned = if nsec_owners.is_empty() {
+            build_negative(answerer, 2, None)
+        } else {
+            None
+        };
+        AnswerCache {
+            exact,
+            tlds,
+            nsec_owners,
+            nx_plain: build_negative(answerer, 0, None),
+            nx_edns: build_negative(answerer, 1, None),
+            nx_do,
+            nx_do_unsigned,
+        }
+    }
+
+    /// Number of precompiled exact responses (shapes × EDNS states).
+    pub fn entries(&self) -> usize {
+        self.exact.values().map(|s| s.len() * 3).sum()
+    }
+
+    /// Try to serve `req` from the cache into `out`. Returns false — with
+    /// `out` in an unspecified state — when the request must take the
+    /// fallback path.
+    pub(crate) fn serve(&self, req: &[u8], out: &mut Vec<u8>) -> bool {
+        let Some(q) = FastQuery::parse(req) else {
+            return false;
+        };
+        if q.qtype == RrType::Axfr.to_u16() {
+            // AXFR-over-UDP answers with an empty TC response regardless
+            // of qname; let the fallback build it.
+            return false;
+        }
+        if let Some(shapes) = self.exact.get(&q.lc[..q.qlen]) {
+            let Some(shape) = shapes
+                .iter()
+                .find(|s| s.qtype == q.qtype && s.class == q.class)
+            else {
+                return false;
+            };
+            let Some(bytes) = shape.states[q.state].select(q.limit) else {
+                return false;
+            };
+            out.clear();
+            out.extend_from_slice(bytes);
+            out[0] = req[0];
+            out[1] = req[1];
+            out[2] = (out[2] & !0x01) | (req[2] & 0x01);
+            let qend = 12 + q.qlen + 4;
+            out[12..qend].copy_from_slice(&req[12..qend]);
+            return true;
+        }
+        if q.class != Class::In.to_u16() {
+            return false;
+        }
+        if self.tlds.contains(q.last_label()) {
+            // Below a delegation: referral qnames are unbounded, fall back.
+            return false;
+        }
+        // Not a zone name, not under a cut: NXDOMAIN.
+        let template = match q.state {
+            0 => self.nx_plain.as_ref(),
+            1 => self.nx_edns.as_ref(),
+            _ => match self.covering_link(&q) {
+                Some(i) => self.nx_do[i].as_ref(),
+                None => self.nx_do_unsigned.as_ref(),
+            },
+        };
+        match template {
+            Some(t) => t.emit(req, &q, out),
+            None => false,
+        }
+    }
+
+    /// The NSEC chain link covering the query name — the same wrap-around
+    /// binary search as `ZoneIndex::covering_nsec`, against the parsed
+    /// lowercase labels (no `Name` allocation).
+    fn covering_link(&self, q: &FastQuery) -> Option<usize> {
+        if self.nsec_owners.is_empty() {
+            return None;
+        }
+        let idx = match self
+            .nsec_owners
+            .binary_search_by(|owner| owner_cmp_query(owner, q))
+        {
+            Ok(i) => i,
+            Err(0) => self.nsec_owners.len() - 1,
+            Err(i) => i - 1,
+        };
+        Some(idx)
+    }
+}
+
+/// `Name::canonical_cmp` over pre-lowercased labels: compare label-wise
+/// from the right; the name that runs out of labels first sorts earlier.
+fn owner_cmp_query(owner: &[Vec<u8>], q: &FastQuery) -> std::cmp::Ordering {
+    let mut i = owner.len();
+    let mut j = q.nlabels;
+    loop {
+        match (i, j) {
+            (0, 0) => return std::cmp::Ordering::Equal,
+            (0, _) => return std::cmp::Ordering::Less,
+            (_, 0) => return std::cmp::Ordering::Greater,
+            _ => {}
+        }
+        i -= 1;
+        j -= 1;
+        let (off, len) = q.labels[j];
+        let query_label = &q.lc[off as usize..off as usize + len as usize];
+        match owner[i].as_slice().cmp(query_label) {
+            std::cmp::Ordering::Equal => {}
+            other => return other,
+        }
+    }
+}
+
+/// A build-time query for one EDNS state (id 0, RD clear — both are
+/// spliced from the live request at serve time).
+fn state_query(name: &Name, qtype: RrType, class: Class, state: usize) -> Message {
+    let mut q = Message::query(
+        0,
+        Question {
+            name: name.clone(),
+            rr_type: qtype,
+            class,
+        },
+    );
+    match state {
+        0 => {}
+        1 => set_edns(&mut q, &Edns::default()),
+        _ => set_edns(&mut q, &Edns::dnssec()),
+    }
+    q
+}
+
+fn build_shape(answerer: &Answerer<'_>, name: &Name, qtype: RrType, class: Class) -> ExactShape {
+    let states = [0, 1, 2].map(|state| {
+        let query = state_query(name, qtype, class, state);
+        let resp = answerer.respond(&query);
+        let full = resp.to_wire();
+        let variant = |bucket: usize| {
+            if full.len() <= bucket {
+                return None;
+            }
+            let mut v = Vec::new();
+            encode_limited_into(&resp, bucket, &mut v);
+            Some(v.into_boxed_slice())
+        };
+        ResponseSet {
+            t512: variant(BUCKETS[0]),
+            t1232: variant(BUCKETS[1]),
+            t4096: variant(BUCKETS[2]),
+            full: full.into_boxed_slice(),
+        }
+    });
+    ExactShape {
+        qtype: qtype.to_u16(),
+        class: class.to_u16(),
+        states,
+    }
+}
+
+/// Pre-encode one NXDOMAIN template against a root question. `None` when
+/// the encoding cannot be templated (a pointer lands in or targets the
+/// question region — impossible for a root question, but checked).
+fn build_negative(
+    answerer: &Answerer<'_>,
+    state: usize,
+    nsec: Option<&RrsetEntry>,
+) -> Option<NegTemplate> {
+    let query = state_query(&Name::root(), RrType::A, Class::In, state);
+    let mut resp = answerer.negative_with(&query, Rcode::NxDomain, state == 2, nsec);
+    answerer.attach_edns(&query, &mut resp);
+    let mut w = WireWriter::new();
+    resp.encode_into_writer(&mut w);
+    let mut fixups = Vec::new();
+    for &(pos, target) in w.pointers() {
+        if pos < ROOT_QEND || target < ROOT_QEND {
+            return None;
+        }
+        fixups.push(((pos - ROOT_QEND) as u16, target as u16));
+    }
+    let excluded = w.compressed_suffixes().map(<[u8]>::to_vec).collect();
+    let bytes = w.into_bytes();
+    let mut head = [0u8; 12];
+    head.copy_from_slice(&bytes[..12]);
+    Some(NegTemplate {
+        head,
+        tail: bytes[ROOT_QEND..].to_vec().into_boxed_slice(),
+        fixups: fixups.into_boxed_slice(),
+        excluded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Rootd, ServeOutcome, SiteIdentity};
+    use crate::index::ZoneIndex;
+    use dns_zone::rollout::RolloutPhase;
+    use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+    use dns_zone::signer::ZoneKeys;
+    use std::sync::Arc;
+
+    fn engines() -> (Rootd, Rootd) {
+        let zone = Arc::new(build_root_zone(
+            &RootZoneConfig {
+                tld_count: 10,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(5),
+        ));
+        let index = Arc::new(ZoneIndex::build(zone));
+        let plain = Rootd::new(Arc::clone(&index), SiteIdentity::named("lax2f"));
+        let cached = Rootd::new(index, SiteIdentity::named("lax2f")).with_answer_cache();
+        (plain, cached)
+    }
+
+    fn assert_identical(plain: &Rootd, cached: &Rootd, query: &Message) -> ServeOutcome {
+        let wire = query.to_wire();
+        let mut out = Vec::new();
+        let outcome = cached.serve_udp_into(&wire, &mut out);
+        assert_eq!(plain.serve_udp(&wire).as_deref(), Some(out.as_slice()));
+        outcome
+    }
+
+    #[test]
+    fn apex_and_junk_hits_are_byte_identical() {
+        let (plain, cached) = engines();
+        for (name, qtype) in [
+            (".", RrType::Soa),
+            (".", RrType::Ns),
+            (".", RrType::Dnskey),
+            ("com.", RrType::A),
+            ("nxf00dd00dbeef.", RrType::A),
+        ] {
+            let name = Name::parse(name).unwrap();
+            for state in 0..3 {
+                let q = state_query(&name, qtype, Class::In, state);
+                let outcome = assert_identical(&plain, &cached, &q);
+                assert_eq!(outcome, ServeOutcome::CacheHit, "{name} {qtype:?} {state}");
+            }
+        }
+    }
+
+    #[test]
+    fn rd_bit_and_mixed_case_are_echoed() {
+        let (plain, cached) = engines();
+        let mut q = state_query(&Name::parse("CoM.").unwrap(), RrType::Ns, Class::In, 2);
+        q.header.id = 0xbeef;
+        q.header.flags.recursion_desired = true;
+        assert_eq!(
+            assert_identical(&plain, &cached, &q),
+            ServeOutcome::CacheHit
+        );
+    }
+
+    #[test]
+    fn odd_payloads_and_nsid_fall_back() {
+        let (plain, cached) = engines();
+        // Payload 700 is no bucket: the signed priming response overflows
+        // it, so the cache must decline rather than serve the 512 variant.
+        let mut q = Message::query(1, Question::new(Name::root(), RrType::Ns));
+        set_edns(
+            &mut q,
+            &Edns {
+                udp_payload_size: 700,
+                dnssec_ok: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            assert_identical(&plain, &cached, &q),
+            ServeOutcome::Fallback
+        );
+        let mut q = Message::query(2, Question::new(Name::root(), RrType::Soa));
+        set_edns(&mut q, &Edns::dnssec().with_nsid_request());
+        assert_eq!(
+            assert_identical(&plain, &cached, &q),
+            ServeOutcome::Fallback
+        );
+    }
+
+    #[test]
+    fn qnames_sharing_record_suffixes_fall_back_identically() {
+        let (plain, cached) = engines();
+        // "net." is a label suffix of the root-server names in the SOA
+        // mname; the fallback encoder compresses the record name against
+        // the question, so the template must decline.
+        for name in ["net.", "root-servers.net.", "gtld-servers.net."] {
+            let q = state_query(&Name::parse(name).unwrap(), RrType::A, Class::In, 2);
+            assert_identical(&plain, &cached, &q);
+        }
+    }
+
+    #[test]
+    fn referrals_below_cuts_fall_back() {
+        let (plain, cached) = engines();
+        let q = state_query(&Name::parse("www.com.").unwrap(), RrType::A, Class::In, 2);
+        assert_eq!(
+            assert_identical(&plain, &cached, &q),
+            ServeOutcome::Fallback
+        );
+    }
+
+    #[test]
+    fn chaos_identity_hits() {
+        let (plain, cached) = engines();
+        for name in CHAOS_NAMES {
+            let q = Message::query(9, Question::chaos_txt(Name::parse(name).unwrap()));
+            assert_eq!(
+                assert_identical(&plain, &cached, &q),
+                ServeOutcome::CacheHit
+            );
+        }
+        // Unknown CHAOS name: REFUSED via the fallback.
+        let q = Message::query(9, Question::chaos_txt(Name::parse("whoami.").unwrap()));
+        assert_eq!(
+            assert_identical(&plain, &cached, &q),
+            ServeOutcome::Fallback
+        );
+    }
+
+    #[test]
+    fn fast_parse_rejects_what_the_cache_cannot_prove() {
+        // Compression pointer in the qname.
+        let mut req = Message::query(1, Question::new(Name::root(), RrType::A)).to_wire();
+        req[12] = 0xc0;
+        req.insert(13, 0x0c);
+        assert!(FastQuery::parse(&req).is_none());
+        // Trailing bytes.
+        let mut req = Message::query(1, Question::new(Name::root(), RrType::A)).to_wire();
+        req.push(0);
+        assert!(FastQuery::parse(&req).is_none());
+        // Non-zero opcode.
+        let mut req = Message::query(1, Question::new(Name::root(), RrType::A)).to_wire();
+        req[2] |= 0x08;
+        assert!(FastQuery::parse(&req).is_none());
+        // EDNS version 1.
+        let mut req = Message::query(1, Question::new(Name::root(), RrType::A)).to_wire();
+        let mut opt = vec![0, 0, 41, 0x0f, 0xa0, 0, 1, 0, 0, 0, 0];
+        req[11] = 1;
+        req.append(&mut opt);
+        assert!(FastQuery::parse(&req).is_none());
+    }
+}

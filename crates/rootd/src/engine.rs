@@ -7,13 +7,25 @@
 //! payload budget with TC-bit truncation at record boundaries. AXFR is
 //! served as the multi-message stream `dns_zone::axfr` produces; CHAOS
 //! identity queries answer from the site's [`SiteIdentity`].
+//!
+//! The hot path is the precompiled [`AnswerCache`]: when enabled
+//! ([`Rootd::with_answer_cache`]), `serve_udp_into` first tries a hash
+//! lookup that splices the request id, RD bit, and question bytes into a
+//! pre-encoded response — zero allocation, zero record cloning. Cold
+//! shapes (AXFR, FORMERR, NSID, odd payload sizes) fall through to the
+//! full parse/respond/encode path below. Zone swaps ([`Rootd::reload`])
+//! replace the whole serving state atomically behind an epoch-swapped
+//! `Arc`, bumping [`Rootd::generation`].
 
+use crate::cache::AnswerCache;
 use crate::index::{Lookup, ZoneIndex};
 use dns_wire::edns::{edns_of, set_edns, Edns};
 use dns_wire::message::Opcode;
 use dns_wire::rdata::Rdata;
 use dns_wire::{Class, Message, Question, Rcode, Record, RrType};
 use dns_zone::axfr::serve_axfr;
+use dns_zone::zone::Zone;
+use parking_lot::RwLock;
 use rss::catalog::RootSite;
 use rss::RootLetter;
 use std::sync::Arc;
@@ -64,11 +76,38 @@ impl SiteIdentity {
     }
 }
 
+/// How one UDP datagram was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// Answered from the precompiled cache (id/RD/question splice only).
+    CacheHit,
+    /// Answered through the full parse/respond/encode path.
+    Fallback,
+    /// Dropped: unparseable beyond the header, or a stray response.
+    Dropped,
+}
+
+/// Everything the serve path reads per query, swapped atomically on
+/// [`Rootd::reload`]. Readers clone nothing: they hold the lock only for
+/// the duration of one datagram.
+#[derive(Debug)]
+struct ServingState {
+    index: Arc<ZoneIndex>,
+    cache: Option<AnswerCache>,
+    generation: u64,
+}
+
 /// One authoritative serving instance.
 #[derive(Debug)]
 pub struct Rootd {
-    index: Arc<ZoneIndex>,
+    state: RwLock<Arc<ServingState>>,
     identity: SiteIdentity,
+    /// CHAOS TXT rdata precomputed at build time so identity queries do
+    /// not re-allocate the banner strings per query.
+    chaos_hostname: Option<Rdata>,
+    chaos_version: Rdata,
+    /// Whether [`Rootd::reload`] rebuilds the answer cache.
+    cache_enabled: bool,
     /// Answer records per AXFR message.
     axfr_batch: usize,
     /// Which letter the instance serves as (CHAOS banner flavour only; the
@@ -77,19 +116,86 @@ pub struct Rootd {
 }
 
 impl Rootd {
-    /// An instance serving `index` with `identity`.
+    /// An instance serving `index` with `identity`. No answer cache: the
+    /// serve path parses and encodes every datagram. Chain
+    /// [`Self::with_answer_cache`] for the precompiled fast path.
     pub fn new(index: Arc<ZoneIndex>, identity: SiteIdentity) -> Rootd {
+        let chaos_hostname = identity
+            .hostname
+            .as_ref()
+            .map(|h| Rdata::Txt(vec![h.clone().into_bytes()]));
+        let chaos_version = Rdata::Txt(vec![identity.version.clone().into_bytes()]);
         Rootd {
-            index,
+            state: RwLock::new(Arc::new(ServingState {
+                index,
+                cache: None,
+                generation: 0,
+            })),
             identity,
+            chaos_hostname,
+            chaos_version,
+            cache_enabled: false,
             axfr_batch: dns_zone::axfr::DEFAULT_BATCH,
             letter: None,
         }
     }
 
-    /// The zone index being served.
-    pub fn index(&self) -> &Arc<ZoneIndex> {
-        &self.index
+    /// Precompile the answer cache for the current zone and keep it in
+    /// sync across [`Self::reload`]s. Costs one pass over every (name,
+    /// qtype, EDNS-state) shape at build time; serve-time hits are then a
+    /// hash lookup plus a header/question splice.
+    pub fn with_answer_cache(self) -> Rootd {
+        let me = Rootd {
+            cache_enabled: true,
+            ..self
+        };
+        let (index, generation) = {
+            let state = me.state.read();
+            (Arc::clone(&state.index), state.generation)
+        };
+        *me.state.write() = Arc::new(me.build_state(index, generation));
+        me
+    }
+
+    /// The zone index being served (the current epoch's).
+    pub fn index(&self) -> Arc<ZoneIndex> {
+        Arc::clone(&self.state.read().index)
+    }
+
+    /// Cache generation: bumped by every [`Self::reload`]. Starts at 0.
+    pub fn generation(&self) -> u64 {
+        self.state.read().generation
+    }
+
+    /// Whether the precompiled answer cache is active.
+    pub fn has_answer_cache(&self) -> bool {
+        self.state.read().cache.is_some()
+    }
+
+    /// Swap in a new zone epoch: rebuild the index (and the answer cache,
+    /// when enabled), bump the generation, and publish atomically. In-flight
+    /// queries finish against the old state; the next datagram sees the new.
+    pub fn reload(&self, zone: Arc<Zone>) {
+        let index = Arc::new(ZoneIndex::build(zone));
+        let generation = self.state.read().generation + 1;
+        let next = Arc::new(self.build_state(index, generation));
+        *self.state.write() = next;
+    }
+
+    fn build_state(&self, index: Arc<ZoneIndex>, generation: u64) -> ServingState {
+        let cache = self.cache_enabled.then(|| {
+            AnswerCache::build(&Answerer {
+                index: &index,
+                hostname: self.identity.hostname.as_deref(),
+                chaos_hostname: self.chaos_hostname.as_ref(),
+                chaos_version: &self.chaos_version,
+            })
+        });
+        ServingState {
+            index,
+            cache,
+            generation,
+        }
     }
 
     /// Override the AXFR message batch size (framing granularity only).
@@ -98,32 +204,36 @@ impl Rootd {
         self
     }
 
-    /// Serve one UDP datagram: `None` means drop (unparseable beyond the
-    /// header, or a stray response). The returned datagram never exceeds
-    /// the client's advertised EDNS payload size (512 without EDNS); when
-    /// the full response would, records are dropped at record boundaries
-    /// and TC is set so the client retries over TCP.
+    /// Serve one UDP datagram into a caller-provided scratch buffer.
+    /// [`ServeOutcome::Dropped`] means no response (unparseable beyond the
+    /// header, or a stray response); `out` is untouched garbage then. The
+    /// response never exceeds the client's advertised EDNS payload size
+    /// (512 without EDNS); when the full response would, records are
+    /// dropped at record boundaries and TC is set so the client retries
+    /// over TCP.
+    pub fn serve_udp_into(&self, request: &[u8], out: &mut Vec<u8>) -> ServeOutcome {
+        let state = self.state.read();
+        if let Some(cache) = &state.cache {
+            if cache.serve(request, out) {
+                return ServeOutcome::CacheHit;
+            }
+        }
+        let answerer = self.answerer(&state);
+        if serve_udp_fallback(&answerer, request, out) {
+            ServeOutcome::Fallback
+        } else {
+            ServeOutcome::Dropped
+        }
+    }
+
+    /// Serve one UDP datagram: `None` means drop. Allocating convenience
+    /// wrapper over [`Self::serve_udp_into`].
     pub fn serve_udp(&self, request: &[u8]) -> Option<Vec<u8>> {
-        let query = match Message::from_wire(request) {
-            Ok(q) => q,
-            // Untrusted bytes: answer FORMERR when at least a header is
-            // there to echo, drop otherwise (real servers do both).
-            Err(_) => return formerr_stub(request),
-        };
-        if query.header.flags.response {
-            return None;
+        let mut out = Vec::new();
+        match self.serve_udp_into(request, &mut out) {
+            ServeOutcome::Dropped => None,
+            _ => Some(out),
         }
-        let limit = udp_limit(&query);
-        if is_axfr(&query) {
-            // Zone transfers need a stream; over UDP the only honest answer
-            // is an empty truncated response forcing the TCP retry.
-            let mut resp = Message::response_to(&query, Rcode::NoError, Vec::new());
-            resp.header.flags.truncated = true;
-            self.attach_edns(&query, &mut resp);
-            return Some(resp.to_wire());
-        }
-        let resp = self.respond(&query);
-        Some(encode_limited(resp, limit))
     }
 
     /// Serve one request over a TCP stream: the full, untruncated response
@@ -132,24 +242,60 @@ impl Rootd {
     pub fn serve_tcp(&self, request: &[u8]) -> Vec<Vec<u8>> {
         let query = match Message::from_wire(request) {
             Ok(q) => q,
-            Err(_) => return formerr_stub(request).into_iter().collect(),
+            Err(_) => {
+                let mut out = Vec::new();
+                return if formerr_stub(request, &mut out) {
+                    vec![out]
+                } else {
+                    Vec::new()
+                };
+            }
         };
         if query.header.flags.response {
             return Vec::new();
         }
+        let state = self.state.read();
         if is_axfr(&query) {
-            return match serve_axfr(self.index.zone(), query.header.id, self.axfr_batch) {
+            return match serve_axfr(state.index.zone(), query.header.id, self.axfr_batch) {
                 Ok(msgs) => msgs.iter().map(|m| m.to_wire()).collect(),
                 Err(_) => {
                     vec![Message::response_to(&query, Rcode::ServFail, Vec::new()).to_wire()]
                 }
             };
         }
-        vec![self.respond(&query).to_wire()]
+        vec![self.answerer(&state).respond(&query).to_wire()]
     }
 
     /// Build the (single-message) response to a parsed, non-AXFR query.
     pub fn respond(&self, query: &Message) -> Message {
+        let state = self.state.read();
+        self.answerer(&state).respond(query)
+    }
+
+    fn answerer<'a>(&'a self, state: &'a ServingState) -> Answerer<'a> {
+        Answerer {
+            index: &state.index,
+            hostname: self.identity.hostname.as_deref(),
+            chaos_hostname: self.chaos_hostname.as_ref(),
+            chaos_version: &self.chaos_version,
+        }
+    }
+}
+
+/// The full (uncached) answer logic, borrowed from one serving state. The
+/// answer cache is built by running every reachable shape through this
+/// exact code, so cached and fallback responses are byte-identical by
+/// construction.
+pub(crate) struct Answerer<'a> {
+    pub(crate) index: &'a ZoneIndex,
+    pub(crate) hostname: Option<&'a str>,
+    pub(crate) chaos_hostname: Option<&'a Rdata>,
+    pub(crate) chaos_version: &'a Rdata,
+}
+
+impl Answerer<'_> {
+    /// Build the (single-message) response to a parsed, non-AXFR query.
+    pub(crate) fn respond(&self, query: &Message) -> Message {
         let mut resp = self.respond_inner(query);
         self.attach_edns(query, &mut resp);
         resp
@@ -172,23 +318,26 @@ impl Rootd {
     }
 
     fn answer_chaos(&self, query: &Message, q: &Question) -> Message {
-        let name = q.name.to_string().to_ascii_lowercase();
-        let text = match (q.rr_type, name.as_str()) {
-            (RrType::Txt, "hostname.bind." | "id.server.") => self.identity.hostname.clone(),
-            (RrType::Txt, "version.bind." | "version.server.") => {
-                Some(self.identity.version.clone())
+        let rdata = if q.rr_type == RrType::Txt {
+            if chaos_name_is(&q.name, b"hostname", b"bind")
+                || chaos_name_is(&q.name, b"id", b"server")
+            {
+                self.chaos_hostname.cloned()
+            } else if chaos_name_is(&q.name, b"version", b"bind")
+                || chaos_name_is(&q.name, b"version", b"server")
+            {
+                Some(self.chaos_version.clone())
+            } else {
+                None
             }
-            _ => None,
+        } else {
+            None
         };
-        match text {
-            Some(t) => Message::response_to(
+        match rdata {
+            Some(r) => Message::response_to(
                 query,
                 Rcode::NoError,
-                vec![Record::chaos(
-                    q.name.clone(),
-                    0,
-                    Rdata::Txt(vec![t.into_bytes()]),
-                )],
+                vec![Record::chaos(q.name.clone(), 0, r)],
             ),
             None => Message::response_to(query, Rcode::Refused, Vec::new()),
         }
@@ -240,20 +389,35 @@ impl Rootd {
     /// NODATA / NXDOMAIN: SOA in the authority section, plus the covering
     /// NSEC proof when the client asked for DNSSEC.
     fn negative(&self, query: &Message, q: &Question, rcode: Rcode, dnssec: bool) -> Message {
+        let nsec = if dnssec {
+            self.index.covering_nsec(&q.name)
+        } else {
+            None
+        };
+        self.negative_with(query, rcode, dnssec, nsec)
+    }
+
+    /// Negative response with an explicitly chosen NSEC link (the answer
+    /// cache precompiles one NXDOMAIN template per chain link).
+    pub(crate) fn negative_with(
+        &self,
+        query: &Message,
+        rcode: Rcode,
+        dnssec: bool,
+        nsec: Option<&crate::index::RrsetEntry>,
+    ) -> Message {
         let mut resp = Message::response_to(query, rcode, Vec::new());
         resp.authorities = self.index.negative_authority(dnssec);
-        if dnssec {
-            if let Some(nsec) = self.index.covering_nsec(&q.name) {
-                resp.authorities.extend(nsec.records.iter().cloned());
-                resp.authorities.extend(nsec.rrsigs.iter().cloned());
-            }
+        if let Some(nsec) = nsec {
+            resp.authorities.extend(nsec.records.iter().cloned());
+            resp.authorities.extend(nsec.rrsigs.iter().cloned());
         }
         resp
     }
 
     /// Mirror the client's EDNS: advertise our payload size, echo DO, and
     /// answer an NSID request with the instance identity (RFC 5001).
-    fn attach_edns(&self, query: &Message, resp: &mut Message) {
+    pub(crate) fn attach_edns(&self, query: &Message, resp: &mut Message) {
         let Some(edns) = edns_of(query) else { return };
         let mut reply = Edns {
             udp_payload_size: MAX_UDP_PAYLOAD as u16,
@@ -261,12 +425,49 @@ impl Rootd {
             ..Default::default()
         };
         if edns.nsid_requested() {
-            if let Some(hostname) = &self.identity.hostname {
+            if let Some(hostname) = self.hostname {
                 reply = reply.with_nsid(hostname.as_bytes());
             }
         }
         set_edns(resp, &reply);
     }
+}
+
+/// Two-label CHAOS identity name match, case-insensitive, no allocation.
+fn chaos_name_is(name: &dns_wire::Name, first: &[u8], second: &[u8]) -> bool {
+    let mut labels = name.labels();
+    matches!(
+        (labels.next(), labels.next(), labels.next()),
+        (Some(a), Some(b), None)
+            if a.eq_ignore_ascii_case(first) && b.eq_ignore_ascii_case(second)
+    )
+}
+
+/// The uncached UDP path: full parse, respond, budget-limited encode into
+/// `out`. Returns false to drop the datagram.
+fn serve_udp_fallback(answerer: &Answerer<'_>, request: &[u8], out: &mut Vec<u8>) -> bool {
+    let query = match Message::from_wire(request) {
+        Ok(q) => q,
+        // Untrusted bytes: answer FORMERR when at least a header is
+        // there to echo, drop otherwise (real servers do both).
+        Err(_) => return formerr_stub(request, out),
+    };
+    if query.header.flags.response {
+        return false;
+    }
+    let limit = udp_limit(&query);
+    if is_axfr(&query) {
+        // Zone transfers need a stream; over UDP the only honest answer
+        // is an empty truncated response forcing the TCP retry.
+        let mut resp = Message::response_to(&query, Rcode::NoError, Vec::new());
+        resp.header.flags.truncated = true;
+        answerer.attach_edns(&query, &mut resp);
+        resp.encode_into(out);
+        return true;
+    }
+    let resp = answerer.respond(&query);
+    encode_limited_into(&resp, limit, out);
+    true
 }
 
 /// Whether the (first) question asks for a zone transfer.
@@ -285,58 +486,51 @@ fn udp_limit(query: &Message) -> usize {
         .unwrap_or(MIN_UDP_PAYLOAD)
 }
 
-/// A header-only FORMERR echoing the request id, when a header exists to
-/// echo at all.
-fn formerr_stub(request: &[u8]) -> Option<Vec<u8>> {
+/// A header-only FORMERR echoing the request id, written into `out` when a
+/// header exists to echo at all.
+fn formerr_stub(request: &[u8], out: &mut Vec<u8>) -> bool {
     if request.len() < 12 {
-        return None;
+        return false;
     }
-    let mut resp = Message {
-        header: dns_wire::message::Header {
-            id: u16::from_be_bytes([request[0], request[1]]),
-            rcode: Rcode::FormErr,
-            ..Default::default()
-        },
-        questions: Vec::new(),
-        answers: Vec::new(),
-        authorities: Vec::new(),
-        additionals: Vec::new(),
-    };
-    resp.header.flags.response = true;
-    Some(resp.to_wire())
+    out.clear();
+    // QR=1, rcode=FORMERR(1), all counts zero.
+    out.extend_from_slice(&[request[0], request[1], 0x80, 0x01, 0, 0, 0, 0, 0, 0, 0, 0]);
+    true
 }
 
-/// Encode `msg` within `limit` bytes: while it does not fit, drop whole
-/// records — opportunistic additionals first, then authority, then answer —
-/// and set TC. The OPT pseudo-record survives truncation (it carries the
-/// EDNS negotiation itself). Dropping never splits a record, so the result
-/// always reparses with consistent section counts.
-fn encode_limited(mut msg: Message, limit: usize) -> Vec<u8> {
+/// Encode `msg` within `limit` bytes into `out`: while it does not fit,
+/// drop whole records — opportunistic additionals first, then authority,
+/// then answer — and set TC. The OPT pseudo-record survives truncation (it
+/// carries the EDNS negotiation itself). Dropping never splits a record,
+/// so the result always reparses with consistent section counts.
+pub(crate) fn encode_limited_into(msg: &Message, limit: usize, out: &mut Vec<u8>) {
+    msg.encode_into(out);
+    if out.len() <= limit {
+        return;
+    }
+    let mut an = msg.answers.len();
+    let mut ns = msg.authorities.len();
+    let mut ar = msg
+        .additionals
+        .iter()
+        .filter(|r| r.rr_type != RrType::Opt)
+        .count();
     loop {
-        let wire = msg.to_wire();
-        if wire.len() <= limit {
-            return wire;
-        }
-        let dropped = pop_non_opt(&mut msg.additionals)
-            || msg.authorities.pop().is_some()
-            || msg.answers.pop().is_some();
-        if !dropped {
+        if ar > 0 {
+            ar -= 1;
+        } else if ns > 0 {
+            ns -= 1;
+        } else if an > 0 {
+            an -= 1;
+        } else {
             // Header + question + OPT alone always fit 512 bytes for names
             // the root serves; return as-is rather than loop forever.
-            return wire;
+            return;
         }
-        msg.header.flags.truncated = true;
-    }
-}
-
-/// Drop the last non-OPT additional, if any.
-fn pop_non_opt(additionals: &mut Vec<Record>) -> bool {
-    match additionals.iter().rposition(|r| r.rr_type != RrType::Opt) {
-        Some(i) => {
-            additionals.remove(i);
-            true
+        msg.encode_truncated_into(an, ns, ar, out);
+        if out.len() <= limit {
+            return;
         }
-        None => false,
     }
 }
 

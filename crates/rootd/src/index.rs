@@ -181,6 +181,18 @@ impl ZoneIndex {
         self.answers.get(&(name.clone(), rr_type))
     }
 
+    /// Every owner name the zone holds (answer-cache enumeration).
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.names.iter()
+    }
+
+    /// The NSEC chain in canonical order: owner names with their NSEC
+    /// records and signatures. The answer cache precompiles one NXDOMAIN
+    /// template per link.
+    pub fn nsec_chain(&self) -> &[(Name, RrsetEntry)] {
+        &self.nsec_chain
+    }
+
     /// SOA (+ RRSIG when `dnssec`) for negative-response authority.
     pub fn negative_authority(&self, dnssec: bool) -> Vec<Record> {
         let mut out = self.negative_soa.clone();

@@ -12,6 +12,9 @@
 //!   answer (authoritative data, referrals, NXDOMAIN, CHAOS identity,
 //!   AXFR), encode honoring the advertised EDNS payload size with TC-bit
 //!   truncation at record boundaries;
+//! * [`cache`] — [`AnswerCache`]: wire responses precompiled per zone
+//!   epoch, served by splicing the request id/RD/question into stored
+//!   bytes (zero allocation on hits);
 //! * [`transport`] — the [`Transport`] abstraction with two impls: the
 //!   deterministic [`InprocTransport`] (tests, `localroot` refresh) and
 //!   [`LoopbackTransport`] over real UDP and TCP sockets on 127.0.0.1;
@@ -20,12 +23,14 @@
 //!   from simulated clients against per-site engines, with log-bucketed
 //!   latency histograms (p50/p95/p99) and throughput reporting.
 
+pub mod cache;
 pub mod engine;
 pub mod index;
 pub mod loadgen;
 pub mod transport;
 
-pub use engine::{Rootd, SiteIdentity};
+pub use cache::AnswerCache;
+pub use engine::{Rootd, ServeOutcome, SiteIdentity};
 pub use index::{Lookup, Referral, ZoneIndex};
 pub use loadgen::{LoadReport, LoadgenConfig, QueryMix};
 pub use transport::{

@@ -8,14 +8,18 @@
 //! catchment computation the measurement layer uses, so load distributes
 //! across sites the way anycast would distribute it.
 //!
-//! Every query travels the full parse → serve → encode path
-//! ([`Rootd::serve_udp`] on raw bytes); latency is recorded per query into
-//! a log-bucketed histogram (16 sub-buckets per octave, so quantile error
-//! is bounded at ~6%), and the report carries throughput plus p50/p95/p99.
+//! Every query travels the full serve path on raw bytes
+//! ([`Rootd::serve_udp_into`], answer cache first, fallback parse →
+//! respond → encode otherwise); latency is recorded per query into a
+//! log-bucketed histogram (16 sub-buckets per octave, so quantile error
+//! is bounded at ~6%), and the report carries throughput, p50/p95/p99,
+//! and cache hit/miss counters. Queries are filled from precompiled wire
+//! templates into a per-worker scratch buffer — byte-identical to the
+//! `Message`-built stream (a test asserts it) but allocation-free, so the
+//! generator keeps up with the cached serve path.
 
-use crate::engine::{Rootd, SiteIdentity};
+use crate::engine::{Rootd, ServeOutcome, SiteIdentity};
 use crate::index::ZoneIndex;
-use dns_wire::edns::{set_edns, Edns};
 use dns_wire::{Message, Name, Question, RrType};
 use dns_zone::Zone;
 use netsim::rng::SimRng;
@@ -140,7 +144,8 @@ impl SiteFleet {
             if i == 0 {
                 default_site = site.site_id.0;
             }
-            let mut engine = Rootd::new(Arc::clone(&index), SiteIdentity::for_site(site));
+            let mut engine =
+                Rootd::new(Arc::clone(&index), SiteIdentity::for_site(site)).with_answer_cache();
             engine.letter = Some(letter);
             engines.insert(site.site_id.0, Arc::new(engine));
         }
@@ -187,6 +192,10 @@ pub struct LoadReport {
     pub nxdomain: usize,
     pub referrals: usize,
     pub truncated: usize,
+    /// Queries answered from the precompiled answer cache.
+    pub cache_hits: usize,
+    /// Queries that took the fallback path (or were dropped).
+    pub cache_misses: usize,
     pub elapsed: Duration,
     pub qps: f64,
     pub p50_ns: u64,
@@ -213,12 +222,14 @@ impl LoadReport {
     /// what seeded surfaces (the experiment registry) should print.
     pub fn render_counts(&self) -> String {
         format!(
-            "queries        {:>12}\nresponses      {:>12}\nnxdomain       {:>12}\nreferrals      {:>12}\ntruncated      {:>12}\nsites answering {:>11}\n",
+            "queries        {:>12}\nresponses      {:>12}\nnxdomain       {:>12}\nreferrals      {:>12}\ntruncated      {:>12}\ncache hits     {:>12}\ncache misses   {:>12}\nsites answering {:>11}\n",
             self.queries,
             self.responses,
             self.nxdomain,
             self.referrals,
             self.truncated,
+            self.cache_hits,
+            self.cache_misses,
             self.per_site.len()
         )
     }
@@ -310,6 +321,8 @@ struct WorkerStats {
     nxdomain: usize,
     referrals: usize,
     truncated: usize,
+    cache_hits: usize,
+    cache_misses: usize,
     per_site: HashMap<u32, usize>,
 }
 
@@ -321,33 +334,86 @@ impl WorkerStats {
             nxdomain: 0,
             referrals: 0,
             truncated: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             per_site: HashMap::new(),
         }
     }
 }
 
-/// Build one query's wire bytes for `client`'s stream.
-fn build_query(mix: &QueryMix, tlds: &[String], rng: &mut SimRng) -> Vec<u8> {
+/// The CHAOS names the generator probes (a strict subset of what sites
+/// answer, as in the B-Root composition study).
+const CHAOS_PROBES: [&str; 3] = ["hostname.bind.", "id.server.", "version.bind."];
+
+/// Pre-encoded wire fragments for [`fill_query`]: whole CHAOS queries and
+/// qname bytes per TLD, so the per-query work is a copy plus patches.
+struct QueryTemplates {
+    chaos: [Vec<u8>; 3],
+    /// Qname wire bytes (`len label 0`) per delegated TLD.
+    tld_names: Vec<Vec<u8>>,
+}
+
+impl QueryTemplates {
+    fn build(tlds: &[String]) -> QueryTemplates {
+        let chaos = CHAOS_PROBES
+            .map(|n| Message::query(0, Question::chaos_txt(Name::parse(n).unwrap())).to_wire());
+        let tld_names = tlds
+            .iter()
+            .map(|t| {
+                let mut wire = Vec::with_capacity(t.len() + 2);
+                wire.push(t.len() as u8);
+                wire.extend_from_slice(t.as_bytes());
+                wire.push(0);
+                wire
+            })
+            .collect();
+        QueryTemplates { chaos, tld_names }
+    }
+}
+
+/// Write one query's wire bytes for `client`'s stream into `out`. Consumes
+/// RNG draws in exactly the order the original `Message`-building path did,
+/// and produces byte-identical datagrams (asserted by
+/// `templated_queries_match_message_built_ones`), so reports stay
+/// comparable across the optimization.
+fn fill_query(mix: &QueryMix, templates: &QueryTemplates, rng: &mut SimRng, out: &mut Vec<u8>) {
     let id = (rng.next_u64() & 0xffff) as u16;
     if rng.chance(mix.chaos_fraction) {
-        let name = *rng.pick(&["hostname.bind.", "id.server.", "version.bind."]);
-        return Message::query(id, Question::chaos_txt(Name::parse(name).unwrap())).to_wire();
+        // Mirrors `rng.pick` on the 3-element probe array.
+        let probe = &templates.chaos[rng.next_range(CHAOS_PROBES.len())];
+        out.clear();
+        out.extend_from_slice(probe);
+        out[0] = (id >> 8) as u8;
+        out[1] = id as u8;
+        return;
     }
     let qtype = mix.draw_qtype(rng);
+    out.clear();
+    out.extend_from_slice(&[(id >> 8) as u8, id as u8, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0]);
     // Priming-style queries go to the apex; everything else to a TLD or a
     // junk label (the root's NXDOMAIN-heavy reality).
-    let name = if matches!(qtype, RrType::Soa | RrType::Dnskey) {
-        Name::root()
-    } else if rng.chance(mix.nxdomain_fraction) || tlds.is_empty() {
-        Name::parse(&format!("nx{:012x}.", rng.next_u64() & 0xffff_ffff_ffff)).unwrap()
+    if matches!(qtype, RrType::Soa | RrType::Dnskey) {
+        out.push(0);
+    } else if rng.chance(mix.nxdomain_fraction) || templates.tld_names.is_empty() {
+        // `nx` + 12 lowercase hex digits, one 14-byte label.
+        let bits = rng.next_u64() & 0xffff_ffff_ffff;
+        out.push(14);
+        out.extend_from_slice(b"nx");
+        for shift in (0..12u32).rev() {
+            out.push(b"0123456789abcdef"[((bits >> (shift * 4)) & 0xf) as usize]);
+        }
+        out.push(0);
     } else {
-        Name::parse(&format!("{}.", rng.pick(tlds))).unwrap()
-    };
-    let mut q = Message::query(id, Question::new(name, qtype));
-    if rng.chance(mix.dnssec_fraction) {
-        set_edns(&mut q, &Edns::dnssec());
+        out.extend_from_slice(&templates.tld_names[rng.next_range(templates.tld_names.len())]);
     }
-    q.to_wire()
+    out.extend_from_slice(&qtype.to_u16().to_be_bytes());
+    out.extend_from_slice(&[0, 1]); // IN
+    if rng.chance(mix.dnssec_fraction) {
+        // A canonical DO OPT: payload 4096, version 0, no options —
+        // byte-for-byte what `set_edns(&Edns::dnssec())` appends.
+        out[11] = 1;
+        out.extend_from_slice(&[0, 0, 41, 0x10, 0x00, 0, 0, 0x80, 0, 0, 0]);
+    }
 }
 
 /// Classify a raw response datagram by header bytes alone — the client
@@ -382,6 +448,8 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
     let threads = cfg.threads.max(1);
     let clients = cfg.clients.max(1);
     let per_thread = cfg.queries.div_ceil(threads);
+    let templates = QueryTemplates::build(&fleet.tlds);
+    let templates = &templates;
     let started = Instant::now();
     let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -393,6 +461,10 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
                 // Each simulated client owns a derived, reproducible
                 // stream; threads interleave clients round-robin.
                 let mut rngs: HashMap<usize, SimRng> = HashMap::new();
+                // Per-worker scratch: the whole query/serve loop reuses
+                // these two buffers, no per-query allocation.
+                let mut wire = Vec::with_capacity(64);
+                let mut resp = Vec::with_capacity(4096);
                 for i in 0..count {
                     let global = first + i;
                     let client_idx = global % clients;
@@ -402,13 +474,21 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
                     let asn = fleet.clients[client_idx % fleet.clients.len().max(1)];
                     let engine = fleet.engine_for(asn);
                     let site = *fleet.catchment.get(&asn.0).unwrap_or(&fleet.default_site);
-                    let wire = build_query(&cfg.mix, &fleet.tlds, rng);
+                    fill_query(&cfg.mix, templates, rng, &mut wire);
                     let t0 = Instant::now();
-                    let resp = engine.serve_udp(&wire);
+                    let outcome = engine.serve_udp_into(&wire, &mut resp);
                     let lat = t0.elapsed().as_nanos() as u64;
                     stats.hist.record(lat);
-                    if let Some(resp) = resp {
-                        classify(&mut stats, site, &resp);
+                    match outcome {
+                        ServeOutcome::CacheHit => {
+                            stats.cache_hits += 1;
+                            classify(&mut stats, site, &resp);
+                        }
+                        ServeOutcome::Fallback => {
+                            stats.cache_misses += 1;
+                            classify(&mut stats, site, &resp);
+                        }
+                        ServeOutcome::Dropped => stats.cache_misses += 1,
                     }
                 }
                 stats
@@ -425,6 +505,8 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
         merged.nxdomain += s.nxdomain;
         merged.referrals += s.referrals;
         merged.truncated += s.truncated;
+        merged.cache_hits += s.cache_hits;
+        merged.cache_misses += s.cache_misses;
         for (site, n) in &s.per_site {
             *merged.per_site.entry(*site).or_insert(0) += n;
         }
@@ -437,6 +519,8 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
         nxdomain: merged.nxdomain,
         referrals: merged.referrals,
         truncated: merged.truncated,
+        cache_hits: merged.cache_hits,
+        cache_misses: merged.cache_misses,
         elapsed,
         qps: cfg.queries as f64 / elapsed.as_secs_f64().max(1e-9),
         p50_ns: hist.quantile(0.50),
@@ -538,5 +622,71 @@ mod tests {
         }
         let report = run(&fleet, &LoadgenConfig::tiny(11));
         assert!(!report.per_site.is_empty());
+    }
+
+    /// The `Message`-building path `fill_query` replaced, kept verbatim as
+    /// the parity oracle.
+    fn build_query_via_message(mix: &QueryMix, tlds: &[String], rng: &mut SimRng) -> Vec<u8> {
+        use dns_wire::edns::{set_edns, Edns};
+        let id = (rng.next_u64() & 0xffff) as u16;
+        if rng.chance(mix.chaos_fraction) {
+            let name = *rng.pick(&CHAOS_PROBES);
+            return Message::query(id, Question::chaos_txt(Name::parse(name).unwrap())).to_wire();
+        }
+        let qtype = mix.draw_qtype(rng);
+        let name = if matches!(qtype, RrType::Soa | RrType::Dnskey) {
+            Name::root()
+        } else if rng.chance(mix.nxdomain_fraction) || tlds.is_empty() {
+            Name::parse(&format!("nx{:012x}.", rng.next_u64() & 0xffff_ffff_ffff)).unwrap()
+        } else {
+            Name::parse(&format!("{}.", rng.pick(tlds))).unwrap()
+        };
+        let mut q = Message::query(id, Question::new(name, qtype));
+        if rng.chance(mix.dnssec_fraction) {
+            set_edns(&mut q, &Edns::dnssec());
+        }
+        q.to_wire()
+    }
+
+    #[test]
+    fn templated_queries_match_message_built_ones() {
+        let mix = QueryMix::broot();
+        let tlds: Vec<String> = ["com", "net", "org", "xn--p1ai"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let templates = QueryTemplates::build(&tlds);
+        let mut rng_a = SimRng::new(42).derive_ids(&[0x10ad, 3]);
+        let mut rng_b = SimRng::new(42).derive_ids(&[0x10ad, 3]);
+        let mut wire = Vec::new();
+        for i in 0..5_000 {
+            let expected = build_query_via_message(&mix, &tlds, &mut rng_a);
+            fill_query(&mix, &templates, &mut rng_b, &mut wire);
+            assert_eq!(expected, wire, "query {i} diverged");
+        }
+    }
+
+    #[test]
+    fn cache_counters_cover_every_query_and_ignore_worker_count() {
+        let fleet = fleet();
+        let cfg = LoadgenConfig {
+            queries: 2_000,
+            ..LoadgenConfig::tiny(7)
+        };
+        let a = run(&fleet, &cfg);
+        assert_eq!(a.cache_hits + a.cache_misses, cfg.queries);
+        // The junk/TLD/apex bulk of the b-root mix is precompiled; only
+        // cold shapes (e.g. CHAOS probes against identity-less sites)
+        // should miss.
+        assert!(a.cache_hits > cfg.queries * 9 / 10, "{} hits", a.cache_hits);
+        let b = run(
+            &fleet,
+            &LoadgenConfig {
+                threads: 5,
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.cache_misses, b.cache_misses);
     }
 }

@@ -15,7 +15,7 @@
 //! message bytes unmodified, the two must produce byte-identical
 //! responses for the same request — `tests/rootd_serving.rs` asserts it.
 
-use crate::engine::Rootd;
+use crate::engine::{Rootd, ServeOutcome};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -125,10 +125,14 @@ impl LoopbackServer {
         let udp_stop = Arc::clone(&stop);
         let udp_thread = std::thread::spawn(move || {
             let mut buf = vec![0u8; MAX_DATAGRAM];
+            // Response scratch reused across datagrams: answer-cache hits
+            // splice straight into it, no per-query allocation.
+            let mut resp = Vec::with_capacity(MAX_DATAGRAM);
             while !udp_stop.load(Ordering::Relaxed) {
                 match udp.recv_from(&mut buf) {
                     Ok((n, peer)) => {
-                        if let Some(resp) = udp_engine.serve_udp(&buf[..n]) {
+                        if udp_engine.serve_udp_into(&buf[..n], &mut resp) != ServeOutcome::Dropped
+                        {
                             let _ = udp.send_to(&resp, peer);
                         }
                     }

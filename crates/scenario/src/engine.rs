@@ -13,8 +13,10 @@ use crate::event::{DegradedMode, EventKind};
 use crate::timeline::Scenario;
 use analysis::zonemd_pipeline::validate_transfers;
 use dns_zone::rollout::RolloutPhase;
+use dns_zone::Zone;
 use netsim::anycast::SiteId;
 use rss::RootLetter;
+use std::sync::Arc;
 use vantage::{
     EngineOverrides, EngineSession, MeasurementConfig, MeasurementEngine, ProbeRecord, Round,
     TransferRecord, World,
@@ -63,6 +65,22 @@ pub struct EpochRun {
     /// validated *while the epoch's world state was in force* (a forced
     /// ZONEMD phase changes what validates).
     pub validation_failures: u64,
+}
+
+/// The zone a serving layer would publish during one epoch, as captured
+/// by [`ScenarioEngine::epoch_zones`].
+#[derive(Debug, Clone)]
+pub struct EpochZone {
+    /// Epoch position on the timeline (0 = before any event).
+    pub index: usize,
+    /// Epoch window `[start, end)` (seconds since epoch).
+    pub start: u32,
+    pub end: u32,
+    /// Labels of the events active during this epoch (empty = baseline).
+    pub active: Vec<String>,
+    /// The zone in force at the epoch's start, with any event-driven
+    /// world state (e.g. a forced ZONEMD phase) applied.
+    pub zone: Arc<Zone>,
 }
 
 /// A completed scenario run: one [`EpochRun`] per epoch, in timeline order.
@@ -225,6 +243,64 @@ impl ScenarioEngine {
             scenario_name: scenario.name().to_string(),
             epochs,
         }
+    }
+
+    /// Replay the epoch walk of [`run`](ScenarioEngine::run) without
+    /// measuring, capturing the zone a serving layer (e.g. `rootd`) would
+    /// publish during each epoch. Events are applied and reverted exactly
+    /// as in a full run, so zone-affecting world state (a forced ZONEMD
+    /// phase, say) shows up in the captured zones; the world comes back
+    /// untouched. Epoch windows and labels match `run`'s one-to-one.
+    pub fn epoch_zones(&self, world: &mut World, scenario: &Scenario) -> Vec<EpochZone> {
+        let schedule = &self.config.base.schedule;
+        let cuts = scenario.boundaries(schedule.start, schedule.end);
+        let mut bounds = Vec::with_capacity(cuts.len() + 2);
+        bounds.push(schedule.start);
+        bounds.extend_from_slice(&cuts);
+        bounds.push(schedule.end);
+
+        let mut applied: Vec<(usize, Snapshot)> = Vec::new();
+        let mut applied_ever = vec![false; scenario.events().len()];
+        let mut zones = Vec::new();
+
+        for (index, w) in bounds.windows(2).enumerate() {
+            let (w_start, w_end) = (w[0], w[1]);
+
+            let mut still = Vec::with_capacity(applied.len());
+            for (idx, snap) in applied.drain(..) {
+                if scenario.events()[idx].effective_until() <= w_start {
+                    revert(world, snap);
+                } else {
+                    still.push((idx, snap));
+                }
+            }
+            applied = still;
+
+            for (idx, ev) in scenario.events().iter().enumerate() {
+                if ev.at <= w_start && ev.effective_until() > w_start && !applied_ever[idx] {
+                    applied_ever[idx] = true;
+                    let (snap, _) = apply(world, ev.kind);
+                    applied.push((idx, snap));
+                }
+            }
+
+            let active: Vec<String> = applied
+                .iter()
+                .map(|&(idx, _)| scenario.events()[idx].kind.label())
+                .collect();
+            zones.push(EpochZone {
+                index,
+                start: w_start,
+                end: w_end,
+                active,
+                zone: world.zone_at(w_start),
+            });
+        }
+
+        for (_, snap) in applied.drain(..) {
+            revert(world, snap);
+        }
+        zones
     }
 }
 

@@ -30,7 +30,7 @@ pub mod event;
 pub mod report;
 pub mod timeline;
 
-pub use engine::{EpochRun, ScenarioConfig, ScenarioEngine, ScenarioRun};
+pub use engine::{EpochRun, EpochZone, ScenarioConfig, ScenarioEngine, ScenarioRun};
 pub use event::{DegradedMode, EventKind, Scope};
 pub use report::epoch_diff;
 pub use timeline::{Scenario, ScenarioError, ScenarioEvent};

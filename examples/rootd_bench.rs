@@ -45,6 +45,13 @@ fn main() {
     );
     let p = ServingPipeline::run(scale, RootLetter::B, &cfg);
     print!("{}", p.render());
+    let served = p.report.cache_hits + p.report.cache_misses;
+    println!(
+        "cache hit rate: {:.2}% ({} of {} queries answered from precompiled wire bytes)",
+        100.0 * p.report.cache_hits as f64 / served.max(1) as f64,
+        p.report.cache_hits,
+        served
+    );
     println!(
         "per-site distribution: {}",
         p.report

@@ -5,29 +5,45 @@
 //!    transports move raw bytes);
 //! 2. the EDNS/TC matrix — a response larger than the advertised UDP
 //!    payload size is truncated at a record boundary with TC set, and the
-//!    same query over TCP yields the full, untruncated answer.
+//!    same query over TCP yields the full, untruncated answer;
+//! 3. the precompiled answer cache — cached responses are byte-identical
+//!    to the fallback encode path across the whole matrix, and a zone
+//!    reload (resign, or a scenario epoch boundary) bumps the cache
+//!    generation and changes the served bytes in lockstep with an
+//!    uncached engine.
 
 use dns_wire::edns::{edns_of, set_edns, Edns};
 use dns_wire::{Message, Name, Question, Rcode, RrType};
 use dns_zone::rollout::RolloutPhase;
 use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
 use dns_zone::signer::ZoneKeys;
-use rootd::{InprocTransport, LoopbackServer, Rootd, SiteIdentity, Transport, ZoneIndex};
+use dns_zone::Zone;
+use rootd::{
+    InprocTransport, LoopbackServer, Rootd, ServeOutcome, SiteIdentity, Transport, ZoneIndex,
+};
 use std::sync::Arc;
 
-fn engine() -> Arc<Rootd> {
-    let zone = build_root_zone(
+fn test_zone(serial: u32) -> Arc<Zone> {
+    Arc::new(build_root_zone(
         &RootZoneConfig {
+            serial,
             tld_count: 20,
             rollout: RolloutPhase::Validating,
             ..Default::default()
         },
         &ZoneKeys::from_seed(42),
-    );
-    Arc::new(Rootd::new(
-        Arc::new(ZoneIndex::build(Arc::new(zone))),
-        SiteIdentity::named("iad7b"),
     ))
+}
+
+fn engine_for(zone: Arc<Zone>) -> Rootd {
+    Rootd::new(
+        Arc::new(ZoneIndex::build(zone)),
+        SiteIdentity::named("iad7b"),
+    )
+}
+
+fn engine() -> Arc<Rootd> {
+    Arc::new(engine_for(test_zone(2023112000)))
 }
 
 /// A deterministic stream exercising every answer shape: apex data,
@@ -175,6 +191,110 @@ fn edns_tc_matrix() {
         assert!(full.answers.iter().any(|r| r.rr_type == RrType::Rrsig));
         assert!(full.additionals.iter().any(|r| r.rr_type == RrType::Aaaa));
     }
+}
+
+/// Serve `wire` through both engines and assert the bytes agree; returns
+/// whether the cached engine answered from the precompiled cache.
+fn assert_cache_agrees(cached: &Rootd, plain: &Rootd, wire: &[u8], ctx: &str) -> bool {
+    let expected = plain.serve_udp(wire);
+    let mut out = Vec::new();
+    match cached.serve_udp_into(wire, &mut out) {
+        ServeOutcome::Dropped => {
+            assert!(expected.is_none(), "{ctx}: cached dropped, plain answered");
+            false
+        }
+        outcome => {
+            assert_eq!(Some(out), expected, "{ctx}: cached bytes differ");
+            outcome == ServeOutcome::CacheHit
+        }
+    }
+}
+
+#[test]
+fn cached_responses_match_the_fallback_path_across_the_matrix() {
+    let zone = test_zone(2023112000);
+    let plain = engine_for(Arc::clone(&zone));
+    let cached = engine_for(zone).with_answer_cache();
+    assert!(cached.has_answer_cache() && !plain.has_answer_cache());
+
+    let stream = query_stream();
+    let hits = stream
+        .iter()
+        .enumerate()
+        .filter(|(i, wire)| assert_cache_agrees(&cached, &plain, wire, &format!("query {i}")))
+        .count();
+    // Most of the matrix is servable from the cache; only the shapes the
+    // fast path cannot prove (odd payload budgets, NSID, sub-delegation
+    // names, unknown CHAOS names) fall back.
+    assert!(
+        hits * 2 > stream.len(),
+        "only {hits}/{} queries hit the cache",
+        stream.len()
+    );
+}
+
+#[test]
+fn zone_resign_bumps_the_generation_and_the_served_bytes() {
+    let cached = engine_for(test_zone(2023112000)).with_answer_cache();
+    let plain = engine_for(test_zone(2023112000));
+    assert_eq!(cached.generation(), 0);
+
+    let mut q = Message::query(7, Question::new(Name::root(), RrType::Soa));
+    set_edns(&mut q, &Edns::dnssec());
+    let wire = q.to_wire();
+    let before = cached.serve_udp(&wire).expect("answered");
+
+    // Mid-session resign: a new serial re-signs the zone. Both engines
+    // swap state; the cached one must also rebuild its precompiled
+    // answers — a stale cache would keep serving the old serial.
+    let resigned = test_zone(2023112100);
+    cached.reload(Arc::clone(&resigned));
+    plain.reload(resigned);
+    assert_eq!(cached.generation(), 1);
+    assert_eq!(cached.index().serial(), 2023112100);
+
+    let mut out = Vec::new();
+    assert_eq!(
+        cached.serve_udp_into(&wire, &mut out),
+        ServeOutcome::CacheHit
+    );
+    assert_ne!(out, before, "resigned SOA must serve new bytes");
+    for (i, wire) in query_stream().iter().enumerate() {
+        assert_cache_agrees(&cached, &plain, wire, &format!("post-resign query {i}"));
+    }
+}
+
+#[test]
+fn scenario_epochs_swap_the_cache_and_stay_byte_identical() {
+    let mut world = vantage::World::build(&vantage::WorldBuildConfig::tiny());
+    let scenario = scenario::catalog::broot_renumbering();
+    let engine = scenario::ScenarioEngine::new(scenario::ScenarioConfig::default());
+    let epochs = engine.epoch_zones(&mut world, &scenario);
+    assert!(epochs.len() >= 2, "renumbering cuts the timeline");
+    assert!(epochs[0].active.is_empty() && !epochs[1].active.is_empty());
+
+    let cached = engine_for(Arc::clone(&epochs[0].zone)).with_answer_cache();
+    let plain = engine_for(Arc::clone(&epochs[0].zone));
+    let stream = query_stream();
+    let mut serials = Vec::new();
+    for (i, epoch) in epochs.iter().enumerate() {
+        if i > 0 {
+            cached.reload(Arc::clone(&epoch.zone));
+            plain.reload(Arc::clone(&epoch.zone));
+        }
+        assert_eq!(cached.generation(), i as u64, "one swap per epoch");
+        serials.push(cached.index().serial());
+        for (j, wire) in stream.iter().enumerate() {
+            assert_cache_agrees(&cached, &plain, wire, &format!("epoch {i} query {j}"));
+        }
+    }
+    // The epochs publish different zone days, so the cache demonstrably
+    // changed its answers mid-session rather than serving one build.
+    serials.dedup();
+    assert!(
+        serials.len() >= 2,
+        "epoch zones share a serial: {serials:?}"
+    );
 }
 
 #[test]

@@ -122,9 +122,36 @@ impl Bencher {
     }
 }
 
+/// One recorded value: a timed/measured mean (float, printed with one
+/// decimal) or an exact event counter (integer, printed verbatim so runs
+/// can be diffed without float-formatting drift).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Recorded {
+    Mean(f64),
+    Count(u64),
+}
+
+impl fmt::Display for Recorded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Recorded::Mean(v) => write!(f, "{v:.1}"),
+            Recorded::Count(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl Recorded {
+    fn as_f64(self) -> f64 {
+        match self {
+            Recorded::Mean(v) => v,
+            Recorded::Count(v) => v as f64,
+        }
+    }
+}
+
 /// Results accumulated by every [`run_bench`] call in this process.
-fn results() -> &'static Mutex<Vec<(String, f64)>> {
-    static RESULTS: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+fn results() -> &'static Mutex<Vec<(String, Recorded)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, Recorded)>>> = OnceLock::new();
     RESULTS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
@@ -134,7 +161,22 @@ fn results() -> &'static Mutex<Vec<(String, f64)>> {
 /// computed itself, e.g. a load generator's qps and latency quantiles.
 pub fn record_metric(label: &str, value: f64) {
     println!("{label:<50} {value:>14.1}  (recorded)");
-    results().lock().unwrap().push((label.to_string(), value));
+    results()
+        .lock()
+        .unwrap()
+        .push((label.to_string(), Recorded::Mean(value)));
+}
+
+/// Record an exact event counter (a hit count, a query total) under
+/// `label`. Counters are written to `BENCH_results.json` as bare integers
+/// — no float formatting — so equal counts produce byte-equal lines
+/// across runs.
+pub fn record_counter(label: &str, value: u64) {
+    println!("{label:<50} {value:>14}  (counted)");
+    results()
+        .lock()
+        .unwrap()
+        .push((label.to_string(), Recorded::Count(value)));
 }
 
 /// Flush the accumulated means to `BENCH_results.json` (or the path in
@@ -148,20 +190,20 @@ pub fn write_results() {
     }
     let path =
         std::env::var("BENCH_RESULTS_PATH").unwrap_or_else(|_| "BENCH_results.json".to_string());
-    let mut merged: Vec<(String, f64)> = std::fs::read_to_string(&path)
-        .map(|s| parse_results(&s))
+    let mut merged: Vec<(String, Recorded)> = std::fs::read_to_string(&path)
+        .map(|s| parse_recorded(&s))
         .unwrap_or_default();
-    for (label, ns) in recorded.iter() {
+    for (label, value) in recorded.iter() {
         match merged.iter_mut().find(|(l, _)| l == label) {
-            Some(slot) => slot.1 = *ns,
-            None => merged.push((label.clone(), *ns)),
+            Some(slot) => slot.1 = *value,
+            None => merged.push((label.clone(), *value)),
         }
     }
     merged.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = String::from("{\n");
-    for (i, (label, ns)) in merged.iter().enumerate() {
+    for (i, (label, value)) in merged.iter().enumerate() {
         let comma = if i + 1 < merged.len() { "," } else { "" };
-        out.push_str(&format!("  \"{label}\": {ns:.1}{comma}\n"));
+        out.push_str(&format!("  \"{label}\": {value}{comma}\n"));
     }
     out.push_str("}\n");
     if let Err(e) = std::fs::write(&path, out) {
@@ -169,15 +211,31 @@ pub fn write_results() {
     }
 }
 
-/// Parse the flat `{"label": ns}` map this crate writes. Labels never
-/// contain quotes, so a line-oriented scan is exact for our own output
-/// (anything unparseable is skipped).
-fn parse_results(s: &str) -> Vec<(String, f64)> {
+/// Parse the flat `{"label": value}` map this crate writes, as floats
+/// (counters are widened). Labels never contain quotes, so a
+/// line-oriented scan is exact for our own output (anything unparseable
+/// is skipped). Public so tooling (e.g. a bench regression guard) can
+/// read `BENCH_results.json` back without a JSON dependency.
+pub fn parse_results(s: &str) -> Vec<(String, f64)> {
+    parse_recorded(s)
+        .into_iter()
+        .map(|(label, value)| (label, value.as_f64()))
+        .collect()
+}
+
+/// Type-preserving parse: a value with no decimal point comes back as a
+/// counter, anything else as a mean, so re-merging keeps formatting.
+fn parse_recorded(s: &str) -> Vec<(String, Recorded)> {
     s.lines()
         .filter_map(|line| {
             let (key, value) = line.trim().strip_prefix('"')?.split_once("\":")?;
             let value = value.trim().trim_end_matches(',');
-            Some((key.to_string(), value.parse().ok()?))
+            let recorded = if value.contains('.') {
+                Recorded::Mean(value.parse().ok()?)
+            } else {
+                Recorded::Count(value.parse().ok()?)
+            };
+            Some((key.to_string(), recorded))
         })
         .collect()
 }
@@ -195,15 +253,25 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: u64, mut f: F) {
     let budget = Duration::from_millis(20);
     let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, sample_size as u128) as u64;
 
+    // Best of three measured passes: on a shared/virtualized host,
+    // scheduler preemption and CPU steal only ever inflate a pass, so
+    // the minimum mean is the most faithful estimate and keeps the
+    // recorded numbers stable enough to gate regressions on.
     bencher.target_iters = iters;
-    f(&mut bencher);
-    let mean = bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64;
+    let mut mean = f64::INFINITY;
+    for _ in 0..3 {
+        f(&mut bencher);
+        mean = mean.min(bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64);
+    }
     println!(
         "{label:<50} {:>12} /iter  ({} iters)",
         fmt_nanos(mean),
         bencher.iters
     );
-    results().lock().unwrap().push((label.to_string(), mean));
+    results()
+        .lock()
+        .unwrap()
+        .push((label.to_string(), Recorded::Mean(mean)));
 }
 
 fn fmt_nanos(ns: f64) -> String {
@@ -377,6 +445,24 @@ mod tests {
         );
         // Junk lines are skipped, not fatal.
         assert!(parse_results("not json at all").is_empty());
+    }
+
+    #[test]
+    fn counters_stay_integral_through_parse_and_format() {
+        let written = "{\n  \"cache/hits\": 987654,\n  \"serve/soa\": 926.9\n}\n";
+        let parsed = parse_recorded(written);
+        assert_eq!(
+            parsed,
+            vec![
+                ("cache/hits".to_string(), Recorded::Count(987_654)),
+                ("serve/soa".to_string(), Recorded::Mean(926.9)),
+            ]
+        );
+        // Re-formatting a parsed counter reproduces the original line:
+        // no ".0" suffix ever appears, so equal counts diff clean.
+        assert_eq!(parsed[0].1.to_string(), "987654");
+        assert_eq!(parsed[1].1.to_string(), "926.9");
+        assert_eq!(parse_results(written)[0].1, 987_654.0);
     }
 
     #[test]
