@@ -30,6 +30,11 @@ cargo run -q --release --offline --example broot_renumbering > /dev/null
 cargo run -q --release --offline --example export_figures -- "$figdir" > /dev/null
 cargo run -q --release --offline --example scenario_report > /dev/null
 cargo run -q --release --offline --example rootd_bench -- tiny 20000 > /dev/null
+# Chaos smoke: sweep the fault matrix at a fixed seed and require the
+# machine-readable invariant summary (corrupt copies never activate,
+# convergence, SOA-bounded staleness, deterministic replay).
+cargo run -q --release --offline --example chaos_report -- 49374 > "$figdir/chaos.txt"
+grep -q "chaos invariants: OK" "$figdir/chaos.txt"
 
 # Bench smoke: every bench target runs end to end and merges its numbers
 # into the committed BENCH_results.json, including the rootd loadgen's

@@ -16,8 +16,12 @@ pub const MAX_TCP_MESSAGE: usize = 0xffff;
 pub enum TcpFramingError {
     /// A message exceeds the 16-bit length prefix.
     MessageTooLarge(usize),
-    /// The stream ended mid-length or mid-message.
+    /// The stream ended mid-length-prefix.
     Truncated,
+    /// The stream ended mid-message: a frame promised `want` body bytes
+    /// but only `got` arrived — the signature of a zone transfer cut off
+    /// mid-record (connection reset, upstream crash, injected fault).
+    TruncatedFrame { got: usize, want: usize },
     /// A framed message failed to decode.
     Wire(WireError),
 }
@@ -29,6 +33,12 @@ impl std::fmt::Display for TcpFramingError {
                 write!(f, "message of {n} bytes exceeds TCP limit")
             }
             TcpFramingError::Truncated => write!(f, "truncated TCP stream"),
+            TcpFramingError::TruncatedFrame { got, want } => {
+                write!(
+                    f,
+                    "TCP stream ended mid-message: {got} of {want} body bytes"
+                )
+            }
             TcpFramingError::Wire(e) => write!(f, "framed message malformed: {e}"),
         }
     }
@@ -60,7 +70,10 @@ pub fn deframe_stream(mut stream: &[u8]) -> Result<Vec<Message>, TcpFramingError
         let len = u16::from_be_bytes([stream[0], stream[1]]) as usize;
         stream = &stream[2..];
         if stream.len() < len {
-            return Err(TcpFramingError::Truncated);
+            return Err(TcpFramingError::TruncatedFrame {
+                got: stream.len(),
+                want: len,
+            });
         }
         let msg = Message::from_wire(&stream[..len]).map_err(TcpFramingError::Wire)?;
         out.push(msg);
@@ -145,11 +158,24 @@ mod tests {
     }
 
     #[test]
-    fn truncated_body_detected() {
+    fn truncated_body_detected_with_byte_counts() {
         let msgs = sample_messages(1);
-        let mut stream = frame_stream(&msgs).unwrap();
+        let full = frame_stream(&msgs).unwrap();
+        let want = full.len() - 2;
+        let mut stream = full.clone();
         stream.pop();
-        assert_eq!(deframe_stream(&stream), Err(TcpFramingError::Truncated));
+        assert_eq!(
+            deframe_stream(&stream),
+            Err(TcpFramingError::TruncatedFrame {
+                got: want - 1,
+                want
+            })
+        );
+        // An empty body tail reports got = 0, not a bare Truncated.
+        assert_eq!(
+            deframe_stream(&full[..2]),
+            Err(TcpFramingError::TruncatedFrame { got: 0, want })
+        );
     }
 
     #[test]

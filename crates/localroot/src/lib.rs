@@ -15,7 +15,16 @@
 //!    activating it;
 //! 4. on validation failure, quarantine the copy and retry against a
 //!    *different* root server (the fallback the paper recommends);
-//! 5. serve queries from the last known-good copy throughout.
+//! 5. serve queries from the last known-good copy throughout — degrading
+//!    to serve-stale (bounded by the SOA expire field) when refreshes
+//!    keep failing, then failing closed.
+//!
+//! The refresh loop is a hardened network client: it talks to upstreams
+//! only through the `rootd` [`Transport`](rootd::Transport) abstraction
+//! (so chaos tests can wrap upstreams in `rootd::FaultyTransport`), with
+//! a per-query retry budget, capped exponential backoff with
+//! deterministic jitter, TCP retry on truncated or garbage UDP, and a
+//! per-upstream circuit breaker — see [`refresh`].
 //!
 //! The [`policy`] module captures the validation policy knobs (ZONEMD
 //! required vs opportunistic — mirroring the operators' announced
@@ -55,8 +64,12 @@
 
 pub mod metrics;
 pub mod policy;
+pub mod refresh;
 pub mod service;
 
 pub use metrics::Metrics;
 pub use policy::{ValidationPolicy, ZonemdRequirement};
-pub use service::{LocalRoot, RefreshError, RefreshOutcome, UpstreamSet};
+pub use refresh::{HealthState, RetryPolicy, UpstreamHealth};
+pub use service::{
+    upstream_transport, LocalRoot, RefreshError, RefreshOutcome, ServingState, UpstreamSet,
+};

@@ -19,6 +19,31 @@ pub struct Metrics {
     pub queries_served: u64,
     /// Queries refused because no valid copy was available.
     pub queries_refused: u64,
+    /// Queries answered from a copy within the policy's max age.
+    pub served_fresh: u64,
+    /// Queries answered from a copy past max age but inside the zone's
+    /// SOA expire bound (graceful degradation).
+    pub served_stale: u64,
+    /// Queries refused because the copy outlived the SOA expire bound
+    /// (subset of `queries_refused`).
+    pub refused_expired: u64,
+    /// Query/transfer retries issued by the refresh client.
+    pub retries: u64,
+    /// Client-visible timeouts (dropped datagrams, dead TCP exchanges).
+    pub timeouts: u64,
+    /// Responses discarded as garbage (unparseable, wrong ID, not a
+    /// response).
+    pub garbage_responses: u64,
+    /// Retries escalated from UDP to TCP (TC bit or garbage datagram).
+    pub tcp_fallbacks: u64,
+    /// Total backoff the client would have slept, in milliseconds
+    /// (deterministic; simulated time).
+    pub backoff_ms_total: u64,
+    /// Times an upstream's circuit breaker opened (healthy/probation →
+    /// dead).
+    pub breaker_opened: u64,
+    /// Transfer slots skipped because an upstream's breaker was open.
+    pub upstreams_skipped_dead: u64,
 }
 
 impl Metrics {
@@ -35,15 +60,27 @@ impl Metrics {
     pub fn render(&self) -> String {
         format!(
             "soa_polls={} transfers: attempted={} accepted={} rejected={} failed={} \
-             fallbacks={} | queries: served={} refused={}",
+             fallbacks={} | client: retries={} timeouts={} garbage={} tcp_fallbacks={} \
+             backoff_ms={} breaker_opened={} skipped_dead={} | queries: served={} \
+             (fresh={} stale={}) refused={} (expired={})",
             self.soa_polls,
             self.transfers_attempted,
             self.transfers_accepted,
             self.transfers_rejected,
             self.transfers_failed,
             self.fallbacks,
+            self.retries,
+            self.timeouts,
+            self.garbage_responses,
+            self.tcp_fallbacks,
+            self.backoff_ms_total,
+            self.breaker_opened,
+            self.upstreams_skipped_dead,
             self.queries_served,
+            self.served_fresh,
+            self.served_stale,
             self.queries_refused,
+            self.refused_expired,
         )
     }
 }

@@ -27,6 +27,11 @@ pub struct ValidationPolicy {
     /// if upstream polls fail — RFC 8806 says a failing local root must
     /// fall back to normal resolution rather than serve stale data.
     pub max_age: u32,
+    /// Whether a copy older than `max_age` may still answer queries, up
+    /// to the zone's own SOA expire bound. Graceful degradation for
+    /// refresh outages; the strict policy disables it (fail closed the
+    /// moment freshness lapses).
+    pub serve_stale: bool,
 }
 
 impl Default for ValidationPolicy {
@@ -35,6 +40,7 @@ impl Default for ValidationPolicy {
             zonemd: ZonemdRequirement::Opportunistic,
             require_rrsigs: true,
             max_age: 7 * 86_400,
+            serve_stale: true,
         }
     }
 }
@@ -46,6 +52,7 @@ impl ValidationPolicy {
             zonemd: ZonemdRequirement::Required,
             require_rrsigs: true,
             max_age: 2 * 86_400,
+            serve_stale: false,
         }
     }
 }

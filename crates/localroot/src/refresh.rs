@@ -1,0 +1,188 @@
+//! Retry, backoff and upstream-health machinery for the refresh client.
+//!
+//! The refresh loop in [`crate::service`] is a *client* on an unreliable
+//! network: queries time out, responses arrive corrupted or late, whole
+//! upstreams disappear for a while. This module holds the pieces that
+//! make it survive that — a [`RetryPolicy`] with capped exponential
+//! backoff and deterministic jitter, and a per-upstream circuit breaker
+//! ([`UpstreamHealth`]) that walks dead → probation → healthy so a
+//! blackholed root letter stops eating the retry budget of every cycle.
+//!
+//! Everything is seeded: the jitter for `(upstream, cycle, attempt)` is a
+//! pure function of the policy seed, so a chaos run replays bit-for-bit.
+
+use netsim::rng::SimRng;
+
+/// How the client retries one upstream and when it gives up on it.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Tries per upstream per refresh cycle (first attempt included).
+    pub attempts: u32,
+    /// Backoff before retry `k` (1-based) starts at this and doubles.
+    pub base_backoff_ms: u64,
+    /// Cap on the exponential backoff.
+    pub max_backoff_ms: u64,
+    /// Jitter fraction: the backoff is stretched by up to this fraction,
+    /// drawn deterministically from `seed`.
+    pub jitter_frac: f64,
+    /// Seed for jitter and query-ID derivation.
+    pub seed: u64,
+    /// Consecutive failures before a healthy upstream's breaker opens.
+    pub failure_threshold: u32,
+    /// Seconds a dead upstream sits out before a probation probe.
+    pub cooldown_s: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff_ms: 200,
+            max_backoff_ms: 5_000,
+            jitter_frac: 0.25,
+            seed: 0x7e57_0001,
+            failure_threshold: 3,
+            cooldown_s: 300,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before attempt `attempt` (0 = first try, no wait)
+    /// against `upstream` in refresh cycle `cycle`: capped exponential
+    /// plus deterministic jitter. Same `(seed, upstream, cycle, attempt)`
+    /// ⇒ same milliseconds, every run.
+    pub fn backoff_ms(&self, upstream: u64, cycle: u64, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << (attempt - 1).min(16))
+            .min(self.max_backoff_ms);
+        let mut rng = SimRng::new(self.seed).derive_ids(&[0xb0ff, upstream, cycle, attempt as u64]);
+        exp + (exp as f64 * self.jitter_frac * rng.next_f64()) as u64
+    }
+}
+
+/// Circuit-breaker state for one upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Answering normally.
+    Healthy,
+    /// Back from the dead on a trial basis: one failure re-opens the
+    /// breaker, one success closes it.
+    Probation,
+    /// Breaker open: skipped until `until`.
+    Dead { until: u32 },
+}
+
+/// Health scoring for one upstream, driven by the refresh loop's
+/// success/failure reports.
+#[derive(Debug, Clone, Copy)]
+pub struct UpstreamHealth {
+    pub state: HealthState,
+    /// Failures since the last success.
+    pub consecutive_failures: u32,
+}
+
+impl Default for UpstreamHealth {
+    fn default() -> Self {
+        UpstreamHealth {
+            state: HealthState::Healthy,
+            consecutive_failures: 0,
+        }
+    }
+}
+
+impl UpstreamHealth {
+    /// Whether this upstream may be tried at `now`. A dead upstream whose
+    /// cooldown elapsed transitions to probation (and is tried).
+    pub fn available(&mut self, now: u32) -> bool {
+        match self.state {
+            HealthState::Dead { until } if now < until => false,
+            HealthState::Dead { .. } => {
+                self.state = HealthState::Probation;
+                true
+            }
+            _ => true,
+        }
+    }
+
+    /// Record a successful transfer: the breaker closes.
+    pub fn on_success(&mut self) {
+        self.state = HealthState::Healthy;
+        self.consecutive_failures = 0;
+    }
+
+    /// Record a failure (transport or validation). Returns `true` when
+    /// this report opened the breaker.
+    pub fn on_failure(&mut self, now: u32, policy: &RetryPolicy) -> bool {
+        self.consecutive_failures += 1;
+        match self.state {
+            HealthState::Probation => {
+                self.state = HealthState::Dead {
+                    until: now.saturating_add(policy.cooldown_s),
+                };
+                true
+            }
+            HealthState::Healthy if self.consecutive_failures >= policy.failure_threshold => {
+                self.state = HealthState::Dead {
+                    until: now.saturating_add(policy.cooldown_s),
+                };
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential_with_jitter() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(0, 0, 0), 0);
+        let b1 = p.backoff_ms(0, 0, 1);
+        let b2 = p.backoff_ms(0, 0, 2);
+        let b9 = p.backoff_ms(0, 0, 9);
+        assert!((200..=250).contains(&b1), "b1 = {b1}");
+        assert!((400..=500).contains(&b2), "b2 = {b2}");
+        // Attempt 9 would be 200 * 2^8 = 51200 without the cap.
+        assert!(b9 <= (p.max_backoff_ms as f64 * (1.0 + p.jitter_frac)) as u64);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_but_varies_by_context() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(1, 2, 3), p.backoff_ms(1, 2, 3));
+        // Different upstream or cycle draws different jitter (almost
+        // surely, and deterministically for this seed).
+        assert_ne!(p.backoff_ms(1, 2, 3), p.backoff_ms(2, 2, 3));
+    }
+
+    #[test]
+    fn breaker_walks_dead_probation_healthy() {
+        let p = RetryPolicy {
+            failure_threshold: 2,
+            cooldown_s: 100,
+            ..Default::default()
+        };
+        let mut h = UpstreamHealth::default();
+        assert!(h.available(0));
+        assert!(!h.on_failure(10, &p));
+        assert!(h.on_failure(20, &p), "threshold reached: breaker opens");
+        assert_eq!(h.state, HealthState::Dead { until: 120 });
+        assert!(!h.available(60), "still cooling down");
+        assert!(h.available(120), "cooldown over: probation probe allowed");
+        assert_eq!(h.state, HealthState::Probation);
+        // A probation failure re-opens immediately.
+        assert!(h.on_failure(130, &p));
+        assert!(h.available(230));
+        h.on_success();
+        assert_eq!(h.state, HealthState::Healthy);
+        assert_eq!(h.consecutive_failures, 0);
+    }
+}

@@ -1,14 +1,35 @@
 //! The local root service itself: refresh loop, validation, fallback,
 //! query serving.
+//!
+//! The refresh loop is written as a real network client. It talks to
+//! upstreams through the [`Transport`] abstraction only — request bytes
+//! out, response bytes in — so the same code path runs against the
+//! deterministic in-proc transport, real loopback sockets, or a
+//! [`rootd::FaultyTransport`] injecting loss, corruption and blackholes.
+//! Robustness features:
+//!
+//! * per-query retry budget with capped exponential backoff and
+//!   deterministic jitter ([`RetryPolicy`]);
+//! * response hygiene: ID mismatches, non-responses and unparseable
+//!   datagrams are counted as garbage, never trusted;
+//! * TCP retry when a UDP response is truncated (TC) or garbage;
+//! * per-upstream circuit breaker (dead → probation → healthy) so a
+//!   blackholed letter stops consuming the retry budget;
+//! * failover across root letters on transport *or* validation failure;
+//! * graceful degradation: serve-stale from the last known-good copy,
+//!   bounded by the zone's own SOA expire field.
 
 use crate::metrics::Metrics;
 use crate::policy::{ValidationPolicy, ZonemdRequirement};
+use crate::refresh::{RetryPolicy, UpstreamHealth};
 use dns_wire::{Message, Name, Question, Rcode, RrType};
 use dns_zone::validate::validate_zone;
 use dns_zone::zonemd::{verify_zonemd, ZonemdError};
 use dns_zone::Zone;
-use rootd::{InprocTransport, Rootd, SiteIdentity, Transport, ZoneIndex};
+use netsim::rng::SimRng;
+use rootd::{InprocTransport, Rootd, SiteIdentity, Transport, TransportError, ZoneIndex};
 use rss::{RootLetter, RootServer};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The set of upstream root servers a local root can transfer from.
@@ -69,6 +90,21 @@ pub enum RefreshOutcome {
     },
 }
 
+/// What the service can do with a query at a given instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingState {
+    /// A validated copy within the policy's max age.
+    Fresh,
+    /// The copy outlived `max_age` but refreshes keep failing; policy
+    /// allows serving it until the zone's own SOA expire bound.
+    Stale,
+    /// The copy is older than the SOA expire field (or stale serving is
+    /// disabled): answering from it would violate RFC 8806 — refuse.
+    Expired,
+    /// No copy was ever activated.
+    Empty,
+}
+
 /// A local root instance.
 pub struct LocalRoot {
     /// The active, validated zone copy (None until first refresh).
@@ -76,9 +112,15 @@ pub struct LocalRoot {
     /// When the active copy was activated.
     activated_at: u32,
     pub policy: ValidationPolicy,
+    /// Retry/backoff/breaker knobs for the refresh client.
+    pub retry: RetryPolicy,
     pub metrics: Metrics,
     /// Rotation cursor so fallback spreads load across letters.
     next_upstream: usize,
+    /// Circuit-breaker state per upstream letter.
+    health: HashMap<RootLetter, UpstreamHealth>,
+    /// Refresh cycles run (keys the deterministic jitter/query-ID streams).
+    cycle: u64,
 }
 
 impl LocalRoot {
@@ -88,8 +130,11 @@ impl LocalRoot {
             current: None,
             activated_at: 0,
             policy,
+            retry: RetryPolicy::default(),
             metrics: Metrics::default(),
             next_upstream: 0,
+            health: HashMap::new(),
+            cycle: 0,
         }
     }
 
@@ -105,43 +150,131 @@ impl LocalRoot {
         self.next_upstream = index;
     }
 
-    /// Whether a usable copy exists at time `now` (validated and not
-    /// older than the policy's max age).
-    pub fn is_serving(&self, now: u32) -> bool {
-        self.current.is_some() && now.saturating_sub(self.activated_at) <= self.policy.max_age
+    /// Breaker state for one upstream letter, if it has been scored.
+    pub fn upstream_health(&self, letter: RootLetter) -> Option<&UpstreamHealth> {
+        self.health.get(&letter)
     }
 
-    /// One refresh cycle at wall-clock `now`:
+    /// Whether a *fresh* copy exists at time `now` (validated and not
+    /// older than the policy's max age).
+    pub fn is_serving(&self, now: u32) -> bool {
+        matches!(self.serving_state(now), ServingState::Fresh)
+    }
+
+    /// Whether queries get real answers at `now` — fresh or stale.
+    pub fn is_usable(&self, now: u32) -> bool {
+        matches!(
+            self.serving_state(now),
+            ServingState::Fresh | ServingState::Stale
+        )
+    }
+
+    /// Classify the active copy's age against the policy and the zone's
+    /// SOA expire bound.
+    pub fn serving_state(&self, now: u32) -> ServingState {
+        let Some(zone) = self.current.as_ref() else {
+            return ServingState::Empty;
+        };
+        let age = now.saturating_sub(self.activated_at);
+        if age <= self.policy.max_age {
+            return ServingState::Fresh;
+        }
+        let expire = zone.soa().map(|s| s.expire).unwrap_or(0);
+        if self.policy.serve_stale && age <= expire {
+            ServingState::Stale
+        } else {
+            ServingState::Expired
+        }
+    }
+
+    /// One refresh cycle at wall-clock `now` against in-proc upstreams:
     /// poll SOA; transfer if stale; validate; fall back across upstreams.
+    ///
+    /// Convenience wrapper over [`LocalRoot::refresh_wire`] that puts each
+    /// server behind the deterministic in-proc transport.
     pub fn refresh(
         &mut self,
         upstreams: &UpstreamSet,
         now: u32,
     ) -> Result<RefreshOutcome, RefreshError> {
+        let mut wired: Vec<(RootLetter, InprocTransport)> = upstreams
+            .servers
+            .iter()
+            .map(|(letter, server)| (*letter, upstream_transport(server)))
+            .collect();
+        self.refresh_wire(&mut wired, now)
+    }
+
+    /// One refresh cycle at wall-clock `now`, talking to upstreams only
+    /// through their transports — the full client loop: health-gated
+    /// rotation, SOA poll with retries and TCP fallback, AXFR with a
+    /// retry budget for protocol failures, validation, failover.
+    pub fn refresh_wire<T: Transport>(
+        &mut self,
+        upstreams: &mut [(RootLetter, T)],
+        now: u32,
+    ) -> Result<RefreshOutcome, RefreshError> {
         if upstreams.is_empty() {
             return Err(RefreshError::NoUpstreams);
         }
-        // SOA poll against the first upstream in rotation.
+        self.cycle += 1;
+        let cycle = self.cycle;
+        let n = upstreams.len();
+        let order: Vec<usize> = (0..n).map(|k| (self.next_upstream + k) % n).collect();
+
+        // SOA poll against the first reachable upstream in rotation. A
+        // poll that fails everywhere yields u32::MAX, forcing a transfer
+        // attempt — the transfer loop then reports the real failure.
         self.metrics.soa_polls += 1;
-        let poll_idx = self.next_upstream % upstreams.len();
-        let upstream_serial = poll_serial(&upstreams.servers[poll_idx].1).unwrap_or(u32::MAX);
+        let mut upstream_serial = u32::MAX;
+        for &idx in &order {
+            let letter = upstreams[idx].0;
+            if !self.health.entry(letter).or_default().available(now) {
+                continue;
+            }
+            if let Some(serial) = poll_serial_wire(
+                &mut upstreams[idx].1,
+                idx as u64,
+                cycle,
+                &self.retry,
+                &mut self.metrics,
+            ) {
+                upstream_serial = serial;
+                break;
+            }
+        }
         if let Some(cur) = self.current_serial() {
             if cur >= upstream_serial && self.is_serving(now) {
                 return Ok(RefreshOutcome::AlreadyCurrent { serial: cur });
             }
         }
-        // Transfer with fallback: try each upstream once, starting at the
-        // rotation cursor.
-        let mut last_reason = String::from("no attempt made");
-        let n = upstreams.len();
-        for attempt in 0..n {
-            let idx = (self.next_upstream + attempt) % n;
-            let server = &upstreams.servers[idx].1;
+
+        // Transfer with fallback: walk the rotation, skipping upstreams
+        // whose breaker is open. Each live upstream gets one logical
+        // transfer attempt (with protocol-level retries inside).
+        let mut last_reason = String::from("every upstream's circuit breaker is open");
+        let mut tried = 0u32;
+        for (k, &idx) in order.iter().enumerate() {
+            let letter = upstreams[idx].0;
+            if !self.health.entry(letter).or_default().available(now) {
+                self.metrics.upstreams_skipped_dead += 1;
+                continue;
+            }
+            tried += 1;
             self.metrics.transfers_attempted += 1;
-            match attempt_transfer(server, now, &self.policy) {
+            match transfer_wire(
+                &mut upstreams[idx].1,
+                idx as u64,
+                cycle,
+                now,
+                &self.policy,
+                &self.retry,
+                &mut self.metrics,
+            ) {
                 Ok(zone) => {
                     let serial = zone.serial().unwrap_or(0);
                     self.metrics.transfers_accepted += 1;
+                    self.health.entry(letter).or_default().on_success();
                     self.current = Some(Arc::new(zone));
                     self.activated_at = now;
                     // Advance rotation past the successful upstream.
@@ -149,7 +282,7 @@ impl LocalRoot {
                     return Ok(RefreshOutcome::Updated {
                         serial,
                         from_upstream: idx,
-                        attempts: attempt as u32 + 1,
+                        attempts: tried,
                     });
                 }
                 Err(reason) => {
@@ -158,7 +291,15 @@ impl LocalRoot {
                     } else {
                         self.metrics.transfers_rejected += 1;
                     }
-                    if attempt + 1 < n {
+                    if self
+                        .health
+                        .entry(letter)
+                        .or_default()
+                        .on_failure(now, &self.retry)
+                    {
+                        self.metrics.breaker_opened += 1;
+                    }
+                    if k + 1 < n {
                         self.metrics.fallbacks += 1;
                     }
                     last_reason = reason.message;
@@ -167,17 +308,33 @@ impl LocalRoot {
         }
         self.next_upstream = (self.next_upstream + 1) % n;
         Err(RefreshError::AllUpstreamsFailed {
-            attempts: n as u32,
+            attempts: tried,
             last_reason,
         })
     }
 
-    /// Answer a query from the active copy. Refuses (and counts) when no
-    /// valid copy is in service — RFC 8806's fail-closed behaviour.
+    /// Answer a query from the active copy. Serves fresh, degrades to
+    /// stale within the SOA expire bound (when policy allows), and
+    /// refuses (fail-closed, RFC 8806) beyond it.
     pub fn answer(&mut self, query: &Message, now: u32) -> Message {
-        let Some(zone) = self.current.clone().filter(|_| self.is_serving(now)) else {
-            self.metrics.queries_refused += 1;
-            return Message::response_to(query, Rcode::ServFail, Vec::new());
+        let zone = match self.serving_state(now) {
+            ServingState::Fresh => {
+                self.metrics.served_fresh += 1;
+                self.current.clone().unwrap()
+            }
+            ServingState::Stale => {
+                self.metrics.served_stale += 1;
+                self.current.clone().unwrap()
+            }
+            ServingState::Expired => {
+                self.metrics.queries_refused += 1;
+                self.metrics.refused_expired += 1;
+                return Message::response_to(query, Rcode::ServFail, Vec::new());
+            }
+            ServingState::Empty => {
+                self.metrics.queries_refused += 1;
+                return Message::response_to(query, Rcode::ServFail, Vec::new());
+            }
         };
         self.metrics.queries_served += 1;
         let Some(q) = query.questions.first() else {
@@ -224,7 +381,7 @@ impl LocalRoot {
 /// served zone (stale copy and all) behind a `rootd` engine, reached over
 /// the deterministic in-proc transport. The refresh loop talks bytes, not
 /// structs — the same parse→serve→encode path a network client exercises.
-fn upstream_transport(server: &RootServer) -> InprocTransport {
+pub fn upstream_transport(server: &RootServer) -> InprocTransport {
     let index = Arc::new(ZoneIndex::build(Arc::clone(server.served_zone())));
     let identity = SiteIdentity {
         hostname: server.identity.clone(),
@@ -233,18 +390,116 @@ fn upstream_transport(server: &RootServer) -> InprocTransport {
     InprocTransport::new(Arc::new(Rootd::new(index, identity)))
 }
 
-/// Poll the upstream's SOA serial (one query, like `dig SOA .`), over the
-/// wire codec.
-fn poll_serial(server: &RootServer) -> Option<u32> {
-    let q = Message::query(0, Question::new(Name::root(), RrType::Soa));
-    let raw = upstream_transport(server)
-        .exchange_udp(&q.to_wire())
-        .ok()??;
-    let resp = Message::from_wire(&raw).ok()?;
+/// What a UDP response datagram turned out to be.
+enum ParsedUdp {
+    /// A well-formed response to *our* query.
+    Ok(Message),
+    /// Well-formed but TC set: retry over TCP.
+    Truncated,
+    /// Unparseable, wrong ID, or not a response — never trust it.
+    Garbage,
+}
+
+/// Parse and sanity-check a UDP response against the query ID we sent.
+fn parse_checked(raw: &[u8], expected_id: u16) -> ParsedUdp {
+    if raw.len() < 12 {
+        return ParsedUdp::Garbage;
+    }
+    let Ok(resp) = Message::from_wire(raw) else {
+        return ParsedUdp::Garbage;
+    };
+    if resp.header.id != expected_id || !resp.header.flags.response {
+        return ParsedUdp::Garbage;
+    }
+    if resp.header.flags.truncated {
+        return ParsedUdp::Truncated;
+    }
+    ParsedUdp::Ok(resp)
+}
+
+/// Retry one query over TCP (RFC 7766 fallback after TC or a garbage
+/// datagram). Returns the first well-formed response frame.
+fn query_over_tcp<T: Transport>(
+    transport: &mut T,
+    wire: &[u8],
+    expected_id: u16,
+    metrics: &mut Metrics,
+) -> Option<Message> {
+    match transport.exchange_tcp(wire) {
+        Ok(frames) => frames
+            .first()
+            .and_then(|f| match parse_checked(f, expected_id) {
+                // TC over TCP is nonsense; treat it as garbage too.
+                ParsedUdp::Ok(resp) => Some(resp),
+                _ => {
+                    metrics.garbage_responses += 1;
+                    None
+                }
+            }),
+        Err(TransportError::Timeout) => {
+            metrics.timeouts += 1;
+            None
+        }
+        Err(_) => None,
+    }
+}
+
+/// Extract the root SOA serial from a response.
+fn soa_serial_of(resp: &Message) -> Option<u32> {
     resp.answers.iter().find_map(|r| match &r.rdata {
         dns_wire::Rdata::Soa(soa) => Some(soa.serial),
         _ => None,
     })
+}
+
+/// Poll one upstream's SOA serial with the full client discipline:
+/// randomized query IDs, retry budget with deterministic backoff, and a
+/// TCP retry on TC or garbage UDP.
+fn poll_serial_wire<T: Transport>(
+    transport: &mut T,
+    upstream: u64,
+    cycle: u64,
+    retry: &RetryPolicy,
+    metrics: &mut Metrics,
+) -> Option<u32> {
+    for attempt in 0..retry.attempts {
+        if attempt > 0 {
+            metrics.retries += 1;
+            metrics.backoff_ms_total += retry.backoff_ms(upstream, cycle, attempt);
+        }
+        let mut rng =
+            SimRng::new(retry.seed).derive_ids(&[0x50a0, upstream, cycle, attempt as u64]);
+        let id = rng.next_u64() as u16;
+        let wire = Message::query(id, Question::new(Name::root(), RrType::Soa)).to_wire();
+        let resp = match transport.exchange_udp(&wire) {
+            Ok(Some(raw)) => match parse_checked(&raw, id) {
+                ParsedUdp::Ok(resp) => Some(resp),
+                ParsedUdp::Truncated => {
+                    metrics.tcp_fallbacks += 1;
+                    query_over_tcp(transport, &wire, id, metrics)
+                }
+                ParsedUdp::Garbage => {
+                    // Corruption may live on the UDP path only (a faulty
+                    // middlebox): retry over TCP before burning the
+                    // attempt.
+                    metrics.garbage_responses += 1;
+                    metrics.tcp_fallbacks += 1;
+                    query_over_tcp(transport, &wire, id, metrics)
+                }
+            },
+            Ok(None) | Err(TransportError::Timeout) => {
+                metrics.timeouts += 1;
+                None
+            }
+            Err(_) => None,
+        };
+        if let Some(resp) = resp {
+            if let Some(serial) = soa_serial_of(&resp) {
+                return Some(serial);
+            }
+        }
+    }
+    None
 }
 
 /// Rejection detail.
@@ -255,36 +510,81 @@ struct TransferRejected {
     protocol_level: bool,
 }
 
-/// Transfer from one upstream and validate per policy.
-fn attempt_transfer(
-    server: &RootServer,
+/// Transfer from one upstream (with a protocol-level retry budget) and
+/// validate per policy.
+///
+/// Protocol failures — timeouts, unparseable frames, a stream truncated
+/// mid-AXFR — are retried with backoff: the next attempt may succeed.
+/// Validation rejections are *not* retried against the same upstream: the
+/// copy it serves will not get better; the caller fails over instead.
+fn transfer_wire<T: Transport>(
+    transport: &mut T,
+    upstream: u64,
+    cycle: u64,
     now: u32,
     policy: &ValidationPolicy,
+    retry: &RetryPolicy,
+    metrics: &mut Metrics,
 ) -> Result<Zone, TransferRejected> {
-    // AXFR over the wire path: a TCP-semantics exchange of framed message
-    // bytes, each frame re-parsed with the real codec before reassembly.
-    let q = Message::query(0x4242, Question::new(Name::root(), RrType::Axfr));
-    let frames = upstream_transport(server)
-        .exchange_tcp(&q.to_wire())
-        .map_err(|e| TransferRejected {
-            message: format!("transfer failed: {e}"),
-            protocol_level: true,
-        })?;
-    let messages: Vec<Message> = frames
-        .iter()
-        .map(|f| Message::from_wire(f))
-        .collect::<Result<_, _>>()
-        .map_err(|e| TransferRejected {
-            message: format!("transfer frame unparseable: {e:?}"),
-            protocol_level: true,
-        })?;
-    let zone =
-        dns_zone::axfr::assemble_axfr(&messages, &Name::root()).map_err(|e| TransferRejected {
-            message: format!("reassembly failed: {e}"),
-            protocol_level: true,
-        })?;
-    // ZONEMD per policy.
-    match verify_zonemd(&zone) {
+    let mut last = TransferRejected {
+        message: String::from("no attempt made"),
+        protocol_level: true,
+    };
+    for attempt in 0..retry.attempts {
+        if attempt > 0 {
+            metrics.retries += 1;
+            metrics.backoff_ms_total += retry.backoff_ms(upstream, cycle, attempt);
+        }
+        let mut rng =
+            SimRng::new(retry.seed).derive_ids(&[0xafa5, upstream, cycle, attempt as u64]);
+        let id = rng.next_u64() as u16;
+        let q = Message::query(id, Question::new(Name::root(), RrType::Axfr));
+        let frames = match transport.exchange_tcp(&q.to_wire()) {
+            Ok(frames) => frames,
+            Err(e) => {
+                if matches!(e, TransportError::Timeout) {
+                    metrics.timeouts += 1;
+                }
+                last = TransferRejected {
+                    message: format!("transfer failed: {e}"),
+                    protocol_level: true,
+                };
+                continue;
+            }
+        };
+        let messages: Vec<Message> = match frames
+            .iter()
+            .map(|f| Message::from_wire(f))
+            .collect::<Result<_, _>>()
+        {
+            Ok(messages) => messages,
+            Err(e) => {
+                metrics.garbage_responses += 1;
+                last = TransferRejected {
+                    message: format!("transfer frame unparseable: {e:?}"),
+                    protocol_level: true,
+                };
+                continue;
+            }
+        };
+        let zone = match dns_zone::axfr::assemble_axfr(&messages, &Name::root()) {
+            Ok(zone) => zone,
+            Err(e) => {
+                last = TransferRejected {
+                    message: format!("reassembly failed: {e}"),
+                    protocol_level: true,
+                };
+                continue;
+            }
+        };
+        return validate_copy(&zone, now, policy).map(|()| zone);
+    }
+    Err(last)
+}
+
+/// Validate a transferred copy per policy: ZONEMD, then RRSIGs.
+fn validate_copy(zone: &Zone, now: u32, policy: &ValidationPolicy) -> Result<(), TransferRejected> {
+    match verify_zonemd(zone) {
         Ok(()) => {}
         Err(ZonemdError::NoZonemd) | Err(ZonemdError::UnsupportedAlgorithm)
             if policy.zonemd == ZonemdRequirement::Opportunistic => {}
@@ -297,7 +597,7 @@ fn attempt_transfer(
     }
     // RRSIGs per policy (catches stale zones and bitflips in signed data).
     if policy.require_rrsigs {
-        let report = validate_zone(&zone, now);
+        let report = validate_zone(zone, now);
         if !report.is_valid() {
             return Err(TransferRejected {
                 message: format!("DNSSEC: {:?}", report.issues.first()),
@@ -305,16 +605,18 @@ fn attempt_transfer(
             });
         }
     }
-    Ok(zone)
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::refresh::HealthState;
     use dns_zone::corrupt::flip_rrsig_bit;
     use dns_zone::rollout::RolloutPhase;
     use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
     use dns_zone::signer::ZoneKeys;
+    use rootd::{FaultPlan, FaultSpec, FaultyTransport};
 
     const T0: u32 = 1_701_820_800; // 2023-12-06
 
@@ -351,6 +653,23 @@ mod tests {
                 server(RootLetter::C, fresh_zone(2023120600)),
             ],
         }
+    }
+
+    /// Wrap each upstream of a set in a FaultyTransport driven by `plan`.
+    fn faulty_upstreams(
+        ups: &UpstreamSet,
+        plan: &Arc<FaultPlan>,
+    ) -> Vec<(RootLetter, FaultyTransport<InprocTransport>)> {
+        ups.servers
+            .iter()
+            .enumerate()
+            .map(|(i, (letter, server))| {
+                (
+                    *letter,
+                    FaultyTransport::new(upstream_transport(server), Arc::clone(plan), i as u64),
+                )
+            })
+            .collect()
     }
 
     #[test]
@@ -405,6 +724,10 @@ mod tests {
         }
         assert_eq!(lr.metrics.transfers_rejected, 1);
         assert_eq!(lr.metrics.fallbacks, 1);
+        // A validation rejection is never retried against the same
+        // upstream — one attempt each, no protocol retries.
+        assert_eq!(lr.metrics.transfers_attempted, 2);
+        assert_eq!(lr.metrics.retries, 0);
     }
 
     #[test]
@@ -496,14 +819,43 @@ mod tests {
     fn copy_expires_after_max_age() {
         let mut lr = LocalRoot::new(ValidationPolicy {
             max_age: 3600,
+            serve_stale: false,
             ..Default::default()
         });
         lr.refresh(&healthy_set(), T0).unwrap();
         assert!(lr.is_serving(T0 + 3599));
         assert!(!lr.is_serving(T0 + 3601));
-        // And queries refuse once expired.
+        // And queries refuse once expired (stale serving disabled).
         let q = Message::query(1, Question::new(Name::root(), RrType::Soa));
         assert_eq!(lr.answer(&q, T0 + 4000).header.rcode, Rcode::ServFail);
+        assert_eq!(lr.metrics.refused_expired, 1);
+    }
+
+    #[test]
+    fn serve_stale_bridges_refresh_outages_up_to_soa_expire() {
+        // Default policy allows stale serving; the zone's SOA expire is
+        // 7 days. With max_age shrunk to an hour, the window between
+        // max_age and expire serves stale answers.
+        let mut lr = LocalRoot::new(ValidationPolicy {
+            max_age: 3600,
+            ..Default::default()
+        });
+        lr.refresh(&healthy_set(), T0).unwrap();
+        let expire = 604_800; // the built zone's SOA expire field
+        let q = Message::query(1, Question::new(Name::root(), RrType::Soa));
+
+        assert_eq!(lr.serving_state(T0 + 3599), ServingState::Fresh);
+        assert_eq!(lr.serving_state(T0 + 3601), ServingState::Stale);
+        assert!(lr.is_usable(T0 + 3601) && !lr.is_serving(T0 + 3601));
+        assert_eq!(lr.answer(&q, T0 + 3601).header.rcode, Rcode::NoError);
+        assert_eq!(lr.metrics.served_stale, 1);
+
+        // Staleness is bounded by the zone's own expire field.
+        assert_eq!(lr.serving_state(T0 + expire), ServingState::Stale);
+        assert_eq!(lr.serving_state(T0 + expire + 1), ServingState::Expired);
+        assert_eq!(lr.answer(&q, T0 + expire + 1).header.rcode, Rcode::ServFail);
+        assert_eq!(lr.metrics.refused_expired, 1);
+        assert_eq!(lr.metrics.served_fresh, 0);
     }
 
     #[test]
@@ -531,5 +883,71 @@ mod tests {
             lr.refresh(&UpstreamSet { servers: vec![] }, T0),
             Err(RefreshError::NoUpstreams)
         );
+    }
+
+    #[test]
+    fn refresh_survives_heavy_loss_with_retries() {
+        // 40% datagram loss on every upstream: the retry budget and TCP
+        // transfer path must still land a validated copy.
+        let ups = healthy_set();
+        let plan = Arc::new(FaultPlan::clean(0xdead).with_default(FaultSpec::loss(0.4)));
+        let mut wired = faulty_upstreams(&ups, &plan);
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        let out = lr.refresh_wire(&mut wired, T0 + 60).unwrap();
+        assert!(matches!(out, RefreshOutcome::Updated { .. }));
+        assert_eq!(lr.current_serial(), Some(2023120600));
+    }
+
+    #[test]
+    fn blackholed_primary_opens_breaker_and_next_cycle_skips_it() {
+        let ups = healthy_set();
+        let mut plan = FaultPlan::clean(7);
+        plan.set_both(0, FaultSpec::blackhole()); // upstream A: dead air
+        let plan = Arc::new(plan);
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        lr.retry.failure_threshold = 1; // open the breaker on first failure
+        let mut wired = faulty_upstreams(&ups, &plan);
+        let out = lr.refresh_wire(&mut wired, T0 + 60).unwrap();
+        // A fails (blackhole ⇒ timeouts), B serves the copy.
+        assert!(matches!(
+            out,
+            RefreshOutcome::Updated {
+                from_upstream: 1,
+                ..
+            }
+        ));
+        assert!(lr.metrics.timeouts > 0);
+        assert_eq!(lr.metrics.breaker_opened, 1);
+        assert!(matches!(
+            lr.upstream_health(RootLetter::A).unwrap().state,
+            HealthState::Dead { .. }
+        ));
+
+        // Next cycle (within the cooldown) skips A without spending its
+        // retry budget on dead air.
+        lr.set_primary(0);
+        let mut wired = faulty_upstreams(&ups, &plan);
+        let timeouts_before = lr.metrics.timeouts;
+        lr.refresh_wire(&mut wired, T0 + 120).unwrap();
+        assert_eq!(lr.metrics.timeouts, timeouts_before);
+    }
+
+    #[test]
+    fn faulty_refresh_is_deterministic_across_runs() {
+        // Same seed, same fault plan ⇒ identical metrics and outcome.
+        let run = || {
+            let ups = healthy_set();
+            let plan = Arc::new(FaultPlan::clean(42).with_default(FaultSpec::loss(0.3)));
+            let mut wired = faulty_upstreams(&ups, &plan);
+            let mut lr = LocalRoot::new(ValidationPolicy::default());
+            let out = lr.refresh_wire(&mut wired, T0 + 60);
+            let counters: Vec<_> = wired.iter().map(|(_, t)| t.counters()).collect();
+            (out, lr.metrics, counters)
+        };
+        let (out1, m1, c1) = run();
+        let (out2, m2, c2) = run();
+        assert_eq!(out1, out2);
+        assert_eq!(m1, m2);
+        assert_eq!(c1, c2);
     }
 }

@@ -18,6 +18,10 @@
 //! * [`transport`] — the [`Transport`] abstraction with two impls: the
 //!   deterministic [`InprocTransport`] (tests, `localroot` refresh) and
 //!   [`LoopbackTransport`] over real UDP and TCP sockets on 127.0.0.1;
+//! * [`faults`] — [`FaultyTransport`]: a seeded chaos decorator over any
+//!   transport (loss, duplication, reordering, delay, bitflips, mid-AXFR
+//!   truncation, blackholes, garbage) driven by a [`FaultPlan`], with
+//!   per-fault counters and bit-identical replay;
 //! * [`loadgen`] — a multithreaded load generator replaying seeded,
 //!   B-Root-shaped query mixes (Ginesin & Mirkovic's composition study)
 //!   from simulated clients against per-site engines, with log-bucketed
@@ -25,12 +29,14 @@
 
 pub mod cache;
 pub mod engine;
+pub mod faults;
 pub mod index;
 pub mod loadgen;
 pub mod transport;
 
 pub use cache::AnswerCache;
 pub use engine::{Rootd, ServeOutcome, SiteIdentity};
+pub use faults::{FaultCounters, FaultPlan, FaultSpec, FaultyTransport, Protocol};
 pub use index::{Lookup, Referral, ZoneIndex};
 pub use loadgen::{LoadReport, LoadgenConfig, QueryMix};
 pub use transport::{

@@ -19,7 +19,9 @@
 //! generator keeps up with the cached serve path.
 
 use crate::engine::{Rootd, ServeOutcome, SiteIdentity};
+use crate::faults::{FaultCounters, FaultPlan, FaultyTransport};
 use crate::index::ZoneIndex;
+use crate::transport::{InprocTransport, Transport};
 use dns_wire::{Message, Name, Question, RrType};
 use dns_zone::Zone;
 use netsim::rng::SimRng;
@@ -100,6 +102,11 @@ pub struct LoadgenConfig {
     /// Master seed; every client derives its own stream from it.
     pub seed: u64,
     pub mix: QueryMix,
+    /// When set, every query travels through a [`FaultyTransport`]
+    /// executing this plan (keyed per site), and the client side runs a
+    /// retry loop with client-visible timeout/retry counters. `None` is
+    /// the direct zero-allocation serve path.
+    pub faults: Option<FaultPlan>,
 }
 
 impl LoadgenConfig {
@@ -111,6 +118,7 @@ impl LoadgenConfig {
             threads: 2,
             seed,
             mix: QueryMix::broot(),
+            faults: None,
         }
     }
 }
@@ -203,6 +211,15 @@ pub struct LoadReport {
     pub p99_ns: u64,
     /// Queries answered per site id.
     pub per_site: Vec<(u32, usize)>,
+    /// Client-visible timeouts (dropped or dead exchanges), fault mode
+    /// only. Seeded: independent of the worker-thread count.
+    pub timeouts: usize,
+    /// Client retries issued after a failed attempt, fault mode only.
+    pub retries: usize,
+    /// Queries that got no usable response within the retry budget.
+    pub unanswered: usize,
+    /// Injected-fault totals merged across every per-site transport.
+    pub fault_counters: FaultCounters,
 }
 
 impl LoadReport {
@@ -231,6 +248,18 @@ impl LoadReport {
             self.cache_hits,
             self.cache_misses,
             self.per_site.len()
+        )
+    }
+
+    /// The client-side fault summary (meaningful when the run had a
+    /// fault plan). Deterministic like `render_counts`.
+    pub fn render_faults(&self) -> String {
+        format!(
+            "client timeouts {:>11}\nclient retries {:>12}\nunanswered     {:>12}\ninjected: {}\n",
+            self.timeouts,
+            self.retries,
+            self.unanswered,
+            self.fault_counters.render(),
         )
     }
 
@@ -324,6 +353,10 @@ struct WorkerStats {
     cache_hits: usize,
     cache_misses: usize,
     per_site: HashMap<u32, usize>,
+    timeouts: usize,
+    retries: usize,
+    unanswered: usize,
+    faults: FaultCounters,
 }
 
 impl WorkerStats {
@@ -337,8 +370,21 @@ impl WorkerStats {
             cache_hits: 0,
             cache_misses: 0,
             per_site: HashMap::new(),
+            timeouts: 0,
+            retries: 0,
+            unanswered: 0,
+            faults: FaultCounters::default(),
         }
     }
+}
+
+/// Client retry budget per query in fault mode (first try included).
+const CLIENT_ATTEMPTS: u64 = 3;
+
+/// Minimal response hygiene on raw bytes: long enough for a header, the
+/// ID we sent, and the QR bit set.
+fn response_is_plausible(resp: &[u8], query: &[u8]) -> bool {
+    resp.len() >= 12 && resp[0] == query[0] && resp[1] == query[1] && resp[2] & 0x80 != 0
 }
 
 /// The CHAOS names the generator probes (a strict subset of what sites
@@ -450,6 +496,8 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
     let per_thread = cfg.queries.div_ceil(threads);
     let templates = QueryTemplates::build(&fleet.tlds);
     let templates = &templates;
+    let plan = cfg.faults.clone().map(Arc::new);
+    let plan = &plan;
     let started = Instant::now();
     let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -465,6 +513,11 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
                 // these two buffers, no per-query allocation.
                 let mut wire = Vec::with_capacity(64);
                 let mut resp = Vec::with_capacity(4096);
+                // Fault mode: one wrapped transport per site this worker
+                // talks to. Fault decisions are keyed by global query
+                // index, not per-transport sequence, so totals do not
+                // depend on how queries partition across workers.
+                let mut transports: HashMap<u32, FaultyTransport<InprocTransport>> = HashMap::new();
                 for i in 0..count {
                     let global = first + i;
                     let client_idx = global % clients;
@@ -475,6 +528,37 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
                     let engine = fleet.engine_for(asn);
                     let site = *fleet.catchment.get(&asn.0).unwrap_or(&fleet.default_site);
                     fill_query(&cfg.mix, templates, rng, &mut wire);
+                    if let Some(plan) = plan {
+                        let transport = transports.entry(site).or_insert_with(|| {
+                            FaultyTransport::new(
+                                InprocTransport::new(Arc::clone(engine)),
+                                Arc::clone(plan),
+                                site as u64,
+                            )
+                        });
+                        let t0 = Instant::now();
+                        let mut answered = false;
+                        for attempt in 0..CLIENT_ATTEMPTS {
+                            transport.with_next_key((global as u64) * CLIENT_ATTEMPTS + attempt);
+                            match transport.exchange_udp(&wire) {
+                                Ok(Some(bytes)) if response_is_plausible(&bytes, &wire) => {
+                                    classify(&mut stats, site, &bytes);
+                                    answered = true;
+                                    break;
+                                }
+                                Ok(Some(_)) => {} // garbage/bitflipped: retry
+                                Ok(None) | Err(_) => stats.timeouts += 1,
+                            }
+                            if attempt + 1 < CLIENT_ATTEMPTS {
+                                stats.retries += 1;
+                            }
+                        }
+                        stats.hist.record(t0.elapsed().as_nanos() as u64);
+                        if !answered {
+                            stats.unanswered += 1;
+                        }
+                        continue;
+                    }
                     let t0 = Instant::now();
                     let outcome = engine.serve_udp_into(&wire, &mut resp);
                     let lat = t0.elapsed().as_nanos() as u64;
@@ -490,6 +574,9 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
                         }
                         ServeOutcome::Dropped => stats.cache_misses += 1,
                     }
+                }
+                for transport in transports.values() {
+                    stats.faults.merge(&transport.counters());
                 }
                 stats
             }));
@@ -507,6 +594,10 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
         merged.truncated += s.truncated;
         merged.cache_hits += s.cache_hits;
         merged.cache_misses += s.cache_misses;
+        merged.timeouts += s.timeouts;
+        merged.retries += s.retries;
+        merged.unanswered += s.unanswered;
+        merged.faults.merge(&s.faults);
         for (site, n) in &s.per_site {
             *merged.per_site.entry(*site).or_insert(0) += n;
         }
@@ -527,6 +618,10 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
         p95_ns: hist.quantile(0.95),
         p99_ns: hist.quantile(0.99),
         per_site,
+        timeouts: merged.timeouts,
+        retries: merged.retries,
+        unanswered: merged.unanswered,
+        fault_counters: merged.faults,
     }
 }
 
@@ -688,5 +783,101 @@ mod tests {
         );
         assert_eq!(a.cache_hits, b.cache_hits);
         assert_eq!(a.cache_misses, b.cache_misses);
+    }
+
+    #[test]
+    fn fault_mode_totals_ignore_worker_count() {
+        use crate::faults::FaultSpec;
+        let fleet = fleet();
+        // Loss only: the drop decision is a pure function of the global
+        // per-query key, and whether a *delivered* response is accepted
+        // never depends on worker partitioning. (Corruption classes are
+        // content-dependent — a flip may or may not hit the header — and
+        // query content rides per-worker client streams; their totals are
+        // deterministic per partition, asserted separately below.)
+        let cfg = LoadgenConfig {
+            queries: 2_000,
+            faults: Some(FaultPlan::clean(5).with_default(FaultSpec::loss(0.2))),
+            ..LoadgenConfig::tiny(7)
+        };
+        let a = run(&fleet, &cfg);
+        let b = run(
+            &fleet,
+            &LoadgenConfig {
+                threads: 5,
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(a.timeouts, b.timeouts);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.unanswered, b.unanswered);
+        assert_eq!(a.fault_counters, b.fault_counters);
+        // 20% loss over 2000 queries must surface client-visible faults…
+        assert!(a.timeouts > 0);
+        assert!(a.retries > 0);
+        // Every retry follows a timeout here, but a drop on a query's
+        // *last* attempt times out with no retry left.
+        assert!(a.retries <= a.timeouts);
+        assert_eq!(a.fault_counters.drops as usize, a.timeouts);
+        // …and every query either got a plausible answer or is counted
+        // unanswered.
+        assert_eq!(a.responses + a.unanswered, cfg.queries);
+        // The retry budget beats 20% loss almost always.
+        assert!(
+            a.unanswered < cfg.queries / 50,
+            "{} unanswered",
+            a.unanswered
+        );
+    }
+
+    #[test]
+    fn corrupting_fault_mode_is_deterministic_per_partition() {
+        use crate::faults::FaultSpec;
+        let fleet = fleet();
+        let spec = FaultSpec {
+            drop_prob: 0.1,
+            bitflip_prob: 0.05,
+            garbage_prob: 0.02,
+            ..FaultSpec::clean()
+        };
+        let cfg = LoadgenConfig {
+            queries: 2_000,
+            faults: Some(FaultPlan::clean(9).with_default(spec)),
+            ..LoadgenConfig::tiny(7)
+        };
+        let a = run(&fleet, &cfg);
+        let b = run(&fleet, &cfg);
+        assert_eq!(a.timeouts, b.timeouts);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.unanswered, b.unanswered);
+        assert_eq!(a.fault_counters, b.fault_counters);
+        assert_eq!(a.responses, b.responses);
+        assert!(a.fault_counters.bitflips > 0);
+        assert!(a.fault_counters.garbage > 0);
+    }
+
+    #[test]
+    fn clean_plan_fault_mode_matches_direct_path_counts() {
+        let fleet = fleet();
+        let direct = LoadgenConfig {
+            queries: 2_000,
+            ..LoadgenConfig::tiny(7)
+        };
+        let wrapped = LoadgenConfig {
+            faults: Some(FaultPlan::clean(1)),
+            ..direct.clone()
+        };
+        let a = run(&fleet, &direct);
+        let b = run(&fleet, &wrapped);
+        // Same seeded query stream, zero faults: identical response
+        // classification either way.
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.nxdomain, b.nxdomain);
+        assert_eq!(a.referrals, b.referrals);
+        assert_eq!(a.per_site, b.per_site);
+        assert_eq!(b.timeouts, 0);
+        assert_eq!(b.unanswered, 0);
+        assert_eq!(b.fault_counters.total_faults(), 0);
+        assert_eq!(b.fault_counters.clean, b.fault_counters.exchanges);
     }
 }

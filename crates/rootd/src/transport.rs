@@ -33,6 +33,9 @@ pub enum TransportError {
     Io(std::io::Error),
     /// No response arrived within the receive timeout.
     Timeout,
+    /// A length-prefixed TCP frame ended early: the peer promised `want`
+    /// bytes (prefix included) but the stream delivered only `got`.
+    ShortRead { got: usize, want: usize },
 }
 
 impl std::fmt::Display for TransportError {
@@ -40,6 +43,9 @@ impl std::fmt::Display for TransportError {
         match self {
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
             TransportError::Timeout => write!(f, "transport timeout"),
+            TransportError::ShortRead { got, want } => {
+                write!(f, "short read: got {got} of {want} framed bytes")
+            }
         }
     }
 }
@@ -286,21 +292,47 @@ impl Transport for LoopbackTransport {
         // One request per connection here: closing our write half tells the
         // server no more queries are coming, so it can finish and close.
         conn.shutdown(std::net::Shutdown::Write)?;
-        let mut raw = Vec::new();
-        conn.read_to_end(&mut raw)?;
-        // De-frame the response stream.
         let mut out = Vec::new();
-        let mut rest = raw.as_slice();
-        while rest.len() >= 2 {
-            let len = u16::from_be_bytes([rest[0], rest[1]]) as usize;
-            if rest.len() < 2 + len {
-                break; // truncated trailing frame: drop it
-            }
-            out.push(rest[2..2 + len].to_vec());
-            rest = &rest[2 + len..];
+        while let Some(msg) = read_frame(&mut conn)? {
+            out.push(msg);
         }
         Ok(out)
     }
+}
+
+/// Read one RFC 7766 length-prefixed frame from `conn`, looping on partial
+/// reads (TCP may deliver any byte split). A clean EOF *between* frames
+/// returns `None`; an EOF mid-prefix or mid-body is a typed
+/// [`TransportError::ShortRead`] — never a silently dropped tail.
+fn read_frame(conn: &mut TcpStream) -> Result<Option<Vec<u8>>, TransportError> {
+    let mut len_buf = [0u8; 2];
+    let mut have = 0;
+    while have < 2 {
+        match conn.read(&mut len_buf[have..]) {
+            Ok(0) if have == 0 => return Ok(None),
+            Ok(0) => return Err(TransportError::ShortRead { got: have, want: 2 }),
+            Ok(n) => have += n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u16::from_be_bytes(len_buf) as usize;
+    let mut body = vec![0u8; len];
+    let mut have = 0;
+    while have < len {
+        match conn.read(&mut body[have..]) {
+            Ok(0) => {
+                return Err(TransportError::ShortRead {
+                    got: 2 + have,
+                    want: 2 + len,
+                })
+            }
+            Ok(n) => have += n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(body))
 }
 
 #[cfg(test)]
@@ -373,5 +405,98 @@ mod tests {
         let mut t = server.transport().with_timeout(Duration::from_millis(100));
         // Sub-header garbage is dropped by the engine.
         assert_eq!(t.exchange_udp(&[0xff; 4]).unwrap(), None);
+    }
+
+    /// A raw TCP server that answers every connection with `payload` bytes
+    /// (no engine): lets the tests put arbitrary — including broken —
+    /// framing on the wire.
+    fn raw_tcp_server(payload: Vec<u8>, dribble: bool) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((mut conn, _)) = listener.accept() {
+                let mut sink = Vec::new();
+                let _ = conn.read_to_end(&mut sink); // drain the request
+                if dribble {
+                    // Worst-case segmentation: one byte per write.
+                    for b in &payload {
+                        let _ = conn.write_all(&[*b]);
+                        let _ = conn.flush();
+                    }
+                } else {
+                    let _ = conn.write_all(&payload);
+                }
+            }
+        });
+        addr
+    }
+
+    fn transport_to(addr: SocketAddr) -> LoopbackTransport {
+        LoopbackTransport {
+            udp_addr: addr, // unused by the TCP tests
+            tcp_addr: addr,
+            timeout: Duration::from_secs(2),
+        }
+    }
+
+    #[test]
+    fn tcp_frame_reads_loop_on_partial_reads() {
+        // Two framed messages delivered one byte at a time must still
+        // assemble: the length-prefix reads loop until satisfied.
+        let msgs = [vec![1u8, 2, 3], vec![9u8; 600]];
+        let mut payload = Vec::new();
+        for m in &msgs {
+            payload.extend_from_slice(&frame(m));
+        }
+        let addr = raw_tcp_server(payload, true);
+        let got = transport_to(addr).exchange_tcp(&[0u8; 12]).unwrap();
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn truncated_tcp_frame_is_a_typed_short_read() {
+        // A frame promising 100 bytes but delivering 10 must surface as
+        // ShortRead, not be silently dropped.
+        let mut payload = (100u16).to_be_bytes().to_vec();
+        payload.extend_from_slice(&[0xab; 10]);
+        let addr = raw_tcp_server(payload, false);
+        match transport_to(addr).exchange_tcp(&[0u8; 12]) {
+            Err(TransportError::ShortRead { got, want }) => {
+                assert_eq!(got, 12);
+                assert_eq!(want, 102);
+            }
+            other => panic!("expected ShortRead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn half_a_length_prefix_is_a_typed_short_read() {
+        let addr = raw_tcp_server(vec![0x00], false);
+        match transport_to(addr).exchange_tcp(&[0u8; 12]) {
+            Err(TransportError::ShortRead { got, want }) => {
+                assert_eq!((got, want), (1, 2));
+            }
+            other => panic!("expected ShortRead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_tcp_server_is_a_typed_timeout() {
+        // A server that accepts and never answers: the client's blocking
+        // read hits its deadline and maps to the Timeout variant.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let conn = listener.accept();
+            std::thread::sleep(Duration::from_millis(400));
+            drop(conn);
+        });
+        let mut client = transport_to(addr);
+        client.timeout = Duration::from_millis(50);
+        assert!(matches!(
+            client.exchange_tcp(&[0u8; 12]),
+            Err(TransportError::Timeout)
+        ));
+        t.join().unwrap();
     }
 }

@@ -1,0 +1,158 @@
+//! Scenario events projected onto the wire: a [`Scenario`]'s active
+//! change events, viewed from one client, become a `rootd`
+//! [`FaultPlan`] that a `FaultyTransport` can execute.
+//!
+//! Only events with a wire-visible signature map to faults:
+//!
+//! * [`DegradedMode::BitflipZone`] — transfers from the letter arrive
+//!   bit-flipped: a per-exchange `bitflip_prob` on both protocols;
+//! * [`EventKind::RttInflation`] — DDoS-style latency: the base RTT is
+//!   scaled by the event's factor (past the client timeout this turns
+//!   into timeouts, which is the point);
+//! * [`EventKind::SiteOutage`] — anycast routes one client to one site,
+//!   so from that client's seat a site outage is an upstream that went
+//!   dark: a full blackhole window.
+//!
+//! Zone-content events (`StaleZone`, `ZonemdPhase`) stay with the
+//! scenario engine's zone generation — they corrupt *data*, not the
+//! wire, and the refresh client must catch them via validation rather
+//! than transport errors.
+
+use crate::event::{DegradedMode, EventKind};
+use crate::timeline::Scenario;
+use rootd::{FaultPlan, FaultSpec};
+
+/// Baseline one-exchange latency (virtual ms) that [`EventKind::RttInflation`]
+/// scales. Chosen so factors ≳25 with the default 1 s client timeout start
+/// producing client-visible timeouts.
+pub const BASE_RTT_MS: u64 = 40;
+
+/// The fault plan in force at instant `t`: every wire-visible event whose
+/// window covers `t` contributes a per-upstream spec, keyed by the
+/// letter's index. Upstreams without an active event stay clean. The plan
+/// seed derives from the scenario seed, so the same scenario at the same
+/// instant always yields the same fault stream.
+pub fn fault_plan_at(scenario: &Scenario, t: u32) -> FaultPlan {
+    let mut plan = FaultPlan::clean(scenario.seed() ^ 0xc4a0_5000);
+    for event in scenario.events() {
+        if t < event.at || t >= event.effective_until() {
+            continue;
+        }
+        match event.kind {
+            EventKind::Degraded {
+                letter,
+                mode: DegradedMode::BitflipZone { prob },
+            } => {
+                plan.set_both(
+                    letter.index() as u64,
+                    FaultSpec {
+                        bitflip_prob: prob,
+                        ..FaultSpec::clean()
+                    },
+                );
+            }
+            EventKind::RttInflation { letter, factor } => {
+                let delay = (BASE_RTT_MS as f64 * factor) as u64;
+                plan.set_both(
+                    letter.index() as u64,
+                    FaultSpec {
+                        delay_ms: delay,
+                        delay_jitter_ms: delay / 4,
+                        ..FaultSpec::clean()
+                    },
+                );
+            }
+            EventKind::SiteOutage { letter, .. } => {
+                plan.set_both(letter.index() as u64, FaultSpec::blackhole());
+            }
+            _ => {}
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::ScenarioEvent;
+    use netsim::anycast::SiteId;
+    use rootd::Protocol;
+    use rss::RootLetter;
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            "chaos-map",
+            11,
+            vec![
+                ScenarioEvent {
+                    at: 100,
+                    until: Some(200),
+                    kind: EventKind::Degraded {
+                        letter: RootLetter::C,
+                        mode: DegradedMode::BitflipZone { prob: 0.25 },
+                    },
+                },
+                ScenarioEvent {
+                    at: 150,
+                    until: None,
+                    kind: EventKind::RttInflation {
+                        letter: RootLetter::D,
+                        factor: 50.0,
+                    },
+                },
+                ScenarioEvent {
+                    at: 100,
+                    until: Some(300),
+                    kind: EventKind::SiteOutage {
+                        letter: RootLetter::A,
+                        site: SiteId(0),
+                    },
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn active_events_project_to_specs() {
+        let s = scenario();
+        let plan = fault_plan_at(&s, 160);
+        let a = RootLetter::A.index() as u64;
+        let c = RootLetter::C.index() as u64;
+        let d = RootLetter::D.index() as u64;
+        assert!(!plan.spec(a, Protocol::Udp).blackholes.is_empty());
+        assert_eq!(plan.spec(c, Protocol::Tcp).bitflip_prob, 0.25);
+        assert_eq!(plan.spec(d, Protocol::Udp).delay_ms, 50 * BASE_RTT_MS);
+        // An uninvolved letter stays clean.
+        let k = RootLetter::K.index() as u64;
+        assert!(plan.spec(k, Protocol::Udp).is_clean());
+    }
+
+    #[test]
+    fn expired_and_future_events_do_not_project() {
+        let s = scenario();
+        let before = fault_plan_at(&s, 50);
+        let c = RootLetter::C.index() as u64;
+        assert!(before.spec(c, Protocol::Udp).is_clean());
+        // Bitflip window [100, 200) is over at 250; the outage isn't.
+        let later = fault_plan_at(&s, 250);
+        assert!(later.spec(c, Protocol::Udp).is_clean());
+        let a = RootLetter::A.index() as u64;
+        assert!(!later.spec(a, Protocol::Udp).blackholes.is_empty());
+        // Permanent RttInflation never expires.
+        let d = RootLetter::D.index() as u64;
+        assert!(!later.spec(d, Protocol::Udp).is_clean());
+    }
+
+    #[test]
+    fn plan_seed_is_a_pure_function_of_the_scenario_seed() {
+        let s = scenario();
+        assert_eq!(fault_plan_at(&s, 160).seed, fault_plan_at(&s, 160).seed);
+        assert_ne!(
+            fault_plan_at(&s, 160).seed,
+            Scenario::new("other", 12, vec![])
+                .map(|o| fault_plan_at(&o, 160).seed)
+                .unwrap()
+        );
+    }
+}

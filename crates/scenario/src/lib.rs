@@ -25,11 +25,13 @@
 //! outputs exactly (see this crate's `broot_equivalence` test).
 
 pub mod catalog;
+pub mod chaos;
 pub mod engine;
 pub mod event;
 pub mod report;
 pub mod timeline;
 
+pub use chaos::fault_plan_at;
 pub use engine::{EpochRun, EpochZone, ScenarioConfig, ScenarioEngine, ScenarioRun};
 pub use event::{DegradedMode, EventKind, Scope};
 pub use report::epoch_diff;

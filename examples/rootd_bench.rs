@@ -14,7 +14,7 @@
 //! pipeline and records qps/p50/p95/p99); this example is the
 //! human-readable driver.
 
-use rootd::{LoadgenConfig, QueryMix};
+use rootd::{FaultPlan, FaultSpec, LoadgenConfig, QueryMix};
 use roots_core::{Scale, ServingPipeline};
 use rss::RootLetter;
 
@@ -38,6 +38,7 @@ fn main() {
         threads,
         seed: 0x2023_0703,
         mix: QueryMix::broot(),
+        faults: None,
     };
     println!(
         "rootd load generator: {:?} scale, {} queries, {} threads, {} clients",
@@ -61,4 +62,22 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" ")
     );
+
+    // Second pass: the same seeded mix through a lossy FaultyTransport, to
+    // show the client-side retry machinery and fault counters at work.
+    let faulty = LoadgenConfig {
+        queries: queries.min(50_000),
+        faults: Some(FaultPlan::clean(0xfa_17).with_default(FaultSpec {
+            drop_prob: 0.10,
+            bitflip_prob: 0.02,
+            ..FaultSpec::clean()
+        })),
+        ..cfg
+    };
+    println!(
+        "\nfault-injected rerun: {} queries through drop=0.10 bitflip=0.02",
+        faulty.queries
+    );
+    let pf = ServingPipeline::run(scale, RootLetter::B, &faulty);
+    print!("{}", pf.report.render_faults());
 }

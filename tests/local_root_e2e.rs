@@ -77,6 +77,7 @@ fn opportunistic_policy_serves_through_all_phases() {
         zonemd: ZonemdRequirement::Opportunistic,
         require_rrsigs: true,
         max_age: 2 * DAY,
+        serve_stale: true,
     });
     for date in ["20230710000000", "20230920000000", "20231210000000"] {
         let now = dns_crypto::validity::timestamp_from_ymd(date).unwrap() + 7200;

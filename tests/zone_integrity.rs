@@ -115,6 +115,68 @@ fn rollout_phases_validate_as_observed_by_the_paper() {
     }
 }
 
+/// Property: no single bitflip anywhere in a serialized AXFR stream can
+/// yield an *accepted* zone copy that differs from the original. Every
+/// flipped stream either fails to decode, fails to reassemble, fails
+/// ZONEMD/RRSIG validation — or (for flips in wire bits that don't feed
+/// the assembled records, e.g. header flags) assembles back to the
+/// bit-identical zone. This is the data-plane half of the chaos
+/// harness's "corrupt copies never activate" invariant.
+mod bitflip_property {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    fn frames() -> &'static (Vec<Vec<u8>>, Vec<u8>) {
+        static FRAMES: OnceLock<(Vec<Vec<u8>>, Vec<u8>)> = OnceLock::new();
+        FRAMES.get_or_init(|| {
+            let zone = build_root_zone(&zone_config(), &ZoneKeys::from_seed(14));
+            let wire = serve_axfr(&zone, 0xf00d, 64)
+                .unwrap()
+                .iter()
+                .map(|m| m.to_wire())
+                .collect();
+            let digest = compute_zonemd(&zone, DigestAlg::Sha384).unwrap();
+            (wire, digest)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn bitflipped_axfr_never_activates_a_differing_zone(
+            frame_sel in any::<usize>(),
+            byte_sel in any::<usize>(),
+            bit in 0u8..8,
+        ) {
+            let (wire, want_digest) = frames();
+            let mut flipped: Vec<Vec<u8>> = wire.clone();
+            let fi = frame_sel % flipped.len();
+            let bi = byte_sel % flipped[fi].len();
+            flipped[fi][bi] ^= 1 << bit;
+
+            let decoded: Result<Vec<Message>, _> =
+                flipped.iter().map(|b| Message::from_wire(b)).collect();
+            let Ok(messages) = decoded else { return Ok(()) };
+            let Ok(received) = assemble_axfr(&messages, &Name::root()) else {
+                return Ok(());
+            };
+            if verify_zonemd(&received).is_err() {
+                return Ok(());
+            }
+            if !validate_zone(&received, zone_config().inception + 60).is_valid() {
+                return Ok(());
+            }
+            // The copy passed every gate the refresh client applies —
+            // then it must be bit-identical to the original zone.
+            prop_assert_eq!(
+                &compute_zonemd(&received, DigestAlg::Sha384).unwrap(),
+                want_digest
+            );
+        }
+    }
+}
+
 #[test]
 fn server_transfers_match_direct_transfers() {
     use rss::{RootLetter, RootServer, ServerBehavior};
