@@ -35,6 +35,12 @@ cargo run -q --release --offline --example rootd_bench -- tiny 20000 > /dev/null
 # convergence, SOA-bounded staleness, deterministic replay).
 cargo run -q --release --offline --example chaos_report -- 49374 > "$figdir/chaos.txt"
 grep -q "chaos invariants: OK" "$figdir/chaos.txt"
+# Virtual-clock smoke: serving load, scenario fault windows, and refresh
+# backoff co-executed on one clock — refresh must escape the blackhole by
+# backing off, and the whole run must replay bit-identically across
+# worker counts.
+cargo run -q --release --offline --example clock_chaos_demo > "$figdir/clock_chaos.txt"
+grep -q "clock chaos invariants: OK" "$figdir/clock_chaos.txt"
 
 # Bench smoke: every bench target runs end to end and merges its numbers
 # into the committed BENCH_results.json, including the rootd loadgen's

@@ -81,13 +81,19 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-/// The zero-fault `FaultyTransport` must be free: its clean fast path may
-/// add at most 5% over the bare `InprocTransport` on the hot serve path.
-/// Both sides are timed identically (best-of-three means, like the bench
-/// harness itself) and recorded, so `bench_guard` watches the wrapped
-/// number against the committed baseline; the 5% relative bound is also
-/// asserted right here, with a small absolute floor to keep sub-µs timer
-/// jitter from flaking the gate.
+/// The zero-fault `FaultyTransport` must be free: its clean fast path
+/// (one precomputed bool test, no plan lookup or spec clone — see
+/// `FaultyTransport::new`) may add at most 5% over the bare
+/// `InprocTransport` on the hot serve path. PR 5 claimed this bound but
+/// its assertion (`bare * 1.05 + 25 ns`) allowed ~34% at the ~90 ns serve
+/// scale and the shipped number was 11.9% — the per-exchange
+/// `plan.spec().clone()` the fast path was supposed to skip. Now the two
+/// sides are measured as medians over interleaved ABBA rounds (so drift
+/// and periodic slow phases hit both equally), the assert's noise floor
+/// is 10 ns — the honest single-process resolution here: per-exchange
+/// response allocation makes run-to-run offsets of ±5 ns routine — and
+/// `bench_guard` gates the recorded overhead percentage with an absolute
+/// 10% ceiling so the regression class cannot ship again.
 fn bench_faultfree_wrapper(_c: &mut Criterion) {
     let engine = Arc::new(engine());
     let wire = query(".", RrType::Soa, true);
@@ -97,27 +103,42 @@ fn bench_faultfree_wrapper(_c: &mut Criterion) {
         Arc::new(FaultPlan::clean(0)),
         0,
     );
-    fn measure(f: &mut dyn FnMut()) -> f64 {
-        const ITERS: u32 = 200_000;
-        for _ in 0..10_000 {
+    fn round(f: &mut dyn FnMut()) -> f64 {
+        const ITERS: u32 = 50_000;
+        let t = Instant::now();
+        for _ in 0..ITERS {
             f();
         }
-        let mut best = f64::INFINITY;
-        for _ in 0..3 {
-            let t = Instant::now();
-            for _ in 0..ITERS {
-                f();
-            }
-            best = best.min(t.elapsed().as_nanos() as f64 / ITERS as f64);
-        }
-        best
+        t.elapsed().as_nanos() as f64 / ITERS as f64
     }
-    let bare_ns = measure(&mut || {
+    let mut bare_f = || {
         black_box(bare.exchange_udp(black_box(&wire)).unwrap());
-    });
-    let wrapped_ns = measure(&mut || {
+    };
+    let mut wrapped_f = || {
         black_box(wrapped.exchange_udp(black_box(&wire)).unwrap());
-    });
+    };
+    // Warm both paths, then measure in ABBA quads and take each side's
+    // median: ABBA cancels linear drift inside a quad (a plain AB
+    // alternation can alias with periodic slow phases and charge them
+    // all to one side), and the median over 32 rounds per side shrugs
+    // off the slow quads entirely instead of hoping the min dodged them.
+    for _ in 0..10_000 {
+        bare_f();
+        wrapped_f();
+    }
+    let (mut bare_rounds, mut wrapped_rounds) = (Vec::new(), Vec::new());
+    for _ in 0..16 {
+        bare_rounds.push(round(&mut bare_f));
+        wrapped_rounds.push(round(&mut wrapped_f));
+        wrapped_rounds.push(round(&mut wrapped_f));
+        bare_rounds.push(round(&mut bare_f));
+    }
+    fn median(v: &mut [f64]) -> f64 {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    }
+    let bare_ns = median(&mut bare_rounds);
+    let wrapped_ns = median(&mut wrapped_rounds);
     let c = wrapped.counters();
     assert_eq!(c.clean, c.exchanges, "a clean plan must take the fast path");
     record_metric("rootd/serve_faultfree_bare", bare_ns);
@@ -132,9 +153,10 @@ fn bench_faultfree_wrapper(_c: &mut Criterion) {
          ({overhead_pct:+.2}%)"
     );
     assert!(
-        wrapped_ns <= bare_ns * 1.05 + 25.0,
+        wrapped_ns <= bare_ns * 1.05 + 10.0,
         "zero-fault wrapper overhead {overhead_pct:.2}% exceeds the 5% budget \
-         (bare {bare_ns:.1} ns, wrapped {wrapped_ns:.1} ns)"
+         plus the 10 ns measurement floor (bare {bare_ns:.1} ns, wrapped \
+         {wrapped_ns:.1} ns)"
     );
 }
 
@@ -158,6 +180,7 @@ fn bench_loadgen(_c: &mut Criterion) {
         seed: 0x2023_0703,
         mix: QueryMix::broot(),
         faults: None,
+        arrivals: None,
     };
     let p = ServingPipeline::run(Scale::Tiny, RootLetter::B, &cfg);
     assert_eq!(p.report.queries, queries);

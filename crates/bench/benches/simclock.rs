@@ -1,0 +1,46 @@
+//! Virtual-clock benchmarks: the shared [`simclock::ClockHandle`] sits on
+//! the fault-transport hot path (every exchange reads it; blocking
+//! clients advance it), so its read/advance costs must stay at
+//! plain-atomic scale. The scheduler bench covers the discrete-event
+//! queue end to end: schedule 1 000 keyed events in reverse time order,
+//! then drain them — heap churn, tie-break ordering, and the firing
+//! trace all included.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simclock::{ClockHandle, Scheduler};
+use std::hint::black_box;
+
+fn bench_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simclock");
+    // Single-digit-nanosecond atomics; same reasoning as the cached
+    // rootd serves — let the calibration loop run long enough that the
+    // measurement is not timer noise.
+    group.sample_size(200_000);
+    let clock = ClockHandle::new();
+    group.bench_function("clock_now", |b| b.iter(|| black_box(clock.now_ms())));
+    group.bench_function("clock_advance", |b| {
+        b.iter(|| black_box(clock.advance(black_box(1))))
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simclock");
+    group.sample_size(200);
+    group.bench_function("schedule_fire_1k", |b| {
+        b.iter(|| {
+            let mut s = Scheduler::new(7);
+            // Reverse time order with scrambled keys: the worst case for
+            // the heap and the case where tie-breaking actually runs.
+            for i in 0..1_000u64 {
+                s.schedule_keyed(1_000 - i, i ^ 0x2a, "evt", |_| {});
+            }
+            assert_eq!(s.run_until_idle(), 1_000);
+            black_box(s.now_ms())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clock, bench_scheduler);
+criterion_main!(benches);

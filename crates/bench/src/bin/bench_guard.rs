@@ -3,10 +3,11 @@
 //! than 25%.
 //!
 //! Only allowlisted keys are guarded — the hot serve path
-//! (`rootd/serve_*`), the codec microbenches (`codec/*`), and the
-//! load-generator throughput (`rootd/loadgen/qps`) — because those are
-//! the numbers this repo optimizes deliberately; everything else in the
-//! results file is trajectory data and may drift with the model. Keys
+//! (`rootd/serve_*`), the codec microbenches (`codec/*`), the virtual
+//! clock (`simclock/*`), and the load-generator throughput
+//! (`rootd/loadgen/qps`) — because those are the numbers this repo
+//! optimizes deliberately; everything else in the results file is
+//! trajectory data and may drift with the model. Keys
 //! containing `qps` are higher-is-better (fail when `new < old × 0.75`);
 //! everything else is nanoseconds, lower-is-better (fail when
 //! `new > max(old × 1.25, old + 250 ns)` — the absolute floor keeps
@@ -14,6 +15,10 @@
 //! gate while still catching a slide back toward the microsecond-scale
 //! uncached path). A guarded baseline key missing from the fresh run
 //! also fails: a bench silently disappearing is a regression too.
+//!
+//! A second class of keys ([`ABS_CEILING`]) is gated against an
+//! *absolute* documented bound instead of the baseline, so a bad
+//! committed baseline can never grandfather a violation.
 //!
 //! Usage: `bench_guard <baseline.json> <fresh.json>`
 
@@ -24,10 +29,31 @@ use std::process::ExitCode;
 /// listed explicitly because the <5% wrapper-overhead claim depends on
 /// this exact label staying guarded even if the prefix list changes.
 const EXACT: &[&str] = &["rootd/loadgen/qps", "rootd/serve_faultfree_wrapped"];
-const PREFIXES: &[&str] = &["rootd/serve_", "codec/"];
+const PREFIXES: &[&str] = &["rootd/serve_", "codec/", "simclock/"];
+
+/// Keys gated by an *absolute* ceiling instead of a baseline diff —
+/// documented bounds, not trajectories. The fault-free wrapper's clean
+/// fast path is asserted at ≤5% inside the bench itself (interleaved
+/// measurement); the guard's cross-run ceiling adds slack for one-shot
+/// CI timer variance while still catching the 11.9%-class regression
+/// (a per-exchange plan lookup/clone sneaking back onto the hot path).
+const ABS_CEILING: &[(&str, f64)] = &[("rootd/faultfree_wrapper_overhead_pct", 10.0)];
 
 /// Allowed relative regression before the guard fails.
 const TOLERANCE: f64 = 0.25;
+
+/// Per-key tolerance overrides. The AXFR benches time multi-hundred-µs
+/// allocation-heavy message streams, and on shared single-core CI
+/// hardware their per-process timing is bimodal (±50–70% swings from
+/// allocator/page-layout luck, observed across back-to-back runs of an
+/// identical binary). A 25% gate on those keys flakes; a 2× ceiling
+/// still catches real blowups (an accidental quadratic re-encode) while
+/// riding out the fast/slow process modes.
+const WIDE: &[(&str, f64)] = &[
+    ("rootd/serve_axfr_stream", 1.0),
+    ("codec/encode_axfr_message", 1.0),
+    ("codec/decode_axfr_message", 1.0),
+];
 
 /// Absolute slack for lower-is-better (nanosecond) keys: deltas smaller
 /// than this are measurement noise on ~100 ns benches, not regressions.
@@ -48,14 +74,19 @@ fn compare(label: &str, old: f64, new: Option<f64>) -> Verdict {
     let Some(new) = new else {
         return Verdict::Missing;
     };
+    let tolerance = WIDE
+        .iter()
+        .find(|(l, _)| *l == label)
+        .map(|&(_, t)| t)
+        .unwrap_or(TOLERANCE);
     let higher_better = label.contains("qps");
     if higher_better {
-        let floor = old * (1.0 - TOLERANCE);
+        let floor = old * (1.0 - tolerance);
         if new < floor {
             return Verdict::Regressed { allowed: floor };
         }
     } else {
-        let ceiling = (old * (1.0 + TOLERANCE)).max(old + NOISE_FLOOR_NS);
+        let ceiling = (old * (1.0 + tolerance)).max(old + NOISE_FLOOR_NS);
         if new > ceiling {
             return Verdict::Regressed { allowed: ceiling };
         }
@@ -86,6 +117,28 @@ fn run(baseline: &str, fresh: &str) -> Result<(), Vec<String>> {
                     lookup(label).unwrap()
                 ));
             }
+        }
+    }
+    // Absolute ceilings: the fresh value must stay under the documented
+    // bound regardless of what the baseline recorded (a bad committed
+    // baseline must not grandfather a violation — exactly how the 11.9%
+    // wrapper overhead shipped under a claimed 5% bound). Missing from
+    // the fresh run fails only if the baseline had it, same as above.
+    for &(label, ceiling) in ABS_CEILING {
+        let in_baseline = old.iter().any(|(l, _)| l == label);
+        checked += 1;
+        match lookup(label) {
+            Some(new) if new > ceiling => {
+                failures.push(format!(
+                    "{label}: {new:.1} exceeds absolute ceiling {ceiling:.1}"
+                ));
+            }
+            None if in_baseline => {
+                failures.push(format!(
+                    "{label}: present in baseline, missing from fresh run"
+                ));
+            }
+            _ => {}
         }
     }
     println!(
@@ -173,6 +226,37 @@ mod tests {
         // Sliding back toward the microsecond-scale uncached path is not.
         let r = run(&base, &json(&[("rootd/serve_soa", 900.0)]));
         assert_eq!(r.unwrap_err().len(), 1);
+    }
+
+    #[test]
+    fn axfr_keys_get_the_wide_ceiling_but_still_fail_on_blowups() {
+        let base = json(&[("rootd/serve_axfr_stream", 500_000.0)]);
+        // +57% (the observed bimodal slow mode): tolerated.
+        assert!(run(&base, &json(&[("rootd/serve_axfr_stream", 787_000.0)])).is_ok());
+        // Past 2×: a real regression.
+        let r = run(&base, &json(&[("rootd/serve_axfr_stream", 1_100_000.0)]));
+        assert_eq!(r.unwrap_err().len(), 1);
+    }
+
+    #[test]
+    fn absolute_ceiling_ignores_the_baseline() {
+        let key = "rootd/faultfree_wrapper_overhead_pct";
+        // A bad committed baseline (the shipped 11.9%) must not
+        // grandfather a fresh violation.
+        let bad_base = json(&[(key, 11.9)]);
+        let r = run(&bad_base, &json(&[(key, 11.9)]));
+        let errs = r.unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("absolute ceiling"));
+        // Under the ceiling passes no matter what the baseline said.
+        assert!(run(&bad_base, &json(&[(key, 3.0)])).is_ok());
+        // Key vanishing from the fresh run fails when the baseline had it...
+        let r = run(&json(&[(key, 3.0)]), &json(&[("codec/parse", 100.0)]));
+        let errs = r.unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("missing"));
+        // ...but a baseline that never had it doesn't demand it.
+        assert!(run(&json(&[("zone/build", 1.0)]), &json(&[("zone/build", 1.0)])).is_ok());
     }
 
     #[test]

@@ -107,6 +107,16 @@ impl Pipeline {
         }
     }
 
+    /// The virtual-time axis this pipeline's records live on: wall-clock
+    /// second `schedule.start` is virtual t = 0 ms. Round times, scenario
+    /// epochs ([`scenario::ScenarioEngine::time_axis`]) and transport
+    /// fault windows all project through the same anchor, so "when" means
+    /// one thing across the measurement, the change events, and the wire
+    /// (DESIGN §12).
+    pub fn time_axis(&self) -> simclock::TimeAxis {
+        simclock::TimeAxis::anchored_at(self.scale.schedule().start)
+    }
+
     /// The memoized pipeline for `scale`: built once per process, shared
     /// by every caller. Tests, examples and benches all read the same
     /// record streams, so rebuilding the world per call site only burned
@@ -180,6 +190,27 @@ mod tests {
             "{} duplicate probe keys",
             total - keys.len()
         );
+    }
+
+    #[test]
+    fn pipeline_and_scenario_engine_share_one_time_axis() {
+        let p = Pipeline::shared(Scale::Tiny);
+        let axis = p.time_axis();
+        let schedule = Scale::Tiny.schedule();
+        // The anchor is the schedule start: round times project onto
+        // non-negative virtual ms, one second per 1000 ms.
+        assert_eq!(axis.wall_to_ms(schedule.start), 0);
+        assert_eq!(axis.wall_to_ms(schedule.start + 7), 7_000);
+        // The scenario engine, configured for the same scale, lands on
+        // the identical axis — epochs and fault windows agree on t = 0.
+        let engine = scenario::ScenarioEngine::new(scenario::ScenarioConfig {
+            base: vantage::MeasurementConfig {
+                schedule,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        assert_eq!(engine.time_axis(), axis);
     }
 
     #[test]

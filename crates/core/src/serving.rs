@@ -6,12 +6,20 @@
 //! query load through the full parse → serve → encode path. The resulting
 //! [`LoadReport`] is what the `rootd_demo` registry entry and
 //! `examples/rootd_bench.rs` render.
+//!
+//! [`ClockChaosRun`] is the virtual-time composition of the whole stack:
+//! one scenario's change events, the serving fleet under load, and a
+//! localroot refresh client, co-executed on a single [`simclock`] axis
+//! (see DESIGN §12 and `examples/clock_chaos_demo.rs`).
 
 use crate::scale::Scale;
+use localroot::{upstream_transport, LocalRoot, RefreshOutcome, ValidationPolicy};
 use rootd::loadgen::{self, SiteFleet};
-use rootd::{LoadReport, LoadgenConfig};
-use rss::RootLetter;
-use std::sync::OnceLock;
+use rootd::{ArrivalSchedule, FaultyTransport, InprocTransport, LoadReport, LoadgenConfig};
+use rss::{RootLetter, RootServer};
+use scenario::{EventKind, Scenario, ScenarioEvent};
+use simclock::{ClockHandle, TimeAxis};
+use std::sync::{Arc, OnceLock};
 use vantage::World;
 
 /// One letter's serving fleet under generated load.
@@ -77,6 +85,173 @@ impl ServingPipeline {
     }
 }
 
+/// The refresh client's upstream letters in the clock-chaos demo.
+pub const CHAOS_UPSTREAMS: [RootLetter; 3] = [RootLetter::A, RootLetter::B, RootLetter::C];
+
+/// One scenario, one clock: the serving fleet under load, the scenario's
+/// fault windows, and a localroot refresh client, co-executed on a single
+/// virtual-time axis.
+///
+/// The three time consumers share the [`TimeAxis`] anchored at the
+/// scale's schedule start:
+///
+/// * the scenario's wire-visible events become *windowed* fault specs —
+///   [`scenario::fault_plan_on_clock`] for the client seat the refresh
+///   client sits in, [`scenario::fault_plan_for_fleet`] for the serving
+///   letter's per-site transports;
+/// * the load generator pins every query attempt to its scheduled
+///   arrival instant (one query per virtual ms), so event windows hit
+///   exactly the queries that arrive inside them, on any worker count;
+/// * the refresh client advances a shared [`ClockHandle`] through its
+///   timeouts and backoffs, so *waiting* carries it across the same
+///   windows the load generator's queries are falling into — riding out
+///   a bounded blackhole purely by backing off.
+pub struct ClockChaosRun {
+    pub axis: TimeAxis,
+    /// The serving fleet's report under the scenario's outage windows.
+    pub load: LoadReport,
+    /// The refresh client's outcome (errors stringified so replays
+    /// compare with `==`).
+    pub refresh: Result<RefreshOutcome, String>,
+    pub refresh_metrics: localroot::Metrics,
+    /// Backoff waits taken on the shared clock, as `(start_ms, wait_ms)`.
+    pub backoff_log: Vec<(u64, u64)>,
+    /// Where the shared clock ended after the refresh cycle.
+    pub clock_ms: u64,
+    /// Whether the refreshed copy is fresh at the clock's final wall time.
+    pub serving: bool,
+}
+
+impl ClockChaosRun {
+    /// Run `scenario` against `letter`'s fleet (serving side) and the
+    /// [`CHAOS_UPSTREAMS`] (refresh side), everything on one axis.
+    pub fn run(
+        scale: Scale,
+        letter: RootLetter,
+        scenario: &Scenario,
+        queries: usize,
+        threads: usize,
+    ) -> ClockChaosRun {
+        let axis = TimeAxis::anchored_at(scale.schedule().start);
+        let world = World::build(&scale.world());
+        let zone = world.zone_at(axis.base_s);
+
+        // Serving side: the fleet's plan keys outage windows by site id;
+        // arrivals pin each query attempt to its virtual instant.
+        let fleet_plan =
+            scenario::fault_plan_for_fleet(scenario, letter, axis).with_timeout_ms(200);
+        let fleet = SiteFleet::build(&world.topology, &world.catalog, letter, Arc::clone(&zone));
+        let load = loadgen::run(
+            &fleet,
+            &LoadgenConfig {
+                queries,
+                threads,
+                faults: Some(fleet_plan),
+                arrivals: Some(ArrivalSchedule {
+                    start_ms: 0,
+                    interarrival_ms: 1,
+                }),
+                ..LoadgenConfig::tiny(0x2023_0703)
+            },
+        );
+
+        // Refresh side: the client-seat plan keys the same windows by
+        // upstream letter; all transports share one clock the client
+        // advances by sleeping through backoffs.
+        let plan = Arc::new(scenario::fault_plan_on_clock(scenario, axis).with_timeout_ms(200));
+        let clock = ClockHandle::new();
+        let mut upstreams: Vec<(RootLetter, FaultyTransport<InprocTransport>)> = CHAOS_UPSTREAMS
+            .into_iter()
+            .map(|l| {
+                let server = RootServer {
+                    letter: l,
+                    identity: Some(format!("{}1.clock-chaos", l.ch())),
+                    zone: Arc::clone(&zone),
+                    behavior: Default::default(),
+                };
+                (
+                    l,
+                    FaultyTransport::new(
+                        upstream_transport(&server),
+                        Arc::clone(&plan),
+                        l.index() as u64,
+                    )
+                    .with_clock(clock.clone()),
+                )
+            })
+            .collect();
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        lr.retry.attempts = 6;
+        let refresh = lr
+            .refresh_on_clock(&mut upstreams, &clock, axis)
+            .map_err(|e| e.to_string());
+        let serving = lr.is_serving(axis.now_wall(&clock));
+        ClockChaosRun {
+            axis,
+            load,
+            refresh,
+            refresh_metrics: lr.metrics,
+            backoff_log: lr.backoff_log,
+            clock_ms: clock.now_ms(),
+            serving,
+        }
+    }
+
+    /// The built-in demo scenario: every refresh upstream goes dark for
+    /// the first five virtual seconds — a blackhole bounded in *time*,
+    /// which backoff on the shared clock can ride out. The serving
+    /// `letter`'s outage event carries its fleet's first real site id, so
+    /// the same window also swallows that site's queries.
+    pub fn demo_scenario(scale: Scale, letter: RootLetter) -> Scenario {
+        let world = World::build(&scale.world());
+        let dark_site = world
+            .catalog
+            .sites_of(letter)
+            .next()
+            .map(|s| s.site_id)
+            .expect("serving letter has at least one site");
+        let t0 = scale.schedule().start;
+        let events = CHAOS_UPSTREAMS
+            .into_iter()
+            .map(|l| ScenarioEvent {
+                at: t0,
+                until: Some(t0 + 5),
+                kind: EventKind::SiteOutage {
+                    letter: l,
+                    site: if l == letter {
+                        dark_site
+                    } else {
+                        netsim::anycast::SiteId(0)
+                    },
+                },
+            })
+            .collect();
+        Scenario::new("clock-blackhole", 0x5eed_c10c, events).expect("demo scenario is well-formed")
+    }
+
+    /// Deterministic digest for replay comparison: every seeded counter,
+    /// none of the wall-clock timings.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "load[responses={} timeouts={} retries={} unanswered={} faults={}] \
+             refresh[{:?} retries={} timeouts={} backoff_ms={}] \
+             backoffs={:?} clock={}ms serving={}",
+            self.load.responses,
+            self.load.timeouts,
+            self.load.retries,
+            self.load.unanswered,
+            self.load.fault_counters.total_faults(),
+            self.refresh,
+            self.refresh_metrics.retries,
+            self.refresh_metrics.timeouts,
+            self.refresh_metrics.backoff_ms_total,
+            self.backoff_log,
+            self.clock_ms,
+            self.serving,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +273,29 @@ mod tests {
         assert!(p.render_deterministic().contains("cache hits"));
         let rendered = p.render();
         assert!(rendered.contains("latency p99"));
+    }
+
+    #[test]
+    fn clock_chaos_interleaves_and_replays_bit_identically() {
+        let scenario = ClockChaosRun::demo_scenario(Scale::Tiny, RootLetter::B);
+        let a = ClockChaosRun::run(Scale::Tiny, RootLetter::B, &scenario, 8_000, 2);
+        // The refresh client rode out the [0, 5000) ms blackhole purely
+        // by backing off on the shared clock.
+        assert!(matches!(a.refresh, Ok(RefreshOutcome::Updated { .. })));
+        assert!(a.clock_ms >= 5_000, "clock = {} ms", a.clock_ms);
+        assert!(a.refresh_metrics.timeouts > 0);
+        assert!(!a.backoff_log.is_empty());
+        assert!(a.serving);
+        // The same outage window cost the serving fleet client-visible
+        // faults: queries that arrived inside it hit dead air.
+        assert!(a.load.timeouts > 0);
+        assert!(a.load.fault_counters.blackholed > 0);
+        assert!(a.load.responses > 0);
+        // Bit-identical replay — same run, and a different loadgen worker
+        // count (arrival pinning makes partitioning invisible).
+        let b = ClockChaosRun::run(Scale::Tiny, RootLetter::B, &scenario, 8_000, 2);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = ClockChaosRun::run(Scale::Tiny, RootLetter::B, &scenario, 8_000, 5);
+        assert_eq!(a.fingerprint(), c.fingerprint());
     }
 }

@@ -10,6 +10,10 @@
 //!
 //! Everything is seeded: the jitter for `(upstream, cycle, attempt)` is a
 //! pure function of the policy seed, so a chaos run replays bit-for-bit.
+//! Clock-driven refreshes ([`crate::LocalRoot::refresh_on_clock`]) key
+//! the jitter on the virtual instant the wait starts instead
+//! ([`RetryPolicy::backoff_ms_at`]), making the whole backoff schedule a
+//! pure function of the shared timeline.
 
 use netsim::rng::SimRng;
 
@@ -53,6 +57,19 @@ impl RetryPolicy {
     /// plus deterministic jitter. Same `(seed, upstream, cycle, attempt)`
     /// ⇒ same milliseconds, every run.
     pub fn backoff_ms(&self, upstream: u64, cycle: u64, attempt: u32) -> u64 {
+        self.jittered(upstream, cycle, attempt)
+    }
+
+    /// Clock-keyed variant of [`backoff_ms`](RetryPolicy::backoff_ms):
+    /// jitter derives from the virtual instant (`now_ms`) the wait
+    /// starts, not from a per-client cycle counter — so the backoff
+    /// schedule is a pure function of the shared timeline and replays
+    /// bit-identically no matter which thread or client walks it.
+    pub fn backoff_ms_at(&self, upstream: u64, now_ms: u64, attempt: u32) -> u64 {
+        self.jittered(upstream, now_ms, attempt)
+    }
+
+    fn jittered(&self, upstream: u64, context: u64, attempt: u32) -> u64 {
         if attempt == 0 {
             return 0;
         }
@@ -60,7 +77,8 @@ impl RetryPolicy {
             .base_backoff_ms
             .saturating_mul(1u64 << (attempt - 1).min(16))
             .min(self.max_backoff_ms);
-        let mut rng = SimRng::new(self.seed).derive_ids(&[0xb0ff, upstream, cycle, attempt as u64]);
+        let mut rng =
+            SimRng::new(self.seed).derive_ids(&[0xb0ff, upstream, context, attempt as u64]);
         exp + (exp as f64 * self.jitter_frac * rng.next_f64()) as u64
     }
 }
@@ -161,6 +179,18 @@ mod tests {
         // Different upstream or cycle draws different jitter (almost
         // surely, and deterministically for this seed).
         assert_ne!(p.backoff_ms(1, 2, 3), p.backoff_ms(2, 2, 3));
+    }
+
+    #[test]
+    fn clock_keyed_backoff_is_a_pure_function_of_the_instant() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms_at(1, 1_234, 2), p.backoff_ms_at(1, 1_234, 2));
+        // A different instant draws different jitter (deterministically,
+        // for this seed) — the schedule belongs to the timeline.
+        assert_ne!(p.backoff_ms_at(1, 1_234, 2), p.backoff_ms_at(1, 1_235, 2));
+        let b = p.backoff_ms_at(0, 999, 1);
+        assert!((200..=250).contains(&b), "b = {b}");
+        assert_eq!(p.backoff_ms_at(0, 999, 0), 0);
     }
 
     #[test]

@@ -18,6 +18,15 @@
 //! * failover across root letters on transport *or* validation failure;
 //! * graceful degradation: serve-stale from the last known-good copy,
 //!   bounded by the zone's own SOA expire field.
+//!
+//! Two drivers run the same client loop (an internal `Timeline` enum
+//! abstracts the difference): [`LocalRoot::refresh_wire`] is called with
+//! a fixed wall
+//! `now` (backoffs are accounted but time stands still), while
+//! [`LocalRoot::refresh_on_clock`] runs against a shared
+//! [`simclock::ClockHandle`] — every retry backoff and timeout *advances*
+//! the same virtual clock the fault plans read, so a client really can
+//! wait out a blackhole window by backing off.
 
 use crate::metrics::Metrics;
 use crate::policy::{ValidationPolicy, ZonemdRequirement};
@@ -29,8 +38,76 @@ use dns_zone::Zone;
 use netsim::rng::SimRng;
 use rootd::{InprocTransport, Rootd, SiteIdentity, Transport, TransportError, ZoneIndex};
 use rss::{RootLetter, RootServer};
+use simclock::{ClockHandle, TimeAxis};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Which notion of time a refresh cycle runs on.
+///
+/// The whole client loop is written against this: `Fixed` reproduces the
+/// wall-clock API (`now` frozen for the cycle, backoff jitter keyed by
+/// the cycle counter), `Clock` maps a shared virtual clock onto wall
+/// seconds through a [`TimeAxis`] and *sleeps* every backoff on it, with
+/// jitter keyed by the instant the wait starts.
+enum Timeline {
+    Fixed(u32),
+    Clock { clock: ClockHandle, axis: TimeAxis },
+}
+
+impl Timeline {
+    /// Wall-clock seconds "now" (frozen in `Fixed`, live in `Clock`).
+    fn now(&self) -> u32 {
+        match self {
+            Timeline::Fixed(now) => *now,
+            Timeline::Clock { clock, axis } => axis.now_wall(clock),
+        }
+    }
+
+    /// Wait out the backoff before `attempt`, returning the wait. In
+    /// `Clock` mode this advances the shared clock — the wait is real,
+    /// visible to every fault window on the same timeline — and records
+    /// `(start_ms, wait_ms)` in `log` for replay assertions.
+    fn wait_backoff(
+        &self,
+        retry: &RetryPolicy,
+        upstream: u64,
+        cycle: u64,
+        attempt: u32,
+        log: &mut Vec<(u64, u64)>,
+    ) -> u64 {
+        match self {
+            Timeline::Fixed(_) => retry.backoff_ms(upstream, cycle, attempt),
+            Timeline::Clock { clock, .. } => {
+                let start = clock.now_ms();
+                let wait = retry.backoff_ms_at(upstream, start, attempt);
+                clock.sleep(wait);
+                log.push((start, wait));
+                wait
+            }
+        }
+    }
+}
+
+/// Refresh-cycle context threaded through the poll/transfer helpers:
+/// retry knobs, the timeline driving the cycle, and the sinks they
+/// report into.
+struct RefreshCtx<'a> {
+    retry: &'a RetryPolicy,
+    timeline: &'a Timeline,
+    metrics: &'a mut Metrics,
+    backoff_log: &'a mut Vec<(u64, u64)>,
+}
+
+impl RefreshCtx<'_> {
+    /// Account (and, on a clock, actually take) the backoff before a
+    /// retry attempt.
+    fn wait_backoff(&mut self, upstream: u64, cycle: u64, attempt: u32) {
+        self.metrics.retries += 1;
+        self.metrics.backoff_ms_total +=
+            self.timeline
+                .wait_backoff(self.retry, upstream, cycle, attempt, self.backoff_log);
+    }
+}
 
 /// The set of upstream root servers a local root can transfer from.
 ///
@@ -121,6 +198,10 @@ pub struct LocalRoot {
     health: HashMap<RootLetter, UpstreamHealth>,
     /// Refresh cycles run (keys the deterministic jitter/query-ID streams).
     cycle: u64,
+    /// Backoff waits taken on a shared clock, as `(start_ms, wait_ms)` —
+    /// empty for wall-clock refreshes. The replay tests assert this
+    /// schedule is bit-identical across runs and thread counts.
+    pub backoff_log: Vec<(u64, u64)>,
 }
 
 impl LocalRoot {
@@ -135,6 +216,7 @@ impl LocalRoot {
             next_upstream: 0,
             health: HashMap::new(),
             cycle: 0,
+            backoff_log: Vec::new(),
         }
     }
 
@@ -214,6 +296,36 @@ impl LocalRoot {
         upstreams: &mut [(RootLetter, T)],
         now: u32,
     ) -> Result<RefreshOutcome, RefreshError> {
+        self.refresh_inner(upstreams, &Timeline::Fixed(now))
+    }
+
+    /// One refresh cycle driven by a shared virtual clock: `axis` maps
+    /// the clock's virtual milliseconds onto wall seconds, every retry
+    /// backoff and timeout advances the clock, and breaker cooldowns are
+    /// measured against it. Wrap the upstream transports with
+    /// [`rootd::FaultyTransport::with_clock`] on the *same* handle and
+    /// fault windows become windows in the client's own time — waiting
+    /// (backing off) is then a real strategy against a bounded blackhole.
+    pub fn refresh_on_clock<T: Transport>(
+        &mut self,
+        upstreams: &mut [(RootLetter, T)],
+        clock: &ClockHandle,
+        axis: TimeAxis,
+    ) -> Result<RefreshOutcome, RefreshError> {
+        self.refresh_inner(
+            upstreams,
+            &Timeline::Clock {
+                clock: clock.clone(),
+                axis,
+            },
+        )
+    }
+
+    fn refresh_inner<T: Transport>(
+        &mut self,
+        upstreams: &mut [(RootLetter, T)],
+        timeline: &Timeline,
+    ) -> Result<RefreshOutcome, RefreshError> {
         if upstreams.is_empty() {
             return Err(RefreshError::NoUpstreams);
         }
@@ -229,22 +341,31 @@ impl LocalRoot {
         let mut upstream_serial = u32::MAX;
         for &idx in &order {
             let letter = upstreams[idx].0;
-            if !self.health.entry(letter).or_default().available(now) {
+            if !self
+                .health
+                .entry(letter)
+                .or_default()
+                .available(timeline.now())
+            {
                 continue;
             }
             if let Some(serial) = poll_serial_wire(
                 &mut upstreams[idx].1,
                 idx as u64,
                 cycle,
-                &self.retry,
-                &mut self.metrics,
+                &mut RefreshCtx {
+                    retry: &self.retry,
+                    timeline,
+                    metrics: &mut self.metrics,
+                    backoff_log: &mut self.backoff_log,
+                },
             ) {
                 upstream_serial = serial;
                 break;
             }
         }
         if let Some(cur) = self.current_serial() {
-            if cur >= upstream_serial && self.is_serving(now) {
+            if cur >= upstream_serial && self.is_serving(timeline.now()) {
                 return Ok(RefreshOutcome::AlreadyCurrent { serial: cur });
             }
         }
@@ -256,7 +377,12 @@ impl LocalRoot {
         let mut tried = 0u32;
         for (k, &idx) in order.iter().enumerate() {
             let letter = upstreams[idx].0;
-            if !self.health.entry(letter).or_default().available(now) {
+            if !self
+                .health
+                .entry(letter)
+                .or_default()
+                .available(timeline.now())
+            {
                 self.metrics.upstreams_skipped_dead += 1;
                 continue;
             }
@@ -266,17 +392,20 @@ impl LocalRoot {
                 &mut upstreams[idx].1,
                 idx as u64,
                 cycle,
-                now,
                 &self.policy,
-                &self.retry,
-                &mut self.metrics,
+                &mut RefreshCtx {
+                    retry: &self.retry,
+                    timeline,
+                    metrics: &mut self.metrics,
+                    backoff_log: &mut self.backoff_log,
+                },
             ) {
                 Ok(zone) => {
                     let serial = zone.serial().unwrap_or(0);
                     self.metrics.transfers_accepted += 1;
                     self.health.entry(letter).or_default().on_success();
                     self.current = Some(Arc::new(zone));
-                    self.activated_at = now;
+                    self.activated_at = timeline.now();
                     // Advance rotation past the successful upstream.
                     self.next_upstream = (idx + 1) % n;
                     return Ok(RefreshOutcome::Updated {
@@ -295,7 +424,7 @@ impl LocalRoot {
                         .health
                         .entry(letter)
                         .or_default()
-                        .on_failure(now, &self.retry)
+                        .on_failure(timeline.now(), &self.retry)
                     {
                         self.metrics.breaker_opened += 1;
                     }
@@ -459,36 +588,34 @@ fn poll_serial_wire<T: Transport>(
     transport: &mut T,
     upstream: u64,
     cycle: u64,
-    retry: &RetryPolicy,
-    metrics: &mut Metrics,
+    ctx: &mut RefreshCtx<'_>,
 ) -> Option<u32> {
-    for attempt in 0..retry.attempts {
+    for attempt in 0..ctx.retry.attempts {
         if attempt > 0 {
-            metrics.retries += 1;
-            metrics.backoff_ms_total += retry.backoff_ms(upstream, cycle, attempt);
+            ctx.wait_backoff(upstream, cycle, attempt);
         }
         let mut rng =
-            SimRng::new(retry.seed).derive_ids(&[0x50a0, upstream, cycle, attempt as u64]);
+            SimRng::new(ctx.retry.seed).derive_ids(&[0x50a0, upstream, cycle, attempt as u64]);
         let id = rng.next_u64() as u16;
         let wire = Message::query(id, Question::new(Name::root(), RrType::Soa)).to_wire();
         let resp = match transport.exchange_udp(&wire) {
             Ok(Some(raw)) => match parse_checked(&raw, id) {
                 ParsedUdp::Ok(resp) => Some(resp),
                 ParsedUdp::Truncated => {
-                    metrics.tcp_fallbacks += 1;
-                    query_over_tcp(transport, &wire, id, metrics)
+                    ctx.metrics.tcp_fallbacks += 1;
+                    query_over_tcp(transport, &wire, id, ctx.metrics)
                 }
                 ParsedUdp::Garbage => {
                     // Corruption may live on the UDP path only (a faulty
                     // middlebox): retry over TCP before burning the
                     // attempt.
-                    metrics.garbage_responses += 1;
-                    metrics.tcp_fallbacks += 1;
-                    query_over_tcp(transport, &wire, id, metrics)
+                    ctx.metrics.garbage_responses += 1;
+                    ctx.metrics.tcp_fallbacks += 1;
+                    query_over_tcp(transport, &wire, id, ctx.metrics)
                 }
             },
             Ok(None) | Err(TransportError::Timeout) => {
-                metrics.timeouts += 1;
+                ctx.metrics.timeouts += 1;
                 None
             }
             Err(_) => None,
@@ -521,29 +648,26 @@ fn transfer_wire<T: Transport>(
     transport: &mut T,
     upstream: u64,
     cycle: u64,
-    now: u32,
     policy: &ValidationPolicy,
-    retry: &RetryPolicy,
-    metrics: &mut Metrics,
+    ctx: &mut RefreshCtx<'_>,
 ) -> Result<Zone, TransferRejected> {
     let mut last = TransferRejected {
         message: String::from("no attempt made"),
         protocol_level: true,
     };
-    for attempt in 0..retry.attempts {
+    for attempt in 0..ctx.retry.attempts {
         if attempt > 0 {
-            metrics.retries += 1;
-            metrics.backoff_ms_total += retry.backoff_ms(upstream, cycle, attempt);
+            ctx.wait_backoff(upstream, cycle, attempt);
         }
         let mut rng =
-            SimRng::new(retry.seed).derive_ids(&[0xafa5, upstream, cycle, attempt as u64]);
+            SimRng::new(ctx.retry.seed).derive_ids(&[0xafa5, upstream, cycle, attempt as u64]);
         let id = rng.next_u64() as u16;
         let q = Message::query(id, Question::new(Name::root(), RrType::Axfr));
         let frames = match transport.exchange_tcp(&q.to_wire()) {
             Ok(frames) => frames,
             Err(e) => {
                 if matches!(e, TransportError::Timeout) {
-                    metrics.timeouts += 1;
+                    ctx.metrics.timeouts += 1;
                 }
                 last = TransferRejected {
                     message: format!("transfer failed: {e}"),
@@ -559,7 +683,7 @@ fn transfer_wire<T: Transport>(
         {
             Ok(messages) => messages,
             Err(e) => {
-                metrics.garbage_responses += 1;
+                ctx.metrics.garbage_responses += 1;
                 last = TransferRejected {
                     message: format!("transfer frame unparseable: {e:?}"),
                     protocol_level: true,
@@ -577,7 +701,7 @@ fn transfer_wire<T: Transport>(
                 continue;
             }
         };
-        return validate_copy(&zone, now, policy).map(|()| zone);
+        return validate_copy(&zone, ctx.timeline.now(), policy).map(|()| zone);
     }
     Err(last)
 }
@@ -930,6 +1054,105 @@ mod tests {
         let timeouts_before = lr.metrics.timeouts;
         lr.refresh_wire(&mut wired, T0 + 120).unwrap();
         assert_eq!(lr.metrics.timeouts, timeouts_before);
+    }
+
+    /// Wrap each upstream in a FaultyTransport sharing `clock`.
+    fn clock_upstreams(
+        ups: &UpstreamSet,
+        plan: &Arc<FaultPlan>,
+        clock: &simclock::ClockHandle,
+    ) -> Vec<(RootLetter, FaultyTransport<InprocTransport>)> {
+        ups.servers
+            .iter()
+            .enumerate()
+            .map(|(i, (letter, server))| {
+                (
+                    *letter,
+                    FaultyTransport::new(upstream_transport(server), Arc::clone(plan), i as u64)
+                        .with_clock(clock.clone()),
+                )
+            })
+            .collect()
+    }
+
+    /// The PR's headline regression: a blackhole bounded in *time* is
+    /// escaped by backing off on the shared clock. Under the old
+    /// private-clock transport (1 ms per exchange, waits invisible) a
+    /// client could never wait out a millisecond window.
+    #[test]
+    fn backoff_alone_escapes_a_bounded_blackhole() {
+        let ups = healthy_set();
+        let plan = Arc::new(
+            FaultPlan::clean(11)
+                .with_timeout_ms(200)
+                .with_default(FaultSpec {
+                    blackholes: vec![(0, 5_000)],
+                    ..FaultSpec::clean()
+                }),
+        );
+        let clock = simclock::ClockHandle::new();
+        let axis = simclock::TimeAxis::anchored_at(T0);
+        let mut wired = clock_upstreams(&ups, &plan, &clock);
+        let mut lr = LocalRoot::new(ValidationPolicy::default());
+        lr.retry.attempts = 6;
+        // Timeout waits alone cannot cross the window: the escape below
+        // is purely the exponential backoff advancing the shared clock.
+        assert!((lr.retry.attempts as u64) * plan.client_timeout_ms < 5_000);
+        let out = lr.refresh_on_clock(&mut wired, &clock, axis).unwrap();
+        assert!(matches!(
+            out,
+            RefreshOutcome::Updated {
+                serial: 2023120600,
+                from_upstream: 0,
+                ..
+            }
+        ));
+        assert!(clock.now_ms() >= 5_000, "clock = {}", clock.now_ms());
+        assert!(lr.metrics.timeouts > 0, "the window cost timeouts first");
+        assert!(!lr.backoff_log.is_empty());
+        // The copy was activated at the post-escape wall time, not T0.
+        assert!(lr.is_serving(axis.now_wall(&clock)));
+    }
+
+    /// Satellite: backoff jitter keyed on clock time (not per-client
+    /// cycle counters) makes the whole schedule a pure function of the
+    /// timeline — bit-identical across runs and across however many
+    /// threads run other clients concurrently.
+    #[test]
+    fn clock_backoff_schedule_replays_bit_identically_across_threads() {
+        let run = || {
+            let ups = healthy_set();
+            let plan = Arc::new(FaultPlan::clean(11).with_timeout_ms(200).with_default(
+                FaultSpec {
+                    blackholes: vec![(0, 5_000)],
+                    ..FaultSpec::clean()
+                },
+            ));
+            let clock = simclock::ClockHandle::new();
+            let mut wired = clock_upstreams(&ups, &plan, &clock);
+            let mut lr = LocalRoot::new(ValidationPolicy::default());
+            lr.retry.attempts = 6;
+            let out = lr
+                .refresh_on_clock(&mut wired, &clock, simclock::TimeAxis::anchored_at(T0))
+                .unwrap();
+            (out, lr.backoff_log, lr.metrics, clock.now_ms())
+        };
+        let baseline = run();
+        assert!(!baseline.1.is_empty());
+        // Re-run on this thread and on several others at once: every
+        // client owns its clock, so nothing ambient can skew the waits.
+        assert_eq!(baseline, run());
+        let concurrent: Vec<_> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| scope.spawn(run))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for got in concurrent {
+            assert_eq!(baseline, got);
+        }
     }
 
     #[test]

@@ -23,10 +23,27 @@
 //! A plan whose spec [`is_clean`](FaultSpec::is_clean) short-circuits to
 //! the inner transport — byte-identical responses (asserted by
 //! `tests/chaos_refresh.rs`) at a branch's worth of overhead (the
-//! `rootd/serve_faultfree_wrapped` bench records it).
+//! `rootd/serve_faultfree_wrapped` bench records it; cleanliness is
+//! precomputed at construction so the fast path never touches the plan).
+//!
+//! ## Time
+//!
+//! Fault windows are defined on the [`simclock`] virtual-ms axis. Each
+//! transport holds a [`ClockHandle`]; by default it is private, and
+//! [`with_clock`](FaultyTransport::with_clock) shares one clock across
+//! the transport and its client so that client waits (retry backoff,
+//! timeout waits) move the same timeline the fault windows are declared
+//! on. Exchanges bill outcome-based time: a blackholed or dropped
+//! exchange costs the client timeout, a delayed response costs
+//! `min(delay, timeout)`, a clean exchange costs nothing. Callers that
+//! precompute arrival times (the load generator) pin one exchange to an
+//! explicit instant with [`at_time`](FaultyTransport::at_time) — in that
+//! mode the transport never writes the clock, which keeps fault totals
+//! independent of worker partitioning.
 
 use crate::transport::{Transport, TransportError};
 use netsim::rng::SimRng;
+use simclock::ClockHandle;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -49,9 +66,9 @@ impl Protocol {
 
 /// The fault mix applied to one (upstream, protocol) pair.
 ///
-/// Probabilities are per exchange; delays are virtual milliseconds
-/// accumulated on the transport's [`FaultyTransport::virtual_ms`] clock
-/// (nothing sleeps — determinism over realism).
+/// Probabilities are per exchange; delays are virtual milliseconds on
+/// the transport's shared [`ClockHandle`] (nothing sleeps — determinism
+/// over realism).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultSpec {
     /// Probability the request (or its response) is silently lost.
@@ -148,6 +165,11 @@ impl Default for FaultSpec {
 }
 
 /// A seeded, per-upstream, per-protocol fault schedule.
+///
+/// Overrides are *windows* on the virtual-ms axis: [`set`](FaultPlan::set)
+/// installs an all-of-time override, [`set_windowed`](FaultPlan::set_windowed)
+/// a bounded one (how scenario events project onto the wire). Outside
+/// every window the default spec applies.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     /// Master seed every fault decision derives from.
@@ -156,8 +178,12 @@ pub struct FaultPlan {
     /// timeout (the response arrives after the client stopped waiting).
     pub client_timeout_ms: u64,
     default_spec: FaultSpec,
-    per_upstream: HashMap<(u64, Protocol), FaultSpec>,
+    per_upstream: HashMap<(u64, Protocol), Vec<FaultWindow>>,
 }
+
+/// One scheduled override: the virtual-ms window `[start, end)` and the
+/// spec applied inside it.
+type FaultWindow = (u64, u64, FaultSpec);
 
 impl FaultPlan {
     /// A plan that injects nothing (useful as the wrap-overhead baseline).
@@ -182,9 +208,27 @@ impl FaultPlan {
         self
     }
 
-    /// Schedule `spec` for one (upstream, protocol) pair.
+    /// Schedule `spec` for one (upstream, protocol) pair across all of
+    /// virtual time, replacing any existing windows.
     pub fn set(&mut self, upstream: u64, proto: Protocol, spec: FaultSpec) {
-        self.per_upstream.insert((upstream, proto), spec);
+        self.per_upstream
+            .insert((upstream, proto), vec![(0, u64::MAX, spec)]);
+    }
+
+    /// Schedule `spec` for one (upstream, protocol) pair during the
+    /// virtual-ms window `[start_ms, end_ms)`. Windows are consulted in
+    /// insertion order; the first one containing the exchange time wins.
+    pub fn set_windowed(
+        &mut self,
+        upstream: u64,
+        proto: Protocol,
+        window: (u64, u64),
+        spec: FaultSpec,
+    ) {
+        self.per_upstream
+            .entry((upstream, proto))
+            .or_default()
+            .push((window.0, window.1, spec));
     }
 
     /// Schedule `spec` for both protocols of `upstream`.
@@ -193,11 +237,42 @@ impl FaultPlan {
         self.set(upstream, Protocol::Tcp, spec);
     }
 
-    /// The spec in force for one (upstream, protocol) pair.
+    /// Schedule `spec` for both protocols of `upstream` during one
+    /// virtual-ms window.
+    pub fn set_both_windowed(&mut self, upstream: u64, window: (u64, u64), spec: FaultSpec) {
+        self.set_windowed(upstream, Protocol::Udp, window, spec.clone());
+        self.set_windowed(upstream, Protocol::Tcp, window, spec);
+    }
+
+    /// The spec in force for one (upstream, protocol) pair at virtual
+    /// time zero — the whole story for plans built with [`set`](FaultPlan::set).
     pub fn spec(&self, upstream: u64, proto: Protocol) -> &FaultSpec {
+        self.spec_at(upstream, proto, 0)
+    }
+
+    /// The spec in force for one (upstream, protocol) pair at virtual
+    /// time `t_ms`.
+    pub fn spec_at(&self, upstream: u64, proto: Protocol, t_ms: u64) -> &FaultSpec {
         self.per_upstream
             .get(&(upstream, proto))
+            .and_then(|windows| {
+                windows
+                    .iter()
+                    .find(|&&(s, e, _)| t_ms >= s && t_ms < e)
+                    .map(|(_, _, spec)| spec)
+            })
             .unwrap_or(&self.default_spec)
+    }
+
+    /// Whether no window or default could ever perturb this (upstream,
+    /// protocol) pair — precomputed by [`FaultyTransport::new`] so the
+    /// per-exchange fast path is a boolean test, not a plan lookup.
+    fn always_clean(&self, upstream: u64, proto: Protocol) -> bool {
+        self.default_spec.is_clean()
+            && !self
+                .per_upstream
+                .get(&(upstream, proto))
+                .is_some_and(|windows| windows.iter().any(|(_, _, spec)| !spec.is_clean()))
     }
 }
 
@@ -290,9 +365,19 @@ pub struct FaultyTransport<T: Transport> {
     ///
     /// [`with_next_key`]: FaultyTransport::with_next_key
     next_key: Option<u64>,
-    /// Virtual clock, advanced by injected latency (min 1 ms/exchange so
-    /// blackhole windows progress even under a zero-delay spec).
-    clock_ms: u64,
+    /// The virtual clock fault windows are evaluated against. Private by
+    /// default; [`with_clock`](FaultyTransport::with_clock) shares the
+    /// client's clock so its waits and our windows live on one axis.
+    clock: ClockHandle,
+    /// Explicit instant for the next exchange (see [`at_time`]); while an
+    /// exchange is pinned this way the clock is read-only.
+    ///
+    /// [`at_time`]: FaultyTransport::at_time
+    next_time: Option<u64>,
+    /// Precomputed per-protocol "this plan can never perturb us" flags —
+    /// the zero-fault fast path costs a boolean test, not a plan lookup.
+    clean_udp: bool,
+    clean_tcp: bool,
     /// Datagrams in flight: delayed past the timeout or duplicated, they
     /// linger here until a reorder decision delivers one.
     pending: VecDeque<Vec<u8>>,
@@ -300,18 +385,34 @@ pub struct FaultyTransport<T: Transport> {
 }
 
 impl<T: Transport> FaultyTransport<T> {
-    /// Wrap `inner`, applying the faults `plan` schedules for `upstream`.
+    /// Wrap `inner`, applying the faults `plan` schedules for `upstream`,
+    /// on a private clock starting at 0 ms.
     pub fn new(inner: T, plan: Arc<FaultPlan>, upstream: u64) -> FaultyTransport<T> {
+        let clean_udp = plan.always_clean(upstream, Protocol::Udp);
+        let clean_tcp = plan.always_clean(upstream, Protocol::Tcp);
         FaultyTransport {
             inner,
             plan,
             upstream,
             seq: 0,
             next_key: None,
-            clock_ms: 0,
+            clock: ClockHandle::new(),
+            next_time: None,
+            clean_udp,
+            clean_tcp,
             pending: VecDeque::new(),
             counters: FaultCounters::default(),
         }
+    }
+
+    /// Share `clock` with this transport: fault windows are evaluated at
+    /// the instant the clock shows when an exchange starts, and exchange
+    /// outcomes advance it (a timeout costs the client timeout, a delayed
+    /// answer its delay). Anything else holding the handle — retry
+    /// backoff, a scheduler — moves the same timeline.
+    pub fn with_clock(mut self, clock: ClockHandle) -> FaultyTransport<T> {
+        self.clock = clock;
+        self
     }
 
     /// Key the next exchange's fault derivation explicitly instead of by
@@ -323,6 +424,16 @@ impl<T: Transport> FaultyTransport<T> {
         self
     }
 
+    /// Pin the next exchange to virtual instant `t_ms` instead of the
+    /// clock's current reading. The exchange never writes the clock:
+    /// callers that precompute arrival schedules (the load generator)
+    /// stay deterministic across worker partitioning because no thread
+    /// interleaving can skew the times windows are evaluated at.
+    pub fn at_time(&mut self, t_ms: u64) -> &mut Self {
+        self.next_time = Some(t_ms);
+        self
+    }
+
     /// Counters accumulated so far.
     pub fn counters(&self) -> FaultCounters {
         self.counters
@@ -330,7 +441,12 @@ impl<T: Transport> FaultyTransport<T> {
 
     /// Current virtual time in milliseconds.
     pub fn virtual_ms(&self) -> u64 {
-        self.clock_ms
+        self.clock.now_ms()
+    }
+
+    /// The clock this transport evaluates fault windows against.
+    pub fn clock(&self) -> &ClockHandle {
+        &self.clock
     }
 
     /// The wrapped transport.
@@ -347,9 +463,29 @@ impl<T: Transport> FaultyTransport<T> {
         SimRng::new(self.plan.seed).derive_ids(&[0xfa17, self.upstream, proto.id(), key])
     }
 
-    /// Draw the injected latency and advance the virtual clock. Returns
-    /// `(exchange start time, injected delay)`.
-    fn advance_clock(&mut self, spec: &FaultSpec, rng: &mut SimRng) -> (u64, u64) {
+    /// The instant this exchange happens at: an explicit [`at_time`]
+    /// pin, or the shared clock's current reading. Returns `(t0,
+    /// pinned)`; a pinned exchange must not write the clock.
+    ///
+    /// [`at_time`]: FaultyTransport::at_time
+    fn begin(&mut self) -> (u64, bool) {
+        match self.next_time.take() {
+            Some(t) => (t, true),
+            None => (self.clock.now_ms(), false),
+        }
+    }
+
+    /// Bill `wait_ms` of client-visible waiting to the shared clock —
+    /// unless the exchange was pinned to an explicit instant, in which
+    /// case the caller owns the timeline.
+    fn bill(&mut self, pinned: bool, wait_ms: u64) {
+        if !pinned && wait_ms > 0 {
+            self.clock.advance(wait_ms);
+        }
+    }
+
+    /// Draw the injected latency for this exchange (fixed + jitter).
+    fn draw_delay(&mut self, spec: &FaultSpec, rng: &mut SimRng) -> u64 {
         let jitter = if spec.delay_jitter_ms > 0 {
             rng.next_range(spec.delay_jitter_ms as usize + 1) as u64
         } else {
@@ -359,9 +495,7 @@ impl<T: Transport> FaultyTransport<T> {
         if delay > 0 {
             self.counters.delayed += 1;
         }
-        let t0 = self.clock_ms;
-        self.clock_ms += delay.max(1);
-        (t0, delay)
+        delay
     }
 }
 
@@ -384,19 +518,28 @@ fn garble(buf: &mut [u8], rng: &mut SimRng) {
 impl<T: Transport> Transport for FaultyTransport<T> {
     fn exchange_udp(&mut self, request: &[u8]) -> Result<Option<Vec<u8>>, TransportError> {
         self.counters.exchanges += 1;
-        let spec = self.plan.spec(self.upstream, Protocol::Udp).clone();
-        if spec.is_clean() {
+        if self.clean_udp {
             self.seq += 1;
             self.next_key = None;
-            self.clock_ms += 1;
+            self.next_time = None;
             self.counters.clean += 1;
             return self.inner.exchange_udp(request);
         }
+        let (t0, pinned) = self.begin();
+        let spec = self.plan.spec_at(self.upstream, Protocol::Udp, t0).clone();
+        if spec.is_clean() {
+            // Outside every fault window: forward untouched, cost nothing.
+            self.seq += 1;
+            self.next_key = None;
+            self.counters.clean += 1;
+            return self.inner.exchange_udp(request);
+        }
+        let timeout = self.plan.client_timeout_ms;
         let mut rng = self.dice(Protocol::Udp);
         // All dice are rolled up front, in a fixed order, so every counter
         // is a pure function of the exchange key even when an earlier
         // fault preempts a later one.
-        let (t0, delay) = self.advance_clock(&spec, &mut rng);
+        let delay = self.draw_delay(&spec, &mut rng);
         let dropped = rng.chance(spec.drop_prob);
         let garbage = rng.chance(spec.garbage_prob);
         let bitflip = rng.chance(spec.bitflip_prob);
@@ -404,22 +547,27 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         let duplicate = rng.chance(spec.dup_prob);
         if spec.blackholed(t0) {
             self.counters.blackholed += 1;
+            self.bill(pinned, timeout);
             return Ok(None);
         }
         if dropped {
             self.counters.drops += 1;
+            self.bill(pinned, timeout);
             return Ok(None);
         }
         let Some(mut resp) = self.inner.exchange_udp(request)? else {
+            self.bill(pinned, timeout);
             return Ok(None);
         };
-        if delay > self.plan.client_timeout_ms {
+        if delay > timeout {
             // The answer exists but lands after the client gave up; it
             // lingers in flight, and a later reorder may deliver it.
             self.counters.timeouts_induced += 1;
             self.pending.push_back(resp);
+            self.bill(pinned, timeout);
             return Ok(None);
         }
+        self.bill(pinned, delay);
         if garbage {
             self.counters.garbage += 1;
             garble(&mut resp, &mut rng);
@@ -443,16 +591,24 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 
     fn exchange_tcp(&mut self, request: &[u8]) -> Result<Vec<Vec<u8>>, TransportError> {
         self.counters.exchanges += 1;
-        let spec = self.plan.spec(self.upstream, Protocol::Tcp).clone();
-        if spec.is_clean() {
+        if self.clean_tcp {
             self.seq += 1;
             self.next_key = None;
-            self.clock_ms += 1;
+            self.next_time = None;
             self.counters.clean += 1;
             return self.inner.exchange_tcp(request);
         }
+        let (t0, pinned) = self.begin();
+        let spec = self.plan.spec_at(self.upstream, Protocol::Tcp, t0).clone();
+        if spec.is_clean() {
+            self.seq += 1;
+            self.next_key = None;
+            self.counters.clean += 1;
+            return self.inner.exchange_tcp(request);
+        }
+        let timeout = self.plan.client_timeout_ms;
         let mut rng = self.dice(Protocol::Tcp);
-        let (t0, delay) = self.advance_clock(&spec, &mut rng);
+        let delay = self.draw_delay(&spec, &mut rng);
         let dropped = rng.chance(spec.drop_prob);
         let truncate = rng.chance(spec.truncate_stream_prob);
         let garbage = rng.chance(spec.garbage_prob);
@@ -461,17 +617,21 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         let reorder = rng.chance(spec.reorder_prob);
         if spec.blackholed(t0) {
             self.counters.blackholed += 1;
+            self.bill(pinned, timeout);
             return Err(TransportError::Timeout);
         }
         if dropped {
             self.counters.drops += 1;
+            self.bill(pinned, timeout);
             return Err(TransportError::Timeout);
         }
         let mut frames = self.inner.exchange_tcp(request)?;
-        if delay > self.plan.client_timeout_ms {
+        if delay > timeout {
             self.counters.timeouts_induced += 1;
+            self.bill(pinned, timeout);
             return Err(TransportError::Timeout);
         }
+        self.bill(pinned, delay);
         if frames.is_empty() {
             return Ok(frames);
         }
@@ -706,7 +866,66 @@ mod tests {
         let mut t = FaultyTransport::new(inproc(), plan, 0);
         assert_eq!(t.exchange_udp(&soa_query(1)).unwrap(), None);
         assert_eq!(t.counters().timeouts_induced, 1);
-        assert!(t.virtual_ms() >= 5_000);
+        // The client waits its timeout — not the full injected delay the
+        // response is still in flight for.
+        assert_eq!(t.virtual_ms(), 1_000);
+    }
+
+    #[test]
+    fn a_shared_clock_lets_waits_move_fault_windows() {
+        // Blackhole for the first 5 s of virtual time only.
+        let spec = FaultSpec {
+            blackholes: vec![(0, 5_000)],
+            ..FaultSpec::clean()
+        };
+        let plan = Arc::new(FaultPlan::clean(2).with_default(spec));
+        let clock = ClockHandle::new();
+        let mut t = FaultyTransport::new(inproc(), plan, 0).with_clock(clock.clone());
+        // Inside the window: swallowed, and the timeout it cost moved the
+        // shared clock.
+        assert_eq!(t.exchange_udp(&soa_query(1)).unwrap(), None);
+        assert_eq!(clock.now_ms(), 1_000);
+        // The client backs off on the same clock...
+        clock.sleep(4_000);
+        // ...and the very same upstream answers: the window was time, not
+        // an exchange count.
+        assert!(t.exchange_udp(&soa_query(2)).unwrap().is_some());
+        assert_eq!(t.counters().blackholed, 1);
+    }
+
+    #[test]
+    fn windowed_specs_apply_only_inside_their_window() {
+        let mut plan = FaultPlan::clean(4);
+        plan.set_windowed(0, Protocol::Udp, (2_000, 3_000), FaultSpec::loss(1.0));
+        let plan = Arc::new(plan);
+        let mut t = FaultyTransport::new(inproc(), plan, 0);
+        // Before the window: clean.
+        assert!(t.at_time(0).exchange_udp(&soa_query(1)).unwrap().is_some());
+        // Inside: total loss.
+        assert_eq!(t.at_time(2_500).exchange_udp(&soa_query(2)).unwrap(), None);
+        // After: clean again.
+        assert!(t
+            .at_time(3_000)
+            .exchange_udp(&soa_query(3))
+            .unwrap()
+            .is_some());
+        let c = t.counters();
+        assert_eq!((c.clean, c.drops), (2, 1));
+    }
+
+    #[test]
+    fn pinned_exchanges_never_write_the_clock() {
+        let plan = Arc::new(
+            FaultPlan::clean(6)
+                .with_timeout_ms(1_000)
+                .with_default(FaultSpec::loss(1.0)),
+        );
+        let mut t = FaultyTransport::new(inproc(), plan, 0);
+        assert_eq!(t.at_time(7_000).exchange_udp(&soa_query(1)).unwrap(), None);
+        assert_eq!(t.virtual_ms(), 0, "pinned exchange must not bill time");
+        // An unpinned drop bills the client timeout.
+        assert_eq!(t.exchange_udp(&soa_query(2)).unwrap(), None);
+        assert_eq!(t.virtual_ms(), 1_000);
     }
 
     #[test]

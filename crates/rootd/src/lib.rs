@@ -38,7 +38,7 @@ pub use cache::AnswerCache;
 pub use engine::{Rootd, ServeOutcome, SiteIdentity};
 pub use faults::{FaultCounters, FaultPlan, FaultSpec, FaultyTransport, Protocol};
 pub use index::{Lookup, Referral, ZoneIndex};
-pub use loadgen::{LoadReport, LoadgenConfig, QueryMix};
+pub use loadgen::{ArrivalSchedule, LoadReport, LoadgenConfig, QueryMix};
 pub use transport::{
     InprocTransport, LoopbackServer, LoopbackTransport, Transport, TransportError,
 };

@@ -89,6 +89,28 @@ impl Default for QueryMix {
     }
 }
 
+/// Deterministic client arrivals on the shared virtual-ms axis: global
+/// query `g` arrives at `start_ms + g * interarrival_ms`, and each retry
+/// waits one client timeout. Arrival instants are a pure function of the
+/// global query index — not of which worker runs it or what any shared
+/// clock reads — which is what keeps time-windowed fault totals
+/// independent of the worker-thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalSchedule {
+    /// Virtual instant of the first query.
+    pub start_ms: u64,
+    /// Virtual gap between consecutive (global) queries.
+    pub interarrival_ms: u64,
+}
+
+impl ArrivalSchedule {
+    /// The virtual instant attempt `attempt` of global query `global`
+    /// is pinned to.
+    pub fn attempt_at(&self, global: u64, attempt: u64, timeout_ms: u64) -> u64 {
+        self.start_ms + global * self.interarrival_ms + attempt * timeout_ms
+    }
+}
+
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -107,6 +129,11 @@ pub struct LoadgenConfig {
     /// retry loop with client-visible timeout/retry counters. `None` is
     /// the direct zero-allocation serve path.
     pub faults: Option<FaultPlan>,
+    /// When set (fault mode only), each attempt is pinned to its
+    /// scheduled virtual instant, so the plan's *time* windows — outages,
+    /// scenario events projected by `fault_plan_on_clock` — hit exactly
+    /// the queries that arrive inside them, on any thread count.
+    pub arrivals: Option<ArrivalSchedule>,
 }
 
 impl LoadgenConfig {
@@ -119,6 +146,7 @@ impl LoadgenConfig {
             seed,
             mix: QueryMix::broot(),
             faults: None,
+            arrivals: None,
         }
     }
 }
@@ -540,6 +568,18 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
                         let mut answered = false;
                         for attempt in 0..CLIENT_ATTEMPTS {
                             transport.with_next_key((global as u64) * CLIENT_ATTEMPTS + attempt);
+                            if let Some(sched) = cfg.arrivals {
+                                // Pin the attempt to its scheduled virtual
+                                // instant: window membership becomes a pure
+                                // function of the global index, so no
+                                // thread's progress can skew which fault
+                                // window another thread's queries land in.
+                                transport.at_time(sched.attempt_at(
+                                    global as u64,
+                                    attempt,
+                                    plan.client_timeout_ms,
+                                ));
+                            }
                             match transport.exchange_udp(&wire) {
                                 Ok(Some(bytes)) if response_is_plausible(&bytes, &wire) => {
                                     classify(&mut stats, site, &bytes);
@@ -828,6 +868,50 @@ mod tests {
             "{} unanswered",
             a.unanswered
         );
+    }
+
+    #[test]
+    fn arrival_schedule_pins_time_windows_across_worker_counts() {
+        use crate::faults::FaultSpec;
+        let fleet = fleet();
+        // All sites go dark for the first virtual second. With one query
+        // arriving per virtual ms, exactly the first 1000 queries start
+        // inside the window — and their first retry (one client timeout
+        // later) lands outside it.
+        let plan = FaultPlan::clean(5).with_default(FaultSpec {
+            blackholes: vec![(0, 1_000)],
+            ..FaultSpec::clean()
+        });
+        let cfg = LoadgenConfig {
+            queries: 2_000,
+            faults: Some(plan),
+            arrivals: Some(ArrivalSchedule {
+                start_ms: 0,
+                interarrival_ms: 1,
+            }),
+            ..LoadgenConfig::tiny(7)
+        };
+        let a = run(&fleet, &cfg);
+        assert_eq!(a.fault_counters.blackholed, 1_000);
+        assert_eq!(a.timeouts, 1_000);
+        assert_eq!(a.retries, 1_000);
+        assert_eq!(a.unanswered, 0);
+        assert_eq!(a.responses, cfg.queries);
+        // Window membership is a pure function of the global query index,
+        // so no worker count can shift which queries the outage hits.
+        for threads in [1, 5] {
+            let b = run(
+                &fleet,
+                &LoadgenConfig {
+                    threads,
+                    ..cfg.clone()
+                },
+            );
+            assert_eq!(a.fault_counters, b.fault_counters);
+            assert_eq!(a.timeouts, b.timeouts);
+            assert_eq!(a.retries, b.retries);
+            assert_eq!(a.unanswered, b.unanswered);
+        }
     }
 
     #[test]

@@ -17,10 +17,17 @@
 //! scenario engine's zone generation — they corrupt *data*, not the
 //! wire, and the refresh client must catch them via validation rather
 //! than transport errors.
+//!
+//! Two projections exist: [`fault_plan_at`] freezes the events active at
+//! one wall instant (for code that steps time itself), while
+//! [`fault_plan_on_clock`] maps every event window onto a shared
+//! [`simclock`] axis so one plan serves an entire clock-driven run.
 
 use crate::event::{DegradedMode, EventKind};
 use crate::timeline::Scenario;
 use rootd::{FaultPlan, FaultSpec};
+use rss::RootLetter;
+use simclock::TimeAxis;
 
 /// Baseline one-exchange latency (virtual ms) that [`EventKind::RttInflation`]
 /// scales. Chosen so factors ≳25 with the default 1 s client timeout start
@@ -38,35 +45,92 @@ pub fn fault_plan_at(scenario: &Scenario, t: u32) -> FaultPlan {
         if t < event.at || t >= event.effective_until() {
             continue;
         }
-        match event.kind {
-            EventKind::Degraded {
-                letter,
-                mode: DegradedMode::BitflipZone { prob },
-            } => {
-                plan.set_both(
-                    letter.index() as u64,
-                    FaultSpec {
-                        bitflip_prob: prob,
-                        ..FaultSpec::clean()
-                    },
-                );
-            }
-            EventKind::RttInflation { letter, factor } => {
-                let delay = (BASE_RTT_MS as f64 * factor) as u64;
-                plan.set_both(
-                    letter.index() as u64,
-                    FaultSpec {
-                        delay_ms: delay,
-                        delay_jitter_ms: delay / 4,
-                        ..FaultSpec::clean()
-                    },
-                );
-            }
-            EventKind::SiteOutage { letter, .. } => {
-                plan.set_both(letter.index() as u64, FaultSpec::blackhole());
-            }
-            _ => {}
+        if let Some((upstream, spec)) = event_spec(&event.kind) {
+            plan.set_both(upstream, spec);
         }
+    }
+    plan
+}
+
+/// The spec one wire-visible event contributes, independent of timing.
+fn event_spec(kind: &EventKind) -> Option<(u64, FaultSpec)> {
+    match *kind {
+        EventKind::Degraded {
+            letter,
+            mode: DegradedMode::BitflipZone { prob },
+        } => Some((
+            letter.index() as u64,
+            FaultSpec {
+                bitflip_prob: prob,
+                ..FaultSpec::clean()
+            },
+        )),
+        EventKind::RttInflation { letter, factor } => {
+            let delay = (BASE_RTT_MS as f64 * factor) as u64;
+            Some((
+                letter.index() as u64,
+                FaultSpec {
+                    delay_ms: delay,
+                    delay_jitter_ms: delay / 4,
+                    ..FaultSpec::clean()
+                },
+            ))
+        }
+        EventKind::SiteOutage { letter, .. } => {
+            Some((letter.index() as u64, FaultSpec::blackhole()))
+        }
+        _ => None,
+    }
+}
+
+/// The whole scenario projected onto one virtual clock: every
+/// wire-visible event becomes a *windowed* per-upstream spec on the
+/// `axis` that maps the scenario's wall-clock seconds onto virtual
+/// milliseconds. Unlike [`fault_plan_at`] — one frozen instant per call —
+/// the returned plan covers the full timeline, so a transport driven by a
+/// shared [`simclock::ClockHandle`] moves *through* the event windows as
+/// its clients spend time: the same plan serves the whole run, and every
+/// fault decision stays a pure function of `(scenario seed, exchange
+/// key)`.
+pub fn fault_plan_on_clock(scenario: &Scenario, axis: TimeAxis) -> FaultPlan {
+    let mut plan = FaultPlan::clean(scenario.seed() ^ 0xc4a0_5000);
+    for event in scenario.events() {
+        let Some((upstream, spec)) = event_spec(&event.kind) else {
+            continue;
+        };
+        let start = axis.wall_to_ms(event.at);
+        let end = match event.until {
+            Some(until) => axis.wall_to_ms(until),
+            None => u64::MAX,
+        };
+        plan.set_both_windowed(upstream, (start, end), spec);
+    }
+    plan
+}
+
+/// The *fleet*-side projection of the same scenario: the load generator
+/// keys its per-site transports by site id (which anycast site answers a
+/// client), so an outage of one of `letter`'s sites becomes a blackhole
+/// window on that site's transport, on the same `axis` the client-seat
+/// plan uses. Letter-wide wire events (RTT inflation, zone bitflips)
+/// describe what *clients of the letter as a whole* experience and stay
+/// with [`fault_plan_on_clock`]; a site outage is the only event
+/// addressed to a specific site.
+pub fn fault_plan_for_fleet(scenario: &Scenario, letter: RootLetter, axis: TimeAxis) -> FaultPlan {
+    let mut plan = FaultPlan::clean(scenario.seed() ^ 0xc4a0_5117);
+    for event in scenario.events() {
+        let EventKind::SiteOutage { letter: l, site } = event.kind else {
+            continue;
+        };
+        if l != letter {
+            continue;
+        }
+        let start = axis.wall_to_ms(event.at);
+        let end = match event.until {
+            Some(until) => axis.wall_to_ms(until),
+            None => u64::MAX,
+        };
+        plan.set_both_windowed(u64::from(site.0), (start, end), FaultSpec::blackhole());
     }
     plan
 }
@@ -142,6 +206,115 @@ mod tests {
         // Permanent RttInflation never expires.
         let d = RootLetter::D.index() as u64;
         assert!(!later.spec(d, Protocol::Udp).is_clean());
+    }
+
+    #[test]
+    fn clock_plan_projects_whole_windows_onto_the_axis() {
+        let s = scenario();
+        // Anchor the axis 100 s before the first event, so event seconds
+        // land at (at - 0) * 1000 virtual ms.
+        let axis = simclock::TimeAxis::anchored_at(0);
+        let plan = fault_plan_on_clock(&s, axis);
+        let a = RootLetter::A.index() as u64;
+        let c = RootLetter::C.index() as u64;
+        let d = RootLetter::D.index() as u64;
+        // Outage window [100 s, 300 s) ⇒ [100_000, 300_000) ms.
+        assert!(plan.spec_at(a, Protocol::Udp, 99_999).is_clean());
+        assert!(!plan
+            .spec_at(a, Protocol::Udp, 100_000)
+            .blackholes
+            .is_empty());
+        assert!(plan.spec_at(a, Protocol::Udp, 300_000).is_clean());
+        // Bitflip window [100 s, 200 s).
+        assert_eq!(plan.spec_at(c, Protocol::Tcp, 150_000).bitflip_prob, 0.25);
+        assert!(plan.spec_at(c, Protocol::Tcp, 200_000).is_clean());
+        // The permanent RTT inflation never ends.
+        assert_eq!(
+            plan.spec_at(d, Protocol::Udp, u64::MAX - 1).delay_ms,
+            50 * BASE_RTT_MS
+        );
+        // At any instant, the clock plan agrees with the frozen plan.
+        for t in [50u32, 160, 250] {
+            let frozen = fault_plan_at(&s, t);
+            let t_ms = axis.wall_to_ms(t);
+            for u in [a, c, d] {
+                assert_eq!(
+                    frozen.spec(u, Protocol::Udp),
+                    plan.spec_at(u, Protocol::Udp, t_ms),
+                    "divergence at t={t} upstream={u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_plan_keys_outages_by_site_id() {
+        let s = scenario();
+        let axis = simclock::TimeAxis::anchored_at(0);
+        // Only the outage addresses a site, and only A's fleet sees it.
+        let plan = fault_plan_for_fleet(&s, RootLetter::A, axis);
+        assert!(!plan
+            .spec_at(0, Protocol::Udp, 150_000)
+            .blackholes
+            .is_empty());
+        assert!(plan.spec_at(0, Protocol::Udp, 99_999).is_clean());
+        assert!(plan.spec_at(0, Protocol::Udp, 300_000).is_clean());
+        // Letter-wide events (bitflip on C, RTT on D) do not project to
+        // any site of their fleets — they are client-seat faults.
+        let c_fleet = fault_plan_for_fleet(&s, RootLetter::C, axis);
+        assert!(c_fleet.spec_at(0, Protocol::Tcp, 150_000).is_clean());
+        // An uninvolved fleet's plan is clean everywhere.
+        let d_fleet = fault_plan_for_fleet(&s, RootLetter::D, axis);
+        assert!(d_fleet.spec_at(0, Protocol::Udp, 200_000).is_clean());
+        // The two projections derive distinct fault streams.
+        assert_ne!(plan.seed, fault_plan_on_clock(&s, axis).seed);
+    }
+
+    #[test]
+    fn event_spec_coverage_matches_wire_visible() {
+        use netsim::AsId;
+        use rss::Renumbering;
+        let kinds = [
+            EventKind::SiteOutage {
+                letter: RootLetter::A,
+                site: SiteId(0),
+            },
+            EventKind::SiteAddition {
+                letter: RootLetter::A,
+                site: SiteId(0),
+            },
+            EventKind::PrefixRenumbering {
+                change: Renumbering::B_ROOT,
+            },
+            EventKind::RouteFlapBurst {
+                letter: RootLetter::A,
+                boost: 2.0,
+            },
+            EventKind::PeeringLinkFailure {
+                a: AsId(1),
+                b: AsId(2),
+            },
+            EventKind::Degraded {
+                letter: RootLetter::A,
+                mode: DegradedMode::BitflipZone { prob: 0.1 },
+            },
+            EventKind::Degraded {
+                letter: RootLetter::A,
+                mode: DegradedMode::StaleZone { stuck_day: 0 },
+            },
+            EventKind::RttInflation {
+                letter: RootLetter::A,
+                factor: 2.0,
+            },
+        ];
+        for kind in kinds {
+            assert_eq!(
+                event_spec(&kind).is_some(),
+                kind.wire_visible(),
+                "projection and predicate disagree on {}",
+                kind.label()
+            );
+        }
     }
 
     #[test]

@@ -83,6 +83,24 @@ impl EventKind {
         }
     }
 
+    /// Whether the event has a wire-visible signature a transport-level
+    /// fault plan can express: site outages (dead air), RTT inflation
+    /// (delay), and zone bitflips (corrupt bytes). Routing-only and
+    /// zone-content events are invisible at the transport layer — the
+    /// `chaos` projections skip exactly the kinds this returns `false`
+    /// for (a test pins the two in sync).
+    pub fn wire_visible(&self) -> bool {
+        matches!(
+            self,
+            EventKind::SiteOutage { .. }
+                | EventKind::RttInflation { .. }
+                | EventKind::Degraded {
+                    mode: DegradedMode::BitflipZone { .. },
+                    ..
+                }
+        )
+    }
+
     /// Whether applying or reverting this event changes routing ground
     /// truth (and thus requires invalidating cross-epoch engine state).
     pub fn mutates_routing(&self) -> bool {

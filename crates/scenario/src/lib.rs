@@ -31,7 +31,7 @@ pub mod event;
 pub mod report;
 pub mod timeline;
 
-pub use chaos::fault_plan_at;
+pub use chaos::{fault_plan_at, fault_plan_for_fleet, fault_plan_on_clock};
 pub use engine::{EpochRun, EpochZone, ScenarioConfig, ScenarioEngine, ScenarioRun};
 pub use event::{DegradedMode, EventKind, Scope};
 pub use report::epoch_diff;

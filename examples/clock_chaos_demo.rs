@@ -1,0 +1,134 @@
+//! Clock-chaos demo: one scenario, one virtual clock, three time
+//! consumers.
+//!
+//! The built-in `clock-blackhole` scenario darkens every refresh
+//! upstream — and one site of the serving fleet — for the first five
+//! virtual seconds. Everything runs on a single `simclock` axis:
+//!
+//! * the serving fleet answers a pinned-arrival query load (one query
+//!   per virtual ms), so exactly the queries arriving inside the outage
+//!   window hit dead air — on any worker count;
+//! * the localroot refresh client backs off on the shared clock, and the
+//!   backoff waits alone carry it across the window: its retry budget
+//!   times out inside the blackhole, but by the time the budget's last
+//!   attempts fire, waiting has moved the clock past 5000 ms and the
+//!   upstreams are back. Under the old split clocks (one private tick
+//!   per exchange, waits invisible) this escape was impossible.
+//!
+//! ```sh
+//! cargo run --release --example clock_chaos_demo
+//! ```
+//!
+//! The final line is machine-greppable: `clock chaos invariants: OK
+//! (...)` on success; any violation prints `clock chaos invariants:
+//! FAILED ...` and exits non-zero.
+
+use roots_core::{ClockChaosRun, Scale};
+use rss::RootLetter;
+use std::process::ExitCode;
+
+const WINDOW_MS: u64 = 5_000;
+const QUERIES: usize = 8_000;
+
+fn main() -> ExitCode {
+    let letter = RootLetter::B;
+    let scenario = ClockChaosRun::demo_scenario(Scale::Tiny, letter);
+    println!(
+        "clock chaos: scenario '{}' — {} events, blackhole window [0, {WINDOW_MS}) ms on one axis",
+        scenario.name(),
+        scenario.events().len(),
+    );
+    for e in scenario.events() {
+        println!(
+            "  event {:<14} wall [{}, {}) -> virtual [{}, {}) ms",
+            e.kind.label(),
+            e.at,
+            e.effective_until(),
+            0,
+            WINDOW_MS,
+        );
+    }
+
+    let a = ClockChaosRun::run(Scale::Tiny, letter, &scenario, QUERIES, 2);
+    println!(
+        "\nserving fleet ({} queries, 1/virtual ms, pinned arrivals):",
+        QUERIES
+    );
+    println!(
+        "  responses={} timeouts={} retries={} unanswered={} blackholed={}",
+        a.load.responses,
+        a.load.timeouts,
+        a.load.retries,
+        a.load.unanswered,
+        a.load.fault_counters.blackholed,
+    );
+    println!("refresh client (6 attempts, 200 ms timeout, shared clock):");
+    println!(
+        "  outcome={:?} timeouts={} retries={} backoff_ms={}",
+        a.refresh,
+        a.refresh_metrics.timeouts,
+        a.refresh_metrics.retries,
+        a.refresh_metrics.backoff_ms_total,
+    );
+    println!(
+        "  backoff schedule (start_ms, wait_ms): {:?}",
+        a.backoff_log
+    );
+    println!(
+        "  clock ended at {} ms (window was {} ms)",
+        a.clock_ms, WINDOW_MS
+    );
+
+    let mut violations: Vec<String> = Vec::new();
+    if a.refresh.is_err() {
+        violations.push(format!("refresh failed: {:?}", a.refresh));
+    }
+    if a.clock_ms < WINDOW_MS {
+        violations.push(format!(
+            "clock ended at {} ms, inside the {} ms window",
+            a.clock_ms, WINDOW_MS
+        ));
+    }
+    if a.refresh_metrics.timeouts == 0 {
+        violations.push("refresh saw no timeouts — the window never applied".into());
+    }
+    if a.backoff_log.is_empty() {
+        violations.push("no backoff waits were taken on the shared clock".into());
+    }
+    if !a.serving {
+        violations.push("refreshed copy is not serving at the final wall time".into());
+    }
+    if a.load.timeouts == 0 || a.load.fault_counters.blackholed == 0 {
+        violations.push("the outage window never hit the serving fleet's queries".into());
+    }
+
+    // Replay bit-identity: same run again, then a different loadgen
+    // worker count — pinned arrivals make partitioning invisible.
+    let b = ClockChaosRun::run(Scale::Tiny, letter, &scenario, QUERIES, 2);
+    if a.fingerprint() != b.fingerprint() {
+        violations.push("replay diverged between identical runs".into());
+    }
+    let c = ClockChaosRun::run(Scale::Tiny, letter, &scenario, QUERIES, 5);
+    if a.fingerprint() != c.fingerprint() {
+        violations.push("replay diverged across worker counts (2 vs 5)".into());
+    }
+
+    if violations.is_empty() {
+        println!(
+            "\nclock chaos invariants: OK (escaped_at={}ms backoffs={} load_timeouts={} replays=3)",
+            a.clock_ms,
+            a.backoff_log.len(),
+            a.load.timeouts,
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        println!(
+            "clock chaos invariants: FAILED ({} violations)",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

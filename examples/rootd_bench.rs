@@ -39,6 +39,7 @@ fn main() {
         seed: 0x2023_0703,
         mix: QueryMix::broot(),
         faults: None,
+        arrivals: None,
     };
     println!(
         "rootd load generator: {:?} scale, {} queries, {} threads, {} clients",
