@@ -41,6 +41,12 @@ grep -q "chaos invariants: OK" "$figdir/chaos.txt"
 # worker counts.
 cargo run -q --release --offline --example clock_chaos_demo > "$figdir/clock_chaos.txt"
 grep -q "clock chaos invariants: OK" "$figdir/clock_chaos.txt"
+# Adversarial-traffic smoke: the demo attack scenario against a
+# rate-limited fleet — legit service must hold through every flood
+# window, delivered answers must match the unlimited twin byte for byte,
+# and the run must replay identically across worker counts.
+cargo run -q --release --offline --example attack_report > "$figdir/attack.txt"
+grep -q "attack invariants: OK" "$figdir/attack.txt"
 
 # Bench smoke: every bench target runs end to end and merges its numbers
 # into the committed BENCH_results.json, including the rootd loadgen's

@@ -35,7 +35,7 @@ pub mod zonemd_pipeline;
 pub use colocation::{ColocationResult, ReducedRedundancy};
 pub use coverage::{CoverageReport, CoverageRow};
 pub use distance::DistanceResult;
-pub use epochs::{EpochDiffReport, EpochStats};
+pub use epochs::{EpochDiffReport, EpochStats, FloodDiffReport, FloodEpoch};
 pub use rtt::RttByRegion;
 pub use stability::StabilityResult;
 pub use traffic::{BRootShift, TrafficSeries};

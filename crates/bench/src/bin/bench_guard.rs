@@ -28,7 +28,11 @@ use std::process::ExitCode;
 /// fault-free wrapper key also matches the `rootd/serve_` prefix; it is
 /// listed explicitly because the <5% wrapper-overhead claim depends on
 /// this exact label staying guarded even if the prefix list changes.
-const EXACT: &[&str] = &["rootd/loadgen/qps", "rootd/serve_faultfree_wrapped"];
+const EXACT: &[&str] = &[
+    "rootd/loadgen/qps",
+    "rootd/serve_faultfree_wrapped",
+    "rootd/flood_legit_p99",
+];
 const PREFIXES: &[&str] = &["rootd/serve_", "codec/", "simclock/"];
 
 /// Keys gated by an *absolute* ceiling instead of a baseline diff —
@@ -37,7 +41,17 @@ const PREFIXES: &[&str] = &["rootd/serve_", "codec/", "simclock/"];
 /// measurement); the guard's cross-run ceiling adds slack for one-shot
 /// CI timer variance while still catching the 11.9%-class regression
 /// (a per-exchange plan lookup/clone sneaking back onto the hot path).
-const ABS_CEILING: &[(&str, f64)] = &[("rootd/faultfree_wrapper_overhead_pct", 10.0)];
+/// The disabled-RRL wrapper gets the tighter documented 5% bound: it is
+/// a single `Option` check past `serve_udp_into` (no plan, no clone, no
+/// bucket probe), and the bench records the median of paired ABBA-quad
+/// differences discounted by its 10 ns single-process measurement floor
+/// — so the percentage only moves when real work (an allocation, a
+/// hash, a probe — all ≥ 20 ns) lands on the disabled path, not on
+/// per-process code-layout luck.
+const ABS_CEILING: &[(&str, f64)] = &[
+    ("rootd/faultfree_wrapper_overhead_pct", 10.0),
+    ("rootd/rrl_disabled_overhead_pct", 5.0),
+];
 
 /// Allowed relative regression before the guard fails.
 const TOLERANCE: f64 = 0.25;
@@ -53,6 +67,14 @@ const WIDE: &[(&str, f64)] = &[
     ("rootd/serve_axfr_stream", 1.0),
     ("codec/encode_axfr_message", 1.0),
     ("codec/decode_axfr_message", 1.0),
+    // A wall-time quantile read from a log-bucketed histogram under a
+    // multithreaded flood: adjacent buckets sit ~40% apart and scheduler
+    // jitter spans ~3× across healthy runs, so the cross-run ceiling is
+    // 4×. The tight invariant (attack-epoch p99 ≤ 2× the in-run quiet
+    // baseline) is asserted inside the bench itself on every run; this
+    // gate only has to catch RRL failing open, which pushes legit p99 an
+    // order of magnitude.
+    ("rootd/flood_legit_p99", 3.0),
 ];
 
 /// Absolute slack for lower-is-better (nanosecond) keys: deltas smaller
@@ -257,6 +279,30 @@ mod tests {
         assert!(errs[0].contains("missing"));
         // ...but a baseline that never had it doesn't demand it.
         assert!(run(&json(&[("zone/build", 1.0)]), &json(&[("zone/build", 1.0)])).is_ok());
+    }
+
+    #[test]
+    fn rrl_gates_cover_the_disabled_wrapper_and_the_flood_quantile() {
+        // The disabled-RRL overhead is ceiling-gated at 5% regardless of
+        // the baseline.
+        let key = "rootd/rrl_disabled_overhead_pct";
+        let r = run(&json(&[(key, 1.0)]), &json(&[(key, 7.5)]));
+        let errs = r.unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("absolute ceiling"));
+        assert!(run(&json(&[(key, 1.0)]), &json(&[(key, 4.9)])).is_ok());
+        // The flood p99 rides the wide ceiling (log-bucket jumps plus
+        // flood-scheduler jitter) but a fail-open blowup past 4× still
+        // trips, and the key may not silently vanish.
+        let p99 = "rootd/flood_legit_p99";
+        let base = json(&[(p99, 5_000.0)]);
+        assert!(run(&base, &json(&[(p99, 9_000.0)])).is_ok());
+        assert!(run(&base, &json(&[(p99, 18_000.0)])).is_ok());
+        assert_eq!(run(&base, &json(&[(p99, 60_000.0)])).unwrap_err().len(), 1);
+        assert_eq!(
+            run(&base, &json(&[("zone/build", 1.0)])).unwrap_err().len(),
+            1
+        );
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub mod serving;
 pub use pipeline::Pipeline;
 pub use scale::Scale;
 pub use scenarios::ScenarioPipeline;
-pub use serving::{ClockChaosRun, ServingPipeline};
+pub use serving::{AttackRun, ClockChaosRun, ServingPipeline};

@@ -1,0 +1,930 @@
+//! Adversarial traffic generator: seeded attack workloads interleaved
+//! with benign load on the shared virtual-time axis.
+//!
+//! Four attack shapes, after what root operators actually absorb:
+//!
+//! * **Water torture** — random-subdomain NXDOMAIN floods from a botnet
+//!   of spoofed sources, stressing the parametric NXDOMAIN template
+//!   path (a fraction of qnames graft onto record-name suffixes to hit
+//!   the template's collision guard);
+//! * **Reflection** — amplification-shaped queries (apex ANY/DNSKEY
+//!   with DO) carrying one victim's spoofed source address;
+//! * **Priming flood** — RFC 8109 priming queries at volume;
+//! * **Query storm** — one legitimate client gone hot, flooding its own
+//!   catchment site with benign-shaped traffic.
+//!
+//! # Replay determinism
+//!
+//! Counters — including every per-query RRL verdict — replay
+//! bit-identically across worker counts. Three rules make that true:
+//!
+//! 1. **Pure generation**: every query's bytes derive from
+//!    `SimRng::new(seed).derive_ids(&[tag, tick, k])` — a function of
+//!    the virtual arrival tick and intra-tick index, never of which
+//!    worker runs it or of any evolving per-client stream.
+//! 2. **Window-chunk ownership**: work is partitioned into chunks of
+//!    whole RRL windows (chunk `c` covers ticks
+//!    `[c·W, (c+1)·W)`, owned by worker `c mod threads`, processed in
+//!    ascending tick order). Since RRL windows are globally aligned to
+//!    the same boundaries, every (bucket, window) is touched by exactly
+//!    one worker, in arrival order — so the limiter's shared counters
+//!    see a canonical sequence regardless of thread count.
+//! 3. **Pinned virtual time**: each tick's instant is
+//!    `start_ms + tick · interarrival_ms` from the [`ArrivalSchedule`],
+//!    so window membership is a pure function of the tick.
+//!
+//! Legitimate clients run the full stub behavior: a truncated (TC=1)
+//! response — whether from the EDNS budget or an RRL slip — triggers a
+//! TCP retry against the same engine, and TCP is never rate-limited.
+//! In verify mode every passed UDP response is byte-compared against
+//! the unlimited serve path ([`crate::Rootd::serve_udp_into`] ignores
+//! RRL), so
+//! "no client ever receives a wrong answer under attack" is machine
+//! checked, not asserted by construction.
+
+use crate::engine::ServeVerdict;
+use crate::loadgen::{
+    fill_query, ArrivalSchedule, LatencyHistogram, QueryMix, QueryTemplates, SiteFleet,
+};
+use crate::rrl::{BucketStat, ResponseClass, Rrl, RrlConfig, RrlCounters};
+use netsim::rng::SimRng;
+use netsim::types::AsId;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Derivation tag for attack query streams (benign ticks reuse the
+/// loadgen client tag `0x10ad`).
+const ATTACK_TAG: u64 = 0x00a7_7ac4;
+
+/// Base of the spoofed-source range water-torture bots draw from (well
+/// above any topology AS number, so bot buckets never collide with real
+/// clients).
+pub const BOT_SRC_BASE: u64 = 0xb07_0000;
+
+/// Default botnet width for scenario-projected floods.
+pub const WATER_TORTURE_BOTNET: u32 = 32;
+
+/// One attack workload shape. `intensity` is attack queries per benign
+/// tick (so ×10 means tenfold the benign arrival rate while active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackShape {
+    /// Random-subdomain NXDOMAIN flood from `botnet` spoofed sources
+    /// spread deterministically across the letter's sites.
+    WaterTorture { intensity: u32, botnet: u32 },
+    /// Amplification-shaped apex queries spoofing `victim`'s source,
+    /// aimed at the victim's own catchment site (where its real
+    /// traffic also lands — the bucket collision is the attack).
+    Reflection { victim: u32, intensity: u32 },
+    /// Priming queries (`. NS` with DO) from a spoofed botnet.
+    PrimingFlood { intensity: u32, botnet: u32 },
+    /// Client `client` floods its own catchment site with benign-shaped
+    /// queries from its real (unspoofed) address.
+    QueryStorm { client: u32, intensity: u32 },
+}
+
+impl AttackShape {
+    pub fn intensity(&self) -> u32 {
+        match *self {
+            AttackShape::WaterTorture { intensity, .. }
+            | AttackShape::Reflection { intensity, .. }
+            | AttackShape::PrimingFlood { intensity, .. }
+            | AttackShape::QueryStorm { intensity, .. } => intensity,
+        }
+    }
+
+    pub fn label(&self) -> String {
+        match *self {
+            AttackShape::WaterTorture { intensity, botnet } => {
+                format!("flood×{intensity}(bots={botnet})")
+            }
+            AttackShape::Reflection { victim, intensity } => {
+                format!("reflect×{intensity}(AS{victim})")
+            }
+            AttackShape::PrimingFlood { intensity, botnet } => {
+                format!("priming×{intensity}(bots={botnet})")
+            }
+            AttackShape::QueryStorm { client, intensity } => {
+                format!("storm×{intensity}(AS{client})")
+            }
+        }
+    }
+}
+
+/// One attack active over a half-open virtual-time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackWindow {
+    pub start_ms: u64,
+    pub end_ms: u64,
+    pub shape: AttackShape,
+}
+
+/// A schedule of attack windows on the virtual axis, plus the seed their
+/// query content derives from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttackPlan {
+    pub seed: u64,
+    pub windows: Vec<AttackWindow>,
+}
+
+impl AttackPlan {
+    /// No attacks.
+    pub fn quiet() -> AttackPlan {
+        AttackPlan::default()
+    }
+
+    /// The shape active at virtual instant `t_ms` (first matching
+    /// window wins).
+    pub fn shape_at(&self, t_ms: u64) -> Option<AttackShape> {
+        self.windows
+            .iter()
+            .find(|w| w.start_ms <= t_ms && t_ms < w.end_ms)
+            .map(|w| w.shape)
+    }
+
+    /// Epoch boundaries the plan cuts into the run `[run_start,
+    /// run_end)`: the run bounds plus every window edge inside them,
+    /// sorted and deduplicated.
+    pub fn boundaries(&self, run_start: u64, run_end: u64) -> Vec<u64> {
+        let mut cuts = vec![run_start, run_end];
+        for w in &self.windows {
+            for edge in [w.start_ms, w.end_ms] {
+                if run_start < edge && edge < run_end {
+                    cuts.push(edge);
+                }
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts
+    }
+}
+
+/// Parameters of one adversarial run.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// Virtual length of the run: one benign query per
+    /// `arrivals.interarrival_ms` for this long.
+    pub duration_ms: u64,
+    pub threads: usize,
+    /// Seed for the benign streams (attack streams mix in `plan.seed`).
+    pub seed: u64,
+    pub mix: QueryMix,
+    pub plan: AttackPlan,
+    /// Rate-limiter config installed on every site engine for the run
+    /// (`None` = undefended).
+    pub rrl: Option<RrlConfig>,
+    /// Benign arrival schedule. `start_ms` must be window-aligned and
+    /// `interarrival_ms` must divide the RRL window, so worker chunks
+    /// align with refill windows (see the module docs).
+    pub arrivals: ArrivalSchedule,
+    /// Byte-compare every passed response against the unlimited serve
+    /// path and structurally check every slip/TCP recovery.
+    pub verify: bool,
+}
+
+impl AttackConfig {
+    /// A smoke-test-sized run: `duration_ms` virtual ms at one benign
+    /// query per ms, two workers, verification on.
+    pub fn tiny(seed: u64, duration_ms: u64, plan: AttackPlan) -> AttackConfig {
+        AttackConfig {
+            duration_ms,
+            threads: 2,
+            seed,
+            mix: QueryMix::broot(),
+            plan,
+            rrl: Some(RrlConfig::default()),
+            arrivals: ArrivalSchedule {
+                start_ms: 0,
+                interarrival_ms: 1,
+            },
+            verify: true,
+        }
+    }
+}
+
+/// Traffic totals for one epoch (a maximal span with a constant active
+/// attack shape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochTraffic {
+    pub label: String,
+    pub start_ms: u64,
+    pub end_ms: u64,
+    /// Benign queries sent.
+    pub legit_sent: u64,
+    /// Benign queries that ended with a full correct answer (over UDP,
+    /// or over TCP after any truncation).
+    pub legit_served: u64,
+    /// Benign queries that hit the slip cadence (got a TC=1 stub).
+    pub legit_slipped: u64,
+    /// Slipped benign queries recovered in full over TCP.
+    pub legit_slip_recovered: u64,
+    /// Benign queries that got nothing (rate-limit drop).
+    pub legit_dropped: u64,
+    pub legit_p50_ns: u64,
+    pub legit_p99_ns: u64,
+    pub attack_sent: u64,
+    pub attack_passed: u64,
+    pub attack_slipped: u64,
+    pub attack_dropped: u64,
+}
+
+impl EpochTraffic {
+    /// Fraction of benign queries that ended with a full answer.
+    pub fn served_fraction(&self) -> f64 {
+        if self.legit_sent == 0 {
+            1.0
+        } else {
+            self.legit_served as f64 / self.legit_sent as f64
+        }
+    }
+}
+
+/// What one adversarial run produced.
+#[derive(Debug, Clone)]
+pub struct AttackReport {
+    pub duration_ms: u64,
+    pub threads: usize,
+    pub epochs: Vec<EpochTraffic>,
+    /// Limiter totals merged across every site engine.
+    pub rrl: RrlCounters,
+    /// Per-(source-prefix, class) totals merged across engines, hottest
+    /// first.
+    pub buckets: Vec<BucketStat>,
+    /// Verification failures (byte mismatches vs the unlimited path,
+    /// malformed slips, failed TCP recoveries). Zero or the run is
+    /// wrong.
+    pub verify_mismatches: u64,
+    pub elapsed: Duration,
+}
+
+impl AttackReport {
+    /// Everything deterministic, one line per epoch plus the limiter
+    /// totals — two runs with equal fingerprints replayed identically,
+    /// verdict-for-verdict.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in &self.epochs {
+            let _ = write!(
+                out,
+                "{}[{},{}) legit={}/{} slip={}/{} drop={} attack={}/{}/{};",
+                e.label,
+                e.start_ms,
+                e.end_ms,
+                e.legit_served,
+                e.legit_sent,
+                e.legit_slip_recovered,
+                e.legit_slipped,
+                e.legit_dropped,
+                e.attack_passed,
+                e.attack_slipped,
+                e.attack_dropped,
+            );
+        }
+        let bucket_sum: u64 = self
+            .buckets
+            .iter()
+            .map(|b| {
+                b.arrivals
+                    ^ b.passed.rotate_left(16)
+                    ^ b.slipped.rotate_left(32)
+                    ^ b.dropped.rotate_left(48)
+            })
+            .fold(0, u64::wrapping_add);
+        let _ = write!(
+            out,
+            " rrl[{}] buckets={}#{:016x} mismatches={}",
+            self.rrl.render(),
+            self.buckets.len(),
+            bucket_sum,
+            self.verify_mismatches,
+        );
+        out
+    }
+
+    /// Human-readable per-epoch table plus limiter and bucket summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>10} {:>8} {:>7} {:>7} {:>10} {:>12}",
+            "epoch", "window(ms)", "legit", "served%", "slip", "drop", "p99(ns)", "attack p/s/d"
+        );
+        for e in &self.epochs {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>5}..{:<6} {:>10} {:>7.2}% {:>7} {:>7} {:>10} {:>4}/{}/{}",
+                e.label,
+                e.start_ms,
+                e.end_ms,
+                e.legit_sent,
+                e.served_fraction() * 100.0,
+                e.legit_slipped,
+                e.legit_dropped,
+                e.legit_p99_ns,
+                e.attack_passed,
+                e.attack_slipped,
+                e.attack_dropped,
+            );
+        }
+        let _ = writeln!(out, "rrl: {}", self.rrl.render());
+        for b in self.buckets.iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  bucket src={:#x} class={:<8} arrivals={} passed={} slipped={} dropped={}",
+                b.prefix,
+                b.class.label(),
+                b.arrivals,
+                b.passed,
+                b.slipped,
+                b.dropped,
+            );
+        }
+        if self.buckets.len() > 8 {
+            let _ = writeln!(out, "  … {} more buckets", self.buckets.len() - 8);
+        }
+        out
+    }
+}
+
+/// Per-worker, per-epoch tallies.
+struct EpochAgg {
+    legit_sent: u64,
+    legit_served: u64,
+    legit_slipped: u64,
+    legit_slip_recovered: u64,
+    legit_dropped: u64,
+    attack_sent: u64,
+    attack_passed: u64,
+    attack_slipped: u64,
+    attack_dropped: u64,
+    hist: LatencyHistogram,
+}
+
+impl EpochAgg {
+    fn new() -> EpochAgg {
+        EpochAgg {
+            legit_sent: 0,
+            legit_served: 0,
+            legit_slipped: 0,
+            legit_slip_recovered: 0,
+            legit_dropped: 0,
+            attack_sent: 0,
+            attack_passed: 0,
+            attack_slipped: 0,
+            attack_dropped: 0,
+            hist: LatencyHistogram::new(),
+        }
+    }
+}
+
+/// Scratch buffers and verification state one worker carries.
+struct Worker<'a> {
+    fleet: &'a SiteFleet,
+    cfg: &'a AttackConfig,
+    templates: &'a QueryTemplates,
+    site_ids: &'a [u32],
+    wire: Vec<u8>,
+    resp: Vec<u8>,
+    oracle: Vec<u8>,
+    epochs: Vec<EpochAgg>,
+    mismatches: u64,
+}
+
+impl Worker<'_> {
+    /// Serve one benign tick: the round-robin client sends one mixed
+    /// query pinned to `t_ms`, with full TC→TCP stub behavior.
+    fn benign_tick(&mut self, tick: u64, t_ms: u64, epoch: usize) {
+        let client = self.fleet.clients[(tick as usize) % self.fleet.clients.len()];
+        let engine = self.fleet.engine_for(client);
+        let mut rng = SimRng::new(self.cfg.seed).derive_ids(&[0x10ad, tick]);
+        fill_query(&self.cfg.mix, self.templates, &mut rng, &mut self.wire);
+        let agg = &mut self.epochs[epoch];
+        agg.legit_sent += 1;
+        let t0 = Instant::now();
+        let verdict = engine.serve_udp_from(client.0 as u64, t_ms, &self.wire, &mut self.resp);
+        match verdict {
+            ServeVerdict::Answered(outcome) => {
+                if self.cfg.verify {
+                    let twin = engine.serve_udp_into(&self.wire, &mut self.oracle);
+                    if twin != outcome || self.oracle != self.resp {
+                        self.mismatches += 1;
+                    }
+                }
+                let truncated = self.resp.len() >= 12 && self.resp[2] & 0x02 != 0;
+                if truncated {
+                    // Ordinary EDNS-budget truncation: retry over TCP
+                    // like any real stub.
+                    let frames = engine.serve_tcp(&self.wire);
+                    if frames.is_empty() {
+                        self.epochs[epoch].legit_dropped += 1;
+                    } else {
+                        self.epochs[epoch].legit_served += 1;
+                    }
+                } else {
+                    self.epochs[epoch].legit_served += 1;
+                }
+            }
+            ServeVerdict::Slipped => {
+                if self.cfg.verify && !slip_is_wellformed(&self.wire, &self.resp) {
+                    self.mismatches += 1;
+                }
+                agg.legit_slipped += 1;
+                // The slip's whole purpose: the TC bit drives the client
+                // to TCP, which RRL never touches.
+                let frames = engine.serve_tcp(&self.wire);
+                let agg = &mut self.epochs[epoch];
+                match frames.first() {
+                    Some(full)
+                        if full.len() >= 12
+                            && full[0..2] == self.wire[0..2]
+                            && full[2] & 0x02 == 0 =>
+                    {
+                        agg.legit_slip_recovered += 1;
+                        agg.legit_served += 1;
+                    }
+                    _ => {
+                        agg.legit_dropped += 1;
+                        if self.cfg.verify {
+                            self.mismatches += 1;
+                        }
+                    }
+                }
+            }
+            ServeVerdict::Limited | ServeVerdict::Dropped => {
+                agg.legit_dropped += 1;
+            }
+        }
+        self.epochs[epoch]
+            .hist
+            .record(t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Fire one attack query (`k`-th of its tick) for `shape`.
+    fn attack_query(&mut self, shape: AttackShape, tick: u64, k: u64, t_ms: u64, epoch: usize) {
+        let mut rng =
+            SimRng::new(self.cfg.seed ^ self.cfg.plan_seed()).derive_ids(&[ATTACK_TAG, tick, k]);
+        let (src, engine) = match shape {
+            AttackShape::WaterTorture { botnet, .. } => {
+                let bot = rng.next_range(botnet.max(1) as usize) as u64;
+                fill_water_torture(&mut rng, &mut self.wire);
+                let site = self.site_ids[(bot as usize) % self.site_ids.len()];
+                (BOT_SRC_BASE + bot, &self.fleet.engines[&site])
+            }
+            AttackShape::Reflection { victim, .. } => {
+                fill_reflection(&mut rng, &mut self.wire);
+                (victim as u64, self.fleet.engine_for(AsId(victim)))
+            }
+            AttackShape::PrimingFlood { botnet, .. } => {
+                let bot = rng.next_range(botnet.max(1) as usize) as u64;
+                fill_priming(&mut rng, &mut self.wire);
+                let site = self.site_ids[(bot as usize) % self.site_ids.len()];
+                (BOT_SRC_BASE + bot, &self.fleet.engines[&site])
+            }
+            AttackShape::QueryStorm { client, .. } => {
+                fill_query(&self.cfg.mix, self.templates, &mut rng, &mut self.wire);
+                (client as u64, self.fleet.engine_for(AsId(client)))
+            }
+        };
+        let verdict = engine.serve_udp_from(src, t_ms, &self.wire, &mut self.resp);
+        let agg = &mut self.epochs[epoch];
+        agg.attack_sent += 1;
+        match verdict {
+            ServeVerdict::Answered(_) => agg.attack_passed += 1,
+            ServeVerdict::Slipped => agg.attack_slipped += 1,
+            ServeVerdict::Limited | ServeVerdict::Dropped => agg.attack_dropped += 1,
+        }
+    }
+}
+
+impl AttackConfig {
+    fn plan_seed(&self) -> u64 {
+        self.plan.seed
+    }
+}
+
+/// A slipped response must be a record-free truncated echo of our query
+/// — anything else would hand a validating client unverifiable data.
+fn slip_is_wellformed(query: &[u8], slip: &[u8]) -> bool {
+    slip.len() >= 12
+        && slip[0..2] == query[0..2]
+        && slip[2] & 0x80 != 0
+        && slip[2] & 0x02 != 0
+        && slip[4..6] == [0, 1]
+        && slip[6..12] == [0, 0, 0, 0, 0, 0]
+}
+
+/// Water-torture qname: `wt` + 12 random hex digits in one label; a
+/// quarter of them graft the label under a real record-name suffix
+/// (`root-servers.net`), forcing the parametric NXDOMAIN template's
+/// collision guard onto the slow path.
+fn fill_water_torture(rng: &mut SimRng, out: &mut Vec<u8>) {
+    let id = (rng.next_u64() & 0xffff) as u16;
+    out.clear();
+    out.extend_from_slice(&[(id >> 8) as u8, id as u8, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0]);
+    let bits = rng.next_u64() & 0xffff_ffff_ffff;
+    out.push(14);
+    out.extend_from_slice(b"wt");
+    for shift in (0..12u32).rev() {
+        out.push(b"0123456789abcdef"[((bits >> (shift * 4)) & 0xf) as usize]);
+    }
+    if rng.chance(0.25) {
+        out.push(12);
+        out.extend_from_slice(b"root-servers");
+        out.push(3);
+        out.extend_from_slice(b"net");
+    }
+    out.push(0);
+    out.extend_from_slice(&dns_wire::RrType::A.to_u16().to_be_bytes());
+    out.extend_from_slice(&[0, 1]);
+    if rng.chance(0.5) {
+        push_do_opt(out);
+    }
+}
+
+/// Reflection bait: apex ANY or DNSKEY with DO at 4096 — the largest
+/// signed responses the zone can emit per question byte.
+fn fill_reflection(rng: &mut SimRng, out: &mut Vec<u8>) {
+    let id = (rng.next_u64() & 0xffff) as u16;
+    let qtype = if rng.chance(0.5) {
+        dns_wire::RrType::Any
+    } else {
+        dns_wire::RrType::Dnskey
+    };
+    out.clear();
+    out.extend_from_slice(&[(id >> 8) as u8, id as u8, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0]);
+    out.push(0); // apex
+    out.extend_from_slice(&qtype.to_u16().to_be_bytes());
+    out.extend_from_slice(&[0, 1]);
+    push_do_opt(out);
+}
+
+/// A priming query: `. NS` with DO.
+fn fill_priming(rng: &mut SimRng, out: &mut Vec<u8>) {
+    let id = (rng.next_u64() & 0xffff) as u16;
+    out.clear();
+    out.extend_from_slice(&[(id >> 8) as u8, id as u8, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0]);
+    out.push(0);
+    out.extend_from_slice(&dns_wire::RrType::Ns.to_u16().to_be_bytes());
+    out.extend_from_slice(&[0, 1]);
+    push_do_opt(out);
+}
+
+/// The canonical DO OPT the loadgen templates append (payload 4096).
+fn push_do_opt(out: &mut Vec<u8>) {
+    out[11] = 1;
+    out.extend_from_slice(&[0, 0, 41, 0x10, 0x00, 0, 0, 0x80, 0, 0, 0]);
+}
+
+/// Run the adversarial generator against `fleet`. Installs `cfg.rrl` on
+/// every site engine for the duration and removes it afterwards, so the
+/// fleet comes back in its pre-run (unlimited) configuration.
+pub fn run(fleet: &SiteFleet, cfg: &AttackConfig) -> AttackReport {
+    let threads = cfg.threads.max(1);
+    let inter = cfg.arrivals.interarrival_ms.max(1);
+    let window_ms = cfg
+        .rrl
+        .as_ref()
+        .map(|r| r.window_ms.max(1))
+        .unwrap_or(1_000);
+    // Chunk/window alignment is what makes per-verdict replay exact —
+    // refuse configurations that break it rather than silently drifting.
+    assert!(
+        window_ms.is_multiple_of(inter) && cfg.arrivals.start_ms.is_multiple_of(window_ms),
+        "arrivals must align with the RRL window (window {window_ms} ms, \
+         interarrival {inter} ms, start {} ms)",
+        cfg.arrivals.start_ms
+    );
+    let ticks_per_chunk = (window_ms / inter) as usize;
+    let nticks = (cfg.duration_ms / inter) as usize;
+    let nchunks = nticks.div_ceil(ticks_per_chunk);
+    let run_start = cfg.arrivals.start_ms;
+    let run_end = run_start + cfg.duration_ms;
+    let bounds = cfg.plan.boundaries(run_start, run_end);
+    let nepochs = bounds.len().saturating_sub(1).max(1);
+    let templates = QueryTemplates::build(&fleet.tlds);
+    let templates = &templates;
+    let site_ids = fleet.site_ids();
+    let site_ids = &site_ids;
+    let bounds_ref = &bounds;
+
+    fleet.set_rrl(cfg.rrl.clone());
+    let rrls: Vec<Arc<Rrl>> = site_ids
+        .iter()
+        .filter_map(|s| fleet.engines[s].rrl())
+        .collect();
+
+    let started = Instant::now();
+    let workers: Vec<(Vec<EpochAgg>, u64)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker_id in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut w = Worker {
+                    fleet,
+                    cfg,
+                    templates,
+                    site_ids,
+                    wire: Vec::with_capacity(64),
+                    resp: Vec::with_capacity(4096),
+                    oracle: Vec::with_capacity(4096),
+                    epochs: (0..nepochs).map(|_| EpochAgg::new()).collect(),
+                    mismatches: 0,
+                };
+                for chunk in (worker_id..nchunks).step_by(threads) {
+                    let from = chunk * ticks_per_chunk;
+                    let to = ((chunk + 1) * ticks_per_chunk).min(nticks);
+                    for tick in from..to {
+                        let t_ms = run_start + tick as u64 * inter;
+                        let epoch = bounds_ref[1..]
+                            .iter()
+                            .position(|&b| t_ms < b)
+                            .unwrap_or(nepochs - 1);
+                        w.benign_tick(tick as u64, t_ms, epoch);
+                        if let Some(shape) = cfg.plan.shape_at(t_ms) {
+                            for k in 0..shape.intensity() as u64 {
+                                w.attack_query(shape, tick as u64, k, t_ms, epoch);
+                            }
+                        }
+                    }
+                }
+                (w.epochs, w.mismatches)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    // Merge per-worker epoch tallies.
+    let mut epochs = Vec::with_capacity(nepochs);
+    for e in 0..nepochs {
+        let mut agg = EpochAgg::new();
+        for (worker_epochs, _) in &workers {
+            let w = &worker_epochs[e];
+            agg.legit_sent += w.legit_sent;
+            agg.legit_served += w.legit_served;
+            agg.legit_slipped += w.legit_slipped;
+            agg.legit_slip_recovered += w.legit_slip_recovered;
+            agg.legit_dropped += w.legit_dropped;
+            agg.attack_sent += w.attack_sent;
+            agg.attack_passed += w.attack_passed;
+            agg.attack_slipped += w.attack_slipped;
+            agg.attack_dropped += w.attack_dropped;
+            agg.hist.merge(&w.hist);
+        }
+        let (start_ms, end_ms) = (bounds[e], bounds[e + 1]);
+        let label = cfg
+            .plan
+            .shape_at(start_ms)
+            .map(|s| s.label())
+            .unwrap_or_else(|| "baseline".to_string());
+        epochs.push(EpochTraffic {
+            label,
+            start_ms,
+            end_ms,
+            legit_sent: agg.legit_sent,
+            legit_served: agg.legit_served,
+            legit_slipped: agg.legit_slipped,
+            legit_slip_recovered: agg.legit_slip_recovered,
+            legit_dropped: agg.legit_dropped,
+            legit_p50_ns: agg.hist.quantile(0.50),
+            legit_p99_ns: agg.hist.quantile(0.99),
+            attack_sent: agg.attack_sent,
+            attack_passed: agg.attack_passed,
+            attack_slipped: agg.attack_slipped,
+            attack_dropped: agg.attack_dropped,
+        });
+    }
+
+    // Merge limiter counters and bucket stats across engines; bucket
+    // keys never collide across engines (each source's traffic lands on
+    // one site), but re-aggregate anyway for robustness.
+    let mut rrl = RrlCounters::default();
+    let mut per_bucket: HashMap<(u64, ResponseClass), BucketStat> = HashMap::new();
+    for r in &rrls {
+        rrl.merge(&r.counters());
+        for b in r.bucket_stats() {
+            let agg = per_bucket.entry((b.prefix, b.class)).or_insert(BucketStat {
+                arrivals: 0,
+                passed: 0,
+                slipped: 0,
+                dropped: 0,
+                ..b
+            });
+            agg.arrivals += b.arrivals;
+            agg.passed += b.passed;
+            agg.slipped += b.slipped;
+            agg.dropped += b.dropped;
+        }
+    }
+    let mut buckets: Vec<BucketStat> = per_bucket.into_values().collect();
+    buckets.sort_by(|a, b| {
+        b.arrivals
+            .cmp(&a.arrivals)
+            .then(a.prefix.cmp(&b.prefix))
+            .then(a.class.cmp(&b.class))
+    });
+    fleet.set_rrl(None);
+
+    let verify_mismatches = workers.iter().map(|(_, m)| m).sum();
+    AttackReport {
+        duration_ms: cfg.duration_ms,
+        threads,
+        epochs,
+        rrl,
+        buckets,
+        verify_mismatches,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_zone::rollout::RolloutPhase;
+    use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+    use dns_zone::signer::ZoneKeys;
+    use netsim::topology::{Topology, TopologyConfig};
+    use rss::catalog::{RootCatalog, WorldConfig};
+    use rss::RootLetter;
+
+    fn fleet() -> SiteFleet {
+        let mut topology = Topology::generate(&TopologyConfig {
+            tier2_per_region: 4,
+            stubs_per_region: [4, 8, 16, 12, 4, 6],
+            ..Default::default()
+        });
+        let catalog = RootCatalog::build(
+            &mut topology,
+            &WorldConfig {
+                site_scale: 0.05,
+                ..Default::default()
+            },
+        );
+        let zone = build_root_zone(
+            &RootZoneConfig {
+                tld_count: 12,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(3),
+        );
+        SiteFleet::build(&topology, &catalog, RootLetter::B, Arc::new(zone))
+    }
+
+    fn flood_plan() -> AttackPlan {
+        AttackPlan {
+            seed: 0xf100d,
+            windows: vec![AttackWindow {
+                start_ms: 1_000,
+                end_ms: 3_000,
+                shape: AttackShape::WaterTorture {
+                    intensity: 10,
+                    botnet: WATER_TORTURE_BOTNET,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn plan_slices_the_run_into_epochs() {
+        let plan = flood_plan();
+        assert_eq!(plan.boundaries(0, 4_000), vec![0, 1_000, 3_000, 4_000]);
+        assert_eq!(plan.shape_at(999), None);
+        assert!(plan.shape_at(1_000).is_some());
+        assert!(plan.shape_at(2_999).is_some());
+        assert_eq!(plan.shape_at(3_000), None);
+        // Windows outside the run are clipped away.
+        assert_eq!(plan.boundaries(3_500, 4_000), vec![3_500, 4_000]);
+        assert_eq!(AttackPlan::quiet().boundaries(0, 100), vec![0, 100]);
+    }
+
+    #[test]
+    fn rrl_holds_legit_service_through_a_water_torture_flood() {
+        let fleet = fleet();
+        let report = run(&fleet, &AttackConfig::tiny(7, 4_000, flood_plan()));
+        assert_eq!(report.verify_mismatches, 0);
+        assert_eq!(report.epochs.len(), 3);
+        let flood = &report.epochs[1];
+        assert!(flood.attack_sent >= 10 * flood.legit_sent);
+        // The limiter engages hard against the flood (with slip=2 the
+        // limited majority splits between slips and drops)...
+        assert!(flood.attack_dropped + flood.attack_slipped > flood.attack_sent / 2);
+        assert!(flood.attack_dropped > flood.attack_sent / 4);
+        assert!(report.rrl.dropped > 0 && report.rrl.slipped > 0);
+        // ...while legit clients keep ≥99% full service.
+        for e in &report.epochs {
+            assert!(
+                e.served_fraction() >= 0.99,
+                "epoch {} served {:.4}",
+                e.label,
+                e.served_fraction()
+            );
+        }
+        // Every slipped legit query recovered over TCP.
+        for e in &report.epochs {
+            assert_eq!(e.legit_slipped, e.legit_slip_recovered);
+        }
+        // Bot buckets show up hottest.
+        assert!(report.buckets[0].prefix >= BOT_SRC_BASE);
+        assert_eq!(report.buckets[0].class, ResponseClass::NxDomain);
+        // The fleet is back to unlimited serving afterwards.
+        assert!(fleet.engines.values().all(|e| e.rrl().is_none()));
+    }
+
+    #[test]
+    fn fingerprints_are_identical_across_worker_counts() {
+        let fleet = fleet();
+        let mut plan = flood_plan();
+        // Exercise every shape in one run.
+        let victim = fleet.clients[0].0;
+        plan.windows.push(AttackWindow {
+            start_ms: 3_000,
+            end_ms: 3_500,
+            shape: AttackShape::Reflection {
+                victim,
+                intensity: 10,
+            },
+        });
+        plan.windows.push(AttackWindow {
+            start_ms: 3_500,
+            end_ms: 4_000,
+            shape: AttackShape::QueryStorm {
+                client: victim,
+                intensity: 20,
+            },
+        });
+        let cfg = AttackConfig::tiny(7, 4_000, plan);
+        let base = run(&fleet, &cfg);
+        assert_eq!(base.verify_mismatches, 0);
+        for threads in [1usize, 3, 5] {
+            let other = run(
+                &fleet,
+                &AttackConfig {
+                    threads,
+                    ..cfg.clone()
+                },
+            );
+            assert_eq!(
+                base.fingerprint(),
+                other.fingerprint(),
+                "replay diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn undefended_run_answers_everything() {
+        let fleet = fleet();
+        let cfg = AttackConfig {
+            rrl: None,
+            ..AttackConfig::tiny(9, 2_000, flood_plan())
+        };
+        let report = run(&fleet, &cfg);
+        assert_eq!(report.verify_mismatches, 0);
+        assert_eq!(report.rrl, RrlCounters::default());
+        assert!(report.buckets.is_empty());
+        for e in &report.epochs {
+            // No limiter: nothing slipped or dropped, everything served
+            // (budget-TC retries recover over TCP).
+            assert_eq!(e.legit_slipped, 0);
+            assert_eq!(e.legit_dropped, 0);
+            assert_eq!(e.legit_served, e.legit_sent);
+            assert_eq!(e.attack_dropped, 0);
+        }
+    }
+
+    #[test]
+    fn reflection_spoofing_collides_with_the_victims_bucket() {
+        let fleet = fleet();
+        let victim = fleet.clients[0].0;
+        let plan = AttackPlan {
+            seed: 0x5afe,
+            windows: vec![AttackWindow {
+                start_ms: 1_000,
+                end_ms: 2_000,
+                shape: AttackShape::Reflection {
+                    victim,
+                    intensity: 20,
+                },
+            }],
+        };
+        let report = run(&fleet, &AttackConfig::tiny(11, 3_000, plan));
+        assert_eq!(report.verify_mismatches, 0);
+        let reflect = &report.epochs[1];
+        // The amplification bait is hard-limited...
+        assert!(reflect.attack_dropped > reflect.attack_passed);
+        // ...and the victim's own answer-class bucket is the hot one.
+        let hot = report
+            .buckets
+            .iter()
+            .find(|b| b.prefix == victim as u64 && b.class == ResponseClass::Answer)
+            .expect("victim bucket exists");
+        assert!(hot.dropped > 0);
+        // Overall legit service still holds (slips recover over TCP).
+        for e in &report.epochs {
+            assert!(e.served_fraction() >= 0.99, "{}", e.served_fraction());
+        }
+    }
+}

@@ -634,6 +634,51 @@ mod tests {
         }
     }
 
+    proptest::proptest! {
+        /// Water-torture hardening: high-entropy random labels — alone,
+        /// or grafted under a record-name suffix (`…net`) so the
+        /// parametric NXDOMAIN template's collision guard must fire —
+        /// are always byte-identical to the uncached engine, and the
+        /// grafted ones always take the slow path (a template emit for
+        /// them would mis-compress the authority names).
+        #[test]
+        fn water_torture_qnames_are_byte_identical_and_collisions_fall_back(
+            labels in proptest::collection::vec(
+                // ≥3 chars so a random label can never collide with a
+                // real in-zone name (the single-letter server names).
+                (proptest::collection::vec(0u8..36, 3..20), 0usize..4), 1..12),
+            state in 0usize..3,
+        ) {
+            let (plain, cached) = engines();
+            const SUFFIXES: [&str; 3] = ["root-servers.net.", "gtld-servers.net.", "net."];
+            for (raw, graft) in labels {
+                let label: String = raw
+                    .iter()
+                    .map(|&b| b"abcdefghijklmnopqrstuvwxyz0123456789"[b as usize] as char)
+                    .collect();
+                let name = match graft {
+                    0 => format!("{label}."),
+                    g => format!("{label}.{}", SUFFIXES[g - 1]),
+                };
+                let q = state_query(&Name::parse(&name).unwrap(), RrType::A, Class::In, state);
+                // `assert_identical` does the byte compare against the
+                // uncached engine.
+                let outcome = assert_identical(&plain, &cached, &q);
+                if graft > 0 {
+                    // Sharing a suffix with record names in the negative
+                    // response (or sitting below a delegated cut) must
+                    // force the full fallback path.
+                    proptest::prop_assert_eq!(
+                        outcome,
+                        ServeOutcome::Fallback,
+                        "grafted qname {} served from the template",
+                        name
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn referrals_below_cuts_fall_back() {
         let (plain, cached) = engines();

@@ -19,6 +19,7 @@
 
 use crate::cache::AnswerCache;
 use crate::index::{Lookup, ZoneIndex};
+use crate::rrl::{self, ResponseClass, Rrl, RrlConfig, RrlDecision};
 use dns_wire::edns::{edns_of, set_edns, Edns};
 use dns_wire::message::Opcode;
 use dns_wire::rdata::Rdata;
@@ -87,14 +88,35 @@ pub enum ServeOutcome {
     Dropped,
 }
 
+/// The verdict of the rate-limited UDP path ([`Rootd::serve_udp_from`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeVerdict {
+    /// Within budget (or RRL disabled): `out` holds the full response,
+    /// byte-identical to what [`Rootd::serve_udp_into`] writes.
+    Answered(ServeOutcome),
+    /// Rate-limited on the slip cadence: `out` holds a minimal TC=1
+    /// reply; a real client retries over TCP.
+    Slipped,
+    /// Rate-limited: nothing is sent, `out` is garbage.
+    Limited,
+    /// Unserveable datagram (unparseable, stray response): no response
+    /// regardless of RRL.
+    Dropped,
+}
+
 /// Everything the serve path reads per query, swapped atomically on
 /// [`Rootd::reload`]. Readers clone nothing: they hold the lock only for
-/// the duration of one datagram.
+/// the duration of one datagram. The cache rides behind its own `Arc` so
+/// config-only swaps ([`Rootd::set_rrl`]) never rebuild it.
 #[derive(Debug)]
 struct ServingState {
     index: Arc<ZoneIndex>,
-    cache: Option<AnswerCache>,
+    cache: Option<Arc<AnswerCache>>,
     generation: u64,
+    /// Response-rate limiter, `None` when disabled. Lives in the serving
+    /// state so the whole per-query read is one epoch pointer; counters
+    /// survive zone reloads (the `Arc` is carried across).
+    rrl: Option<Arc<Rrl>>,
 }
 
 /// One authoritative serving instance.
@@ -130,6 +152,7 @@ impl Rootd {
                 index,
                 cache: None,
                 generation: 0,
+                rrl: None,
             })),
             identity,
             chaos_hostname,
@@ -149,12 +172,41 @@ impl Rootd {
             cache_enabled: true,
             ..self
         };
-        let (index, generation) = {
+        let (index, generation, rrl) = {
             let state = me.state.read();
-            (Arc::clone(&state.index), state.generation)
+            (
+                Arc::clone(&state.index),
+                state.generation,
+                state.rrl.clone(),
+            )
         };
-        *me.state.write() = Arc::new(me.build_state(index, generation));
+        *me.state.write() = Arc::new(me.build_state(index, generation, rrl));
         me
+    }
+
+    /// Enable response-rate limiting with `cfg` (builder form).
+    pub fn with_rrl(self, cfg: RrlConfig) -> Rootd {
+        self.set_rrl(Some(cfg));
+        self
+    }
+
+    /// Swap the rate-limiter config without rebuilding the answer cache:
+    /// a fresh [`Rrl`] (empty buckets, zeroed counters) for `Some`, the
+    /// plain unlimited path for `None`. Epoch-swapped like
+    /// [`Self::reload`] — in-flight queries finish under the old config.
+    pub fn set_rrl(&self, cfg: Option<RrlConfig>) {
+        let current = Arc::clone(&self.state.read());
+        *self.state.write() = Arc::new(ServingState {
+            index: Arc::clone(&current.index),
+            cache: current.cache.clone(),
+            generation: current.generation,
+            rrl: cfg.map(|c| Arc::new(Rrl::new(c))),
+        });
+    }
+
+    /// The active rate limiter (its counters and bucket stats), if any.
+    pub fn rrl(&self) -> Option<Arc<Rrl>> {
+        self.state.read().rrl.clone()
     }
 
     /// The zone index being served (the current epoch's).
@@ -177,24 +229,33 @@ impl Rootd {
     /// queries finish against the old state; the next datagram sees the new.
     pub fn reload(&self, zone: Arc<Zone>) {
         let index = Arc::new(ZoneIndex::build(zone));
-        let generation = self.state.read().generation + 1;
-        let next = Arc::new(self.build_state(index, generation));
+        let (generation, rrl) = {
+            let state = self.state.read();
+            (state.generation + 1, state.rrl.clone())
+        };
+        let next = Arc::new(self.build_state(index, generation, rrl));
         *self.state.write() = next;
     }
 
-    fn build_state(&self, index: Arc<ZoneIndex>, generation: u64) -> ServingState {
+    fn build_state(
+        &self,
+        index: Arc<ZoneIndex>,
+        generation: u64,
+        rrl: Option<Arc<Rrl>>,
+    ) -> ServingState {
         let cache = self.cache_enabled.then(|| {
-            AnswerCache::build(&Answerer {
+            Arc::new(AnswerCache::build(&Answerer {
                 index: &index,
                 hostname: self.identity.hostname.as_deref(),
                 chaos_hostname: self.chaos_hostname.as_ref(),
                 chaos_version: &self.chaos_version,
-            })
+            }))
         });
         ServingState {
             index,
             cache,
             generation,
+            rrl,
         }
     }
 
@@ -213,16 +274,63 @@ impl Rootd {
     /// over TCP.
     pub fn serve_udp_into(&self, request: &[u8], out: &mut Vec<u8>) -> ServeOutcome {
         let state = self.state.read();
+        self.serve_locked(&state, request, out)
+    }
+
+    fn serve_locked(
+        &self,
+        state: &ServingState,
+        request: &[u8],
+        out: &mut Vec<u8>,
+    ) -> ServeOutcome {
         if let Some(cache) = &state.cache {
             if cache.serve(request, out) {
                 return ServeOutcome::CacheHit;
             }
         }
-        let answerer = self.answerer(&state);
+        let answerer = self.answerer(state);
         if serve_udp_fallback(&answerer, request, out) {
             ServeOutcome::Fallback
         } else {
             ServeOutcome::Dropped
+        }
+    }
+
+    /// Serve one UDP datagram from source `src` at virtual instant
+    /// `now_ms`, applying response-rate limiting when configured. With
+    /// RRL disabled this is [`Self::serve_udp_into`] plus one `Option`
+    /// check: same path, byte-identical output (asserted by tests and
+    /// bench-guarded at ≤5% overhead). With RRL enabled the response is
+    /// built first, classified from its header bytes, and then the
+    /// limiter rules on it — [`ServeVerdict::Slipped`] replaces `out`
+    /// with a minimal TC=1 reply, [`ServeVerdict::Limited`] means send
+    /// nothing. TCP ([`Self::serve_tcp`]) is never limited: it is the
+    /// spoof-victim's escape hatch.
+    pub fn serve_udp_from(
+        &self,
+        src: u64,
+        now_ms: u64,
+        request: &[u8],
+        out: &mut Vec<u8>,
+    ) -> ServeVerdict {
+        let state = self.state.read();
+        let outcome = self.serve_locked(&state, request, out);
+        let Some(rrl) = &state.rrl else {
+            return ServeVerdict::Answered(outcome);
+        };
+        if outcome == ServeOutcome::Dropped {
+            return ServeVerdict::Dropped;
+        }
+        match rrl.decide(src, ResponseClass::of(out), now_ms) {
+            RrlDecision::Pass => ServeVerdict::Answered(outcome),
+            RrlDecision::Slip => {
+                if rrl::write_slip(request, out) {
+                    ServeVerdict::Slipped
+                } else {
+                    ServeVerdict::Limited
+                }
+            }
+            RrlDecision::Drop => ServeVerdict::Limited,
         }
     }
 
@@ -754,6 +862,116 @@ mod tests {
         q.header.opcode = Opcode::Notify;
         let resp = ask(&e, q);
         assert_eq!(resp.header.rcode, Rcode::NotImp);
+    }
+
+    /// The answer-shape matrix the byte-identity tests sweep.
+    fn shape_matrix() -> Vec<Vec<u8>> {
+        let mut queries = Vec::new();
+        for (name, rr_type) in [
+            (".", RrType::Soa),
+            (".", RrType::Ns),
+            (".", RrType::Dnskey),
+            ("com.", RrType::A),
+            ("www.com.", RrType::A),
+            ("nosuchtld12345.", RrType::A),
+            ("deep.under.nosuchtld.", RrType::Aaaa),
+        ] {
+            for dnssec in [false, true] {
+                let mut q = Message::query(77, Question::new(Name::parse(name).unwrap(), rr_type));
+                if dnssec {
+                    set_edns(&mut q, &Edns::dnssec());
+                }
+                queries.push(q.to_wire());
+            }
+        }
+        queries.push(
+            Message::query(78, Question::chaos_txt(Name::parse("id.server.").unwrap())).to_wire(),
+        );
+        queries.push(Message::query(79, Question::new(Name::root(), RrType::Axfr)).to_wire());
+        queries
+    }
+
+    #[test]
+    fn rrl_disabled_path_is_byte_identical_to_serve_udp_into() {
+        let e = engine().with_answer_cache();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for wire in shape_matrix() {
+            let outcome = e.serve_udp_into(&wire, &mut a);
+            let verdict = e.serve_udp_from(0xdead, 123_456, &wire, &mut b);
+            assert_eq!(verdict, ServeVerdict::Answered(outcome));
+            if outcome != ServeOutcome::Dropped {
+                assert_eq!(a, b, "disabled RRL diverged on {wire:?}");
+            }
+        }
+        assert!(e.rrl().is_none());
+    }
+
+    #[test]
+    fn rrl_limits_then_slips_and_tcp_stays_open() {
+        let e = engine().with_rrl(RrlConfig {
+            responses_limit: 2,
+            slip: 2,
+            ..Default::default()
+        });
+        let mut q = Message::query(30, Question::new(Name::root(), RrType::Dnskey));
+        set_edns(&mut q, &Edns::dnssec());
+        let wire = q.to_wire();
+        let mut out = Vec::new();
+        // Budget of 2, then the slip cadence: slip, drop, slip, …
+        assert!(matches!(
+            e.serve_udp_from(5, 0, &wire, &mut out),
+            ServeVerdict::Answered(_)
+        ));
+        assert!(matches!(
+            e.serve_udp_from(5, 1, &wire, &mut out),
+            ServeVerdict::Answered(_)
+        ));
+        assert_eq!(
+            e.serve_udp_from(5, 2, &wire, &mut out),
+            ServeVerdict::Slipped
+        );
+        // The slipped reply: TC set, id echoed, no records.
+        let slip = Message::from_wire(&out).unwrap();
+        assert!(slip.header.flags.truncated);
+        assert_eq!(slip.header.id, 30);
+        assert!(slip.answers.is_empty() && slip.authorities.is_empty());
+        assert_eq!(
+            e.serve_udp_from(5, 3, &wire, &mut out),
+            ServeVerdict::Limited
+        );
+        // A different source is untouched...
+        assert!(matches!(
+            e.serve_udp_from(6, 3, &wire, &mut out),
+            ServeVerdict::Answered(_)
+        ));
+        // ...and TCP serves the limited source in full, always.
+        let frames = e.serve_tcp(&wire);
+        let full = Message::from_wire(&frames[0]).unwrap();
+        assert!(!full.header.flags.truncated);
+        assert!(full.answers.iter().any(|r| r.rr_type == RrType::Dnskey));
+        let c = e.rrl().unwrap().counters();
+        assert_eq!((c.passed, c.slipped, c.dropped), (3, 1, 1));
+    }
+
+    #[test]
+    fn set_rrl_swaps_config_without_touching_cache_or_generation() {
+        let e = engine().with_answer_cache();
+        let gen_before = e.generation();
+        e.set_rrl(Some(RrlConfig::default()));
+        assert!(e.rrl().is_some());
+        assert!(e.has_answer_cache());
+        assert_eq!(e.generation(), gen_before);
+        // Reload carries the limiter (and its counters) across epochs.
+        let mut out = Vec::new();
+        let wire = Message::query(1, Question::new(Name::root(), RrType::Soa)).to_wire();
+        e.serve_udp_from(9, 0, &wire, &mut out);
+        let checked_before = e.rrl().unwrap().counters().checked;
+        e.reload(Arc::clone(e.index().zone()));
+        assert_eq!(e.generation(), gen_before + 1);
+        assert_eq!(e.rrl().unwrap().counters().checked, checked_before);
+        // Disabling drops the limiter entirely.
+        e.set_rrl(None);
+        assert!(e.rrl().is_none());
     }
 
     #[test]

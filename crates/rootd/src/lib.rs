@@ -25,20 +25,31 @@
 //! * [`loadgen`] — a multithreaded load generator replaying seeded,
 //!   B-Root-shaped query mixes (Ginesin & Mirkovic's composition study)
 //!   from simulated clients against per-site engines, with log-bucketed
-//!   latency histograms (p50/p95/p99) and throughput reporting.
+//!   latency histograms (p50/p95/p99) and throughput reporting;
+//! * [`rrl`] — [`Rrl`]: BIND-style response-rate limiting with
+//!   per-(source-prefix, response-class) fixed-window budgets and
+//!   slip/TC behavior, epoch-swapped alongside the serving state;
+//! * [`attack`] — seeded adversarial workloads (water-torture NXDOMAIN
+//!   floods, spoofed reflection, priming floods, per-client query
+//!   storms) interleaved with benign load on the shared virtual-time
+//!   axis, replaying bit-identically across worker counts.
 
+pub mod attack;
 pub mod cache;
 pub mod engine;
 pub mod faults;
 pub mod index;
 pub mod loadgen;
+pub mod rrl;
 pub mod transport;
 
+pub use attack::{AttackConfig, AttackPlan, AttackReport, AttackShape, AttackWindow, EpochTraffic};
 pub use cache::AnswerCache;
-pub use engine::{Rootd, ServeOutcome, SiteIdentity};
+pub use engine::{Rootd, ServeOutcome, ServeVerdict, SiteIdentity};
 pub use faults::{FaultCounters, FaultPlan, FaultSpec, FaultyTransport, Protocol};
 pub use index::{Lookup, Referral, ZoneIndex};
-pub use loadgen::{ArrivalSchedule, LoadReport, LoadgenConfig, QueryMix};
+pub use loadgen::{ArrivalSchedule, LoadReport, LoadgenConfig, QueryMix, SiteFleet};
+pub use rrl::{BucketStat, ResponseClass, Rrl, RrlConfig, RrlCounters, RrlDecision};
 pub use transport::{
     InprocTransport, LoopbackServer, LoopbackTransport, Transport, TransportError,
 };

@@ -154,14 +154,14 @@ impl LoadgenConfig {
 /// One letter's serving fleet: an engine per anycast site, plus the
 /// catchment map deciding which site each client AS reaches.
 pub struct SiteFleet {
-    engines: HashMap<u32, Arc<Rootd>>,
+    pub(crate) engines: HashMap<u32, Arc<Rootd>>,
     /// `client AS -> site` from the Gao-Rexford route computation.
-    catchment: HashMap<u32, u32>,
+    pub(crate) catchment: HashMap<u32, u32>,
     /// Fallback when an AS has no route (partial reachability).
-    default_site: u32,
+    pub(crate) default_site: u32,
     /// Client pool: stub ASes of the topology.
-    clients: Vec<AsId>,
-    tlds: Vec<String>,
+    pub(crate) clients: Vec<AsId>,
+    pub(crate) tlds: Vec<String>,
 }
 
 impl SiteFleet {
@@ -211,7 +211,22 @@ impl SiteFleet {
         self.engines.len()
     }
 
-    fn engine_for(&self, asn: AsId) -> &Arc<Rootd> {
+    /// Swap the response-rate-limiter config on every site's engine
+    /// (fresh buckets/counters for `Some`, plain serving for `None`).
+    pub fn set_rrl(&self, cfg: Option<crate::rrl::RrlConfig>) {
+        for engine in self.engines.values() {
+            engine.set_rrl(cfg.clone());
+        }
+    }
+
+    /// Site ids in a deterministic (sorted) order.
+    pub(crate) fn site_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.engines.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    pub(crate) fn engine_for(&self, asn: AsId) -> &Arc<Rootd> {
         let site = self.catchment.get(&asn.0).unwrap_or(&self.default_site);
         self.engines
             .get(site)
@@ -308,15 +323,15 @@ impl LoadReport {
 
 /// Log-bucketed latency histogram: 16 sub-buckets per octave bounds the
 /// relative quantile error at 1/16.
-struct LatencyHistogram {
+pub(crate) struct LatencyHistogram {
     buckets: Vec<u64>,
     count: u64,
 }
 
-const HISTOGRAM_BUCKETS: usize = 16 + 60 * 16;
+pub(crate) const HISTOGRAM_BUCKETS: usize = 16 + 60 * 16;
 
 impl LatencyHistogram {
-    fn new() -> LatencyHistogram {
+    pub(crate) fn new() -> LatencyHistogram {
         LatencyHistogram {
             buckets: vec![0; HISTOGRAM_BUCKETS],
             count: 0,
@@ -342,20 +357,20 @@ impl LatencyHistogram {
         (16 + sub) << group
     }
 
-    fn record(&mut self, v: u64) {
+    pub(crate) fn record(&mut self, v: u64) {
         let idx = Self::bucket_of(v).min(HISTOGRAM_BUCKETS - 1);
         self.buckets[idx] += 1;
         self.count += 1;
     }
 
-    fn merge(&mut self, other: &LatencyHistogram) {
+    pub(crate) fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
         self.count += other.count;
     }
 
-    fn quantile(&self, q: f64) -> u64 {
+    pub(crate) fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
@@ -421,14 +436,14 @@ const CHAOS_PROBES: [&str; 3] = ["hostname.bind.", "id.server.", "version.bind."
 
 /// Pre-encoded wire fragments for [`fill_query`]: whole CHAOS queries and
 /// qname bytes per TLD, so the per-query work is a copy plus patches.
-struct QueryTemplates {
+pub(crate) struct QueryTemplates {
     chaos: [Vec<u8>; 3],
     /// Qname wire bytes (`len label 0`) per delegated TLD.
     tld_names: Vec<Vec<u8>>,
 }
 
 impl QueryTemplates {
-    fn build(tlds: &[String]) -> QueryTemplates {
+    pub(crate) fn build(tlds: &[String]) -> QueryTemplates {
         let chaos = CHAOS_PROBES
             .map(|n| Message::query(0, Question::chaos_txt(Name::parse(n).unwrap())).to_wire());
         let tld_names = tlds
@@ -450,7 +465,12 @@ impl QueryTemplates {
 /// and produces byte-identical datagrams (asserted by
 /// `templated_queries_match_message_built_ones`), so reports stay
 /// comparable across the optimization.
-fn fill_query(mix: &QueryMix, templates: &QueryTemplates, rng: &mut SimRng, out: &mut Vec<u8>) {
+pub(crate) fn fill_query(
+    mix: &QueryMix,
+    templates: &QueryTemplates,
+    rng: &mut SimRng,
+    out: &mut Vec<u8>,
+) {
     let id = (rng.next_u64() & 0xffff) as u16;
     if rng.chance(mix.chaos_fraction) {
         // Mirrors `rng.pick` on the 3-element probe array.

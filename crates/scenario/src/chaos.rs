@@ -306,6 +306,22 @@ mod tests {
                 letter: RootLetter::A,
                 factor: 2.0,
             },
+            // Attack traffic is loadgen-side, not a transport fault: it
+            // projects through `attack::attack_plan_on_clock` instead.
+            EventKind::AttackFlood {
+                letter: RootLetter::A,
+                intensity: 10,
+            },
+            EventKind::ReflectionBurst {
+                letter: RootLetter::A,
+                victim: AsId(1),
+                intensity: 10,
+            },
+            EventKind::QueryStorm {
+                letter: RootLetter::A,
+                client: AsId(1),
+                intensity: 10,
+            },
         ];
         for kind in kinds {
             assert_eq!(

@@ -350,11 +350,17 @@ fn apply(world: &mut World, kind: EventKind) -> (Snapshot, bool) {
         }
         // Renumbering is an identity change, not a topology change: the
         // measurement already targets both prefixes and the analysis/trace
-        // layers read the change date from the scenario.
+        // layers read the change date from the scenario. Attack traffic
+        // mutates nothing server-side either — it projects onto the
+        // loadgen via `attack_plan_on_clock`, the way wire faults project
+        // via `fault_plan_on_clock`.
         EventKind::PrefixRenumbering { .. }
         | EventKind::RouteFlapBurst { .. }
         | EventKind::RttInflation { .. }
-        | EventKind::Degraded { .. } => (Snapshot::None, false),
+        | EventKind::Degraded { .. }
+        | EventKind::AttackFlood { .. }
+        | EventKind::ReflectionBurst { .. }
+        | EventKind::QueryStorm { .. } => (Snapshot::None, false),
     }
 }
 

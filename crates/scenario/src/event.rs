@@ -49,6 +49,23 @@ pub enum EventKind {
     /// DDoS-style latency inflation: the letter's measured RTTs are scaled
     /// by `factor` for the duration.
     RttInflation { letter: RootLetter, factor: f64 },
+    /// Water-torture NXDOMAIN flood against the letter: random-subdomain
+    /// queries at `intensity`× the benign rate from a spoofed botnet.
+    AttackFlood { letter: RootLetter, intensity: u32 },
+    /// Reflection/amplification burst: large-answer apex queries spoofing
+    /// `victim`'s source address, aimed at the letter.
+    ReflectionBurst {
+        letter: RootLetter,
+        victim: AsId,
+        intensity: u32,
+    },
+    /// One legitimate client (`client`'s stub) floods the letter with
+    /// benign-shaped queries from its real, unspoofed address.
+    QueryStorm {
+        letter: RootLetter,
+        client: AsId,
+        intensity: u32,
+    },
 }
 
 /// What part of the world an event touches. Two events whose windows
@@ -61,6 +78,12 @@ pub enum Scope {
     Letter(RootLetter),
     /// One inter-AS link (normalized so `(a, b)` and `(b, a)` collide).
     Link(AsId, AsId),
+    /// Adversarial traffic aimed at one deployment. Distinct from
+    /// [`Scope::Letter`]: attack traffic mutates nothing the engine has
+    /// to snapshot, so an attack may run *during* a letter-scoped fault —
+    /// but two concurrent attacks on the same letter would make the
+    /// projected [`rootd::AttackPlan`] ambiguous.
+    Traffic(RootLetter),
 }
 
 impl EventKind {
@@ -73,6 +96,9 @@ impl EventKind {
             | EventKind::Degraded { letter, .. }
             | EventKind::RttInflation { letter, .. } => Scope::Letter(letter),
             EventKind::PrefixRenumbering { change } => Scope::Letter(change.letter),
+            EventKind::AttackFlood { letter, .. }
+            | EventKind::ReflectionBurst { letter, .. }
+            | EventKind::QueryStorm { letter, .. } => Scope::Traffic(letter),
             EventKind::PeeringLinkFailure { a, b } => {
                 if a.0 <= b.0 {
                     Scope::Link(a, b)
@@ -135,6 +161,19 @@ impl EventKind {
             EventKind::RttInflation { letter, factor } => {
                 format!("rtt({}×{factor})", letter.ch())
             }
+            EventKind::AttackFlood { letter, intensity } => {
+                format!("flood({}×{intensity})", letter.ch())
+            }
+            EventKind::ReflectionBurst {
+                letter,
+                victim,
+                intensity,
+            } => format!("reflect({}×{intensity}→AS{})", letter.ch(), victim.0),
+            EventKind::QueryStorm {
+                letter,
+                client,
+                intensity,
+            } => format!("storm({}×{intensity}@AS{})", letter.ch(), client.0),
         }
     }
 }
@@ -166,6 +205,30 @@ mod tests {
     }
 
     #[test]
+    fn attack_scope_is_traffic_not_letter() {
+        let flood = EventKind::AttackFlood {
+            letter: RootLetter::B,
+            intensity: 10,
+        };
+        assert_eq!(flood.scope(), Scope::Traffic(RootLetter::B));
+        // An attack and a fault on the same letter may overlap in time —
+        // their scopes differ; two attacks on the same letter may not.
+        let fault = EventKind::RttInflation {
+            letter: RootLetter::B,
+            factor: 2.0,
+        };
+        assert_ne!(flood.scope(), fault.scope());
+        let storm = EventKind::QueryStorm {
+            letter: RootLetter::B,
+            client: AsId(1),
+            intensity: 5,
+        };
+        assert_eq!(flood.scope(), storm.scope());
+        assert!(!flood.wire_visible());
+        assert!(!flood.mutates_routing());
+    }
+
+    #[test]
     fn labels_are_distinct_per_kind() {
         let labels: Vec<String> = [
             EventKind::SiteOutage {
@@ -194,6 +257,20 @@ mod tests {
             EventKind::RttInflation {
                 letter: RootLetter::A,
                 factor: 4.0,
+            },
+            EventKind::AttackFlood {
+                letter: RootLetter::B,
+                intensity: 10,
+            },
+            EventKind::ReflectionBurst {
+                letter: RootLetter::B,
+                victim: AsId(7),
+                intensity: 10,
+            },
+            EventKind::QueryStorm {
+                letter: RootLetter::B,
+                client: AsId(7),
+                intensity: 20,
             },
         ]
         .iter()

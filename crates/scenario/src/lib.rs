@@ -24,6 +24,7 @@
 //! anchor: driving it through the engine reproduces the legacy pipeline's
 //! outputs exactly (see this crate's `broot_equivalence` test).
 
+pub mod attack;
 pub mod catalog;
 pub mod chaos;
 pub mod engine;
@@ -31,6 +32,7 @@ pub mod event;
 pub mod report;
 pub mod timeline;
 
+pub use attack::{attack_plan_at, attack_plan_on_clock};
 pub use chaos::{fault_plan_at, fault_plan_for_fleet, fault_plan_on_clock};
 pub use engine::{EpochRun, EpochZone, ScenarioConfig, ScenarioEngine, ScenarioRun};
 pub use event::{DegradedMode, EventKind, Scope};

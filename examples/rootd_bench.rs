@@ -15,7 +15,7 @@
 //! human-readable driver.
 
 use rootd::{FaultPlan, FaultSpec, LoadgenConfig, QueryMix};
-use roots_core::{Scale, ServingPipeline};
+use roots_core::{AttackRun, Scale, ServingPipeline};
 use rss::RootLetter;
 
 fn main() {
@@ -81,4 +81,22 @@ fn main() {
     );
     let pf = ServingPipeline::run(scale, RootLetter::B, &faulty);
     print!("{}", pf.report.render_faults());
+
+    // Third pass: the demo attack scenario with response-rate limiting
+    // engaged — what the limiter dropped, slipped (TC=1), and which
+    // per-(source, class) buckets ran hottest.
+    let scenario = AttackRun::demo_scenario(scale, RootLetter::B);
+    println!(
+        "\nflood-injected rerun: scenario '{}' over {} virtual ms, RRL engaged",
+        scenario.name(),
+        AttackRun::DEMO_DURATION_MS
+    );
+    let pa = AttackRun::run(
+        scale,
+        RootLetter::B,
+        &scenario,
+        AttackRun::DEMO_DURATION_MS,
+        threads,
+    );
+    print!("{}", pa.report.render());
 }
