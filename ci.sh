@@ -47,6 +47,12 @@ grep -q "clock chaos invariants: OK" "$figdir/clock_chaos.txt"
 # and the run must replay identically across worker counts.
 cargo run -q --release --offline --example attack_report > "$figdir/attack.txt"
 grep -q "attack invariants: OK" "$figdir/attack.txt"
+# Planner smoke: a 1000-candidate what-if sweep over b.root — the
+# baseline must match the world's routing bit-for-bit, the identity
+# candidate must score exactly zero, and scores/ranking/frontier must be
+# identical for every worker count 1..=5.
+cargo run -q --release --offline --example planner_report > "$figdir/planner.txt"
+grep -q "planner invariants: OK" "$figdir/planner.txt"
 
 # Bench smoke: every bench target runs end to end and merges its numbers
 # into the committed BENCH_results.json, including the rootd loadgen's

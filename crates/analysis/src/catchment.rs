@@ -1,0 +1,361 @@
+//! Shared catchment/RTT aggregation and deployment delta scoring.
+//!
+//! Three consumers observe "a client in some region reached some site (or
+//! nothing) at some RTT" and want the same aggregates — catchment shares,
+//! loss, per-region/family mean RTT: the scenario epoch diff
+//! ([`crate::epochs::EpochStats`]), the `anycast_explorer` example's
+//! all-VP sweep, and the what-if planner's candidate scoring. The
+//! [`CatchmentAccum`] here is that one accumulator.
+//!
+//! On top of it, [`DeploymentSummary`] adds the locality axis (fraction of
+//! answered clients served from a site in their own region) and
+//! [`DeploymentSummary::delta`] produces the [`SummaryDelta`] the planner
+//! ranks candidates by. All arithmetic is plain streaming sums in
+//! observation order, so two summaries built from bit-identical inputs
+//! subtract to *exactly* zero — the planner's identity-candidate
+//! invariant rests on that.
+
+use netgeo::Region;
+use netsim::Family;
+use std::collections::BTreeMap;
+
+/// Streaming aggregator of per-client observations for one deployment
+/// state: who answered (catchment + loss) and at what RTT (per
+/// region/family means).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CatchmentAccum {
+    /// Answered observations per site.
+    served: BTreeMap<u32, usize>,
+    lost: usize,
+    total: usize,
+    /// RTT accumulator per `[region][family]`: (sum_ms, samples).
+    rtt: [[(f64, usize); 2]; 6],
+}
+
+impl CatchmentAccum {
+    pub fn new() -> CatchmentAccum {
+        CatchmentAccum::default()
+    }
+
+    /// Record one observation: a client in `region` probing over `family`
+    /// reached `site` (`None` = unanswered) with an optional RTT sample.
+    pub fn observe(
+        &mut self,
+        region: Region,
+        family: Family,
+        site: Option<u32>,
+        rtt_ms: Option<f64>,
+    ) {
+        self.total += 1;
+        match site {
+            Some(s) => *self.served.entry(s).or_default() += 1,
+            None => self.lost += 1,
+        }
+        if let Some(ms) = rtt_ms {
+            let cell = &mut self.rtt[region.index()][family.index()];
+            cell.0 += ms;
+            cell.1 += 1;
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn observations(&self) -> usize {
+        self.total
+    }
+
+    /// Observations that went unanswered.
+    pub fn lost(&self) -> usize {
+        self.lost
+    }
+
+    /// Fraction of observations that went unanswered (0 when empty).
+    pub fn loss(&self) -> f64 {
+        self.lost as f64 / self.total.max(1) as f64
+    }
+
+    /// Distinct sites that answered at least one observation.
+    pub fn distinct_sites(&self) -> usize {
+        self.served.len()
+    }
+
+    /// Catchment: fraction of *answered* observations served per site.
+    pub fn shares(&self) -> BTreeMap<u32, f64> {
+        let answered: usize = self.served.values().sum();
+        self.served
+            .iter()
+            .map(|(&site, &n)| (site, n as f64 / answered.max(1) as f64))
+            .collect()
+    }
+
+    /// Mean RTT for (region, family), if any samples landed there.
+    pub fn rtt_mean(&self, region: Region, family: Family) -> Option<f64> {
+        let (sum, n) = self.rtt[region.index()][family.index()];
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Sample-weighted mean RTT across all regions for one family.
+    pub fn rtt_global_mean(&self, family: Family) -> Option<f64> {
+        let (sum, n) = self
+            .rtt
+            .iter()
+            .map(|per_family| per_family[family.index()])
+            .fold((0.0, 0usize), |(s, c), (sum, n)| (s + sum, c + n));
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+/// Total-variation distance between two catchment share maps, in [0, 1]:
+/// the fraction of traffic that moved to a different site. 0 = identical
+/// catchments, 1 = fully disjoint.
+pub fn catchment_shift(a: &BTreeMap<u32, f64>, b: &BTreeMap<u32, f64>) -> f64 {
+    let mut sites: Vec<u32> = a.keys().copied().collect();
+    sites.extend(b.keys().copied());
+    sites.sort_unstable();
+    sites.dedup();
+    0.5 * sites
+        .iter()
+        .map(|s| {
+            let x = a.get(s).copied().unwrap_or(0.0);
+            let y = b.get(s).copied().unwrap_or(0.0);
+            (x - y).abs()
+        })
+        .sum::<f64>()
+}
+
+/// The serving site of one answered observation, as the summary needs it:
+/// which site, where it is, and the modelled RTT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServedSite {
+    pub site: u32,
+    /// The serving facility's region (for the locality axis).
+    pub region: Region,
+    pub rtt_ms: f64,
+}
+
+/// One deployment state scored over a client population: catchment, RTT,
+/// and catchment *locality* (answered clients served in-region).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeploymentSummary {
+    pub accum: CatchmentAccum,
+    /// Per client region: (served in-region, answered).
+    locality: [(usize, usize); 6],
+}
+
+impl DeploymentSummary {
+    pub fn new() -> DeploymentSummary {
+        DeploymentSummary::default()
+    }
+
+    /// Record one client observation. `None` = unanswered.
+    pub fn observe(&mut self, client_region: Region, family: Family, served: Option<ServedSite>) {
+        match served {
+            Some(s) => {
+                self.accum
+                    .observe(client_region, family, Some(s.site), Some(s.rtt_ms));
+                let cell = &mut self.locality[client_region.index()];
+                cell.1 += 1;
+                if s.region == client_region {
+                    cell.0 += 1;
+                }
+            }
+            None => self.accum.observe(client_region, family, None, None),
+        }
+    }
+
+    /// In-region-served fraction for clients of `region`; `None` when no
+    /// client there was answered.
+    pub fn locality(&self, region: Region) -> Option<f64> {
+        let (local, answered) = self.locality[region.index()];
+        (answered > 0).then(|| local as f64 / answered as f64)
+    }
+
+    /// Answered-weighted in-region-served fraction over all clients.
+    pub fn locality_global(&self) -> f64 {
+        let (local, answered) = self
+            .locality
+            .iter()
+            .fold((0usize, 0usize), |(l, a), &(lr, ar)| (l + lr, a + ar));
+        local as f64 / answered.max(1) as f64
+    }
+
+    /// Score this summary against `baseline`. Every field is a plain
+    /// difference of the two summaries' aggregates, so a summary diffed
+    /// against a bit-identical twin yields exact zeros.
+    pub fn delta(&self, baseline: &DeploymentSummary) -> SummaryDelta {
+        let rtt_of = |f: Family| match (
+            self.accum.rtt_global_mean(f),
+            baseline.accum.rtt_global_mean(f),
+        ) {
+            (Some(a), Some(b)) => Some(a - b),
+            _ => None,
+        };
+        let mut rtt_region_ms = [[None; 2]; 6];
+        let mut locality_region = [None; 6];
+        for region in Region::ALL {
+            for family in Family::BOTH {
+                if let (Some(a), Some(b)) = (
+                    self.accum.rtt_mean(region, family),
+                    baseline.accum.rtt_mean(region, family),
+                ) {
+                    rtt_region_ms[region.index()][family.index()] = Some(a - b);
+                }
+            }
+            if let (Some(a), Some(b)) = (self.locality(region), baseline.locality(region)) {
+                locality_region[region.index()] = Some(a - b);
+            }
+        }
+        SummaryDelta {
+            rtt_ms: [rtt_of(Family::V4), rtt_of(Family::V6)],
+            rtt_region_ms,
+            locality: self.locality_global() - baseline.locality_global(),
+            locality_region,
+            loss: self.accum.loss() - baseline.accum.loss(),
+            shift: catchment_shift(&self.accum.shares(), &baseline.accum.shares()),
+        }
+    }
+}
+
+/// How a candidate deployment differs from the baseline: RTT per family
+/// (global and per-region), locality, loss, and catchment shift. Negative
+/// RTT/loss deltas and positive locality deltas are improvements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryDelta {
+    /// Global mean-RTT delta (ms) per family index; `None` when either
+    /// side lacks samples for that family.
+    pub rtt_ms: [Option<f64>; 2],
+    /// Mean-RTT delta (ms) per `[region][family]`.
+    pub rtt_region_ms: [[Option<f64>; 2]; 6],
+    /// Global in-region-served fraction delta.
+    pub locality: f64,
+    /// Per-region in-region-served fraction delta.
+    pub locality_region: [Option<f64>; 6],
+    /// Unanswered-fraction delta.
+    pub loss: f64,
+    /// Total-variation distance between the two catchments.
+    pub shift: f64,
+}
+
+impl SummaryDelta {
+    /// Mean of the available global per-family RTT deltas (0 when neither
+    /// family has samples) — the scalar RTT axis the planner ranks on.
+    pub fn rtt_combined(&self) -> f64 {
+        let present: Vec<f64> = self.rtt_ms.iter().flatten().copied().collect();
+        if present.is_empty() {
+            0.0
+        } else {
+            present.iter().sum::<f64>() / present.len() as f64
+        }
+    }
+
+    /// Mean of the available per-family RTT deltas for one region.
+    pub fn rtt_region_combined(&self, region: Region) -> Option<f64> {
+        let present: Vec<f64> = self.rtt_region_ms[region.index()]
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        (!present.is_empty()).then(|| present.iter().sum::<f64>() / present.len() as f64)
+    }
+
+    /// Whether every present field is *exactly* zero — the identity-
+    /// candidate invariant (no tolerance: bit-identical inputs must
+    /// subtract to 0.0).
+    pub fn is_zero(&self) -> bool {
+        self.rtt_ms.iter().flatten().all(|&d| d == 0.0)
+            && self
+                .rtt_region_ms
+                .iter()
+                .flat_map(|r| r.iter().flatten())
+                .all(|&d| d == 0.0)
+            && self.locality == 0.0
+            && self.locality_region.iter().flatten().all(|&d| d == 0.0)
+            && self.loss == 0.0
+            && self.shift == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accum_aggregates_shares_loss_and_rtt() {
+        let mut a = CatchmentAccum::new();
+        let r = Region::Europe;
+        a.observe(r, Family::V4, Some(1), Some(10.0));
+        a.observe(r, Family::V4, Some(1), Some(30.0));
+        a.observe(r, Family::V4, Some(2), None);
+        a.observe(r, Family::V4, None, None);
+        assert_eq!(a.observations(), 4);
+        assert_eq!(a.lost(), 1);
+        assert!((a.loss() - 0.25).abs() < 1e-12);
+        assert_eq!(a.distinct_sites(), 2);
+        let shares = a.shares();
+        assert!((shares[&1] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.rtt_mean(r, Family::V4), Some(20.0));
+        assert_eq!(a.rtt_mean(r, Family::V6), None);
+        assert_eq!(a.rtt_global_mean(Family::V4), Some(20.0));
+    }
+
+    #[test]
+    fn shift_is_total_variation() {
+        let mk = |sites: &[u32]| {
+            let mut a = CatchmentAccum::new();
+            for &s in sites {
+                a.observe(Region::Asia, Family::V4, Some(s), None);
+            }
+            a.shares()
+        };
+        let a = mk(&[1, 1, 2, 2]);
+        assert!(catchment_shift(&a, &mk(&[1, 2, 1, 2])).abs() < 1e-12);
+        assert!((catchment_shift(&a, &mk(&[1, 1, 3, 3])) - 0.5).abs() < 1e-12);
+        assert!((catchment_shift(&a, &mk(&[4, 4, 5, 5])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_tracks_locality_and_identity_delta_is_exactly_zero() {
+        let mut s = DeploymentSummary::new();
+        let served = |site, region, ms| {
+            Some(ServedSite {
+                site,
+                region,
+                rtt_ms: ms,
+            })
+        };
+        s.observe(Region::Europe, Family::V4, served(0, Region::Europe, 10.0));
+        s.observe(Region::Europe, Family::V4, served(1, Region::Asia, 90.0));
+        s.observe(Region::Asia, Family::V6, served(1, Region::Asia, 40.0));
+        s.observe(Region::Africa, Family::V4, None);
+        assert_eq!(s.locality(Region::Europe), Some(0.5));
+        assert_eq!(s.locality(Region::Asia), Some(1.0));
+        assert_eq!(s.locality(Region::Africa), None);
+        assert!((s.locality_global() - 2.0 / 3.0).abs() < 1e-12);
+        let d = s.delta(&s.clone());
+        assert!(d.is_zero(), "{d:?}");
+        assert_eq!(d.rtt_combined(), 0.0);
+    }
+
+    #[test]
+    fn delta_points_the_right_way() {
+        let served = |site, region, ms| {
+            Some(ServedSite {
+                site,
+                region,
+                rtt_ms: ms,
+            })
+        };
+        let mut base = DeploymentSummary::new();
+        base.observe(Region::Europe, Family::V4, served(0, Region::Asia, 100.0));
+        let mut cand = DeploymentSummary::new();
+        cand.observe(Region::Europe, Family::V4, served(1, Region::Europe, 20.0));
+        let d = cand.delta(&base);
+        assert_eq!(d.rtt_ms[0], Some(-80.0));
+        assert_eq!(d.rtt_ms[1], None);
+        assert_eq!(d.rtt_combined(), -80.0);
+        assert_eq!(d.rtt_region_combined(Region::Europe), Some(-80.0));
+        assert_eq!(d.rtt_region_combined(Region::Oceania), None);
+        assert!((d.locality - 1.0).abs() < 1e-12);
+        assert!((d.shift - 1.0).abs() < 1e-12);
+        assert!(!d.is_zero());
+    }
+}

@@ -8,6 +8,7 @@
 //! that answers the paper's operational question: what did the change do
 //! to who is served from where, and at what latency?
 
+use crate::catchment::CatchmentAccum;
 use netgeo::Region;
 use netsim::Family;
 use rss::RootLetter;
@@ -30,8 +31,8 @@ pub struct EpochStats {
     pub loss: f64,
     /// Catchment: fraction of answered probes served by each site.
     pub catchment: BTreeMap<u32, f64>,
-    /// RTT accumulator per `[region][family]`: (sum_ms, samples).
-    rtt: [[(f64, usize); 2]; 6],
+    /// The shared catchment/RTT accumulator behind the fields above.
+    accum: CatchmentAccum,
     /// Zone-validation failures observed during the epoch (filled by the
     /// scenario engine from the transfer pipeline).
     pub validation_failures: usize,
@@ -49,75 +50,45 @@ impl EpochStats {
         start: u32,
         end: u32,
     ) -> EpochStats {
-        let mut probe_count = 0usize;
-        let mut lost = 0usize;
-        let mut served: BTreeMap<u32, usize> = BTreeMap::new();
-        let mut rtt = [[(0.0, 0usize); 2]; 6];
+        let mut accum = CatchmentAccum::new();
         for p in probes {
             if p.target.letter != letter {
                 continue;
             }
-            probe_count += 1;
-            match p.site {
-                None => lost += 1,
-                Some(site) => *served.entry(site.0).or_default() += 1,
-            }
-            if let Some(ms) = p.rtt_ms {
-                let region = population.get(p.vp).region;
-                let cell = &mut rtt[region.index()][p.family.index()];
-                cell.0 += ms;
-                cell.1 += 1;
-            }
+            accum.observe(
+                population.get(p.vp).region,
+                p.family,
+                p.site.map(|s| s.0),
+                p.rtt_ms,
+            );
         }
-        let answered: usize = served.values().sum();
-        let catchment = served
-            .into_iter()
-            .map(|(site, n)| (site, n as f64 / answered.max(1) as f64))
-            .collect();
         EpochStats {
             label: label.into(),
             start,
             end,
-            probe_count,
-            loss: lost as f64 / probe_count.max(1) as f64,
-            catchment,
-            rtt,
+            probe_count: accum.observations(),
+            loss: accum.loss(),
+            catchment: accum.shares(),
+            accum,
             validation_failures: 0,
         }
     }
 
     /// Mean RTT for (region, family), if any samples landed there.
     pub fn rtt_mean(&self, region: Region, family: Family) -> Option<f64> {
-        let (sum, n) = self.rtt[region.index()][family.index()];
-        (n > 0).then(|| sum / n as f64)
+        self.accum.rtt_mean(region, family)
     }
 
     /// Sample-weighted mean RTT across all regions for one family.
     pub fn rtt_global_mean(&self, family: Family) -> Option<f64> {
-        let (sum, n) = self
-            .rtt
-            .iter()
-            .map(|per_family| per_family[family.index()])
-            .fold((0.0, 0usize), |(s, c), (sum, n)| (s + sum, c + n));
-        (n > 0).then(|| sum / n as f64)
+        self.accum.rtt_global_mean(family)
     }
 
     /// Total-variation distance between this epoch's catchment and
     /// `other`'s, in [0, 1]: the fraction of traffic that moved to a
     /// different site. 0 = identical catchments, 1 = fully disjoint.
     pub fn catchment_shift(&self, other: &EpochStats) -> f64 {
-        let mut sites: Vec<u32> = self.catchment.keys().copied().collect();
-        sites.extend(other.catchment.keys().copied());
-        sites.sort_unstable();
-        sites.dedup();
-        0.5 * sites
-            .iter()
-            .map(|s| {
-                let a = self.catchment.get(s).copied().unwrap_or(0.0);
-                let b = other.catchment.get(s).copied().unwrap_or(0.0);
-                (a - b).abs()
-            })
-            .sum::<f64>()
+        crate::catchment::catchment_shift(&self.catchment, &other.catchment)
     }
 }
 

@@ -17,8 +17,10 @@
 //! | [`zonemd_pipeline`] | Table 2 + Figure 10 (validation errors, bitflips) |
 //! | [`stats`] | shared numeric helpers (eCDF, percentiles, violin stats) |
 //! | [`epochs`] | scenario before/during/after diffing (change events) |
+//! | [`catchment`] | shared catchment/RTT accumulator + deployment deltas |
 
 pub mod anomaly;
+pub mod catchment;
 pub mod clients;
 pub mod colocation;
 pub mod coverage;
@@ -32,6 +34,7 @@ pub mod stats;
 pub mod traffic;
 pub mod zonemd_pipeline;
 
+pub use catchment::{CatchmentAccum, DeploymentSummary, ServedSite, SummaryDelta};
 pub use colocation::{ColocationResult, ReducedRedundancy};
 pub use coverage::{CoverageReport, CoverageRow};
 pub use distance::DistanceResult;

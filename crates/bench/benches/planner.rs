@@ -1,0 +1,59 @@
+//! Planner benchmarks: per-candidate evaluation cost through one reusable
+//! context, a small batch through the worker pool, and full-sweep
+//! throughput — 1000 candidates across 4 workers, published into
+//! `BENCH_results.json` as `planner/eval_batch/qps` (candidates per
+//! second, higher-better) and gated by `bench_guard`.
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+use planner::{evaluate_batch, generate, scores_fingerprint, EvalContext, MoveSetConfig};
+use std::hint::black_box;
+use std::time::Instant;
+use vantage::{World, WorldBuildConfig};
+
+fn bench_eval(c: &mut Criterion) {
+    let world = World::build(&WorldBuildConfig::tiny());
+    let cfg = MoveSetConfig::default();
+    let plans = generate(&world, &cfg);
+    let mut group = c.benchmark_group("planner");
+    group.sample_size(20);
+    // The unit of work a sweep worker repeats: apply → propagate → sweep
+    // → score → revert, cycling through the generated move sets.
+    group.bench_function("eval_candidate", |b| {
+        let mut ctx = EvalContext::new(&world, cfg.letter, None);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % plans.len();
+            black_box(ctx.evaluate(&plans[i]).churn)
+        })
+    });
+    // A small batch end-to-end: context build, chunked workers, ordered
+    // merge, fingerprint.
+    group.bench_function("eval_batch_64", |b| {
+        b.iter(|| {
+            black_box(scores_fingerprint(&evaluate_batch(
+                &world,
+                cfg.letter,
+                &plans[..64],
+                4,
+                None,
+            )))
+        })
+    });
+    group.finish();
+
+    // Full-sweep throughput, the number the issue tracks: candidates per
+    // second over the whole seeded 1000-candidate batch.
+    let t = Instant::now();
+    let scores = evaluate_batch(&world, cfg.letter, &plans, 4, None);
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(scores.len(), plans.len());
+    let qps = plans.len() as f64 / secs;
+    record_metric("planner/eval_batch/qps", qps);
+    println!(
+        "planner/eval_batch: {} candidates in {secs:.2} s ({qps:.0}/s)",
+        plans.len()
+    );
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

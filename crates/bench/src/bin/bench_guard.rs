@@ -4,8 +4,9 @@
 //!
 //! Only allowlisted keys are guarded — the hot serve path
 //! (`rootd/serve_*`), the codec microbenches (`codec/*`), the virtual
-//! clock (`simclock/*`), and the load-generator throughput
-//! (`rootd/loadgen/qps`) — because those are the numbers this repo
+//! clock (`simclock/*`), the load-generator throughput
+//! (`rootd/loadgen/qps`), and the planner's sweep throughput
+//! (`planner/eval_batch/qps`) — because those are the numbers this repo
 //! optimizes deliberately; everything else in the results file is
 //! trajectory data and may drift with the model. Keys
 //! containing `qps` are higher-is-better (fail when `new < old × 0.75`);
@@ -32,6 +33,7 @@ const EXACT: &[&str] = &[
     "rootd/loadgen/qps",
     "rootd/serve_faultfree_wrapped",
     "rootd/flood_legit_p99",
+    "planner/eval_batch/qps",
 ];
 const PREFIXES: &[&str] = &["rootd/serve_", "codec/", "simclock/"];
 
@@ -75,6 +77,11 @@ const WIDE: &[(&str, f64)] = &[
     // gate only has to catch RRL failing open, which pushes legit p99 an
     // order of magnitude.
     ("rootd/flood_legit_p99", 3.0),
+    // Wall-clock throughput of a 4-worker sweep on shared CI cores:
+    // contention swings it well past the 25% default, so the floor is
+    // 2× down — still far above the order-of-magnitude collapse that an
+    // accidental per-candidate world rebuild or a lost worker would cause.
+    ("planner/eval_batch/qps", 0.5),
 ];
 
 /// Absolute slack for lower-is-better (nanosecond) keys: deltas smaller

@@ -26,11 +26,13 @@
 
 pub mod experiments;
 pub mod pipeline;
+pub mod planning;
 pub mod scale;
 pub mod scenarios;
 pub mod serving;
 
 pub use pipeline::Pipeline;
+pub use planning::PlannerRun;
 pub use scale::Scale;
 pub use scenarios::ScenarioPipeline;
 pub use serving::{AttackRun, ClockChaosRun, ServingPipeline};

@@ -1,0 +1,140 @@
+//! What-if deployment planning at pipeline scale: the batch planner wired
+//! into the core facade.
+//!
+//! [`PlannerRun`] is the planning sibling of
+//! [`ScenarioPipeline`](crate::ScenarioPipeline): it builds the same world
+//! for a [`Scale`], generates a seeded candidate sweep for one letter,
+//! scores it across a worker pool, and keeps the ranked [`SweepReport`].
+//! [`PlannerRun::rescore_fingerprint`] re-runs the sweep at any worker
+//! count — the fingerprints must match bit-for-bit, which
+//! `examples/planner_report.rs` asserts for 1..=5 workers.
+
+use crate::scale::Scale;
+use planner::{
+    evaluate_batch, generate, scores_fingerprint, CandidatePlan, EvalContext, MoveSetConfig,
+    SweepReport, TimelineSpec,
+};
+use scenario::Scenario;
+use vantage::World;
+
+/// A world swept through one batch of candidate deployment changes.
+pub struct PlannerRun {
+    pub scale: Scale,
+    pub world: World,
+    /// The generated candidates, id order.
+    pub plans: Vec<CandidatePlan>,
+    /// Scores + ranking + Pareto frontier.
+    pub report: SweepReport,
+    /// Scenario timeline the sweep was scored through, if any.
+    timeline: Option<(Scenario, u32, u32)>,
+}
+
+impl PlannerRun {
+    /// Build the scale's world and score `cfg`'s candidate sweep in
+    /// steady state across `workers` threads.
+    pub fn run(scale: Scale, cfg: &MoveSetConfig, workers: usize) -> PlannerRun {
+        Self::build(scale, cfg, workers, None)
+    }
+
+    /// Like [`PlannerRun::run`], but additionally scores every candidate
+    /// through `scenario`'s epochs between `start` and `end` (simclock-
+    /// pinned mode — each score carries its worst epoch).
+    pub fn run_through(
+        scale: Scale,
+        cfg: &MoveSetConfig,
+        workers: usize,
+        scenario: &Scenario,
+        start: u32,
+        end: u32,
+    ) -> PlannerRun {
+        Self::build(scale, cfg, workers, Some((scenario.clone(), start, end)))
+    }
+
+    fn build(
+        scale: Scale,
+        cfg: &MoveSetConfig,
+        workers: usize,
+        timeline: Option<(Scenario, u32, u32)>,
+    ) -> PlannerRun {
+        let world = World::build(&scale.world());
+        let plans = generate(&world, cfg);
+        let spec = timeline.as_ref().map(|(s, start, end)| TimelineSpec {
+            scenario: s,
+            start: *start,
+            end: *end,
+        });
+        let scores = evaluate_batch(&world, cfg.letter, &plans, workers, spec);
+        PlannerRun {
+            scale,
+            world,
+            plans,
+            report: SweepReport::build(cfg.letter, scores),
+            timeline,
+        }
+    }
+
+    /// Re-score the whole sweep with `workers` threads and digest it —
+    /// the determinism probe: any worker count must reproduce the run's
+    /// own [`SweepReport::fingerprint`] scores exactly.
+    pub fn rescore_fingerprint(&self, workers: usize) -> u64 {
+        let spec = self.timeline.as_ref().map(|(s, start, end)| TimelineSpec {
+            scenario: s,
+            start: *start,
+            end: *end,
+        });
+        let scores = evaluate_batch(&self.world, self.report.letter, &self.plans, workers, spec);
+        scores_fingerprint(&scores)
+    }
+
+    /// Fingerprint of this run's own scores (the reference the probe is
+    /// compared against).
+    pub fn scores_fingerprint(&self) -> u64 {
+        scores_fingerprint(&self.report.scores)
+    }
+
+    /// A fresh [`EvalContext`] against this run's world, for invariant
+    /// checks (baseline match, pristine-revert).
+    pub fn context(&self) -> EvalContext<'_> {
+        let spec = self.timeline.as_ref().map(|(s, start, end)| TimelineSpec {
+            scenario: s,
+            start: *start,
+            end: *end,
+        });
+        EvalContext::new(&self.world, self.report.letter, spec)
+    }
+
+    /// The frontier + per-region top-`k` tables.
+    pub fn render(&self, k: usize) -> String {
+        self.report.render(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rss::RootLetter;
+
+    #[test]
+    fn tiny_run_ranks_and_reproduces() {
+        let run = PlannerRun::run(
+            Scale::Tiny,
+            &MoveSetConfig {
+                count: 40,
+                ..Default::default()
+            },
+            3,
+        );
+        assert_eq!(run.report.letter, RootLetter::B);
+        assert_eq!(run.report.scores.len(), 40);
+        assert_eq!(run.report.ranking.len(), 40);
+        // The identity candidate rides along as id 0 and scores zero.
+        let identity = run.report.score(0).unwrap();
+        assert!(identity.delta.is_zero());
+        assert_eq!(identity.churn, 0.0);
+        // Any worker count reproduces the scores bit-identically.
+        assert_eq!(run.rescore_fingerprint(1), run.scores_fingerprint());
+        assert_eq!(run.rescore_fingerprint(4), run.scores_fingerprint());
+        assert!(run.context().baseline_matches_world());
+        assert!(run.render(3).contains("Pareto frontier"));
+    }
+}

@@ -56,7 +56,7 @@ impl Facility {
 }
 
 /// One operator's presence at a facility.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Site {
     pub id: SiteId,
     pub facility: FacilityId,
@@ -69,7 +69,7 @@ pub struct Site {
 }
 
 /// An anycast deployment: one service address (per family), many sites.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Deployment {
     /// Human-readable name (e.g. `b.root-servers.net`).
     pub name: String,

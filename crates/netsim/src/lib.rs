@@ -41,6 +41,6 @@ pub use churn::ChurnModel;
 pub use rng::SimRng;
 pub use routing::{propagate, CandidateRoute, RouteTable};
 pub use rtt::RttModel;
-pub use topology::{Topology, TopologyConfig};
+pub use topology::{Topology, TopologyConfig, TopologySnapshot};
 pub use traceroute::{trace, Traceroute, TracerouteConfig};
 pub use types::{AsId, Family, Relation, Tier};

@@ -89,6 +89,31 @@ impl RouteTable {
     pub fn reachable(&self, asn: AsId) -> bool {
         !self.candidates[asn.0 as usize].is_empty()
     }
+
+    /// Order-sensitive FNV-style digest over the complete candidate set
+    /// (every AS, every candidate, selection-relevant fields). Two tables
+    /// with equal fingerprints route identically — the snapshot/restore
+    /// round-trip tests and the planner's revert invariant both hinge on
+    /// this being sensitive to candidate *order*, not just membership.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mix = |h: &mut u64, v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        mix(&mut h, self.family.index() as u64);
+        for (asn, cands) in self.candidates.iter().enumerate() {
+            for c in cands {
+                mix(&mut h, asn as u64);
+                mix(&mut h, u64::from(c.site.0));
+                mix(&mut h, c.via.map(|a| u64::from(a.0) + 1).unwrap_or(0));
+                mix(&mut h, c.learned_from as u64);
+                mix(&mut h, c.path.len() as u64);
+                mix(&mut h, u64::from(c.km));
+            }
+        }
+        h
+    }
 }
 
 /// Max-heap entry ordered so the globally best (smallest rank) pops first.

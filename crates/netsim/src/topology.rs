@@ -43,7 +43,7 @@ impl AsNode {
 }
 
 /// A directed adjacency entry: `from` considers `to` related by `relation`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Link {
     pub to: AsId,
     pub relation: Relation,
@@ -95,6 +95,31 @@ impl Default for TopologyConfig {
             open_v6_peering_fraction: 0.35,
             seed: 0xD0_07,
         }
+    }
+}
+
+/// A typed snapshot of a topology's mutable state: the node count and the
+/// full adjacency structure (including per-entry order, which routing
+/// determinism depends on). [`Topology::restore`] brings the graph back
+/// bit-identically: ASes added after the snapshot are dropped and every
+/// link — carriage flags, relation, *and position* — returns to its
+/// snapshotted state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologySnapshot {
+    node_count: usize,
+    adj: Vec<Vec<Link>>,
+}
+
+impl TopologySnapshot {
+    /// Number of ASes at snapshot time.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Whether `topology`'s mutable state equals this snapshot exactly
+    /// (same node count, same adjacency entries in the same order).
+    pub fn matches(&self, topology: &Topology) -> bool {
+        topology.nodes.len() == self.node_count && topology.adj == self.adj
     }
 }
 
@@ -369,6 +394,42 @@ impl Topology {
         Some(prev)
     }
 
+    /// Remove the direct link between `a` and `b` entirely (both
+    /// directions); returns `false` when the ASes are not adjacent. The
+    /// exact inverse of [`Topology::add_link`] on a previously non-adjacent
+    /// pair. Unlike [`Topology::disable_link`] this does drop the entries,
+    /// so it must only be used to undo links added after a snapshot —
+    /// reverting a *pre-existing* link through remove+add would reorder
+    /// adjacency and change downstream tie-breaks.
+    pub fn remove_link(&mut self, a: AsId, b: AsId) -> bool {
+        let before = self.adj[a.0 as usize].len();
+        self.adj[a.0 as usize].retain(|l| l.to != b);
+        self.adj[b.0 as usize].retain(|l| l.to != a);
+        before != self.adj[a.0 as usize].len()
+    }
+
+    /// Capture the mutable state (nodes added so far + full adjacency) for
+    /// a later bit-identical [`Topology::restore`].
+    pub fn snapshot(&self) -> TopologySnapshot {
+        TopologySnapshot {
+            node_count: self.nodes.len(),
+            adj: self.adj.clone(),
+        }
+    }
+
+    /// Restore the graph to `snap`'s state: nodes added since the snapshot
+    /// are dropped and the adjacency structure (entries *and order*) is
+    /// brought back exactly. Panics if the snapshot holds more nodes than
+    /// the topology — snapshots only travel forward.
+    pub fn restore(&mut self, snap: &TopologySnapshot) {
+        assert!(
+            self.nodes.len() >= snap.node_count,
+            "snapshot outlived its topology"
+        );
+        self.nodes.truncate(snap.node_count);
+        self.adj.clone_from(&snap.adj);
+    }
+
     /// Set the `(v4, v6)` carriage of an existing link in both directions;
     /// returns `false` when no such link exists.
     pub fn set_link_carriage(&mut self, a: AsId, b: AsId, v4: bool, v6: bool) -> bool {
@@ -488,6 +549,45 @@ mod tests {
         if let Some(n) = far {
             assert_eq!(t.disable_link(a, n.id), None);
         }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_all_mutations() {
+        let mut t = topo();
+        let snap = t.snapshot();
+        assert!(snap.matches(&t));
+        // Mutate in every public way: disable, recarriage, add AS + link.
+        let a = AsId(0);
+        let b = t.links(a)[0].to;
+        t.disable_link(a, b).expect("adjacent");
+        t.set_link_carriage(a, t.links(a)[1].to, false, true);
+        let city = CityDb::by_name("tokyo").unwrap();
+        let extra = t.add_as("extra".into(), Tier::Stub, city, true);
+        t.add_link(extra, a, Relation::Provider, true, true);
+        assert!(!snap.matches(&t));
+        t.restore(&snap);
+        assert!(snap.matches(&t));
+        assert_eq!(t.len(), snap.node_count());
+        assert!(t.connected(a, b, Family::V4));
+    }
+
+    #[test]
+    fn remove_link_inverts_add_link() {
+        let mut t = topo();
+        let a = AsId(0);
+        let far = t
+            .nodes()
+            .iter()
+            .find(|n| n.id != a && t.links(a).iter().all(|l| l.to != n.id))
+            .map(|n| n.id)
+            .expect("some non-adjacent AS");
+        let snap = t.snapshot();
+        t.add_link(a, far, Relation::Peer, true, true);
+        assert!(t.connected(a, far, Family::V4));
+        assert!(t.remove_link(a, far));
+        assert!(snap.matches(&t));
+        // Removing again reports no-op.
+        assert!(!t.remove_link(a, far));
     }
 
     #[test]

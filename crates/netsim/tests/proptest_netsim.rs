@@ -124,6 +124,55 @@ proptest! {
     }
 
     #[test]
+    fn snapshot_restore_round_trips_routing_hash(
+        cfg in config_strategy(),
+        dseed in any::<u64>(),
+        mutseed in any::<u64>(),
+    ) {
+        // Any sequence of public topology mutations, once restored from a
+        // snapshot, must leave routing bit-identical (per-family route-
+        // table fingerprints), not merely reachability-equivalent.
+        let mut topo = Topology::generate(&cfg);
+        let d = global_deployment(&topo, dseed, 3);
+        let before: Vec<u64> = Family::BOTH
+            .iter()
+            .map(|&f| propagate(&topo, &d, f).fingerprint())
+            .collect();
+        let snap = topo.snapshot();
+        let mut rng = SimRng::new(mutseed);
+        for _ in 0..6 {
+            let a = netsim::AsId(rng.next_range(topo.len()) as u32);
+            match rng.next_range(3) {
+                0 => {
+                    if let Some(l) = topo.links(a).first() {
+                        let b = l.to;
+                        topo.disable_link(a, b);
+                    }
+                }
+                1 => {
+                    let b = netsim::AsId(rng.next_range(topo.len()) as u32);
+                    if a != b && topo.links(a).iter().all(|l| l.to != b) {
+                        topo.add_link(a, b, netsim::Relation::Peer, true, true);
+                    }
+                }
+                _ => {
+                    if let Some(l) = topo.links(a).first() {
+                        let b = l.to;
+                        topo.set_link_carriage(a, b, false, true);
+                    }
+                }
+            }
+        }
+        topo.restore(&snap);
+        prop_assert!(snap.matches(&topo));
+        let after: Vec<u64> = Family::BOTH
+            .iter()
+            .map(|&f| propagate(&topo, &d, f).fingerprint())
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
     fn origin_always_selects_itself(cfg in config_strategy(), dseed in any::<u64>()) {
         let topo = Topology::generate(&cfg);
         let d = global_deployment(&topo, dseed, 1);

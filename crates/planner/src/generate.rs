@@ -1,0 +1,162 @@
+//! The seeded candidate generator.
+//!
+//! Candidate `id` draws from its own derived RNG stream
+//! (`SimRng::derive_ids(&[id])`), so the move set of candidate 517 is a
+//! pure function of (seed, id) — independent of how many candidates are
+//! generated, in what order, or on which worker they are later scored.
+//! Every emitted plan passes [`CandidatePlan::validate`]; draws that
+//! collide (same site twice, an already-linked pair) are retried a
+//! bounded number of times and then dropped, with an `AddSite` fallback
+//! so no plan comes out empty by accident.
+
+use crate::moves::{CandidatePlan, Move};
+use netsim::anycast::{FacilityId, SiteId, SiteScope};
+use netsim::{AsId, SimRng};
+use rss::RootLetter;
+use vantage::World;
+
+/// What to generate.
+#[derive(Debug, Clone)]
+pub struct MoveSetConfig {
+    /// The letter whose deployment is being re-planned.
+    pub letter: RootLetter,
+    /// How many candidates (including the identity candidate when
+    /// `include_identity`).
+    pub count: usize,
+    pub seed: u64,
+    /// Plans compose 1..=`max_steps` moves.
+    pub max_steps: usize,
+    /// Emit the no-change candidate as id 0 — the sweep's fixed point
+    /// (its deltas must score exactly zero).
+    pub include_identity: bool,
+}
+
+impl Default for MoveSetConfig {
+    fn default() -> Self {
+        MoveSetConfig {
+            // The paper's renumbering letter.
+            letter: RootLetter::B,
+            count: 1000,
+            seed: 0x9_1A27,
+            max_steps: 3,
+            include_identity: true,
+        }
+    }
+}
+
+/// Generate `cfg.count` validated candidate plans against `world`.
+pub fn generate(world: &World, cfg: &MoveSetConfig) -> Vec<CandidatePlan> {
+    let root = SimRng::new(cfg.seed).derive("planner");
+    let deployment = world.catalog.deployment(cfg.letter);
+    let withdrawn = world.withdrawn_sites(cfg.letter);
+    let in_service: Vec<SiteId> = deployment
+        .sites
+        .iter()
+        .map(|s| s.id)
+        .filter(|id| !withdrawn.contains(id))
+        .collect();
+    let n_fac = world.catalog.facilities.all().len();
+    let n_as = world.topology.len();
+
+    let mut plans = Vec::with_capacity(cfg.count);
+    if cfg.include_identity && cfg.count > 0 {
+        plans.push(CandidatePlan::identity(0, cfg.letter));
+    }
+    let mut id = plans.len() as u32;
+    while plans.len() < cfg.count {
+        let mut rng = root.derive_ids(&[u64::from(id)]);
+        let steps = 1 + rng.next_range(cfg.max_steps.max(1));
+        let mut moves: Vec<Move> = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            // Bounded retries per step: a draw that conflicts with moves
+            // already in the plan is redrawn, then the step is skipped.
+            for _attempt in 0..8 {
+                let m = draw_move(&mut rng, world, cfg.letter, &in_service, n_fac, n_as);
+                let mut trial = moves.clone();
+                trial.push(m);
+                let plan = CandidatePlan {
+                    id,
+                    letter: cfg.letter,
+                    moves: trial,
+                };
+                if plan.validate(world).is_ok() {
+                    moves.push(m);
+                    break;
+                }
+            }
+        }
+        if moves.is_empty() {
+            // Always drawable: a fresh site at a random facility.
+            moves.push(Move::AddSite {
+                facility: FacilityId(rng.next_range(n_fac) as u32),
+                scope: SiteScope::Global,
+            });
+        }
+        plans.push(CandidatePlan {
+            id,
+            letter: cfg.letter,
+            moves,
+        });
+        id += 1;
+    }
+    plans
+}
+
+/// Draw one move. Kind weights favor the placement moves the anycast
+/// papers study; link moves bias toward the letter's own origin ASes so
+/// they actually perturb its catchment.
+fn draw_move(
+    rng: &mut SimRng,
+    world: &World,
+    letter: RootLetter,
+    in_service: &[SiteId],
+    n_fac: usize,
+    n_as: usize,
+) -> Move {
+    let deployment = world.catalog.deployment(letter);
+    let roll = rng.next_f64();
+    if roll < 0.25 {
+        Move::AddSite {
+            facility: FacilityId(rng.next_range(n_fac) as u32),
+            scope: if rng.chance(0.3) {
+                SiteScope::Local
+            } else {
+                SiteScope::Global
+            },
+        }
+    } else if roll < 0.45 {
+        Move::RemoveSite {
+            site: *rng.pick(in_service),
+        }
+    } else if roll < 0.70 {
+        Move::MoveSite {
+            site: *rng.pick(in_service),
+            to: FacilityId(rng.next_range(n_fac) as u32),
+        }
+    } else if roll < 0.80 {
+        Move::Renumber
+    } else if roll < 0.90 {
+        // Fail a link of one of the letter's origin ASes (or a random AS
+        // half the time) — perturbations near the deployment move its
+        // catchment; ones far away mostly don't.
+        let a = if rng.chance(0.5) && !deployment.sites.is_empty() {
+            deployment.site(*rng.pick(in_service)).origin_as
+        } else {
+            AsId(rng.next_range(n_as) as u32)
+        };
+        let links = world.topology.links(a);
+        if links.is_empty() {
+            Move::Renumber
+        } else {
+            Move::LinkDown {
+                a,
+                b: links[rng.next_range(links.len())].to,
+            }
+        }
+    } else {
+        Move::LinkUp {
+            a: AsId(rng.next_range(n_as) as u32),
+            b: AsId(rng.next_range(n_as) as u32),
+        }
+    }
+}

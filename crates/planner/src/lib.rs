@@ -1,0 +1,37 @@
+//! Batch anycast what-if deployment planner.
+//!
+//! The paper measures one observed change to '.' — b.root's renumbering.
+//! This crate generalizes that single event into a *search*: generate
+//! thousands of seeded candidate deployment changes (typed move sets —
+//! add/remove/move sites, prefix renumberings, peering-link changes,
+//! composed into multi-step plans), evaluate each one against a
+//! snapshotted netsim topology by recomputing anycast catchments and the
+//! RTT model, and score per-region RTT / catchment-locality / churn
+//! deltas against the Table 1/4 baseline.
+//!
+//! Module map:
+//!
+//! * [`moves`] — the typed move set, [`CandidatePlan`], and catalog
+//!   validation (same overlap discipline as `scenario::event`);
+//! * [`mod@generate`] — the seeded candidate generator;
+//! * [`eval`] — [`EvalContext`]: apply a plan to snapshotted state,
+//!   propagate, sweep the population, score, revert bit-identically; the
+//!   optional simclock-pinned [`TimelineSpec`] mode scores a candidate
+//!   *through* a scenario timeline epoch by epoch;
+//! * [`batch`] — the worker pool (the `run_parallel` merge discipline:
+//!   disjoint index ranges, merge sorted by range start) — scores and
+//!   ranking are bit-identical across worker counts;
+//! * [`report`] — deterministic ranking, Pareto frontier (RTT vs
+//!   locality vs churn), and top-k per-region tables.
+
+pub mod batch;
+pub mod eval;
+pub mod generate;
+pub mod moves;
+pub mod report;
+
+pub use batch::{evaluate_batch, scores_fingerprint};
+pub use eval::{CandidateScore, EpochDelta, EvalContext, TimelineSpec};
+pub use generate::{generate, MoveSetConfig};
+pub use moves::{CandidatePlan, Move, PlanError};
+pub use report::SweepReport;

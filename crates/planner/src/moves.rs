@@ -1,0 +1,282 @@
+//! The typed move set and candidate plans.
+//!
+//! A [`CandidatePlan`] is a list of [`Move`]s against one letter's
+//! deployment, validated against the live catalog the same way
+//! `scenario::timeline` validates event windows: unknown targets are
+//! rejected, and two moves touching the same scope (same site, same link,
+//! the one prefix) cannot ride in one plan — each move must be
+//! independently applicable so the whole plan reverts as a stack of exact
+//! inverses.
+
+use netsim::anycast::{FacilityId, SiteId, SiteScope};
+use netsim::AsId;
+use rss::RootLetter;
+use std::fmt;
+use vantage::World;
+
+/// One typed deployment change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Bring up a new site at an existing facility, originated from the
+    /// facility's host AS.
+    AddSite {
+        facility: FacilityId,
+        scope: SiteScope,
+    },
+    /// Take an in-service site out of the deployment.
+    RemoveSite { site: SiteId },
+    /// Re-home an in-service site at a different facility.
+    MoveSite { site: SiteId, to: FacilityId },
+    /// Renumber the service prefix (the paper's b.root event). Routing-
+    /// neutral in steady state, but every client re-learns the new
+    /// prefix, so it contributes maximal churn.
+    Renumber,
+    /// Fail an existing peering/transit link (both families).
+    LinkDown { a: AsId, b: AsId },
+    /// Provision a new (peer, dual-stack) link between two non-adjacent
+    /// ASes.
+    LinkUp { a: AsId, b: AsId },
+}
+
+/// The scope a move occupies for intra-plan overlap validation — the same
+/// rule `scenario::event::Scope` applies across timeline windows. Site
+/// additions occupy no existing scope (every `AddSite` creates a fresh
+/// site), so any number may ride in one plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MoveScope {
+    Site(SiteId),
+    /// Normalized (min, max) pair.
+    Link(AsId, AsId),
+    Prefix,
+}
+
+impl Move {
+    fn scope(&self) -> Option<MoveScope> {
+        match *self {
+            Move::AddSite { .. } => None,
+            Move::RemoveSite { site } | Move::MoveSite { site, .. } => Some(MoveScope::Site(site)),
+            Move::Renumber => Some(MoveScope::Prefix),
+            Move::LinkDown { a, b } | Move::LinkUp { a, b } => {
+                let (lo, hi) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+                Some(MoveScope::Link(lo, hi))
+            }
+        }
+    }
+
+    /// Short human label, e.g. `+site@f12` or `link-down(3,77)`.
+    pub fn label(&self) -> String {
+        match *self {
+            Move::AddSite { facility, scope } => {
+                let tag = match scope {
+                    SiteScope::Global => "g",
+                    SiteScope::Local => "l",
+                };
+                format!("+site{tag}@f{}", facility.0)
+            }
+            Move::RemoveSite { site } => format!("-site{}", site.0),
+            Move::MoveSite { site, to } => format!("site{}>f{}", site.0, to.0),
+            Move::Renumber => "renumber".to_string(),
+            Move::LinkDown { a, b } => format!("link-down({},{})", a.0, b.0),
+            Move::LinkUp { a, b } => format!("link-up({},{})", a.0, b.0),
+        }
+    }
+}
+
+/// Why a plan was rejected against the catalog/topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The site is not in the letter's roster.
+    UnknownSite { site: SiteId },
+    /// The site exists but is currently withdrawn from service.
+    WithdrawnSite { site: SiteId },
+    /// No such facility.
+    UnknownFacility { facility: FacilityId },
+    /// A `MoveSite` that targets the site's current facility.
+    SameFacility { site: SiteId },
+    /// No such AS.
+    UnknownAs { asn: AsId },
+    /// A `LinkDown` between ASes that are not adjacent.
+    NotAdjacent { a: AsId, b: AsId },
+    /// A `LinkUp` between ASes that already share a link (re-provisioning
+    /// an existing link would reorder adjacency and break determinism).
+    AlreadyAdjacent { a: AsId, b: AsId },
+    /// A link move from an AS to itself.
+    SelfLink { a: AsId },
+    /// Two moves in one plan touch the same scope.
+    OverlappingMoves { first: String, second: String },
+    /// The plan would leave the deployment with no in-service sites.
+    EmptiesDeployment,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownSite { site } => write!(f, "unknown site {}", site.0),
+            PlanError::WithdrawnSite { site } => {
+                write!(f, "site {} is withdrawn from service", site.0)
+            }
+            PlanError::UnknownFacility { facility } => {
+                write!(f, "unknown facility {}", facility.0)
+            }
+            PlanError::SameFacility { site } => {
+                write!(f, "site {} already lives at the target facility", site.0)
+            }
+            PlanError::UnknownAs { asn } => write!(f, "unknown AS {}", asn.0),
+            PlanError::NotAdjacent { a, b } => {
+                write!(f, "AS {} and AS {} share no link to fail", a.0, b.0)
+            }
+            PlanError::AlreadyAdjacent { a, b } => {
+                write!(f, "AS {} and AS {} are already linked", a.0, b.0)
+            }
+            PlanError::SelfLink { a } => write!(f, "AS {} cannot link to itself", a.0),
+            PlanError::OverlappingMoves { first, second } => {
+                write!(f, "moves {first} and {second} touch the same scope")
+            }
+            PlanError::EmptiesDeployment => {
+                write!(f, "plan would leave the deployment without sites")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One candidate: an id (its rank key of last resort and RNG stream), the
+/// focus letter, and the moves. An empty move list is the *identity
+/// candidate* — always valid, and by construction scoring to exactly zero
+/// deltas against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidatePlan {
+    pub id: u32,
+    pub letter: RootLetter,
+    pub moves: Vec<Move>,
+}
+
+impl CandidatePlan {
+    /// The no-change candidate.
+    pub fn identity(id: u32, letter: RootLetter) -> CandidatePlan {
+        CandidatePlan {
+            id,
+            letter,
+            moves: Vec::new(),
+        }
+    }
+
+    /// Whether this is the no-change candidate.
+    pub fn is_identity(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Whether the plan renumbers the service prefix.
+    pub fn renumbers(&self) -> bool {
+        self.moves.contains(&Move::Renumber)
+    }
+
+    /// Human label: `identity` or the moves joined with `+`.
+    pub fn label(&self) -> String {
+        if self.is_identity() {
+            "identity".to_string()
+        } else {
+            self.moves
+                .iter()
+                .map(Move::label)
+                .collect::<Vec<_>>()
+                .join("+")
+        }
+    }
+
+    /// Validate the plan against `world`'s catalog and topology: every
+    /// move must name a live target, link moves must respect adjacency,
+    /// no two moves may share a scope, and the deployment must keep at
+    /// least one in-service site.
+    pub fn validate(&self, world: &World) -> Result<(), PlanError> {
+        for (i, a) in self.moves.iter().enumerate() {
+            let sa = match a.scope() {
+                Some(s) => s,
+                None => continue,
+            };
+            for b in &self.moves[i + 1..] {
+                if b.scope() == Some(sa) {
+                    return Err(PlanError::OverlappingMoves {
+                        first: a.label(),
+                        second: b.label(),
+                    });
+                }
+            }
+        }
+
+        let deployment = world.catalog.deployment(self.letter);
+        let withdrawn = world.withdrawn_sites(self.letter);
+        let n_fac = world.catalog.facilities.all().len() as u32;
+        let n_as = world.topology.len() as u32;
+        let check_site = |site: SiteId| {
+            if !deployment.sites.iter().any(|s| s.id == site) {
+                Err(PlanError::UnknownSite { site })
+            } else if withdrawn.contains(&site) {
+                Err(PlanError::WithdrawnSite { site })
+            } else {
+                Ok(())
+            }
+        };
+        let check_as = |asn: AsId| {
+            if asn.0 >= n_as {
+                Err(PlanError::UnknownAs { asn })
+            } else {
+                Ok(())
+            }
+        };
+
+        let mut removals = 0usize;
+        let mut additions = 0usize;
+        for m in &self.moves {
+            match *m {
+                Move::AddSite { facility, .. } => {
+                    if facility.0 >= n_fac {
+                        return Err(PlanError::UnknownFacility { facility });
+                    }
+                    additions += 1;
+                }
+                Move::RemoveSite { site } => {
+                    check_site(site)?;
+                    removals += 1;
+                }
+                Move::MoveSite { site, to } => {
+                    check_site(site)?;
+                    if to.0 >= n_fac {
+                        return Err(PlanError::UnknownFacility { facility: to });
+                    }
+                    if deployment.site(site).facility == to {
+                        return Err(PlanError::SameFacility { site });
+                    }
+                }
+                Move::Renumber => {}
+                Move::LinkDown { a, b } => {
+                    if a == b {
+                        return Err(PlanError::SelfLink { a });
+                    }
+                    check_as(a)?;
+                    check_as(b)?;
+                    if world.topology.links(a).iter().all(|l| l.to != b) {
+                        return Err(PlanError::NotAdjacent { a, b });
+                    }
+                }
+                Move::LinkUp { a, b } => {
+                    if a == b {
+                        return Err(PlanError::SelfLink { a });
+                    }
+                    check_as(a)?;
+                    check_as(b)?;
+                    if world.topology.links(a).iter().any(|l| l.to == b) {
+                        return Err(PlanError::AlreadyAdjacent { a, b });
+                    }
+                }
+            }
+        }
+
+        let in_service = deployment.sites.len() - withdrawn.len();
+        if in_service + additions <= removals {
+            return Err(PlanError::EmptiesDeployment);
+        }
+        Ok(())
+    }
+}

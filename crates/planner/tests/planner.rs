@@ -1,0 +1,395 @@
+//! Planner integration tests: plan validation against the live catalog,
+//! generator determinism, the identity fixed point, bit-identical batch
+//! evaluation across worker counts, and timeline-mode epoch baselines
+//! cross-checked against a real world driven through `scenario`'s own
+//! apply/revert machinery.
+
+use netsim::anycast::{FacilityId, SiteId, SiteScope};
+use netsim::AsId;
+use planner::{
+    evaluate_batch, generate, scores_fingerprint, CandidatePlan, EvalContext, Move, MoveSetConfig,
+    PlanError, SweepReport, TimelineSpec,
+};
+use rss::RootLetter;
+use scenario::{EventKind, Scenario, ScenarioEvent};
+use vantage::{World, WorldBuildConfig, MEASUREMENT_START};
+
+const LETTER: RootLetter = RootLetter::B;
+
+fn tiny_world() -> World {
+    World::build(&WorldBuildConfig::tiny())
+}
+
+fn plan(id: u32, moves: Vec<Move>) -> CandidatePlan {
+    CandidatePlan {
+        id,
+        letter: LETTER,
+        moves,
+    }
+}
+
+/// A non-adjacent AS pair, for `LinkUp` moves.
+fn non_adjacent_pair(world: &World) -> (AsId, AsId) {
+    let nodes = world.topology.nodes();
+    for a in nodes {
+        for b in nodes {
+            if a.id != b.id && world.topology.links(a.id).iter().all(|l| l.to != b.id) {
+                return (a.id, b.id);
+            }
+        }
+    }
+    panic!("topology is a clique");
+}
+
+#[test]
+fn validation_rejects_bad_plans() {
+    let world = tiny_world();
+    let roster = &world.catalog.deployment(LETTER).sites;
+    let site = roster[0].id;
+    let n_fac = world.catalog.facilities.all().len() as u32;
+    let adj_a = world.topology.nodes()[0].id;
+    let adj_b = world.topology.links(adj_a)[0].to;
+    let (free_a, free_b) = non_adjacent_pair(&world);
+
+    // The identity plan is always valid.
+    assert!(CandidatePlan::identity(0, LETTER).validate(&world).is_ok());
+
+    let cases = vec![
+        (
+            plan(
+                1,
+                vec![Move::RemoveSite {
+                    site: SiteId(9_999),
+                }],
+            ),
+            PlanError::UnknownSite {
+                site: SiteId(9_999),
+            },
+        ),
+        (
+            plan(
+                2,
+                vec![
+                    Move::RemoveSite { site },
+                    Move::MoveSite {
+                        site,
+                        to: FacilityId(0),
+                    },
+                ],
+            ),
+            PlanError::OverlappingMoves {
+                first: Move::RemoveSite { site }.label(),
+                second: Move::MoveSite {
+                    site,
+                    to: FacilityId(0),
+                }
+                .label(),
+            },
+        ),
+        (
+            plan(
+                3,
+                roster
+                    .iter()
+                    .map(|s| Move::RemoveSite { site: s.id })
+                    .collect(),
+            ),
+            PlanError::EmptiesDeployment,
+        ),
+        (
+            plan(
+                4,
+                vec![Move::AddSite {
+                    facility: FacilityId(n_fac),
+                    scope: SiteScope::Global,
+                }],
+            ),
+            PlanError::UnknownFacility {
+                facility: FacilityId(n_fac),
+            },
+        ),
+        (
+            plan(
+                5,
+                vec![Move::LinkDown {
+                    a: free_a,
+                    b: free_b,
+                }],
+            ),
+            PlanError::NotAdjacent {
+                a: free_a,
+                b: free_b,
+            },
+        ),
+        (
+            plan(6, vec![Move::LinkUp { a: adj_a, b: adj_b }]),
+            PlanError::AlreadyAdjacent { a: adj_a, b: adj_b },
+        ),
+        (
+            plan(7, vec![Move::LinkDown { a: adj_a, b: adj_a }]),
+            PlanError::SelfLink { a: adj_a },
+        ),
+        (
+            plan(
+                8,
+                vec![Move::MoveSite {
+                    site,
+                    to: roster[0].facility,
+                }],
+            ),
+            PlanError::SameFacility { site },
+        ),
+        (
+            plan(9, vec![Move::Renumber, Move::Renumber]),
+            PlanError::OverlappingMoves {
+                first: "renumber".to_string(),
+                second: "renumber".to_string(),
+            },
+        ),
+    ];
+    for (p, want) in cases {
+        assert_eq!(p.validate(&world), Err(want), "plan {}", p.id);
+    }
+
+    // Emptying removals offset by an addition pass.
+    let mut moves: Vec<Move> = roster
+        .iter()
+        .map(|s| Move::RemoveSite { site: s.id })
+        .collect();
+    moves.push(Move::AddSite {
+        facility: FacilityId(0),
+        scope: SiteScope::Global,
+    });
+    assert!(plan(10, moves).validate(&world).is_ok());
+}
+
+#[test]
+fn generator_is_deterministic_and_every_plan_validates() {
+    let world = tiny_world();
+    let cfg = MoveSetConfig {
+        count: 200,
+        ..Default::default()
+    };
+    let a = generate(&world, &cfg);
+    let b = generate(&world, &cfg);
+    assert_eq!(a, b, "same seed ⇒ same plans");
+    assert_eq!(a.len(), 200);
+    assert!(a[0].is_identity());
+    assert_eq!(a[0].id, 0);
+    for (i, p) in a.iter().enumerate() {
+        assert_eq!(p.id as usize, i);
+        assert!(
+            p.validate(&world).is_ok(),
+            "plan {} invalid: {}",
+            p.id,
+            p.label()
+        );
+        assert!(i == 0 || !p.moves.is_empty());
+    }
+    // A different seed draws different move sets.
+    let other = generate(
+        &world,
+        &MoveSetConfig {
+            seed: cfg.seed + 1,
+            count: 200,
+            ..Default::default()
+        },
+    );
+    assert_ne!(a, other);
+}
+
+#[test]
+fn identity_candidate_scores_exactly_zero() {
+    let world = tiny_world();
+    let mut ctx = EvalContext::new(&world, LETTER, None);
+    assert!(ctx.baseline_matches_world());
+    let score = ctx.evaluate(&CandidatePlan::identity(0, LETTER));
+    assert!(score.delta.is_zero(), "identity delta must be exactly zero");
+    assert_eq!(score.churn, 0.0);
+    assert_eq!(score.delta.rtt_combined(), 0.0);
+    assert_eq!(score.delta.shift, 0.0);
+    assert!(score.worst_epoch.is_none());
+    assert!(ctx.is_pristine());
+}
+
+#[test]
+fn every_move_kind_applies_and_reverts_bit_identically() {
+    let world = tiny_world();
+    let roster = &world.catalog.deployment(LETTER).sites;
+    let site = roster[0].id;
+    let to = FacilityId((roster[0].facility.0 + 1) % world.catalog.facilities.all().len() as u32);
+    let adj_a = world.topology.nodes()[0].id;
+    let adj_b = world.topology.links(adj_a)[0].to;
+    let (free_a, free_b) = non_adjacent_pair(&world);
+    let plans = vec![
+        plan(
+            0,
+            vec![Move::AddSite {
+                facility: FacilityId(0),
+                scope: SiteScope::Global,
+            }],
+        ),
+        plan(1, vec![Move::RemoveSite { site }]),
+        plan(2, vec![Move::MoveSite { site, to }]),
+        plan(3, vec![Move::Renumber]),
+        plan(4, vec![Move::LinkDown { a: adj_a, b: adj_b }]),
+        plan(
+            5,
+            vec![Move::LinkUp {
+                a: free_a,
+                b: free_b,
+            }],
+        ),
+        // A composed multi-step plan mixing deployment and topology moves.
+        plan(
+            6,
+            vec![
+                Move::AddSite {
+                    facility: to,
+                    scope: SiteScope::Local,
+                },
+                Move::RemoveSite { site },
+                Move::LinkDown { a: adj_a, b: adj_b },
+                Move::Renumber,
+            ],
+        ),
+    ];
+    let mut ctx = EvalContext::new(&world, LETTER, None);
+    let base = ctx.baseline_fingerprints();
+    for p in &plans {
+        assert!(p.validate(&world).is_ok(), "{}", p.label());
+        let score = ctx.evaluate(p);
+        assert!(ctx.is_pristine(), "not pristine after {}", p.label());
+        assert_eq!(ctx.current_fingerprints(), base, "after {}", p.label());
+        if p.renumbers() {
+            assert!(score.churn >= 1.0, "renumbering pays the re-learn penalty");
+        }
+    }
+}
+
+#[test]
+fn batch_is_bit_identical_across_worker_counts() {
+    let world = tiny_world();
+    let plans = generate(
+        &world,
+        &MoveSetConfig {
+            count: 60,
+            ..Default::default()
+        },
+    );
+    let reference = evaluate_batch(&world, LETTER, &plans, 1, None);
+    let ref_fp = scores_fingerprint(&reference);
+    let ref_report = SweepReport::build(LETTER, reference.clone());
+    for workers in 2..=4 {
+        let scores = evaluate_batch(&world, LETTER, &plans, workers, None);
+        assert_eq!(scores, reference, "{workers} workers");
+        assert_eq!(scores_fingerprint(&scores), ref_fp);
+        let report = SweepReport::build(LETTER, scores);
+        assert_eq!(report.ranking, ref_report.ranking);
+        assert_eq!(report.frontier, ref_report.frontier);
+        assert_eq!(report.fingerprint(), ref_report.fingerprint());
+    }
+    // Sanity on the report itself: ranking permutes the sweep, the best-
+    // ranked candidate is Pareto-optimal, rendering covers the frontier.
+    let mut ids: Vec<u32> = ref_report.ranking.clone();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..plans.len() as u32).collect::<Vec<_>>());
+    assert!(!ref_report.frontier.is_empty());
+    assert!(ref_report.frontier.contains(&ref_report.ranking[0]));
+    let rendered = ref_report.render(3);
+    assert!(rendered.contains("Pareto frontier"));
+    for &id in &ref_report.frontier {
+        assert!(rendered.contains(&ref_report.score(id).unwrap().label));
+    }
+}
+
+#[test]
+fn timeline_epoch_baselines_match_scenario_apply() {
+    let world = tiny_world();
+    let site = world.catalog.deployment(LETTER).sites[0].id;
+    let start = MEASUREMENT_START;
+    let outage_from = start + 86_400;
+    let outage_until = outage_from + 86_400;
+    let end = start + 3 * 86_400;
+    let scenario = Scenario::new(
+        "planner_outage",
+        5,
+        vec![ScenarioEvent {
+            at: outage_from,
+            until: Some(outage_until),
+            kind: EventKind::SiteOutage {
+                letter: LETTER,
+                site,
+            },
+        }],
+    )
+    .unwrap();
+    let spec = TimelineSpec {
+        scenario: &scenario,
+        start,
+        end,
+    };
+    let mut ctx = EvalContext::new(&world, LETTER, Some(spec));
+    assert_eq!(ctx.epoch_count(), 3, "baseline / outage / after");
+    assert!(ctx.epoch_label(1).contains("outage(b/"));
+    // Event-free epochs share the steady-state baseline.
+    assert_eq!(
+        ctx.epoch_baseline_fingerprints(0),
+        ctx.baseline_fingerprints()
+    );
+    assert_eq!(
+        ctx.epoch_baseline_fingerprints(2),
+        ctx.baseline_fingerprints()
+    );
+
+    // Cross-check: the translated outage epoch must route exactly like a
+    // real world driven through scenario's own apply path.
+    let mut w2 = tiny_world();
+    let (snap, recompute) = scenario::apply_event(
+        &mut w2,
+        EventKind::SiteOutage {
+            letter: LETTER,
+            site,
+        },
+    );
+    assert!(recompute);
+    w2.recompute_letter(LETTER);
+    assert_eq!(
+        ctx.epoch_baseline_fingerprints(1).0,
+        planner::eval::world_route_fingerprint(&w2, LETTER),
+        "epoch baseline routing == scenario-applied world routing"
+    );
+    assert!(scenario::revert_event(&mut w2, snap));
+    w2.recompute_letter(LETTER);
+    assert_eq!(
+        ctx.baseline_fingerprints().0,
+        planner::eval::world_route_fingerprint(&w2, LETTER),
+        "revert restores the pristine routing"
+    );
+
+    // Timeline-mode scores carry a worst epoch, and the identity candidate
+    // still scores zero in steady state (its worst epoch is judged against
+    // that epoch's own events-only baseline, so it is zero too).
+    let id_score = ctx.evaluate(&CandidatePlan::identity(0, LETTER));
+    assert!(id_score.delta.is_zero());
+    let worst = id_score
+        .worst_epoch
+        .expect("timeline mode sets worst epoch");
+    assert!(worst.delta.is_zero());
+    assert_eq!(worst.churn, 0.0);
+    assert!(ctx.is_pristine());
+
+    // And a real candidate through the timeline is still bit-identical
+    // across worker counts.
+    let plans = generate(
+        &world,
+        &MoveSetConfig {
+            count: 12,
+            ..Default::default()
+        },
+    );
+    let a = evaluate_batch(&world, LETTER, &plans, 1, Some(spec));
+    let b = evaluate_batch(&world, LETTER, &plans, 3, Some(spec));
+    assert_eq!(scores_fingerprint(&a), scores_fingerprint(&b));
+    assert!(a.iter().all(|s| s.worst_epoch.is_some()));
+}

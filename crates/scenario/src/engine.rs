@@ -10,9 +10,9 @@
 //! this crate's apply→revert proptest against [`World::routing_hash`]).
 
 use crate::event::{DegradedMode, EventKind};
+use crate::snapshot::{apply_event, revert_event, WorldSnapshot};
 use crate::timeline::Scenario;
 use analysis::zonemd_pipeline::validate_transfers;
-use dns_zone::rollout::RolloutPhase;
 use dns_zone::Zone;
 use netsim::anycast::SiteId;
 use rss::RootLetter;
@@ -105,25 +105,6 @@ impl ScenarioRun {
     }
 }
 
-/// What `apply` saved so `revert` can undo the mutation exactly.
-enum Snapshot {
-    /// Nothing to save (override-only or analysis-only events).
-    None,
-    /// A withdrawn site; revert restores it.
-    Outage { letter: RootLetter, site: SiteId },
-    /// A site brought into service; revert withdraws it again.
-    Addition { letter: RootLetter, site: SiteId },
-    /// A disabled link with its prior carriage flags (`None` when the
-    /// link did not exist and nothing was changed).
-    Link {
-        a: netsim::AsId,
-        b: netsim::AsId,
-        prior: Option<(bool, bool)>,
-    },
-    /// The ZONEMD override in force before this event set its own.
-    Zonemd { prev: Option<RolloutPhase> },
-}
-
 /// The engine. Owns no world — `run` borrows one mutably for the duration
 /// and hands it back in its original state.
 #[derive(Debug, Clone, Default)]
@@ -174,7 +155,7 @@ impl ScenarioEngine {
         bounds.push(schedule.end);
 
         let mut session = EngineSession::new();
-        let mut applied: Vec<(usize, Snapshot)> = Vec::new();
+        let mut applied: Vec<(usize, WorldSnapshot)> = Vec::new();
         let mut applied_ever = vec![false; scenario.events().len()];
         let mut epochs = Vec::new();
 
@@ -186,7 +167,7 @@ impl ScenarioEngine {
             let mut still = Vec::with_capacity(applied.len());
             for (idx, snap) in applied.drain(..) {
                 if scenario.events()[idx].effective_until() <= w_start {
-                    routing_changed |= revert(world, snap);
+                    routing_changed |= revert_event(world, snap);
                 } else {
                     still.push((idx, snap));
                 }
@@ -197,7 +178,7 @@ impl ScenarioEngine {
             for (idx, ev) in scenario.events().iter().enumerate() {
                 if ev.at <= w_start && ev.effective_until() > w_start && !applied_ever[idx] {
                     applied_ever[idx] = true;
-                    let (snap, changed) = apply(world, ev.kind);
+                    let (snap, changed) = apply_event(world, ev.kind);
                     routing_changed |= changed;
                     applied.push((idx, snap));
                 }
@@ -244,7 +225,7 @@ impl ScenarioEngine {
         // Teardown: undo everything still applied, then release held
         // sites, returning the world to its pre-run state.
         for (_, snap) in applied.drain(..) {
-            revert(world, snap);
+            revert_event(world, snap);
         }
         for (letter, site) in held {
             world.restore_site(letter, site);
@@ -270,7 +251,7 @@ impl ScenarioEngine {
         bounds.extend_from_slice(&cuts);
         bounds.push(schedule.end);
 
-        let mut applied: Vec<(usize, Snapshot)> = Vec::new();
+        let mut applied: Vec<(usize, WorldSnapshot)> = Vec::new();
         let mut applied_ever = vec![false; scenario.events().len()];
         let mut zones = Vec::new();
 
@@ -280,7 +261,7 @@ impl ScenarioEngine {
             let mut still = Vec::with_capacity(applied.len());
             for (idx, snap) in applied.drain(..) {
                 if scenario.events()[idx].effective_until() <= w_start {
-                    revert(world, snap);
+                    revert_event(world, snap);
                 } else {
                     still.push((idx, snap));
                 }
@@ -290,7 +271,7 @@ impl ScenarioEngine {
             for (idx, ev) in scenario.events().iter().enumerate() {
                 if ev.at <= w_start && ev.effective_until() > w_start && !applied_ever[idx] {
                     applied_ever[idx] = true;
-                    let (snap, _) = apply(world, ev.kind);
+                    let (snap, _) = apply_event(world, ev.kind);
                     applied.push((idx, snap));
                 }
             }
@@ -309,79 +290,9 @@ impl ScenarioEngine {
         }
 
         for (_, snap) in applied.drain(..) {
-            revert(world, snap);
+            revert_event(world, snap);
         }
         zones
-    }
-}
-
-/// Apply one event's world mutation. Returns the snapshot for [`revert`]
-/// and whether routing ground truth changed.
-fn apply(world: &mut World, kind: EventKind) -> (Snapshot, bool) {
-    match kind {
-        EventKind::SiteOutage { letter, site } => {
-            if world.withdraw_site(letter, site) {
-                (Snapshot::Outage { letter, site }, true)
-            } else {
-                (Snapshot::None, false)
-            }
-        }
-        EventKind::SiteAddition { letter, site } => {
-            if world.restore_site(letter, site) {
-                (Snapshot::Addition { letter, site }, true)
-            } else {
-                (Snapshot::None, false)
-            }
-        }
-        EventKind::PeeringLinkFailure { a, b } => {
-            let prior = world.topology.disable_link(a, b);
-            if prior.is_some() {
-                world.recompute_all();
-            }
-            (Snapshot::Link { a, b, prior }, prior.is_some())
-        }
-        EventKind::Degraded {
-            mode: DegradedMode::ZonemdPhase { phase },
-            ..
-        } => {
-            let prev = world.zonemd_override();
-            world.set_zonemd_override(Some(phase));
-            (Snapshot::Zonemd { prev }, false)
-        }
-        // Renumbering is an identity change, not a topology change: the
-        // measurement already targets both prefixes and the analysis/trace
-        // layers read the change date from the scenario. Attack traffic
-        // mutates nothing server-side either — it projects onto the
-        // loadgen via `attack_plan_on_clock`, the way wire faults project
-        // via `fault_plan_on_clock`.
-        EventKind::PrefixRenumbering { .. }
-        | EventKind::RouteFlapBurst { .. }
-        | EventKind::RttInflation { .. }
-        | EventKind::Degraded { .. }
-        | EventKind::AttackFlood { .. }
-        | EventKind::ReflectionBurst { .. }
-        | EventKind::QueryStorm { .. } => (Snapshot::None, false),
-    }
-}
-
-/// Undo one applied event. Returns whether routing ground truth changed.
-fn revert(world: &mut World, snap: Snapshot) -> bool {
-    match snap {
-        Snapshot::None => false,
-        Snapshot::Outage { letter, site } => world.restore_site(letter, site),
-        Snapshot::Addition { letter, site } => world.withdraw_site(letter, site),
-        Snapshot::Link { a, b, prior } => match prior {
-            Some((v4, v6)) => {
-                world.topology.set_link_carriage(a, b, v4, v6);
-                world.recompute_all();
-                true
-            }
-            None => false,
-        },
-        Snapshot::Zonemd { prev } => {
-            world.set_zonemd_override(prev);
-            false
-        }
     }
 }
 

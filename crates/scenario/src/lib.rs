@@ -30,6 +30,7 @@ pub mod chaos;
 pub mod engine;
 pub mod event;
 pub mod report;
+pub mod snapshot;
 pub mod timeline;
 
 pub use attack::{attack_plan_at, attack_plan_on_clock};
@@ -37,4 +38,5 @@ pub use chaos::{fault_plan_at, fault_plan_for_fleet, fault_plan_on_clock};
 pub use engine::{EpochRun, EpochZone, ScenarioConfig, ScenarioEngine, ScenarioRun};
 pub use event::{DegradedMode, EventKind, Scope};
 pub use report::epoch_diff;
+pub use snapshot::{apply_event, revert_event, WorldSnapshot};
 pub use timeline::{Scenario, ScenarioError, ScenarioEvent};

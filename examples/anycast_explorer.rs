@@ -63,29 +63,29 @@ fn main() {
         }
     }
 
-    // Catchment summary: how many distinct sites actually attract VPs.
+    // Catchment summary: how many distinct sites actually attract VPs,
+    // through the shared analysis accumulator.
     println!(
         "\ncatchment summary over all {} VPs (IPv4):",
         world.population.len()
     );
     for letter in RootLetter::ALL {
         let table = world.routes(letter, Family::V4);
-        let mut sites = std::collections::HashSet::new();
-        let mut unreachable = 0;
+        let mut accum = analysis::CatchmentAccum::new();
         for vp in world.population.vps() {
-            match table.best(vp.asn) {
-                Some(r) => {
-                    sites.insert(r.site);
-                }
-                None => unreachable += 1,
-            }
+            accum.observe(
+                vp.region,
+                Family::V4,
+                table.best(vp.asn).map(|r| r.site.0),
+                None,
+            );
         }
         println!(
             "  {}: {:3} of {:3} sites attract VPs ({} VPs unreachable)",
             letter.label(),
-            sites.len(),
+            accum.distinct_sites(),
             world.catalog.deployment(letter).sites.len(),
-            unreachable
+            accum.lost()
         );
     }
 }
