@@ -53,6 +53,12 @@ grep -q "attack invariants: OK" "$figdir/attack.txt"
 # identical for every worker count 1..=5.
 cargo run -q --release --offline --example planner_report > "$figdir/planner.txt"
 grep -q "planner invariants: OK" "$figdir/planner.txt"
+# Serving-farm smoke: a scaled-down constellation (2 letters × 4 sites)
+# under catchment-steered load through the batched datagram path — the
+# report's counters must be internally consistent and the whole run must
+# replay bit-identically across shard counts.
+cargo run -q --release --offline --example farm_report > "$figdir/farm.txt"
+grep -q "farm invariants: OK" "$figdir/farm.txt"
 
 # Bench smoke: every bench target runs end to end and merges its numbers
 # into the committed BENCH_results.json, including the rootd loadgen's

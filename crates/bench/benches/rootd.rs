@@ -12,10 +12,10 @@ use dns_zone::rollout::RolloutPhase;
 use dns_zone::rootzone::{build_root_zone, tld_label, RootZoneConfig};
 use dns_zone::signer::ZoneKeys;
 use rootd::{
-    FaultPlan, FaultyTransport, InprocTransport, LoadgenConfig, QueryMix, Rootd, SiteIdentity,
-    Transport, ZoneIndex,
+    FarmConfig, FaultPlan, FaultyTransport, InprocTransport, LoadgenConfig, QueryMix, Rootd,
+    SiteIdentity, Transport, ZoneIndex,
 };
-use roots_core::{AttackRun, Scale, ServingPipeline};
+use roots_core::{AttackRun, FarmRun, Scale, ServingPipeline};
 use rss::RootLetter;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -326,12 +326,51 @@ fn bench_loadgen(_c: &mut Criterion) {
     record_counter("rootd/loadgen/cache_misses", p.report.cache_misses as u64);
 }
 
+/// The whole constellation: all thirteen letters' catalog sites as
+/// per-site engines over one shared zone state, serving a seeded,
+/// catchment-steered mix through the batched datagram path. The headline
+/// metric is `rootd/farm/aggregate_qps` — the sum of per-letter busy-time
+/// serving rates, i.e. the constellation's capacity with every letter's
+/// batches uncontended (DESIGN §15) — floor-gated at 10M qps by
+/// bench_guard; `wall_qps` is the single-machine wall-clock view.
+fn bench_farm(_c: &mut Criterion) {
+    let queries: usize = std::env::var("ROOTD_FARM_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000);
+    let mut cfg = FarmConfig::tiny(0x2024_0610);
+    cfg.queries = queries;
+    cfg.clients = 256;
+    cfg.shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let run = FarmRun::full_constellation(Scale::Tiny, &cfg);
+    assert_eq!(run.report.violations(), Vec::<String>::new());
+    assert_eq!(run.report.letters.len(), RootLetter::ALL.len());
+    for (label, value) in run.report.metrics("rootd/farm") {
+        record_metric(&label, value);
+    }
+    record_counter("rootd/farm/queries", run.report.queries as u64);
+    record_counter("rootd/farm/responses", run.report.responses);
+    record_counter("rootd/farm/sites", run.farm.site_count() as u64);
+    println!(
+        "rootd/farm: {} letters x {} sites, aggregate {:.0} q/s, wall {:.0} q/s, p99 {} ns",
+        run.report.letters.len(),
+        run.farm.site_count(),
+        run.report.aggregate_qps,
+        run.report.wall_qps,
+        run.report.p99_ns,
+    );
+}
+
 criterion_group!(
     benches,
     bench_engine,
     bench_faultfree_wrapper,
     bench_rrl_disabled_overhead,
     bench_attack_flood,
-    bench_loadgen
+    bench_loadgen,
+    bench_farm
 );
 criterion_main!(benches);

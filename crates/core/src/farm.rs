@@ -1,0 +1,106 @@
+//! The full-constellation serving farm wired into the core facade.
+//!
+//! [`FarmRun`] builds a scale's world, stands up *every* requested root
+//! letter's anycast sites as sharded [`rootd`] engines over one shared
+//! zone index and zone-only answer cache, steers a seeded query load by
+//! each letter's Gao-Rexford catchments, and drives it through the
+//! batched-datagram serve path. The resulting [`FarmReport`] is what
+//! `examples/farm_report.rs` renders and what the `rootd` bench target
+//! records as `rootd/farm/*` (see DESIGN §15).
+
+use crate::scale::Scale;
+use rootd::{Farm, FarmConfig, FarmReport};
+use rss::RootLetter;
+use vantage::World;
+
+/// The constellation's serving farm under generated, catchment-steered
+/// load.
+pub struct FarmRun {
+    pub scale: Scale,
+    pub farm: Farm,
+    pub report: FarmReport,
+}
+
+impl FarmRun {
+    /// Build the scale's world, index its day-0 zone, stand up `letters`'
+    /// per-site engines (capped at `max_sites_per_letter`, `usize::MAX`
+    /// for the full catalog), and run `cfg`'s load against them.
+    pub fn run(
+        scale: Scale,
+        letters: &[RootLetter],
+        max_sites_per_letter: usize,
+        cfg: &FarmConfig,
+    ) -> FarmRun {
+        let world = World::build(&scale.world());
+        let zone = world.zone_at(0);
+        let farm = Farm::build(
+            &world.topology,
+            &world.catalog,
+            zone,
+            letters,
+            max_sites_per_letter,
+        );
+        let report = farm.run(cfg);
+        FarmRun {
+            scale,
+            farm,
+            report,
+        }
+    }
+
+    /// The whole constellation: all thirteen letters, every catalog site.
+    pub fn full_constellation(scale: Scale, cfg: &FarmConfig) -> FarmRun {
+        FarmRun::run(scale, &RootLetter::ALL, usize::MAX, cfg)
+    }
+
+    fn header(&self) -> String {
+        format!(
+            "Serving farm: {} letters, {} sites at {:?} scale, {} clients\n",
+            self.farm.letters().len(),
+            self.farm.site_count(),
+            self.scale,
+            self.farm.client_count(),
+        )
+    }
+
+    /// Render the run for the examples: counters plus wall-clock and
+    /// busy-rate throughput and latency quantiles.
+    pub fn render(&self) -> String {
+        self.header() + &self.report.render()
+    }
+
+    /// Render the seeded, machine-independent counters only — byte-
+    /// identical across runs and shard counts (timing numbers live in
+    /// `cargo bench` / `examples/farm_report.rs`).
+    pub fn render_deterministic(&self) -> String {
+        self.header() + &self.report.render_counts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_farm_is_healthy_and_replays_bit_identically() {
+        let letters = [RootLetter::A, RootLetter::B];
+        let mut cfg = FarmConfig::tiny(0x2024_1104);
+        cfg.queries = 6_000;
+        let run = FarmRun::run(Scale::Tiny, &letters, 4, &cfg);
+        assert_eq!(run.report.violations(), Vec::<String>::new());
+        assert_eq!(run.report.queries, cfg.queries);
+        assert!(run.report.aggregate_qps > 0.0);
+        assert!(run.render().contains("aggregate"));
+
+        // Same seed, different shard count: deterministic outputs and the
+        // deterministic rendering are identical.
+        cfg.shards = 5;
+        let replay = FarmRun::run(Scale::Tiny, &letters, 4, &cfg);
+        assert_eq!(replay.report.fingerprint(), run.report.fingerprint());
+        assert_eq!(
+            replay.render_deterministic(),
+            run.render_deterministic(),
+            "deterministic rendering must not depend on shard count"
+        );
+    }
+}

@@ -25,12 +25,14 @@
 //! ```
 
 pub mod experiments;
+pub mod farm;
 pub mod pipeline;
 pub mod planning;
 pub mod scale;
 pub mod scenarios;
 pub mod serving;
 
+pub use farm::FarmRun;
 pub use pipeline::Pipeline;
 pub use planning::PlannerRun;
 pub use scale::Scale;

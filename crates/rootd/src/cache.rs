@@ -25,8 +25,9 @@
 //! names below a delegation (referral qnames are unbounded too, and cold).
 
 use crate::engine::{encode_limited_into, Answerer};
-use crate::index::RrsetEntry;
+use crate::index::{RrsetEntry, ZoneIndex};
 use dns_wire::edns::{set_edns, Edns};
+use dns_wire::rdata::Rdata;
 use dns_wire::wire::WireWriter;
 use dns_wire::{Class, Message, Name, Question, Rcode, RrType};
 use std::collections::{HashMap, HashSet};
@@ -303,6 +304,30 @@ impl AnswerCache {
     /// the same code the fallback path executes — so cached and uncached
     /// responses are byte-identical by construction.
     pub(crate) fn build(answerer: &Answerer<'_>) -> AnswerCache {
+        Self::build_inner(answerer, true)
+    }
+
+    /// Identity-free variant for state shared across a letter's sites
+    /// ([`crate::engine::SharedState`]): every zone shape is precompiled,
+    /// but no CHAOS identity names — those differ per site and live in
+    /// each engine's own [`ChaosCache`]. IN-class queries *for* the chaos
+    /// names still serve byte-identically: they are not zone names, so
+    /// both this cache's NXDOMAIN template and the legacy fallback build
+    /// the same negative response.
+    pub(crate) fn build_zone(index: &ZoneIndex) -> AnswerCache {
+        // The answerer's identity fields are only read when building
+        // CHAOS shapes, which `include_chaos = false` skips.
+        let version = Rdata::Txt(Vec::new());
+        let answerer = Answerer {
+            index,
+            hostname: None,
+            chaos_hostname: None,
+            chaos_version: &version,
+        };
+        Self::build_inner(&answerer, false)
+    }
+
+    fn build_inner(answerer: &Answerer<'_>, include_chaos: bool) -> AnswerCache {
         let index = answerer.index;
         let mut exact: HashMap<Vec<u8>, Vec<ExactShape>> = HashMap::new();
         for name in index.names() {
@@ -311,12 +336,14 @@ impl AnswerCache {
                 shapes.push(build_shape(answerer, name, qtype, Class::In));
             }
         }
-        for chaos in CHAOS_NAMES {
-            let name = Name::parse(chaos).expect("static chaos name");
-            exact
-                .entry(name.canonical_wire())
-                .or_default()
-                .push(build_shape(answerer, &name, RrType::Txt, Class::Ch));
+        if include_chaos {
+            for chaos in CHAOS_NAMES {
+                let name = Name::parse(chaos).expect("static chaos name");
+                exact
+                    .entry(name.canonical_wire())
+                    .or_default()
+                    .push(build_shape(answerer, &name, RrType::Txt, Class::Ch));
+            }
         }
         let tlds = index
             .tld_labels()
@@ -383,11 +410,7 @@ impl AnswerCache {
             };
             out.clear();
             out.extend_from_slice(bytes);
-            out[0] = req[0];
-            out[1] = req[1];
-            out[2] = (out[2] & !0x01) | (req[2] & 0x01);
-            let qend = 12 + q.qlen + 4;
-            out[12..qend].copy_from_slice(&req[12..qend]);
+            splice_request(req, q.qlen, out);
             return true;
         }
         if q.class != Class::In.to_u16() {
@@ -428,6 +451,66 @@ impl AnswerCache {
             Err(i) => i - 1,
         };
         Some(idx)
+    }
+}
+
+/// Splice the live request's id, RD bit, and question bytes into a
+/// pre-encoded response already copied into `out` (the stored bytes were
+/// built from an id-0, RD-clear query for the same canonical qname).
+fn splice_request(req: &[u8], qlen: usize, out: &mut [u8]) {
+    out[0] = req[0];
+    out[1] = req[1];
+    out[2] = (out[2] & !0x01) | (req[2] & 0x01);
+    let qend = 12 + qlen + 4;
+    out[12..qend].copy_from_slice(&req[12..qend]);
+}
+
+/// Per-engine CHAOS identity shapes, consulted after a shared zone-only
+/// [`AnswerCache`] ([`AnswerCache::build_zone`]) declines. All sites of a
+/// letter share the zone cache; each engine keeps its own four identity
+/// answers here, built through the same [`build_shape`] path the legacy
+/// per-engine cache uses — so shared-state and standalone engines stay
+/// byte-identical on the CHAOS channel too.
+#[derive(Debug)]
+pub(crate) struct ChaosCache {
+    /// (canonical qname wire, TXT/CH shape) for each of [`CHAOS_NAMES`].
+    shapes: Vec<(Vec<u8>, ExactShape)>,
+}
+
+impl ChaosCache {
+    pub(crate) fn build(answerer: &Answerer<'_>) -> ChaosCache {
+        let shapes = CHAOS_NAMES
+            .iter()
+            .map(|chaos| {
+                let name = Name::parse(chaos).expect("static chaos name");
+                (
+                    name.canonical_wire(),
+                    build_shape(answerer, &name, RrType::Txt, Class::Ch),
+                )
+            })
+            .collect();
+        ChaosCache { shapes }
+    }
+
+    /// Serve a CHAOS identity query from the per-engine shapes. Returns
+    /// false (with `out` unspecified) for anything else — including the
+    /// shapes the legacy cache also declines (odd payloads, NSID).
+    pub(crate) fn serve(&self, req: &[u8], out: &mut Vec<u8>) -> bool {
+        let Some(q) = FastQuery::parse(req) else {
+            return false;
+        };
+        let Some((_, shape)) = self.shapes.iter().find(|(name, s)| {
+            s.qtype == q.qtype && s.class == q.class && name.as_slice() == &q.lc[..q.qlen]
+        }) else {
+            return false;
+        };
+        let Some(bytes) = shape.states[q.state].select(q.limit) else {
+            return false;
+        };
+        out.clear();
+        out.extend_from_slice(bytes);
+        splice_request(req, q.qlen, out);
+        true
     }
 }
 

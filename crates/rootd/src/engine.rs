@@ -17,9 +17,10 @@
 //! replace the whole serving state atomically behind an epoch-swapped
 //! `Arc`, bumping [`Rootd::generation`].
 
-use crate::cache::AnswerCache;
+use crate::cache::{AnswerCache, ChaosCache};
 use crate::index::{Lookup, ZoneIndex};
 use crate::rrl::{self, ResponseClass, Rrl, RrlConfig, RrlDecision};
+use crate::transport::UdpBatch;
 use dns_wire::edns::{edns_of, set_edns, Edns};
 use dns_wire::message::Opcode;
 use dns_wire::rdata::Rdata;
@@ -119,15 +120,98 @@ struct ServingState {
     rrl: Option<Arc<Rrl>>,
 }
 
+/// One letter's epoch-swapped serving state, shared by every site engine
+/// of that letter ([`Rootd::with_shared_state`]). The zone index and the
+/// identity-free answer cache are built once per letter; a
+/// [`SharedState::reload`] publishes the next zone epoch to all sharing
+/// engines atomically (in-flight queries finish against the old state).
+#[derive(Debug, Clone)]
+pub struct SharedState {
+    state: Arc<RwLock<Arc<ServingState>>>,
+}
+
+impl SharedState {
+    /// Build the shared state for `index`, with the zone-only precompiled
+    /// answer cache (CHAOS identity shapes live per-engine instead).
+    pub fn build(index: Arc<ZoneIndex>) -> SharedState {
+        let cache = Some(Arc::new(AnswerCache::build_zone(&index)));
+        SharedState {
+            state: Arc::new(RwLock::new(Arc::new(ServingState {
+                index,
+                cache,
+                generation: 0,
+                rrl: None,
+            }))),
+        }
+    }
+
+    /// Build the shared state from preassembled parts. The farm uses this
+    /// to share ONE zone-only cache across all thirteen letters — the
+    /// cache is identity-free, hence letter-independent, so building it
+    /// thirteen times would be pure waste.
+    pub(crate) fn with_parts(index: Arc<ZoneIndex>, cache: Arc<AnswerCache>) -> SharedState {
+        SharedState {
+            state: Arc::new(RwLock::new(Arc::new(ServingState {
+                index,
+                cache: Some(cache),
+                generation: 0,
+                rrl: None,
+            }))),
+        }
+    }
+
+    /// Swap in a new zone epoch for every sharing engine: rebuild the
+    /// index (and the zone-only cache), bump the generation, and publish
+    /// atomically.
+    pub fn reload(&self, zone: Arc<Zone>) {
+        let index = Arc::new(ZoneIndex::build(zone));
+        let (generation, rrl, cached) = {
+            let s = self.state.read();
+            (s.generation + 1, s.rrl.clone(), s.cache.is_some())
+        };
+        let cache = cached.then(|| Arc::new(AnswerCache::build_zone(&index)));
+        *self.state.write() = Arc::new(ServingState {
+            index,
+            cache,
+            generation,
+            rrl,
+        });
+    }
+
+    /// Epoch generation: bumped by every [`Self::reload`]. Starts at 0.
+    pub fn generation(&self) -> u64 {
+        self.state.read().generation
+    }
+
+    /// The zone index currently published to sharing engines.
+    pub fn index(&self) -> Arc<ZoneIndex> {
+        Arc::clone(&self.state.read().index)
+    }
+}
+
+/// Per-batch serve tally from [`Rootd::serve_udp_batch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchTally {
+    /// Answered from the precompiled caches.
+    pub hits: u64,
+    /// Answered through the full parse/respond/encode path.
+    pub fallbacks: u64,
+    /// Datagrams with no response.
+    pub dropped: u64,
+}
+
 /// One authoritative serving instance.
 #[derive(Debug)]
 pub struct Rootd {
-    state: RwLock<Arc<ServingState>>,
+    state: Arc<RwLock<Arc<ServingState>>>,
     identity: SiteIdentity,
     /// CHAOS TXT rdata precomputed at build time so identity queries do
     /// not re-allocate the banner strings per query.
     chaos_hostname: Option<Rdata>,
     chaos_version: Rdata,
+    /// Per-engine CHAOS identity shapes, present on engines built over a
+    /// [`SharedState`] (whose answer cache is identity-free).
+    chaos: Option<ChaosCache>,
     /// Whether [`Rootd::reload`] rebuilds the answer cache.
     cache_enabled: bool,
     /// Answer records per AXFR message.
@@ -148,19 +232,49 @@ impl Rootd {
             .map(|h| Rdata::Txt(vec![h.clone().into_bytes()]));
         let chaos_version = Rdata::Txt(vec![identity.version.clone().into_bytes()]);
         Rootd {
-            state: RwLock::new(Arc::new(ServingState {
+            state: Arc::new(RwLock::new(Arc::new(ServingState {
                 index,
                 cache: None,
                 generation: 0,
                 rrl: None,
-            })),
+            }))),
             identity,
             chaos_hostname,
             chaos_version,
+            chaos: None,
             cache_enabled: false,
             axfr_batch: dns_zone::axfr::DEFAULT_BATCH,
             letter: None,
         }
+    }
+
+    /// A site engine serving a letter's [`SharedState`]: the zone index
+    /// and precompiled answer cache are shared across all of the letter's
+    /// sites; only the CHAOS identity answers are per-engine. A
+    /// [`SharedState::reload`] (or a [`Rootd::reload`] through any
+    /// sharing engine) swaps the epoch for every sharer at once.
+    pub fn with_shared_state(shared: &SharedState, identity: SiteIdentity) -> Rootd {
+        let chaos_hostname = identity
+            .hostname
+            .as_ref()
+            .map(|h| Rdata::Txt(vec![h.clone().into_bytes()]));
+        let chaos_version = Rdata::Txt(vec![identity.version.clone().into_bytes()]);
+        let mut me = Rootd {
+            state: Arc::clone(&shared.state),
+            identity,
+            chaos_hostname,
+            chaos_version,
+            chaos: None,
+            cache_enabled: true,
+            axfr_batch: dns_zone::axfr::DEFAULT_BATCH,
+            letter: None,
+        };
+        let chaos = {
+            let state = me.state.read();
+            ChaosCache::build(&me.answerer(&state))
+        };
+        me.chaos = Some(chaos);
+        me
     }
 
     /// Precompile the answer cache for the current zone and keep it in
@@ -244,12 +358,18 @@ impl Rootd {
         rrl: Option<Arc<Rrl>>,
     ) -> ServingState {
         let cache = self.cache_enabled.then(|| {
-            Arc::new(AnswerCache::build(&Answerer {
-                index: &index,
-                hostname: self.identity.hostname.as_deref(),
-                chaos_hostname: self.chaos_hostname.as_ref(),
-                chaos_version: &self.chaos_version,
-            }))
+            if self.chaos.is_some() {
+                // Shared-state engine: the cache is identity-free (all
+                // sharers see this swap; identity stays per-engine).
+                Arc::new(AnswerCache::build_zone(&index))
+            } else {
+                Arc::new(AnswerCache::build(&Answerer {
+                    index: &index,
+                    hostname: self.identity.hostname.as_deref(),
+                    chaos_hostname: self.chaos_hostname.as_ref(),
+                    chaos_version: &self.chaos_version,
+                }))
+            }
         });
         ServingState {
             index,
@@ -288,12 +408,41 @@ impl Rootd {
                 return ServeOutcome::CacheHit;
             }
         }
+        if let Some(chaos) = &self.chaos {
+            if chaos.serve(request, out) {
+                return ServeOutcome::CacheHit;
+            }
+        }
         let answerer = self.answerer(state);
         if serve_udp_fallback(&answerer, request, out) {
             ServeOutcome::Fallback
         } else {
             ServeOutcome::Dropped
         }
+    }
+
+    /// Serve every request in `batch`, writing each answer into the
+    /// batch's response slab (the farm's recvmmsg-style inner loop). One
+    /// state read covers the whole batch — the per-datagram epoch-pointer
+    /// load of [`Self::serve_udp_into`] is amortized across it — and no
+    /// per-query allocation happens once the slabs are warm. Answers are
+    /// byte-identical to per-datagram [`Self::serve_udp_into`] calls.
+    pub fn serve_udp_batch(&self, batch: &mut UdpBatch) -> BatchTally {
+        let state = self.state.read();
+        let mut tally = BatchTally::default();
+        for i in 0..batch.len() {
+            let outcome = {
+                let (req, scratch) = batch.io(i);
+                self.serve_locked(&state, req, scratch)
+            };
+            match outcome {
+                ServeOutcome::CacheHit => tally.hits += 1,
+                ServeOutcome::Fallback => tally.fallbacks += 1,
+                ServeOutcome::Dropped => tally.dropped += 1,
+            }
+            batch.commit_response(outcome != ServeOutcome::Dropped);
+        }
+        tally
     }
 
     /// Serve one UDP datagram from source `src` at virtual instant
@@ -972,6 +1121,84 @@ mod tests {
         // Disabling drops the limiter entirely.
         e.set_rrl(None);
         assert!(e.rrl().is_none());
+    }
+
+    #[test]
+    fn shared_state_engine_is_byte_identical_to_standalone() {
+        let zone = build_root_zone(
+            &RootZoneConfig {
+                tld_count: 10,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(5),
+        );
+        let index = Arc::new(ZoneIndex::build(Arc::new(zone)));
+        let standalone =
+            Rootd::new(Arc::clone(&index), SiteIdentity::named("lax2f")).with_answer_cache();
+        let shared = SharedState::build(index);
+        let sharer = Rootd::with_shared_state(&shared, SiteIdentity::named("lax2f"));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for wire in shape_matrix() {
+            let oa = standalone.serve_udp_into(&wire, &mut a);
+            let ob = sharer.serve_udp_into(&wire, &mut b);
+            assert_eq!(oa, ob, "outcome diverged on {wire:?}");
+            if oa != ServeOutcome::Dropped {
+                assert_eq!(a, b, "bytes diverged on {wire:?}");
+            }
+        }
+        // The per-engine CHAOS shapes serve identity from the cache path
+        // even though the shared answer cache is identity-free.
+        let chaos =
+            Message::query(80, Question::chaos_txt(Name::parse("id.server.").unwrap())).to_wire();
+        assert_eq!(
+            sharer.serve_udp_into(&chaos, &mut b),
+            ServeOutcome::CacheHit
+        );
+    }
+
+    #[test]
+    fn serve_udp_batch_matches_one_shot_serves() {
+        let zone = build_root_zone(
+            &RootZoneConfig {
+                tld_count: 10,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(5),
+        );
+        let shared = SharedState::build(Arc::new(ZoneIndex::build(Arc::new(zone))));
+        let e = Rootd::with_shared_state(&shared, SiteIdentity::named("lax2f"));
+        let queries = shape_matrix();
+        let mut batch = crate::transport::UdpBatch::new();
+        for wire in &queries {
+            batch.push_request(wire);
+        }
+        let tally = e.serve_udp_batch(&mut batch);
+        assert_eq!(
+            tally.hits + tally.fallbacks + tally.dropped,
+            queries.len() as u64
+        );
+        assert!(tally.hits > 0);
+        let mut one_shot = Vec::new();
+        for (i, wire) in queries.iter().enumerate() {
+            let outcome = e.serve_udp_into(wire, &mut one_shot);
+            match batch.response(i) {
+                Some(resp) => {
+                    assert_ne!(outcome, ServeOutcome::Dropped);
+                    assert_eq!(resp, &one_shot[..], "batch diverged on {wire:?}");
+                }
+                None => assert_eq!(outcome, ServeOutcome::Dropped),
+            }
+        }
+        // A second fill after clear() reuses the slabs correctly.
+        batch.clear();
+        assert!(batch.is_empty());
+        for wire in &queries {
+            batch.push_request(wire);
+        }
+        let again = e.serve_udp_batch(&mut batch);
+        assert_eq!(again, tally);
     }
 
     #[test]

@@ -1,0 +1,829 @@
+//! The full-constellation serving farm.
+//!
+//! The paper measures the root as thirteen independently operated anycast
+//! deployments — and its §6 churn analysis only makes sense against the
+//! *whole* constellation, not one letter at a time. This module instantiates
+//! that deployment surface in one process: every letter from the `rss`
+//! catalog becomes a `LetterFarm` whose per-site [`Rootd`] engines share
+//! one epoch-swapped [`SharedState`] (the zone index and the identity-free
+//! answer cache are built **once** for the whole farm — the root zone is the
+//! same bytes behind every letter — while CHAOS identity answers stay
+//! per-site). Queries are steered to sites by the same Gao-Rexford
+//! catchment computation the measurement layer uses, per address family.
+//!
+//! The farm serves through the batched datagram path
+//! ([`Rootd::serve_udp_batch`] over [`UdpBatch`]): shards fill
+//! per-(letter, site) request slabs and flush them through one
+//! lock-acquire per batch. Shards partition the global query index
+//! contiguously, every per-query decision (content, letter, family,
+//! client) derives from that global index alone, and shard tallies merge
+//! in shard-id order — so every counter, site distribution, and
+//! response-size quantile in a [`FarmReport`] is bit-identical for any
+//! shard count (a test sweeps 1..=8).
+//!
+//! Throughput is reported two ways, deliberately: `wall_qps` is total
+//! queries over wall-clock time — on an N-core box the shards genuinely
+//! overlap and this is the honest machine rate; `aggregate_qps` is the sum
+//! over letters of (queries served / time spent inside that letter's serve
+//! batches), i.e. the constellation's serving capacity when each letter's
+//! flushes run uncontended, measured rather than extrapolated. DESIGN §15
+//! discusses the distinction and the contention between the two.
+
+use crate::cache::AnswerCache;
+use crate::engine::{Rootd, SharedState, SiteIdentity};
+use crate::index::ZoneIndex;
+use crate::loadgen::{fill_query, LatencyHistogram, QueryMix, QueryTemplates};
+use crate::transport::UdpBatch;
+use dns_zone::Zone;
+use netsim::anycast::Deployment;
+use netsim::rng::SimRng;
+use netsim::routing::propagate;
+use netsim::topology::Topology;
+use netsim::types::{AsId, Family, Tier};
+use rss::catalog::RootCatalog;
+use rss::RootLetter;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Stream tag for per-query steering draws (letter, family). Separate
+/// from `QUERY_TAG` so adding a steering decision never shifts query
+/// content, and vice versa.
+const STEER_TAG: u64 = 0xfa24;
+
+/// Stream tag for per-query content draws ([`fill_query`]).
+const QUERY_TAG: u64 = 0x51e7;
+
+/// One letter's slice of the farm: per-site engines over one shared,
+/// epoch-swapped serving state, plus the per-family steering tables.
+struct LetterFarm {
+    letter: RootLetter,
+    shared: SharedState,
+    /// Per-site engines, catalog order (capped at build time).
+    engines: Vec<Arc<Rootd>>,
+    /// Site ids, parallel to `engines`.
+    site_ids: Vec<u32>,
+    /// The (possibly capped) deployment steering was computed against.
+    deployment: Deployment,
+    /// `steer[family][client position] -> engine slot`, from the
+    /// Gao-Rexford catchment computation. Position indexes the farm's
+    /// stub-AS client pool; slot 0 is the fallback for routeless clients.
+    steer: [Vec<u16>; 2],
+}
+
+impl LetterFarm {
+    fn slot(&self, family: usize, client_idx: usize) -> usize {
+        let table = &self.steer[family];
+        if table.is_empty() {
+            0
+        } else {
+            table[client_idx % table.len()] as usize
+        }
+    }
+}
+
+/// The whole constellation: one `LetterFarm` per requested letter, a
+/// shared client pool (the topology's stub ASes), and the TLD label set
+/// query templates are cut from.
+pub struct Farm {
+    letters: Vec<LetterFarm>,
+    clients: Vec<AsId>,
+    tlds: Vec<String>,
+}
+
+/// Farm run parameters.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Total queries across the whole constellation.
+    pub queries: usize,
+    /// Worker shards. Shards own contiguous global-index ranges; every
+    /// deterministic output is independent of this.
+    pub shards: usize,
+    /// Datagrams per [`UdpBatch`] flush.
+    pub batch: usize,
+    /// Simulated clients (positions into the stub-AS pool).
+    pub clients: usize,
+    /// Master seed for steering and content streams.
+    pub seed: u64,
+    pub mix: QueryMix,
+    /// Fraction of queries arriving over IPv6 (steered by the v6
+    /// catchment table).
+    pub v6_fraction: f64,
+}
+
+impl FarmConfig {
+    /// A smoke-test-sized run.
+    pub fn tiny(seed: u64) -> FarmConfig {
+        FarmConfig {
+            queries: 20_000,
+            shards: 2,
+            batch: 32,
+            clients: 64,
+            seed,
+            mix: QueryMix::broot(),
+            v6_fraction: 0.3,
+        }
+    }
+}
+
+/// One letter's share of a [`FarmReport`].
+#[derive(Debug, Clone)]
+pub struct LetterLoad {
+    pub letter: RootLetter,
+    /// Sites serving this letter.
+    pub sites: usize,
+    /// Queries this letter answered.
+    pub queries: u64,
+    /// Nanoseconds spent inside this letter's serve batches.
+    pub busy_ns: u64,
+    /// Busy-time serving rate: `queries / busy_seconds`.
+    pub qps: f64,
+}
+
+/// What one farm run measured.
+#[derive(Debug, Clone)]
+pub struct FarmReport {
+    pub queries: usize,
+    pub elapsed: Duration,
+    /// Total queries over wall-clock time (all letters, all shards).
+    pub wall_qps: f64,
+    /// Sum of per-letter busy-time rates — the constellation's aggregate
+    /// serving capacity with each letter's batches uncontended.
+    pub aggregate_qps: f64,
+    pub letters: Vec<LetterLoad>,
+    /// Answer-cache hits / full-path fallbacks / unserveable datagrams.
+    pub hits: u64,
+    pub fallbacks: u64,
+    pub dropped: u64,
+    pub responses: u64,
+    pub nxdomain: u64,
+    pub referrals: u64,
+    pub truncated: u64,
+    /// Batch-amortised serve latency quantiles (flush time split evenly
+    /// across its datagrams). Timing-dependent: excluded from
+    /// [`FarmReport::fingerprint`].
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    /// Response-size quantiles (bytes). Deterministic.
+    pub size_p50: u64,
+    pub size_p99: u64,
+    /// Responses per (letter, site id), letter-major, site-sorted.
+    pub per_site: Vec<(RootLetter, u32, u64)>,
+}
+
+impl FarmReport {
+    /// Order-sensitive FNV digest over every deterministic field — equal
+    /// fingerprints mean the runs answered the same queries the same way
+    /// and distributed them across the same sites. Wall-clock and latency
+    /// fields are deliberately excluded.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        mix(self.queries as u64);
+        mix(self.hits);
+        mix(self.fallbacks);
+        mix(self.dropped);
+        mix(self.responses);
+        mix(self.nxdomain);
+        mix(self.referrals);
+        mix(self.truncated);
+        mix(self.size_p50);
+        mix(self.size_p99);
+        for l in &self.letters {
+            mix(l.letter.index() as u64);
+            mix(l.sites as u64);
+            mix(l.queries);
+        }
+        for &(letter, site, n) in &self.per_site {
+            mix(letter.index() as u64);
+            mix(u64::from(site));
+            mix(n);
+        }
+        h
+    }
+
+    /// Internal-consistency checks; a healthy run returns an empty list.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.hits + self.fallbacks + self.dropped != self.queries as u64 {
+            v.push(format!(
+                "serve outcomes {}+{}+{} != queries {}",
+                self.hits, self.fallbacks, self.dropped, self.queries
+            ));
+        }
+        if self.responses != self.queries as u64 - self.dropped {
+            v.push(format!(
+                "responses {} != queries {} - dropped {}",
+                self.responses, self.queries, self.dropped
+            ));
+        }
+        let per_letter: u64 = self.letters.iter().map(|l| l.queries).sum();
+        if per_letter != self.queries as u64 {
+            v.push(format!(
+                "per-letter queries sum {} != queries {}",
+                per_letter, self.queries
+            ));
+        }
+        let per_site: u64 = self.per_site.iter().map(|&(_, _, n)| n).sum();
+        if per_site != self.responses {
+            v.push(format!(
+                "per-site responses sum {} != responses {}",
+                per_site, self.responses
+            ));
+        }
+        v
+    }
+
+    /// Metric pairs in the flat label→value shape `BENCH_results.json`
+    /// uses: the two throughput views, latency quantiles, and one
+    /// busy-rate per letter.
+    pub fn metrics(&self, prefix: &str) -> Vec<(String, f64)> {
+        let mut out = vec![
+            (format!("{prefix}/aggregate_qps"), self.aggregate_qps),
+            (format!("{prefix}/wall_qps"), self.wall_qps),
+            (format!("{prefix}/p50_ns"), self.p50_ns as f64),
+            (format!("{prefix}/p99_ns"), self.p99_ns as f64),
+        ];
+        for l in &self.letters {
+            out.push((format!("{prefix}/qps_{}", l.letter.ch()), l.qps));
+        }
+        out
+    }
+
+    /// The seeded, machine-independent counters only — byte-identical
+    /// across runs and shard counts (timing lives in [`FarmReport::render`]).
+    pub fn render_counts(&self) -> String {
+        let sites: usize = self.letters.iter().map(|l| l.sites).sum();
+        let mut out = format!(
+            "letters        {:>12}\nsites          {:>12}\nqueries        {:>12}\nresponses      {:>12}\ncache hits     {:>12}\nfallbacks      {:>12}\ndropped        {:>12}\nnxdomain       {:>12}\nreferrals      {:>12}\ntruncated      {:>12}\nsize p50       {:>12} B\nsize p99       {:>12} B\n",
+            self.letters.len(),
+            sites,
+            self.queries,
+            self.responses,
+            self.hits,
+            self.fallbacks,
+            self.dropped,
+            self.nxdomain,
+            self.referrals,
+            self.truncated,
+            self.size_p50,
+            self.size_p99,
+        );
+        for l in &self.letters {
+            out.push_str(&format!(
+                "  {}.root  sites {:>3}  queries {:>10}\n",
+                l.letter.ch(),
+                l.sites,
+                l.queries,
+            ));
+        }
+        out
+    }
+
+    /// Human-readable summary: constellation totals, both throughput
+    /// views, and a per-letter table.
+    pub fn render(&self) -> String {
+        let sites: usize = self.letters.iter().map(|l| l.sites).sum();
+        let mut out = format!(
+            "letters        {:>12}\nsites          {:>12}\nqueries        {:>12}\nresponses      {:>12}\ncache hits     {:>12}\nfallbacks      {:>12}\ndropped        {:>12}\nnxdomain       {:>12}\nreferrals      {:>12}\ntruncated      {:>12}\nelapsed        {:>12.3} s\nwall clock     {:>12.0} q/s\naggregate      {:>12.0} q/s (sum of per-letter busy rates)\nserve p50      {:>12} ns\nserve p99      {:>12} ns\nsize p50       {:>12} B\nsize p99       {:>12} B\n",
+            self.letters.len(),
+            sites,
+            self.queries,
+            self.responses,
+            self.hits,
+            self.fallbacks,
+            self.dropped,
+            self.nxdomain,
+            self.referrals,
+            self.truncated,
+            self.elapsed.as_secs_f64(),
+            self.wall_qps,
+            self.aggregate_qps,
+            self.p50_ns,
+            self.p99_ns,
+            self.size_p50,
+            self.size_p99,
+        );
+        for l in &self.letters {
+            out.push_str(&format!(
+                "  {}.root  sites {:>3}  queries {:>10}  busy {:>9.3} ms  rate {:>12.0} q/s\n",
+                l.letter.ch(),
+                l.sites,
+                l.queries,
+                l.busy_ns as f64 / 1e6,
+                l.qps,
+            ));
+        }
+        out
+    }
+}
+
+/// Per-shard tallies, merged in shard-id order after the threads join.
+struct ShardStats {
+    letter_queries: Vec<u64>,
+    letter_busy_ns: Vec<u64>,
+    /// `[letter][slot] -> responses`.
+    site_counts: Vec<Vec<u64>>,
+    hits: u64,
+    fallbacks: u64,
+    dropped: u64,
+    responses: u64,
+    nxdomain: u64,
+    referrals: u64,
+    truncated: u64,
+    latency: LatencyHistogram,
+    sizes: LatencyHistogram,
+}
+
+impl ShardStats {
+    fn new(slots_per_letter: &[usize]) -> ShardStats {
+        ShardStats {
+            letter_queries: vec![0; slots_per_letter.len()],
+            letter_busy_ns: vec![0; slots_per_letter.len()],
+            site_counts: slots_per_letter.iter().map(|&n| vec![0; n]).collect(),
+            hits: 0,
+            fallbacks: 0,
+            dropped: 0,
+            responses: 0,
+            nxdomain: 0,
+            referrals: 0,
+            truncated: 0,
+            latency: LatencyHistogram::new(),
+            sizes: LatencyHistogram::new(),
+        }
+    }
+
+    /// Classify one response datagram by header bytes (the loadgen
+    /// discipline: the client side stays cheap).
+    fn classify(&mut self, resp: &[u8]) {
+        self.responses += 1;
+        if resp.len() < 12 {
+            return;
+        }
+        if resp[2] & 0x02 != 0 {
+            self.truncated += 1;
+        }
+        match resp[3] & 0x0f {
+            3 => self.nxdomain += 1,
+            0 => {
+                let ancount = u16::from_be_bytes([resp[6], resp[7]]);
+                let nscount = u16::from_be_bytes([resp[8], resp[9]]);
+                if ancount == 0 && nscount > 0 {
+                    self.referrals += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Serve one full batch through `engine`, timing the flush and
+    /// splitting its cost evenly across the batch's datagrams.
+    fn flush(&mut self, engine: &Rootd, letter_idx: usize, slot: usize, batch: &mut UdpBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len() as u64;
+        let t0 = Instant::now();
+        let tally = engine.serve_udp_batch(batch);
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.letter_queries[letter_idx] += n;
+        self.letter_busy_ns[letter_idx] += dt;
+        self.hits += tally.hits;
+        self.fallbacks += tally.fallbacks;
+        self.dropped += tally.dropped;
+        let per_query = dt / n;
+        for _ in 0..n {
+            self.latency.record(per_query);
+        }
+        for i in 0..batch.len() {
+            if let Some(resp) = batch.response(i) {
+                self.site_counts[letter_idx][slot] += 1;
+                self.sizes.record(resp.len() as u64);
+                self.classify(resp);
+            }
+        }
+        batch.clear();
+    }
+}
+
+impl Farm {
+    /// Build the constellation: one shared zone index and one shared
+    /// zone-only answer cache for the whole farm, per-site engines (with
+    /// per-site CHAOS identity) for every requested letter, capped at
+    /// `max_sites_per_letter` sites per letter (`usize::MAX` for the full
+    /// catalog), and both address families' catchment tables computed
+    /// against the capped deployments.
+    pub fn build(
+        topology: &Topology,
+        catalog: &RootCatalog,
+        zone: Arc<Zone>,
+        letters: &[RootLetter],
+        max_sites_per_letter: usize,
+    ) -> Farm {
+        assert!(!letters.is_empty(), "farm needs at least one letter");
+        let index = Arc::new(ZoneIndex::build(zone));
+        let cache = Arc::new(AnswerCache::build_zone(&index));
+        let tlds = index.tld_labels();
+        let clients: Vec<AsId> = topology
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Stub)
+            .map(|n| n.id)
+            .collect();
+        let farms = letters
+            .iter()
+            .map(|&letter| {
+                let shared = SharedState::with_parts(Arc::clone(&index), Arc::clone(&cache));
+                let mut engines = Vec::new();
+                let mut site_ids = Vec::new();
+                for site in catalog.sites_of(letter).take(max_sites_per_letter.max(1)) {
+                    let mut engine =
+                        Rootd::with_shared_state(&shared, SiteIdentity::for_site(site));
+                    engine.letter = Some(letter);
+                    engines.push(Arc::new(engine));
+                    site_ids.push(site.site_id.0);
+                }
+                // Steering must route over the sites the farm actually
+                // serves: announce only the kept sites.
+                let full = catalog.deployment(letter);
+                let deployment = Deployment {
+                    name: full.name.clone(),
+                    sites: full
+                        .sites
+                        .iter()
+                        .filter(|s| site_ids.contains(&s.id.0))
+                        .cloned()
+                        .collect(),
+                };
+                let steer = [Family::V4, Family::V6].map(|family| {
+                    let routes = propagate(topology, &deployment, family);
+                    clients
+                        .iter()
+                        .map(|&asn| {
+                            routes
+                                .best(asn)
+                                .and_then(|c| site_ids.iter().position(|&id| id == c.site.0))
+                                .unwrap_or(0) as u16
+                        })
+                        .collect()
+                });
+                LetterFarm {
+                    letter,
+                    shared,
+                    engines,
+                    site_ids,
+                    deployment,
+                    steer,
+                }
+            })
+            .collect();
+        Farm {
+            letters: farms,
+            clients,
+            tlds,
+        }
+    }
+
+    /// The letters this farm serves, in build order.
+    pub fn letters(&self) -> Vec<RootLetter> {
+        self.letters.iter().map(|lf| lf.letter).collect()
+    }
+
+    /// Total site engines across all letters.
+    pub fn site_count(&self) -> usize {
+        self.letters.iter().map(|lf| lf.engines.len()).sum()
+    }
+
+    /// Size of the stub-AS client pool steering is computed over.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The stub-AS client pool, in steering-table order: position `p` in
+    /// this slice is the client position [`Farm::site_for`] resolves.
+    pub fn clients(&self) -> &[AsId] {
+        &self.clients
+    }
+
+    /// The (capped) deployment `letter`'s steering was computed against.
+    pub fn deployment(&self, letter: RootLetter) -> Option<&Deployment> {
+        self.farm_of(letter).map(|lf| &lf.deployment)
+    }
+
+    /// The site id client position `client_idx` is steered to for
+    /// `letter` over `family`.
+    pub fn site_for(&self, letter: RootLetter, family: Family, client_idx: usize) -> Option<u32> {
+        let lf = self.farm_of(letter)?;
+        let fam = usize::from(family == Family::V6);
+        Some(lf.site_ids[lf.slot(fam, client_idx)])
+    }
+
+    /// The engine serving `letter` at `site_id`.
+    pub fn engine_at(&self, letter: RootLetter, site_id: u32) -> Option<&Arc<Rootd>> {
+        let lf = self.farm_of(letter)?;
+        let slot = lf.site_ids.iter().position(|&id| id == site_id)?;
+        Some(&lf.engines[slot])
+    }
+
+    /// Current zone-epoch generation of `letter`'s shared state.
+    pub fn generation(&self, letter: RootLetter) -> Option<u64> {
+        self.farm_of(letter).map(|lf| lf.shared.generation())
+    }
+
+    /// Swap a new zone epoch into `letter`'s shared state — every site
+    /// engine of that letter sees it atomically; other letters are
+    /// untouched. Returns false when the farm does not serve `letter`.
+    pub fn reload_letter(&self, letter: RootLetter, zone: Arc<Zone>) -> bool {
+        match self.farm_of(letter) {
+            Some(lf) => {
+                lf.shared.reload(zone);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn farm_of(&self, letter: RootLetter) -> Option<&LetterFarm> {
+        self.letters.iter().find(|lf| lf.letter == letter)
+    }
+
+    /// Run `cfg.queries` steered queries through the constellation over
+    /// `cfg.shards` worker shards.
+    ///
+    /// Shard `t` owns global indices `[t*per_shard, ...)`; per query `g`,
+    /// the steering stream (`STEER_TAG`) draws the letter and family,
+    /// `g % clients` names the client, and the content stream
+    /// (`QUERY_TAG`) fills the wire bytes — all pure functions of `g`,
+    /// so every deterministic report field is shard-count-invariant.
+    pub fn run(&self, cfg: &FarmConfig) -> FarmReport {
+        let shards = cfg.shards.max(1);
+        let clients = cfg.clients.max(1);
+        let batch_cap = cfg.batch.max(1);
+        let nletters = self.letters.len();
+        let per_shard = cfg.queries.div_ceil(shards);
+        let slots_per_letter: Vec<usize> = self.letters.iter().map(|lf| lf.engines.len()).collect();
+        let slots_per_letter = &slots_per_letter;
+        let templates = QueryTemplates::build(&self.tlds);
+        let templates = &templates;
+        let pool = self.clients.len().max(1);
+        let started = Instant::now();
+        let mut stats: Vec<(usize, ShardStats)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            for t in 0..shards {
+                let first = t * per_shard;
+                let count = per_shard.min(cfg.queries.saturating_sub(first));
+                handles.push(scope.spawn(move || {
+                    let mut stats = ShardStats::new(slots_per_letter);
+                    // One request slab per (letter, site): queries
+                    // accumulate and flush through one lock acquire.
+                    let mut batches: Vec<Vec<UdpBatch>> = slots_per_letter
+                        .iter()
+                        .map(|&n| (0..n).map(|_| UdpBatch::new()).collect())
+                        .collect();
+                    let mut wire = Vec::with_capacity(64);
+                    for i in 0..count {
+                        let g = (first + i) as u64;
+                        let mut steer = SimRng::new(cfg.seed).derive_ids(&[STEER_TAG, g]);
+                        let letter_idx = steer.next_range(nletters);
+                        let fam = usize::from(steer.chance(cfg.v6_fraction));
+                        let client_idx = (g as usize % clients) % pool;
+                        let lf = &self.letters[letter_idx];
+                        let slot = lf.slot(fam, client_idx);
+                        let mut qrng = SimRng::new(cfg.seed).derive_ids(&[QUERY_TAG, g]);
+                        fill_query(&cfg.mix, templates, &mut qrng, &mut wire);
+                        let batch = &mut batches[letter_idx][slot];
+                        batch.push_request(&wire);
+                        if batch.len() >= batch_cap {
+                            stats.flush(&lf.engines[slot], letter_idx, slot, batch);
+                        }
+                    }
+                    for (letter_idx, letter_batches) in batches.iter_mut().enumerate() {
+                        for (slot, batch) in letter_batches.iter_mut().enumerate() {
+                            stats.flush(
+                                &self.letters[letter_idx].engines[slot],
+                                letter_idx,
+                                slot,
+                                batch,
+                            );
+                        }
+                    }
+                    (t, stats)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let elapsed = started.elapsed();
+        // Ordered merge, same discipline as the load generator: fold
+        // shard tallies in shard-id order no matter how the scheduler
+        // finished them.
+        stats.sort_by_key(|&(shard, _)| shard);
+        let mut merged = ShardStats::new(slots_per_letter);
+        for (_, s) in &stats {
+            for (a, b) in merged.letter_queries.iter_mut().zip(&s.letter_queries) {
+                *a += b;
+            }
+            for (a, b) in merged.letter_busy_ns.iter_mut().zip(&s.letter_busy_ns) {
+                *a += b;
+            }
+            for (al, bl) in merged.site_counts.iter_mut().zip(&s.site_counts) {
+                for (a, b) in al.iter_mut().zip(bl) {
+                    *a += b;
+                }
+            }
+            merged.hits += s.hits;
+            merged.fallbacks += s.fallbacks;
+            merged.dropped += s.dropped;
+            merged.responses += s.responses;
+            merged.nxdomain += s.nxdomain;
+            merged.referrals += s.referrals;
+            merged.truncated += s.truncated;
+            merged.latency.merge(&s.latency);
+            merged.sizes.merge(&s.sizes);
+        }
+        let letters: Vec<LetterLoad> = self
+            .letters
+            .iter()
+            .enumerate()
+            .map(|(i, lf)| {
+                let queries = merged.letter_queries[i];
+                let busy_ns = merged.letter_busy_ns[i];
+                LetterLoad {
+                    letter: lf.letter,
+                    sites: lf.engines.len(),
+                    queries,
+                    busy_ns,
+                    qps: queries as f64 / (busy_ns.max(1) as f64 / 1e9),
+                }
+            })
+            .collect();
+        let mut per_site = Vec::new();
+        for (i, lf) in self.letters.iter().enumerate() {
+            for (slot, &n) in merged.site_counts[i].iter().enumerate() {
+                if n > 0 {
+                    per_site.push((lf.letter, lf.site_ids[slot], n));
+                }
+            }
+        }
+        FarmReport {
+            queries: cfg.queries,
+            elapsed,
+            wall_qps: cfg.queries as f64 / elapsed.as_secs_f64().max(1e-9),
+            aggregate_qps: letters.iter().map(|l| l.qps).sum(),
+            letters,
+            hits: merged.hits,
+            fallbacks: merged.fallbacks,
+            dropped: merged.dropped,
+            responses: merged.responses,
+            nxdomain: merged.nxdomain,
+            referrals: merged.referrals,
+            truncated: merged.truncated,
+            p50_ns: merged.latency.quantile(0.50),
+            p99_ns: merged.latency.quantile(0.99),
+            size_p50: merged.sizes.quantile(0.50),
+            size_p99: merged.sizes.quantile(0.99),
+            per_site,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_zone::rollout::RolloutPhase;
+    use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+    use dns_zone::signer::ZoneKeys;
+    use netsim::topology::TopologyConfig;
+    use rss::catalog::WorldConfig;
+
+    fn world() -> (Topology, RootCatalog, Arc<Zone>) {
+        let mut topology = Topology::generate(&TopologyConfig {
+            tier2_per_region: 4,
+            stubs_per_region: [4, 8, 16, 12, 4, 6],
+            ..Default::default()
+        });
+        let catalog = RootCatalog::build(
+            &mut topology,
+            &WorldConfig {
+                site_scale: 0.05,
+                ..Default::default()
+            },
+        );
+        let zone = build_root_zone(
+            &RootZoneConfig {
+                tld_count: 12,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(3),
+        );
+        (topology, catalog, Arc::new(zone))
+    }
+
+    fn small_farm() -> (Topology, RootCatalog, Arc<Zone>, Farm) {
+        let (topology, catalog, zone) = world();
+        let farm = Farm::build(
+            &topology,
+            &catalog,
+            Arc::clone(&zone),
+            &[RootLetter::A, RootLetter::B],
+            4,
+        );
+        (topology, catalog, zone, farm)
+    }
+
+    #[test]
+    fn farm_counters_cover_every_query() {
+        let (_, _, _, farm) = small_farm();
+        let mut cfg = FarmConfig::tiny(41);
+        cfg.queries = 6_000;
+        let report = farm.run(&cfg);
+        assert_eq!(report.violations(), Vec::<String>::new());
+        assert_eq!(
+            report.hits + report.fallbacks + report.dropped,
+            report.queries as u64
+        );
+        assert!(report.hits > 0, "cached path must dominate: {report:?}");
+        assert!(report.nxdomain > 0 && report.referrals > 0);
+        assert!(report.aggregate_qps > 0.0 && report.wall_qps > 0.0);
+        // Both letters drew load, and load spread across sites.
+        assert!(report.letters.iter().all(|l| l.queries > 0));
+        assert!(report.per_site.len() > 2, "{:?}", report.per_site);
+    }
+
+    #[test]
+    fn farm_report_is_bit_identical_across_shard_counts() {
+        let (_, _, _, farm) = small_farm();
+        let mut cfg = FarmConfig::tiny(7);
+        cfg.queries = 4_000;
+        cfg.shards = 1;
+        let baseline = farm.run(&cfg);
+        let base_fp = baseline.fingerprint();
+        for shards in 2..=8 {
+            cfg.shards = shards;
+            let report = farm.run(&cfg);
+            assert_eq!(report.fingerprint(), base_fp, "shards={shards}");
+            assert_eq!(report.hits, baseline.hits, "shards={shards}");
+            assert_eq!(report.per_site, baseline.per_site, "shards={shards}");
+            assert_eq!(
+                (report.size_p50, report.size_p99),
+                (baseline.size_p50, baseline.size_p99),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn steering_matches_a_fresh_catchment_computation() {
+        let (topology, _, _, farm) = small_farm();
+        for letter in [RootLetter::A, RootLetter::B] {
+            let deployment = farm.deployment(letter).unwrap();
+            for family in [Family::V4, Family::V6] {
+                let routes = propagate(&topology, deployment, family);
+                let mut steered_off_default = 0;
+                for (pos, &asn) in farm.clients.iter().enumerate() {
+                    let got = farm.site_for(letter, family, pos).unwrap();
+                    if let Some(best) = routes.best(asn) {
+                        assert_eq!(got, best.site.0, "{letter:?} {family:?} client {pos}");
+                        if got != farm.farm_of(letter).unwrap().site_ids[0] {
+                            steered_off_default += 1;
+                        }
+                    }
+                }
+                assert!(
+                    steered_off_default > 0,
+                    "{letter:?} {family:?}: catchments must use >1 site"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reload_swaps_one_letter_without_touching_the_others() {
+        let (_, _, _, farm) = small_farm();
+        assert_eq!(farm.generation(RootLetter::A), Some(0));
+        assert_eq!(farm.generation(RootLetter::B), Some(0));
+        let zone2 = build_root_zone(
+            &RootZoneConfig {
+                tld_count: 15,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(9),
+        );
+        assert!(farm.reload_letter(RootLetter::B, Arc::new(zone2)));
+        assert_eq!(farm.generation(RootLetter::B), Some(1));
+        assert_eq!(farm.generation(RootLetter::A), Some(0));
+        assert!(!farm.reload_letter(RootLetter::C, {
+            let (_, _, zone) = world();
+            zone
+        }));
+        // The farm still serves after the swap.
+        let mut cfg = FarmConfig::tiny(3);
+        cfg.queries = 2_000;
+        let report = farm.run(&cfg);
+        assert_eq!(report.violations(), Vec::<String>::new());
+        assert!(report.responses > 0);
+    }
+}

@@ -37,6 +37,7 @@
 pub mod attack;
 pub mod cache;
 pub mod engine;
+pub mod farm;
 pub mod faults;
 pub mod index;
 pub mod loadgen;
@@ -45,11 +46,12 @@ pub mod transport;
 
 pub use attack::{AttackConfig, AttackPlan, AttackReport, AttackShape, AttackWindow, EpochTraffic};
 pub use cache::AnswerCache;
-pub use engine::{Rootd, ServeOutcome, ServeVerdict, SiteIdentity};
+pub use engine::{BatchTally, Rootd, ServeOutcome, ServeVerdict, SharedState, SiteIdentity};
+pub use farm::{Farm, FarmConfig, FarmReport};
 pub use faults::{FaultCounters, FaultPlan, FaultSpec, FaultyTransport, Protocol};
 pub use index::{Lookup, Referral, ZoneIndex};
 pub use loadgen::{ArrivalSchedule, LoadReport, LoadgenConfig, QueryMix, SiteFleet};
 pub use rrl::{BucketStat, ResponseClass, Rrl, RrlConfig, RrlCounters, RrlDecision};
 pub use transport::{
-    InprocTransport, LoopbackServer, LoopbackTransport, Transport, TransportError,
+    InprocTransport, LoopbackServer, LoopbackTransport, Transport, TransportError, UdpBatch,
 };

@@ -547,7 +547,7 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
     let plan = cfg.faults.clone().map(Arc::new);
     let plan = &plan;
     let started = Instant::now();
-    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+    let mut stats: Vec<(usize, WorkerStats)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let first = t * per_thread;
@@ -600,14 +600,16 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
                                     plan.client_timeout_ms,
                                 ));
                             }
-                            match transport.exchange_udp(&wire) {
-                                Ok(Some(bytes)) if response_is_plausible(&bytes, &wire) => {
-                                    classify(&mut stats, site, &bytes);
+                            // Scratch-slab path: the answer lands in the
+                            // reused `resp` buffer, no per-attempt `Vec`.
+                            match transport.exchange_udp_into(&wire, &mut resp) {
+                                Ok(true) if response_is_plausible(&resp, &wire) => {
+                                    classify(&mut stats, site, &resp);
                                     answered = true;
                                     break;
                                 }
-                                Ok(Some(_)) => {} // garbage/bitflipped: retry
-                                Ok(None) | Err(_) => stats.timeouts += 1,
+                                Ok(true) => {} // garbage/bitflipped: retry
+                                Ok(false) | Err(_) => stats.timeouts += 1,
                             }
                             if attempt + 1 < CLIENT_ATTEMPTS {
                                 stats.retries += 1;
@@ -638,15 +640,21 @@ pub fn run(fleet: &SiteFleet, cfg: &LoadgenConfig) -> LoadReport {
                 for transport in transports.values() {
                     stats.faults.merge(&transport.counters());
                 }
-                stats
+                (t, stats)
             }));
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let elapsed = started.elapsed();
+    // Merge in shard-id order, explicitly: every per-thread tally folds in
+    // the same sequence no matter how the scheduler interleaved the
+    // workers, so merged histograms and counters are bit-identical across
+    // runs and thread counts (the histogram merge is commutative today,
+    // but the ordered discipline keeps that a non-assumption).
+    stats.sort_by_key(|&(shard, _)| shard);
     let mut hist = LatencyHistogram::new();
     let mut merged = WorkerStats::new();
-    for s in &stats {
+    for (_, s) in &stats {
         hist.merge(&s.hist);
         merged.responses += s.responses;
         merged.nxdomain += s.nxdomain;
@@ -732,6 +740,59 @@ mod tests {
             if idx + 1 < HISTOGRAM_BUCKETS {
                 assert!(LatencyHistogram::bucket_floor(idx + 1) > v);
             }
+        }
+    }
+
+    #[test]
+    fn merged_quantiles_are_identical_for_one_through_eight_workers() {
+        // Deterministic per-query values partitioned exactly the way `run`
+        // partitions queries across workers (contiguous blocks of
+        // `div_ceil` size): the shard-ordered merge must produce the same
+        // quantiles for every worker count as the single histogram.
+        let queries = 10_000usize;
+        let mut rng = SimRng::new(0x4157_0961);
+        let values: Vec<u64> = (0..queries)
+            .map(|_| rng.next_range(5_000_000) as u64)
+            .collect();
+        let mut baseline = LatencyHistogram::new();
+        for &v in &values {
+            baseline.record(v);
+        }
+        let expected = (
+            baseline.quantile(0.50),
+            baseline.quantile(0.95),
+            baseline.quantile(0.99),
+        );
+        for threads in 1..=8usize {
+            let per_thread = queries.div_ceil(threads);
+            let mut shards: Vec<(usize, LatencyHistogram)> = (0..threads)
+                .map(|t| {
+                    let mut h = LatencyHistogram::new();
+                    let first = t * per_thread;
+                    let count = per_thread.min(queries.saturating_sub(first));
+                    for &v in &values[first..first + count] {
+                        h.record(v);
+                    }
+                    (t, h)
+                })
+                .collect();
+            // Present shards out of order (reverse spawn order, the way a
+            // scheduler might finish them); the merge discipline sorts.
+            shards.reverse();
+            shards.sort_by_key(|&(shard, _)| shard);
+            let mut merged = LatencyHistogram::new();
+            for (_, h) in &shards {
+                merged.merge(h);
+            }
+            assert_eq!(
+                (
+                    merged.quantile(0.50),
+                    merged.quantile(0.95),
+                    merged.quantile(0.99),
+                ),
+                expected,
+                "{threads} workers"
+            );
         }
     }
 

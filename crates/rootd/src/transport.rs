@@ -65,11 +65,143 @@ impl From<std::io::Error> for TransportError {
     }
 }
 
+/// A caller-owned scratch slab for batched UDP exchanges
+/// ([`Transport::exchange_udp_batch`]): many requests in, every answer
+/// written back out, zero per-query allocation once the slabs are warm —
+/// the recvmmsg/sendmmsg shape, minus the syscalls.
+///
+/// Requests are appended with [`UdpBatch::push_request`]. A server or
+/// transport then commits exactly one response — or an explicit drop —
+/// per request, *in request order*, via [`UdpBatch::io`] +
+/// [`UdpBatch::commit_response`] (or [`UdpBatch::commit_response_bytes`]);
+/// [`UdpBatch::response`] reads them back. [`UdpBatch::clear`] recycles
+/// the batch, keeping every slab's capacity.
+#[derive(Debug, Default, Clone)]
+pub struct UdpBatch {
+    /// Request bytes back to back; `req_ends[i]` ends request `i`.
+    req: Vec<u8>,
+    req_ends: Vec<usize>,
+    /// Response bytes back to back; a zero-length span records a drop.
+    resp: Vec<u8>,
+    resp_ends: Vec<usize>,
+    /// Scratch the current response is built in before committing.
+    scratch: Vec<u8>,
+}
+
+impl UdpBatch {
+    pub fn new() -> UdpBatch {
+        UdpBatch::default()
+    }
+
+    /// Number of requests pushed.
+    pub fn len(&self) -> usize {
+        self.req_ends.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.req_ends.is_empty()
+    }
+
+    /// Number of responses committed so far.
+    pub fn responses(&self) -> usize {
+        self.resp_ends.len()
+    }
+
+    /// Drop all requests and responses, keeping slab capacity.
+    pub fn clear(&mut self) {
+        self.req.clear();
+        self.req_ends.clear();
+        self.resp.clear();
+        self.resp_ends.clear();
+    }
+
+    /// Append one request datagram.
+    pub fn push_request(&mut self, request: &[u8]) {
+        self.req.extend_from_slice(request);
+        self.req_ends.push(self.req.len());
+    }
+
+    /// Request `i`'s bytes.
+    pub fn request(&self, i: usize) -> &[u8] {
+        let start = if i == 0 { 0 } else { self.req_ends[i - 1] };
+        &self.req[start..self.req_ends[i]]
+    }
+
+    /// Request `i` plus the scratch buffer to build its response in;
+    /// follow with [`Self::commit_response`].
+    pub fn io(&mut self, i: usize) -> (&[u8], &mut Vec<u8>) {
+        let start = if i == 0 { 0 } else { self.req_ends[i - 1] };
+        let end = self.req_ends[i];
+        let UdpBatch { req, scratch, .. } = self;
+        (&req[start..end], scratch)
+    }
+
+    /// Commit the scratch buffer as the next response; `answered = false`
+    /// records a dropped datagram instead.
+    pub fn commit_response(&mut self, answered: bool) {
+        if answered {
+            self.resp.extend_from_slice(&self.scratch);
+        }
+        self.resp_ends.push(self.resp.len());
+    }
+
+    /// Commit `bytes` directly as the next response.
+    pub fn commit_response_bytes(&mut self, bytes: &[u8]) {
+        self.resp.extend_from_slice(bytes);
+        self.resp_ends.push(self.resp.len());
+    }
+
+    /// Response `i`: `None` when the server dropped the request (a real
+    /// response is never empty — a DNS header alone is 12 bytes).
+    pub fn response(&self, i: usize) -> Option<&[u8]> {
+        let start = if i == 0 { 0 } else { self.resp_ends[i - 1] };
+        let end = self.resp_ends[i];
+        (end > start).then(|| &self.resp[start..end])
+    }
+}
+
 /// A way to exchange request bytes for response bytes with a server.
 pub trait Transport {
     /// One UDP-semantics exchange: a single datagram each way. `None`
     /// means the server dropped the request.
     fn exchange_udp(&mut self, request: &[u8]) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// One UDP exchange into a caller-owned buffer: `Ok(true)` filled
+    /// `resp` with the response; `Ok(false)` means the server dropped the
+    /// request (`resp` is then unspecified). The allocation-free twin of
+    /// [`Transport::exchange_udp`]; the default forwards to it (and so
+    /// still allocates — transports on the hot path override).
+    fn exchange_udp_into(
+        &mut self,
+        request: &[u8],
+        resp: &mut Vec<u8>,
+    ) -> Result<bool, TransportError> {
+        match self.exchange_udp(request)? {
+            Some(bytes) => {
+                resp.clear();
+                resp.extend_from_slice(&bytes);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Exchange every request in `batch` (recvmmsg/sendmmsg-style),
+    /// committing one response — or a drop — per request, in request
+    /// order, byte-identical to per-datagram [`Transport::exchange_udp`]
+    /// calls. The default loops [`Transport::exchange_udp_into`];
+    /// transports override it to amortize per-datagram costs. On `Err`
+    /// the batch holds a valid committed prefix only.
+    fn exchange_udp_batch(&mut self, batch: &mut UdpBatch) -> Result<(), TransportError> {
+        for i in 0..batch.len() {
+            let answered = {
+                let (req, scratch) = batch.io(i);
+                self.exchange_udp_into(req, scratch)?
+            };
+            batch.commit_response(answered);
+        }
+        Ok(())
+    }
 
     /// One TCP-semantics exchange: the request framed onto a stream, every
     /// response message read back (AXFR returns many).
@@ -96,6 +228,19 @@ impl InprocTransport {
 impl Transport for InprocTransport {
     fn exchange_udp(&mut self, request: &[u8]) -> Result<Option<Vec<u8>>, TransportError> {
         Ok(self.engine.serve_udp(request))
+    }
+
+    fn exchange_udp_into(
+        &mut self,
+        request: &[u8],
+        resp: &mut Vec<u8>,
+    ) -> Result<bool, TransportError> {
+        Ok(self.engine.serve_udp_into(request, resp) != ServeOutcome::Dropped)
+    }
+
+    fn exchange_udp_batch(&mut self, batch: &mut UdpBatch) -> Result<(), TransportError> {
+        self.engine.serve_udp_batch(batch);
+        Ok(())
     }
 
     fn exchange_tcp(&mut self, request: &[u8]) -> Result<Vec<Vec<u8>>, TransportError> {
@@ -193,6 +338,9 @@ impl LoopbackServer {
             udp_addr: self.udp_addr,
             tcp_addr: self.tcp_addr,
             timeout: Duration::from_secs(5),
+            sock: None,
+            recv_buf: Vec::new(),
+            slots: Vec::new(),
         }
     }
 
@@ -244,45 +392,186 @@ fn frame(msg: &[u8]) -> Vec<u8> {
 
 /// A client-side transport speaking real UDP and TCP to a
 /// [`LoopbackServer`].
-#[derive(Debug, Clone)]
+///
+/// The UDP socket is bound once and reused across exchanges (bind +
+/// connect per datagram would dominate the exchange cost). Because the
+/// socket outlives individual exchanges, a request that timed out can
+/// leave a late response in the kernel buffer; receives therefore match
+/// the DNS message id against the outstanding request and skip stale
+/// datagrams. Batched exchanges keep a window of requests in flight and
+/// match the same way — so requests within one batch window should carry
+/// distinct ids (duplicate ids pair with the earliest outstanding
+/// request, which is also what a real client would do).
+#[derive(Debug)]
 pub struct LoopbackTransport {
     udp_addr: SocketAddr,
     tcp_addr: SocketAddr,
     timeout: Duration,
+    /// Lazily bound, persistent UDP socket.
+    sock: Option<UdpSocket>,
+    /// Receive scratch reused across datagrams.
+    recv_buf: Vec<u8>,
+    /// Per-slot response buffers for batched exchanges, reused across
+    /// calls (an empty slot after the exchange means dropped).
+    slots: Vec<Vec<u8>>,
 }
 
+impl Clone for LoopbackTransport {
+    fn clone(&self) -> LoopbackTransport {
+        // Each clone lazily binds its own socket.
+        LoopbackTransport {
+            udp_addr: self.udp_addr,
+            tcp_addr: self.tcp_addr,
+            timeout: self.timeout,
+            sock: None,
+            recv_buf: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+}
+
+/// How many batched requests a [`LoopbackTransport`] keeps in flight.
+const UDP_WINDOW: usize = 16;
+
 impl LoopbackTransport {
-    /// Override the receive timeout (default 5 s).
+    /// Override the receive timeout (default 5 s). Drops the bound
+    /// socket; the next exchange re-binds with the new timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> LoopbackTransport {
         self.timeout = timeout;
+        self.sock = None;
         self
+    }
+
+    /// The persistent UDP socket, bound and connected on first use.
+    fn socket(&mut self) -> Result<&UdpSocket, TransportError> {
+        if self.sock.is_none() {
+            let sock = UdpSocket::bind("127.0.0.1:0")?;
+            sock.connect(self.udp_addr)?;
+            sock.set_read_timeout(Some(self.timeout))?;
+            self.sock = Some(sock);
+        }
+        Ok(self.sock.as_ref().expect("socket just bound"))
+    }
+
+    /// Whether a received datagram answers `request` (DNS id match; a
+    /// sub-header request can never be answered, so nothing matches it).
+    fn id_matches(request: &[u8], resp: &[u8]) -> bool {
+        request.len() >= 2 && resp.len() >= 2 && request[..2] == resp[..2]
     }
 }
 
 impl Transport for LoopbackTransport {
     fn exchange_udp(&mut self, request: &[u8]) -> Result<Option<Vec<u8>>, TransportError> {
-        let sock = UdpSocket::bind("127.0.0.1:0")?;
-        sock.connect(self.udp_addr)?;
-        sock.set_read_timeout(Some(self.timeout))?;
+        let mut resp = Vec::new();
+        Ok(self.exchange_udp_into(request, &mut resp)?.then_some(resp))
+    }
+
+    fn exchange_udp_into(
+        &mut self,
+        request: &[u8],
+        resp: &mut Vec<u8>,
+    ) -> Result<bool, TransportError> {
+        self.socket()?;
+        let LoopbackTransport { sock, recv_buf, .. } = self;
+        let sock = sock.as_ref().expect("socket bound above");
+        recv_buf.resize(MAX_DATAGRAM, 0);
         sock.send(request)?;
-        let mut buf = vec![0u8; MAX_DATAGRAM];
-        match sock.recv(&mut buf) {
-            Ok(n) => {
-                buf.truncate(n);
-                Ok(Some(buf))
+        loop {
+            match sock.recv(recv_buf) {
+                Ok(n) => {
+                    // A stale datagram (late answer to an earlier timed-out
+                    // exchange): skip it and keep waiting for ours.
+                    if !Self::id_matches(request, &recv_buf[..n]) {
+                        continue;
+                    }
+                    resp.clear();
+                    resp.extend_from_slice(&recv_buf[..n]);
+                    return Ok(true);
+                }
+                // The engine legitimately drops some requests; a timeout is
+                // the only way "no answer" manifests over a socket.
+                Err(ref e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(e.into()),
             }
-            // The engine legitimately drops some requests; a timeout is the
-            // only way "no answer" manifests over a socket.
-            Err(ref e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                Ok(None)
-            }
-            Err(e) => Err(e.into()),
         }
+    }
+
+    /// Windowed pipelining over the persistent socket: up to
+    /// `UDP_WINDOW` requests in flight, responses matched back to their
+    /// request by DNS id (the single-threaded server answers in order,
+    /// but drops leave gaps). A receive timeout declares the oldest
+    /// outstanding request dropped and moves on.
+    fn exchange_udp_batch(&mut self, batch: &mut UdpBatch) -> Result<(), TransportError> {
+        let n = batch.len();
+        self.socket()?;
+        {
+            let LoopbackTransport {
+                sock,
+                recv_buf,
+                slots,
+                ..
+            } = self;
+            let sock = sock.as_ref().expect("socket bound above");
+            recv_buf.resize(MAX_DATAGRAM, 0);
+            if slots.len() < n {
+                slots.resize_with(n, Vec::new);
+            }
+            for slot in slots.iter_mut().take(n) {
+                slot.clear();
+            }
+            let mut pending: std::collections::VecDeque<usize> =
+                std::collections::VecDeque::with_capacity(UDP_WINDOW);
+            let mut next = 0usize;
+            loop {
+                while pending.len() < UDP_WINDOW && next < n {
+                    sock.send(batch.request(next))?;
+                    pending.push_back(next);
+                    next += 1;
+                }
+                if pending.is_empty() {
+                    break;
+                }
+                match sock.recv(recv_buf) {
+                    Ok(got) => {
+                        let matched = pending
+                            .iter()
+                            .position(|&i| Self::id_matches(batch.request(i), &recv_buf[..got]));
+                        if let Some(pos) = matched {
+                            let i = pending.remove(pos).expect("position is in range");
+                            slots[i].extend_from_slice(&recv_buf[..got]);
+                        }
+                        // Unmatched: a stale datagram from an earlier
+                        // exchange — ignore it.
+                    }
+                    Err(ref e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        // Nothing arrived for a full timeout: the oldest
+                        // outstanding request was dropped by the server.
+                        pending.pop_front();
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        for i in 0..n {
+            if self.slots[i].is_empty() {
+                batch.commit_response(false);
+            } else {
+                batch.commit_response_bytes(&self.slots[i]);
+            }
+        }
+        Ok(())
     }
 
     fn exchange_tcp(&mut self, request: &[u8]) -> Result<Vec<Vec<u8>>, TransportError> {
@@ -407,6 +696,83 @@ mod tests {
         assert_eq!(t.exchange_udp(&[0xff; 4]).unwrap(), None);
     }
 
+    /// Distinct-id queries across the answer shapes the engine caches
+    /// (authoritative, referral-less apex, NXDOMAIN, CHAOS identity).
+    fn query_set(n: u16) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|id| {
+                let q = match id % 4 {
+                    0 => Question::new(Name::root(), RrType::Soa),
+                    1 => Question::new(Name::root(), RrType::Ns),
+                    2 => Question::new(Name::parse(&format!("nx{id}.")).unwrap(), RrType::A),
+                    _ => Question::chaos_txt(Name::parse("id.server.").unwrap()),
+                };
+                Message::query(id, q).to_wire()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inproc_batch_is_byte_identical_to_one_shot() {
+        let mut t = InprocTransport::new(engine());
+        let queries = query_set(40);
+        let mut batch = UdpBatch::new();
+        for q in &queries {
+            batch.push_request(q);
+        }
+        t.exchange_udp_batch(&mut batch).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let one_shot = t.exchange_udp(q).unwrap().expect("answered");
+            assert_eq!(batch.response(i), Some(&one_shot[..]), "query {i}");
+        }
+    }
+
+    #[test]
+    fn loopback_batch_is_byte_identical_to_one_shot() {
+        // 40 > UDP_WINDOW: the windowed pipelining wraps several times.
+        let server = LoopbackServer::spawn(engine()).unwrap();
+        let mut t = server.transport();
+        let queries = query_set(40);
+        let mut batch = UdpBatch::new();
+        for q in &queries {
+            batch.push_request(q);
+        }
+        t.exchange_udp_batch(&mut batch).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let one_shot = t.exchange_udp(q).unwrap().expect("answered");
+            assert_eq!(batch.response(i), Some(&one_shot[..]), "query {i}");
+        }
+    }
+
+    #[test]
+    fn loopback_batch_reports_dropped_datagrams_in_place() {
+        let server = LoopbackServer::spawn(engine()).unwrap();
+        let mut t = server.transport().with_timeout(Duration::from_millis(200));
+        let queries = query_set(8);
+        let mut batch = UdpBatch::new();
+        for (i, q) in queries.iter().enumerate() {
+            if i == 3 {
+                // Sub-header garbage: the engine drops it, no response.
+                batch.push_request(&[0xff; 4]);
+            }
+            batch.push_request(q);
+        }
+        t.exchange_udp_batch(&mut batch).unwrap();
+        assert_eq!(batch.response(3), None, "dropped datagram must stay empty");
+        // Every slot got a commit (drops included)...
+        assert_eq!(batch.responses(), batch.len());
+        // ...and only the garbage slot is empty.
+        let answered = (0..batch.len())
+            .filter(|&i| batch.response(i).is_some())
+            .count();
+        assert_eq!(answered, queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let slot = if i < 3 { i } else { i + 1 };
+            let one_shot = t.exchange_udp(q).unwrap().expect("answered");
+            assert_eq!(batch.response(slot), Some(&one_shot[..]), "query {i}");
+        }
+    }
+
     /// A raw TCP server that answers every connection with `payload` bytes
     /// (no engine): lets the tests put arbitrary — including broken —
     /// framing on the wire.
@@ -436,6 +802,9 @@ mod tests {
             udp_addr: addr, // unused by the TCP tests
             tcp_addr: addr,
             timeout: Duration::from_secs(2),
+            sock: None,
+            recv_buf: Vec::new(),
+            slots: Vec::new(),
         }
     }
 

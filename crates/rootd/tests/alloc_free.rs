@@ -1,0 +1,120 @@
+//! Counting-allocator proof that the cached serve paths are
+//! allocation-free once warm: single-shot `serve_udp_into`, the
+//! scratch-slab `exchange_udp_into` transport path, and the batched
+//! `serve_udp_batch` path must all run entirely inside pre-grown buffers.
+//!
+//! Lives in its own test binary so no sibling test thread can allocate
+//! concurrently and pollute the counter.
+
+use dns_wire::edns::{set_edns, Edns};
+use dns_wire::{Message, Name, Question, RrType};
+use dns_zone::rollout::RolloutPhase;
+use dns_zone::rootzone::{build_root_zone, RootZoneConfig};
+use dns_zone::signer::ZoneKeys;
+use rootd::{
+    InprocTransport, Rootd, ServeOutcome, SharedState, SiteIdentity, Transport, UdpBatch, ZoneIndex,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// System allocator with an allocation counter (dealloc is free to run:
+/// only new/grown blocks indicate per-query allocation).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Queries whose answers the engine precompiles: apex RRsets (± DNSSEC),
+/// a TLD referral, and a CHAOS identity probe. No junk names — those take
+/// the allocating fallback path by design.
+fn cached_queries() -> Vec<Vec<u8>> {
+    let mut queries = Vec::new();
+    for (name, rr_type) in [
+        (".", RrType::Soa),
+        (".", RrType::Ns),
+        (".", RrType::Dnskey),
+        ("com.", RrType::A),
+    ] {
+        for dnssec in [false, true] {
+            let mut q = Message::query(31, Question::new(Name::parse(name).unwrap(), rr_type));
+            if dnssec {
+                set_edns(&mut q, &Edns::dnssec());
+            }
+            queries.push(q.to_wire());
+        }
+    }
+    queries.push(
+        Message::query(32, Question::chaos_txt(Name::parse("id.server.").unwrap())).to_wire(),
+    );
+    queries
+}
+
+#[test]
+fn warm_cached_serve_paths_do_not_allocate() {
+    let zone = build_root_zone(
+        &RootZoneConfig {
+            tld_count: 10,
+            rollout: RolloutPhase::Validating,
+            ..Default::default()
+        },
+        &ZoneKeys::from_seed(5),
+    );
+    let shared = SharedState::build(Arc::new(ZoneIndex::build(Arc::new(zone))));
+    let engine = Arc::new(Rootd::with_shared_state(
+        &shared,
+        SiteIdentity::named("alloc-test"),
+    ));
+    let queries = cached_queries();
+    let mut resp = Vec::with_capacity(4096);
+    let mut transport = InprocTransport::new(Arc::clone(&engine));
+    let mut batch = UdpBatch::new();
+
+    // Warm every path once: response buffers and batch slabs grow to
+    // steady state, and every query is confirmed to hit the cache.
+    for q in &queries {
+        assert_eq!(engine.serve_udp_into(q, &mut resp), ServeOutcome::CacheHit);
+        assert!(transport.exchange_udp_into(q, &mut resp).unwrap());
+        batch.push_request(q);
+    }
+    let tally = engine.serve_udp_batch(&mut batch);
+    assert_eq!(tally.hits, queries.len() as u64);
+    batch.clear();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..50 {
+        for q in &queries {
+            engine.serve_udp_into(q, &mut resp);
+            let _ = transport.exchange_udp_into(q, &mut resp);
+        }
+        for q in &queries {
+            batch.push_request(q);
+        }
+        engine.serve_udp_batch(&mut batch);
+        batch.clear();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warm cached serve paths must not allocate"
+    );
+}

@@ -1,0 +1,86 @@
+//! Constellation dispatch, end to end: the serving farm's per-family
+//! steering tables must agree with a fresh Gao-Rexford catchment
+//! computation over the same deployments, and must survive a
+//! `broot_renumbering` zone-epoch swap — the paper's renumbering is an
+//! *identity* change (new service addresses, same sites, same routing),
+//! so every site engine of the letter flips to the new zone atomically
+//! while dispatch stays put.
+
+use netsim::routing::propagate;
+use netsim::types::Family;
+use rootd::{Farm, FarmConfig};
+use rss::RootLetter;
+use scenario::{catalog, ScenarioEngine};
+use std::sync::Arc;
+use vantage::{World, WorldBuildConfig};
+
+/// Assert the farm's steering equals `propagate()` on its own deployment,
+/// for every client and both address families.
+fn assert_steering_matches(world: &World, farm: &Farm, letters: &[RootLetter]) {
+    for &letter in letters {
+        let deployment = farm.deployment(letter).expect("farm serves letter");
+        let default_site = world
+            .catalog
+            .sites_of(letter)
+            .next()
+            .expect("letter has sites")
+            .site_id
+            .0;
+        for family in [Family::V4, Family::V6] {
+            let routes = propagate(&world.topology, deployment, family);
+            for (pos, &asn) in farm.clients().iter().enumerate() {
+                let got = farm.site_for(letter, family, pos).unwrap();
+                let want = routes.best(asn).map(|c| c.site.0).unwrap_or(default_site);
+                assert_eq!(got, want, "{letter:?} {family:?} client {pos}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dispatch_follows_catchments_across_a_renumbering_epoch_swap() {
+    let mut world = World::build(&WorldBuildConfig::tiny());
+    let scenario = catalog::broot_renumbering();
+    let zones = ScenarioEngine::default().epoch_zones(&mut world, &scenario);
+    assert!(zones.len() >= 2, "renumbering cuts at least one epoch");
+    assert!(zones[1].active.contains(&"renumber(b)".to_string()));
+
+    let letters = [RootLetter::A, RootLetter::B];
+    let farm = Farm::build(
+        &world.topology,
+        &world.catalog,
+        Arc::clone(&zones[0].zone),
+        &letters,
+        usize::MAX,
+    );
+
+    // Pre-swap: steering is the catchment computation, both families.
+    assert_steering_matches(&world, &farm, &letters);
+    let mut cfg = FarmConfig::tiny(17);
+    cfg.queries = 4_000;
+    let before = farm.run(&cfg);
+    assert_eq!(before.violations(), Vec::<String>::new());
+    assert!(before.responses > 0);
+
+    // The swap: letter B flips to the post-renumbering epoch zone; every
+    // one of its site engines sees the new generation, letter A none.
+    assert!(farm.reload_letter(RootLetter::B, Arc::clone(&zones[1].zone)));
+    assert_eq!(farm.generation(RootLetter::B), Some(1));
+    assert_eq!(farm.generation(RootLetter::A), Some(0));
+    for site in &farm.deployment(RootLetter::B).unwrap().sites {
+        let engine = farm.engine_at(RootLetter::B, site.id.0).unwrap();
+        assert_eq!(engine.generation(), 1, "site {} stale", site.id.0);
+    }
+
+    // Post-swap: dispatch unchanged (renumbering does not move routes),
+    // and the farm serves the new epoch with the same invariants.
+    assert_steering_matches(&world, &farm, &letters);
+    let after = farm.run(&cfg);
+    assert_eq!(after.violations(), Vec::<String>::new());
+    assert_eq!(
+        after.fingerprint(),
+        before.fingerprint(),
+        "same seed, same steering, same zone bytes served either side of \
+         an identity-only renumbering"
+    );
+}
