@@ -59,6 +59,14 @@ grep -q "planner invariants: OK" "$figdir/planner.txt"
 # replay bit-identically across shard counts.
 cargo run -q --release --offline --example farm_report > "$figdir/farm.txt"
 grep -q "farm invariants: OK" "$figdir/farm.txt"
+# Self-healing-farm smoke: three concurrent site failures, a stalled
+# shard, a poisoned reload and a junk flood against the health-checked
+# farm — ≥99% of legit queries served, every answer byte-identical to
+# the fault-free twin, the poisoned push refused, both crashes recovered
+# within the backoff budget, and the whole run fingerprint-identical
+# across 1..=8 shards and seed-sensitive.
+cargo run -q --release --offline --example farm_chaos_report > "$figdir/farm_chaos.txt"
+grep -q "farm chaos invariants: OK" "$figdir/farm_chaos.txt"
 
 # Bench smoke: every bench target runs end to end and merges its numbers
 # into the committed BENCH_results.json, including the rootd loadgen's

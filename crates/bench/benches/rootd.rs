@@ -11,15 +11,17 @@ use dns_wire::{Message, Name, Question, RrType};
 use dns_zone::rollout::RolloutPhase;
 use dns_zone::rootzone::{build_root_zone, tld_label, RootZoneConfig};
 use dns_zone::signer::ZoneKeys;
+use rootd::recovery::FailureKind;
 use rootd::{
-    FarmConfig, FaultPlan, FaultyTransport, InprocTransport, LoadgenConfig, QueryMix, Rootd,
-    SiteIdentity, Transport, ZoneIndex,
+    Farm, FarmChaosConfig, FarmConfig, FaultPlan, FaultyTransport, FloodWindow, InprocTransport,
+    LoadgenConfig, QueryMix, Rootd, SiteIdentity, Transport, ZoneIndex,
 };
 use roots_core::{AttackRun, FarmRun, Scale, ServingPipeline};
 use rss::RootLetter;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
+use vantage::{World, WorldBuildConfig};
 
 fn engine() -> Rootd {
     let zone = build_root_zone(
@@ -364,6 +366,116 @@ fn bench_farm(_c: &mut Criterion) {
     );
 }
 
+/// The self-healing farm's two resilience numbers, both gated by
+/// bench_guard against absolute documented bounds (DESIGN §16), not a
+/// baseline. `rootd/farm/healthy_overhead_pct` is the busy-rate cost of
+/// carrying the chaos machinery with an *empty* failure plan — the
+/// control plane elides probes for never-faulted sites and the shed /
+/// digest bookkeeping stays outside the timed serve window, so the
+/// chaos path must stay within 5% of the plain farm's aggregate rate
+/// (best-of-3 to ride out shared-core scheduler luck: real added work
+/// shows up in every round, noise doesn't). `rootd/farm/
+/// degraded_served_fraction` is the legit service floor under the
+/// headline chaos schedule — three concurrent site failures, a stalled
+/// shard, a poisoned reload and an 8× junk flood — floor-gated at 0.99.
+fn bench_farm_resilience(_c: &mut Criterion) {
+    let queries: usize = std::env::var("ROOTD_CHAOS_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150_000);
+    let world = World::build(&WorldBuildConfig::tiny());
+    let letters = [RootLetter::A, RootLetter::B, RootLetter::C];
+    let farm = Farm::build(
+        &world.topology,
+        &world.catalog,
+        world.zone_at(0),
+        &letters,
+        4,
+    );
+    // Reload validation one day into the day-0 zone's RRSIG window, as
+    // in `examples/farm_chaos_report.rs`: clean zones pass, poisoned
+    // ones fail on digest — not on expiry.
+    let mut cfg = FarmChaosConfig::tiny(0x2025_0417, 86_400);
+    cfg.farm.queries = queries;
+    cfg.farm.shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let site = |letter: RootLetter, i: usize| farm.deployment(letter).unwrap().sites[i].id.0;
+    cfg.plan.add(
+        RootLetter::A,
+        site(RootLetter::A, 1),
+        FailureKind::Crash,
+        (1_000, 4_000),
+    );
+    cfg.plan.add(
+        RootLetter::B,
+        site(RootLetter::B, 0),
+        FailureKind::Blackhole,
+        (1_500, 3_500),
+    );
+    cfg.plan.add(
+        RootLetter::C,
+        site(RootLetter::C, 1),
+        FailureKind::Crash,
+        (1_200, 3_800),
+    );
+    cfg.plan.add(
+        RootLetter::C,
+        site(RootLetter::C, 0),
+        FailureKind::Stall { delay_ms: 250 },
+        (1_000, 5_000),
+    );
+    cfg.plan.add_poisoned_reload(RootLetter::B, 2_500);
+    cfg.floods.push(FloodWindow {
+        start_ms: 2_000,
+        end_ms: 6_000,
+        amplification: 8.0,
+    });
+
+    // Healthy overhead: the plain farm vs the chaos path with nothing to
+    // do. Interleave the pair and keep the best (smallest) of three
+    // rounds — the overhead is a ratio of two busy rates measured on
+    // shared cores, and only regressions that survive every round are
+    // the code's fault.
+    let healthy = cfg.twin();
+    let mut overhead_pct = f64::INFINITY;
+    let (mut base_qps, mut wrapped_qps) = (0.0f64, 0.0f64);
+    for _ in 0..3 {
+        let base = farm.run(&cfg.farm).aggregate_qps;
+        let wrapped = farm.run_chaos(&world.topology, &healthy).aggregate_qps;
+        let pct = (base / wrapped - 1.0) * 100.0;
+        if pct < overhead_pct {
+            (overhead_pct, base_qps, wrapped_qps) = (pct, base, wrapped);
+        }
+    }
+    record_metric("rootd/farm/healthy_overhead_pct", overhead_pct.max(0.0));
+
+    // The degraded run: seeded counters, not timings — byte-stable
+    // across machines and shard counts.
+    let report = farm.run_chaos(&world.topology, &cfg);
+    assert_eq!(report.violations(), Vec::<String>::new());
+    record_metric(
+        "rootd/farm/degraded_served_fraction",
+        report.legit_served_fraction(),
+    );
+    record_counter("rootd/farm/chaos/served", report.served);
+    record_counter("rootd/farm/chaos/served_hedged", report.served_hedged);
+    record_counter("rootd/farm/chaos/shed_junk", report.shed_junk);
+    record_counter("rootd/farm/chaos/shed_benign", report.shed_benign);
+    record_counter("rootd/farm/chaos/unanswered", report.unanswered);
+    record_counter("rootd/farm/chaos/reloads_rejected", report.reloads_rejected);
+    println!(
+        "rootd/farm/resilience: healthy overhead {overhead_pct:+.2}% \
+         (base {base_qps:.0} q/s, chaos-wrapped {wrapped_qps:.0} q/s), \
+         degraded legit served {:.4} ({} hedged, {} junk shed, {} unanswered)",
+        report.legit_served_fraction(),
+        report.served_hedged,
+        report.shed_junk,
+        report.unanswered,
+    );
+}
+
 criterion_group!(
     benches,
     bench_engine,
@@ -371,6 +483,7 @@ criterion_group!(
     bench_rrl_disabled_overhead,
     bench_attack_flood,
     bench_loadgen,
-    bench_farm
+    bench_farm,
+    bench_farm_resilience
 );
 criterion_main!(benches);

@@ -52,9 +52,16 @@ const PREFIXES: &[&str] = &["rootd/serve_", "codec/", "simclock/"];
 /// — so the percentage only moves when real work (an allocation, a
 /// hash, a probe — all ≥ 20 ns) lands on the disabled path, not on
 /// per-process code-layout luck.
+/// The chaos wrapper joins the same bargain: with an empty failure plan
+/// the self-healing farm (health timelines, steering epochs, shed
+/// draws) must serve within 5% of the plain farm's aggregate busy rate.
+/// The bench records the best of three interleaved rounds, so the
+/// ceiling only trips on work that shows up in every round — a per-query
+/// table rebuild or health lookup on the hot path, not scheduler luck.
 const ABS_CEILING: &[(&str, f64)] = &[
     ("rootd/faultfree_wrapper_overhead_pct", 10.0),
     ("rootd/rrl_disabled_overhead_pct", 5.0),
+    ("rootd/farm/healthy_overhead_pct", 5.0),
 ];
 
 /// Keys gated by an *absolute* floor — documented lower bounds the fresh
@@ -64,7 +71,15 @@ const ABS_CEILING: &[(&str, f64)] = &[
 /// [`ABS_CEILING`], a bad committed baseline can never grandfather a
 /// shortfall, and the key may not silently vanish once the baseline has
 /// it.
-const ABS_FLOOR: &[(&str, f64)] = &[("rootd/farm/aggregate_qps", 10_000_000.0)];
+/// The degraded-service floor is seeded counters, not a timing: under
+/// the headline chaos schedule (three concurrent site failures, a
+/// stalled shard, a poisoned reload, an 8× junk flood — DESIGN §16) at
+/// least 99% of legitimate queries must still get an answer, on any
+/// machine, at any shard count.
+const ABS_FLOOR: &[(&str, f64)] = &[
+    ("rootd/farm/aggregate_qps", 10_000_000.0),
+    ("rootd/farm/degraded_served_fraction", 0.99),
+];
 
 /// Allowed relative regression before the guard fails.
 const TOLERANCE: f64 = 0.25;
@@ -391,6 +406,31 @@ mod tests {
         assert!(run(&base, &json(&[(key, 1_100.0)])).is_ok());
         // An order-of-magnitude slide to the uncached path is not.
         assert_eq!(run(&base, &json(&[(key, 3_000.0)])).unwrap_err().len(), 1);
+    }
+
+    #[test]
+    fn farm_resilience_gates_ignore_the_baseline() {
+        // The healthy chaos-wrapper overhead is ceiling-gated at 5%
+        // regardless of what the baseline recorded.
+        let key = "rootd/farm/healthy_overhead_pct";
+        let r = run(&json(&[(key, 1.0)]), &json(&[(key, 6.2)]));
+        let errs = r.unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("absolute ceiling"));
+        assert!(run(&json(&[(key, 6.2)]), &json(&[(key, 3.0)])).is_ok());
+        // The degraded service floor holds at 0.99 even when a bad
+        // committed baseline already fell short, and the key may not
+        // silently vanish once the baseline has it.
+        let floor = "rootd/farm/degraded_served_fraction";
+        let r = run(&json(&[(floor, 0.9)]), &json(&[(floor, 0.9)]));
+        let errs = r.unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("absolute floor"));
+        assert!(run(&json(&[(floor, 0.9)]), &json(&[(floor, 1.0)])).is_ok());
+        let r = run(&json(&[(floor, 1.0)]), &json(&[("zone/build", 1.0)]));
+        let errs = r.unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("missing"));
     }
 
     #[test]

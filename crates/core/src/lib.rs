@@ -32,7 +32,7 @@ pub mod scale;
 pub mod scenarios;
 pub mod serving;
 
-pub use farm::FarmRun;
+pub use farm::{FarmChaosRun, FarmRun};
 pub use pipeline::Pipeline;
 pub use planning::PlannerRun;
 pub use scale::Scale;

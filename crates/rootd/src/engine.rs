@@ -27,6 +27,7 @@ use dns_wire::rdata::Rdata;
 use dns_wire::{Class, Message, Question, Rcode, Record, RrType};
 use dns_zone::axfr::serve_axfr;
 use dns_zone::zone::Zone;
+use dns_zone::zonemd::ZonemdError;
 use parking_lot::RwLock;
 use rss::catalog::RootSite;
 use rss::RootLetter;
@@ -178,6 +179,34 @@ impl SharedState {
         });
     }
 
+    /// Validated, atomic reload: verify `zone` (ZONEMD, then RRSIG /
+    /// structural validation at wall-time `now`) **before** building
+    /// anything, and only then publish the next epoch. On any validation
+    /// failure the old `ServingState` keeps serving and the generation
+    /// does not move — a poisoned zone can never activate, not even
+    /// partially. Returns the new generation on success.
+    ///
+    /// Unlike [`Self::reload`], the generation bump happens under the same
+    /// write lock that publishes the state, so two concurrent reloads can
+    /// never mint the same generation.
+    pub fn try_reload(&self, zone: Arc<Zone>, now: u32) -> Result<u64, ReloadError> {
+        validate_for_reload(&zone, now)?;
+        // Heavy lifting outside the lock: readers keep serving the old
+        // epoch while the replacement index and cache are assembled.
+        let index = Arc::new(ZoneIndex::build(zone));
+        let cached = self.state.read().cache.is_some();
+        let cache = cached.then(|| Arc::new(AnswerCache::build_zone(&index)));
+        let mut guard = self.state.write();
+        let generation = guard.generation + 1;
+        *guard = Arc::new(ServingState {
+            index,
+            cache,
+            generation,
+            rrl: guard.rrl.clone(),
+        });
+        Ok(generation)
+    }
+
     /// Epoch generation: bumped by every [`Self::reload`]. Starts at 0.
     pub fn generation(&self) -> u64 {
         self.state.read().generation
@@ -186,6 +215,55 @@ impl SharedState {
     /// The zone index currently published to sharing engines.
     pub fn index(&self) -> Arc<ZoneIndex> {
         Arc::clone(&self.state.read().index)
+    }
+}
+
+/// Why a validated reload ([`SharedState::try_reload`]) refused to
+/// activate a zone. The serving state is untouched in every case: the old
+/// epoch keeps serving and the generation does not move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReloadError {
+    /// The zone's ZONEMD digest does not verify (missing-digest and
+    /// unknown-algorithm zones are tolerated, RFC 8976 §3; mismatches and
+    /// serial skew are not).
+    Zonemd(ZonemdError),
+    /// RRSIG/structural validation failed; the carried strings are the
+    /// rendered [`dns_zone::ValidationIssue`]s.
+    Invalid(Vec<String>),
+    /// The farm was asked to reload a letter it does not serve.
+    UnknownLetter,
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Zonemd(e) => write!(f, "zonemd verification failed: {e:?}"),
+            ReloadError::Invalid(issues) => {
+                write!(f, "zone validation failed: {}", issues.join("; "))
+            }
+            ReloadError::UnknownLetter => write!(f, "letter not served by this farm"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
+/// Validate `zone` the way a root operator's pre-activation check would:
+/// ZONEMD first (RFC 8976; zones without a digest or with an unknown
+/// algorithm are tolerated, mismatches rejected), then the full
+/// RRSIG/structural pass at wall-time `now`.
+fn validate_for_reload(zone: &Zone, now: u32) -> Result<(), ReloadError> {
+    match dns_zone::verify_zonemd(zone) {
+        Ok(()) | Err(ZonemdError::NoZonemd) | Err(ZonemdError::UnsupportedAlgorithm) => {}
+        Err(e) => return Err(ReloadError::Zonemd(e)),
+    }
+    let report = dns_zone::validate_zone(zone, now);
+    if report.is_valid() {
+        Ok(())
+    } else {
+        Err(ReloadError::Invalid(
+            report.issues.iter().map(|i| format!("{i:?}")).collect(),
+        ))
     }
 }
 
@@ -1121,6 +1199,52 @@ mod tests {
         // Disabling drops the limiter entirely.
         e.set_rrl(None);
         assert!(e.rrl().is_none());
+    }
+
+    #[test]
+    fn try_reload_rejects_poisoned_zone_and_keeps_serving() {
+        let cfg = RootZoneConfig {
+            tld_count: 10,
+            rollout: RolloutPhase::Validating,
+            ..Default::default()
+        };
+        let now = cfg.inception + 86_400;
+        let zone = build_root_zone(&cfg, &ZoneKeys::from_seed(5));
+        let shared = SharedState::build(Arc::new(ZoneIndex::build(Arc::new(zone.clone()))));
+        let e = Rootd::with_shared_state(&shared, SiteIdentity::named("lax2f"));
+        let wire = {
+            let mut q = Message::query(21, Question::new(Name::root(), RrType::Dnskey));
+            set_edns(&mut q, &Edns::dnssec());
+            q.to_wire()
+        };
+        let before = e.serve_udp(&wire).unwrap();
+
+        // A single flipped RRSIG bit must be caught before activation: the
+        // generation does not move and the old epoch keeps serving,
+        // byte-identically.
+        let mut poisoned = zone.clone();
+        dns_zone::corrupt::flip_rrsig_bit(&mut poisoned, 0xbad).expect("flippable rrsig");
+        let err = shared
+            .try_reload(Arc::new(poisoned), now)
+            .expect_err("poisoned zone must not activate");
+        // A Validating-phase zone carries a ZONEMD record, so the digest
+        // check trips before RRSIG validation even runs.
+        assert_eq!(err, ReloadError::Zonemd(ZonemdError::DigestMismatch));
+        assert_eq!(shared.generation(), 0);
+        assert_eq!(e.serve_udp(&wire).unwrap(), before);
+
+        // A time-expired zone is also refused (stale copy, RQ3 style).
+        let expired = shared
+            .try_reload(Arc::new(zone.clone()), cfg.expiration + 1)
+            .expect_err("expired signatures must not activate");
+        assert!(matches!(expired, ReloadError::Invalid(_)));
+        assert_eq!(shared.generation(), 0);
+
+        // The clean zone sails through and bumps the epoch.
+        let generation = shared.try_reload(Arc::new(zone), now).expect("valid zone");
+        assert_eq!(generation, 1);
+        assert_eq!(shared.generation(), 1);
+        assert_eq!(e.serve_udp(&wire).unwrap(), before);
     }
 
     #[test]

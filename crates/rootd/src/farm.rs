@@ -30,9 +30,13 @@
 //! discusses the distinction and the contention between the two.
 
 use crate::cache::AnswerCache;
-use crate::engine::{Rootd, SharedState, SiteIdentity};
+use crate::engine::{ReloadError, Rootd, SharedState, SiteIdentity};
+use crate::health::{HealthConfig, SiteStatus};
 use crate::index::ZoneIndex;
-use crate::loadgen::{fill_query, LatencyHistogram, QueryMix, QueryTemplates};
+use crate::loadgen::{
+    fill_query, ArrivalSchedule, LatencyHistogram, QueryClass, QueryMix, QueryTemplates,
+};
+use crate::recovery::{run_control_plane, ControlPlane, FailurePlan, RecoveryLog, RecoveryPolicy};
 use crate::transport::UdpBatch;
 use dns_zone::Zone;
 use netsim::anycast::Deployment;
@@ -42,6 +46,7 @@ use netsim::topology::Topology;
 use netsim::types::{AsId, Family, Tier};
 use rss::catalog::RootCatalog;
 use rss::RootLetter;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -52,6 +57,9 @@ const STEER_TAG: u64 = 0xfa24;
 
 /// Stream tag for per-query content draws ([`fill_query`]).
 const QUERY_TAG: u64 = 0x51e7;
+
+/// Stream tag for per-query overload-shedding draws (chaos runs only).
+const SHED_TAG: u64 = 0x5ed0;
 
 /// One letter's slice of the farm: per-site engines over one shared,
 /// epoch-swapped serving state, plus the per-family steering tables.
@@ -88,6 +96,9 @@ pub struct Farm {
     letters: Vec<LetterFarm>,
     clients: Vec<AsId>,
     tlds: Vec<String>,
+    /// The zone epoch the farm was built from — kept so chaos runs can
+    /// derive poisoned copies to push at the validated reload path.
+    zone: Arc<Zone>,
 }
 
 /// Farm run parameters.
@@ -423,7 +434,7 @@ impl Farm {
         max_sites_per_letter: usize,
     ) -> Farm {
         assert!(!letters.is_empty(), "farm needs at least one letter");
-        let index = Arc::new(ZoneIndex::build(zone));
+        let index = Arc::new(ZoneIndex::build(Arc::clone(&zone)));
         let cache = Arc::new(AnswerCache::build_zone(&index));
         let tlds = index.tld_labels();
         let clients: Vec<AsId> = topology
@@ -483,6 +494,7 @@ impl Farm {
             letters: farms,
             clients,
             tlds,
+            zone,
         }
     }
 
@@ -534,14 +546,20 @@ impl Farm {
 
     /// Swap a new zone epoch into `letter`'s shared state — every site
     /// engine of that letter sees it atomically; other letters are
-    /// untouched. Returns false when the farm does not serve `letter`.
-    pub fn reload_letter(&self, letter: RootLetter, zone: Arc<Zone>) -> bool {
+    /// untouched. The zone is validated (ZONEMD digest, then RRSIG
+    /// validity at `now`) **before** anything is swapped: a poisoned push
+    /// rolls back atomically — the generation is unchanged and the old
+    /// `ServingState` keeps serving. Returns the new generation on
+    /// success.
+    pub fn reload_letter(
+        &self,
+        letter: RootLetter,
+        zone: Arc<Zone>,
+        now: u32,
+    ) -> Result<u64, ReloadError> {
         match self.farm_of(letter) {
-            Some(lf) => {
-                lf.shared.reload(zone);
-                true
-            }
-            None => false,
+            Some(lf) => lf.shared.try_reload(zone, now),
+            None => Err(ReloadError::UnknownLetter),
         }
     }
 
@@ -688,6 +706,953 @@ impl Farm {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos runs: failure injection, health-checked failover, overload shedding.
+// ---------------------------------------------------------------------------
+
+/// A junk-amplification flood window: inside `[start_ms, end_ms)` every
+/// junk-class query counts as `amplification` offered datagrams when the
+/// shedding policy sizes a site's ingress (the water-torture shape: the
+/// flood is junk, the infrastructure cost is real).
+#[derive(Debug, Clone, Copy)]
+pub struct FloodWindow {
+    pub start_ms: u64,
+    pub end_ms: u64,
+    pub amplification: f64,
+}
+
+/// Parameters of a chaos run: the healthy-farm config plus the failure
+/// schedule and the resilience policies played against it.
+#[derive(Debug, Clone)]
+pub struct FarmChaosConfig {
+    pub farm: FarmConfig,
+    /// The deterministic failure schedule (crashes, stalls, blackholes,
+    /// poisoned reloads) on the shared virtual clock.
+    pub plan: FailurePlan,
+    pub health: HealthConfig,
+    pub recovery: RecoveryPolicy,
+    /// Client arrivals on the virtual-ms axis; failure windows hit
+    /// exactly the queries that arrive inside them, on any shard count.
+    pub arrivals: ArrivalSchedule,
+    /// How long a client waits on a dead site before hedging its one
+    /// retry to the next-best catchment.
+    pub hedge_timeout_ms: u64,
+    /// A site sheds once its offered load exceeds `shed_headroom` times
+    /// its healthy-baseline share.
+    pub shed_headroom: f64,
+    /// Junk-amplification floods overlaid on the failure schedule.
+    pub floods: Vec<FloodWindow>,
+    /// Wall-clock second reload validation runs at (must fall inside the
+    /// zone's RRSIG validity window for clean zones to be accepted).
+    pub validate_now_s: u32,
+}
+
+impl FarmChaosConfig {
+    /// A smoke-test-sized chaos run with an empty failure plan — add
+    /// windows to `plan` / `floods` to inject faults.
+    pub fn tiny(seed: u64, validate_now_s: u32) -> FarmChaosConfig {
+        FarmChaosConfig {
+            farm: FarmConfig::tiny(seed),
+            plan: FailurePlan::none(seed),
+            health: HealthConfig::default(),
+            recovery: RecoveryPolicy::default(),
+            arrivals: ArrivalSchedule {
+                start_ms: 0,
+                interarrival_ms: 1,
+            },
+            hedge_timeout_ms: 300,
+            shed_headroom: 2.0,
+            floods: Vec::new(),
+            validate_now_s,
+        }
+    }
+
+    /// The fault-free twin of this config: same seed, same traffic, same
+    /// steering — no failures, no floods. Every answer a chaos run
+    /// delivers must be byte-identical to what the twin serves.
+    pub fn twin(&self) -> FarmChaosConfig {
+        let mut t = self.clone();
+        t.plan = FailurePlan::none(self.plan.seed);
+        t.floods.clear();
+        t
+    }
+}
+
+/// Per-query outcome, packed into [`FarmChaosReport::flags`] bits 2..=4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// Answered by the first steered site.
+    Served = 0,
+    /// First site was dark; the hedged retry landed elsewhere.
+    ServedHedged = 1,
+    /// Dropped at ingress by the overload-shedding policy.
+    Shed = 2,
+    /// First site dark and the hedge found no live alternative.
+    Unanswered = 3,
+    /// Reached an engine but was unserveable (malformed datagram).
+    EngineDropped = 4,
+}
+
+/// What one chaos run measured. `flags` and `digests` are per global
+/// query index: flags pack class (bits 0..=1: 0 benign, 1 junk,
+/// 2 chaos), outcome (bits 2..=4) and a late bit (5); digests are a
+/// per-response FNV over the delivered bytes (0 = no response), which is
+/// what [`FarmChaosReport::diff_twin`] compares for byte-identity.
+#[derive(Debug, Clone)]
+pub struct FarmChaosReport {
+    pub queries: usize,
+    pub elapsed: Duration,
+    pub wall_qps: f64,
+    /// Sum of per-letter busy-time serving rates, as in [`FarmReport`].
+    pub aggregate_qps: f64,
+    pub letters: Vec<LetterLoad>,
+    pub hits: u64,
+    pub fallbacks: u64,
+    pub served: u64,
+    pub served_hedged: u64,
+    pub shed_junk: u64,
+    pub shed_benign: u64,
+    pub unanswered: u64,
+    pub engine_dropped: u64,
+    /// Served, but through a stalled shard (late answer).
+    pub late: u64,
+    pub legit_offered: u64,
+    pub legit_served: u64,
+    pub junk_offered: u64,
+    pub junk_served: u64,
+    pub hedges_attempted: u64,
+    /// Poisoned pushes the validated reload path refused / let through.
+    pub reloads_rejected: u64,
+    pub reloads_accepted: u64,
+    /// Distinct steering epochs across all letters (>1 means failover
+    /// re-steering happened).
+    pub steering_epochs: usize,
+    /// Watchdog probes the control plane fired.
+    pub probes: u64,
+    /// Health transitions: `(letter position, slot, at_ms, status)`.
+    pub transitions: Vec<(u8, u8, u64, SiteStatus)>,
+    /// Crash incidents and their restart ladders.
+    pub recoveries: Vec<RecoveryLog>,
+    /// The failure plan's own fingerprint (mixed into the report's).
+    pub plan_fp: u64,
+    pub flags: Vec<u8>,
+    pub digests: Vec<u64>,
+    /// Violations observed while applying the reload schedule (a corrupt
+    /// zone activating, a rejected reload moving the generation).
+    pub reload_violations: Vec<String>,
+}
+
+impl FarmChaosReport {
+    /// Fraction of legitimate (non-junk) queries that got an answer —
+    /// the degraded-service headline the acceptance gate holds at ≥0.99.
+    pub fn legit_served_fraction(&self) -> f64 {
+        if self.legit_offered == 0 {
+            1.0
+        } else {
+            self.legit_served as f64 / self.legit_offered as f64
+        }
+    }
+
+    fn outcome_of(flag: u8) -> u8 {
+        (flag >> 2) & 0x07
+    }
+
+    fn class_of(flag: u8) -> u8 {
+        flag & 0x03
+    }
+
+    /// Order-sensitive FNV digest over every deterministic field — the
+    /// replay-identity of the whole run: traffic, steering, health
+    /// transitions, restart ladders, sheds, and every delivered byte.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        mix(self.queries as u64);
+        mix(self.hits);
+        mix(self.fallbacks);
+        mix(self.served);
+        mix(self.served_hedged);
+        mix(self.shed_junk);
+        mix(self.shed_benign);
+        mix(self.unanswered);
+        mix(self.engine_dropped);
+        mix(self.late);
+        mix(self.legit_offered);
+        mix(self.legit_served);
+        mix(self.junk_offered);
+        mix(self.junk_served);
+        mix(self.hedges_attempted);
+        mix(self.reloads_rejected);
+        mix(self.reloads_accepted);
+        mix(self.steering_epochs as u64);
+        mix(self.probes);
+        for l in &self.letters {
+            mix(l.letter.index() as u64);
+            mix(l.queries);
+        }
+        for &(li, slot, t, status) in &self.transitions {
+            mix(u64::from(li));
+            mix(u64::from(slot));
+            mix(t);
+            mix(status.id());
+        }
+        for r in &self.recoveries {
+            mix(r.letter.index() as u64);
+            mix(u64::from(r.site_id));
+            mix(r.failed_at);
+            mix(r.detected_at);
+            mix(u64::from(r.attempts));
+            mix(r.recovered_at.map_or(u64::MAX, |t| t));
+        }
+        for &f in &self.flags {
+            mix(u64::from(f));
+        }
+        for &d in &self.digests {
+            mix(d);
+        }
+        h ^ self.plan_fp
+    }
+
+    /// Internal-consistency checks plus any reload violations; a sound
+    /// run returns an empty list.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = self.reload_violations.clone();
+        let outcomes = self.served
+            + self.served_hedged
+            + self.shed_junk
+            + self.shed_benign
+            + self.unanswered
+            + self.engine_dropped;
+        if outcomes != self.queries as u64 {
+            v.push(format!("outcomes {outcomes} != queries {}", self.queries));
+        }
+        if self.legit_offered + self.junk_offered != self.queries as u64 {
+            v.push(format!(
+                "offered split {}+{} != queries {}",
+                self.legit_offered, self.junk_offered, self.queries
+            ));
+        }
+        if self.legit_served > self.legit_offered {
+            v.push(format!(
+                "legit served {} > offered {}",
+                self.legit_served, self.legit_offered
+            ));
+        }
+        for (g, (&f, &d)) in self.flags.iter().zip(&self.digests).enumerate() {
+            let answered = Self::outcome_of(f) <= 1;
+            if answered != (d != 0) {
+                v.push(format!("query {g}: outcome/digest mismatch (flag {f:#x})"));
+                break;
+            }
+        }
+        v
+    }
+
+    /// Global indices of answered non-CHAOS queries whose delivered
+    /// bytes differ from the fault-free twin's (CHAOS identity answers
+    /// legitimately differ when the hedge lands at another site). Empty
+    /// means every delivered answer was byte-identical to a healthy farm.
+    pub fn diff_twin(&self, twin: &FarmChaosReport) -> Vec<u64> {
+        self.flags
+            .iter()
+            .zip(&self.digests)
+            .zip(twin.flags.iter().zip(&twin.digests))
+            .enumerate()
+            .filter(|&(_, ((&f, &d), (&tf, &td)))| {
+                Self::outcome_of(f) <= 1
+                    && Self::class_of(f) != 2
+                    && Self::outcome_of(tf) <= 1
+                    && d != td
+            })
+            .map(|(g, _)| g as u64)
+            .collect()
+    }
+
+    /// Metric pairs for `BENCH_results.json` and the bench guard.
+    pub fn metrics(&self, prefix: &str) -> Vec<(String, f64)> {
+        vec![
+            (
+                format!("{prefix}/degraded_served_fraction"),
+                self.legit_served_fraction(),
+            ),
+            (format!("{prefix}/aggregate_qps"), self.aggregate_qps),
+            (format!("{prefix}/shed_junk"), self.shed_junk as f64),
+            (format!("{prefix}/shed_benign"), self.shed_benign as f64),
+            (format!("{prefix}/unanswered"), self.unanswered as f64),
+        ]
+    }
+
+    /// Human-readable summary of the run.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "queries          {:>12}\nserved           {:>12}\n  hedged         {:>12}\n  late           {:>12}\nshed junk        {:>12}\nshed benign      {:>12}\nunanswered       {:>12}\nengine dropped   {:>12}\nlegit served     {:>12} / {} ({:.4})\nhedges attempted {:>12}\nreloads rejected {:>12}\nreloads accepted {:>12}\nsteering epochs  {:>12}\nprobes           {:>12}\nrecoveries       {:>12}\nelapsed          {:>12.3} s\naggregate        {:>12.0} q/s\n",
+            self.queries,
+            self.served + self.served_hedged,
+            self.served_hedged,
+            self.late,
+            self.shed_junk,
+            self.shed_benign,
+            self.unanswered,
+            self.engine_dropped,
+            self.legit_served,
+            self.legit_offered,
+            self.legit_served_fraction(),
+            self.hedges_attempted,
+            self.reloads_rejected,
+            self.reloads_accepted,
+            self.steering_epochs,
+            self.probes,
+            self.recoveries.len(),
+            self.elapsed.as_secs_f64(),
+            self.aggregate_qps,
+        );
+        for r in &self.recoveries {
+            out.push_str(&format!(
+                "  {}.root site {:>3}  down {:>7} ms  detected {:>7} ms  attempts {}  {}\n",
+                r.letter.ch(),
+                r.site_id,
+                r.failed_at,
+                r.detected_at,
+                r.attempts,
+                match r.recovered_at {
+                    Some(t) => format!("recovered {t} ms"),
+                    None => "NOT RECOVERED".to_string(),
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// One steering epoch of one letter: the failover tables and offered
+/// weights in force from `start_ms` until the next epoch.
+struct EpochSteer {
+    start_ms: u64,
+    /// `steer[family][client position] -> engine slot` over the live
+    /// (non-Dead) sites; slot indices stay those of the full roster.
+    steer: [Vec<u16>; 2],
+    /// Normalized offered-load share per slot under this epoch's tables.
+    weights: Vec<f64>,
+}
+
+/// FNV over one delivered response, salted with the global query index.
+/// Never 0, so 0 unambiguously means "no response".
+fn digest_response(g: u64, resp: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ g.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in resp {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h | 1
+}
+
+/// Shed probabilities `(junk, benign)` for a slot whose offered share is
+/// `w` against healthy baseline `wb`: junk is amplified by `amp`, the cap
+/// is `headroom` over the larger of the baseline share and an even
+/// split, junk sheds first, benign only for what junk cannot absorb.
+fn shed_probs(w: f64, wb: f64, nslots: usize, j: f64, amp: f64, headroom: f64) -> (f64, f64) {
+    if w <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let offered = w * (1.0 + j * (amp - 1.0));
+    let cap = headroom * wb.max(1.0 / nslots as f64);
+    let excess = offered - cap;
+    if excess <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let junk_offered = w * j * amp;
+    let p_junk = if junk_offered > 0.0 {
+        (excess / junk_offered).min(1.0)
+    } else {
+        0.0
+    };
+    let excess2 = excess - junk_offered;
+    let benign_offered = w * (1.0 - j);
+    let p_benign = if excess2 > 0.0 && benign_offered > 0.0 {
+        (excess2 / benign_offered).min(1.0)
+    } else {
+        0.0
+    };
+    (p_junk, p_benign)
+}
+
+/// Normalized offered-load share per slot under `steer`, over the
+/// configured client-position distribution and family split.
+fn offered_weights(
+    steer: &[Vec<u16>; 2],
+    nslots: usize,
+    clients: usize,
+    pool: usize,
+    v6_fraction: f64,
+) -> Vec<f64> {
+    let mut w = vec![0.0; nslots];
+    for c in 0..clients {
+        let pos = c % pool;
+        for (fi, famp) in [(0usize, 1.0 - v6_fraction), (1usize, v6_fraction)] {
+            let table = &steer[fi];
+            let slot = if table.is_empty() {
+                0
+            } else {
+                table[pos % table.len()] as usize
+            };
+            w[slot] += famp / clients as f64;
+        }
+    }
+    w
+}
+
+fn epoch_at(epochs: &[EpochSteer], t: u64) -> &EpochSteer {
+    let i = epochs.partition_point(|e| e.start_ms <= t);
+    &epochs[i.max(1) - 1]
+}
+
+fn flood_amp_at(floods: &[FloodWindow], t: u64) -> f64 {
+    floods
+        .iter()
+        .filter(|f| t >= f.start_ms && t < f.end_ms)
+        .map(|f| f.amplification)
+        .fold(1.0, f64::max)
+}
+
+/// Pending outcome of one batched datagram:
+/// `(global index, class, hedged, late)`, resolved at flush time.
+type BatchMeta = Vec<(u64, u8, bool, bool)>;
+
+/// Per-shard chaos tallies (merged in shard-id order).
+#[derive(Clone)]
+struct ChaosShard {
+    letter_queries: Vec<u64>,
+    letter_busy_ns: Vec<u64>,
+    hits: u64,
+    fallbacks: u64,
+    served: u64,
+    served_hedged: u64,
+    shed_junk: u64,
+    shed_benign: u64,
+    unanswered: u64,
+    engine_dropped: u64,
+    late: u64,
+    legit_offered: u64,
+    legit_served: u64,
+    junk_offered: u64,
+    junk_served: u64,
+    hedges_attempted: u64,
+}
+
+impl ChaosShard {
+    fn new(nletters: usize) -> ChaosShard {
+        ChaosShard {
+            letter_queries: vec![0; nletters],
+            letter_busy_ns: vec![0; nletters],
+            hits: 0,
+            fallbacks: 0,
+            served: 0,
+            served_hedged: 0,
+            shed_junk: 0,
+            shed_benign: 0,
+            unanswered: 0,
+            engine_dropped: 0,
+            late: 0,
+            legit_offered: 0,
+            legit_served: 0,
+            junk_offered: 0,
+            junk_served: 0,
+            hedges_attempted: 0,
+        }
+    }
+
+    /// Serve one batch and resolve every entry's outcome: digest the
+    /// delivered bytes into the shard's global-index slices.
+    #[allow(clippy::too_many_arguments)]
+    fn flush(
+        &mut self,
+        engine: &Rootd,
+        letter_idx: usize,
+        batch: &mut UdpBatch,
+        meta: &mut BatchMeta,
+        first: usize,
+        digests: &mut [u64],
+        flags: &mut [u8],
+    ) {
+        if batch.is_empty() {
+            meta.clear();
+            return;
+        }
+        let n = batch.len() as u64;
+        let t0 = Instant::now();
+        let tally = engine.serve_udp_batch(batch);
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.letter_queries[letter_idx] += n;
+        self.letter_busy_ns[letter_idx] += dt;
+        self.hits += tally.hits;
+        self.fallbacks += tally.fallbacks;
+        for (i, &(g, class, hedged, is_late)) in meta.iter().enumerate() {
+            let local = g as usize - first;
+            match batch.response(i) {
+                Some(resp) => {
+                    digests[local] = digest_response(g, resp);
+                    let outcome = if hedged {
+                        self.served_hedged += 1;
+                        ChaosOutcome::ServedHedged
+                    } else {
+                        self.served += 1;
+                        ChaosOutcome::Served
+                    };
+                    if is_late {
+                        self.late += 1;
+                    }
+                    if class == 1 {
+                        self.junk_served += 1;
+                    } else {
+                        self.legit_served += 1;
+                    }
+                    flags[local] = class | ((outcome as u8) << 2) | (u8::from(is_late) << 5);
+                }
+                None => {
+                    self.engine_dropped += 1;
+                    flags[local] = class | ((ChaosOutcome::EngineDropped as u8) << 2);
+                }
+            }
+        }
+        batch.clear();
+        meta.clear();
+    }
+}
+
+impl Farm {
+    /// Precompute every letter's steering epochs from the control
+    /// plane's health timelines: Dead sites are withdrawn from the
+    /// letter's anycast announcement and catchments recomputed through
+    /// the same Gao-Rexford propagation as at build time — failover *is*
+    /// a BGP withdrawal, not a special path. Identical dead-masks share
+    /// one computation.
+    fn chaos_steering(
+        &self,
+        topology: &Topology,
+        control: &ControlPlane,
+        cfg: &FarmChaosConfig,
+    ) -> Vec<Vec<EpochSteer>> {
+        let pool = self.clients.len().max(1);
+        let clients = cfg.farm.clients.max(1);
+        self.letters
+            .iter()
+            .zip(&control.letters)
+            .map(|(lf, lc)| {
+                let nslots = lf.engines.len();
+                let mut memo: HashMap<Vec<bool>, [Vec<u16>; 2]> = HashMap::new();
+                lc.timeline
+                    .steering_epochs()
+                    .into_iter()
+                    .map(|(start_ms, dead)| {
+                        let steer = memo
+                            .entry(dead.clone())
+                            .or_insert_with(|| {
+                                let live: Vec<u32> = lf
+                                    .site_ids
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(slot, _)| !dead.get(slot).copied().unwrap_or(false))
+                                    .map(|(_, &id)| id)
+                                    .collect();
+                                if live.len() == lf.site_ids.len() || live.is_empty() {
+                                    // All live (base tables) — or none,
+                                    // in which case steering is moot:
+                                    // every query hedges into the void.
+                                    return lf.steer.clone();
+                                }
+                                let withdrawn = Deployment {
+                                    name: lf.deployment.name.clone(),
+                                    sites: lf
+                                        .deployment
+                                        .sites
+                                        .iter()
+                                        .filter(|s| live.contains(&s.id.0))
+                                        .cloned()
+                                        .collect(),
+                                };
+                                let fallback =
+                                    lf.site_ids
+                                        .iter()
+                                        .position(|id| live.contains(id))
+                                        .unwrap_or(0) as u16;
+                                [Family::V4, Family::V6].map(|family| {
+                                    let routes = propagate(topology, &withdrawn, family);
+                                    self.clients
+                                        .iter()
+                                        .map(|&asn| {
+                                            routes
+                                                .best(asn)
+                                                .and_then(|c| {
+                                                    lf.site_ids
+                                                        .iter()
+                                                        .position(|&id| id == c.site.0)
+                                                })
+                                                .map(|slot| slot as u16)
+                                                .unwrap_or(fallback)
+                                        })
+                                        .collect()
+                                })
+                            })
+                            .clone();
+                        let weights =
+                            offered_weights(&steer, nslots, clients, pool, cfg.farm.v6_fraction);
+                        EpochSteer {
+                            start_ms,
+                            steer,
+                            weights,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Apply the plan's poisoned reloads through the validated reload
+    /// path. Every push must be refused with the generation unchanged —
+    /// anything else is recorded as a violation.
+    fn apply_poisoned_reloads(&self, cfg: &FarmChaosConfig) -> (u64, u64, Vec<String>) {
+        let mut rejected = 0u64;
+        let mut accepted = 0u64;
+        let mut violations = Vec::new();
+        let mut pushes = cfg.plan.poisoned_reloads.clone();
+        pushes.sort_by_key(|p| (p.at_ms, p.letter));
+        for p in &pushes {
+            let mut poisoned = (*self.zone).clone();
+            if dns_zone::corrupt::flip_rrsig_bit(&mut poisoned, p.flip_seed).is_none() {
+                violations.push(format!(
+                    "poisoned reload at {} ms: zone has no RRSIG to corrupt",
+                    p.at_ms
+                ));
+                continue;
+            }
+            let before = self.generation(p.letter);
+            match self.reload_letter(p.letter, Arc::new(poisoned), cfg.validate_now_s) {
+                Err(_) => {
+                    rejected += 1;
+                    if self.generation(p.letter) != before {
+                        violations.push(format!(
+                            "{}.root: rejected reload moved generation {:?} -> {:?}",
+                            p.letter.ch(),
+                            before,
+                            self.generation(p.letter)
+                        ));
+                    }
+                }
+                Ok(generation) => {
+                    accepted += 1;
+                    violations.push(format!(
+                        "{}.root: CORRUPT ZONE ACTIVATED as generation {generation}",
+                        p.letter.ch()
+                    ));
+                }
+            }
+        }
+        (rejected, accepted, violations)
+    }
+
+    /// Run the constellation through the failure schedule: the control
+    /// plane (health probes, failover steering, restart ladders) runs
+    /// first as a discrete-event program on the virtual clock, producing
+    /// piecewise-constant timelines; the sharded data plane then serves
+    /// every query against those timelines — per-query steering, hedging
+    /// and shedding are pure functions of the global query index, so the
+    /// whole report is bit-identical for any shard count.
+    pub fn run_chaos(&self, topology: &Topology, cfg: &FarmChaosConfig) -> FarmChaosReport {
+        let shards = cfg.farm.shards.max(1);
+        let clients = cfg.farm.clients.max(1);
+        let batch_cap = cfg.farm.batch.max(1);
+        let nletters = self.letters.len();
+        let per_shard = cfg.farm.queries.div_ceil(shards).max(1);
+        let templates = QueryTemplates::build(&self.tlds);
+        let templates = &templates;
+        let pool = self.clients.len().max(1);
+        // Expected junk share of the mix (chaos-class templates return
+        // before the junk draw; the small apex correction is ignored —
+        // the headroom factor dwarfs it).
+        let junk_frac = (1.0 - cfg.farm.mix.chaos_fraction) * cfg.farm.mix.nxdomain_fraction;
+
+        // Poisoned reloads first: all must bounce off validation, so the
+        // serving state the data plane reads is unchanged.
+        let (reloads_rejected, reloads_accepted, reload_violations) =
+            self.apply_poisoned_reloads(cfg);
+
+        // Control plane: health timelines, ground-truth outage/stall
+        // tables, restart ladders.
+        let roster: Vec<(RootLetter, Vec<u32>)> = self
+            .letters
+            .iter()
+            .map(|lf| (lf.letter, lf.site_ids.clone()))
+            .collect();
+        let last_arrival =
+            cfg.arrivals
+                .attempt_at(cfg.farm.queries as u64, 1, cfg.hedge_timeout_ms);
+        let horizon = last_arrival
+            .max(
+                cfg.plan
+                    .max_finite_end()
+                    .saturating_add(cfg.recovery.budget_ms()),
+            )
+            .saturating_add(4 * cfg.health.probe_interval_ms);
+        let control = run_control_plane(&roster, &cfg.plan, &cfg.health, &cfg.recovery, horizon);
+        let epochs = self.chaos_steering(topology, &control, cfg);
+        let epochs = &epochs;
+        let control = &control;
+        // Healthy-baseline offered shares anchor the shedding cap, so
+        // failover redistribution — not the baseline split — is what
+        // gets charged against headroom.
+        let base_weights: Vec<Vec<f64>> = self
+            .letters
+            .iter()
+            .map(|lf| {
+                offered_weights(
+                    &lf.steer,
+                    lf.engines.len(),
+                    clients,
+                    pool,
+                    cfg.farm.v6_fraction,
+                )
+            })
+            .collect();
+        let base_weights = &base_weights;
+
+        let mut digests = vec![0u64; cfg.farm.queries];
+        let mut flags = vec![0u8; cfg.farm.queries];
+        let started = Instant::now();
+        let mut stats: Vec<(usize, ChaosShard)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            let mut dig_rest: &mut [u64] = &mut digests;
+            let mut flag_rest: &mut [u8] = &mut flags;
+            for t in 0..shards {
+                let first = t * per_shard;
+                let count = per_shard.min(cfg.farm.queries.saturating_sub(first));
+                let (dig, rest) = std::mem::take(&mut dig_rest).split_at_mut(count);
+                dig_rest = rest;
+                let (flg, rest) = std::mem::take(&mut flag_rest).split_at_mut(count);
+                flag_rest = rest;
+                handles.push(scope.spawn(move || {
+                    let mut stats = ChaosShard::new(nletters);
+                    let slots_per_letter: Vec<usize> =
+                        self.letters.iter().map(|lf| lf.engines.len()).collect();
+                    let mut batches: Vec<Vec<UdpBatch>> = slots_per_letter
+                        .iter()
+                        .map(|&n| (0..n).map(|_| UdpBatch::new()).collect())
+                        .collect();
+                    let mut metas: Vec<Vec<BatchMeta>> = slots_per_letter
+                        .iter()
+                        .map(|&n| (0..n).map(|_| Vec::new()).collect())
+                        .collect();
+                    let mut wire = Vec::with_capacity(64);
+                    for i in 0..count {
+                        let g = (first + i) as u64;
+                        let mut steer = SimRng::new(cfg.farm.seed).derive_ids(&[STEER_TAG, g]);
+                        let letter_idx = steer.next_range(nletters);
+                        let fam = usize::from(steer.chance(cfg.farm.v6_fraction));
+                        let client_idx = (g as usize % clients) % pool;
+                        let lf = &self.letters[letter_idx];
+                        let lc = &control.letters[letter_idx];
+                        let t_arr = cfg.arrivals.attempt_at(g, 0, 0);
+                        let mut qrng = SimRng::new(cfg.farm.seed).derive_ids(&[QUERY_TAG, g]);
+                        let class = match fill_query(&cfg.farm.mix, templates, &mut qrng, &mut wire)
+                        {
+                            QueryClass::Chaos => 2u8,
+                            QueryClass::Junk => 1,
+                            QueryClass::Apex | QueryClass::Tld => 0,
+                        };
+                        if class == 1 {
+                            stats.junk_offered += 1;
+                        } else {
+                            stats.legit_offered += 1;
+                        }
+                        let epoch = epoch_at(&epochs[letter_idx], t_arr);
+                        let table = &epoch.steer[fam];
+                        let slot = if table.is_empty() {
+                            0
+                        } else {
+                            table[client_idx % table.len()] as usize
+                        };
+                        // Ingress shedding at the steered site.
+                        let amp = flood_amp_at(&cfg.floods, t_arr);
+                        let (p_junk, p_benign) = shed_probs(
+                            epoch.weights[slot],
+                            base_weights[letter_idx][slot],
+                            lf.engines.len(),
+                            junk_frac,
+                            amp,
+                            cfg.shed_headroom,
+                        );
+                        let p = if class == 1 { p_junk } else { p_benign };
+                        if p > 0.0
+                            && SimRng::new(cfg.farm.seed)
+                                .derive_ids(&[SHED_TAG, g])
+                                .chance(p)
+                        {
+                            if class == 1 {
+                                stats.shed_junk += 1;
+                            } else {
+                                stats.shed_benign += 1;
+                            }
+                            flg[i] = class | ((ChaosOutcome::Shed as u8) << 2);
+                            continue;
+                        }
+                        // Ground truth beats belief: a dark site eats the
+                        // datagram whether or not the watchdog knows yet.
+                        let (serve_slot, serve_t, hedged) = if lc.down_at(slot, t_arr) {
+                            stats.hedges_attempted += 1;
+                            let t2 = t_arr + cfg.hedge_timeout_ms;
+                            let epoch2 = epoch_at(&epochs[letter_idx], t2);
+                            let table2 = &epoch2.steer[fam];
+                            let routed = if table2.is_empty() {
+                                0
+                            } else {
+                                table2[client_idx % table2.len()] as usize
+                            };
+                            // If steering already withdrew the dead site,
+                            // the retry follows the new catchment;
+                            // otherwise (watchdog hasn't caught up yet)
+                            // the client falls back to the next site it
+                            // still believes is in rotation.
+                            let nslots = lf.engines.len();
+                            let slot2 = if routed != slot {
+                                Some(routed)
+                            } else {
+                                (1..nslots)
+                                    .map(|k| (slot + k) % nslots)
+                                    .find(|&s| lc.timeline.status_at(s, t2).in_rotation())
+                            };
+                            match slot2 {
+                                Some(s2) if !lc.down_at(s2, t2) => (s2, t2, true),
+                                _ => {
+                                    stats.unanswered += 1;
+                                    flg[i] = class | ((ChaosOutcome::Unanswered as u8) << 2);
+                                    continue;
+                                }
+                            }
+                        } else {
+                            (slot, t_arr, false)
+                        };
+                        let is_late = lc.stall_delay_at(serve_slot, serve_t).is_some();
+                        let batch = &mut batches[letter_idx][serve_slot];
+                        batch.push_request(&wire);
+                        metas[letter_idx][serve_slot].push((g, class, hedged, is_late));
+                        if batch.len() >= batch_cap {
+                            stats.flush(
+                                &lf.engines[serve_slot],
+                                letter_idx,
+                                batch,
+                                &mut metas[letter_idx][serve_slot],
+                                first,
+                                dig,
+                                flg,
+                            );
+                        }
+                    }
+                    for (letter_idx, letter_batches) in batches.iter_mut().enumerate() {
+                        for (slot, batch) in letter_batches.iter_mut().enumerate() {
+                            stats.flush(
+                                &self.letters[letter_idx].engines[slot],
+                                letter_idx,
+                                batch,
+                                &mut metas[letter_idx][slot],
+                                first,
+                                dig,
+                                flg,
+                            );
+                        }
+                    }
+                    (t, stats)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let elapsed = started.elapsed();
+        stats.sort_by_key(|&(shard, _)| shard);
+        let mut merged = ChaosShard::new(nletters);
+        for (_, s) in &stats {
+            for (a, b) in merged.letter_queries.iter_mut().zip(&s.letter_queries) {
+                *a += b;
+            }
+            for (a, b) in merged.letter_busy_ns.iter_mut().zip(&s.letter_busy_ns) {
+                *a += b;
+            }
+            merged.hits += s.hits;
+            merged.fallbacks += s.fallbacks;
+            merged.served += s.served;
+            merged.served_hedged += s.served_hedged;
+            merged.shed_junk += s.shed_junk;
+            merged.shed_benign += s.shed_benign;
+            merged.unanswered += s.unanswered;
+            merged.engine_dropped += s.engine_dropped;
+            merged.late += s.late;
+            merged.legit_offered += s.legit_offered;
+            merged.legit_served += s.legit_served;
+            merged.junk_offered += s.junk_offered;
+            merged.junk_served += s.junk_served;
+            merged.hedges_attempted += s.hedges_attempted;
+        }
+        let letters: Vec<LetterLoad> = self
+            .letters
+            .iter()
+            .enumerate()
+            .map(|(i, lf)| {
+                let queries = merged.letter_queries[i];
+                let busy_ns = merged.letter_busy_ns[i];
+                LetterLoad {
+                    letter: lf.letter,
+                    sites: lf.engines.len(),
+                    queries,
+                    busy_ns,
+                    qps: queries as f64 / (busy_ns.max(1) as f64 / 1e9),
+                }
+            })
+            .collect();
+        let transitions: Vec<(u8, u8, u64, SiteStatus)> = control
+            .letters
+            .iter()
+            .enumerate()
+            .flat_map(|(li, lc)| {
+                lc.timeline
+                    .events()
+                    .into_iter()
+                    .map(move |(slot, t, status)| (li as u8, slot as u8, t, status))
+            })
+            .collect();
+        FarmChaosReport {
+            queries: cfg.farm.queries,
+            elapsed,
+            wall_qps: cfg.farm.queries as f64 / elapsed.as_secs_f64().max(1e-9),
+            aggregate_qps: letters.iter().map(|l| l.qps).sum(),
+            letters,
+            hits: merged.hits,
+            fallbacks: merged.fallbacks,
+            served: merged.served,
+            served_hedged: merged.served_hedged,
+            shed_junk: merged.shed_junk,
+            shed_benign: merged.shed_benign,
+            unanswered: merged.unanswered,
+            engine_dropped: merged.engine_dropped,
+            late: merged.late,
+            legit_offered: merged.legit_offered,
+            legit_served: merged.legit_served,
+            junk_offered: merged.junk_offered,
+            junk_served: merged.junk_served,
+            hedges_attempted: merged.hedges_attempted,
+            reloads_rejected,
+            reloads_accepted,
+            steering_epochs: epochs.iter().map(Vec::len).sum(),
+            probes: control.probes,
+            transitions,
+            recoveries: control.recoveries.clone(),
+            plan_fp: cfg.plan.fold_fingerprint(0xcbf2_9ce4_8422_2325),
+            flags,
+            digests,
+            reload_violations,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -799,6 +1764,11 @@ mod tests {
         }
     }
 
+    /// A second inside the default zone config's RRSIG validity window.
+    fn validate_now() -> u32 {
+        RootZoneConfig::default().inception + 86_400
+    }
+
     #[test]
     fn reload_swaps_one_letter_without_touching_the_others() {
         let (_, _, _, farm) = small_farm();
@@ -812,18 +1782,199 @@ mod tests {
             },
             &ZoneKeys::from_seed(9),
         );
-        assert!(farm.reload_letter(RootLetter::B, Arc::new(zone2)));
+        assert_eq!(
+            farm.reload_letter(RootLetter::B, Arc::new(zone2), validate_now()),
+            Ok(1)
+        );
         assert_eq!(farm.generation(RootLetter::B), Some(1));
         assert_eq!(farm.generation(RootLetter::A), Some(0));
-        assert!(!farm.reload_letter(RootLetter::C, {
-            let (_, _, zone) = world();
-            zone
-        }));
+        assert_eq!(
+            farm.reload_letter(
+                RootLetter::C,
+                {
+                    let (_, _, zone) = world();
+                    zone
+                },
+                validate_now()
+            ),
+            Err(ReloadError::UnknownLetter)
+        );
         // The farm still serves after the swap.
         let mut cfg = FarmConfig::tiny(3);
         cfg.queries = 2_000;
         let report = farm.run(&cfg);
         assert_eq!(report.violations(), Vec::<String>::new());
         assert!(report.responses > 0);
+    }
+
+    #[test]
+    fn poisoned_reload_rolls_back_atomically_and_keeps_serving() {
+        let (_, _, zone, farm) = small_farm();
+        let before = farm.run(&FarmConfig::tiny(5));
+        let mut poisoned = (*zone).clone();
+        assert!(dns_zone::corrupt::flip_rrsig_bit(&mut poisoned, 0xbad).is_some());
+        let err = farm.reload_letter(RootLetter::B, Arc::new(poisoned), validate_now());
+        assert!(err.is_err(), "corrupt zone must be refused: {err:?}");
+        // Atomic rollback: generation unchanged, old state keeps serving
+        // the exact same bytes.
+        assert_eq!(farm.generation(RootLetter::B), Some(0));
+        let after = farm.run(&FarmConfig::tiny(5));
+        assert_eq!(after.fingerprint(), before.fingerprint());
+    }
+
+    fn chaos_cfg(seed: u64, queries: usize) -> FarmChaosConfig {
+        let mut cfg = FarmChaosConfig::tiny(seed, validate_now());
+        cfg.farm.queries = queries;
+        cfg
+    }
+
+    #[test]
+    fn chaos_with_empty_plan_serves_everything_like_a_healthy_run() {
+        let (topology, _, _, farm) = small_farm();
+        let cfg = chaos_cfg(11, 4_000);
+        let report = farm.run_chaos(&topology, &cfg);
+        assert_eq!(report.violations(), Vec::<String>::new());
+        assert_eq!(report.served, 4_000);
+        assert_eq!(
+            report.served_hedged
+                + report.shed_junk
+                + report.shed_benign
+                + report.unanswered
+                + report.engine_dropped,
+            0
+        );
+        assert_eq!(report.legit_served_fraction(), 1.0);
+        assert_eq!(report.probes, 0, "no faults, no watchdog events");
+        assert!(report.recoveries.is_empty());
+        // Same serving outcomes as the plain farm path: the chaos layer
+        // adds nothing when nothing fails.
+        let base = farm.run(&cfg.farm);
+        assert_eq!(report.hits, base.hits);
+        assert_eq!(report.fallbacks, base.fallbacks);
+    }
+
+    #[test]
+    fn chaos_report_is_bit_identical_across_shard_counts_and_seed_sensitive() {
+        let (topology, _, _, farm) = small_farm();
+        let mut cfg = chaos_cfg(7, 3_000);
+        let a0 = farm.letters[0].site_ids[0];
+        let a1 = farm.letters[0].site_ids[1];
+        let b0 = farm.letters[1].site_ids[0];
+        cfg.plan.add(
+            RootLetter::A,
+            a1,
+            crate::recovery::FailureKind::Crash,
+            (400, 1_500),
+        );
+        cfg.plan.add(
+            RootLetter::B,
+            b0,
+            crate::recovery::FailureKind::Blackhole,
+            (500, 1_200),
+        );
+        cfg.plan.add(
+            RootLetter::A,
+            a0,
+            crate::recovery::FailureKind::Stall { delay_ms: 300 },
+            (200, 2_000),
+        );
+        cfg.plan.add_poisoned_reload(RootLetter::B, 900);
+        cfg.floods.push(FloodWindow {
+            start_ms: 800,
+            end_ms: 1_600,
+            amplification: 8.0,
+        });
+        cfg.farm.shards = 1;
+        let baseline = farm.run_chaos(&topology, &cfg);
+        assert_eq!(baseline.violations(), Vec::<String>::new());
+        let base_fp = baseline.fingerprint();
+        for shards in 2..=8 {
+            cfg.farm.shards = shards;
+            let report = farm.run_chaos(&topology, &cfg);
+            assert_eq!(report.fingerprint(), base_fp, "shards={shards}");
+            assert_eq!(report.flags, baseline.flags, "shards={shards}");
+            assert_eq!(report.digests, baseline.digests, "shards={shards}");
+        }
+        let mut other = cfg.clone();
+        other.farm.seed = 8;
+        other.plan = FailurePlan::none(8);
+        assert_ne!(
+            farm.run_chaos(&topology, &other).fingerprint(),
+            base_fp,
+            "different seed and plan must change the replay identity"
+        );
+    }
+
+    #[test]
+    fn failover_hedging_keeps_legit_service_and_answers_byte_identical() {
+        let (topology, _, _, farm) = small_farm();
+        let mut cfg = chaos_cfg(19, 6_000);
+        let a1 = farm.letters[0].site_ids[1];
+        let b0 = farm.letters[1].site_ids[0];
+        cfg.plan.add(
+            RootLetter::A,
+            a1,
+            crate::recovery::FailureKind::Crash,
+            (500, 2_500),
+        );
+        cfg.plan.add(
+            RootLetter::B,
+            b0,
+            crate::recovery::FailureKind::Blackhole,
+            (800, 2_000),
+        );
+        let report = farm.run_chaos(&topology, &cfg);
+        assert_eq!(report.violations(), Vec::<String>::new());
+        assert!(report.served_hedged > 0, "{}", report.render());
+        assert!(
+            report.legit_served_fraction() >= 0.99,
+            "legit service under failover: {}",
+            report.render()
+        );
+        assert!(
+            report.steering_epochs > farm.letters.len(),
+            "dead sites must cut steering epochs"
+        );
+        assert_eq!(report.recoveries.len(), 1, "one crash incident");
+        assert!(report.recoveries[0].converged(), "{:?}", report.recoveries);
+        // Every delivered answer matches the fault-free twin byte for
+        // byte.
+        let twin = farm.run_chaos(&topology, &cfg.twin());
+        assert_eq!(report.diff_twin(&twin), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn overload_shedding_drops_junk_before_benign() {
+        let (topology, _, _, farm) = small_farm();
+        let mut cfg = chaos_cfg(23, 6_000);
+        cfg.floods.push(FloodWindow {
+            start_ms: 0,
+            end_ms: 4_000,
+            amplification: 6.0,
+        });
+        let report = farm.run_chaos(&topology, &cfg);
+        assert_eq!(report.violations(), Vec::<String>::new());
+        assert!(report.shed_junk > 0, "flood must trigger shedding");
+        assert_eq!(
+            report.shed_benign, 0,
+            "junk absorbs the whole excess at this amplification"
+        );
+        assert_eq!(
+            report.legit_served_fraction(),
+            1.0,
+            "benign traffic rides out the flood untouched"
+        );
+    }
+
+    #[test]
+    fn chaos_poisoned_reload_is_rejected_and_generation_holds() {
+        let (topology, _, _, farm) = small_farm();
+        let mut cfg = chaos_cfg(29, 2_000);
+        cfg.plan.add_poisoned_reload(RootLetter::B, 700);
+        let report = farm.run_chaos(&topology, &cfg);
+        assert_eq!(report.violations(), Vec::<String>::new());
+        assert_eq!(report.reloads_rejected, 1);
+        assert_eq!(report.reloads_accepted, 0);
+        assert_eq!(farm.generation(RootLetter::B), Some(0));
     }
 }

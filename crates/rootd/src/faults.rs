@@ -41,7 +41,7 @@
 //! mode the transport never writes the clock, which keeps fault totals
 //! independent of worker partitioning.
 
-use crate::transport::{Transport, TransportError};
+use crate::transport::{Transport, TransportError, UdpBatch};
 use netsim::rng::SimRng;
 use simclock::ClockHandle;
 use std::collections::{HashMap, VecDeque};
@@ -639,6 +639,44 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.exchange_udp_dirty(request, resp, t0, pinned, &spec)
     }
 
+    /// Batched exchange under the fault plan: every datagram rolls its own
+    /// dice, exactly as a sequence of one-shot exchanges would. A pending
+    /// [`with_next_key`] seeds the whole batch — datagram `i` gets
+    /// `key + i`, so fault totals stay independent of how a query stream
+    /// is split into batches (and across worker shards). A pending
+    /// [`at_time`] pins every datagram in the batch to that instant (a
+    /// recvmmsg burst arrives "at once"); the clock is never written then.
+    ///
+    /// [`with_next_key`]: FaultyTransport::with_next_key
+    /// [`at_time`]: FaultyTransport::at_time
+    fn exchange_udp_batch(&mut self, batch: &mut UdpBatch) -> Result<(), TransportError> {
+        let n = batch.len();
+        let base_key = self.next_key.take();
+        let pin = self.next_time.take();
+        if self.clean_udp {
+            // Whole-batch fast path: forward to the inner transport's own
+            // batched exchange, billing counters as n clean one-shots.
+            self.seq += n as u64;
+            self.counters.exchanges += n as u64;
+            self.counters.clean += n as u64;
+            return self.inner.exchange_udp_batch(batch);
+        }
+        for i in 0..n {
+            if let Some(key) = base_key {
+                self.next_key = Some(key + i as u64);
+            }
+            if let Some(t) = pin {
+                self.next_time = Some(t);
+            }
+            let answered = {
+                let (req, scratch) = batch.io(i);
+                self.exchange_udp_into(req, scratch)?
+            };
+            batch.commit_response(answered);
+        }
+        Ok(())
+    }
+
     fn exchange_tcp(&mut self, request: &[u8]) -> Result<Vec<Vec<u8>>, TransportError> {
         self.counters.exchanges += 1;
         if self.clean_tcp {
@@ -1008,6 +1046,194 @@ mod tests {
         let c = t.counters();
         assert!(c.timeouts_induced > 0, "{c:?}");
         assert!(mismatched > 0, "reorders must surface stale IDs: {c:?}");
+    }
+
+    #[test]
+    fn faulted_batch_is_byte_identical_to_one_shot_faulted_path() {
+        let spec = FaultSpec {
+            drop_prob: 0.3,
+            bitflip_prob: 0.2,
+            garbage_prob: 0.1,
+            ..FaultSpec::clean()
+        };
+        let plan = Arc::new(FaultPlan::clean(21).with_default(spec));
+        let queries: Vec<Vec<u8>> = (0..200u16).map(soa_query).collect();
+        // Reference: one-shot exchanges keyed 0..n, all pinned to one
+        // instant (a burst arriving "at once").
+        let mut one = FaultyTransport::new(inproc(), Arc::clone(&plan), 0);
+        let mut singles = Vec::new();
+        for (key, q) in queries.iter().enumerate() {
+            one.with_next_key(key as u64).at_time(500);
+            singles.push(one.exchange_udp(q).unwrap());
+        }
+        // The batch path with the same base key and pin must reproduce
+        // every byte, every drop, and every counter.
+        let mut batched = FaultyTransport::new(inproc(), Arc::clone(&plan), 0);
+        let mut batch = UdpBatch::new();
+        for q in &queries {
+            batch.push_request(q);
+        }
+        batched.with_next_key(0).at_time(500);
+        batched.exchange_udp_batch(&mut batch).unwrap();
+        for (i, single) in singles.iter().enumerate() {
+            assert_eq!(batch.response(i), single.as_deref(), "datagram {i}");
+        }
+        assert_eq!(batched.counters(), one.counters());
+        assert!(batched.counters().drops > 0, "loss dice must have fired");
+        assert_eq!(batched.virtual_ms(), 0, "pinned batch must not bill time");
+    }
+
+    #[test]
+    fn clean_batch_fast_path_matches_dirty_loop_semantics() {
+        let queries: Vec<Vec<u8>> = (0..40u16).map(soa_query).collect();
+        let mut wrapped = FaultyTransport::new(inproc(), Arc::new(FaultPlan::clean(7)), 0);
+        let mut batch = UdpBatch::new();
+        for q in &queries {
+            batch.push_request(q);
+        }
+        wrapped.with_next_key(17).at_time(9_000);
+        wrapped.exchange_udp_batch(&mut batch).unwrap();
+        let mut bare = inproc();
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(
+                batch.response(i),
+                bare.exchange_udp(q).unwrap().as_deref(),
+                "clean batch diverged on {i}"
+            );
+        }
+        let c = wrapped.counters();
+        assert_eq!((c.exchanges, c.clean), (40, 40));
+        // The pending key/pin were consumed by the batch, not leaked into
+        // the next exchange.
+        assert!(wrapped.exchange_udp(&soa_query(99)).unwrap().is_some());
+        assert_eq!(wrapped.virtual_ms(), 0);
+    }
+
+    /// An in-proc inner transport that counts engine-level drops, so the
+    /// reconciliation test below can attribute every empty response span
+    /// to exactly one layer (transport dice vs. engine verdict).
+    struct CountingInner {
+        inner: InprocTransport,
+        engine_drops: u64,
+    }
+
+    impl Transport for CountingInner {
+        fn exchange_udp(&mut self, request: &[u8]) -> Result<Option<Vec<u8>>, TransportError> {
+            let resp = self.inner.exchange_udp(request)?;
+            if resp.is_none() {
+                self.engine_drops += 1;
+            }
+            Ok(resp)
+        }
+
+        fn exchange_udp_into(
+            &mut self,
+            request: &[u8],
+            resp: &mut Vec<u8>,
+        ) -> Result<bool, TransportError> {
+            let answered = self.inner.exchange_udp_into(request, resp)?;
+            if !answered {
+                self.engine_drops += 1;
+            }
+            Ok(answered)
+        }
+
+        fn exchange_tcp(&mut self, request: &[u8]) -> Result<Vec<Vec<u8>>, TransportError> {
+            self.inner.exchange_tcp(request)
+        }
+    }
+
+    #[test]
+    fn batch_drop_accounting_reconciles_tally_and_fault_counters_across_shards() {
+        use crate::engine::{Rootd, SiteIdentity};
+        use crate::index::ZoneIndex;
+        let zone = build_root_zone(
+            &RootZoneConfig {
+                tld_count: 6,
+                rollout: RolloutPhase::Validating,
+                ..Default::default()
+            },
+            &ZoneKeys::from_seed(5),
+        );
+        let engine = Arc::new(Rootd::new(
+            Arc::new(ZoneIndex::build(Arc::new(zone))),
+            SiteIdentity::named("recon-test"),
+        ));
+        let total = 440usize;
+        // Sub-header garbage at every 11th-ish slot: the engine drops it.
+        let queries: Vec<Vec<u8>> = (0..total)
+            .map(|g| {
+                if g % 11 == 5 {
+                    vec![0xab; 5]
+                } else {
+                    soa_query(g as u16)
+                }
+            })
+            .collect();
+        let malformed = queries.iter().filter(|q| q.len() < 12).count() as u64;
+
+        // Server side, no faults in the way: BatchTally records every
+        // engine drop, and the slab span table records them in place.
+        let mut server_batch = UdpBatch::new();
+        for q in &queries {
+            server_batch.push_request(q);
+        }
+        let tally = engine.serve_udp_batch(&mut server_batch);
+        assert_eq!(tally.dropped, malformed);
+        assert_eq!(tally.hits + tally.fallbacks + tally.dropped, total as u64);
+        for (g, q) in queries.iter().enumerate() {
+            assert_eq!(
+                server_batch.response(g).is_none(),
+                q.len() < 12,
+                "span table must record drops exactly in place (slot {g})"
+            );
+        }
+
+        // Client side: datagram loss in front of the same engine, keyed by
+        // global index. For every shard partition the merged counters, the
+        // per-slot spans, and the layer attribution must reconcile:
+        //   empty spans == transport drops + engine drops of delivered.
+        let plan = Arc::new(FaultPlan::clean(29).with_default(FaultSpec::loss(0.25)));
+        let run = |shards: usize| {
+            let per_shard = total.div_ceil(shards);
+            let mut merged = FaultCounters::default();
+            let mut engine_drops = 0u64;
+            let mut spans: Vec<Option<Vec<u8>>> = Vec::with_capacity(total);
+            for t in 0..shards {
+                let first = t * per_shard;
+                let last = ((t + 1) * per_shard).min(total);
+                if first >= last {
+                    continue;
+                }
+                let inner = CountingInner {
+                    inner: InprocTransport::new(Arc::clone(&engine)),
+                    engine_drops: 0,
+                };
+                let mut ft = FaultyTransport::new(inner, Arc::clone(&plan), 0);
+                let mut batch = UdpBatch::new();
+                for q in &queries[first..last] {
+                    batch.push_request(q);
+                }
+                ft.with_next_key(first as u64).at_time(100);
+                ft.exchange_udp_batch(&mut batch).unwrap();
+                merged.merge(&ft.counters());
+                engine_drops += ft.inner().engine_drops;
+                for i in 0..batch.len() {
+                    spans.push(batch.response(i).map(|r| r.to_vec()));
+                }
+            }
+            (merged, engine_drops, spans)
+        };
+        let (ref_counters, ref_engine_drops, ref_spans) = run(1);
+        let empties = ref_spans.iter().filter(|s| s.is_none()).count() as u64;
+        assert!(ref_counters.drops > 0 && ref_engine_drops > 0);
+        assert_eq!(empties, ref_counters.drops + ref_engine_drops);
+        for shards in 2..=8 {
+            let (counters, drops, spans) = run(shards);
+            assert_eq!(counters, ref_counters, "{shards} shards");
+            assert_eq!(drops, ref_engine_drops, "{shards} shards");
+            assert_eq!(spans, ref_spans, "{shards} shards");
+        }
     }
 
     #[test]

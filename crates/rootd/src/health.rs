@@ -1,0 +1,394 @@
+//! Per-site health tracking for the serving farm.
+//!
+//! The farm's watchdog probes every site engine on the shared virtual
+//! clock and feeds the results through a [`SiteHealth`] state machine —
+//! the same circuit-breaker discipline `localroot::refresh` applies to
+//! its upstreams (Healthy → Dead at a consecutive-failure threshold,
+//! Dead → Probation on the first sign of life, Probation → Healthy after
+//! sustained successes, any Probation failure reopens the breaker). The
+//! farm layer adds a **Suspect** stage between Healthy and Dead: a site
+//! that answers slowly (a stalled shard) or misses a single probe is
+//! suspect — still in the steering tables, watched closely — and only
+//! hard unreachability sustained across [`HealthConfig::dead_after`]
+//! probes withdraws it.
+//!
+//! Everything here is a pure function of the probe outcome sequence:
+//! [`SiteHealth::on_probe`] takes no clock and draws no randomness, so
+//! the control plane replays bit-identically for a given failure plan.
+//! The per-site transition history accumulates in a [`HealthTimeline`],
+//! which the data plane reads as a piecewise-constant `status_at(slot,
+//! t)` — that is what keeps the sharded chaos run deterministic: shards
+//! consult the same precomputed timeline instead of racing on shared
+//! health state.
+
+/// Where a site stands in the failover state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteStatus {
+    /// Serving normally; in every steering table.
+    Healthy,
+    /// Missed a probe or answered past the SLO: still steered to, but on
+    /// a short leash — the next hard failures kill it.
+    Suspect,
+    /// Withdrawn from steering (the BGP withdrawal analogue); the
+    /// recovery controller owns bringing it back.
+    Dead,
+    /// Answering again after death, serving but not yet trusted: one
+    /// failure reopens the breaker, sustained successes graduate it.
+    Probation,
+}
+
+impl SiteStatus {
+    /// Whether catchment steering may send clients here. Only Dead sites
+    /// are withdrawn — Suspect and Probation keep serving (pulling them
+    /// early would double traffic shifts for transient blips).
+    pub fn in_rotation(self) -> bool {
+        !matches!(self, SiteStatus::Dead)
+    }
+
+    /// Stable numeric id for fingerprinting.
+    pub fn id(self) -> u64 {
+        match self {
+            SiteStatus::Healthy => 0,
+            SiteStatus::Suspect => 1,
+            SiteStatus::Dead => 2,
+            SiteStatus::Probation => 3,
+        }
+    }
+}
+
+/// Watchdog cadence and state-machine thresholds.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Virtual-ms between watchdog probes of each site.
+    pub probe_interval_ms: u64,
+    /// Consecutive bad observations (missed or slow) before a Healthy
+    /// site turns Suspect.
+    pub suspect_after: u32,
+    /// Consecutive *hard* failures (probe unanswered) before a site is
+    /// declared Dead and withdrawn. Matches the `failure_threshold`
+    /// discipline of `localroot::refresh`.
+    pub dead_after: u32,
+    /// Consecutive successful probes a Probation site must string
+    /// together before it is trusted as Healthy again.
+    pub probation_successes: u32,
+    /// A probe slower than this counts as a degraded observation (the
+    /// stalled-shard signal) without ever killing the site on its own.
+    pub slo_ms: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            probe_interval_ms: 250,
+            suspect_after: 1,
+            dead_after: 3,
+            probation_successes: 2,
+            slo_ms: 100,
+        }
+    }
+}
+
+/// One watchdog observation of a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Answered within the SLO.
+    Ok,
+    /// Answered, but slower than [`HealthConfig::slo_ms`].
+    Slow,
+    /// No answer at all (crashed engine, blackholed site).
+    Down,
+}
+
+/// The per-site circuit breaker.
+#[derive(Debug, Clone)]
+pub struct SiteHealth {
+    status: SiteStatus,
+    /// Consecutive bad observations (hard failures count here too).
+    consecutive_bad: u32,
+    /// Consecutive hard (Down) failures only — the kill counter.
+    consecutive_down: u32,
+    /// Consecutive Ok probes while in Probation.
+    probation_oks: u32,
+}
+
+impl Default for SiteHealth {
+    fn default() -> Self {
+        SiteHealth::new()
+    }
+}
+
+impl SiteHealth {
+    pub fn new() -> SiteHealth {
+        SiteHealth {
+            status: SiteStatus::Healthy,
+            consecutive_bad: 0,
+            consecutive_down: 0,
+            probation_oks: 0,
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> SiteStatus {
+        self.status
+    }
+
+    /// Feed one probe observation through the state machine. Returns the
+    /// new status when this observation caused a transition, `None` when
+    /// the status is unchanged. Pure: same outcome sequence, same
+    /// transitions, always.
+    pub fn on_probe(&mut self, outcome: ProbeOutcome, cfg: &HealthConfig) -> Option<SiteStatus> {
+        let next = match outcome {
+            ProbeOutcome::Ok => {
+                self.consecutive_bad = 0;
+                self.consecutive_down = 0;
+                match self.status {
+                    // First sign of life after withdrawal: serve again,
+                    // under watch.
+                    SiteStatus::Dead => {
+                        self.probation_oks = 1;
+                        if cfg.probation_successes <= 1 {
+                            SiteStatus::Healthy
+                        } else {
+                            SiteStatus::Probation
+                        }
+                    }
+                    SiteStatus::Probation => {
+                        self.probation_oks += 1;
+                        if self.probation_oks >= cfg.probation_successes {
+                            SiteStatus::Healthy
+                        } else {
+                            SiteStatus::Probation
+                        }
+                    }
+                    SiteStatus::Suspect | SiteStatus::Healthy => SiteStatus::Healthy,
+                }
+            }
+            ProbeOutcome::Slow => {
+                self.consecutive_bad += 1;
+                self.consecutive_down = 0;
+                match self.status {
+                    // Slowness alone never kills and never graduates: a
+                    // stalled shard is degraded, not gone.
+                    SiteStatus::Dead => SiteStatus::Dead,
+                    SiteStatus::Probation => {
+                        self.probation_oks = 0;
+                        SiteStatus::Probation
+                    }
+                    _ if self.consecutive_bad >= cfg.suspect_after => SiteStatus::Suspect,
+                    other => other,
+                }
+            }
+            ProbeOutcome::Down => {
+                self.consecutive_bad += 1;
+                self.consecutive_down += 1;
+                match self.status {
+                    SiteStatus::Dead => SiteStatus::Dead,
+                    // A Probation failure reopens the breaker immediately
+                    // (the refresh-client discipline).
+                    SiteStatus::Probation => SiteStatus::Dead,
+                    _ if self.consecutive_down >= cfg.dead_after => SiteStatus::Dead,
+                    _ if self.consecutive_bad >= cfg.suspect_after => SiteStatus::Suspect,
+                    other => other,
+                }
+            }
+        };
+        if next == self.status {
+            return None;
+        }
+        if next == SiteStatus::Dead {
+            self.probation_oks = 0;
+        }
+        self.status = next;
+        Some(next)
+    }
+}
+
+/// The piecewise-constant health history of one letter's sites: per site
+/// slot, `(from_ms, status)` transitions in time order (first entry is
+/// `(0, Healthy)`). The sharded data plane reads this instead of live
+/// state, so every shard sees the same world at the same virtual instant.
+#[derive(Debug, Clone)]
+pub struct HealthTimeline {
+    transitions: Vec<Vec<(u64, SiteStatus)>>,
+}
+
+impl HealthTimeline {
+    /// All `slots` sites start Healthy at t=0.
+    pub fn new(slots: usize) -> HealthTimeline {
+        HealthTimeline {
+            transitions: vec![vec![(0, SiteStatus::Healthy)]; slots],
+        }
+    }
+
+    /// Number of site slots tracked.
+    pub fn slots(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Record that `slot` entered `status` at `from_ms`. Must be appended
+    /// in non-decreasing time order per slot.
+    pub fn record(&mut self, slot: usize, from_ms: u64, status: SiteStatus) {
+        debug_assert!(self.transitions[slot]
+            .last()
+            .is_none_or(|&(t, _)| t <= from_ms));
+        self.transitions[slot].push((from_ms, status));
+    }
+
+    /// The status `slot` held at virtual instant `t`.
+    pub fn status_at(&self, slot: usize, t: u64) -> SiteStatus {
+        let row = &self.transitions[slot];
+        match row.binary_search_by(|&(from, _)| from.cmp(&t)) {
+            // Exact hit: the transition at `t` is already in force.
+            Ok(i) => row[i].1,
+            Err(0) => SiteStatus::Healthy,
+            Err(i) => row[i - 1].1,
+        }
+    }
+
+    /// Every transition beyond the initial Healthy state, flattened as
+    /// `(slot, from_ms, status)` in (time, slot) order — the render- and
+    /// fingerprint-stable view.
+    pub fn events(&self) -> Vec<(usize, u64, SiteStatus)> {
+        let mut out: Vec<(usize, u64, SiteStatus)> = self
+            .transitions
+            .iter()
+            .enumerate()
+            .flat_map(|(slot, row)| row.iter().skip(1).map(move |&(t, s)| (slot, t, s)))
+            .collect();
+        out.sort_by_key(|&(slot, t, _)| (t, slot));
+        out
+    }
+
+    /// The distinct steering epochs this timeline induces: `(from_ms,
+    /// dead_mask)` intervals where the set of withdrawn (Dead) slots is
+    /// constant, starting with the all-alive epoch at t=0. Consecutive
+    /// intervals with identical masks are merged.
+    pub fn steering_epochs(&self) -> Vec<(u64, Vec<bool>)> {
+        let mut times: Vec<u64> = self
+            .transitions
+            .iter()
+            .flat_map(|row| row.iter().map(|&(t, _)| t))
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        let mut epochs: Vec<(u64, Vec<bool>)> = Vec::new();
+        for t in times {
+            let mask: Vec<bool> = (0..self.slots())
+                .map(|slot| !self.status_at(slot, t).in_rotation())
+                .collect();
+            match epochs.last() {
+                Some((_, last)) if *last == mask => {}
+                _ => epochs.push((t, mask)),
+            }
+        }
+        epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig::default()
+    }
+
+    fn feed(h: &mut SiteHealth, outcomes: &[ProbeOutcome]) -> Vec<SiteStatus> {
+        outcomes
+            .iter()
+            .filter_map(|&o| h.on_probe(o, &cfg()))
+            .collect()
+    }
+
+    #[test]
+    fn healthy_site_stays_healthy_on_ok_probes() {
+        let mut h = SiteHealth::new();
+        assert!(feed(&mut h, &[ProbeOutcome::Ok; 10]).is_empty());
+        assert_eq!(h.status(), SiteStatus::Healthy);
+    }
+
+    #[test]
+    fn hard_failures_walk_healthy_through_suspect_to_dead() {
+        let mut h = SiteHealth::new();
+        let t = feed(&mut h, &[ProbeOutcome::Down; 4]);
+        assert_eq!(t, vec![SiteStatus::Suspect, SiteStatus::Dead]);
+        assert_eq!(h.status(), SiteStatus::Dead);
+    }
+
+    #[test]
+    fn slowness_suspects_but_never_kills() {
+        let mut h = SiteHealth::new();
+        let t = feed(&mut h, &[ProbeOutcome::Slow; 50]);
+        assert_eq!(t, vec![SiteStatus::Suspect]);
+        assert!(h.status().in_rotation(), "a stalled site keeps serving");
+        // One clean probe clears the suspicion.
+        assert_eq!(
+            h.on_probe(ProbeOutcome::Ok, &cfg()),
+            Some(SiteStatus::Healthy)
+        );
+    }
+
+    #[test]
+    fn recovery_goes_through_probation_before_trust() {
+        let mut h = SiteHealth::new();
+        feed(&mut h, &[ProbeOutcome::Down; 3]);
+        assert_eq!(h.status(), SiteStatus::Dead);
+        assert_eq!(
+            h.on_probe(ProbeOutcome::Ok, &cfg()),
+            Some(SiteStatus::Probation)
+        );
+        assert!(h.status().in_rotation(), "probation serves again");
+        assert_eq!(
+            h.on_probe(ProbeOutcome::Ok, &cfg()),
+            Some(SiteStatus::Healthy)
+        );
+    }
+
+    #[test]
+    fn probation_failure_reopens_the_breaker_immediately() {
+        let mut h = SiteHealth::new();
+        feed(&mut h, &[ProbeOutcome::Down; 3]);
+        h.on_probe(ProbeOutcome::Ok, &cfg());
+        assert_eq!(h.status(), SiteStatus::Probation);
+        assert_eq!(
+            h.on_probe(ProbeOutcome::Down, &cfg()),
+            Some(SiteStatus::Dead)
+        );
+        // ...and the next recovery starts probation over from scratch.
+        h.on_probe(ProbeOutcome::Ok, &cfg());
+        assert_eq!(h.status(), SiteStatus::Probation);
+    }
+
+    #[test]
+    fn timeline_answers_status_at_any_instant() {
+        let mut tl = HealthTimeline::new(2);
+        tl.record(0, 1_000, SiteStatus::Suspect);
+        tl.record(0, 1_500, SiteStatus::Dead);
+        tl.record(0, 4_000, SiteStatus::Probation);
+        assert_eq!(tl.status_at(0, 0), SiteStatus::Healthy);
+        assert_eq!(tl.status_at(0, 999), SiteStatus::Healthy);
+        assert_eq!(tl.status_at(0, 1_000), SiteStatus::Suspect);
+        assert_eq!(tl.status_at(0, 2_500), SiteStatus::Dead);
+        assert_eq!(tl.status_at(0, 9_999), SiteStatus::Probation);
+        assert_eq!(tl.status_at(1, 2_500), SiteStatus::Healthy);
+    }
+
+    #[test]
+    fn steering_epochs_track_only_dead_set_changes() {
+        let mut tl = HealthTimeline::new(2);
+        // Suspect does not change steering; Dead and the later revival do.
+        tl.record(0, 1_000, SiteStatus::Suspect);
+        tl.record(0, 1_500, SiteStatus::Dead);
+        tl.record(0, 4_000, SiteStatus::Probation);
+        tl.record(0, 4_500, SiteStatus::Healthy);
+        let epochs = tl.steering_epochs();
+        assert_eq!(
+            epochs,
+            vec![
+                (0, vec![false, false]),
+                (1_500, vec![true, false]),
+                (4_000, vec![false, false]),
+            ]
+        );
+    }
+}

@@ -32,25 +32,45 @@
 //! * [`attack`] — seeded adversarial workloads (water-torture NXDOMAIN
 //!   floods, spoofed reflection, priming floods, per-client query
 //!   storms) interleaved with benign load on the shared virtual-time
-//!   axis, replaying bit-identically across worker counts.
+//!   axis, replaying bit-identically across worker counts;
+//! * [`health`] — the per-site health state machine (Healthy → Suspect
+//!   → Dead → Probation) fed by watchdog probes, and the
+//!   [`HealthTimeline`] the farm's failover steering reads;
+//! * [`recovery`] — deterministic site failure injection
+//!   ([`FailurePlan`]: crash / stall / blackhole windows, poisoned
+//!   reloads) and the recovery controller ([`run_control_plane`]):
+//!   capped-exponential restart backoff on the shared virtual clock,
+//!   producing the piecewise-constant [`ControlPlane`] that keeps chaos
+//!   runs bit-identical across shard counts.
 
 pub mod attack;
 pub mod cache;
 pub mod engine;
 pub mod farm;
 pub mod faults;
+pub mod health;
 pub mod index;
 pub mod loadgen;
+pub mod recovery;
 pub mod rrl;
 pub mod transport;
 
 pub use attack::{AttackConfig, AttackPlan, AttackReport, AttackShape, AttackWindow, EpochTraffic};
 pub use cache::AnswerCache;
-pub use engine::{BatchTally, Rootd, ServeOutcome, ServeVerdict, SharedState, SiteIdentity};
-pub use farm::{Farm, FarmConfig, FarmReport};
+pub use engine::{
+    BatchTally, ReloadError, Rootd, ServeOutcome, ServeVerdict, SharedState, SiteIdentity,
+};
+pub use farm::{
+    ChaosOutcome, Farm, FarmChaosConfig, FarmChaosReport, FarmConfig, FarmReport, FloodWindow,
+};
 pub use faults::{FaultCounters, FaultPlan, FaultSpec, FaultyTransport, Protocol};
+pub use health::{HealthConfig, HealthTimeline, ProbeOutcome, SiteHealth, SiteStatus};
 pub use index::{Lookup, Referral, ZoneIndex};
-pub use loadgen::{ArrivalSchedule, LoadReport, LoadgenConfig, QueryMix, SiteFleet};
+pub use loadgen::{ArrivalSchedule, LoadReport, LoadgenConfig, QueryClass, QueryMix, SiteFleet};
+pub use recovery::{
+    run_control_plane, ControlPlane, FailureKind, FailurePlan, FailureWindow, LetterControl,
+    PoisonedReload, RecoveryLog, RecoveryPolicy,
+};
 pub use rrl::{BucketStat, ResponseClass, Rrl, RrlConfig, RrlCounters, RrlDecision};
 pub use transport::{
     InprocTransport, LoopbackServer, LoopbackTransport, Transport, TransportError, UdpBatch,

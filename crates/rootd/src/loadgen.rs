@@ -460,9 +460,26 @@ impl QueryTemplates {
     }
 }
 
-/// Write one query's wire bytes for `client`'s stream into `out`. Consumes
-/// RNG draws in exactly the order the original `Message`-building path did,
-/// and produces byte-identical datagrams (asserted by
+/// What a generated query asked for — the shed-priority taxonomy the
+/// self-healing farm reuses (junk-class sheds first, mirroring the RRL
+/// `ResponseClass::NxDomain` bucket; CHAOS answers name the serving site,
+/// so byte-identity twins exclude them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// CHAOS identity probe.
+    Chaos,
+    /// Apex SOA/DNSKEY (priming-style).
+    Apex,
+    /// Random junk label destined for NXDOMAIN.
+    Junk,
+    /// A delegated TLD (referral traffic).
+    Tld,
+}
+
+/// Write one query's wire bytes for `client`'s stream into `out`, and
+/// report which traffic class it belongs to. Consumes RNG draws in exactly
+/// the order the original `Message`-building path did, and produces
+/// byte-identical datagrams (asserted by
 /// `templated_queries_match_message_built_ones`), so reports stay
 /// comparable across the optimization.
 pub(crate) fn fill_query(
@@ -470,7 +487,7 @@ pub(crate) fn fill_query(
     templates: &QueryTemplates,
     rng: &mut SimRng,
     out: &mut Vec<u8>,
-) {
+) -> QueryClass {
     let id = (rng.next_u64() & 0xffff) as u16;
     if rng.chance(mix.chaos_fraction) {
         // Mirrors `rng.pick` on the 3-element probe array.
@@ -479,15 +496,16 @@ pub(crate) fn fill_query(
         out.extend_from_slice(probe);
         out[0] = (id >> 8) as u8;
         out[1] = id as u8;
-        return;
+        return QueryClass::Chaos;
     }
     let qtype = mix.draw_qtype(rng);
     out.clear();
     out.extend_from_slice(&[(id >> 8) as u8, id as u8, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0]);
     // Priming-style queries go to the apex; everything else to a TLD or a
     // junk label (the root's NXDOMAIN-heavy reality).
-    if matches!(qtype, RrType::Soa | RrType::Dnskey) {
+    let class = if matches!(qtype, RrType::Soa | RrType::Dnskey) {
         out.push(0);
+        QueryClass::Apex
     } else if rng.chance(mix.nxdomain_fraction) || templates.tld_names.is_empty() {
         // `nx` + 12 lowercase hex digits, one 14-byte label.
         let bits = rng.next_u64() & 0xffff_ffff_ffff;
@@ -497,9 +515,11 @@ pub(crate) fn fill_query(
             out.push(b"0123456789abcdef"[((bits >> (shift * 4)) & 0xf) as usize]);
         }
         out.push(0);
+        QueryClass::Junk
     } else {
         out.extend_from_slice(&templates.tld_names[rng.next_range(templates.tld_names.len())]);
-    }
+        QueryClass::Tld
+    };
     out.extend_from_slice(&qtype.to_u16().to_be_bytes());
     out.extend_from_slice(&[0, 1]); // IN
     if rng.chance(mix.dnssec_fraction) {
@@ -508,6 +528,7 @@ pub(crate) fn fill_query(
         out[11] = 1;
         out.extend_from_slice(&[0, 0, 41, 0x10, 0x00, 0, 0, 0x80, 0, 0, 0]);
     }
+    class
 }
 
 /// Classify a raw response datagram by header bytes alone — the client

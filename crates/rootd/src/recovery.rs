@@ -1,0 +1,838 @@
+//! Deterministic failure injection and the farm's recovery controller.
+//!
+//! A [`FailurePlan`] declares site-level faults on the shared virtual
+//! clock: engine **crash** windows (the engine is gone until the recovery
+//! controller restarts it), **stall** windows (the site answers, but a
+//! stalled shard adds a fixed delay), per-site **blackholes** (the site's
+//! network vanishes for the window, then returns on its own), and
+//! **poisoned reloads** (a corrupted zone is pushed at a letter, which
+//! the validated reload path must refuse). Plans are either authored
+//! directly or projected from `scenario` events via
+//! `scenario::failure_plan_on_clock`.
+//!
+//! [`run_control_plane`] plays a plan against a farm's site roster as a
+//! discrete-event program on [`simclock::Scheduler`]: watchdog probes
+//! feed each site's [`SiteHealth`] machine, Dead crashed sites get
+//! restart attempts on a capped-exponential [`RecoveryPolicy`] backoff
+//! (an attempt succeeds once the underlying crash window has passed —
+//! restarting into a still-broken host fails and backs off further), and
+//! every observation lands in per-letter [`HealthTimeline`]s plus
+//! ground-truth outage/stall interval tables. The output
+//! [`ControlPlane`] is **piecewise-constant data, not live state**: the
+//! sharded data plane only reads it, which is what keeps a chaos run
+//! bit-identical across 1..=8 shards — no shard ever observes a
+//! different world than another at the same virtual instant.
+
+use crate::health::{HealthConfig, HealthTimeline, ProbeOutcome, SiteHealth, SiteStatus};
+use netsim::rng::SimRng;
+use rss::RootLetter;
+use simclock::Scheduler;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// One kind of injected site-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The site's engine process dies: unreachable until the recovery
+    /// controller restarts it *after* the window has passed.
+    Crash,
+    /// A stalled shard: the site still answers, `delay_ms` late.
+    Stall {
+        /// Added per-answer latency inside the window.
+        delay_ms: u64,
+    },
+    /// The site's network is gone for the window, then heals on its own
+    /// (no restart needed) — the anycast-site-outage shape.
+    Blackhole,
+}
+
+impl FailureKind {
+    fn id(self) -> u64 {
+        match self {
+            FailureKind::Crash => 0,
+            FailureKind::Stall { .. } => 1,
+            FailureKind::Blackhole => 2,
+        }
+    }
+}
+
+/// One scheduled fault: `kind` in force during `[start_ms, end_ms)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureWindow {
+    pub kind: FailureKind,
+    pub start_ms: u64,
+    pub end_ms: u64,
+}
+
+/// A corrupted-zone push scheduled at a letter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoisonedReload {
+    pub letter: RootLetter,
+    /// Virtual instant the reload is attempted.
+    pub at_ms: u64,
+    /// Seed for the RRSIG bitflip that poisons the pushed copy.
+    pub flip_seed: u64,
+}
+
+/// The full deterministic failure schedule of one chaos run.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    /// Master seed (restart-backoff jitter and any derived draws).
+    pub seed: u64,
+    windows: BTreeMap<(RootLetter, u32), Vec<FailureWindow>>,
+    /// Corrupted-zone pushes, attempted in `at_ms` order.
+    pub poisoned_reloads: Vec<PoisonedReload>,
+}
+
+impl FailurePlan {
+    /// A plan that injects nothing — the healthy-twin baseline.
+    pub fn none(seed: u64) -> FailurePlan {
+        FailurePlan {
+            seed,
+            ..FailurePlan::default()
+        }
+    }
+
+    /// Schedule `kind` at `letter`'s site `site_id` during
+    /// `[start_ms, end_ms)`.
+    pub fn add(
+        &mut self,
+        letter: RootLetter,
+        site_id: u32,
+        kind: FailureKind,
+        window: (u64, u64),
+    ) -> &mut Self {
+        self.windows
+            .entry((letter, site_id))
+            .or_default()
+            .push(FailureWindow {
+                kind,
+                start_ms: window.0,
+                end_ms: window.1,
+            });
+        self
+    }
+
+    /// Schedule a poisoned-zone push at `letter`.
+    pub fn add_poisoned_reload(&mut self, letter: RootLetter, at_ms: u64) -> &mut Self {
+        let flip_seed = SimRng::new(self.seed)
+            .derive_ids(&[0xbad0, letter.index() as u64, at_ms])
+            .next_u64();
+        self.poisoned_reloads.push(PoisonedReload {
+            letter,
+            at_ms,
+            flip_seed,
+        });
+        self
+    }
+
+    /// The windows scheduled for one site (empty when none).
+    pub fn windows_for(&self, letter: RootLetter, site_id: u32) -> &[FailureWindow] {
+        self.windows
+            .get(&(letter, site_id))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Every scheduled window, `((letter, site_id), window)`, in key order.
+    pub fn all_windows(&self) -> impl Iterator<Item = ((RootLetter, u32), &FailureWindow)> {
+        self.windows
+            .iter()
+            .flat_map(|(&key, ws)| ws.iter().map(move |w| (key, w)))
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty() && self.poisoned_reloads.is_empty()
+    }
+
+    /// Number of distinct sites with at least one fault window.
+    pub fn faulted_sites(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The latest finite window end (0 when none) — what a caller sizes
+    /// its horizon from.
+    pub fn max_finite_end(&self) -> u64 {
+        self.windows
+            .values()
+            .flatten()
+            .map(|w| w.end_ms)
+            .filter(|&e| e != u64::MAX)
+            .max()
+            .unwrap_or(0)
+            .max(
+                self.poisoned_reloads
+                    .iter()
+                    .map(|p| p.at_ms)
+                    .max()
+                    .unwrap_or(0),
+            )
+    }
+
+    /// Mix every scheduled fault into a fingerprint accumulator — plans
+    /// are part of a chaos report's replay identity.
+    pub fn fold_fingerprint(&self, mut h: u64) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(PRIME);
+        };
+        mix(self.seed);
+        for ((letter, site), w) in self.all_windows() {
+            mix(letter.index() as u64);
+            mix(u64::from(site));
+            mix(w.kind.id());
+            if let FailureKind::Stall { delay_ms } = w.kind {
+                mix(delay_ms);
+            }
+            mix(w.start_ms);
+            mix(w.end_ms);
+        }
+        for p in &self.poisoned_reloads {
+            mix(p.letter.index() as u64);
+            mix(p.at_ms);
+            mix(p.flip_seed);
+        }
+        h
+    }
+}
+
+/// Restart discipline for crashed engines: capped exponential backoff
+/// with deterministic jitter, the `localroot::refresh::RetryPolicy`
+/// shape applied to engine restarts instead of upstream retries.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Delay before the first restart attempt (then doubling).
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// ± this fraction of deterministic jitter on each delay.
+    pub jitter_frac: f64,
+    /// Restart attempts before the controller gives up — the "backoff
+    /// budget" a converging recovery must fit inside.
+    pub max_attempts: u32,
+    /// Seed for the jitter draws.
+    pub seed: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            base_backoff_ms: 500,
+            max_backoff_ms: 8_000,
+            jitter_frac: 0.25,
+            max_attempts: 8,
+            seed: 0x4ec0_0001,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff before restart `attempt` (1-based) of `site`, for the
+    /// incident detected at `detected_ms`. Pure in its arguments:
+    /// capped-exponential base with a seeded ± jitter, so restart
+    /// schedules replay bit-identically.
+    pub fn backoff_ms(&self, site: u64, detected_ms: u64, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << (attempt - 1).min(20))
+            .min(self.max_backoff_ms);
+        let span = (exp as f64 * self.jitter_frac) as u64;
+        if span == 0 {
+            return exp;
+        }
+        let mut rng =
+            SimRng::new(self.seed).derive_ids(&[0x4ec0, site, detected_ms, u64::from(attempt)]);
+        exp - span / 2 + rng.next_range(span as usize + 1) as u64
+    }
+
+    /// Worst-case virtual time from detection to the last restart
+    /// attempt — the budget "recovery converges within" is tested
+    /// against.
+    pub fn budget_ms(&self) -> u64 {
+        (1..=self.max_attempts)
+            .map(|a| {
+                let exp = self
+                    .base_backoff_ms
+                    .saturating_mul(1u64 << (a - 1).min(20))
+                    .min(self.max_backoff_ms);
+                exp + (exp as f64 * self.jitter_frac) as u64
+            })
+            .sum()
+    }
+}
+
+/// One crash incident's recovery record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryLog {
+    pub letter: RootLetter,
+    pub site_id: u32,
+    /// When the engine actually went down.
+    pub failed_at: u64,
+    /// When the health machine declared it Dead.
+    pub detected_at: u64,
+    /// Restart attempts issued (failed + the successful one).
+    pub attempts: u32,
+    /// When a restart landed, `None` when the budget ran out first.
+    pub recovered_at: Option<u64>,
+}
+
+impl RecoveryLog {
+    /// Whether the engine came back within the backoff budget.
+    pub fn converged(&self) -> bool {
+        self.recovered_at.is_some()
+    }
+}
+
+/// One letter's precomputed control-plane view: the health belief
+/// (timeline) plus the ground truth (outage and stall intervals) the
+/// data plane serves against.
+#[derive(Debug, Clone)]
+pub struct LetterControl {
+    pub letter: RootLetter,
+    /// The health machine's belief, per site slot.
+    pub timeline: HealthTimeline,
+    /// Ground-truth unavailability `[start, end)` per slot — crash
+    /// windows extended to the restart instant, blackholes verbatim.
+    outages: Vec<Vec<(u64, u64)>>,
+    /// Ground-truth stall intervals `(start, end, delay_ms)` per slot.
+    stalls: Vec<Vec<(u64, u64, u64)>>,
+}
+
+impl LetterControl {
+    fn new(letter: RootLetter, slots: usize) -> LetterControl {
+        LetterControl {
+            letter,
+            timeline: HealthTimeline::new(slots),
+            outages: vec![Vec::new(); slots],
+            stalls: vec![Vec::new(); slots],
+        }
+    }
+
+    /// Whether `slot` is actually unreachable at `t` (ground truth, not
+    /// belief — a dead engine eats queries whether or not the watchdog
+    /// noticed yet).
+    pub fn down_at(&self, slot: usize, t: u64) -> bool {
+        self.outages[slot].iter().any(|&(s, e)| t >= s && t < e)
+    }
+
+    /// The stall delay in force at `slot` at `t`, if any.
+    pub fn stall_delay_at(&self, slot: usize, t: u64) -> Option<u64> {
+        self.stalls[slot]
+            .iter()
+            .find(|&&(s, e, _)| t >= s && t < e)
+            .map(|&(_, _, d)| d)
+    }
+
+    /// Total ground-truth outage intervals recorded for this letter.
+    pub fn outage_count(&self) -> usize {
+        self.outages.iter().map(Vec::len).sum()
+    }
+}
+
+/// Everything [`run_control_plane`] produced.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    /// Per letter, in roster order.
+    pub letters: Vec<LetterControl>,
+    /// Every crash incident, in detection order.
+    pub recoveries: Vec<RecoveryLog>,
+    /// Watchdog probes fired (only faulted sites are probed — a site
+    /// with no scheduled fault cannot transition, so its probes are
+    /// elided wholesale; that is what makes the healthy-plan control
+    /// plane free).
+    pub probes: u64,
+}
+
+impl ControlPlane {
+    /// Whether every crash incident recovered within the backoff budget.
+    pub fn all_converged(&self) -> bool {
+        self.recoveries.iter().all(RecoveryLog::converged)
+    }
+}
+
+/// Live per-site state while the discrete-event program runs.
+#[derive(Debug, Default)]
+struct SiteState {
+    health: SiteHealth,
+    /// Active blackhole windows (overlap-safe depth counter).
+    blackhole_depth: u32,
+    /// Crashed and not yet restarted; holds the underlying window end a
+    /// restart must outlast.
+    crash_until: Option<u64>,
+    /// Active stall depth and the delay in force.
+    stall_depth: u32,
+    stall_delay: u64,
+    /// Open ground-truth intervals being accumulated.
+    down_since: Option<u64>,
+    stall_since: Option<u64>,
+    /// Detection instant of the current crash incident (backoff context).
+    detected_at: Option<u64>,
+    /// Index into `recoveries` for the current crash incident.
+    log_idx: Option<usize>,
+}
+
+impl SiteState {
+    fn is_down(&self) -> bool {
+        self.blackhole_depth > 0 || self.crash_until.is_some()
+    }
+}
+
+struct PlaneState {
+    letters: Vec<LetterControl>,
+    /// Flat site states; `base[li] + slot` indexes them.
+    sites: Vec<SiteState>,
+    base: Vec<usize>,
+    recoveries: Vec<RecoveryLog>,
+    probes: u64,
+}
+
+impl PlaneState {
+    /// Close or open the ground-truth outage interval for a site after
+    /// its availability flags changed.
+    fn sync_down(&mut self, li: usize, slot: usize, t: u64) {
+        let g = self.base[li] + slot;
+        let down = self.sites[g].is_down();
+        match (self.sites[g].down_since, down) {
+            (None, true) => self.sites[g].down_since = Some(t),
+            (Some(since), false) => {
+                self.letters[li].outages[slot].push((since, t));
+                self.sites[g].down_since = None;
+            }
+            _ => {}
+        }
+    }
+
+    fn sync_stall(&mut self, li: usize, slot: usize, t: u64) {
+        let g = self.base[li] + slot;
+        let stalled = self.sites[g].stall_depth > 0;
+        match (self.sites[g].stall_since, stalled) {
+            (None, true) => self.sites[g].stall_since = Some(t),
+            (Some(since), false) => {
+                let delay = self.sites[g].stall_delay;
+                self.letters[li].stalls[slot].push((since, t, delay));
+                self.sites[g].stall_since = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Per-site event-key lanes: window ends fire before onsets, onsets
+/// before restarts, restarts before probes at the same instant.
+const LANE_END: u64 = 0;
+const LANE_ONSET: u64 = 1;
+const LANE_RESTART: u64 = 2;
+const LANE_PROBE: u64 = 3;
+
+fn lane_key(global: usize, lane: u64) -> u64 {
+    (global as u64) * 4 + lane
+}
+
+/// Play `plan` against the site roster as a discrete-event program and
+/// return the piecewise-constant control-plane view. `roster` lists each
+/// letter's site ids in engine-slot order (what `Farm::letters` exposes);
+/// `horizon_ms` bounds the watchdog (size it past the plan's last window
+/// plus the recovery budget).
+pub fn run_control_plane(
+    roster: &[(RootLetter, Vec<u32>)],
+    plan: &FailurePlan,
+    health: &HealthConfig,
+    policy: &RecoveryPolicy,
+    horizon_ms: u64,
+) -> ControlPlane {
+    let mut base = Vec::with_capacity(roster.len());
+    let mut n = 0usize;
+    for (_, sites) in roster {
+        base.push(n);
+        n += sites.len();
+    }
+    let state = Rc::new(RefCell::new(PlaneState {
+        letters: roster
+            .iter()
+            .map(|(l, sites)| LetterControl::new(*l, sites.len()))
+            .collect(),
+        sites: (0..n).map(|_| SiteState::default()).collect(),
+        base,
+        recoveries: Vec::new(),
+        probes: 0,
+    }));
+
+    let mut sched = Scheduler::new(plan.seed);
+    let health = Rc::new(health.clone());
+    let policy = Rc::new(policy.clone());
+
+    for (li, (letter, sites)) in roster.iter().enumerate() {
+        for (slot, &site_id) in sites.iter().enumerate() {
+            let windows = plan.windows_for(*letter, site_id);
+            if windows.is_empty() {
+                continue; // Never-faulted sites cannot transition: skip.
+            }
+            let global = state.borrow().base[li] + slot;
+            for w in windows {
+                let kind = w.kind;
+                let (onset_state, end_state) = (Rc::clone(&state), Rc::clone(&state));
+                let (start_ms, end_ms) = (w.start_ms, w.end_ms);
+                sched.schedule_keyed(start_ms, lane_key(global, LANE_ONSET), "onset", {
+                    move |_s| {
+                        let mut st = onset_state.borrow_mut();
+                        match kind {
+                            FailureKind::Crash => {
+                                let until = st.sites[global].crash_until.unwrap_or(0);
+                                st.sites[global].crash_until = Some(until.max(end_ms));
+                            }
+                            FailureKind::Blackhole => st.sites[global].blackhole_depth += 1,
+                            FailureKind::Stall { delay_ms } => {
+                                st.sites[global].stall_depth += 1;
+                                st.sites[global].stall_delay =
+                                    st.sites[global].stall_delay.max(delay_ms);
+                            }
+                        }
+                        st.sync_down(li, slot, start_ms);
+                        st.sync_stall(li, slot, start_ms);
+                    }
+                });
+                if end_ms == u64::MAX {
+                    continue;
+                }
+                sched.schedule_keyed(end_ms, lane_key(global, LANE_END), "window-end", {
+                    move |_s| {
+                        let mut st = end_state.borrow_mut();
+                        match kind {
+                            // A crash needs a restart: the end of the
+                            // underlying window alone heals nothing.
+                            FailureKind::Crash => {}
+                            FailureKind::Blackhole => {
+                                st.sites[global].blackhole_depth =
+                                    st.sites[global].blackhole_depth.saturating_sub(1);
+                            }
+                            FailureKind::Stall { .. } => {
+                                st.sites[global].stall_depth =
+                                    st.sites[global].stall_depth.saturating_sub(1);
+                            }
+                        }
+                        st.sync_down(li, slot, end_ms);
+                        st.sync_stall(li, slot, end_ms);
+                    }
+                });
+            }
+            // The watchdog: one probe per interval for the whole horizon.
+            let mut t = health.probe_interval_ms;
+            while t <= horizon_ms {
+                let probe_state = Rc::clone(&state);
+                let (hc, pc) = (Rc::clone(&health), Rc::clone(&policy));
+                sched.schedule_keyed(t, lane_key(global, LANE_PROBE), "probe", move |s| {
+                    probe(s, &probe_state, &hc, &pc, li, slot, global, site_id, t);
+                });
+                t += health.probe_interval_ms;
+            }
+        }
+    }
+
+    sched.run_until_idle();
+
+    // Close intervals still open at the horizon: a site that never came
+    // back is down for the rest of time.
+    {
+        let mut st = state.borrow_mut();
+        for li in 0..st.letters.len() {
+            for slot in 0..st.letters[li].outages.len() {
+                let g = st.base[li] + slot;
+                if let Some(since) = st.sites[g].down_since.take() {
+                    st.letters[li].outages[slot].push((since, u64::MAX));
+                }
+                if let Some(since) = st.sites[g].stall_since.take() {
+                    let delay = st.sites[g].stall_delay;
+                    st.letters[li].stalls[slot].push((since, u64::MAX, delay));
+                }
+            }
+        }
+    }
+
+    let state = Rc::try_unwrap(state)
+        .unwrap_or_else(|_| unreachable!("scheduler drained, no clones remain"))
+        .into_inner();
+    ControlPlane {
+        letters: state.letters,
+        recoveries: state.recoveries,
+        probes: state.probes,
+    }
+}
+
+/// One watchdog probe: observe, feed the state machine, record any
+/// transition, and — on a freshly detected crash — start the restart
+/// ladder.
+#[allow(clippy::too_many_arguments)]
+fn probe(
+    sched: &mut Scheduler,
+    state: &Rc<RefCell<PlaneState>>,
+    health: &Rc<HealthConfig>,
+    policy: &Rc<RecoveryPolicy>,
+    li: usize,
+    slot: usize,
+    global: usize,
+    site_id: u32,
+    t: u64,
+) {
+    let mut st = state.borrow_mut();
+    st.probes += 1;
+    let outcome = {
+        let site = &st.sites[global];
+        if site.is_down() {
+            ProbeOutcome::Down
+        } else if site.stall_depth > 0 && site.stall_delay > health.slo_ms {
+            ProbeOutcome::Slow
+        } else {
+            ProbeOutcome::Ok
+        }
+    };
+    let transition = st.sites[global].health.on_probe(outcome, health);
+    let Some(next) = transition else { return };
+    st.letters[li].timeline.record(slot, t, next);
+    if next != SiteStatus::Dead || st.sites[global].crash_until.is_none() {
+        return;
+    }
+    // A crashed engine was just declared Dead: open the incident log and
+    // schedule restart attempt 1 on the backoff ladder.
+    let letter = st.letters[li].letter;
+    let failed_at = st.sites[global].down_since.unwrap_or(t);
+    let log_idx = st.recoveries.len();
+    st.recoveries.push(RecoveryLog {
+        letter,
+        site_id,
+        failed_at,
+        detected_at: t,
+        attempts: 0,
+        recovered_at: None,
+    });
+    st.sites[global].detected_at = Some(t);
+    st.sites[global].log_idx = Some(log_idx);
+    drop(st);
+    schedule_restart(sched, state, policy, li, slot, global, site_id, t, 1);
+}
+
+/// Queue restart attempt `attempt` for a crashed site.
+#[allow(clippy::too_many_arguments)]
+fn schedule_restart(
+    sched: &mut Scheduler,
+    state: &Rc<RefCell<PlaneState>>,
+    policy: &Rc<RecoveryPolicy>,
+    li: usize,
+    slot: usize,
+    global: usize,
+    site_id: u32,
+    detected_at: u64,
+    attempt: u32,
+) {
+    let at = detected_at
+        + (1..=attempt)
+            .map(|a| policy.backoff_ms(u64::from(site_id), detected_at, a))
+            .sum::<u64>();
+    let state = Rc::clone(state);
+    let policy_again = Rc::clone(policy);
+    sched.schedule_keyed(at, lane_key(global, LANE_RESTART), "restart", move |s| {
+        let mut st = state.borrow_mut();
+        let Some(log_idx) = st.sites[global].log_idx else {
+            return;
+        };
+        st.recoveries[log_idx].attempts = attempt;
+        let healed = st.sites[global]
+            .crash_until
+            .is_some_and(|until| at >= until);
+        if healed {
+            // The restart lands: the underlying fault has passed, the
+            // engine is back. The watchdog takes it from here
+            // (Dead → Probation → Healthy on the next probes).
+            st.sites[global].crash_until = None;
+            st.sites[global].detected_at = None;
+            st.sites[global].log_idx = None;
+            st.recoveries[log_idx].recovered_at = Some(at);
+            st.sync_down(li, slot, at);
+            return;
+        }
+        if attempt < policy_again.max_attempts {
+            drop(st);
+            schedule_restart(
+                s,
+                &state,
+                &policy_again,
+                li,
+                slot,
+                global,
+                site_id,
+                detected_at,
+                attempt + 1,
+            );
+        }
+        // Budget exhausted: the incident log keeps `recovered_at: None`
+        // and the site stays down — the report surfaces it.
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roster() -> Vec<(RootLetter, Vec<u32>)> {
+        vec![
+            (RootLetter::A, vec![10, 11, 12]),
+            (RootLetter::B, vec![20, 21]),
+        ]
+    }
+
+    fn run(plan: &FailurePlan) -> ControlPlane {
+        run_control_plane(
+            &roster(),
+            plan,
+            &HealthConfig::default(),
+            &RecoveryPolicy::default(),
+            60_000,
+        )
+    }
+
+    #[test]
+    fn empty_plan_probes_nothing_and_transitions_nothing() {
+        let cp = run(&FailurePlan::none(1));
+        assert_eq!(cp.probes, 0);
+        assert!(cp.recoveries.is_empty());
+        for lc in &cp.letters {
+            assert!(lc.timeline.events().is_empty());
+            assert_eq!(lc.outage_count(), 0);
+        }
+    }
+
+    #[test]
+    fn crash_is_detected_restarted_and_rejoins_via_probation() {
+        let mut plan = FailurePlan::none(7);
+        plan.add(RootLetter::A, 11, FailureKind::Crash, (2_000, 6_000));
+        let cp = run(&plan);
+        assert_eq!(cp.recoveries.len(), 1);
+        let log = cp.recoveries[0];
+        assert_eq!((log.letter, log.site_id), (RootLetter::A, 11));
+        assert_eq!(log.failed_at, 2_000);
+        // Detection: dead_after hard failures on the probe cadence.
+        assert!(
+            log.detected_at >= 2_000 && log.detected_at <= 3_000,
+            "{log:?}"
+        );
+        assert!(log.converged(), "{log:?}");
+        let recovered = log.recovered_at.unwrap();
+        // Restarts into the still-broken window fail and back off; the
+        // landing attempt is after the window end, within the budget.
+        assert!(recovered >= 6_000);
+        assert!(
+            recovered <= log.detected_at + RecoveryPolicy::default().budget_ms(),
+            "{log:?}"
+        );
+        assert!(
+            log.attempts >= 2,
+            "early restarts must have failed: {log:?}"
+        );
+        // Ground truth: exactly one outage, crash onset to restart.
+        let lc = &cp.letters[0];
+        assert_eq!(lc.outages[1], vec![(2_000, recovered)]);
+        assert!(lc.down_at(1, 2_000) && lc.down_at(1, recovered - 1));
+        assert!(!lc.down_at(1, 1_999) && !lc.down_at(1, recovered));
+        // Belief: Dead at detection, Probation then Healthy after.
+        assert_eq!(lc.timeline.status_at(1, log.detected_at), SiteStatus::Dead);
+        let end_status = lc.timeline.status_at(1, 59_999);
+        assert_eq!(end_status, SiteStatus::Healthy);
+        // Untouched sites never transitioned.
+        assert!(cp.letters[1].timeline.events().is_empty());
+    }
+
+    #[test]
+    fn blackhole_heals_without_restarts() {
+        let mut plan = FailurePlan::none(3);
+        plan.add(RootLetter::B, 21, FailureKind::Blackhole, (1_000, 4_000));
+        let cp = run(&plan);
+        assert!(cp.recoveries.is_empty(), "no crash, no restart ladder");
+        let lc = &cp.letters[1];
+        assert_eq!(lc.outages[1], vec![(1_000, 4_000)]);
+        assert_eq!(lc.timeline.status_at(1, 3_000), SiteStatus::Dead);
+        assert_eq!(lc.timeline.status_at(1, 59_999), SiteStatus::Healthy);
+    }
+
+    #[test]
+    fn stall_degrades_to_suspect_but_keeps_serving() {
+        let mut plan = FailurePlan::none(9);
+        plan.add(
+            RootLetter::A,
+            10,
+            FailureKind::Stall { delay_ms: 400 },
+            (1_000, 5_000),
+        );
+        let cp = run(&plan);
+        let lc = &cp.letters[0];
+        assert_eq!(lc.outage_count(), 0, "a stalled site is not down");
+        assert_eq!(lc.stall_delay_at(0, 2_000), Some(400));
+        assert_eq!(lc.stall_delay_at(0, 5_000), None);
+        assert_eq!(lc.timeline.status_at(0, 3_000), SiteStatus::Suspect);
+        assert!(lc.timeline.status_at(0, 3_000).in_rotation());
+        assert_eq!(lc.timeline.status_at(0, 59_999), SiteStatus::Healthy);
+    }
+
+    #[test]
+    fn control_plane_replays_bit_identically() {
+        let mut plan = FailurePlan::none(42);
+        plan.add(RootLetter::A, 11, FailureKind::Crash, (2_000, 9_000));
+        plan.add(RootLetter::A, 12, FailureKind::Blackhole, (3_000, 7_000));
+        plan.add(
+            RootLetter::B,
+            20,
+            FailureKind::Stall { delay_ms: 250 },
+            (1_000, 20_000),
+        );
+        let (a, b) = (run(&plan), run(&plan));
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.recoveries, b.recoveries);
+        for (x, y) in a.letters.iter().zip(&b.letters) {
+            assert_eq!(x.timeline.events(), y.timeline.events());
+            assert_eq!(x.outages, y.outages);
+            assert_eq!(x.stalls, y.stalls);
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_and_deterministic() {
+        let p = RecoveryPolicy::default();
+        let delays: Vec<u64> = (1..=8).map(|a| p.backoff_ms(5, 1_000, a)).collect();
+        assert_eq!(
+            delays,
+            (1..=8)
+                .map(|a| p.backoff_ms(5, 1_000, a))
+                .collect::<Vec<_>>()
+        );
+        // Roughly doubling, within jitter, and capped at the ceiling.
+        for (i, &d) in delays.iter().enumerate() {
+            let exp = (p.base_backoff_ms << i.min(20)).min(p.max_backoff_ms);
+            let span = (exp as f64 * p.jitter_frac) as u64;
+            assert!(
+                d >= exp - span / 2 - 1 && d <= exp + span,
+                "attempt {i}: {d} vs {exp}"
+            );
+        }
+        assert_eq!(p.backoff_ms(5, 1_000, 0), 0);
+        assert!(p.budget_ms() >= delays.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn unrecoverable_crash_exhausts_the_budget_and_stays_down() {
+        let mut plan = FailurePlan::none(13);
+        // The crash window outlasts the whole restart budget.
+        plan.add(RootLetter::A, 10, FailureKind::Crash, (1_000, u64::MAX));
+        let cp = run(&plan);
+        assert_eq!(cp.recoveries.len(), 1);
+        let log = cp.recoveries[0];
+        assert!(!log.converged());
+        assert_eq!(log.attempts, RecoveryPolicy::default().max_attempts);
+        let lc = &cp.letters[0];
+        assert_eq!(lc.outages[0], vec![(1_000, u64::MAX)]);
+        assert_eq!(lc.timeline.status_at(0, 59_999), SiteStatus::Dead);
+    }
+}

@@ -25,7 +25,9 @@
 
 use crate::event::{DegradedMode, EventKind};
 use crate::timeline::Scenario;
-use rootd::{FaultPlan, FaultSpec};
+use netsim::rng::SimRng;
+use rootd::recovery::FailureKind;
+use rootd::{FailurePlan, FaultPlan, FaultSpec};
 use rss::RootLetter;
 use simclock::TimeAxis;
 
@@ -131,6 +133,77 @@ pub fn fault_plan_for_fleet(scenario: &Scenario, letter: RootLetter, axis: TimeA
             None => u64::MAX,
         };
         plan.set_both_windowed(u64::from(site.0), (start, end), FaultSpec::blackhole());
+    }
+    plan
+}
+
+/// The *farm*-side projection: scenario events become a site-level
+/// [`FailurePlan`] the serving farm's chaos runner executes against its
+/// health/recovery control plane, on the same `axis` as the client and
+/// fleet plans.
+///
+/// * [`EventKind::SiteOutage`] — the site goes dark for the window. A
+///   seeded coin decides *how*: an engine **crash** (needs the recovery
+///   controller's restart ladder) or a network **blackhole** (heals when
+///   the window ends) — the paper's measurements can't tell the two
+///   apart from outside, but the farm's recovery path differs, so the
+///   projection exercises both;
+/// * [`EventKind::RttInflation`] — a letter-wide slowdown becomes a
+///   **stall** window on every one of the letter's rostered sites
+///   (serving continues, late);
+/// * [`DegradedMode::BitflipZone`] — corrupt zone data at the letter
+///   becomes a **poisoned reload** pushed at the window start, which the
+///   validated reload path must refuse.
+///
+/// `roster` lists each letter's served site ids (what `Farm::letters`
+/// exposes) so letter-wide events fan out to the letter's actual sites.
+/// The plan seed is derived from the scenario seed with its own tag —
+/// distinct from the client-seat and fleet fault streams.
+pub fn failure_plan_on_clock(
+    scenario: &Scenario,
+    axis: TimeAxis,
+    roster: &[(RootLetter, Vec<u32>)],
+) -> FailurePlan {
+    let mut plan = FailurePlan::none(scenario.seed() ^ 0xc4a0_5a11);
+    let sites_of = |letter: RootLetter| -> &[u32] {
+        roster
+            .iter()
+            .find(|(l, _)| *l == letter)
+            .map(|(_, s)| s.as_slice())
+            .unwrap_or(&[])
+    };
+    for event in scenario.events() {
+        let start = axis.wall_to_ms(event.at);
+        let end = match event.until {
+            Some(until) => axis.wall_to_ms(until),
+            None => u64::MAX,
+        };
+        match event.kind {
+            EventKind::SiteOutage { letter, site } => {
+                let crash = SimRng::new(plan.seed)
+                    .derive_ids(&[0xfa11, letter.index() as u64, u64::from(site.0), start])
+                    .chance(0.5);
+                let kind = if crash {
+                    FailureKind::Crash
+                } else {
+                    FailureKind::Blackhole
+                };
+                plan.add(letter, site.0, kind, (start, end));
+            }
+            EventKind::RttInflation { letter, factor } => {
+                let delay_ms = (BASE_RTT_MS as f64 * factor) as u64;
+                for &site in sites_of(letter) {
+                    plan.add(letter, site, FailureKind::Stall { delay_ms }, (start, end));
+                }
+            }
+            EventKind::Degraded {
+                letter,
+                mode: DegradedMode::BitflipZone { .. },
+            } => {
+                plan.add_poisoned_reload(letter, start);
+            }
+            _ => {}
+        }
     }
     plan
 }
@@ -331,6 +404,58 @@ mod tests {
                 kind.label()
             );
         }
+    }
+
+    #[test]
+    fn failure_plan_projects_outages_stalls_and_poisoned_reloads() {
+        let s = scenario();
+        let axis = simclock::TimeAxis::anchored_at(0);
+        let roster = vec![
+            (RootLetter::A, vec![0, 7]),
+            (RootLetter::C, vec![3]),
+            (RootLetter::D, vec![4, 5]),
+        ];
+        let plan = failure_plan_on_clock(&s, axis, &roster);
+        // The outage projects to exactly one window on A's site 0, as a
+        // crash or a blackhole (never a stall).
+        let w = plan.windows_for(RootLetter::A, 0);
+        assert_eq!(w.len(), 1);
+        assert_eq!((w[0].start_ms, w[0].end_ms), (100_000, 300_000));
+        assert!(matches!(
+            w[0].kind,
+            FailureKind::Crash | FailureKind::Blackhole
+        ));
+        // The uninvolved site of A stays clean.
+        assert!(plan.windows_for(RootLetter::A, 7).is_empty());
+        // The letter-wide RTT inflation stalls every rostered D site.
+        for site in [4, 5] {
+            let w = plan.windows_for(RootLetter::D, site);
+            assert_eq!(w.len(), 1, "site {site}");
+            assert_eq!(w[0].start_ms, 150_000);
+            assert_eq!(w[0].end_ms, u64::MAX);
+            assert_eq!(
+                w[0].kind,
+                FailureKind::Stall {
+                    delay_ms: 50 * BASE_RTT_MS
+                }
+            );
+        }
+        // The zone bitflip becomes a poisoned reload at C.
+        assert_eq!(plan.poisoned_reloads.len(), 1);
+        assert_eq!(plan.poisoned_reloads[0].letter, RootLetter::C);
+        assert_eq!(plan.poisoned_reloads[0].at_ms, 100_000);
+        // Replay identity: same scenario, same plan; own seed stream.
+        let again = failure_plan_on_clock(&s, axis, &roster);
+        assert_eq!(
+            plan.windows_for(RootLetter::A, 0),
+            again.windows_for(RootLetter::A, 0)
+        );
+        assert_eq!(plan.poisoned_reloads, again.poisoned_reloads);
+        assert_ne!(plan.seed, fault_plan_on_clock(&s, axis).seed);
+        assert_ne!(
+            plan.seed,
+            fault_plan_for_fleet(&s, RootLetter::A, axis).seed
+        );
     }
 
     #[test]

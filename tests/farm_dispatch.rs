@@ -64,7 +64,12 @@ fn dispatch_follows_catchments_across_a_renumbering_epoch_swap() {
 
     // The swap: letter B flips to the post-renumbering epoch zone; every
     // one of its site engines sees the new generation, letter A none.
-    assert!(farm.reload_letter(RootLetter::B, Arc::clone(&zones[1].zone)));
+    // The validated reload path accepts it — the epoch zone's RRSIGs are
+    // in force at the epoch's own start instant.
+    assert_eq!(
+        farm.reload_letter(RootLetter::B, Arc::clone(&zones[1].zone), zones[1].start),
+        Ok(1)
+    );
     assert_eq!(farm.generation(RootLetter::B), Some(1));
     assert_eq!(farm.generation(RootLetter::A), Some(0));
     for site in &farm.deployment(RootLetter::B).unwrap().sites {
